@@ -1,0 +1,114 @@
+#include "common.h"
+
+#include <cstdio>
+
+#include "util/env.h"
+
+namespace gqr {
+namespace bench {
+
+Workload BuildWorkload(const DatasetProfile& profile, size_t k) {
+  Workload w;
+  w.profile = profile;
+  Dataset all = GenerateClusteredGaussian(profile.spec);
+  Rng rng(profile.spec.seed + 1);
+  auto split = all.SplitQueries(profile.num_queries, &rng);
+  w.base = std::move(split.first);
+  w.queries = std::move(split.second);
+  w.ground_truth = ComputeGroundTruth(w.base, w.queries, k);
+  return w;
+}
+
+LinearHasher TrainItqHasher(const Dataset& base, int code_length,
+                            uint64_t seed) {
+  ItqOptions opt;
+  opt.code_length = code_length;
+  opt.seed = seed;
+  opt.max_train_samples = 10000;
+  return TrainItq(base, opt);
+}
+
+LinearHasher TrainPcahHasher(const Dataset& base, int code_length,
+                             uint64_t seed) {
+  PcahOptions opt;
+  opt.code_length = code_length;
+  opt.seed = seed;
+  opt.max_train_samples = 10000;
+  return TrainPcah(base, opt);
+}
+
+ShHasher TrainShHasher(const Dataset& base, int code_length,
+                       uint64_t seed) {
+  ShOptions opt;
+  opt.code_length = code_length;
+  opt.seed = seed;
+  opt.max_train_samples = 10000;
+  return TrainSh(base, opt);
+}
+
+KmhHasher TrainKmhHasher(const Dataset& base, int code_length,
+                         uint64_t seed) {
+  KmhOptions opt;
+  // 2-bit blocks (4 codewords each): the per-bit flipping-cost model of
+  // the appendix is most faithful with few codewords per block, and
+  // measured recall-per-item is clearly better than 4-bit blocks.
+  opt.bits_per_block = 2;
+  opt.code_length = code_length - (code_length % opt.bits_per_block);
+  opt.seed = seed;
+  opt.max_train_samples = 10000;
+  return TrainKmh(base, opt);
+}
+
+std::vector<Curve> RunTrioCurves(const Workload& w,
+                                 const BinaryHasher& hasher,
+                                 const StaticHashTable& table,
+                                 double max_fraction, size_t points) {
+  HarnessOptions ho;
+  ho.k = kDefaultK;
+  ho.budgets =
+      DefaultBudgets(w.base.size(), kDefaultK, max_fraction, points);
+  std::vector<Curve> curves;
+  for (QueryMethod m :
+       {QueryMethod::kGQR, QueryMethod::kGHR, QueryMethod::kHR}) {
+    curves.push_back(RunMethodCurve(m, w.base, w.queries, w.ground_truth,
+                                    hasher, table, ho));
+  }
+  return curves;
+}
+
+void PrintBenchHeader(const std::string& artifact,
+                      const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", artifact.c_str(), description.c_str());
+  std::printf("(synthetic stand-in datasets, GQR_SCALE=%.2f; see DESIGN.md)\n",
+              BenchScale());
+  std::printf("==============================================================\n\n");
+}
+
+double SpeedupAtRecall(const Curve& baseline, const Curve& method,
+                       double recall) {
+  const double tb = TimeAtRecall(baseline, recall);
+  const double tm = TimeAtRecall(method, recall);
+  if (tb <= 0.0 || tm <= 0.0) return -1.0;
+  return tb / tm;
+}
+
+void PrintTimeAtRecallTable(const std::string& artifact,
+                            const std::string& dataset,
+                            const std::vector<Curve>& curves) {
+  std::vector<std::string> header = {"recall"};
+  for (const Curve& c : curves) header.push_back(c.name + " (s)");
+  std::vector<std::vector<std::string>> rows;
+  for (double target : {0.80, 0.85, 0.90, 0.95}) {
+    std::vector<std::string> row = {FormatDouble(target, 2)};
+    for (const Curve& c : curves) {
+      const double t = TimeAtRecall(c, target);
+      row.push_back(t < 0.0 ? "n/a" : FormatDouble(t, 4));
+    }
+    rows.push_back(std::move(row));
+  }
+  PrintTable(artifact + " time-to-recall on " + dataset, header, rows);
+}
+
+}  // namespace bench
+}  // namespace gqr

@@ -1,0 +1,60 @@
+// Extension bench: ablation of the §5.3 shared generation tree.
+//
+// GQR can expand heap nodes either by performing Append/Swap bit
+// operations per expansion, or by following precomputed child links in
+// the query-independent shared generation tree. This ablation measures
+// pure bucket-generation throughput both ways, at several code lengths.
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace gqr;
+  using namespace gqr::bench;
+  PrintBenchHeader("Extension (ablation, §5.3)",
+                   "GQR bucket generation: Append/Swap vs shared tree");
+
+  Rng rng(9);
+  std::printf("code_length,buckets_generated,append_swap_s,shared_tree_s\n");
+  for (int m : {12, 16, 20, 24}) {
+    QueryHashInfo info;
+    info.code = rng.Uniform(uint64_t{1} << m);
+    info.flip_costs.resize(m);
+    for (double& c : info.flip_costs) c = rng.UniformDouble();
+    const size_t buckets = std::min<size_t>(200000, size_t{1} << m);
+    const int reps = 20;
+
+    double t_plain = 0.0, t_tree = 0.0;
+    volatile Code sink = 0;
+    {
+      Timer timer;
+      for (int rep = 0; rep < reps; ++rep) {
+        GqrProber prober(info);
+        ProbeTarget t;
+        for (size_t i = 0; i < buckets && prober.Next(&t); ++i) {
+          sink = sink ^ t.bucket;
+        }
+      }
+      t_plain = timer.ElapsedSeconds() / reps;
+    }
+    const GenerationTree& tree = GenerationTree::Shared(m);
+    {
+      Timer timer;
+      for (int rep = 0; rep < reps; ++rep) {
+        GqrProber prober(info, 0, &tree);
+        ProbeTarget t;
+        for (size_t i = 0; i < buckets && prober.Next(&t); ++i) {
+          sink = sink ^ t.bucket;
+        }
+      }
+      t_tree = timer.ElapsedSeconds() / reps;
+    }
+    std::printf("%d,%zu,%.6f,%.6f\n", m, buckets, t_plain, t_tree);
+  }
+  std::printf(
+      "\nInterpretation: the heap dominates either way; the shared tree "
+      "trades two bit-ops per expansion for an array lookup, so it can even lose slightly to "
+      "in-register bit-ops once the node array falls out of cache — the paper's bigger win is that the tree "
+      "is query-independent at all (no per-query structure building).\n");
+  return 0;
+}

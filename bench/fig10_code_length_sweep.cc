@@ -1,0 +1,45 @@
+// Figure 10: time to reach 90% recall as a function of code length, on
+// the two largest datasets (ITQ). The paper's point: the default
+// m ~ log2(n/10) is near-optimal for HR/GHR, and GQR still wins at their
+// optimum.
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace gqr;
+  using namespace gqr::bench;
+  PrintBenchHeader("Figure 10",
+                   "time to 90% recall vs code length (ITQ), two largest "
+                   "datasets");
+
+  auto profiles = PaperDatasetProfiles(BenchScale());
+  for (size_t p = 2; p < profiles.size(); ++p) {
+    const DatasetProfile& profile = profiles[p];
+    Workload w = BuildWorkload(profile, kDefaultK);
+    const int m0 = profile.code_length;
+    std::printf("# Figure 10 (%s), default m = %d\n", profile.name.c_str(),
+                m0);
+    std::printf("code_length,HR,GHR,GQR  (seconds to 90%% recall)\n");
+    for (int m : {m0 - 4, m0 - 2, m0, m0 + 2, m0 + 4}) {
+      if (m < 6) continue;
+      LinearHasher hasher = TrainItqHasher(w.base, m);
+      StaticHashTable table(hasher.HashDataset(w.base), m);
+      std::vector<Curve> curves = RunTrioCurves(w, hasher, table, 0.6, 8);
+      const double t_gqr = TimeAtRecall(curves[0], 0.9);
+      const double t_ghr = TimeAtRecall(curves[1], 0.9);
+      const double t_hr = TimeAtRecall(curves[2], 0.9);
+      auto fmt = [](double t) {
+        return t < 0.0 ? std::string("n/a") : FormatDouble(t, 4);
+      };
+      std::printf("%d,%s,%s,%s\n", m, fmt(t_hr).c_str(), fmt(t_ghr).c_str(),
+                  fmt(t_gqr).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape check (paper Fig. 10): each method's time is U-shaped in "
+      "code length (retrieval vs evaluation trade-off), and GQR beats "
+      "HR/GHR even at their best code length.\n");
+  return 0;
+}

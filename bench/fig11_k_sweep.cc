@@ -1,0 +1,43 @@
+// Figure 11: speedup of GQR and GHR over HR (time to 90% recall) for
+// k = 1 / 10 / 50 / 100 target neighbors, on the two largest datasets.
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace gqr;
+  using namespace gqr::bench;
+  PrintBenchHeader("Figure 11",
+                   "speedup over HR at 90% recall vs k (ITQ)");
+
+  auto profiles = PaperDatasetProfiles(BenchScale());
+  for (size_t p = 2; p < profiles.size(); ++p) {
+    const DatasetProfile& profile = profiles[p];
+    std::printf("# Figure 11 (%s)\n", profile.name.c_str());
+    std::printf("k,GHR_speedup,GQR_speedup\n");
+    for (size_t k : {1u, 10u, 50u, 100u}) {
+      Workload w = BuildWorkload(profile, k);
+      LinearHasher hasher = TrainItqHasher(w.base, profile.code_length);
+      StaticHashTable table(hasher.HashDataset(w.base),
+                            profile.code_length);
+      HarnessOptions ho;
+      ho.k = k;
+      ho.budgets = DefaultBudgets(w.base.size(), k, 0.5, 9);
+      std::vector<Curve> curves;
+      for (QueryMethod m :
+           {QueryMethod::kGQR, QueryMethod::kGHR, QueryMethod::kHR}) {
+        curves.push_back(RunMethodCurve(m, w.base, w.queries,
+                                        w.ground_truth, hasher, table, ho));
+      }
+      const double ghr = SpeedupAtRecall(curves[2], curves[1], 0.9);
+      const double gqr = SpeedupAtRecall(curves[2], curves[0], 0.9);
+      std::printf("%zu,%.2f,%.2f\n", k, ghr, gqr);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape check (paper Fig. 11): GQR > GHR > 1x across all k, with the "
+      "largest speedups at small k (paper: up to 8x over HR, 3.4x over "
+      "GHR at k = 1).\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 12: single-hash-table GQR vs multi-hash-table GHR (1/10/20/30
+// tables) on the two largest datasets. The paper's memory argument: GHR
+// needs ~30 tables (30x the memory) to approach single-table GQR.
+#include <cstdio>
+#include <memory>
+
+#include "common.h"
+
+int main() {
+  using namespace gqr;
+  using namespace gqr::bench;
+  PrintBenchHeader("Figure 12",
+                   "single-table GQR vs multi-table GHR (ITQ)");
+
+  auto profiles = PaperDatasetProfiles(BenchScale());
+  for (size_t p = 2; p < profiles.size(); ++p) {
+    const DatasetProfile& profile = profiles[p];
+    Workload w = BuildWorkload(profile, kDefaultK);
+    HarnessOptions ho;
+    ho.k = kDefaultK;
+    ho.budgets = DefaultBudgets(w.base.size(), kDefaultK, 0.5, 8);
+
+    std::vector<Curve> curves;
+    // Multi-table GHR at 1/10/20/30 tables (distinct ITQ seeds).
+    for (size_t tables : {1u, 10u, 20u, 30u}) {
+      MultiTableIndex index = BuildMultiTableIndex(
+          w.base, tables,
+          [&](uint64_t seed) -> std::unique_ptr<BinaryHasher> {
+            return std::make_unique<LinearHasher>(
+                TrainItqHasher(w.base, profile.code_length, seed));
+          });
+      Curve c = RunMultiTableCurve(QueryMethod::kGHR, w.base, w.queries,
+                                   w.ground_truth, index, ho);
+      c.name = "GHR(" + std::to_string(tables) + ")";
+      curves.push_back(std::move(c));
+    }
+    // Single-table GQR.
+    {
+      LinearHasher hasher = TrainItqHasher(w.base, profile.code_length);
+      StaticHashTable table(hasher.HashDataset(w.base),
+                            profile.code_length);
+      Curve c = RunMethodCurve(QueryMethod::kGQR, w.base, w.queries,
+                               w.ground_truth, hasher, table, ho);
+      c.name = "GQR(1)";
+      curves.push_back(std::move(c));
+    }
+    PrintCurves("Figure 12 (" + profile.name + "): recall vs time", curves);
+    PrintTimeAtRecallTable("Figure 12", profile.name, curves);
+  }
+  std::printf(
+      "Shape check (paper Fig. 12): GHR improves with more tables, but "
+      "needs tens of tables (and that much more memory) to approach "
+      "single-table GQR.\n");
+  return 0;
+}

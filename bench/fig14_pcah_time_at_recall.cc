@@ -1,0 +1,36 @@
+// Figure 14: querying time at typical recalls with PCAH (paper §6.4
+// reports average GQR-over-GHR speedups of 2.3/2.8/2.1/4.3 across the
+// four datasets).
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace gqr;
+  using namespace gqr::bench;
+  PrintBenchHeader("Figure 14",
+                   "querying time at 80/85/90/95% recall (PCAH)");
+
+  for (const DatasetProfile& profile : PaperDatasetProfiles(BenchScale())) {
+    Workload w = BuildWorkload(profile, kDefaultK);
+    LinearHasher hasher = TrainPcahHasher(w.base, profile.code_length);
+    StaticHashTable table(hasher.HashDataset(w.base), profile.code_length);
+    std::vector<Curve> curves = RunTrioCurves(w, hasher, table, 0.5, 10);
+    std::swap(curves[0], curves[2]);  // Paper order HR, GHR, GQR.
+    PrintTimeAtRecallTable("Figure 14", profile.name, curves);
+    double total = 0.0;
+    int count = 0;
+    for (double r : {0.80, 0.85, 0.90, 0.95}) {
+      const double s = SpeedupAtRecall(curves[1], curves[2], r);
+      if (s > 0.0) {
+        total += s;
+        ++count;
+      }
+    }
+    if (count > 0) {
+      std::printf("%s: average GQR speedup over GHR: %.2fx\n\n",
+                  profile.name.c_str(), total / count);
+    }
+  }
+  return 0;
+}

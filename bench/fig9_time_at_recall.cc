@@ -1,0 +1,35 @@
+// Figure 9: querying time of HR / GHR / GQR at typical recalls
+// (80/85/90/95%) on the four main datasets, ITQ.
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace gqr;
+  using namespace gqr::bench;
+  PrintBenchHeader("Figure 9",
+                   "querying time at 80/85/90/95% recall (ITQ)");
+
+  double min_speedup = 1e30, max_speedup = 0.0;
+  for (const DatasetProfile& profile : PaperDatasetProfiles(BenchScale())) {
+    Workload w = BuildWorkload(profile, kDefaultK);
+    LinearHasher hasher = TrainItqHasher(w.base, profile.code_length);
+    StaticHashTable table(hasher.HashDataset(w.base), profile.code_length);
+    std::vector<Curve> curves = RunTrioCurves(w, hasher, table, 0.5, 10);
+    // Paper order: HR, GHR, GQR.
+    std::swap(curves[0], curves[2]);
+    PrintTimeAtRecallTable("Figure 9", profile.name, curves);
+    for (double r : {0.80, 0.85, 0.90, 0.95}) {
+      const double s = SpeedupAtRecall(curves[1], curves[2], r);  // vs GHR
+      if (s > 0.0) {
+        min_speedup = std::min(min_speedup, s);
+        max_speedup = std::max(max_speedup, s);
+      }
+    }
+  }
+  std::printf(
+      "GQR speedup over GHR across datasets/recalls: %.2fx .. %.2fx "
+      "(paper Fig. 9 reports a minimum of 1.6x and up to ~3x).\n",
+      min_speedup, max_speedup);
+  return 0;
+}

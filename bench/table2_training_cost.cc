@@ -1,0 +1,73 @@
+// Table 2: training cost of OPQ vs PCAH (wall time, CPU time, memory).
+//
+// The paper's point: OPQ's query-time advantage costs one to two orders
+// of magnitude more training time than PCAH — which GQR erases.
+#include <cstdio>
+
+#include "common.h"
+#include "util/timer.h"
+
+namespace {
+
+// Rough resident model + training footprint in GB: training sample +
+// rotation/codebooks (OPQ) or covariance/components (PCAH).
+double OpqMemoryGb(size_t train, size_t dim, int centroids) {
+  const double sample = static_cast<double>(train) * dim * 8;  // doubles
+  const double rotated = sample;                                // X and XR
+  const double rotation = static_cast<double>(dim) * dim * 8;
+  const double codebooks = 2.0 * centroids * (dim / 2.0) * 8;
+  return (sample + rotated + rotation + codebooks) / 1e9;
+}
+
+double PcahMemoryGb(size_t train, size_t dim, int m) {
+  const double sample = static_cast<double>(train) * dim * 4;  // floats
+  const double cov = static_cast<double>(dim) * dim * 8;
+  const double components = static_cast<double>(m) * dim * 8;
+  return (sample + cov + components) / 1e9;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gqr;
+  using namespace gqr::bench;
+  PrintBenchHeader("Table 2", "training cost: OPQ vs PCAH");
+
+  std::vector<std::vector<std::string>> rows;
+  for (const DatasetProfile& profile : PaperDatasetProfiles(BenchScale())) {
+    Workload w = BuildWorkload(profile, kDefaultK);
+
+    Timer wall_opq;
+    CpuTimer cpu_opq;
+    OpqOptions oo;
+    oo.num_centroids = static_cast<int>(std::max(
+        16.0, std::sqrt(static_cast<double>(w.base.size()) / 10.0)));
+    oo.iterations = 8;
+    OpqModel opq = TrainOpq(w.base, oo);
+    const double opq_wall = wall_opq.ElapsedSeconds();
+    const double opq_cpu = cpu_opq.ElapsedSeconds();
+
+    Timer wall_pcah;
+    CpuTimer cpu_pcah;
+    LinearHasher pcah = TrainPcahHasher(w.base, profile.code_length);
+    const double pcah_wall = wall_pcah.ElapsedSeconds();
+    const double pcah_cpu = cpu_pcah.ElapsedSeconds();
+
+    rows.push_back(
+        {profile.name, FormatDouble(opq_wall, 2), FormatDouble(pcah_wall, 2),
+         FormatDouble(opq_cpu, 2), FormatDouble(pcah_cpu, 2),
+         FormatDouble(OpqMemoryGb(10000, w.base.dim(), oo.num_centroids), 3),
+         FormatDouble(PcahMemoryGb(10000, w.base.dim(),
+                                   profile.code_length),
+                      3)});
+  }
+  PrintTable("Table 2: training cost",
+             {"Dataset", "OPQ wall(s)", "PCAH wall(s)", "OPQ cpu(s)",
+              "PCAH cpu(s)", "OPQ mem(GB)", "PCAH mem(GB)"},
+             rows);
+  std::printf(
+      "Shape check (paper Table 2): OPQ training costs one to two orders "
+      "of magnitude more wall/CPU time than PCAH on every dataset, and "
+      "more memory.\n");
+  return 0;
+}

@@ -1,0 +1,265 @@
+// gqr_cli: command-line front end over the public API — the
+// train-offline / serve-online workflow with persisted artifacts.
+//
+//   gqr_cli generate --out base.fvecs --n 20000 --dim 32
+//   # Same seed + --clusters as the base reuses its cluster mixture, so
+//   # the queries are in-distribution (fresh draws, not copies):
+//   gqr_cli generate --out queries.fvecs --n 100 --dim 32 --clusters 200
+//   gqr_cli gt --data base.fvecs --queries queries.fvecs --k 10
+//              --out gt.ivecs
+//   gqr_cli train --data base.fvecs --algo itq --bits 11 --model itq.model
+//   gqr_cli build --data base.fvecs --model itq.model --index t.index
+//   gqr_cli stats --data base.fvecs --model itq.model --index t.index
+//   gqr_cli query --data base.fvecs --model itq.model --index t.index
+//                 --queries queries.fvecs --k 10 --budget 2000
+//                 --method gqr --gt gt.ivecs
+//
+// Works on real TEXMEX .fvecs files too (SIFT1M etc.).
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "gqr.h"
+
+namespace {
+
+using namespace gqr;
+
+// --flag value argument map; flags without '--' prefix are rejected.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        ok_ = false;
+        bad_ = argv[i];
+        return;
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+    if ((argc - first) % 2 != 0) {
+      ok_ = false;
+      bad_ = argv[argc - 1];
+    }
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& bad() const { return bad_; }
+
+  std::string Get(const std::string& key, const std::string& fallback = "") {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoll(it->second);
+  }
+  bool Has(const std::string& key) const { return values_.count(key) != 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+  std::string bad_;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int CmdGenerate(Args& args) {
+  SyntheticSpec spec;
+  spec.n = static_cast<size_t>(args.GetInt("n", 20000));
+  spec.dim = static_cast<size_t>(args.GetInt("dim", 32));
+  spec.num_clusters = static_cast<size_t>(
+      args.GetInt("clusters", std::max<int64_t>(50, spec.n / 100)));
+  spec.cluster_stddev = 4.0;
+  spec.zipf_exponent = 0.5;
+  spec.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  const std::string out = args.Get("out");
+  if (out.empty()) return Fail("generate requires --out");
+  Dataset data = GenerateClusteredGaussian(spec);
+  Status st = SaveFvecs(data, out);
+  if (!st.ok()) return Fail(st.ToString());
+  std::printf("wrote %s: %s\n", out.c_str(), data.Summary().c_str());
+  return 0;
+}
+
+int CmdGroundTruth(Args& args) {
+  auto base = LoadFvecs(args.Get("data"));
+  if (!base.ok()) return Fail(base.status().ToString());
+  auto queries = LoadFvecs(args.Get("queries"));
+  if (!queries.ok()) return Fail(queries.status().ToString());
+  const auto k = static_cast<size_t>(args.GetInt("k", 10));
+  auto gt = ComputeGroundTruth(*base, *queries, k);
+  std::vector<std::vector<int32_t>> rows;
+  rows.reserve(gt.size());
+  for (const Neighbors& n : gt) {
+    rows.emplace_back(n.ids.begin(), n.ids.end());
+  }
+  Status st = SaveIvecs(rows, args.Get("out"));
+  if (!st.ok()) return Fail(st.ToString());
+  std::printf("wrote %zu ground-truth rows (k=%zu)\n", rows.size(), k);
+  return 0;
+}
+
+int CmdTrain(Args& args) {
+  auto base = LoadFvecs(args.Get("data"));
+  if (!base.ok()) return Fail(base.status().ToString());
+  const std::string algo = args.Get("algo", "itq");
+  const int bits = static_cast<int>(
+      args.GetInt("bits", CodeLengthForSize(base->size())));
+  const auto seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  const std::string model_path = args.Get("model");
+  if (model_path.empty()) return Fail("train requires --model");
+
+  Timer timer;
+  Status st;
+  if (algo == "itq") {
+    ItqOptions o;
+    o.code_length = bits;
+    o.seed = seed;
+    st = SaveLinearHasher(TrainItq(*base, o), model_path);
+  } else if (algo == "pcah") {
+    PcahOptions o;
+    o.code_length = bits;
+    o.seed = seed;
+    st = SaveLinearHasher(TrainPcah(*base, o), model_path);
+  } else if (algo == "lsh") {
+    LshOptions o;
+    o.code_length = bits;
+    o.seed = seed;
+    st = SaveLinearHasher(TrainLsh(*base, base->dim(), o), model_path);
+  } else {
+    return Fail("unknown --algo " + algo + " (itq|pcah|lsh)");
+  }
+  if (!st.ok()) return Fail(st.ToString());
+  std::printf("trained %s (m=%d) in %.2fs -> %s\n", algo.c_str(), bits,
+              timer.ElapsedSeconds(), model_path.c_str());
+  return 0;
+}
+
+int CmdBuild(Args& args) {
+  auto base = LoadFvecs(args.Get("data"));
+  if (!base.ok()) return Fail(base.status().ToString());
+  auto hasher = LoadLinearHasher(args.Get("model"));
+  if (!hasher.ok()) return Fail(hasher.status().ToString());
+  StaticHashTable table(hasher->HashDataset(*base), hasher->code_length());
+  Status st = SaveHashTable(table, args.Get("index"));
+  if (!st.ok()) return Fail(st.ToString());
+  std::printf("built index: %zu items, %zu buckets -> %s\n",
+              table.num_items(), table.num_buckets(),
+              args.Get("index").c_str());
+  return 0;
+}
+
+int CmdStats(Args& args) {
+  auto base = LoadFvecs(args.Get("data"));
+  if (!base.ok()) return Fail(base.status().ToString());
+  auto hasher = LoadLinearHasher(args.Get("model"));
+  if (!hasher.ok()) return Fail(hasher.status().ToString());
+  auto table = LoadHashTable(args.Get("index"));
+  if (!table.ok()) return Fail(table.status().ToString());
+  std::printf("%s\n", OccupancyReport(ComputeOccupancy(*table)).c_str());
+  std::printf("%s\n",
+              BitBalanceReport(ComputeBitBalance(*hasher, *base)).c_str());
+  return 0;
+}
+
+int CmdQuery(Args& args) {
+  auto base = LoadFvecs(args.Get("data"));
+  if (!base.ok()) return Fail(base.status().ToString());
+  auto hasher = LoadLinearHasher(args.Get("model"));
+  if (!hasher.ok()) return Fail(hasher.status().ToString());
+  auto table = LoadHashTable(args.Get("index"));
+  if (!table.ok()) return Fail(table.status().ToString());
+  auto queries = LoadFvecs(args.Get("queries"));
+  if (!queries.ok()) return Fail(queries.status().ToString());
+
+  const auto k = static_cast<size_t>(args.GetInt("k", 10));
+  const auto budget = static_cast<size_t>(args.GetInt("budget", 2000));
+  const std::string method_name = args.Get("method", "gqr");
+  QueryMethod method;
+  if (method_name == "gqr") {
+    method = QueryMethod::kGQR;
+  } else if (method_name == "ghr") {
+    method = QueryMethod::kGHR;
+  } else if (method_name == "hr") {
+    method = QueryMethod::kHR;
+  } else if (method_name == "qr") {
+    method = QueryMethod::kQR;
+  } else {
+    return Fail("unknown --method " + method_name + " (gqr|ghr|hr|qr)");
+  }
+
+  // Optional ground truth for recall.
+  std::vector<std::vector<int32_t>> gt;
+  if (args.Has("gt")) {
+    auto loaded = LoadIvecs(args.Get("gt"));
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    gt = std::move(*loaded);
+    if (gt.size() != queries->size()) {
+      return Fail("ground truth rows != number of queries");
+    }
+  }
+
+  Searcher searcher(*base);
+  Timer timer;
+  double recall = 0.0;
+  size_t shown = 0;
+  for (size_t q = 0; q < queries->size(); ++q) {
+    const float* query = queries->Row(static_cast<ItemId>(q));
+    QueryHashInfo info = hasher->HashQuery(query);
+    auto prober = MakeProber(method, info, *table);
+    SearchOptions so;
+    so.k = k;
+    so.max_candidates = budget;
+    SearchResult r = searcher.Search(query, prober.get(), *table, so);
+    if (!gt.empty()) {
+      Neighbors truth;
+      truth.ids.assign(gt[q].begin(), gt[q].end());
+      recall += RecallAtK(r.ids, truth, k);
+    }
+    if (shown < 3) {  // Print the first few result lists.
+      std::printf("query %zu:", q);
+      for (size_t i = 0; i < r.ids.size(); ++i) {
+        std::printf(" %u(%.3f)", r.ids[i], r.distances[i]);
+      }
+      std::printf("\n");
+      ++shown;
+    }
+  }
+  const double seconds = timer.ElapsedSeconds();
+  std::printf("%zu queries with %s in %.3fs (%.2f ms/query)\n",
+              queries->size(), method_name.c_str(), seconds,
+              1e3 * seconds / static_cast<double>(queries->size()));
+  if (!gt.empty()) {
+    std::printf("recall@%zu = %.4f\n", k,
+                recall / static_cast<double>(queries->size()));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: gqr_cli <generate|gt|train|build|stats|query> "
+                 "--flag value ...\n");
+    return 1;
+  }
+  Args args(argc, argv, 2);
+  if (!args.ok()) {
+    return Fail("malformed arguments near '" + args.bad() + "'");
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "gt") return CmdGroundTruth(args);
+  if (cmd == "train") return CmdTrain(args);
+  if (cmd == "build") return CmdBuild(args);
+  if (cmd == "stats") return CmdStats(args);
+  if (cmd == "query") return CmdQuery(args);
+  return Fail("unknown command " + cmd);
+}

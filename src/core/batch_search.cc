@@ -1,0 +1,23 @@
+#include "core/batch_search.h"
+
+#include "util/parallel_for.h"
+
+namespace gqr {
+
+std::vector<SearchResult> BatchSearch(const Searcher& searcher,
+                                      const BinaryHasher& hasher,
+                                      const StaticHashTable& table,
+                                      const Dataset& queries,
+                                      QueryMethod method,
+                                      const SearchOptions& options) {
+  std::vector<SearchResult> results(queries.size());
+  ParallelFor(0, queries.size(), [&](size_t q) {
+    const float* query = queries.Row(static_cast<ItemId>(q));
+    const QueryHashInfo info = hasher.HashQuery(query);
+    std::unique_ptr<BucketProber> prober = MakeProber(method, info, table);
+    results[q] = searcher.Search(query, prober.get(), table, options);
+  }, /*min_parallel=*/2);
+  return results;
+}
+
+}  // namespace gqr

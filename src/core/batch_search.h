@@ -1,0 +1,32 @@
+// BatchSearch: answer a whole query batch in parallel.
+//
+// Each query gets its own prober (probers hold per-query state), so
+// queries are embarrassingly parallel; this helper shards the batch over
+// the process thread pool. Useful for offline evaluation and bulk
+// serving; the single-query Searcher path remains the latency-oriented
+// API.
+#ifndef GQR_CORE_BATCH_SEARCH_H_
+#define GQR_CORE_BATCH_SEARCH_H_
+
+#include <vector>
+
+#include "core/searcher.h"
+#include "data/dataset.h"
+#include "eval/harness.h"
+#include "hash/binary_hasher.h"
+#include "index/hash_table.h"
+
+namespace gqr {
+
+/// Runs `method` for every row of `queries` against one table, in
+/// parallel. results[q] corresponds to queries.Row(q).
+std::vector<SearchResult> BatchSearch(const Searcher& searcher,
+                                      const BinaryHasher& hasher,
+                                      const StaticHashTable& table,
+                                      const Dataset& queries,
+                                      QueryMethod method,
+                                      const SearchOptions& options);
+
+}  // namespace gqr
+
+#endif  // GQR_CORE_BATCH_SEARCH_H_

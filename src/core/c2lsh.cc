@@ -1,0 +1,135 @@
+#include "core/c2lsh.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace gqr {
+
+namespace {
+
+E2lshHasher MakeHasher(const Dataset& base, const C2lshOptions& options) {
+  E2lshOptions opt;
+  opt.num_hashes = options.num_hashes;
+  opt.bucket_width = options.bucket_width;
+  // C2LSH's base granularity: aim for small slots; virtual rehashing
+  // coarsens them level by level. One item per slot on average works
+  // well: n^(1/m) slots per axis is far too few, so calibrate per-axis:
+  // expected_per_bucket applies per full code, but with m independent
+  // 1-axis tables we want per-axis slot populations ~ sqrt(n).
+  opt.expected_per_bucket = 10.0;
+  opt.seed = options.seed;
+  if (opt.bucket_width <= 0.0) {
+    // Calibrate against a single-axis view: pick w so each axis has
+    // ~256 occupied slots (fine granularity for level doubling).
+    E2lshOptions probe = opt;
+    probe.expected_per_bucket =
+        std::max(1.0, static_cast<double>(base.size()));
+    E2lshHasher coarse = TrainE2lsh(base, probe);
+    // probe yields slots_per_hash ~ 1; its width spans ~4 stddev.
+    opt.bucket_width = coarse.bucket_width() / 256.0;
+  }
+  return TrainE2lsh(base, opt);
+}
+
+}  // namespace
+
+C2lshIndex::C2lshIndex(const Dataset& base, const C2lshOptions& options)
+    : hasher_(MakeHasher(base, options)),
+      num_items_(base.size()),
+      collision_threshold_(std::max(
+          1, static_cast<int>(std::lround(options.collision_fraction *
+                                          options.num_hashes)))) {
+  const int m = options.num_hashes;
+  std::vector<IntCode> codes = hasher_.HashDataset(base);
+  axes_.resize(m);
+  for (int h = 0; h < m; ++h) {
+    Axis& axis = axes_[h];
+    std::vector<uint32_t> order(base.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return codes[a][h] < codes[b][h];
+    });
+    axis.slots.resize(base.size());
+    axis.items.resize(base.size());
+    for (size_t i = 0; i < base.size(); ++i) {
+      axis.slots[i] = codes[order[i]][h];
+      axis.items[i] = static_cast<ItemId>(order[i]);
+    }
+  }
+}
+
+std::vector<ItemId> C2lshIndex::Collect(const float* query,
+                                        size_t max_candidates,
+                                        ProbeStats* stats) const {
+  std::vector<ItemId> out;
+  if (max_candidates == 0 || num_items_ == 0) return out;
+  const int m = num_hashes();
+  const E2lshQueryInfo info = hasher_.HashQuery(query);
+
+  std::vector<uint16_t> counts(num_items_, 0);
+  std::vector<bool> emitted(num_items_, false);
+  // Per axis, the already-counted slot window [lo, hi) (indices into the
+  // sorted arrays). Window grows as the level doubles; each item is
+  // counted once per axis.
+  std::vector<size_t> window_lo(m), window_hi(m);
+  std::vector<bool> window_init(m, false);
+
+  for (int64_t level = 1;; level *= 2) {
+    if (stats != nullptr) stats->final_level = static_cast<int>(std::min<int64_t>(level, 1 << 30));
+    for (int h = 0; h < m; ++h) {
+      const Axis& axis = axes_[h];
+      // Level-c window on axis h: the search space expands
+      // bi-directionally around the query's slot (§7's description of
+      // C2LSH), covering slots within distance < c.
+      const int64_t q_slot = info.code[h];
+      const int64_t c = level;
+      const int64_t slot_begin = q_slot - (c - 1);
+      const int64_t slot_end = q_slot + c;
+      const size_t lo = std::lower_bound(axis.slots.begin(),
+                                         axis.slots.end(), slot_begin) -
+                        axis.slots.begin();
+      const size_t hi = std::lower_bound(axis.slots.begin(),
+                                         axis.slots.end(), slot_end) -
+                        axis.slots.begin();
+      // Count only the newly-covered margins.
+      size_t prev_lo = window_init[h] ? window_lo[h] : lo;
+      size_t prev_hi = window_init[h] ? window_hi[h] : lo;
+      if (!window_init[h]) {
+        prev_lo = prev_hi = lo;  // Empty previous window at this spot.
+        window_init[h] = true;
+      }
+      auto count_range = [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const ItemId id = axis.items[i];
+          if (stats != nullptr) ++stats->count_updates;
+          if (++counts[id] >= collision_threshold_ && !emitted[id]) {
+            emitted[id] = true;
+            out.push_back(id);
+          }
+        }
+      };
+      count_range(lo, prev_lo);
+      count_range(prev_hi, hi);
+      window_lo[h] = std::min(lo, prev_lo);
+      window_hi[h] = std::max(hi, prev_hi);
+    }
+    if (out.size() >= max_candidates) break;
+    // Termination: the bi-directional windows are nested and bounded by
+    // the slot range, so once every axis covers all items nothing more
+    // can be counted.
+    bool all_covered = true;
+    for (int h = 0; h < m; ++h) {
+      if (window_hi[h] - window_lo[h] < num_items_) {
+        all_covered = false;
+        break;
+      }
+    }
+    if (all_covered) break;
+    if (level > (int64_t{1} << 60)) break;  // Defensive bound.
+  }
+  return out;
+}
+
+}  // namespace gqr

@@ -1,0 +1,71 @@
+// C2LSH (Gan-Feng-Fang-Ng, SIGMOD'12): collision-counting LSH — one of
+// the related-work querying schemes of paper §7 ("uses only one hash
+// value for each hash table and dynamically expands the search space
+// bi-directionally from c(q)").
+//
+// m independent p-stable hash functions produce integer slot codes. An
+// item is a candidate once it collides with the query on at least
+// `collision_threshold` of the m functions, where a collision at
+// *level* c means the two slots fall into the same width-(c*w) super
+// slot (virtual rehashing). The search starts at level 1 and doubles the
+// level until enough candidates are collected — expanding each hash
+// axis bi-directionally around the query.
+#ifndef GQR_CORE_C2LSH_H_
+#define GQR_CORE_C2LSH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "hash/e2lsh.h"
+
+namespace gqr {
+
+struct C2lshOptions {
+  /// Number of hash functions m (C2LSH uses O(log n); tens suffice at
+  /// the scales here).
+  int num_hashes = 32;
+  /// Collisions required before an item becomes a candidate, as a
+  /// fraction of m (the paper's alpha*m).
+  double collision_fraction = 0.5;
+  /// Slot width of the base hash functions; 0 = auto-calibrated.
+  double bucket_width = 0.0;
+  uint64_t seed = 42;
+};
+
+class C2lshIndex {
+ public:
+  C2lshIndex(const Dataset& base, const C2lshOptions& options);
+
+  struct ProbeStats {
+    int final_level = 0;
+    size_t count_updates = 0;  // Collision-counter increments.
+  };
+
+  /// Returns at least max_candidates candidate ids (or every item that
+  /// ever crosses the collision threshold), in the order they crossed
+  /// the threshold — which approximates ascending distance. stats may be
+  /// null.
+  std::vector<ItemId> Collect(const float* query, size_t max_candidates,
+                              ProbeStats* stats) const;
+
+  int num_hashes() const { return static_cast<int>(axes_.size()); }
+  size_t num_items() const { return num_items_; }
+
+ private:
+  /// One p-stable hash axis: items sorted by slot for range scans.
+  struct Axis {
+    std::vector<int64_t> slots;   // Sorted.
+    std::vector<ItemId> items;    // Parallel to slots.
+  };
+
+  // A single E2LSH hasher supplies all m projections.
+  E2lshHasher hasher_;
+  std::vector<Axis> axes_;
+  size_t num_items_ = 0;
+  int collision_threshold_;
+};
+
+}  // namespace gqr
+
+#endif  // GQR_CORE_C2LSH_H_

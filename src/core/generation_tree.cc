@@ -1,0 +1,50 @@
+#include "core/generation_tree.h"
+
+#include <array>
+#include <cassert>
+#include <mutex>
+
+namespace gqr {
+
+GenerationTree::GenerationTree(int m, size_t max_nodes) : m_(m) {
+  assert(m >= 1 && m <= 63);
+  // Full tree size is 2^m - 1 (every non-zero sorted flipping vector).
+  const size_t full =
+      m >= 60 ? max_nodes : std::min(max_nodes, (size_t{1} << m) - 1);
+  nodes_.reserve(full);
+  nodes_.push_back(Node{uint64_t{1}, 0, kInvalidNode, kInvalidNode});
+  // BFS: children are appended in pop order, so the array is level-ordered
+  // and the first `size()` nodes are exactly the shallowest ones.
+  for (size_t i = 0; i < nodes_.size() && nodes_.size() < full; ++i) {
+    // Note: nodes_[i] may be reallocated by push_back; copy first.
+    Node parent = nodes_[i];
+    if (parent.rightmost + 1 >= m_) continue;
+    const int j = parent.rightmost;
+    {
+      const auto child = static_cast<uint32_t>(nodes_.size());
+      nodes_[i].append_child = child;
+      nodes_.push_back(Node{parent.mask | (uint64_t{1} << (j + 1)), j + 1,
+                            kInvalidNode, kInvalidNode});
+      if (nodes_.size() >= full) break;
+    }
+    {
+      const auto child = static_cast<uint32_t>(nodes_.size());
+      nodes_[i].swap_child = child;
+      nodes_.push_back(Node{
+          (parent.mask ^ (uint64_t{1} << j)) | (uint64_t{1} << (j + 1)),
+          j + 1, kInvalidNode, kInvalidNode});
+    }
+  }
+  complete_ = m_ < 60 && nodes_.size() == (size_t{1} << m_) - 1;
+}
+
+const GenerationTree& GenerationTree::Shared(int m) {
+  assert(m >= 1 && m <= 63);
+  static std::array<const GenerationTree*, 64> cache{};
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  if (cache[m] == nullptr) cache[m] = new GenerationTree(m);
+  return *cache[m];
+}
+
+}  // namespace gqr

@@ -1,0 +1,60 @@
+// The shared generation tree of paper §5.3.
+//
+// The Append/Swap tree over sorted flipping vectors (Definition 4) has a
+// *query-independent structure*: node masks and parent/child links only
+// depend on the code length m, while a query only changes the QD values
+// attached to nodes. The paper notes that the tree can therefore be
+// precomputed once, with flipping vectors coded as integers in an array,
+// so probing fetches children by index instead of recomputing Append and
+// Swap. This class is that array; GqrProber can run against it (see
+// GqrProber's use_shared_tree option) and bench/micro_core measures the
+// difference.
+//
+// Nodes are stored in BFS order from the root v^r = (1, 0, ..., 0).
+// A full tree has 2^m - 1 nodes, so materialization is capped; probers
+// fall back to on-the-fly Append/Swap past the cap (deep nodes are only
+// reached at extreme probe depths).
+#ifndef GQR_CORE_GENERATION_TREE_H_
+#define GQR_CORE_GENERATION_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gqr {
+
+class GenerationTree {
+ public:
+  static constexpr uint32_t kInvalidNode = 0xffffffffu;
+
+  struct Node {
+    uint64_t mask;          // Sorted flipping vector.
+    int rightmost;          // Index of the highest set bit of mask.
+    uint32_t append_child;  // kInvalidNode when absent/not materialized.
+    uint32_t swap_child;
+  };
+
+  /// Builds the tree for code length m, materializing at most max_nodes
+  /// nodes (BFS order guarantees the shallowest — i.e. first-probed —
+  /// nodes are always in the array).
+  explicit GenerationTree(int m, size_t max_nodes = size_t{1} << 18);
+
+  int code_length() const { return m_; }
+  size_t size() const { return nodes_.size(); }
+  const Node& node(uint32_t idx) const { return nodes_[idx]; }
+  /// True when every node of the full tree is materialized.
+  bool complete() const { return complete_; }
+
+  /// Process-wide shared instance per code length (the paper's "common
+  /// to all queries" usage). Thread-safe; built on first use.
+  static const GenerationTree& Shared(int m);
+
+ private:
+  int m_;
+  bool complete_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace gqr
+
+#endif  // GQR_CORE_GENERATION_TREE_H_

@@ -1,0 +1,102 @@
+#include "core/gqr_prober.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace gqr {
+
+GqrProber::GqrProber(const QueryHashInfo& info, uint32_t table,
+                     const GenerationTree* tree)
+    : table_(table),
+      m_(info.code_length()),
+      tree_(tree),
+      query_code_(info.code) {
+  assert(m_ >= 1 && m_ <= 64);
+  assert(tree == nullptr || tree->code_length() == m_);
+  // Sorted projected vector (Definition 3): sort |p_i(q)| ascending and
+  // remember the mapping back to original bit positions.
+  perm_.resize(m_);
+  std::iota(perm_.begin(), perm_.end(), 0);
+  std::sort(perm_.begin(), perm_.end(), [&](int a, int b) {
+    if (info.flip_costs[a] != info.flip_costs[b]) {
+      return info.flip_costs[a] < info.flip_costs[b];
+    }
+    return a < b;
+  });
+  sorted_costs_.resize(m_);
+  for (int s = 0; s < m_; ++s) sorted_costs_[s] = info.flip_costs[perm_[s]];
+}
+
+Code GqrProber::BucketForMask(uint64_t mask) const {
+  Code bucket = query_code_;
+  while (mask != 0) {
+    const int s = LowestSetBit(mask);
+    bucket = FlipBit(bucket, perm_[s]);
+    mask &= mask - 1;
+  }
+  return bucket;
+}
+
+void GqrProber::Expand(const Entry& top) {
+  if (top.rightmost + 1 >= m_) return;  // Leaf: no Append/Swap.
+  const int j = top.rightmost;
+  const double append_qd = top.qd + sorted_costs_[j + 1];
+  const double swap_qd =
+      top.qd + sorted_costs_[j + 1] - sorted_costs_[j];
+  if (tree_ != nullptr && top.node != GenerationTree::kInvalidNode) {
+    // §5.3 shared tree: children come from the precomputed array; only
+    // past the materialized frontier do we compute Append/Swap.
+    const GenerationTree::Node& node = tree_->node(top.node);
+    if (node.append_child != GenerationTree::kInvalidNode) {
+      const GenerationTree::Node& child = tree_->node(node.append_child);
+      heap_.push(Entry{append_qd, child.mask, child.rightmost,
+                       node.append_child});
+    } else {
+      heap_.push(Entry{append_qd, top.mask | (uint64_t{1} << (j + 1)),
+                       j + 1, GenerationTree::kInvalidNode});
+    }
+    if (node.swap_child != GenerationTree::kInvalidNode) {
+      const GenerationTree::Node& child = tree_->node(node.swap_child);
+      heap_.push(
+          Entry{swap_qd, child.mask, child.rightmost, node.swap_child});
+    } else {
+      heap_.push(Entry{swap_qd,
+                       (top.mask ^ (uint64_t{1} << j)) |
+                           (uint64_t{1} << (j + 1)),
+                       j + 1, GenerationTree::kInvalidNode});
+    }
+    return;
+  }
+  heap_.push(Entry{append_qd, top.mask | (uint64_t{1} << (j + 1)), j + 1,
+                   GenerationTree::kInvalidNode});
+  heap_.push(Entry{swap_qd,
+                   (top.mask ^ (uint64_t{1} << j)) |
+                       (uint64_t{1} << (j + 1)),
+                   j + 1, GenerationTree::kInvalidNode});
+}
+
+bool GqrProber::Next(ProbeTarget* target) {
+  if (!emitted_root_) {
+    // Iteration 1 of Algorithm 2/4: probe the query's own bucket (the
+    // all-zero flipping vector) and seed the heap with v^r = (1,0,...,0),
+    // which is node 0 of the shared generation tree.
+    emitted_root_ = true;
+    heap_.push(Entry{sorted_costs_[0], uint64_t{1}, 0,
+                     tree_ != nullptr ? 0 : GenerationTree::kInvalidNode});
+    last_qd_ = 0.0;
+    target->table = table_;
+    target->bucket = query_code_;
+    return true;
+  }
+  if (heap_.empty()) return false;
+  const Entry top = heap_.top();
+  heap_.pop();
+  Expand(top);
+  last_qd_ = top.qd;
+  target->table = table_;
+  target->bucket = BucketForMask(top.mask);
+  return true;
+}
+
+}  // namespace gqr

@@ -1,0 +1,35 @@
+#include "core/hr_prober.h"
+
+namespace gqr {
+
+HrProber::HrProber(const QueryHashInfo& info, const StaticHashTable& table,
+                   uint32_t table_id)
+    : table_id_(table_id) {
+  const int m = table.code_length();
+  // Bucket sort: one bin per Hamming distance 0..m.
+  std::vector<std::vector<Code>> bins(m + 1);
+  for (Code code : table.bucket_codes()) {
+    bins[HammingDistance(info.code, code)].push_back(code);
+  }
+  order_.reserve(table.num_buckets());
+  distances_.reserve(table.num_buckets());
+  for (int d = 0; d <= m; ++d) {
+    // bucket_codes() is ascending, so bins preserve a deterministic
+    // within-distance order ("ties are broken arbitrarily" in the paper).
+    for (Code code : bins[d]) {
+      order_.push_back(code);
+      distances_.push_back(d);
+    }
+  }
+}
+
+bool HrProber::Next(ProbeTarget* target) {
+  if (pos_ >= order_.size()) return false;
+  last_distance_ = static_cast<double>(distances_[pos_]);
+  target->table = table_id_;
+  target->bucket = order_[pos_];
+  ++pos_;
+  return true;
+}
+
+}  // namespace gqr

@@ -1,0 +1,36 @@
+// HR: Hamming ranking (paper §2.2) — the default querying method of
+// existing L2H work and the paper's main baseline.
+//
+// Sorts all non-empty buckets by Hamming distance to the query's code
+// (bucket sort over the m+1 possible distances, the O(B) retrieval the
+// paper credits HR with) and probes in that order, ties broken by code.
+#ifndef GQR_CORE_HR_PROBER_H_
+#define GQR_CORE_HR_PROBER_H_
+
+#include <vector>
+
+#include "core/prober.h"
+#include "hash/binary_hasher.h"
+#include "index/hash_table.h"
+
+namespace gqr {
+
+class HrProber : public BucketProber {
+ public:
+  HrProber(const QueryHashInfo& info, const StaticHashTable& table,
+           uint32_t table_id = 0);
+
+  bool Next(ProbeTarget* target) override;
+  double last_score() const override { return last_distance_; }
+
+ private:
+  uint32_t table_id_;
+  std::vector<Code> order_;  // Ascending Hamming distance.
+  std::vector<int> distances_;
+  size_t pos_ = 0;
+  double last_distance_ = 0.0;
+};
+
+}  // namespace gqr
+
+#endif  // GQR_CORE_HR_PROBER_H_

@@ -1,0 +1,26 @@
+#include "core/qd.h"
+
+#include <cmath>
+
+namespace gqr {
+
+double QuantizationDistance(const QueryHashInfo& info, Code bucket) {
+  Code diff = info.code ^ bucket;
+  double qd = 0.0;
+  while (diff != 0) {
+    const int i = LowestSetBit(diff);
+    qd += info.flip_costs[i];
+    diff &= diff - 1;  // Clear the lowest set bit.
+  }
+  return qd;
+}
+
+double TheoremTwoMu(const ProjectionHasher& hasher) {
+  const Matrix h = hasher.HashingMatrix();
+  if (h.empty()) return 0.0;
+  const double sigma_max = h.SpectralNorm();
+  if (sigma_max <= 0.0) return 0.0;
+  return 1.0 / (sigma_max * std::sqrt(static_cast<double>(h.rows())));
+}
+
+}  // namespace gqr

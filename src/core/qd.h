@@ -1,0 +1,24 @@
+// Quantization distance (Definition 1) and the Theorem 2 lower-bound
+// constant.
+#ifndef GQR_CORE_QD_H_
+#define GQR_CORE_QD_H_
+
+#include "hash/binary_hasher.h"
+#include "hash/projection_hasher.h"
+#include "util/bits.h"
+
+namespace gqr {
+
+/// QD(q, b) = sum_i (c_i(q) XOR b_i) * flip_cost_i — the minimum total
+/// flipping cost to requantize the query into bucket `bucket`.
+double QuantizationDistance(const QueryHashInfo& info, Code bucket);
+
+/// Theorem 2's scaling factor mu = 1 / (M sqrt(m)), where
+/// M = sigma_max(H) is the spectral norm of the hashing matrix: for any
+/// item o in bucket b, ||o - q|| >= mu * QD(q, b). Returns 0 (no usable
+/// bound) when the hasher has no affine hashing matrix or M = 0.
+double TheoremTwoMu(const ProjectionHasher& hasher);
+
+}  // namespace gqr
+
+#endif  // GQR_CORE_QD_H_

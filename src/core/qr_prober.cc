@@ -1,0 +1,33 @@
+#include "core/qr_prober.h"
+
+#include <algorithm>
+
+#include "core/qd.h"
+
+namespace gqr {
+
+QrProber::QrProber(const QueryHashInfo& info, const StaticHashTable& table,
+                   uint32_t table_id)
+    : table_id_(table_id) {
+  // Algorithm 1 line 4: calculate QD for all buckets and sort.
+  order_.reserve(table.num_buckets());
+  for (Code code : table.bucket_codes()) {
+    order_.push_back({QuantizationDistance(info, code), code});
+  }
+  std::sort(order_.begin(), order_.end(),
+            [](const Scored& a, const Scored& b) {
+              if (a.qd != b.qd) return a.qd < b.qd;
+              return a.bucket < b.bucket;
+            });
+}
+
+bool QrProber::Next(ProbeTarget* target) {
+  if (pos_ >= order_.size()) return false;
+  last_qd_ = order_[pos_].qd;
+  target->table = table_id_;
+  target->bucket = order_[pos_].bucket;
+  ++pos_;
+  return true;
+}
+
+}  // namespace gqr

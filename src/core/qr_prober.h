@@ -1,0 +1,40 @@
+// QR: quantization-distance ranking (paper §4.2, Algorithm 1).
+//
+// Computes QD for every *non-empty* bucket of the table upfront, sorts,
+// and probes in ascending order. Semantically what GQR produces, but
+// pays the full O(B log B) sort before the first probe — the "slow
+// start" GQR exists to remove. Kept as the reference implementation and
+// for the Figure 6 comparison.
+#ifndef GQR_CORE_QR_PROBER_H_
+#define GQR_CORE_QR_PROBER_H_
+
+#include <vector>
+
+#include "core/prober.h"
+#include "hash/binary_hasher.h"
+#include "index/hash_table.h"
+
+namespace gqr {
+
+class QrProber : public BucketProber {
+ public:
+  QrProber(const QueryHashInfo& info, const StaticHashTable& table,
+           uint32_t table_id = 0);
+
+  bool Next(ProbeTarget* target) override;
+  double last_score() const override { return last_qd_; }
+
+ private:
+  struct Scored {
+    double qd;
+    Code bucket;
+  };
+  uint32_t table_id_;
+  std::vector<Scored> order_;  // Ascending QD.
+  size_t pos_ = 0;
+  double last_qd_ = 0.0;
+};
+
+}  // namespace gqr
+
+#endif  // GQR_CORE_QR_PROBER_H_

@@ -1,0 +1,179 @@
+#include "core/searcher.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+#include "la/vector_ops.h"
+
+namespace gqr {
+
+namespace {
+
+// Bounded top-k by exact distance. Keeps a max-heap of size k; the root
+// is the running k-th best, which doubles as the early-stop threshold.
+class TopK {
+ public:
+  explicit TopK(size_t k) : k_(k) {}
+
+  void Offer(float distance, ItemId id) {
+    if (heap_.size() < k_) {
+      heap_.emplace(distance, id);
+    } else if (distance < heap_.top().first) {
+      heap_.pop();
+      heap_.emplace(distance, id);
+    }
+  }
+
+  bool full() const { return heap_.size() >= k_; }
+  float worst() const { return heap_.top().first; }
+
+  void Drain(std::vector<ItemId>* ids, std::vector<float>* distances) {
+    ids->resize(heap_.size());
+    distances->resize(heap_.size());
+    for (size_t i = heap_.size(); i-- > 0;) {
+      (*ids)[i] = heap_.top().second;
+      (*distances)[i] = heap_.top().first;
+      heap_.pop();
+    }
+  }
+
+ private:
+  size_t k_;
+  std::priority_queue<std::pair<float, ItemId>> heap_;
+};
+
+inline float EvalDistance(const float* a, const float* b, size_t dim,
+                          Metric metric) {
+  return metric == Metric::kEuclidean ? L2Distance(a, b, dim)
+                                      : CosineDistance(a, b, dim);
+}
+
+}  // namespace
+
+template <typename ProbeFn>
+SearchResult Searcher::SearchImpl(const float* query, BucketProber* prober,
+                                  const SearchOptions& options,
+                                  size_t num_tables, ProbeFn probe) const {
+  assert(options.k > 0);
+  SearchResult result;
+  TopK top(options.k);
+  // De-duplication across tables; a single table partitions the items so
+  // no bitmap is needed.
+  std::vector<bool> seen;
+  if (num_tables > 1) seen.assign(base_->size(), false);
+
+  ProbeTarget target;
+  while (prober->Next(&target)) {
+    ++result.stats.buckets_probed;
+    std::span<const ItemId> items = probe(target);
+    if (!items.empty()) ++result.stats.buckets_nonempty;
+    for (ItemId id : items) {
+      if (num_tables > 1) {
+        if (seen[id]) {
+          ++result.stats.duplicates_skipped;
+          continue;
+        }
+        seen[id] = true;
+      }
+      const float d = EvalDistance(base_->Row(id), query, base_->dim(),
+                                   options.metric);
+      ++result.stats.items_evaluated;
+      top.Offer(d, id);
+    }
+    if (options.max_candidates != 0 &&
+        result.stats.items_evaluated >= options.max_candidates) {
+      break;
+    }
+    if (options.max_buckets != 0 &&
+        result.stats.buckets_probed >= options.max_buckets) {
+      break;
+    }
+    // Early stop of §4.1: all remaining buckets have score >= last_score,
+    // and mu * QD lower-bounds the true distance of their items.
+    if (options.early_stop_mu > 0.0 && top.full() &&
+        options.early_stop_mu * prober->last_score() >= top.worst()) {
+      result.stats.early_stopped = true;
+      break;
+    }
+  }
+  top.Drain(&result.ids, &result.distances);
+  return result;
+}
+
+SearchResult Searcher::Search(const float* query, BucketProber* prober,
+                              const StaticHashTable& table,
+                              const SearchOptions& options) const {
+  return SearchImpl(query, prober, options, /*num_tables=*/1,
+                    [&](const ProbeTarget& t) { return table.Probe(t.bucket); });
+}
+
+SearchResult Searcher::Search(const float* query, BucketProber* prober,
+                              const DynamicHashTable& table,
+                              const SearchOptions& options) const {
+  return SearchImpl(query, prober, options, /*num_tables=*/1,
+                    [&](const ProbeTarget& t) { return table.Probe(t.bucket); });
+}
+
+SearchResult Searcher::Search(const float* query, BucketProber* prober,
+                              const MultiTableIndex& index,
+                              const SearchOptions& options) const {
+  return SearchImpl(query, prober, options, index.num_tables(),
+                    [&](const ProbeTarget& t) {
+                      return index.table(t.table).Probe(t.bucket);
+                    });
+}
+
+SearchResult Searcher::RangeSearch(const float* query, BucketProber* prober,
+                                   const StaticHashTable& table,
+                                   float radius, double mu) const {
+  SearchResult result;
+  std::vector<std::pair<float, ItemId>> hits;
+  ProbeTarget target;
+  while (prober->Next(&target)) {
+    ++result.stats.buckets_probed;
+    std::span<const ItemId> items = table.Probe(target.bucket);
+    if (!items.empty()) ++result.stats.buckets_nonempty;
+    for (ItemId id : items) {
+      const float d = L2Distance(base_->Row(id), query, base_->dim());
+      ++result.stats.items_evaluated;
+      if (d <= radius) hits.emplace_back(d, id);
+    }
+    // Distance-threshold stop of §4.1: every unprobed bucket b has
+    // QD >= last_score, and items in b are at distance >= mu * QD(b).
+    if (mu > 0.0 && mu * prober->last_score() >= radius) {
+      result.stats.early_stopped = true;
+      break;
+    }
+  }
+  std::sort(hits.begin(), hits.end());
+  result.ids.reserve(hits.size());
+  result.distances.reserve(hits.size());
+  for (const auto& [d, id] : hits) {
+    result.ids.push_back(id);
+    result.distances.push_back(d);
+  }
+  return result;
+}
+
+SearchResult Searcher::RerankCandidates(const float* query,
+                                        const std::vector<ItemId>& candidates,
+                                        const SearchOptions& options) const {
+  SearchResult result;
+  TopK top(options.k);
+  for (ItemId id : candidates) {
+    const float d =
+        EvalDistance(base_->Row(id), query, base_->dim(), options.metric);
+    ++result.stats.items_evaluated;
+    top.Offer(d, id);
+    if (options.max_candidates != 0 &&
+        result.stats.items_evaluated >= options.max_candidates) {
+      break;
+    }
+  }
+  top.Drain(&result.ids, &result.distances);
+  return result;
+}
+
+}  // namespace gqr

@@ -1,0 +1,117 @@
+// Searcher: the retrieval + evaluation loop shared by every querying
+// method (Algorithm 1/2's candidate collection and rerank).
+//
+// The Searcher consumes any BucketProber, fetches the items of each
+// probed bucket from the index, evaluates their exact distances to the
+// query with a bounded max-heap of size k, and returns the top-k. Stop
+// criteria follow the paper: a candidate budget N (the default), an
+// optional bucket budget, and the optional QD-based early stop of §4.1
+// (stop once mu * score of the current bucket can no longer beat the
+// running k-th nearest distance).
+#ifndef GQR_CORE_SEARCHER_H_
+#define GQR_CORE_SEARCHER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/prober.h"
+#include "data/dataset.h"
+#include "index/dynamic_table.h"
+#include "index/hash_table.h"
+#include "index/multi_table.h"
+
+namespace gqr {
+
+/// Distance metric for the final rerank.
+enum class Metric {
+  kEuclidean,
+  kAngular,  // 1 - cosine; for the angular-QD extension.
+};
+
+struct SearchOptions {
+  /// Number of neighbors to return.
+  size_t k = 20;
+  /// Candidate budget N of Algorithms 1-2: stop once this many items have
+  /// been evaluated. 0 means unlimited (probe everything the prober
+  /// emits).
+  size_t max_candidates = 1000;
+  /// Optional cap on probed buckets (0 = unlimited).
+  size_t max_buckets = 0;
+  /// Theorem 2 constant for early stop; 0 disables. When > 0 the search
+  /// stops as soon as k results are held and mu * last_score >= current
+  /// k-th distance (sound because probers emit non-decreasing scores and
+  /// mu * QD lower-bounds the true distance).
+  double early_stop_mu = 0.0;
+  Metric metric = Metric::kEuclidean;
+};
+
+struct SearchStats {
+  size_t buckets_probed = 0;     // Prober emissions consumed.
+  size_t buckets_nonempty = 0;   // ... of which existed in the table.
+  size_t items_evaluated = 0;    // Exact distance computations.
+  size_t duplicates_skipped = 0; // Multi-table only.
+  bool early_stopped = false;
+};
+
+struct SearchResult {
+  /// Approximate k-NN ids, ascending by exact distance.
+  std::vector<ItemId> ids;
+  /// Exact distances, parallel to ids.
+  std::vector<float> distances;
+  SearchStats stats;
+};
+
+class Searcher {
+ public:
+  /// The searcher borrows the base set; it must outlive the searcher.
+  explicit Searcher(const Dataset& base) : base_(&base) {}
+
+  /// Single-table search: probes `table` in the prober's order.
+  SearchResult Search(const float* query, BucketProber* prober,
+                      const StaticHashTable& table,
+                      const SearchOptions& options) const;
+
+  /// Multi-table search: ProbeTarget::table selects the table; items seen
+  /// in an earlier table are de-duplicated.
+  SearchResult Search(const float* query, BucketProber* prober,
+                      const MultiTableIndex& index,
+                      const SearchOptions& options) const;
+
+  /// Search over a mutable index (streaming ingest/delete). Only
+  /// generate-to-probe probers (GQR/GHR) apply — HR/QR need the bucket
+  /// list of a frozen table.
+  SearchResult Search(const float* query, BucketProber* prober,
+                      const DynamicHashTable& table,
+                      const SearchOptions& options) const;
+
+  /// Reranks an explicit candidate list (used by the MIH and IMI paths,
+  /// which generate candidates rather than buckets).
+  SearchResult RerankCandidates(const float* query,
+                                const std::vector<ItemId>& candidates,
+                                const SearchOptions& options) const;
+
+  /// Range search (§4.1's distance-threshold early stop): returns every
+  /// probed item within Euclidean `radius` of the query, ascending by
+  /// distance. With mu > 0 (the Theorem 2 constant of the prober's
+  /// hasher) probing stops once mu * score >= radius — and because
+  /// mu * QD lower-bounds the distance to every item of every unprobed
+  /// bucket, the result is then *exact*: no in-range item is missed.
+  /// With mu == 0 the prober is exhausted (still exact, just slower).
+  SearchResult RangeSearch(const float* query, BucketProber* prober,
+                           const StaticHashTable& table, float radius,
+                           double mu) const;
+
+  const Dataset& base() const { return *base_; }
+
+ private:
+  template <typename ProbeFn>
+  SearchResult SearchImpl(const float* query, BucketProber* prober,
+                          const SearchOptions& options, size_t num_tables,
+                          ProbeFn probe) const;
+
+  const Dataset* base_;
+};
+
+}  // namespace gqr
+
+#endif  // GQR_CORE_SEARCHER_H_

@@ -1,0 +1,78 @@
+#include "core/sklsh.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace gqr {
+
+namespace {
+
+E2lshHasher MakeHasher(const Dataset& base, const SklshOptions& options) {
+  E2lshOptions opt;
+  opt.num_hashes = options.num_hashes;
+  opt.bucket_width = options.bucket_width;
+  opt.expected_per_bucket = 10.0;
+  opt.seed = options.seed;
+  return TrainE2lsh(base, opt);
+}
+
+}  // namespace
+
+SklshIndex::SklshIndex(const Dataset& base, const SklshOptions& options)
+    : hasher_(MakeHasher(base, options)) {
+  std::vector<IntCode> codes = hasher_.HashDataset(base);
+  std::vector<uint32_t> order(base.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return codes[a] < codes[b];  // Lexicographic compound-key order.
+  });
+  order_.resize(base.size());
+  keys_.resize(base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    order_[i] = static_cast<ItemId>(order[i]);
+    keys_[i] = std::move(codes[order[i]]);
+  }
+}
+
+int SklshIndex::CommonPrefix(const IntCode& a, const IntCode& b) const {
+  const int m = static_cast<int>(a.size());
+  for (int i = 0; i < m; ++i) {
+    if (a[i] != b[i]) return i;
+  }
+  return m;
+}
+
+std::vector<ItemId> SklshIndex::Collect(const float* query,
+                                        size_t max_candidates) const {
+  std::vector<ItemId> out;
+  if (max_candidates == 0 || order_.empty()) return out;
+  out.reserve(std::min(max_candidates, order_.size()));
+  const IntCode q_key = hasher_.HashQuery(query).code;
+
+  // Position of the query in the compound-key order.
+  const size_t pos =
+      std::lower_bound(keys_.begin(), keys_.end(), q_key) - keys_.begin();
+
+  // Bi-directional merge preferring the side with the longer common
+  // prefix (ties go right, which holds keys >= the query's).
+  size_t left = pos;               // Next to take on the left: left - 1.
+  size_t right = pos;              // Next to take on the right: right.
+  while (out.size() < max_candidates &&
+         (left > 0 || right < order_.size())) {
+    const int lcp_left =
+        left > 0 ? CommonPrefix(q_key, keys_[left - 1]) : -1;
+    const int lcp_right =
+        right < order_.size() ? CommonPrefix(q_key, keys_[right]) : -1;
+    if (lcp_right >= lcp_left) {
+      out.push_back(order_[right]);
+      ++right;
+    } else {
+      --left;
+      out.push_back(order_[left]);
+    }
+  }
+  return out;
+}
+
+}  // namespace gqr

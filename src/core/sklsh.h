@@ -1,0 +1,55 @@
+// SK-LSH (Liu-Cui-Huang-Li-Shen, VLDB'14) — the last related-work
+// querying scheme of paper §7: "LSB-tree and SK-LSH probe buckets
+// sharing the longest common prefix with c(q) at first".
+//
+// Items are ordered by a *compound key*: the concatenation of their m
+// integer LSH slot values, compared lexicographically (the linear order
+// SK-LSH sorts its index pages by). A query probes outward from its own
+// position in that order, bi-directionally, preferring the side whose
+// next key shares the longer common prefix with the query's key — so
+// buckets with long shared prefixes are visited first. This captures
+// SK-LSH's in-memory essence (the original targets external memory,
+// where the linear order maps to disk pages).
+#ifndef GQR_CORE_SKLSH_H_
+#define GQR_CORE_SKLSH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "hash/e2lsh.h"
+
+namespace gqr {
+
+struct SklshOptions {
+  /// Hash functions forming the compound key (most-significant first).
+  int num_hashes = 8;
+  double bucket_width = 0.0;  // 0 = auto-calibrated by TrainE2lsh.
+  uint64_t seed = 42;
+};
+
+class SklshIndex {
+ public:
+  SklshIndex(const Dataset& base, const SklshOptions& options);
+
+  /// Collects up to max_candidates item ids by bi-directional expansion
+  /// from the query's position in the compound-key order, longest
+  /// common prefix first.
+  std::vector<ItemId> Collect(const float* query,
+                              size_t max_candidates) const;
+
+  size_t num_items() const { return order_.size(); }
+  int num_hashes() const { return hasher_.num_hashes(); }
+
+ private:
+  /// Length of the common prefix (in whole slots) of two compound keys.
+  int CommonPrefix(const IntCode& a, const IntCode& b) const;
+
+  E2lshHasher hasher_;
+  std::vector<ItemId> order_;     // Items sorted by compound key.
+  std::vector<IntCode> keys_;     // keys_[i] = key of order_[i].
+};
+
+}  // namespace gqr
+
+#endif  // GQR_CORE_SKLSH_H_

@@ -1,0 +1,43 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gqr {
+
+std::pair<Dataset, Dataset> Dataset::SplitQueries(size_t num_queries,
+                                                  Rng* rng) const {
+  assert(num_queries <= n_);
+  std::vector<uint32_t> picks = rng->SampleWithoutReplacement(
+      static_cast<uint32_t>(n_), static_cast<uint32_t>(num_queries));
+  std::vector<bool> is_query(n_, false);
+  for (uint32_t p : picks) is_query[p] = true;
+
+  Dataset queries(num_queries, dim_);
+  Dataset base(n_ - num_queries, dim_);
+  size_t qi = 0, bi = 0;
+  for (size_t i = 0; i < n_; ++i) {
+    const float* src = Row(static_cast<ItemId>(i));
+    float* dst = is_query[i] ? queries.MutableRow(static_cast<ItemId>(qi++))
+                             : base.MutableRow(static_cast<ItemId>(bi++));
+    std::copy(src, src + dim_, dst);
+  }
+  return {std::move(base), std::move(queries)};
+}
+
+Dataset Dataset::Gather(const std::vector<ItemId>& ids) const {
+  Dataset out(ids.size(), dim_);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const float* src = Row(ids[i]);
+    std::copy(src, src + dim_, out.MutableRow(static_cast<ItemId>(i)));
+  }
+  return out;
+}
+
+std::string Dataset::Summary() const {
+  std::ostringstream os;
+  os << "Dataset(n=" << n_ << ", dim=" << dim_ << ")";
+  return os.str();
+}
+
+}  // namespace gqr

@@ -1,0 +1,72 @@
+// Dataset: an immutable, contiguous collection of float descriptors.
+#ifndef GQR_DATA_DATASET_H_
+#define GQR_DATA_DATASET_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/random.h"
+
+namespace gqr {
+
+/// Item identifier inside a Dataset (row index).
+using ItemId = uint32_t;
+
+/// A row-major n x dim array of float descriptors.
+///
+/// This is the substrate every index and learner is built on: items and
+/// queries are rows, identified by their row index. Storage is one
+/// contiguous allocation so distance kernels stream linearly.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// n x dim with all-zero rows.
+  Dataset(size_t n, size_t dim) : n_(n), dim_(dim), data_(n * dim, 0.f) {}
+
+  /// Takes ownership of row-major data; data.size() must equal n * dim.
+  Dataset(size_t n, size_t dim, std::vector<float> data)
+      : n_(n), dim_(dim), data_(std::move(data)) {
+    assert(data_.size() == n_ * dim_);
+  }
+
+  size_t size() const { return n_; }
+  size_t dim() const { return dim_; }
+  bool empty() const { return n_ == 0; }
+
+  const float* Row(ItemId i) const {
+    assert(i < n_);
+    return data_.data() + static_cast<size_t>(i) * dim_;
+  }
+  float* MutableRow(ItemId i) {
+    assert(i < n_);
+    return data_.data() + static_cast<size_t>(i) * dim_;
+  }
+
+  const float* data() const { return data_.data(); }
+
+  /// Splits off `num_queries` uniformly sampled rows into a query set,
+  /// returning {base, queries}. The base keeps the remaining rows (in
+  /// original order); useful to carve held-out queries from one file.
+  std::pair<Dataset, Dataset> SplitQueries(size_t num_queries,
+                                           Rng* rng) const;
+
+  /// Rows at the given indices as a new dataset.
+  Dataset Gather(const std::vector<ItemId>& ids) const;
+
+  /// "n=... dim=..." summary for logs.
+  std::string Summary() const;
+
+ private:
+  size_t n_ = 0;
+  size_t dim_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace gqr
+
+#endif  // GQR_DATA_DATASET_H_

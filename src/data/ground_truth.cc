@@ -1,0 +1,50 @@
+#include "data/ground_truth.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+#include "la/vector_ops.h"
+#include "util/parallel_for.h"
+
+namespace gqr {
+
+Neighbors BruteForceKnn(const Dataset& base, const float* query, size_t k) {
+  assert(k > 0 && k <= base.size());
+  // Bounded max-heap of (squared distance, id): the root is the worst of
+  // the current best k, evicted whenever something closer shows up.
+  using Entry = std::pair<float, ItemId>;
+  std::priority_queue<Entry> heap;
+  for (size_t i = 0; i < base.size(); ++i) {
+    const float sq =
+        SquaredL2(base.Row(static_cast<ItemId>(i)), query, base.dim());
+    if (heap.size() < k) {
+      heap.emplace(sq, static_cast<ItemId>(i));
+    } else if (sq < heap.top().first) {
+      heap.pop();
+      heap.emplace(sq, static_cast<ItemId>(i));
+    }
+  }
+  Neighbors out;
+  out.ids.resize(heap.size());
+  out.distances.resize(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    out.ids[i] = heap.top().second;
+    out.distances[i] = std::sqrt(heap.top().first);
+    heap.pop();
+  }
+  return out;
+}
+
+std::vector<Neighbors> ComputeGroundTruth(const Dataset& base,
+                                          const Dataset& queries, size_t k) {
+  assert(base.dim() == queries.dim());
+  std::vector<Neighbors> out(queries.size());
+  ParallelFor(0, queries.size(), [&](size_t q) {
+    out[q] = BruteForceKnn(base, queries.Row(static_cast<ItemId>(q)), k);
+  }, /*min_parallel=*/2);
+  return out;
+}
+
+}  // namespace gqr

@@ -1,0 +1,31 @@
+// Exact k-nearest-neighbor ground truth by parallel brute force.
+//
+// Recall — the paper's primary quality metric — is always measured against
+// this exact answer set.
+#ifndef GQR_DATA_GROUND_TRUTH_H_
+#define GQR_DATA_GROUND_TRUTH_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace gqr {
+
+/// One query's exact neighbors, ascending by distance.
+struct Neighbors {
+  std::vector<ItemId> ids;
+  std::vector<float> distances;  // Euclidean, parallel to ids.
+};
+
+/// Exact k-NN of every query row against the base set (Euclidean).
+/// Parallel over queries. Requires k <= base.size().
+std::vector<Neighbors> ComputeGroundTruth(const Dataset& base,
+                                          const Dataset& queries, size_t k);
+
+/// Exact k-NN of a single query (sequential); the building block used by
+/// the linear-scan baseline of Table 1.
+Neighbors BruteForceKnn(const Dataset& base, const float* query, size_t k);
+
+}  // namespace gqr
+
+#endif  // GQR_DATA_GROUND_TRUTH_H_

@@ -1,0 +1,67 @@
+// Synthetic descriptor generators.
+//
+// The paper evaluates on public image-descriptor datasets (CIFAR60K GIST,
+// GIST1M, TINY5M GIST, SIFT10M). Those files are not available offline, so
+// the benches run on synthetic *clustered Gaussian* descriptors with the
+// same dimensionality profiles and skewed cluster populations. What the
+// querying methods care about is (a) local similarity structure — nearby
+// items quantize to nearby codes — and (b) non-uniform bucket occupancy;
+// both are reproduced by this generator, so the relative behaviour of
+// HR/GHR/QR/GQR/MIH/IMI matches the paper even though absolute seconds
+// differ. See DESIGN.md §3.
+#ifndef GQR_DATA_SYNTHETIC_H_
+#define GQR_DATA_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace gqr {
+
+/// Parameters of the clustered-Gaussian generator.
+struct SyntheticSpec {
+  size_t n = 10000;
+  size_t dim = 32;
+  /// Number of Gaussian clusters; cluster populations follow a Zipf-like
+  /// power law with exponent zipf_exponent (0 = uniform sizes).
+  size_t num_clusters = 50;
+  double zipf_exponent = 0.8;
+  /// Cluster centers ~ N(0, center_scale^2) per dimension.
+  double center_scale = 10.0;
+  /// Within-cluster stddev is drawn per cluster and dimension from
+  /// U[0.5, 1.5] * cluster_stddev, giving anisotropic clusters so PCA
+  /// directions are informative.
+  double cluster_stddev = 1.0;
+  /// Shift + clamp all coordinates to be non-negative (SIFT/GIST
+  /// descriptors are non-negative histograms).
+  bool non_negative = false;
+  uint64_t seed = 42;
+};
+
+/// Generates a dataset per spec. Deterministic in spec.seed.
+Dataset GenerateClusteredGaussian(const SyntheticSpec& spec);
+
+/// A named synthetic stand-in for one of the paper's datasets.
+struct DatasetProfile {
+  std::string name;        // e.g. "CIFAR60K-like"
+  SyntheticSpec spec;
+  int code_length;         // m ~= log2(n / 10), the paper's default rule
+  size_t num_queries;
+};
+
+/// The four main evaluation datasets of the paper (Table 1), scaled down
+/// by default so that the full bench suite completes in minutes;
+/// `scale` multiplies item counts (code lengths follow log2(n/10)).
+std::vector<DatasetProfile> PaperDatasetProfiles(double scale = 1.0);
+
+/// The eight additional datasets of the appendix (Table 3), scaled.
+std::vector<DatasetProfile> AppendixDatasetProfiles(double scale = 1.0);
+
+/// Code length per the paper's rule m ~= log2(n / expected_per_bucket),
+/// clamped to [8, 40].
+int CodeLengthForSize(size_t n, double expected_per_bucket = 10.0);
+
+}  // namespace gqr
+
+#endif  // GQR_DATA_SYNTHETIC_H_

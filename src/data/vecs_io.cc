@@ -1,0 +1,129 @@
+#include "data/vecs_io.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace gqr {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+// Shared loader skeleton: reads (int32 dim, dim * element_size payload)
+// records and hands each payload to `consume`.
+template <typename ConsumeFn>
+Status ReadVecs(const std::string& path, size_t element_size,
+                size_t max_vectors, ConsumeFn consume) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path);
+
+  int32_t dim = 0;
+  size_t count = 0;
+  std::vector<char> buffer;
+  while (max_vectors == 0 || count < max_vectors) {
+    int32_t d = 0;
+    const size_t got = std::fread(&d, sizeof(d), 1, f.get());
+    if (got == 0) break;  // Clean EOF.
+    if (d <= 0) {
+      return Status::IOError(path + ": non-positive vector dimension");
+    }
+    if (dim == 0) {
+      dim = d;
+    } else if (d != dim) {
+      return Status::IOError(path + ": inconsistent dimensions " +
+                             std::to_string(dim) + " vs " + std::to_string(d));
+    }
+    buffer.resize(static_cast<size_t>(d) * element_size);
+    if (std::fread(buffer.data(), 1, buffer.size(), f.get()) !=
+        buffer.size()) {
+      return Status::IOError(path + ": truncated vector record");
+    }
+    consume(static_cast<size_t>(d), buffer.data());
+    ++count;
+  }
+  if (count == 0) return Status::IOError(path + ": empty file");
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Dataset> LoadFvecs(const std::string& path, size_t max_vectors) {
+  std::vector<float> data;
+  size_t dim = 0;
+  Status st = ReadVecs(path, sizeof(float), max_vectors,
+                       [&](size_t d, const char* payload) {
+                         dim = d;
+                         const float* v =
+                             reinterpret_cast<const float*>(payload);
+                         data.insert(data.end(), v, v + d);
+                       });
+  if (!st.ok()) return st;
+  const size_t n = data.size() / dim;  // Before the move below.
+  return Dataset(n, dim, std::move(data));
+}
+
+Result<Dataset> LoadBvecs(const std::string& path, size_t max_vectors) {
+  std::vector<float> data;
+  size_t dim = 0;
+  Status st = ReadVecs(path, sizeof(uint8_t), max_vectors,
+                       [&](size_t d, const char* payload) {
+                         dim = d;
+                         const uint8_t* v =
+                             reinterpret_cast<const uint8_t*>(payload);
+                         for (size_t i = 0; i < d; ++i) {
+                           data.push_back(static_cast<float>(v[i]));
+                         }
+                       });
+  if (!st.ok()) return st;
+  const size_t n = data.size() / dim;  // Before the move below.
+  return Dataset(n, dim, std::move(data));
+}
+
+Result<std::vector<std::vector<int32_t>>> LoadIvecs(const std::string& path,
+                                                    size_t max_vectors) {
+  std::vector<std::vector<int32_t>> rows;
+  Status st = ReadVecs(path, sizeof(int32_t), max_vectors,
+                       [&](size_t d, const char* payload) {
+                         const int32_t* v =
+                             reinterpret_cast<const int32_t*>(payload);
+                         rows.emplace_back(v, v + d);
+                       });
+  if (!st.ok()) return st;
+  return rows;
+}
+
+Status SaveFvecs(const Dataset& dataset, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot create " + path);
+  const int32_t dim = static_cast<int32_t>(dataset.dim());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    if (std::fwrite(&dim, sizeof(dim), 1, f.get()) != 1 ||
+        std::fwrite(dataset.Row(static_cast<ItemId>(i)), sizeof(float),
+                    dataset.dim(), f.get()) != dataset.dim()) {
+      return Status::IOError("short write to " + path);
+    }
+  }
+  return Status::OK();
+}
+
+Status SaveIvecs(const std::vector<std::vector<int32_t>>& rows,
+                 const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot create " + path);
+  for (const auto& row : rows) {
+    const int32_t dim = static_cast<int32_t>(row.size());
+    if (std::fwrite(&dim, sizeof(dim), 1, f.get()) != 1 ||
+        std::fwrite(row.data(), sizeof(int32_t), row.size(), f.get()) !=
+            row.size()) {
+      return Status::IOError("short write to " + path);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace gqr

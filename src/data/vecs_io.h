@@ -1,0 +1,39 @@
+// Readers/writers for the TEXMEX .fvecs/.bvecs/.ivecs formats — the
+// formats SIFT1M/GIST1M/SIFT10M ship in — so that users with the real
+// datasets can run the benches on them directly.
+//
+// Format: each vector is stored as a little-endian int32 dimension d
+// followed by d payload elements (float32 for fvecs, uint8 for bvecs,
+// int32 for ivecs). All vectors in a file share the same d.
+#ifndef GQR_DATA_VECS_IO_H_
+#define GQR_DATA_VECS_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace gqr {
+
+/// Loads an .fvecs file; max_vectors = 0 means "all".
+Result<Dataset> LoadFvecs(const std::string& path, size_t max_vectors = 0);
+
+/// Loads a .bvecs file (bytes widened to float); max_vectors = 0 = all.
+Result<Dataset> LoadBvecs(const std::string& path, size_t max_vectors = 0);
+
+/// Loads an .ivecs file (e.g. ground-truth neighbor ids).
+Result<std::vector<std::vector<int32_t>>> LoadIvecs(const std::string& path,
+                                                    size_t max_vectors = 0);
+
+/// Writes a dataset as .fvecs.
+Status SaveFvecs(const Dataset& dataset, const std::string& path);
+
+/// Writes id lists as .ivecs.
+Status SaveIvecs(const std::vector<std::vector<int32_t>>& rows,
+                 const std::string& path);
+
+}  // namespace gqr
+
+#endif  // GQR_DATA_VECS_IO_H_

@@ -1,0 +1,38 @@
+#include "eval/curve.h"
+
+namespace gqr {
+
+namespace {
+
+// Interpolates x(recall = target) where x is extracted per point.
+template <typename GetX>
+double InterpolateAtRecall(const Curve& curve, double target, GetX get_x) {
+  if (curve.points.empty()) return -1.0;
+  if (curve.points.front().recall >= target) {
+    return get_x(curve.points.front());
+  }
+  for (size_t i = 1; i < curve.points.size(); ++i) {
+    const CurvePoint& lo = curve.points[i - 1];
+    const CurvePoint& hi = curve.points[i];
+    if (hi.recall >= target) {
+      const double span = hi.recall - lo.recall;
+      const double frac = span > 0.0 ? (target - lo.recall) / span : 1.0;
+      return get_x(lo) + frac * (get_x(hi) - get_x(lo));
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+double TimeAtRecall(const Curve& curve, double target) {
+  return InterpolateAtRecall(curve, target,
+                             [](const CurvePoint& p) { return p.seconds; });
+}
+
+double ItemsAtRecall(const Curve& curve, double target) {
+  return InterpolateAtRecall(
+      curve, target, [](const CurvePoint& p) { return p.items_evaluated; });
+}
+
+}  // namespace gqr

@@ -1,0 +1,41 @@
+// Recall-time / recall-items curves — the paper's primary performance
+// representation (§2.3) — plus the interpolations used for "time to X%
+// recall" tables and speedup figures.
+#ifndef GQR_EVAL_CURVE_H_
+#define GQR_EVAL_CURVE_H_
+
+#include <string>
+#include <vector>
+
+namespace gqr {
+
+/// One sweep point of a querying method.
+struct CurvePoint {
+  /// Total wall time to answer the whole query batch, seconds.
+  double seconds = 0.0;
+  /// Mean recall over the batch.
+  double recall = 0.0;
+  /// Mean items evaluated per query.
+  double items_evaluated = 0.0;
+  /// Mean buckets probed per query.
+  double buckets_probed = 0.0;
+  /// Mean precision (hits / items retrieved).
+  double precision = 0.0;
+};
+
+struct Curve {
+  std::string name;
+  std::vector<CurvePoint> points;  // Ascending budget order.
+};
+
+/// Linear interpolation of the time needed to reach `target` recall;
+/// returns a negative value when the curve never reaches it.
+double TimeAtRecall(const Curve& curve, double target);
+
+/// Mean items-evaluated needed to reach `target` recall (interpolated);
+/// negative when unreached.
+double ItemsAtRecall(const Curve& curve, double target);
+
+}  // namespace gqr
+
+#endif  // GQR_EVAL_CURVE_H_

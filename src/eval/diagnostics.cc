@@ -1,0 +1,131 @@
+#include "eval/diagnostics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/random.h"
+
+namespace gqr {
+
+OccupancyStats ComputeOccupancy(const StaticHashTable& table) {
+  OccupancyStats stats;
+  stats.num_items = table.num_items();
+  stats.num_buckets = table.num_buckets();
+  const int m = table.code_length();
+  stats.possible_buckets =
+      m >= 63 ? ~size_t{0} : (size_t{1} << m);
+  if (stats.num_buckets == 0) return stats;
+
+  std::vector<size_t> sizes(stats.num_buckets);
+  for (size_t b = 0; b < stats.num_buckets; ++b) {
+    sizes[b] = table.bucket_size(b);
+  }
+  std::sort(sizes.begin(), sizes.end());
+  stats.max_occupancy = sizes.back();
+  stats.median_occupancy = sizes[sizes.size() / 2];
+  stats.mean_occupancy = static_cast<double>(stats.num_items) /
+                         static_cast<double>(stats.num_buckets);
+  stats.fill_fraction = static_cast<double>(stats.num_buckets) /
+                        static_cast<double>(stats.possible_buckets);
+
+  // Normalized entropy of p_b = size_b / n over non-empty buckets.
+  double entropy = 0.0;
+  for (size_t s : sizes) {
+    const double p = static_cast<double>(s) /
+                     static_cast<double>(stats.num_items);
+    entropy -= p * std::log2(p);
+  }
+  const double max_entropy =
+      std::log2(static_cast<double>(stats.num_buckets));
+  stats.occupancy_entropy = max_entropy > 0.0 ? entropy / max_entropy : 1.0;
+
+  // Mass of the largest 1% of buckets (at least one bucket).
+  const size_t top = std::max<size_t>(1, stats.num_buckets / 100);
+  size_t mass = 0;
+  for (size_t i = sizes.size() - top; i < sizes.size(); ++i) {
+    mass += sizes[i];
+  }
+  stats.top1pct_mass =
+      static_cast<double>(mass) / static_cast<double>(stats.num_items);
+  return stats;
+}
+
+BitBalanceStats ComputeBitBalance(const BinaryHasher& hasher,
+                                  const Dataset& data, size_t max_samples) {
+  BitBalanceStats stats;
+  const int m = hasher.code_length();
+  stats.ones_fraction.assign(m, 0.0);
+  if (data.empty()) return stats;
+
+  Rng rng(4242);
+  std::vector<uint32_t> rows;
+  if (data.size() > max_samples) {
+    rows = rng.SampleWithoutReplacement(static_cast<uint32_t>(data.size()),
+                                        static_cast<uint32_t>(max_samples));
+  } else {
+    rows.resize(data.size());
+    for (size_t i = 0; i < data.size(); ++i) {
+      rows[i] = static_cast<uint32_t>(i);
+    }
+  }
+  const double n = static_cast<double>(rows.size());
+
+  std::vector<Code> codes(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    codes[i] = hasher.HashItem(data.Row(rows[i]));
+  }
+  // Per-bit means.
+  for (Code c : codes) {
+    for (int b = 0; b < m; ++b) stats.ones_fraction[b] += GetBit(c, b);
+  }
+  for (int b = 0; b < m; ++b) {
+    stats.ones_fraction[b] /= n;
+    stats.worst_imbalance = std::max(
+        stats.worst_imbalance, std::abs(stats.ones_fraction[b] - 0.5));
+  }
+  // Pairwise correlations of the +-1 bit variables.
+  double corr_sum = 0.0;
+  size_t pairs = 0;
+  for (int a = 0; a < m; ++a) {
+    for (int b = a + 1; b < m; ++b) {
+      double e_ab = 0.0;
+      for (Code c : codes) {
+        e_ab += (GetBit(c, a) ? 1.0 : -1.0) * (GetBit(c, b) ? 1.0 : -1.0);
+      }
+      e_ab /= n;
+      const double e_a = 2.0 * stats.ones_fraction[a] - 1.0;
+      const double e_b = 2.0 * stats.ones_fraction[b] - 1.0;
+      const double var_a = std::max(1e-12, 1.0 - e_a * e_a);
+      const double var_b = std::max(1e-12, 1.0 - e_b * e_b);
+      corr_sum += std::abs((e_ab - e_a * e_b) / std::sqrt(var_a * var_b));
+      ++pairs;
+    }
+  }
+  stats.mean_abs_correlation =
+      pairs > 0 ? corr_sum / static_cast<double>(pairs) : 0.0;
+  return stats;
+}
+
+std::string OccupancyReport(const OccupancyStats& stats) {
+  std::ostringstream os;
+  os << "buckets: " << stats.num_buckets << " non-empty of "
+     << stats.possible_buckets << " possible ("
+     << 100.0 * stats.fill_fraction << "% fill)\n"
+     << "occupancy: mean " << stats.mean_occupancy << ", median "
+     << stats.median_occupancy << ", max " << stats.max_occupancy << "\n"
+     << "entropy: " << stats.occupancy_entropy
+     << " (1 = uniform), top-1% buckets hold "
+     << 100.0 * stats.top1pct_mass << "% of items";
+  return os.str();
+}
+
+std::string BitBalanceReport(const BitBalanceStats& stats) {
+  std::ostringstream os;
+  os << "bits: " << stats.ones_fraction.size() << ", worst imbalance "
+     << stats.worst_imbalance << " from 0.5, mean |pairwise corr| "
+     << stats.mean_abs_correlation;
+  return os.str();
+}
+
+}  // namespace gqr

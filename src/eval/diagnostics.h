@@ -1,0 +1,60 @@
+// Index diagnostics: bucket-occupancy and code-balance statistics.
+//
+// L2H query performance is driven by how the learned code distributes
+// items over buckets (paper §6.1 fixes E[items/bucket] ~ 10 when picking
+// the code length). These helpers quantify that distribution for a built
+// table and the per-bit balance of a hasher, so users can sanity-check a
+// deployment the way the paper's experimental setup does.
+#ifndef GQR_EVAL_DIAGNOSTICS_H_
+#define GQR_EVAL_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "hash/binary_hasher.h"
+#include "index/hash_table.h"
+
+namespace gqr {
+
+struct OccupancyStats {
+  size_t num_items = 0;
+  size_t num_buckets = 0;       // Non-empty.
+  size_t possible_buckets = 0;  // 2^m.
+  double mean_occupancy = 0.0;  // items / non-empty buckets.
+  size_t max_occupancy = 0;
+  size_t median_occupancy = 0;
+  /// Fraction of the 2^m code space that is occupied.
+  double fill_fraction = 0.0;
+  /// Normalized Shannon entropy of the bucket-size distribution in
+  /// [0, 1]; 1 = perfectly uniform occupancy.
+  double occupancy_entropy = 0.0;
+  /// Fraction of items living in the largest 1% of buckets — the skew
+  /// that makes Hamming-tied bucket ordering matter.
+  double top1pct_mass = 0.0;
+};
+
+/// Occupancy statistics of a built table.
+OccupancyStats ComputeOccupancy(const StaticHashTable& table);
+
+struct BitBalanceStats {
+  /// Per-bit fraction of items with bit = 1 (ideal: 0.5 each).
+  std::vector<double> ones_fraction;
+  /// Max absolute deviation from 0.5 across bits.
+  double worst_imbalance = 0.0;
+  /// Mean absolute pairwise bit correlation (ideal: 0).
+  double mean_abs_correlation = 0.0;
+};
+
+/// Bit balance/correlation of a hasher over (a sample of) a dataset.
+BitBalanceStats ComputeBitBalance(const BinaryHasher& hasher,
+                                  const Dataset& data,
+                                  size_t max_samples = 20000);
+
+/// Multi-line human-readable rendering.
+std::string OccupancyReport(const OccupancyStats& stats);
+std::string BitBalanceReport(const BitBalanceStats& stats);
+
+}  // namespace gqr
+
+#endif  // GQR_EVAL_DIAGNOSTICS_H_

@@ -1,0 +1,193 @@
+#include "eval/harness.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/ghr_prober.h"
+#include "core/gqr_prober.h"
+#include "core/hr_prober.h"
+#include "core/multi_prober.h"
+#include "core/qr_prober.h"
+#include "eval/metrics.h"
+#include "util/timer.h"
+
+namespace gqr {
+
+const char* QueryMethodName(QueryMethod method) {
+  switch (method) {
+    case QueryMethod::kHR:
+      return "HR";
+    case QueryMethod::kGHR:
+      return "GHR";
+    case QueryMethod::kQR:
+      return "QR";
+    case QueryMethod::kGQR:
+      return "GQR";
+  }
+  return "?";
+}
+
+std::unique_ptr<BucketProber> MakeProber(QueryMethod method,
+                                         const QueryHashInfo& info,
+                                         const StaticHashTable& table,
+                                         uint32_t table_id) {
+  switch (method) {
+    case QueryMethod::kHR:
+      return std::make_unique<HrProber>(info, table, table_id);
+    case QueryMethod::kGHR:
+      return std::make_unique<GhrProber>(info, table_id);
+    case QueryMethod::kQR:
+      return std::make_unique<QrProber>(info, table, table_id);
+    case QueryMethod::kGQR:
+      return std::make_unique<GqrProber>(info, table_id);
+  }
+  return nullptr;
+}
+
+std::vector<size_t> DefaultBudgets(size_t n, size_t k, double max_fraction,
+                                   size_t points) {
+  assert(points >= 2);
+  const double max_budget =
+      std::max<double>(static_cast<double>(k) * 2.0,
+                       static_cast<double>(n) * max_fraction);
+  const double min_budget = std::max<double>(static_cast<double>(k),
+                                             max_budget / 512.0);
+  std::vector<size_t> budgets;
+  const double ratio =
+      std::pow(max_budget / min_budget,
+               1.0 / static_cast<double>(points - 1));
+  double b = min_budget;
+  for (size_t i = 0; i < points; ++i) {
+    const auto budget = static_cast<size_t>(std::lround(b));
+    if (budgets.empty() || budget > budgets.back()) budgets.push_back(budget);
+    b *= ratio;
+  }
+  return budgets;
+}
+
+namespace {
+
+// Shared sweep skeleton: for each budget, run `run_query(q, budget)` over
+// the whole batch under one timer and average the quality numbers.
+template <typename RunQueryFn>
+Curve SweepBudgets(const std::string& name, const Dataset& queries,
+                   const std::vector<Neighbors>& ground_truth, size_t k,
+                   const std::vector<size_t>& budgets,
+                   RunQueryFn run_query) {
+  assert(queries.size() == ground_truth.size());
+  Curve curve;
+  curve.name = name;
+  for (size_t budget : budgets) {
+    CurvePoint point;
+    Timer timer;
+    std::vector<SearchResult> results(queries.size());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      results[q] = run_query(static_cast<ItemId>(q), budget);
+    }
+    point.seconds = timer.ElapsedSeconds();
+    for (size_t q = 0; q < queries.size(); ++q) {
+      const SearchResult& r = results[q];
+      point.recall += RecallAtK(r.ids, ground_truth[q], k);
+      point.items_evaluated +=
+          static_cast<double>(r.stats.items_evaluated);
+      point.buckets_probed += static_cast<double>(r.stats.buckets_probed);
+      point.precision += Precision(r.ids, ground_truth[q], k,
+                                   r.stats.items_evaluated);
+    }
+    const auto nq = static_cast<double>(queries.size());
+    point.recall /= nq;
+    point.items_evaluated /= nq;
+    point.buckets_probed /= nq;
+    point.precision /= nq;
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace
+
+Curve RunMethodCurve(QueryMethod method, const Dataset& base,
+                     const Dataset& queries,
+                     const std::vector<Neighbors>& ground_truth,
+                     const BinaryHasher& hasher, const StaticHashTable& table,
+                     const HarnessOptions& options) {
+  Searcher searcher(base);
+  return SweepBudgets(
+      QueryMethodName(method), queries, ground_truth, options.k,
+      options.budgets, [&](ItemId q, size_t budget) {
+        const float* query = queries.Row(q);
+        const QueryHashInfo info = hasher.HashQuery(query);
+        std::unique_ptr<BucketProber> prober =
+            MakeProber(method, info, table);
+        SearchOptions so;
+        so.k = options.k;
+        so.max_candidates = budget;
+        return searcher.Search(query, prober.get(), table, so);
+      });
+}
+
+Curve RunMultiTableCurve(QueryMethod method, const Dataset& base,
+                         const Dataset& queries,
+                         const std::vector<Neighbors>& ground_truth,
+                         const MultiTableIndex& index,
+                         const HarnessOptions& options) {
+  Searcher searcher(base);
+  const std::string name = std::string(QueryMethodName(method)) + "(" +
+                           std::to_string(index.num_tables()) + " tables)";
+  return SweepBudgets(
+      name, queries, ground_truth, options.k, options.budgets,
+      [&](ItemId q, size_t budget) {
+        const float* query = queries.Row(q);
+        std::vector<std::unique_ptr<BucketProber>> probers;
+        probers.reserve(index.num_tables());
+        for (size_t t = 0; t < index.num_tables(); ++t) {
+          const QueryHashInfo info = index.hasher(t).HashQuery(query);
+          probers.push_back(MakeProber(method, info, index.table(t),
+                                       static_cast<uint32_t>(t)));
+        }
+        MultiProber merged(std::move(probers));
+        SearchOptions so;
+        so.k = options.k;
+        so.max_candidates = budget;
+        return searcher.Search(query, &merged, index, so);
+      });
+}
+
+Curve RunMihCurve(const Dataset& base, const Dataset& queries,
+                  const std::vector<Neighbors>& ground_truth,
+                  const BinaryHasher& hasher, const MihIndex& index,
+                  const HarnessOptions& options) {
+  Searcher searcher(base);
+  return SweepBudgets(
+      "MIH", queries, ground_truth, options.k, options.budgets,
+      [&](ItemId q, size_t budget) {
+        const float* query = queries.Row(q);
+        const Code code = hasher.HashQuery(query).code;
+        const std::vector<ItemId> candidates =
+            index.Collect(code, budget, nullptr);
+        SearchOptions so;
+        so.k = options.k;
+        so.max_candidates = budget;
+        return searcher.RerankCandidates(query, candidates, so);
+      });
+}
+
+Curve RunImiCurve(const Dataset& base, const Dataset& queries,
+                  const std::vector<Neighbors>& ground_truth,
+                  const ImiIndex& index, const HarnessOptions& options) {
+  Searcher searcher(base);
+  return SweepBudgets(
+      "OPQ+IMI", queries, ground_truth, options.k, options.budgets,
+      [&](ItemId q, size_t budget) {
+        const float* query = queries.Row(q);
+        const std::vector<ItemId> candidates =
+            index.Collect(query, budget, nullptr);
+        SearchOptions so;
+        so.k = options.k;
+        so.max_candidates = budget;
+        return searcher.RerankCandidates(query, candidates, so);
+      });
+}
+
+}  // namespace gqr

@@ -1,0 +1,85 @@
+// Experiment harness: runs a querying method over a query batch at a
+// sweep of candidate budgets and produces the recall-time / recall-items
+// curves every figure of the paper is built from.
+//
+// Per the paper's methodology, each sweep point times the *entire*
+// querying stage — hashing the query, retrieval (prober work, including
+// QR's upfront sort, so the slow-start cost is visible), and evaluation —
+// summed over all queries in the batch.
+#ifndef GQR_EVAL_HARNESS_H_
+#define GQR_EVAL_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mih_prober.h"
+#include "core/prober.h"
+#include "core/searcher.h"
+#include "data/dataset.h"
+#include "data/ground_truth.h"
+#include "eval/curve.h"
+#include "hash/binary_hasher.h"
+#include "index/hash_table.h"
+#include "index/multi_table.h"
+#include "vq/imi.h"
+
+namespace gqr {
+
+/// The querying methods under evaluation.
+enum class QueryMethod {
+  kHR,   // Hamming ranking: full sort of buckets by Hamming distance.
+  kGHR,  // Generate-to-probe Hamming ranking ("hash lookup").
+  kQR,   // QD ranking: full sort of buckets by quantization distance.
+  kGQR,  // Generate-to-probe QD ranking — the paper's algorithm.
+};
+
+const char* QueryMethodName(QueryMethod method);
+
+/// Creates the per-query prober implementing `method` on one table.
+std::unique_ptr<BucketProber> MakeProber(QueryMethod method,
+                                         const QueryHashInfo& info,
+                                         const StaticHashTable& table,
+                                         uint32_t table_id = 0);
+
+struct HarnessOptions {
+  size_t k = 20;
+  /// Candidate budgets (N) to sweep, ascending. See DefaultBudgets().
+  std::vector<size_t> budgets;
+};
+
+/// Geometric budget ladder up to max_fraction * n (always at least k).
+std::vector<size_t> DefaultBudgets(size_t n, size_t k,
+                                   double max_fraction = 0.3,
+                                   size_t points = 10);
+
+/// Recall-time sweep of a (single-table) querying method.
+Curve RunMethodCurve(QueryMethod method, const Dataset& base,
+                     const Dataset& queries,
+                     const std::vector<Neighbors>& ground_truth,
+                     const BinaryHasher& hasher, const StaticHashTable& table,
+                     const HarnessOptions& options);
+
+/// Multi-table variant: one prober per table merged by score.
+Curve RunMultiTableCurve(QueryMethod method, const Dataset& base,
+                         const Dataset& queries,
+                         const std::vector<Neighbors>& ground_truth,
+                         const MultiTableIndex& index,
+                         const HarnessOptions& options);
+
+/// MIH sweep (appendix baseline): candidates in ascending full-code
+/// Hamming distance, then rerank.
+Curve RunMihCurve(const Dataset& base, const Dataset& queries,
+                  const std::vector<Neighbors>& ground_truth,
+                  const BinaryHasher& hasher, const MihIndex& index,
+                  const HarnessOptions& options);
+
+/// OPQ+IMI sweep (§6.5 comparator): cells in ascending distance-table
+/// order, then rerank.
+Curve RunImiCurve(const Dataset& base, const Dataset& queries,
+                  const std::vector<Neighbors>& ground_truth,
+                  const ImiIndex& index, const HarnessOptions& options);
+
+}  // namespace gqr
+
+#endif  // GQR_EVAL_HARNESS_H_

@@ -1,0 +1,23 @@
+#include "eval/linear_scan.h"
+
+#include "data/ground_truth.h"
+#include "util/timer.h"
+
+namespace gqr {
+
+LinearScanResult TimeLinearScan(const Dataset& base, const Dataset& queries,
+                                size_t k) {
+  LinearScanResult result;
+  result.queries = queries.size();
+  result.k = k;
+  Timer timer;
+  volatile float sink = 0.f;  // Keep the scan from being optimized away.
+  for (size_t q = 0; q < queries.size(); ++q) {
+    Neighbors n = BruteForceKnn(base, queries.Row(static_cast<ItemId>(q)), k);
+    sink = sink + n.distances.front();
+  }
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace gqr

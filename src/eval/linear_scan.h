@@ -1,0 +1,26 @@
+// Brute-force linear-scan baseline: the "Linear Search" column of
+// Table 1.
+#ifndef GQR_EVAL_LINEAR_SCAN_H_
+#define GQR_EVAL_LINEAR_SCAN_H_
+
+#include <cstddef>
+
+#include "data/dataset.h"
+
+namespace gqr {
+
+struct LinearScanResult {
+  /// Wall seconds to answer all queries sequentially by brute force.
+  double seconds = 0.0;
+  size_t queries = 0;
+  size_t k = 0;
+};
+
+/// Times exact k-NN of every query by sequential full scan (single
+/// thread, like the paper's per-query linear-search baseline).
+LinearScanResult TimeLinearScan(const Dataset& base, const Dataset& queries,
+                                size_t k);
+
+}  // namespace gqr
+
+#endif  // GQR_EVAL_LINEAR_SCAN_H_

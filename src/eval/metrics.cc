@@ -1,0 +1,38 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gqr {
+
+namespace {
+
+size_t CountHits(const std::vector<ItemId>& returned, const Neighbors& truth,
+                 size_t k) {
+  const size_t kk = std::min(k, truth.ids.size());
+  std::unordered_set<ItemId> truth_set(truth.ids.begin(),
+                                       truth.ids.begin() + kk);
+  size_t hits = 0;
+  for (ItemId id : returned) {
+    if (truth_set.count(id) != 0) ++hits;
+  }
+  return hits;
+}
+
+}  // namespace
+
+double RecallAtK(const std::vector<ItemId>& returned, const Neighbors& truth,
+                 size_t k) {
+  if (k == 0) return 0.0;
+  return static_cast<double>(CountHits(returned, truth, k)) /
+         static_cast<double>(k);
+}
+
+double Precision(const std::vector<ItemId>& returned, const Neighbors& truth,
+                 size_t k, size_t retrieved_count) {
+  if (retrieved_count == 0) return 0.0;
+  return static_cast<double>(CountHits(returned, truth, k)) /
+         static_cast<double>(retrieved_count);
+}
+
+}  // namespace gqr

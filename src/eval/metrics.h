@@ -1,0 +1,26 @@
+// Quality metrics: recall and precision against exact ground truth
+// (paper §2.3).
+#ifndef GQR_EVAL_METRICS_H_
+#define GQR_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/ground_truth.h"
+
+namespace gqr {
+
+/// |returned ∩ true k-NN| / k. `truth` supplies the true neighbors; only
+/// its first k ids are considered.
+double RecallAtK(const std::vector<ItemId>& returned, const Neighbors& truth,
+                 size_t k);
+
+/// |returned ∩ true k-NN| / retrieved_count — the precision of Figure 4a,
+/// where retrieved_count is the number of items fetched from buckets
+/// (not just the returned top-k).
+double Precision(const std::vector<ItemId>& returned, const Neighbors& truth,
+                 size_t k, size_t retrieved_count);
+
+}  // namespace gqr
+
+#endif  // GQR_EVAL_METRICS_H_

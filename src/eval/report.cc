@@ -1,0 +1,63 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace gqr {
+
+std::string FormatDouble(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+void PrintCurves(const std::string& title, const std::vector<Curve>& curves) {
+  std::printf("# %s\n", title.c_str());
+  std::printf("method,seconds,recall,avg_items,avg_buckets\n");
+  for (const Curve& c : curves) {
+    for (const CurvePoint& p : c.points) {
+      std::printf("%s,%.6f,%.4f,%.1f,%.1f\n", c.name.c_str(), p.seconds,
+                  p.recall, p.items_evaluated, p.buckets_probed);
+    }
+  }
+  std::printf("\n");
+}
+
+void PrintRecallItemsCurves(const std::string& title,
+                            const std::vector<Curve>& curves) {
+  std::printf("# %s\n", title.c_str());
+  std::printf("method,avg_items,recall,precision\n");
+  for (const Curve& c : curves) {
+    for (const CurvePoint& p : c.points) {
+      std::printf("%s,%.1f,%.4f,%.4f\n", c.name.c_str(), p.items_evaluated,
+                  p.recall, p.precision);
+    }
+  }
+  std::printf("\n");
+}
+
+void PrintTable(const std::string& title,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::printf("# %s\n", title.c_str());
+  // Column widths.
+  std::vector<size_t> widths(header.size(), 0);
+  for (size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header);
+  for (const auto& row : rows) print_row(row);
+  std::printf("\n");
+}
+
+}  // namespace gqr

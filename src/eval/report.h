@@ -1,0 +1,33 @@
+// Plain-text reporters: every bench binary prints the same rows/series
+// the corresponding paper table or figure reports.
+#ifndef GQR_EVAL_REPORT_H_
+#define GQR_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/curve.h"
+
+namespace gqr {
+
+/// Prints a figure-style series block:
+///   # <title>
+///   method,seconds,recall,items,buckets
+///   GQR,0.01,0.42,...
+void PrintCurves(const std::string& title, const std::vector<Curve>& curves);
+
+/// Prints curves keyed on items-evaluated instead of time (Figure 8).
+void PrintRecallItemsCurves(const std::string& title,
+                            const std::vector<Curve>& curves);
+
+/// Prints an aligned table with a header row.
+void PrintTable(const std::string& title,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows);
+
+/// Formats a double with `digits` significant decimals.
+std::string FormatDouble(double v, int digits = 4);
+
+}  // namespace gqr
+
+#endif  // GQR_EVAL_REPORT_H_

@@ -1,0 +1,88 @@
+#include "eval/tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/batch_search.h"
+#include "core/searcher.h"
+#include "eval/metrics.h"
+
+namespace gqr {
+
+namespace {
+
+double RecallAtBudget(const Dataset& base, const Dataset& queries,
+                      const std::vector<Neighbors>& ground_truth,
+                      const BinaryHasher& hasher,
+                      const StaticHashTable& table, QueryMethod method,
+                      size_t k, size_t budget) {
+  Searcher searcher(base);
+  SearchOptions so;
+  so.k = k;
+  so.max_candidates = budget;
+  auto results = BatchSearch(searcher, hasher, table, queries, method, so);
+  double recall = 0.0;
+  for (size_t q = 0; q < results.size(); ++q) {
+    recall += RecallAtK(results[q].ids, ground_truth[q], k);
+  }
+  return recall / static_cast<double>(results.size());
+}
+
+}  // namespace
+
+TuneResult TuneBudgetForRecall(const Dataset& base,
+                               const Dataset& validation_queries,
+                               const std::vector<Neighbors>& ground_truth,
+                               const BinaryHasher& hasher,
+                               const StaticHashTable& table,
+                               const TuneOptions& options) {
+  TuneResult result;
+  if (validation_queries.empty()) return result;
+  const auto max_budget = static_cast<size_t>(std::max(
+      static_cast<double>(options.k),
+      static_cast<double>(base.size()) * options.max_fraction));
+
+  // Feasibility at the upper bound first.
+  result.recall_at_max =
+      RecallAtBudget(base, validation_queries, ground_truth, hasher, table,
+                     options.method, options.k, max_budget);
+  if (result.recall_at_max < options.target_recall) {
+    return result;  // Infeasible within max_fraction.
+  }
+
+  size_t lo = options.k;        // Assumed below target (checked below).
+  size_t hi = max_budget;
+  double hi_recall = result.recall_at_max;
+  const double lo_recall =
+      RecallAtBudget(base, validation_queries, ground_truth, hasher, table,
+                     options.method, options.k, lo);
+  if (lo_recall >= options.target_recall) {
+    result.budget = lo;
+    result.achieved_recall = lo_recall;
+    result.feasible = true;
+    return result;
+  }
+  // Invariant: recall(lo) < target <= recall(hi).
+  while (static_cast<double>(hi) >
+         static_cast<double>(lo) * options.budget_resolution) {
+    const auto mid = static_cast<size_t>(
+        std::llround(std::sqrt(static_cast<double>(lo) *
+                               static_cast<double>(hi))));
+    if (mid <= lo || mid >= hi) break;
+    const double mid_recall =
+        RecallAtBudget(base, validation_queries, ground_truth, hasher,
+                       table, options.method, options.k, mid);
+    if (mid_recall >= options.target_recall) {
+      hi = mid;
+      hi_recall = mid_recall;
+    } else {
+      lo = mid;
+    }
+  }
+  result.budget = hi;
+  result.achieved_recall = hi_recall;
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace gqr

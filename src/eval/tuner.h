@@ -1,0 +1,53 @@
+// Budget auto-tuner: pick the candidate budget N that reaches a target
+// recall on a validation query set.
+//
+// Deployments speak in recall SLOs ("95% recall@10"), not candidate
+// counts; this maps one to the other for a given dataset + hasher +
+// querying method by bisection over budgets, using held-out validation
+// queries with exact ground truth.
+#ifndef GQR_EVAL_TUNER_H_
+#define GQR_EVAL_TUNER_H_
+
+#include <cstddef>
+
+#include "data/dataset.h"
+#include "data/ground_truth.h"
+#include "eval/harness.h"
+#include "hash/binary_hasher.h"
+#include "index/hash_table.h"
+
+namespace gqr {
+
+struct TuneOptions {
+  QueryMethod method = QueryMethod::kGQR;
+  size_t k = 20;
+  double target_recall = 0.9;
+  /// Bisection stops when hi/lo <= this ratio.
+  double budget_resolution = 1.25;
+  /// Upper bound on the budget as a fraction of the base size.
+  double max_fraction = 1.0;
+};
+
+struct TuneResult {
+  /// Smallest tested budget reaching the target (0 when infeasible).
+  size_t budget = 0;
+  /// Validation recall measured at `budget`.
+  double achieved_recall = 0.0;
+  bool feasible = false;
+  /// Mean validation recall at the upper budget bound (diagnostic when
+  /// infeasible).
+  double recall_at_max = 0.0;
+};
+
+/// Bisects the candidate budget for `options.method` until the mean
+/// validation recall crosses options.target_recall.
+TuneResult TuneBudgetForRecall(const Dataset& base,
+                               const Dataset& validation_queries,
+                               const std::vector<Neighbors>& ground_truth,
+                               const BinaryHasher& hasher,
+                               const StaticHashTable& table,
+                               const TuneOptions& options);
+
+}  // namespace gqr
+
+#endif  // GQR_EVAL_TUNER_H_

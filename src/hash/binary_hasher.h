@@ -1,0 +1,58 @@
+// BinaryHasher: the abstraction every querying method is written against.
+//
+// A hasher maps an item to an m-bit bucket code, and maps a *query* to its
+// code plus a vector of per-bit *flipping costs* — the cost of pretending
+// bit i of the query's code were flipped. Quantization distance (QD,
+// Definition 1 of the paper) of a bucket is then the sum of flipping costs
+// over the bits where the bucket's signature differs from the query code.
+//
+// For sign-of-projection hashers (LSH/PCAH/ITQ/SH) the flipping cost of
+// bit i is |p_i(q)|, the magnitude of the i-th projection. For K-means
+// hashing it is the codeword-swap cost of the appendix. Keeping probers
+// agnostic of where costs come from is exactly what makes QD ranking
+// "general" (paper §4, appendix).
+#ifndef GQR_HASH_BINARY_HASHER_H_
+#define GQR_HASH_BINARY_HASHER_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/bits.h"
+
+namespace gqr {
+
+/// Everything a querying method needs to know about one query.
+struct QueryHashInfo {
+  /// The query's own bucket signature c(q).
+  Code code = 0;
+  /// flip_costs[i] >= 0 is the cost of flipping bit i; QD of bucket b is
+  /// sum_i (c_i(q) XOR b_i) * flip_costs[i].
+  std::vector<double> flip_costs;
+
+  int code_length() const { return static_cast<int>(flip_costs.size()); }
+};
+
+/// Interface of a learned (or random) binary hash function.
+class BinaryHasher {
+ public:
+  virtual ~BinaryHasher() = default;
+
+  /// Number of code bits m (<= 64).
+  virtual int code_length() const = 0;
+  /// Input dimensionality d.
+  virtual size_t dim() const = 0;
+
+  /// Bucket signature of an item.
+  virtual Code HashItem(const float* x) const = 0;
+
+  /// Code plus per-bit flipping costs for a query.
+  virtual QueryHashInfo HashQuery(const float* q) const = 0;
+
+  /// Hashes every row of the dataset (parallel). The default
+  /// implementation calls HashItem per row.
+  virtual std::vector<Code> HashDataset(const Dataset& dataset) const;
+};
+
+}  // namespace gqr
+
+#endif  // GQR_HASH_BINARY_HASHER_H_

@@ -1,0 +1,74 @@
+// E2LSH: p-stable (Gaussian) LSH with *integer* codes,
+// h_i(x) = floor((a_i . x + b_i) / w) — the hashing scheme Multi-Probe
+// LSH (Lv et al., VLDB'07) is built on.
+//
+// Included as the paper's §5.3 comparison point: QD/GQR work on binary
+// codes with an exclusive-or cost model and a shared generation tree,
+// while Multi-Probe LSH perturbs integer codes by ±1 per coordinate and
+// must generate (and skip) invalid perturbation sets. See
+// core/multiprobe_lsh.h for the querying side.
+#ifndef GQR_HASH_E2LSH_H_
+#define GQR_HASH_E2LSH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "la/matrix.h"
+
+namespace gqr {
+
+/// An integer code: one slot index per hash function.
+using IntCode = std::vector<int32_t>;
+
+struct E2lshOptions {
+  /// Number of hash functions m.
+  int num_hashes = 16;
+  /// Slot width w; larger widths put more items per bucket. When <= 0,
+  /// training picks w so the average bucket holds ~expected_per_bucket
+  /// items (estimated from a data sample).
+  double bucket_width = 0.0;
+  double expected_per_bucket = 10.0;
+  size_t max_train_samples = 10000;
+  uint64_t seed = 42;
+};
+
+/// Per-query information used by Multi-Probe LSH's perturbation scoring.
+struct E2lshQueryInfo {
+  IntCode code;
+  /// distance_down[i] = distance from the query's projection to the lower
+  /// slot boundary of coordinate i (cost of perturbing by -1), in [0, w);
+  /// the +1 cost is w - distance_down[i].
+  std::vector<double> distance_down;
+  double bucket_width = 0.0;
+};
+
+class E2lshHasher {
+ public:
+  /// a is m x d (Gaussian rows); b holds m offsets in [0, w).
+  E2lshHasher(Matrix a, std::vector<double> b, double w);
+
+  int num_hashes() const { return static_cast<int>(a_.rows()); }
+  size_t dim() const { return a_.cols(); }
+  double bucket_width() const { return w_; }
+
+  IntCode HashItem(const float* x) const;
+  E2lshQueryInfo HashQuery(const float* q) const;
+  /// Integer codes for every row (parallel).
+  std::vector<IntCode> HashDataset(const Dataset& dataset) const;
+
+ private:
+  void Project(const float* x, double* out) const;
+
+  Matrix a_;
+  std::vector<double> b_;
+  double w_;
+};
+
+/// Draws Gaussian hash functions and (optionally) calibrates the slot
+/// width on a sample of the dataset.
+E2lshHasher TrainE2lsh(const Dataset& dataset, const E2lshOptions& options);
+
+}  // namespace gqr
+
+#endif  // GQR_HASH_E2LSH_H_

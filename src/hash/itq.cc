@@ -1,0 +1,71 @@
+#include "hash/itq.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "la/pca.h"
+#include "la/procrustes.h"
+#include "util/random.h"
+
+namespace gqr {
+
+LinearHasher TrainItq(const Dataset& dataset, const ItqOptions& options,
+                      ItqTrainStats* stats) {
+  const int m = options.code_length;
+  assert(m >= 1 && m <= 64);
+  assert(static_cast<size_t>(m) <= dataset.dim());
+  Rng rng(options.seed);
+
+  PcaModel pca = FitPca(dataset.data(), dataset.size(), dataset.dim(),
+                        static_cast<size_t>(m), options.max_train_samples,
+                        &rng);
+
+  // Project a training sample into the PCA space: V is t x m.
+  std::vector<uint32_t> rows;
+  if (dataset.size() > options.max_train_samples) {
+    rows = rng.SampleWithoutReplacement(
+        static_cast<uint32_t>(dataset.size()),
+        static_cast<uint32_t>(options.max_train_samples));
+  } else {
+    rows.resize(dataset.size());
+    for (size_t i = 0; i < dataset.size(); ++i) {
+      rows[i] = static_cast<uint32_t>(i);
+    }
+  }
+  const size_t t = rows.size();
+  Matrix v(t, static_cast<size_t>(m));
+  for (size_t i = 0; i < t; ++i) {
+    pca.Project(dataset.Row(rows[i]), v.Row(i));
+  }
+
+  // Alternating minimization of ||B - V R||_F^2.
+  Matrix r = Matrix::RandomOrthogonal(static_cast<size_t>(m), &rng);
+  Matrix b(t, static_cast<size_t>(m));
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    // Fix R, set B = sgn(V R). ITQ's codes live in {-1, +1}.
+    Matrix vr = v.Multiply(r);
+    double loss = 0.0;
+    for (size_t i = 0; i < t; ++i) {
+      for (int j = 0; j < m; ++j) {
+        const double proj = vr.At(i, static_cast<size_t>(j));
+        const double bit = proj >= 0.0 ? 1.0 : -1.0;
+        b.At(i, static_cast<size_t>(j)) = bit;
+        const double diff = bit - proj;
+        loss += diff * diff;
+      }
+    }
+    if (stats != nullptr) {
+      stats->loss_history.push_back(loss / static_cast<double>(t));
+    }
+    // Fix B, solve the orthogonal Procrustes problem:
+    // max_R tr(R^T (V^T B))  =>  R = U W^T from SVD(V^T B).
+    r = OrthogonalProcrustes(v.TransposedMultiply(b));
+  }
+
+  // Compose the final projection p(x) = R^T (P (x - mean)) into a single
+  // m x d matrix W = R^T P = (P^T R)^T.
+  Matrix w = pca.components.Transposed().Multiply(r).Transposed();
+  return LinearHasher(std::move(w), std::move(pca.mean), "ITQ");
+}
+
+}  // namespace gqr

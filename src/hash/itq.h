@@ -1,0 +1,37 @@
+// ITQ (iterative quantization, Gong & Lazebnik): PCA followed by a learned
+// orthogonal rotation that minimizes the quantization loss
+// ||B - V R||_F^2 between the projected data V R and its binary codes B.
+// The paper's default learner for the main experiments.
+#ifndef GQR_HASH_ITQ_H_
+#define GQR_HASH_ITQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "hash/linear_hasher.h"
+
+namespace gqr {
+
+struct ItqOptions {
+  int code_length = 16;
+  /// Rotation-refinement iterations (Gong & Lazebnik use 50).
+  int iterations = 50;
+  size_t max_train_samples = 20000;
+  uint64_t seed = 42;
+};
+
+struct ItqTrainStats {
+  /// Quantization loss ||B - V R||_F^2 / n after each iteration;
+  /// non-increasing (a tested invariant).
+  std::vector<double> loss_history;
+};
+
+/// Trains ITQ and returns the composed linear hasher
+/// p(x) = R^T P (x - mean). stats may be null.
+LinearHasher TrainItq(const Dataset& dataset, const ItqOptions& options,
+                      ItqTrainStats* stats = nullptr);
+
+}  // namespace gqr
+
+#endif  // GQR_HASH_ITQ_H_

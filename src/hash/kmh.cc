@@ -1,0 +1,204 @@
+#include "hash/kmh.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "la/kmeans.h"
+#include "la/vector_ops.h"
+#include "util/random.h"
+
+namespace gqr {
+
+namespace {
+
+// Mean squared approximation error of representing codeword distances by
+// scaled Hamming distances under permutation perm (perm[center] = binary
+// index). This is the objective of KMH's index assignment.
+double AssignmentError(const Matrix& centers,
+                       const std::vector<uint32_t>& perm, double lambda) {
+  const size_t k = centers.rows();
+  double err = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      const double d = std::sqrt(
+          SquaredL2(centers.Row(i), centers.Row(j), centers.cols()));
+      const int h = HammingDistance(perm[i], perm[j]);
+      const double approx = lambda * std::sqrt(static_cast<double>(h));
+      const double diff = d - approx;
+      err += diff * diff;
+    }
+  }
+  return err;
+}
+
+// Assigns binary indices to k-means centers so Hamming distance between
+// indices approximates Euclidean distance between centers: pairwise-swap
+// local search from the identity assignment.
+std::vector<uint32_t> AssignIndices(const Matrix& centers, int passes,
+                                    Rng* rng) {
+  const size_t k = centers.rows();
+  std::vector<uint32_t> perm(k);
+  for (size_t i = 0; i < k; ++i) perm[i] = static_cast<uint32_t>(i);
+  rng->Shuffle(&perm);
+
+  // Scale so that one bit of Hamming distance is worth the mean pairwise
+  // codeword distance divided by the mean root-Hamming distance.
+  double sum_d = 0.0, sum_h = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      sum_d += std::sqrt(
+          SquaredL2(centers.Row(i), centers.Row(j), centers.cols()));
+      sum_h += std::sqrt(static_cast<double>(
+          HammingDistance(static_cast<Code>(i), static_cast<Code>(j))));
+      ++pairs;
+    }
+  }
+  const double lambda = (pairs == 0 || sum_h == 0.0) ? 1.0 : sum_d / sum_h;
+
+  double best = AssignmentError(centers, perm, lambda);
+  for (int pass = 0; pass < passes; ++pass) {
+    bool improved = false;
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = i + 1; j < k; ++j) {
+        std::swap(perm[i], perm[j]);
+        const double err = AssignmentError(centers, perm, lambda);
+        if (err + 1e-12 < best) {
+          best = err;
+          improved = true;
+        } else {
+          std::swap(perm[i], perm[j]);
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return perm;
+}
+
+}  // namespace
+
+KmhHasher::KmhHasher(std::vector<Block> blocks, int bits_per_block,
+                     size_t dim)
+    : blocks_(std::move(blocks)),
+      bits_per_block_(bits_per_block),
+      code_length_(static_cast<int>(blocks_.size()) * bits_per_block),
+      dim_(dim) {
+  assert(!blocks_.empty());
+  assert(code_length_ <= 64);
+}
+
+uint32_t KmhHasher::NearestCodeword(const Block& block, const float* x,
+                                    std::vector<double>* all_sq) const {
+  const size_t sub_dim = block.dim_end - block.dim_begin;
+  const float* sub = x + block.dim_begin;
+  uint32_t best = 0;
+  double best_sq = std::numeric_limits<double>::max();
+  if (all_sq != nullptr) all_sq->resize(block.codewords.rows());
+  for (size_t r = 0; r < block.codewords.rows(); ++r) {
+    const double* c = block.codewords.Row(r);
+    double sq = 0.0;
+    for (size_t j = 0; j < sub_dim; ++j) {
+      const double d = c[j] - static_cast<double>(sub[j]);
+      sq += d * d;
+    }
+    if (all_sq != nullptr) (*all_sq)[r] = sq;
+    if (sq < best_sq) {
+      best_sq = sq;
+      best = static_cast<uint32_t>(r);
+    }
+  }
+  return best;
+}
+
+Code KmhHasher::HashItem(const float* x) const {
+  Code code = 0;
+  int shift = 0;
+  for (const Block& block : blocks_) {
+    const uint32_t idx = NearestCodeword(block, x, nullptr);
+    code |= static_cast<Code>(idx) << shift;
+    shift += bits_per_block_;
+  }
+  return code;
+}
+
+QueryHashInfo KmhHasher::HashQuery(const float* q) const {
+  QueryHashInfo info;
+  info.flip_costs.resize(code_length_);
+  int shift = 0;
+  std::vector<double> sq;
+  for (const Block& block : blocks_) {
+    const uint32_t idx = NearestCodeword(block, q, &sq);
+    info.code |= static_cast<Code>(idx) << shift;
+    const double base = std::sqrt(sq[idx]);
+    for (int b = 0; b < bits_per_block_; ++b) {
+      // Appendix definition: cost of flipping bit b of this block's index
+      // is dist(q, c') - dist(q, c) for the codeword c' at the flipped
+      // index. Non-negative since c is the nearest codeword.
+      const uint32_t flipped = idx ^ (1u << b);
+      info.flip_costs[shift + b] = std::sqrt(sq[flipped]) - base;
+    }
+    shift += bits_per_block_;
+  }
+  return info;
+}
+
+KmhHasher TrainKmh(const Dataset& dataset, const KmhOptions& options) {
+  assert(options.code_length >= 1 && options.code_length <= 64);
+  assert(options.bits_per_block >= 1 && options.bits_per_block <= 8);
+  assert(options.code_length % options.bits_per_block == 0);
+  const int num_blocks = options.code_length / options.bits_per_block;
+  assert(static_cast<size_t>(num_blocks) <= dataset.dim());
+  const size_t k = size_t{1} << options.bits_per_block;
+  Rng rng(options.seed);
+
+  std::vector<KmhHasher::Block> blocks;
+  blocks.reserve(num_blocks);
+  const size_t dim = dataset.dim();
+  for (int b = 0; b < num_blocks; ++b) {
+    KmhHasher::Block block;
+    block.dim_begin = dim * b / num_blocks;
+    block.dim_end = dim * (b + 1) / num_blocks;
+    const size_t sub_dim = block.dim_end - block.dim_begin;
+
+    // Copy the subspace slice of a training sample.
+    std::vector<uint32_t> rows;
+    if (dataset.size() > options.max_train_samples) {
+      rows = rng.SampleWithoutReplacement(
+          static_cast<uint32_t>(dataset.size()),
+          static_cast<uint32_t>(options.max_train_samples));
+    } else {
+      rows.resize(dataset.size());
+      for (size_t i = 0; i < dataset.size(); ++i) {
+        rows[i] = static_cast<uint32_t>(i);
+      }
+    }
+    std::vector<float> sub(rows.size() * sub_dim);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const float* x = dataset.Row(rows[i]) + block.dim_begin;
+      std::copy(x, x + sub_dim, sub.data() + i * sub_dim);
+    }
+
+    KMeansOptions km;
+    km.k = k;
+    km.max_iters = options.kmeans_iters;
+    km.seed = options.seed + static_cast<uint64_t>(b) * 7919;
+    KMeansResult result = KMeans(sub.data(), rows.size(), sub_dim, km);
+
+    // Bake the affinity-preserving index permutation into row order:
+    // codewords.Row(binary index) = center with that index.
+    std::vector<uint32_t> perm =
+        AssignIndices(result.centers, options.assignment_passes, &rng);
+    block.codewords = Matrix(k, sub_dim);
+    for (size_t c = 0; c < k; ++c) {
+      const double* src = result.centers.Row(c);
+      std::copy(src, src + sub_dim, block.codewords.Row(perm[c]));
+    }
+    blocks.push_back(std::move(block));
+  }
+  return KmhHasher(std::move(blocks), options.bits_per_block, dim);
+}
+
+}  // namespace gqr

@@ -1,0 +1,77 @@
+// KMH (K-means hashing, He-Wen-Sun): the descriptor is split into B
+// contiguous subspaces; each subspace is vector-quantized with 2^s
+// k-means codewords whose *binary indices* are assigned to approximately
+// preserve inter-codeword affinity, so Hamming distance between codes
+// tracks Euclidean distance between codewords.
+//
+// KMH is not a sign-of-projection hasher, which is exactly why it appears
+// here: the paper's appendix shows QD generalizes to it by defining the
+// flipping cost of bit i as dist(q, c_q') - dist(q, c_q), where c_q is the
+// codeword q quantizes to in bit i's subspace and c_q' is the codeword
+// whose binary index differs from c_q's only in bit i. Costs are
+// non-negative because c_q is the nearest codeword.
+#ifndef GQR_HASH_KMH_H_
+#define GQR_HASH_KMH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "hash/binary_hasher.h"
+#include "la/matrix.h"
+
+namespace gqr {
+
+struct KmhOptions {
+  int code_length = 16;
+  /// Bits per subspace (2^bits_per_block codewords each). code_length
+  /// must be a multiple of this.
+  int bits_per_block = 4;
+  int kmeans_iters = 25;
+  /// Local-search passes for the affinity-preserving index assignment.
+  int assignment_passes = 8;
+  size_t max_train_samples = 20000;
+  uint64_t seed = 42;
+};
+
+class KmhHasher : public BinaryHasher {
+ public:
+  struct Block {
+    size_t dim_begin;   // Subspace = dims [dim_begin, dim_end).
+    size_t dim_end;
+    /// 2^s x (dim_end - dim_begin); row r is the codeword whose *binary
+    /// index* is r (the affinity-preserving permutation is already baked
+    /// into the row order).
+    Matrix codewords;
+  };
+
+  KmhHasher(std::vector<Block> blocks, int bits_per_block, size_t dim);
+
+  int code_length() const override { return code_length_; }
+  size_t dim() const override { return dim_; }
+
+  Code HashItem(const float* x) const override;
+  QueryHashInfo HashQuery(const float* q) const override;
+
+  const std::vector<Block>& blocks() const { return blocks_; }
+  int bits_per_block() const { return bits_per_block_; }
+
+ private:
+  /// Binary index of the codeword nearest to the subvector of x in block
+  /// b, plus (optionally) the squared distances to every codeword.
+  uint32_t NearestCodeword(const Block& block, const float* x,
+                           std::vector<double>* all_sq) const;
+
+  std::vector<Block> blocks_;
+  int bits_per_block_;
+  int code_length_;
+  size_t dim_;
+};
+
+/// Trains KMH on the dataset: per-block k-means then affinity-preserving
+/// binary index assignment by pairwise-swap local search.
+KmhHasher TrainKmh(const Dataset& dataset, const KmhOptions& options);
+
+}  // namespace gqr
+
+#endif  // GQR_HASH_KMH_H_

@@ -1,0 +1,27 @@
+#include "hash/linear_hasher.h"
+
+#include <cassert>
+
+namespace gqr {
+
+LinearHasher::LinearHasher(Matrix w, std::vector<double> offset,
+                           std::string name)
+    : w_(std::move(w)), offset_(std::move(offset)), name_(std::move(name)) {
+  assert(w_.rows() >= 1 && w_.rows() <= 64);
+  assert(offset_.size() == w_.cols());
+}
+
+void LinearHasher::Project(const float* x, double* out) const {
+  const size_t d = w_.cols();
+  const size_t m = w_.rows();
+  for (size_t i = 0; i < m; ++i) {
+    const double* row = w_.Row(i);
+    double dot = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      dot += row[j] * (static_cast<double>(x[j]) - offset_[j]);
+    }
+    out[i] = dot;
+  }
+}
+
+}  // namespace gqr

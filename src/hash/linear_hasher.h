@@ -1,0 +1,42 @@
+// LinearHasher: a concrete sign-of-projection hasher with an affine
+// projection p(x) = W (x - offset). LSH, PCAH, and ITQ all produce one of
+// these (they differ only in how W and offset are trained).
+#ifndef GQR_HASH_LINEAR_HASHER_H_
+#define GQR_HASH_LINEAR_HASHER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hash/projection_hasher.h"
+#include "la/matrix.h"
+
+namespace gqr {
+
+class LinearHasher : public ProjectionHasher {
+ public:
+  /// w is m x d (m <= 64); offset has length d (often the data mean).
+  LinearHasher(Matrix w, std::vector<double> offset, std::string name);
+
+  int code_length() const override {
+    return static_cast<int>(w_.rows());
+  }
+  size_t dim() const override { return w_.cols(); }
+
+  void Project(const float* x, double* out) const override;
+
+  Matrix HashingMatrix() const override { return w_; }
+  const std::vector<double>& offset() const { return offset_; }
+
+  /// Which learner produced this hasher ("LSH", "PCAH", "ITQ").
+  const std::string& name() const { return name_; }
+
+ private:
+  Matrix w_;
+  std::vector<double> offset_;
+  std::string name_;
+};
+
+}  // namespace gqr
+
+#endif  // GQR_HASH_LINEAR_HASHER_H_

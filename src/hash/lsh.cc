@@ -1,0 +1,40 @@
+#include "hash/lsh.h"
+
+#include <cassert>
+
+#include "util/random.h"
+
+namespace gqr {
+
+LinearHasher TrainLsh(const Dataset& dataset, size_t dim,
+                      const LshOptions& options) {
+  assert(options.code_length >= 1 && options.code_length <= 64);
+  Rng rng(options.seed);
+  Matrix w = Matrix::RandomGaussian(options.code_length, dim, &rng);
+
+  std::vector<double> offset(dim, 0.0);
+  if (options.center_on_mean && !dataset.empty()) {
+    assert(dataset.dim() == dim);
+    std::vector<uint32_t> rows;
+    if (dataset.size() > options.max_train_samples) {
+      rows = rng.SampleWithoutReplacement(
+          static_cast<uint32_t>(dataset.size()),
+          static_cast<uint32_t>(options.max_train_samples));
+    } else {
+      rows.resize(dataset.size());
+      for (size_t i = 0; i < dataset.size(); ++i) {
+        rows[i] = static_cast<uint32_t>(i);
+      }
+    }
+    for (uint32_t r : rows) {
+      const float* x = dataset.Row(r);
+      for (size_t j = 0; j < dim; ++j) offset[j] += x[j];
+    }
+    for (size_t j = 0; j < dim; ++j) {
+      offset[j] /= static_cast<double>(rows.size());
+    }
+  }
+  return LinearHasher(std::move(w), std::move(offset), "LSH");
+}
+
+}  // namespace gqr

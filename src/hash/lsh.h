@@ -1,0 +1,30 @@
+// Sign-random-projection LSH — the data-oblivious baseline hasher
+// (paper §1's contrast class for L2H).
+#ifndef GQR_HASH_LSH_H_
+#define GQR_HASH_LSH_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "hash/linear_hasher.h"
+
+namespace gqr {
+
+struct LshOptions {
+  int code_length = 16;
+  uint64_t seed = 42;
+  /// Center projections on the data mean; improves bit balance and costs
+  /// one pass over (a sample of) the data. When false the offset is zero
+  /// and `dataset` may be empty.
+  bool center_on_mean = true;
+  size_t max_train_samples = 20000;
+};
+
+/// Draws m Gaussian hyperplanes; data-independent apart from the optional
+/// mean-centering.
+LinearHasher TrainLsh(const Dataset& dataset, size_t dim,
+                      const LshOptions& options);
+
+}  // namespace gqr
+
+#endif  // GQR_HASH_LSH_H_

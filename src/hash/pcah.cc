@@ -1,0 +1,21 @@
+#include "hash/pcah.h"
+
+#include <cassert>
+
+#include "la/pca.h"
+#include "util/random.h"
+
+namespace gqr {
+
+LinearHasher TrainPcah(const Dataset& dataset, const PcahOptions& options) {
+  assert(options.code_length >= 1 && options.code_length <= 64);
+  assert(static_cast<size_t>(options.code_length) <= dataset.dim());
+  Rng rng(options.seed);
+  PcaModel pca =
+      FitPca(dataset.data(), dataset.size(), dataset.dim(),
+             options.code_length, options.max_train_samples, &rng);
+  return LinearHasher(std::move(pca.components), std::move(pca.mean),
+                      "PCAH");
+}
+
+}  // namespace gqr

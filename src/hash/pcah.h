@@ -1,0 +1,27 @@
+// PCAH (PCA hashing): hash bits are signs of the top-m principal
+// components of the mean-centered data. The simplest L2H learner the
+// paper evaluates — and the one GQR boosts to OPQ-level query quality
+// (paper §6.5).
+#ifndef GQR_HASH_PCAH_H_
+#define GQR_HASH_PCAH_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "hash/linear_hasher.h"
+
+namespace gqr {
+
+struct PcahOptions {
+  int code_length = 16;
+  size_t max_train_samples = 20000;
+  uint64_t seed = 42;
+};
+
+/// Fits PCA on (a sample of) the dataset and returns the sign-of-PCA
+/// hasher. Requires code_length <= dataset.dim().
+LinearHasher TrainPcah(const Dataset& dataset, const PcahOptions& options);
+
+}  // namespace gqr
+
+#endif  // GQR_HASH_PCAH_H_

@@ -1,0 +1,44 @@
+#include "hash/projection_hasher.h"
+
+#include <cmath>
+
+#include "util/parallel_for.h"
+
+namespace gqr {
+
+std::vector<Code> BinaryHasher::HashDataset(const Dataset& dataset) const {
+  std::vector<Code> codes(dataset.size());
+  ParallelFor(0, dataset.size(), [&](size_t i) {
+    codes[i] = HashItem(dataset.Row(static_cast<ItemId>(i)));
+  });
+  return codes;
+}
+
+Code ProjectionHasher::Quantize(const double* projection) const {
+  const int m = code_length();
+  Code c = 0;
+  for (int i = 0; i < m; ++i) {
+    // Thresholding rule of §2.1: bit = 1 iff projection is non-negative.
+    if (projection[i] >= 0.0) c |= Code{1} << i;
+  }
+  return c;
+}
+
+Code ProjectionHasher::HashItem(const float* x) const {
+  std::vector<double> p(code_length());
+  Project(x, p.data());
+  return Quantize(p.data());
+}
+
+QueryHashInfo ProjectionHasher::HashQuery(const float* q) const {
+  const int m = code_length();
+  std::vector<double> p(m);
+  Project(q, p.data());
+  QueryHashInfo info;
+  info.code = Quantize(p.data());
+  info.flip_costs.resize(m);
+  for (int i = 0; i < m; ++i) info.flip_costs[i] = std::abs(p[i]);
+  return info;
+}
+
+}  // namespace gqr

@@ -1,0 +1,37 @@
+// ProjectionHasher: base class for sign-of-projection binary hashers.
+//
+// Covers LSH, PCAH, ITQ, and SH: the item is projected to an m-dimensional
+// real vector p(x) (paper §2.1 "projection"), then each entry is
+// thresholded at zero ("quantization"): c_i(x) = 1 iff p_i(x) >= 0.
+// Flipping cost of bit i for a query is |p_i(q)|.
+#ifndef GQR_HASH_PROJECTION_HASHER_H_
+#define GQR_HASH_PROJECTION_HASHER_H_
+
+#include <vector>
+
+#include "hash/binary_hasher.h"
+#include "la/matrix.h"
+
+namespace gqr {
+
+class ProjectionHasher : public BinaryHasher {
+ public:
+  /// Writes the m projection values of x into out (length code_length()).
+  virtual void Project(const float* x, double* out) const = 0;
+
+  Code HashItem(const float* x) const final;
+  QueryHashInfo HashQuery(const float* q) const final;
+
+  /// Quantization of an already-computed projection vector.
+  Code Quantize(const double* projection) const;
+
+  /// The hashing matrix H (m x d) when the projection is affine
+  /// (p(x) = H (x - offset)); empty for non-affine hashers such as SH.
+  /// Exposed for the Theorem 1/2 constant M = sigma_max(H) used by
+  /// early-stop and by the lower-bound property tests.
+  virtual Matrix HashingMatrix() const { return Matrix(); }
+};
+
+}  // namespace gqr
+
+#endif  // GQR_HASH_PROJECTION_HASHER_H_

@@ -1,0 +1,84 @@
+#include "hash/sh.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace gqr {
+
+ShHasher::ShHasher(PcaModel pca, std::vector<BitFunction> bits)
+    : pca_(std::move(pca)), bits_(std::move(bits)) {
+  assert(!bits_.empty() && bits_.size() <= 64);
+}
+
+void ShHasher::Project(const float* x, double* out) const {
+  std::vector<double> v(pca_.num_components());
+  pca_.Project(x, v.data());
+  for (size_t i = 0; i < bits_.size(); ++i) {
+    const BitFunction& f = bits_[i];
+    const double u = (v[f.pca_dim] - f.min_value) / f.range;
+    out[i] = std::sin(M_PI / 2.0 + f.mode_k * M_PI * u);
+  }
+}
+
+ShHasher TrainSh(const Dataset& dataset, const ShOptions& options) {
+  const int m = options.code_length;
+  assert(m >= 1 && m <= 64);
+  assert(static_cast<size_t>(m) <= dataset.dim());
+  Rng rng(options.seed);
+
+  PcaModel pca = FitPca(dataset.data(), dataset.size(), dataset.dim(),
+                        static_cast<size_t>(m), options.max_train_samples,
+                        &rng);
+
+  // Per-direction ranges over a training sample.
+  std::vector<uint32_t> rows;
+  if (dataset.size() > options.max_train_samples) {
+    rows = rng.SampleWithoutReplacement(
+        static_cast<uint32_t>(dataset.size()),
+        static_cast<uint32_t>(options.max_train_samples));
+  } else {
+    rows.resize(dataset.size());
+    for (size_t i = 0; i < dataset.size(); ++i) {
+      rows[i] = static_cast<uint32_t>(i);
+    }
+  }
+  std::vector<double> mins(m, 1e300), maxs(m, -1e300);
+  std::vector<double> v(m);
+  for (uint32_t r : rows) {
+    pca.Project(dataset.Row(r), v.data());
+    for (int j = 0; j < m; ++j) {
+      mins[j] = std::min(mins[j], v[j]);
+      maxs[j] = std::max(maxs[j], v[j]);
+    }
+  }
+
+  // Candidate eigenfunctions: mode k on direction j has eigenvalue
+  // proportional to (k / range_j)^2. Keep the m smallest.
+  std::vector<ShHasher::BitFunction> candidates;
+  for (int j = 0; j < m; ++j) {
+    double range = maxs[j] - mins[j];
+    if (range <= 1e-12) range = 1.0;  // Degenerate direction.
+    for (int k = 1; k <= m; ++k) {
+      ShHasher::BitFunction f;
+      f.pca_dim = j;
+      f.mode_k = k;
+      f.min_value = mins[j];
+      f.range = range;
+      const double freq = static_cast<double>(k) / range;
+      f.eigenvalue = freq * freq;
+      candidates.push_back(f);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const ShHasher::BitFunction& a,
+               const ShHasher::BitFunction& b) {
+              return a.eigenvalue < b.eigenvalue;
+            });
+  candidates.resize(m);
+  return ShHasher(std::move(pca), std::move(candidates));
+}
+
+}  // namespace gqr

@@ -1,0 +1,63 @@
+// SH (spectral hashing, Weiss-Torralba-Fergus): PCA followed by the
+// analytical Laplacian eigenfunctions of a uniform distribution on each
+// principal direction. Bits are signs of sinusoids; a *non-affine*
+// projection hasher, included to demonstrate QD's generality beyond
+// linear hash functions (paper §6.4).
+#ifndef GQR_HASH_SH_H_
+#define GQR_HASH_SH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "hash/projection_hasher.h"
+#include "la/pca.h"
+
+namespace gqr {
+
+struct ShOptions {
+  int code_length = 16;
+  size_t max_train_samples = 20000;
+  uint64_t seed = 42;
+};
+
+/// A trained spectral hasher.
+class ShHasher : public ProjectionHasher {
+ public:
+  /// One hash bit: the mode_k-th eigenfunction along PCA direction
+  /// pca_dim with training range [min_value, min_value + range].
+  struct BitFunction {
+    int pca_dim;
+    int mode_k;        // >= 1
+    double min_value;
+    double range;      // > 0
+    double eigenvalue; // (mode_k / range)^2 up to constants; ascending
+  };
+
+  ShHasher(PcaModel pca, std::vector<BitFunction> bits);
+
+  int code_length() const override {
+    return static_cast<int>(bits_.size());
+  }
+  size_t dim() const override { return pca_.dim(); }
+
+  /// p_i(x) = sin(pi/2 + mode_k * pi * (v_{pca_dim} - min) / range) where
+  /// v = PCA projection of x. |p_i| is the flipping cost.
+  void Project(const float* x, double* out) const override;
+
+  const std::vector<BitFunction>& bits() const { return bits_; }
+  const PcaModel& pca() const { return pca_; }
+
+ private:
+  PcaModel pca_;
+  std::vector<BitFunction> bits_;
+};
+
+/// Trains SH: PCA to code_length components, per-direction ranges from the
+/// training sample, then the code_length eigenfunctions with the smallest
+/// analytical eigenvalues.
+ShHasher TrainSh(const Dataset& dataset, const ShOptions& options);
+
+}  // namespace gqr
+
+#endif  // GQR_HASH_SH_H_

@@ -1,0 +1,89 @@
+#include "hash/ssh.h"
+
+#include <cassert>
+
+#include "la/eigen_sym.h"
+#include "la/pca.h"
+#include "util/random.h"
+
+namespace gqr {
+
+LinearHasher TrainSsh(const Dataset& dataset,
+                      const std::vector<LabeledPair>& pairs,
+                      const SshOptions& options) {
+  const size_t d = dataset.dim();
+  const int m = options.code_length;
+  assert(m >= 1 && m <= 64 && static_cast<size_t>(m) <= d);
+  Rng rng(options.seed);
+
+  // Unsupervised part: covariance of a training sample (reuse the PCA
+  // fitter, which also gives us the data mean).
+  PcaModel pca = FitPca(dataset.data(), dataset.size(), d, d,
+                        options.max_train_samples, &rng);
+
+  // Rebuild Cov = P^T diag(var) P from the full eigenbasis. (FitPca with
+  // num_components = d returns all directions.)
+  Matrix adjusted(d, d);
+  for (size_t c = 0; c < d; ++c) {
+    const double var = pca.explained_variance[c];
+    if (var <= 0.0) continue;
+    const double* dir = pca.components.Row(c);
+    for (size_t i = 0; i < d; ++i) {
+      const double w = options.unsupervised_weight * var * dir[i];
+      double* row = adjusted.Row(i);
+      for (size_t j = 0; j < d; ++j) row[j] += w * dir[j];
+    }
+  }
+
+  // Supervised part: (1/|L|) sum s * outer(x_a - mu, x_b - mu),
+  // symmetrized.
+  if (!pairs.empty()) {
+    const double scale = 1.0 / static_cast<double>(pairs.size());
+    std::vector<double> xa(d), xb(d);
+    for (const LabeledPair& p : pairs) {
+      const float* a = dataset.Row(p.a);
+      const float* b = dataset.Row(p.b);
+      for (size_t i = 0; i < d; ++i) {
+        xa[i] = static_cast<double>(a[i]) - pca.mean[i];
+        xb[i] = static_cast<double>(b[i]) - pca.mean[i];
+      }
+      const double s = scale * static_cast<double>(p.label);
+      for (size_t i = 0; i < d; ++i) {
+        double* row = adjusted.Row(i);
+        for (size_t j = 0; j < d; ++j) {
+          // Symmetrized outer product, 0.5 (xa xb^T + xb xa^T).
+          row[j] += 0.5 * s * (xa[i] * xb[j] + xb[i] * xa[j]);
+        }
+      }
+    }
+  }
+
+  EigenDecomposition eig = EigenSym(adjusted);
+  Matrix w(static_cast<size_t>(m), d);
+  for (int c = 0; c < m; ++c) {
+    for (size_t j = 0; j < d; ++j) {
+      w.At(c, j) = eig.eigenvectors.At(j, static_cast<size_t>(c));
+    }
+  }
+  return LinearHasher(std::move(w), std::move(pca.mean), "SSH");
+}
+
+std::vector<LabeledPair> MakeMetricPairs(const Dataset& dataset,
+                                         size_t num_anchors, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LabeledPair> pairs;
+  pairs.reserve(num_anchors * 2);
+  for (size_t i = 0; i < num_anchors; ++i) {
+    const auto anchor = static_cast<ItemId>(rng.Uniform(dataset.size()));
+    Neighbors nn = BruteForceKnn(dataset, dataset.Row(anchor), 2);
+    // nn.ids[0] is the anchor itself; ids[1] its true nearest neighbor.
+    if (nn.ids.size() >= 2 && nn.ids[1] != anchor) {
+      pairs.push_back({anchor, nn.ids[1], +1});
+    }
+    auto far = static_cast<ItemId>(rng.Uniform(dataset.size()));
+    if (far != anchor) pairs.push_back({anchor, far, -1});
+  }
+  return pairs;
+}
+
+}  // namespace gqr

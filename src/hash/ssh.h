@@ -1,0 +1,55 @@
+// SSH (semi-supervised hashing, Wang-Kumar-Chang CVPR'10): hash
+// directions maximize an *adjusted* covariance that rewards separating
+// dissimilar labeled pairs and keeping similar pairs together, blended
+// with the unsupervised variance term:
+//
+//   M = (1/|L|) * sum_{(i,j,s) in L} s (x_i - mu)(x_j - mu)^T   (symmetrized)
+//       + eta * Cov(X),
+//   W = top-m eigenvectors of M  (the orthogonal SSH variant).
+//
+// One of the learner families the paper's §1/§2 names; like PCAH/ITQ it
+// produces a LinearHasher, so every querying method (including GQR)
+// applies unchanged.
+#ifndef GQR_HASH_SSH_H_
+#define GQR_HASH_SSH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/ground_truth.h"
+#include "hash/linear_hasher.h"
+
+namespace gqr {
+
+/// A labeled pair: similar (+1) or dissimilar (-1).
+struct LabeledPair {
+  ItemId a;
+  ItemId b;
+  int label;  // +1 similar, -1 dissimilar.
+};
+
+struct SshOptions {
+  int code_length = 16;
+  /// Weight of the unsupervised variance term (eta in the paper's
+  /// objective); larger values shade SSH toward plain PCAH.
+  double unsupervised_weight = 1.0;
+  size_t max_train_samples = 20000;
+  uint64_t seed = 42;
+};
+
+/// Trains SSH from explicit pairwise supervision.
+LinearHasher TrainSsh(const Dataset& dataset,
+                      const std::vector<LabeledPair>& pairs,
+                      const SshOptions& options);
+
+/// Builds pseudo-supervision from metric structure: for `num_anchors`
+/// sampled items, the exact nearest neighbor forms a similar pair and a
+/// uniformly random far item a dissimilar pair. This is the standard way
+/// to exercise SSH when no human labels exist.
+std::vector<LabeledPair> MakeMetricPairs(const Dataset& dataset,
+                                         size_t num_anchors, uint64_t seed);
+
+}  // namespace gqr
+
+#endif  // GQR_HASH_SSH_H_

@@ -1,0 +1,76 @@
+#include "index/dynamic_table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gqr {
+
+DynamicHashTable::DynamicHashTable(int code_length)
+    : code_length_(code_length), code_mask_(LowBitsMask(code_length)) {
+  assert(code_length >= 1 && code_length <= 64);
+}
+
+Status DynamicHashTable::Insert(ItemId id, Code code) {
+  if ((code & ~code_mask_) != 0) {
+    return Status::InvalidArgument("code exceeds code length");
+  }
+  std::vector<ItemId>& bucket = buckets_[code];
+  if (std::find(bucket.begin(), bucket.end(), id) != bucket.end()) {
+    return Status::FailedPrecondition("item " + std::to_string(id) +
+                                      " already in bucket");
+  }
+  bucket.push_back(id);
+  ++num_items_;
+  return Status::OK();
+}
+
+Status DynamicHashTable::Remove(ItemId id, Code code) {
+  auto it = buckets_.find(code & code_mask_);
+  if (it == buckets_.end()) {
+    return Status::NotFound("bucket empty");
+  }
+  std::vector<ItemId>& bucket = it->second;
+  auto pos = std::find(bucket.begin(), bucket.end(), id);
+  if (pos == bucket.end()) {
+    return Status::NotFound("item " + std::to_string(id) +
+                            " not in bucket");
+  }
+  *pos = bucket.back();
+  bucket.pop_back();
+  if (bucket.empty()) buckets_.erase(it);
+  --num_items_;
+  return Status::OK();
+}
+
+bool DynamicHashTable::Contains(ItemId id, Code code) const {
+  auto it = buckets_.find(code & code_mask_);
+  if (it == buckets_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), id) !=
+         it->second.end();
+}
+
+std::span<const ItemId> DynamicHashTable::Probe(Code code) const {
+  auto it = buckets_.find(code & code_mask_);
+  if (it == buckets_.end()) return {};
+  return it->second;
+}
+
+Result<StaticHashTable> DynamicHashTable::Freeze() const {
+  // Re-derive the per-item code array; StaticHashTable addresses items
+  // by dense row index, so the id set must be exactly [0, num_items).
+  std::vector<Code> codes(num_items_, 0);
+  std::vector<bool> assigned(num_items_, false);
+  for (const auto& [code, items] : buckets_) {
+    for (ItemId id : items) {
+      if (id >= num_items_ || assigned[id]) {
+        return Status::FailedPrecondition(
+            "ids are not dense in [0, num_items); compact before Freeze");
+      }
+      assigned[id] = true;
+      codes[id] = code;
+    }
+  }
+  return StaticHashTable(codes, code_length_);
+}
+
+}  // namespace gqr

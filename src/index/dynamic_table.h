@@ -1,0 +1,62 @@
+// DynamicHashTable: an insert/remove-capable bucket index.
+//
+// StaticHashTable (hash_table.h) is the deployment structure — immutable
+// and probe-optimal. This table covers the other half of the lifecycle:
+// ingesting a stream of items, deleting items, and freezing into a
+// StaticHashTable once the corpus stabilizes. GQR/GHR probers work
+// directly against it (they only generate codes); HR/QR probers need the
+// bucket list, which Freeze() provides.
+#ifndef GQR_INDEX_DYNAMIC_TABLE_H_
+#define GQR_INDEX_DYNAMIC_TABLE_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "index/hash_table.h"
+#include "util/bits.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace gqr {
+
+class DynamicHashTable {
+ public:
+  explicit DynamicHashTable(int code_length);
+
+  int code_length() const { return code_length_; }
+  size_t num_items() const { return num_items_; }
+  size_t num_buckets() const { return buckets_.size(); }
+
+  /// Adds an item under `code`. Returns InvalidArgument if the code has
+  /// bits above code_length, FailedPrecondition if the id is present.
+  Status Insert(ItemId id, Code code);
+
+  /// Removes an item. Returns NotFound if the id is not present (or is
+  /// not under `code`). O(bucket size).
+  Status Remove(ItemId id, Code code);
+
+  /// True if the id is currently indexed under `code`.
+  bool Contains(ItemId id, Code code) const;
+
+  /// Items currently in bucket `code` (order = insertion order, with
+  /// swap-with-last removal holes).
+  std::span<const ItemId> Probe(Code code) const;
+
+  /// Immutable snapshot for deployment / HR / QR probing. Requires the
+  /// indexed ids to be exactly {0, ..., num_items() - 1} (StaticHashTable
+  /// addresses items by dense row index); returns FailedPrecondition
+  /// otherwise — re-ingest with compacted ids after deletions.
+  Result<StaticHashTable> Freeze() const;
+
+ private:
+  int code_length_;
+  Code code_mask_;
+  size_t num_items_ = 0;
+  std::unordered_map<Code, std::vector<ItemId>> buckets_;
+};
+
+}  // namespace gqr
+
+#endif  // GQR_INDEX_DYNAMIC_TABLE_H_

@@ -1,0 +1,88 @@
+#include "index/hash_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace gqr {
+
+namespace {
+
+// SplitMix64: cheap, well-mixed integer hash for the code -> slot map.
+inline uint64_t MixCode(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+StaticHashTable::StaticHashTable(const std::vector<Code>& codes,
+                                 int code_length)
+    : code_length_(code_length) {
+  assert(code_length >= 1 && code_length <= 64);
+  const Code mask = LowBitsMask(code_length);
+  const size_t n = codes.size();
+
+  // Sort item ids by code (stable within equal codes by construction).
+  item_ids_.resize(n);
+  std::iota(item_ids_.begin(), item_ids_.end(), ItemId{0});
+  std::sort(item_ids_.begin(), item_ids_.end(), [&](ItemId a, ItemId b) {
+    return codes[a] != codes[b] ? codes[a] < codes[b] : a < b;
+  });
+
+  // Unique codes + offsets.
+  bucket_offsets_.push_back(0);
+  for (size_t i = 0; i < n; ++i) {
+    const Code c = codes[item_ids_[i]];
+    assert((c & ~mask) == 0 && "code exceeds code_length bits");
+    (void)mask;
+    if (bucket_codes_.empty() || bucket_codes_.back() != c) {
+      if (!bucket_codes_.empty()) {
+        bucket_offsets_.push_back(static_cast<uint32_t>(i));
+      }
+      bucket_codes_.push_back(c);
+    }
+  }
+  bucket_offsets_.push_back(static_cast<uint32_t>(n));
+  if (bucket_codes_.empty()) bucket_offsets_.assign(1, 0);
+
+  // Open-addressing map sized to <= 50% load.
+  size_t slot_count = 16;
+  while (slot_count < bucket_codes_.size() * 2) slot_count <<= 1;
+  slots_.assign(slot_count, 0);
+  slot_mask_ = slot_count - 1;
+  for (size_t b = 0; b < bucket_codes_.size(); ++b) {
+    uint64_t slot = MixCode(bucket_codes_[b]) & slot_mask_;
+    while (slots_[slot] != 0) slot = (slot + 1) & slot_mask_;
+    slots_[slot] = static_cast<uint32_t>(b) + 1;
+  }
+}
+
+uint32_t StaticHashTable::FindBucket(Code code) const {
+  if (slots_.empty()) return kNotFound;
+  uint64_t slot = MixCode(code) & slot_mask_;
+  while (true) {
+    const uint32_t v = slots_[slot];
+    if (v == 0) return kNotFound;
+    if (bucket_codes_[v - 1] == code) return v - 1;
+    slot = (slot + 1) & slot_mask_;
+  }
+}
+
+std::span<const ItemId> StaticHashTable::Probe(Code code) const {
+  const uint32_t b = FindBucket(code);
+  if (b == kNotFound) return {};
+  return bucket_items(b);
+}
+
+size_t StaticHashTable::MaxBucketSize() const {
+  size_t best = 0;
+  for (size_t b = 0; b < num_buckets(); ++b) {
+    best = std::max(best, bucket_size(b));
+  }
+  return best;
+}
+
+}  // namespace gqr

@@ -1,0 +1,68 @@
+// StaticHashTable: the bucket index of one hash table.
+//
+// Built once from the per-item codes, then immutable: item ids are sorted
+// by code into one contiguous array, and an open-addressing map from code
+// to (offset, length) makes probing a bucket a single hash lookup plus a
+// linear span scan. This mirrors how L2H indexes are deployed (build
+// offline, probe online) and keeps the probe path allocation-free.
+#ifndef GQR_INDEX_HASH_TABLE_H_
+#define GQR_INDEX_HASH_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/bits.h"
+
+namespace gqr {
+
+class StaticHashTable {
+ public:
+  StaticHashTable() = default;
+
+  /// Builds the table from codes[i] = bucket signature of item i.
+  /// code_length is m (1..64); codes must fit in m bits.
+  StaticHashTable(const std::vector<Code>& codes, int code_length);
+
+  int code_length() const { return code_length_; }
+  size_t num_items() const { return item_ids_.size(); }
+  /// Number of non-empty buckets (B in the paper's complexity analysis).
+  size_t num_buckets() const { return bucket_codes_.size(); }
+
+  /// Items in bucket `code`; empty span when the bucket does not exist.
+  std::span<const ItemId> Probe(Code code) const;
+
+  /// Signature of every non-empty bucket (ascending code order).
+  const std::vector<Code>& bucket_codes() const { return bucket_codes_; }
+
+  /// Size of bucket index b (aligned with bucket_codes()).
+  size_t bucket_size(size_t b) const {
+    return bucket_offsets_[b + 1] - bucket_offsets_[b];
+  }
+  /// Items of bucket index b.
+  std::span<const ItemId> bucket_items(size_t b) const {
+    return {item_ids_.data() + bucket_offsets_[b],
+            bucket_offsets_[b + 1] - bucket_offsets_[b]};
+  }
+
+  /// Largest bucket population; useful for occupancy diagnostics.
+  size_t MaxBucketSize() const;
+
+ private:
+  /// Open-addressing lookup: index into bucket_codes_ or kNotFound.
+  static constexpr uint32_t kNotFound = 0xffffffffu;
+  uint32_t FindBucket(Code code) const;
+
+  int code_length_ = 0;
+  std::vector<ItemId> item_ids_;         // Sorted by code, then id.
+  std::vector<Code> bucket_codes_;       // Ascending unique codes.
+  std::vector<uint32_t> bucket_offsets_; // Size num_buckets + 1.
+  // Open addressing: slot -> bucket index + 1, 0 = empty.
+  std::vector<uint32_t> slots_;
+  uint64_t slot_mask_ = 0;
+};
+
+}  // namespace gqr
+
+#endif  // GQR_INDEX_HASH_TABLE_H_

@@ -1,0 +1,34 @@
+#include "index/multi_table.h"
+
+namespace gqr {
+
+MultiTableIndex::MultiTableIndex(
+    std::vector<std::unique_ptr<BinaryHasher>> hashers, const Dataset& base)
+    : hashers_(std::move(hashers)) {
+  assert(!hashers_.empty());
+  tables_.reserve(hashers_.size());
+  for (const auto& hasher : hashers_) {
+    assert(hasher->dim() == base.dim());
+    tables_.emplace_back(hasher->HashDataset(base), hasher->code_length());
+  }
+}
+
+size_t MultiTableIndex::TotalBuckets() const {
+  size_t total = 0;
+  for (const auto& t : tables_) total += t.num_buckets();
+  return total;
+}
+
+MultiTableIndex BuildMultiTableIndex(
+    const Dataset& base, size_t num_tables,
+    const std::function<std::unique_ptr<BinaryHasher>(uint64_t seed)>&
+        train) {
+  std::vector<std::unique_ptr<BinaryHasher>> hashers;
+  hashers.reserve(num_tables);
+  for (size_t t = 0; t < num_tables; ++t) {
+    hashers.push_back(train(/*seed=*/1000 + 97 * t));
+  }
+  return MultiTableIndex(std::move(hashers), base);
+}
+
+}  // namespace gqr

@@ -1,0 +1,47 @@
+// MultiTableIndex: T independently trained hashers, each with its own
+// bucket table over the same base set. Multiple tables trade memory for
+// recall (paper §6.3.5); probers merge the per-table bucket streams by
+// their similarity indicator.
+#ifndef GQR_INDEX_MULTI_TABLE_H_
+#define GQR_INDEX_MULTI_TABLE_H_
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "hash/binary_hasher.h"
+#include "index/hash_table.h"
+
+namespace gqr {
+
+class MultiTableIndex {
+ public:
+  /// Builds one StaticHashTable per hasher over `base`. All hashers must
+  /// share the base's dimensionality (code lengths may differ).
+  MultiTableIndex(std::vector<std::unique_ptr<BinaryHasher>> hashers,
+                  const Dataset& base);
+
+  size_t num_tables() const { return hashers_.size(); }
+  const BinaryHasher& hasher(size_t t) const { return *hashers_[t]; }
+  const StaticHashTable& table(size_t t) const { return tables_[t]; }
+
+  /// Total number of non-empty buckets across tables (memory proxy).
+  size_t TotalBuckets() const;
+
+ private:
+  std::vector<std::unique_ptr<BinaryHasher>> hashers_;
+  std::vector<StaticHashTable> tables_;
+};
+
+/// Convenience: trains `num_tables` hashers via `train(table_seed)` and
+/// builds the index. `train` is called with a distinct seed per table.
+MultiTableIndex BuildMultiTableIndex(
+    const Dataset& base, size_t num_tables,
+    const std::function<std::unique_ptr<BinaryHasher>(uint64_t seed)>&
+        train);
+
+}  // namespace gqr
+
+#endif  // GQR_INDEX_MULTI_TABLE_H_

@@ -1,0 +1,97 @@
+#include "la/eigen_sym.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gqr {
+
+namespace {
+
+// Sum of squares of strictly-upper-triangle entries.
+double OffDiagonalMass(const Matrix& a) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = i + 1; j < a.cols(); ++j) {
+      sum += a.At(i, j) * a.At(i, j);
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+EigenDecomposition EigenSym(const Matrix& a_in, int max_sweeps, double tol) {
+  assert(a_in.rows() == a_in.cols());
+  const size_t n = a_in.rows();
+  Matrix a = a_in;
+  // Symmetrize: trust the average of the two triangles.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double avg = 0.5 * (a.At(i, j) + a.At(j, i));
+      a.At(i, j) = avg;
+      a.At(j, i) = avg;
+    }
+  }
+  Matrix v = Matrix::Identity(n);
+  const double fro = a.FrobeniusNorm();
+  const double threshold = tol * std::max(fro, 1e-300);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (std::sqrt(OffDiagonalMass(a)) <= threshold) break;
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a.At(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        const double app = a.At(p, p);
+        const double aqq = a.At(q, q);
+        // Classic Jacobi rotation choosing the smaller angle root.
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Update rows/columns p and q of A (A <- J^T A J).
+        for (size_t i = 0; i < n; ++i) {
+          const double aip = a.At(i, p);
+          const double aiq = a.At(i, q);
+          a.At(i, p) = c * aip - s * aiq;
+          a.At(i, q) = s * aip + c * aiq;
+        }
+        for (size_t j = 0; j < n; ++j) {
+          const double apj = a.At(p, j);
+          const double aqj = a.At(q, j);
+          a.At(p, j) = c * apj - s * aqj;
+          a.At(q, j) = s * apj + c * aqj;
+        }
+        // Accumulate the rotation into V.
+        for (size_t i = 0; i < n; ++i) {
+          const double vip = v.At(i, p);
+          const double viq = v.At(i, q);
+          v.At(i, p) = c * vip - s * viq;
+          v.At(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return a.At(x, x) > a.At(y, y); });
+
+  EigenDecomposition out;
+  out.eigenvalues.resize(n);
+  out.eigenvectors = Matrix(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    out.eigenvalues[j] = a.At(order[j], order[j]);
+    for (size_t i = 0; i < n; ++i) {
+      out.eigenvectors.At(i, j) = v.At(i, order[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace gqr

@@ -1,0 +1,35 @@
+// Symmetric eigendecomposition by the cyclic Jacobi method.
+//
+// Used by PCA (covariance matrices up to ~1000x1000 at the dims this
+// library targets) and by the one-sided-Jacobi SVD's verification paths.
+// Jacobi is slower than LAPACK's tridiagonal reductions but is simple,
+// numerically robust, and dependency-free.
+#ifndef GQR_LA_EIGEN_SYM_H_
+#define GQR_LA_EIGEN_SYM_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace gqr {
+
+/// Eigendecomposition A = V diag(lambda) V^T of a symmetric matrix.
+struct EigenDecomposition {
+  /// Eigenvalues sorted in descending order.
+  std::vector<double> eigenvalues;
+  /// Column j of eigenvectors is the eigenvector for eigenvalues[j].
+  Matrix eigenvectors;
+};
+
+/// Computes the full eigendecomposition of symmetric matrix a.
+///
+/// a must be square and symmetric (only the upper triangle is trusted).
+/// Runs cyclic Jacobi sweeps until off-diagonal mass is below tol * ||A||_F
+/// or max_sweeps is hit (convergence is quadratic; 12 sweeps is plenty for
+/// the sizes used here).
+EigenDecomposition EigenSym(const Matrix& a, int max_sweeps = 24,
+                            double tol = 1e-12);
+
+}  // namespace gqr
+
+#endif  // GQR_LA_EIGEN_SYM_H_

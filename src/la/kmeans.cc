@@ -1,0 +1,178 @@
+#include "la/kmeans.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "util/parallel_for.h"
+
+namespace gqr {
+
+namespace {
+
+template <typename T>
+double SquaredDistanceTo(const double* center, const T* x, size_t dim) {
+  double s = 0.0;
+  for (size_t j = 0; j < dim; ++j) {
+    const double d = center[j] - static_cast<double>(x[j]);
+    s += d * d;
+  }
+  return s;
+}
+
+// k-means++ seeding over the chosen training rows.
+template <typename T>
+Matrix SeedPlusPlus(const T* data, const std::vector<uint32_t>& rows,
+                    size_t dim, size_t k, Rng* rng) {
+  const size_t t = rows.size();
+  Matrix centers(k, dim);
+  std::vector<double> min_sq(t, std::numeric_limits<double>::max());
+
+  size_t first = rng->Uniform(t);
+  for (size_t j = 0; j < dim; ++j) {
+    centers.At(0, j) = static_cast<double>(data[rows[first] * size_t{1} * dim + j]);
+  }
+  for (size_t c = 1; c < k; ++c) {
+    // Refresh distances against the center added last.
+    const double* last = centers.Row(c - 1);
+    ParallelFor(0, t, [&](size_t i) {
+      const T* x = data + static_cast<size_t>(rows[i]) * dim;
+      min_sq[i] = std::min(min_sq[i], SquaredDistanceTo(last, x, dim));
+    });
+    double total = 0.0;
+    for (double d : min_sq) total += d;
+    size_t pick;
+    if (total <= 0.0) {
+      pick = rng->Uniform(t);  // All points coincide with centers.
+    } else {
+      double r = rng->UniformDouble() * total;
+      double acc = 0.0;
+      pick = t - 1;
+      for (size_t i = 0; i < t; ++i) {
+        acc += min_sq[i];
+        if (r < acc) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    const T* x = data + static_cast<size_t>(rows[pick]) * dim;
+    for (size_t j = 0; j < dim; ++j) {
+      centers.At(c, j) = static_cast<double>(x[j]);
+    }
+  }
+  return centers;
+}
+
+}  // namespace
+
+template <typename T>
+uint32_t NearestCenter(const Matrix& centers, const T* x) {
+  const size_t dim = centers.cols();
+  uint32_t best = 0;
+  double best_sq = std::numeric_limits<double>::max();
+  for (size_t c = 0; c < centers.rows(); ++c) {
+    const double sq = SquaredDistanceTo(centers.Row(c), x, dim);
+    if (sq < best_sq) {
+      best_sq = sq;
+      best = static_cast<uint32_t>(c);
+    }
+  }
+  return best;
+}
+
+template <typename T>
+KMeansResult KMeans(const T* data, size_t n, size_t dim,
+                    const KMeansOptions& options) {
+  assert(n > 0 && dim > 0 && options.k > 0);
+  const size_t k = std::min(options.k, n);
+  Rng rng(options.seed);
+
+  std::vector<uint32_t> rows;
+  if (options.max_train_samples > 0 && n > options.max_train_samples) {
+    rows = rng.SampleWithoutReplacement(
+        static_cast<uint32_t>(n),
+        static_cast<uint32_t>(options.max_train_samples));
+  } else {
+    rows.resize(n);
+    for (size_t i = 0; i < n; ++i) rows[i] = static_cast<uint32_t>(i);
+  }
+  const size_t t = rows.size();
+
+  KMeansResult result;
+  result.centers = SeedPlusPlus(data, rows, dim, k, &rng);
+  std::vector<uint32_t> assign(t, 0);
+
+  double prev_obj = std::numeric_limits<double>::max();
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    // Assignment step.
+    std::vector<double> point_sq(t);
+    ParallelFor(0, t, [&](size_t i) {
+      const T* x = data + static_cast<size_t>(rows[i]) * dim;
+      uint32_t best = 0;
+      double best_sq = std::numeric_limits<double>::max();
+      for (size_t c = 0; c < k; ++c) {
+        const double sq = SquaredDistanceTo(result.centers.Row(c), x, dim);
+        if (sq < best_sq) {
+          best_sq = sq;
+          best = static_cast<uint32_t>(c);
+        }
+      }
+      assign[i] = best;
+      point_sq[i] = best_sq;
+    });
+    double obj = 0.0;
+    for (double d : point_sq) obj += d;
+    obj /= static_cast<double>(t);
+    result.objective_history.push_back(obj);
+    result.iterations = iter + 1;
+
+    // Update step.
+    Matrix sums(k, dim);
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < t; ++i) {
+      const T* x = data + static_cast<size_t>(rows[i]) * dim;
+      double* row = sums.Row(assign[i]);
+      for (size_t j = 0; j < dim; ++j) row[j] += static_cast<double>(x[j]);
+      ++counts[assign[i]];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at the point farthest from its center.
+        size_t worst = 0;
+        for (size_t i = 1; i < t; ++i) {
+          if (point_sq[i] > point_sq[worst]) worst = i;
+        }
+        const T* x = data + static_cast<size_t>(rows[worst]) * dim;
+        for (size_t j = 0; j < dim; ++j) {
+          result.centers.At(c, j) = static_cast<double>(x[j]);
+        }
+        point_sq[worst] = 0.0;  // Don't re-seed two clusters at one point.
+        continue;
+      }
+      for (size_t j = 0; j < dim; ++j) {
+        result.centers.At(c, j) = sums.At(c, j) / static_cast<double>(counts[c]);
+      }
+    }
+
+    if (prev_obj - obj <= options.tol * std::max(prev_obj, 1e-12)) break;
+    prev_obj = obj;
+  }
+
+  // Final assignments over all n points (not just the training sample).
+  result.assignments.resize(n);
+  ParallelFor(0, n, [&](size_t i) {
+    result.assignments[i] = NearestCenter(result.centers, data + i * dim);
+  });
+  return result;
+}
+
+template KMeansResult KMeans<float>(const float*, size_t, size_t,
+                                    const KMeansOptions&);
+template KMeansResult KMeans<double>(const double*, size_t, size_t,
+                                     const KMeansOptions&);
+template uint32_t NearestCenter<float>(const Matrix&, const float*);
+template uint32_t NearestCenter<double>(const Matrix&, const double*);
+
+}  // namespace gqr

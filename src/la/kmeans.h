@@ -1,0 +1,55 @@
+// Lloyd's k-means with k-means++ seeding — the quantizer trainer behind
+// K-means hashing (KMH), product quantization (PQ/OPQ), and the inverted
+// multi-index codebooks.
+#ifndef GQR_LA_KMEANS_H_
+#define GQR_LA_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.h"
+#include "util/random.h"
+
+namespace gqr {
+
+struct KMeansOptions {
+  /// Number of centers.
+  size_t k = 8;
+  /// Lloyd iteration cap.
+  int max_iters = 25;
+  /// Stop when the relative objective improvement falls below this.
+  double tol = 1e-4;
+  uint64_t seed = 42;
+  /// Subsample cap for training (0 = use all points).
+  size_t max_train_samples = 0;
+};
+
+struct KMeansResult {
+  /// k x dim; row c is center c.
+  Matrix centers;
+  /// Per-input-point nearest-center index (length n).
+  std::vector<uint32_t> assignments;
+  /// Mean squared distance of points to their centers, per iteration
+  /// (monotonically non-increasing; the last entry is the final objective).
+  std::vector<double> objective_history;
+  int iterations = 0;
+
+  double objective() const {
+    return objective_history.empty() ? 0.0 : objective_history.back();
+  }
+};
+
+/// Runs k-means++ then Lloyd on n row-major vectors of length dim.
+/// T is float (raw descriptors) or double (rotated/projected data).
+/// Assignment passes are parallelized over points.
+template <typename T>
+KMeansResult KMeans(const T* data, size_t n, size_t dim,
+                    const KMeansOptions& options);
+
+/// Index of the center nearest to x (ties to the lowest index).
+template <typename T>
+uint32_t NearestCenter(const Matrix& centers, const T* x);
+
+}  // namespace gqr
+
+#endif  // GQR_LA_KMEANS_H_

@@ -1,0 +1,226 @@
+#include "la/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+namespace gqr {
+
+Matrix::Matrix(size_t rows, size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  assert(data_.size() == rows * cols);
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::RandomGaussian(size_t rows, size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = rng->Gaussian();
+  return m;
+}
+
+Matrix Matrix::RandomOrthogonal(size_t n, Rng* rng) {
+  // Gram-Schmidt on a Gaussian matrix. Gaussian columns are almost surely
+  // linearly independent; re-draw a column in the (measure-zero) case of
+  // numerical degeneracy.
+  Matrix g = RandomGaussian(n, n, rng);
+  Matrix q(n, n);
+  for (size_t col = 0; col < n; ++col) {
+    std::vector<double> v(n);
+    for (;;) {
+      for (size_t i = 0; i < n; ++i) v[i] = g.At(i, col);
+      for (size_t prev = 0; prev < col; ++prev) {
+        double dot = 0.0;
+        for (size_t i = 0; i < n; ++i) dot += v[i] * q.At(i, prev);
+        for (size_t i = 0; i < n; ++i) v[i] -= dot * q.At(i, prev);
+      }
+      double norm = 0.0;
+      for (double x : v) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm > 1e-12) {
+        for (size_t i = 0; i < n; ++i) q.At(i, col) = v[i] / norm;
+        break;
+      }
+      for (size_t i = 0; i < n; ++i) g.At(i, col) = rng->Gaussian();
+    }
+  }
+  return q;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) {
+      t.At(j, i) = At(i, j);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a_row = Row(i);
+    double* out_row = out.Row(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = a_row[k];
+      if (a == 0.0) continue;
+      const double* b_row = other.Row(k);
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out_row[j] += a * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::TransposedMultiply(const Matrix& other) const {
+  assert(rows_ == other.rows_);
+  Matrix out(cols_, other.cols_);
+  for (size_t k = 0; k < rows_; ++k) {
+    const double* a_row = Row(k);
+    const double* b_row = other.Row(k);
+    for (size_t i = 0; i < cols_; ++i) {
+      const double a = a_row[i];
+      if (a == 0.0) continue;
+      double* out_row = out.Row(i);
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out_row[j] += a * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MultiplyTransposed(const Matrix& other) const {
+  assert(cols_ == other.cols_);
+  Matrix out(rows_, other.rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a_row = Row(i);
+    for (size_t j = 0; j < other.rows_; ++j) {
+      const double* b_row = other.Row(j);
+      double dot = 0.0;
+      for (size_t k = 0; k < cols_; ++k) dot += a_row[k] * b_row[k];
+      out.At(i, j) = dot;
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::MatVec(const std::vector<double>& x) const {
+  assert(x.size() == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = Row(i);
+    double dot = 0.0;
+    for (size_t j = 0; j < cols_; ++j) dot += row[j] * x[j];
+    y[i] = dot;
+  }
+  return y;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double Matrix::SpectralNorm(int max_iters, double tol) const {
+  if (empty()) return 0.0;
+  // Power iteration on A^T A: x <- normalize(A^T (A x)).
+  Rng rng(7);
+  std::vector<double> x(cols_);
+  for (double& v : x) v = rng.Gaussian();
+  double sigma = 0.0;
+  for (int it = 0; it < max_iters; ++it) {
+    std::vector<double> ax = MatVec(x);
+    // y = A^T ax
+    std::vector<double> y(cols_, 0.0);
+    for (size_t i = 0; i < rows_; ++i) {
+      const double* row = Row(i);
+      const double a = ax[i];
+      for (size_t j = 0; j < cols_; ++j) y[j] += a * row[j];
+    }
+    double norm = 0.0;
+    for (double v : y) norm += v * v;
+    norm = std::sqrt(norm);
+    if (norm == 0.0) return 0.0;
+    double new_sigma = std::sqrt(norm);
+    for (size_t j = 0; j < cols_; ++j) x[j] = y[j] / norm;
+    if (std::abs(new_sigma - sigma) <= tol * std::max(1.0, new_sigma)) {
+      return new_sigma;
+    }
+    sigma = new_sigma;
+  }
+  return sigma;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  double max_diff = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(data_[i] - other.data_[i]));
+  }
+  return max_diff;
+}
+
+Matrix Matrix::RowSlice(size_t row_begin, size_t row_end) const {
+  assert(row_begin <= row_end && row_end <= rows_);
+  Matrix out(row_end - row_begin, cols_);
+  std::copy(data_.begin() + row_begin * cols_, data_.begin() + row_end * cols_,
+            out.data_.begin());
+  return out;
+}
+
+Matrix Matrix::ColSlice(size_t col_begin, size_t col_end) const {
+  assert(col_begin <= col_end && col_end <= cols_);
+  Matrix out(rows_, col_end - col_begin);
+  for (size_t i = 0; i < rows_; ++i) {
+    std::copy(Row(i) + col_begin, Row(i) + col_end, out.Row(i));
+  }
+  return out;
+}
+
+std::string Matrix::ToString(int max_rows, int max_cols) const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " [\n";
+  const size_t show_rows = std::min<size_t>(rows_, max_rows);
+  const size_t show_cols = std::min<size_t>(cols_, max_cols);
+  for (size_t i = 0; i < show_rows; ++i) {
+    os << "  ";
+    for (size_t j = 0; j < show_cols; ++j) os << At(i, j) << " ";
+    if (show_cols < cols_) os << "...";
+    os << "\n";
+  }
+  if (show_rows < rows_) os << "  ...\n";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace gqr

@@ -1,0 +1,98 @@
+// Dense row-major double matrix used by the learning stage (PCA, ITQ,
+// SH, OPQ). Deliberately small: exactly the operations the learners need,
+// with no expression templates or allocator knobs.
+#ifndef GQR_LA_MATRIX_H_
+#define GQR_LA_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace gqr {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols, zero-initialized.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// rows x cols wrapping existing data (copied). data.size() must be
+  /// rows * cols.
+  Matrix(size_t rows, size_t cols, std::vector<double> data);
+
+  static Matrix Identity(size_t n);
+  /// Entries i.i.d. N(0, 1) from rng.
+  static Matrix RandomGaussian(size_t rows, size_t cols, Rng* rng);
+  /// A random orthogonal matrix (QR of a Gaussian matrix), used to
+  /// initialize ITQ / OPQ rotations.
+  static Matrix RandomOrthogonal(size_t n, Rng* rng);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& At(size_t i, size_t j) {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double At(size_t i, size_t j) const {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Pointer to the start of row i.
+  double* Row(size_t i) { return data_.data() + i * cols_; }
+  const double* Row(size_t i) const { return data_.data() + i * cols_; }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  Matrix Transposed() const;
+
+  /// this * other. Requires cols() == other.rows().
+  Matrix Multiply(const Matrix& other) const;
+  /// this^T * other. Requires rows() == other.rows().
+  Matrix TransposedMultiply(const Matrix& other) const;
+  /// this * other^T. Requires cols() == other.cols().
+  Matrix MultiplyTransposed(const Matrix& other) const;
+
+  /// y = this * x for an x of length cols(); y has length rows().
+  std::vector<double> MatVec(const std::vector<double>& x) const;
+
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix& operator*=(double s);
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Largest singular value, i.e. the spectral norm sigma_max(this).
+  /// Computed by power iteration on this^T * this; used for the
+  /// Theorem 1/2 constant M.
+  double SpectralNorm(int max_iters = 200, double tol = 1e-10) const;
+
+  /// max_ij |this - other| for test assertions.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  /// Rows [row_begin, row_end) as a new matrix.
+  Matrix RowSlice(size_t row_begin, size_t row_end) const;
+  /// Columns [col_begin, col_end) as a new matrix.
+  Matrix ColSlice(size_t col_begin, size_t col_end) const;
+
+  std::string ToString(int max_rows = 8, int max_cols = 8) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace gqr
+
+#endif  // GQR_LA_MATRIX_H_

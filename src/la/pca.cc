@@ -1,0 +1,85 @@
+#include "la/pca.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "la/eigen_sym.h"
+#include "util/parallel_for.h"
+
+namespace gqr {
+
+void PcaModel::Project(const float* x, double* out) const {
+  const size_t d = dim();
+  const size_t m = num_components();
+  for (size_t i = 0; i < m; ++i) {
+    const double* row = components.Row(i);
+    double dot = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      dot += row[j] * (static_cast<double>(x[j]) - mean[j]);
+    }
+    out[i] = dot;
+  }
+}
+
+PcaModel FitPca(const float* data, size_t n, size_t dim,
+                size_t num_components, size_t max_train_samples, Rng* rng) {
+  assert(n > 0 && dim > 0 && num_components > 0 && num_components <= dim);
+
+  // Pick training rows.
+  std::vector<uint32_t> rows;
+  if (n > max_train_samples) {
+    Rng fallback(12345);
+    Rng* r = rng != nullptr ? rng : &fallback;
+    rows = r->SampleWithoutReplacement(static_cast<uint32_t>(n),
+                                       static_cast<uint32_t>(max_train_samples));
+  } else {
+    rows.resize(n);
+    for (size_t i = 0; i < n; ++i) rows[i] = static_cast<uint32_t>(i);
+  }
+  const size_t t = rows.size();
+
+  PcaModel model;
+  model.mean.assign(dim, 0.0);
+  for (uint32_t r : rows) {
+    const float* x = data + static_cast<size_t>(r) * dim;
+    for (size_t j = 0; j < dim; ++j) model.mean[j] += x[j];
+  }
+  for (size_t j = 0; j < dim; ++j) model.mean[j] /= static_cast<double>(t);
+
+  // Covariance (upper triangle), parallel over rows of the output.
+  Matrix cov(dim, dim);
+  {
+    // Per-block partial sums to avoid synchronizing on cov.
+    // Simpler: parallelize over the (i, j >= i) output cells by row i.
+    ParallelFor(0, dim, [&](size_t i) {
+      for (size_t k = 0; k < t; ++k) {
+        const float* x = data + static_cast<size_t>(rows[k]) * dim;
+        const double xi = static_cast<double>(x[i]) - model.mean[i];
+        double* cov_row = cov.Row(i);
+        for (size_t j = i; j < dim; ++j) {
+          cov_row[j] += xi * (static_cast<double>(x[j]) - model.mean[j]);
+        }
+      }
+    }, /*min_parallel=*/8);
+    const double scale = 1.0 / static_cast<double>(t > 1 ? t - 1 : 1);
+    for (size_t i = 0; i < dim; ++i) {
+      for (size_t j = i; j < dim; ++j) {
+        cov.At(i, j) *= scale;
+        cov.At(j, i) = cov.At(i, j);
+      }
+    }
+  }
+
+  EigenDecomposition eig = EigenSym(cov);
+  model.components = Matrix(num_components, dim);
+  model.explained_variance.resize(num_components);
+  for (size_t c = 0; c < num_components; ++c) {
+    model.explained_variance[c] = std::max(0.0, eig.eigenvalues[c]);
+    for (size_t j = 0; j < dim; ++j) {
+      model.components.At(c, j) = eig.eigenvectors.At(j, c);
+    }
+  }
+  return model;
+}
+
+}  // namespace gqr

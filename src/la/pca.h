@@ -1,0 +1,46 @@
+// Principal component analysis over float descriptor arrays.
+//
+// The learning front-end of PCAH, ITQ, and SH: all three start from the
+// top-m principal directions of (a training sample of) the dataset.
+#ifndef GQR_LA_PCA_H_
+#define GQR_LA_PCA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "la/matrix.h"
+#include "util/random.h"
+
+namespace gqr {
+
+/// A fitted PCA basis.
+struct PcaModel {
+  /// Per-dimension mean of the training data (length dim).
+  std::vector<double> mean;
+  /// num_components x dim; row i is the i-th principal direction (unit
+  /// norm, descending explained variance).
+  Matrix components;
+  /// Descending eigenvalues of the covariance for the kept components.
+  std::vector<double> explained_variance;
+
+  size_t dim() const { return mean.size(); }
+  size_t num_components() const { return components.rows(); }
+
+  /// Projects a float vector onto the basis: out[i] = <components[i],
+  /// x - mean>. out must have room for num_components() doubles.
+  void Project(const float* x, double* out) const;
+};
+
+/// Fits PCA on `n` row-major float vectors of length `dim`.
+///
+/// When n > max_train_samples, a uniform sample of max_train_samples rows
+/// (drawn with `rng`, or a default-seeded Rng when null) is used to build
+/// the covariance — standard practice for L2H training and necessary to
+/// keep the O(n d^2) covariance pass cheap on large datasets.
+PcaModel FitPca(const float* data, size_t n, size_t dim,
+                size_t num_components, size_t max_train_samples = 20000,
+                Rng* rng = nullptr);
+
+}  // namespace gqr
+
+#endif  // GQR_LA_PCA_H_

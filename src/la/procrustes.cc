@@ -1,0 +1,12 @@
+#include "la/procrustes.h"
+
+#include "la/svd.h"
+
+namespace gqr {
+
+Matrix OrthogonalProcrustes(const Matrix& m) {
+  SvdResult svd = Svd(m);
+  return svd.u.MultiplyTransposed(svd.v);
+}
+
+}  // namespace gqr

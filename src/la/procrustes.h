@@ -1,0 +1,16 @@
+// Orthogonal Procrustes solver, the rotation-update step of ITQ and OPQ.
+#ifndef GQR_LA_PROCRUSTES_H_
+#define GQR_LA_PROCRUSTES_H_
+
+#include "la/matrix.h"
+
+namespace gqr {
+
+/// Returns the orthogonal matrix R maximizing trace(R^T m), equivalently
+/// the minimizer of ||A - B R^T|| when m = B^T A (the classic orthogonal
+/// Procrustes problem). Computed as R = U V^T from the SVD m = U S V^T.
+Matrix OrthogonalProcrustes(const Matrix& m);
+
+}  // namespace gqr
+
+#endif  // GQR_LA_PROCRUSTES_H_

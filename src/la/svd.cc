@@ -1,0 +1,111 @@
+#include "la/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gqr {
+
+namespace {
+
+// One-sided Jacobi on a tall (rows >= cols) matrix: rotates column pairs of
+// `a` until all pairs are orthogonal, accumulating rotations into `v`.
+void OneSidedJacobi(Matrix* a, Matrix* v, int max_sweeps, double tol) {
+  const size_t rows = a->rows();
+  const size_t cols = a->cols();
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (size_t p = 0; p + 1 < cols; ++p) {
+      for (size_t q = p + 1; q < cols; ++q) {
+        double alpha = 0.0, beta = 0.0, gamma = 0.0;
+        for (size_t i = 0; i < rows; ++i) {
+          const double aip = a->At(i, p);
+          const double aiq = a->At(i, q);
+          alpha += aip * aip;
+          beta += aiq * aiq;
+          gamma += aip * aiq;
+        }
+        if (std::abs(gamma) <= tol * std::sqrt(alpha * beta) ||
+            gamma == 0.0) {
+          continue;
+        }
+        converged = false;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (size_t i = 0; i < rows; ++i) {
+          const double aip = a->At(i, p);
+          const double aiq = a->At(i, q);
+          a->At(i, p) = c * aip - s * aiq;
+          a->At(i, q) = s * aip + c * aiq;
+        }
+        for (size_t i = 0; i < cols; ++i) {
+          const double vip = v->At(i, p);
+          const double viq = v->At(i, q);
+          v->At(i, p) = c * vip - s * viq;
+          v->At(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+}
+
+SvdResult SvdTall(const Matrix& a_in, int max_sweeps, double tol) {
+  Matrix a = a_in;  // Working copy: its columns become U * sigma.
+  const size_t cols = a.cols();
+  Matrix v = Matrix::Identity(cols);
+  OneSidedJacobi(&a, &v, max_sweeps, tol);
+
+  // Column norms are the singular values.
+  std::vector<double> sigma(cols);
+  for (size_t j = 0; j < cols; ++j) {
+    double norm = 0.0;
+    for (size_t i = 0; i < a.rows(); ++i) norm += a.At(i, j) * a.At(i, j);
+    sigma[j] = std::sqrt(norm);
+  }
+
+  // Sort by descending singular value.
+  std::vector<size_t> order(cols);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return sigma[x] > sigma[y]; });
+
+  SvdResult out;
+  out.singular_values.resize(cols);
+  out.u = Matrix(a.rows(), cols);
+  out.v = Matrix(cols, cols);
+  for (size_t j = 0; j < cols; ++j) {
+    const size_t src = order[j];
+    out.singular_values[j] = sigma[src];
+    // Normalize the column to get U; for a (near-)zero singular value fall
+    // back to a unit basis vector to keep U well-defined.
+    if (sigma[src] > 1e-300) {
+      for (size_t i = 0; i < a.rows(); ++i) {
+        out.u.At(i, j) = a.At(i, src) / sigma[src];
+      }
+    } else {
+      out.u.At(j % a.rows(), j) = 1.0;
+    }
+    for (size_t i = 0; i < cols; ++i) out.v.At(i, j) = v.At(i, src);
+  }
+  return out;
+}
+
+}  // namespace
+
+SvdResult Svd(const Matrix& a, int max_sweeps, double tol) {
+  assert(!a.empty());
+  if (a.rows() >= a.cols()) return SvdTall(a, max_sweeps, tol);
+  // A = U S V^T  <=>  A^T = V S U^T.
+  SvdResult t = SvdTall(a.Transposed(), max_sweeps, tol);
+  SvdResult out;
+  out.u = std::move(t.v);
+  out.v = std::move(t.u);
+  out.singular_values = std::move(t.singular_values);
+  return out;
+}
+
+}  // namespace gqr

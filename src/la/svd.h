@@ -1,0 +1,30 @@
+// Singular value decomposition by the one-sided Jacobi method.
+//
+// Needed for the Procrustes steps of ITQ and OPQ (SVDs of small m x m or
+// subspace-sized matrices), where robustness matters more than peak speed.
+#ifndef GQR_LA_SVD_H_
+#define GQR_LA_SVD_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace gqr {
+
+/// Thin SVD A = U diag(sigma) V^T.
+///
+/// For an r x c input: U is r x k, V is c x k, sigma has k = min(r, c)
+/// entries sorted descending. Columns of U and V are orthonormal.
+struct SvdResult {
+  Matrix u;
+  std::vector<double> singular_values;
+  Matrix v;
+};
+
+/// Computes the thin SVD of a (any shape). One-sided Jacobi orthogonalizes
+/// the columns of A; when rows < cols the problem is transposed internally.
+SvdResult Svd(const Matrix& a, int max_sweeps = 60, double tol = 1e-13);
+
+}  // namespace gqr
+
+#endif  // GQR_LA_SVD_H_

@@ -1,0 +1,37 @@
+// Small dense-vector kernels shared by the distance computations and the
+// learners. Distances between raw float descriptors are the hot path of
+// candidate reranking, so the float variants are kept branch-free.
+#ifndef GQR_LA_VECTOR_OPS_H_
+#define GQR_LA_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace gqr {
+
+/// Squared Euclidean distance between two float vectors of length dim.
+float SquaredL2(const float* a, const float* b, size_t dim);
+
+/// Euclidean distance.
+float L2Distance(const float* a, const float* b, size_t dim);
+
+/// Dot product.
+float Dot(const float* a, const float* b, size_t dim);
+
+/// Euclidean norm.
+float Norm(const float* a, size_t dim);
+
+/// Cosine distance 1 - cos(a, b); 1.0 when either vector is zero.
+float CosineDistance(const float* a, const float* b, size_t dim);
+
+/// Double-precision variants (learning-stage math).
+double SquaredL2(const double* a, const double* b, size_t dim);
+double Dot(const double* a, const double* b, size_t dim);
+double Norm(const double* a, size_t dim);
+
+/// Normalizes v to unit L2 norm in place; leaves a zero vector unchanged.
+void NormalizeInPlace(std::vector<double>* v);
+
+}  // namespace gqr
+
+#endif  // GQR_LA_VECTOR_OPS_H_

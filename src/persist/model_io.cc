@@ -1,0 +1,278 @@
+#include "persist/model_io.h"
+
+#include "persist/serializer.h"
+
+namespace gqr {
+
+namespace {
+constexpr uint32_t kVersion = 1;
+
+void WritePca(BinaryWriter* w, const PcaModel& pca) {
+  w->WriteDoubleVector(pca.mean);
+  w->WriteMatrix(pca.components);
+  w->WriteDoubleVector(pca.explained_variance);
+}
+
+PcaModel ReadPca(BinaryReader* r) {
+  PcaModel pca;
+  pca.mean = r->ReadDoubleVector();
+  pca.components = r->ReadMatrix();
+  pca.explained_variance = r->ReadDoubleVector();
+  return pca;
+}
+
+}  // namespace
+
+Status SaveLinearHasher(const LinearHasher& hasher,
+                        const std::string& path) {
+  BinaryWriter w(path);
+  w.WriteHeader("GQLH", kVersion);
+  w.WriteString(hasher.name());
+  w.WriteMatrix(hasher.HashingMatrix());
+  w.WriteDoubleVector(hasher.offset());
+  return w.Finish();
+}
+
+Result<LinearHasher> LoadLinearHasher(const std::string& path) {
+  BinaryReader r(path);
+  r.ExpectHeader("GQLH", kVersion);
+  std::string name = r.ReadString();
+  Matrix w = r.ReadMatrix();
+  std::vector<double> offset = r.ReadDoubleVector();
+  if (!r.status().ok()) return r.status();
+  if (w.empty() || w.rows() > 64 || offset.size() != w.cols()) {
+    return Status::IOError(path + ": inconsistent linear hasher shapes");
+  }
+  return LinearHasher(std::move(w), std::move(offset), std::move(name));
+}
+
+Status SaveShHasher(const ShHasher& hasher, const std::string& path) {
+  BinaryWriter w(path);
+  w.WriteHeader("GQSH", kVersion);
+  WritePca(&w, hasher.pca());
+  w.WriteU64(hasher.bits().size());
+  for (const ShHasher::BitFunction& b : hasher.bits()) {
+    w.WriteI32(b.pca_dim);
+    w.WriteI32(b.mode_k);
+    w.WriteDouble(b.min_value);
+    w.WriteDouble(b.range);
+    w.WriteDouble(b.eigenvalue);
+  }
+  return w.Finish();
+}
+
+Result<ShHasher> LoadShHasher(const std::string& path) {
+  BinaryReader r(path);
+  r.ExpectHeader("GQSH", kVersion);
+  PcaModel pca = ReadPca(&r);
+  const uint64_t num_bits = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  if (num_bits == 0 || num_bits > 64) {
+    return Status::IOError(path + ": bad SH bit count");
+  }
+  std::vector<ShHasher::BitFunction> bits(num_bits);
+  for (auto& b : bits) {
+    b.pca_dim = r.ReadI32();
+    b.mode_k = r.ReadI32();
+    b.min_value = r.ReadDouble();
+    b.range = r.ReadDouble();
+    b.eigenvalue = r.ReadDouble();
+  }
+  if (!r.status().ok()) return r.status();
+  for (const auto& b : bits) {
+    if (b.pca_dim < 0 ||
+        static_cast<size_t>(b.pca_dim) >= pca.num_components() ||
+        b.range <= 0.0) {
+      return Status::IOError(path + ": inconsistent SH bit function");
+    }
+  }
+  return ShHasher(std::move(pca), std::move(bits));
+}
+
+Status SaveKmhHasher(const KmhHasher& hasher, const std::string& path) {
+  BinaryWriter w(path);
+  w.WriteHeader("GQKM", kVersion);
+  w.WriteI32(hasher.bits_per_block());
+  w.WriteU64(hasher.dim());
+  w.WriteU64(hasher.blocks().size());
+  for (const KmhHasher::Block& b : hasher.blocks()) {
+    w.WriteU64(b.dim_begin);
+    w.WriteU64(b.dim_end);
+    w.WriteMatrix(b.codewords);
+  }
+  return w.Finish();
+}
+
+Result<KmhHasher> LoadKmhHasher(const std::string& path) {
+  BinaryReader r(path);
+  r.ExpectHeader("GQKM", kVersion);
+  const int bits_per_block = r.ReadI32();
+  const uint64_t dim = r.ReadU64();
+  const uint64_t num_blocks = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  if (bits_per_block < 1 || bits_per_block > 8 || num_blocks == 0 ||
+      num_blocks * bits_per_block > 64) {
+    return Status::IOError(path + ": bad KMH shape");
+  }
+  std::vector<KmhHasher::Block> blocks(num_blocks);
+  for (auto& b : blocks) {
+    b.dim_begin = r.ReadU64();
+    b.dim_end = r.ReadU64();
+    b.codewords = r.ReadMatrix();
+    if (r.status().ok() &&
+        (b.dim_end <= b.dim_begin || b.dim_end > dim ||
+         b.codewords.rows() != (size_t{1} << bits_per_block) ||
+         b.codewords.cols() != b.dim_end - b.dim_begin)) {
+      return Status::IOError(path + ": inconsistent KMH block");
+    }
+  }
+  if (!r.status().ok()) return r.status();
+  return KmhHasher(std::move(blocks), bits_per_block, dim);
+}
+
+Status SaveOpqModel(const OpqModel& model, const std::string& path) {
+  BinaryWriter w(path);
+  w.WriteHeader("GQPQ", kVersion);
+  w.WriteMatrix(model.rotation());
+  w.WriteDoubleVector(model.mean());
+  const PqCodebook& cb = model.codebook();
+  w.WriteU64(static_cast<uint64_t>(cb.num_subspaces()));
+  for (int s = 0; s < cb.num_subspaces(); ++s) {
+    const PqCodebook::Subspace& sub = cb.subspace(s);
+    w.WriteU64(sub.dim_begin);
+    w.WriteU64(sub.dim_end);
+    w.WriteMatrix(sub.centroids);
+  }
+  w.WriteDoubleVector(model.error_history());
+  return w.Finish();
+}
+
+Result<OpqModel> LoadOpqModel(const std::string& path) {
+  BinaryReader r(path);
+  r.ExpectHeader("GQPQ", kVersion);
+  Matrix rotation = r.ReadMatrix();
+  std::vector<double> mean = r.ReadDoubleVector();
+  const uint64_t num_subspaces = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  if (rotation.empty() || rotation.rows() != rotation.cols() ||
+      mean.size() != rotation.rows() || num_subspaces == 0 ||
+      num_subspaces > rotation.rows()) {
+    return Status::IOError(path + ": bad OPQ shape");
+  }
+  std::vector<PqCodebook::Subspace> subspaces(num_subspaces);
+  for (auto& sub : subspaces) {
+    sub.dim_begin = r.ReadU64();
+    sub.dim_end = r.ReadU64();
+    sub.centroids = r.ReadMatrix();
+    if (r.status().ok() &&
+        (sub.dim_end <= sub.dim_begin || sub.dim_end > rotation.rows() ||
+         sub.centroids.cols() != sub.dim_end - sub.dim_begin ||
+         sub.centroids.rows() == 0)) {
+      return Status::IOError(path + ": inconsistent OPQ subspace");
+    }
+  }
+  std::vector<double> history = r.ReadDoubleVector();
+  if (!r.status().ok()) return r.status();
+  OpqModel model(std::move(rotation), PqCodebook(std::move(subspaces)),
+                 std::move(mean));
+  model.set_error_history(std::move(history));
+  return model;
+}
+
+Status SaveHashTable(const StaticHashTable& table, const std::string& path) {
+  BinaryWriter w(path);
+  w.WriteHeader("GQHT", kVersion);
+  w.WriteI32(table.code_length());
+  w.WriteU64(table.num_items());
+  w.WriteU64(table.num_buckets());
+  for (size_t b = 0; b < table.num_buckets(); ++b) {
+    w.WriteU64(table.bucket_codes()[b]);
+    auto items = table.bucket_items(b);
+    w.WriteU32Vector(std::vector<uint32_t>(items.begin(), items.end()));
+  }
+  return w.Finish();
+}
+
+Result<StaticHashTable> LoadHashTable(const std::string& path) {
+  BinaryReader r(path);
+  r.ExpectHeader("GQHT", kVersion);
+  const int code_length = r.ReadI32();
+  const uint64_t num_items = r.ReadU64();
+  const uint64_t num_buckets = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  if (code_length < 1 || code_length > 64 || num_items > (uint64_t{1} << 32)) {
+    return Status::IOError(path + ": bad hash table header");
+  }
+  // Rebuild the per-item code array and reconstruct through the normal
+  // constructor (keeps the on-disk format layout-independent).
+  std::vector<Code> codes(num_items, 0);
+  std::vector<bool> assigned(num_items, false);
+  for (uint64_t b = 0; b < num_buckets; ++b) {
+    const Code code = r.ReadU64();
+    std::vector<uint32_t> items = r.ReadU32Vector();
+    if (!r.status().ok()) return r.status();
+    if ((code & ~LowBitsMask(code_length)) != 0) {
+      return Status::IOError(path + ": bucket code exceeds code length");
+    }
+    for (uint32_t id : items) {
+      if (id >= num_items || assigned[id]) {
+        return Status::IOError(path + ": corrupt bucket membership");
+      }
+      assigned[id] = true;
+      codes[id] = code;
+    }
+  }
+  for (bool a : assigned) {
+    if (!a) return Status::IOError(path + ": item missing from buckets");
+  }
+  return StaticHashTable(codes, code_length);
+}
+
+Status SaveMultiTableHashers(const MultiTableIndex& index,
+                             const std::string& path) {
+  BinaryWriter w(path);
+  w.WriteHeader("GQMT", kVersion);
+  w.WriteU64(index.num_tables());
+  for (size_t t = 0; t < index.num_tables(); ++t) {
+    const auto* linear =
+        dynamic_cast<const LinearHasher*>(&index.hasher(t));
+    if (linear == nullptr) {
+      return Status::InvalidArgument(
+          "multi-table persistence supports linear hashers only");
+    }
+    w.WriteString(linear->name());
+    w.WriteMatrix(linear->HashingMatrix());
+    w.WriteDoubleVector(linear->offset());
+  }
+  return w.Finish();
+}
+
+Result<MultiTableIndex> LoadMultiTableIndex(const std::string& path,
+                                            const Dataset& base) {
+  BinaryReader r(path);
+  r.ExpectHeader("GQMT", kVersion);
+  const uint64_t num_tables = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  if (num_tables == 0 || num_tables > 1024) {
+    return Status::IOError(path + ": implausible table count " +
+                           std::to_string(num_tables));
+  }
+  std::vector<std::unique_ptr<BinaryHasher>> hashers;
+  hashers.reserve(num_tables);
+  for (uint64_t t = 0; t < num_tables; ++t) {
+    std::string name = r.ReadString();
+    Matrix w = r.ReadMatrix();
+    std::vector<double> offset = r.ReadDoubleVector();
+    if (!r.status().ok()) return r.status();
+    if (w.empty() || w.rows() > 64 || offset.size() != w.cols() ||
+        w.cols() != base.dim()) {
+      return Status::IOError(path + ": hasher " + std::to_string(t) +
+                             " shape mismatch with base set");
+    }
+    hashers.push_back(std::make_unique<LinearHasher>(
+        std::move(w), std::move(offset), std::move(name)));
+  }
+  return MultiTableIndex(std::move(hashers), base);
+}
+
+}  // namespace gqr

@@ -1,0 +1,51 @@
+// Save/Load for every learned artifact in the library: linear hashers
+// (LSH/PCAH/ITQ), spectral hashers, K-means hashers, OPQ models, and
+// built hash tables. Train offline once, serve from disk.
+#ifndef GQR_PERSIST_MODEL_IO_H_
+#define GQR_PERSIST_MODEL_IO_H_
+
+#include <string>
+
+#include "hash/kmh.h"
+#include "hash/linear_hasher.h"
+#include "hash/sh.h"
+#include "index/hash_table.h"
+#include "index/multi_table.h"
+#include "util/result.h"
+#include "vq/opq.h"
+
+namespace gqr {
+
+Status SaveLinearHasher(const LinearHasher& hasher, const std::string& path);
+Result<LinearHasher> LoadLinearHasher(const std::string& path);
+
+Status SaveShHasher(const ShHasher& hasher, const std::string& path);
+Result<ShHasher> LoadShHasher(const std::string& path);
+
+Status SaveKmhHasher(const KmhHasher& hasher, const std::string& path);
+Result<KmhHasher> LoadKmhHasher(const std::string& path);
+
+Status SaveOpqModel(const OpqModel& model, const std::string& path);
+Result<OpqModel> LoadOpqModel(const std::string& path);
+
+/// The table is stored as (code_length, per-bucket code + members) and
+/// rebuilt through the normal constructor on load, so the on-disk format
+/// is independent of the in-memory open-addressing layout.
+Status SaveHashTable(const StaticHashTable& table, const std::string& path);
+Result<StaticHashTable> LoadHashTable(const std::string& path);
+
+/// Multi-table deployments persist as one file holding every hasher (the
+/// tables themselves are rebuilt from the hashers + base set on load,
+/// which is cheaper than shipping T bucket layouts and keeps the file
+/// dataset-independent). Only linear hashers (LSH/PCAH/ITQ/SSH) are
+/// supported — the learners multi-table setups use in practice.
+Status SaveMultiTableHashers(const MultiTableIndex& index,
+                             const std::string& path);
+/// Loads the hashers and rebuilds the per-table bucket indexes over
+/// `base`.
+Result<MultiTableIndex> LoadMultiTableIndex(const std::string& path,
+                                            const Dataset& base);
+
+}  // namespace gqr
+
+#endif  // GQR_PERSIST_MODEL_IO_H_

@@ -1,0 +1,210 @@
+#include "persist/serializer.h"
+
+#include <sys/stat.h>
+
+namespace gqr {
+
+namespace {
+// Containers larger than this are treated as corruption, bounding the
+// transient allocation a corrupted length field can trigger to ~2 GiB of
+// doubles; every artifact this library writes stays far below it.
+constexpr uint64_t kMaxElements = uint64_t{1} << 28;
+}  // namespace
+
+BinaryWriter::BinaryWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    status_ = Status::IOError("cannot create " + path);
+  }
+}
+
+BinaryWriter::~BinaryWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void BinaryWriter::WriteBytes(const void* data, size_t size) {
+  if (!status_.ok() || size == 0) return;
+  if (std::fwrite(data, 1, size, file_) != size) {
+    status_ = Status::IOError("short write");
+  }
+}
+
+void BinaryWriter::WriteU32(uint32_t v) { WriteBytes(&v, sizeof(v)); }
+void BinaryWriter::WriteU64(uint64_t v) { WriteBytes(&v, sizeof(v)); }
+void BinaryWriter::WriteI32(int32_t v) { WriteBytes(&v, sizeof(v)); }
+void BinaryWriter::WriteDouble(double v) { WriteBytes(&v, sizeof(v)); }
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  WriteBytes(s.data(), s.size());
+}
+
+void BinaryWriter::WriteDoubleVector(const std::vector<double>& v) {
+  WriteU64(v.size());
+  WriteBytes(v.data(), v.size() * sizeof(double));
+}
+
+void BinaryWriter::WriteU64Vector(const std::vector<uint64_t>& v) {
+  WriteU64(v.size());
+  WriteBytes(v.data(), v.size() * sizeof(uint64_t));
+}
+
+void BinaryWriter::WriteU32Vector(const std::vector<uint32_t>& v) {
+  WriteU64(v.size());
+  WriteBytes(v.data(), v.size() * sizeof(uint32_t));
+}
+
+void BinaryWriter::WriteFloatVector(const std::vector<float>& v) {
+  WriteU64(v.size());
+  WriteBytes(v.data(), v.size() * sizeof(float));
+}
+
+void BinaryWriter::WriteMatrix(const Matrix& m) {
+  WriteU64(m.rows());
+  WriteU64(m.cols());
+  WriteBytes(m.data().data(), m.data().size() * sizeof(double));
+}
+
+void BinaryWriter::WriteHeader(const std::string& magic, uint32_t version) {
+  if (magic.size() != 4 && status_.ok()) {
+    status_ = Status::InvalidArgument("magic must be 4 chars: " + magic);
+    return;
+  }
+  WriteBytes(magic.data(), 4);
+  WriteU32(version);
+}
+
+Status BinaryWriter::Finish() {
+  if (file_ != nullptr) {
+    if (std::fflush(file_) != 0 && status_.ok()) {
+      status_ = Status::IOError("flush failed");
+    }
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  return status_;
+}
+
+BinaryReader::BinaryReader(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    status_ = Status::IOError("cannot open " + path);
+  }
+}
+
+BinaryReader::~BinaryReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void BinaryReader::ReadBytes(void* data, size_t size) {
+  if (!status_.ok() || size == 0) return;
+  if (std::fread(data, 1, size, file_) != size) {
+    status_ = Status::IOError("truncated file");
+  }
+}
+
+bool BinaryReader::CheckCount(uint64_t count, size_t element_size) {
+  if (!status_.ok()) return false;
+  if (count > kMaxElements) {
+    status_ = Status::IOError("corrupt container length " +
+                              std::to_string(count));
+    return false;
+  }
+  (void)element_size;
+  return true;
+}
+
+uint32_t BinaryReader::ReadU32() {
+  uint32_t v = 0;
+  ReadBytes(&v, sizeof(v));
+  return v;
+}
+
+uint64_t BinaryReader::ReadU64() {
+  uint64_t v = 0;
+  ReadBytes(&v, sizeof(v));
+  return v;
+}
+
+int32_t BinaryReader::ReadI32() {
+  int32_t v = 0;
+  ReadBytes(&v, sizeof(v));
+  return v;
+}
+
+double BinaryReader::ReadDouble() {
+  double v = 0;
+  ReadBytes(&v, sizeof(v));
+  return v;
+}
+
+std::string BinaryReader::ReadString() {
+  const uint64_t size = ReadU64();
+  if (!CheckCount(size, 1)) return {};
+  std::string s(size, '\0');
+  ReadBytes(s.data(), size);
+  return s;
+}
+
+std::vector<double> BinaryReader::ReadDoubleVector() {
+  const uint64_t size = ReadU64();
+  if (!CheckCount(size, sizeof(double))) return {};
+  std::vector<double> v(size);
+  ReadBytes(v.data(), size * sizeof(double));
+  return v;
+}
+
+std::vector<uint64_t> BinaryReader::ReadU64Vector() {
+  const uint64_t size = ReadU64();
+  if (!CheckCount(size, sizeof(uint64_t))) return {};
+  std::vector<uint64_t> v(size);
+  ReadBytes(v.data(), size * sizeof(uint64_t));
+  return v;
+}
+
+std::vector<uint32_t> BinaryReader::ReadU32Vector() {
+  const uint64_t size = ReadU64();
+  if (!CheckCount(size, sizeof(uint32_t))) return {};
+  std::vector<uint32_t> v(size);
+  ReadBytes(v.data(), size * sizeof(uint32_t));
+  return v;
+}
+
+std::vector<float> BinaryReader::ReadFloatVector() {
+  const uint64_t size = ReadU64();
+  if (!CheckCount(size, sizeof(float))) return {};
+  std::vector<float> v(size);
+  ReadBytes(v.data(), size * sizeof(float));
+  return v;
+}
+
+Matrix BinaryReader::ReadMatrix() {
+  const uint64_t rows = ReadU64();
+  const uint64_t cols = ReadU64();
+  if (!CheckCount(rows, 1) || !CheckCount(cols, 1) ||
+      !CheckCount(rows * cols, sizeof(double))) {
+    return Matrix();
+  }
+  std::vector<double> data(rows * cols);
+  ReadBytes(data.data(), data.size() * sizeof(double));
+  if (!status_.ok()) return Matrix();
+  return Matrix(rows, cols, std::move(data));
+}
+
+void BinaryReader::ExpectHeader(const std::string& magic, uint32_t version) {
+  char got[4] = {0, 0, 0, 0};
+  ReadBytes(got, 4);
+  if (!status_.ok()) return;
+  if (std::string(got, 4) != magic) {
+    status_ = Status::IOError("bad magic: expected " + magic);
+    return;
+  }
+  const uint32_t got_version = ReadU32();
+  if (status_.ok() && got_version != version) {
+    status_ = Status::IOError("unsupported version " +
+                              std::to_string(got_version) + " (want " +
+                              std::to_string(version) + ")");
+  }
+}
+
+}  // namespace gqr

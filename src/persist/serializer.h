@@ -1,0 +1,98 @@
+// Minimal binary (de)serialization framework for persisting learned
+// models and indexes: little-endian primitives, length-prefixed
+// containers, and a magic/version header per artifact.
+//
+// L2H deployments train offline and serve online; being able to write a
+// trained hasher + bucket table to disk and mmap-free load it at serve
+// time is a basic requirement this module covers for every model type in
+// the library (linear hashers, SH, KMH, OPQ, hash tables).
+#ifndef GQR_PERSIST_SERIALIZER_H_
+#define GQR_PERSIST_SERIALIZER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "la/matrix.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace gqr {
+
+/// Buffered binary writer. All writes go through Status-returning calls;
+/// the first failure latches and subsequent writes are no-ops, so call
+/// sites can write a whole artifact and check status() once.
+class BinaryWriter {
+ public:
+  /// Opens `path` for writing (truncates). Check status() before use.
+  explicit BinaryWriter(const std::string& path);
+  ~BinaryWriter();
+
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI32(int32_t v);
+  void WriteDouble(double v);
+  void WriteString(const std::string& s);          // Length-prefixed.
+  void WriteDoubleVector(const std::vector<double>& v);
+  void WriteU64Vector(const std::vector<uint64_t>& v);
+  void WriteU32Vector(const std::vector<uint32_t>& v);
+  void WriteFloatVector(const std::vector<float>& v);
+  void WriteMatrix(const Matrix& m);
+
+  /// Writes the artifact header: magic tag (exactly 4 chars) + version.
+  void WriteHeader(const std::string& magic, uint32_t version);
+
+  /// Flushes and returns the latched status.
+  Status Finish();
+  const Status& status() const { return status_; }
+
+ private:
+  void WriteBytes(const void* data, size_t size);
+
+  std::FILE* file_ = nullptr;
+  Status status_;
+};
+
+/// Binary reader mirroring BinaryWriter; same latched-error discipline.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+  ~BinaryReader();
+
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  int32_t ReadI32();
+  double ReadDouble();
+  std::string ReadString();
+  std::vector<double> ReadDoubleVector();
+  std::vector<uint64_t> ReadU64Vector();
+  std::vector<uint32_t> ReadU32Vector();
+  std::vector<float> ReadFloatVector();
+  Matrix ReadMatrix();
+
+  /// Validates magic + version; latches an error on mismatch.
+  void ExpectHeader(const std::string& magic, uint32_t version);
+
+  const Status& status() const { return status_; }
+
+ private:
+  void ReadBytes(void* data, size_t size);
+  /// Container length guard: latches an error for absurd sizes (corrupt
+  /// or truncated files) instead of attempting a huge allocation.
+  bool CheckCount(uint64_t count, size_t element_size);
+
+  std::FILE* file_ = nullptr;
+  Status status_;
+};
+
+}  // namespace gqr
+
+#endif  // GQR_PERSIST_SERIALIZER_H_

@@ -1,0 +1,75 @@
+// Bit-manipulation helpers for binary hash codes (codes are uint64_t,
+// code length m <= 64, bit i of the code = bit i of the integer).
+#ifndef GQR_UTIL_BITS_H_
+#define GQR_UTIL_BITS_H_
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace gqr {
+
+/// A binary hash code; bit i (LSB-first) is the i-th hash bit c_i.
+using Code = uint64_t;
+
+/// Number of set bits.
+inline int PopCount(Code x) { return std::popcount(x); }
+
+/// Hamming distance between two codes.
+inline int HammingDistance(Code a, Code b) { return PopCount(a ^ b); }
+
+/// Mask with the low m bits set. Requires 0 <= m <= 64.
+inline Code LowBitsMask(int m) {
+  assert(m >= 0 && m <= 64);
+  return m == 64 ? ~Code{0} : ((Code{1} << m) - 1);
+}
+
+/// Value of bit i.
+inline int GetBit(Code c, int i) { return static_cast<int>((c >> i) & 1); }
+
+/// Code with bit i flipped.
+inline Code FlipBit(Code c, int i) { return c ^ (Code{1} << i); }
+
+/// Index of the lowest set bit. Requires x != 0.
+inline int LowestSetBit(Code x) {
+  assert(x != 0);
+  return std::countr_zero(x);
+}
+
+/// Index of the highest set bit. Requires x != 0.
+inline int HighestSetBit(Code x) {
+  assert(x != 0);
+  return 63 - std::countl_zero(x);
+}
+
+/// "0100..1" rendering, bit 0 first, m bits. For logs and tests.
+inline std::string CodeToString(Code c, int m) {
+  std::string s(m, '0');
+  for (int i = 0; i < m; ++i) s[i] = GetBit(c, i) ? '1' : '0';
+  return s;
+}
+
+/// Next integer with the same popcount (Gosper's hack); used to enumerate
+/// all codes at a fixed Hamming distance. Requires x != 0.
+inline Code NextSamePopCount(Code x) {
+  assert(x != 0);
+  Code c = x & -x;
+  Code r = x + c;
+  return (((r ^ x) >> 2) / c) | r;
+}
+
+/// C(n, r) as double (exact for the small n used for code lengths).
+inline double BinomialCoefficient(int n, int r) {
+  if (r < 0 || r > n) return 0.0;
+  r = r < n - r ? r : n - r;
+  double result = 1.0;
+  for (int i = 1; i <= r; ++i) {
+    result = result * (n - r + i) / i;
+  }
+  return result;
+}
+
+}  // namespace gqr
+
+#endif  // GQR_UTIL_BITS_H_

@@ -1,0 +1,30 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace gqr {
+
+int64_t GetEnvInt(const std::string& name, int64_t fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return parsed;
+}
+
+double GetEnvDouble(const std::string& name, double fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0') return fallback;
+  return parsed;
+}
+
+double BenchScale() {
+  double s = GetEnvDouble("GQR_SCALE", 1.0);
+  return s > 0.0 ? s : 1.0;
+}
+
+}  // namespace gqr

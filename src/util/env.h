@@ -1,0 +1,22 @@
+// Environment-variable configuration knobs for the bench harness.
+#ifndef GQR_UTIL_ENV_H_
+#define GQR_UTIL_ENV_H_
+
+#include <string>
+
+namespace gqr {
+
+/// Reads an integer env var, returning `fallback` when unset or malformed.
+int64_t GetEnvInt(const std::string& name, int64_t fallback);
+
+/// Reads a double env var, returning `fallback` when unset or malformed.
+double GetEnvDouble(const std::string& name, double fallback);
+
+/// GQR_SCALE: multiplies the synthetic dataset sizes used by the bench
+/// binaries (default 1.0). Set e.g. GQR_SCALE=10 for longer, closer-to-
+/// paper-scale runs.
+double BenchScale();
+
+}  // namespace gqr
+
+#endif  // GQR_UTIL_ENV_H_

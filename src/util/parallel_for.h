@@ -1,0 +1,42 @@
+// ParallelFor: block-partitioned parallel loop on the shared thread pool.
+#ifndef GQR_UTIL_PARALLEL_FOR_H_
+#define GQR_UTIL_PARALLEL_FOR_H_
+
+#include <algorithm>
+#include <cstddef>
+
+#include "util/thread_pool.h"
+
+namespace gqr {
+
+/// Runs fn(i) for every i in [begin, end), partitioned into contiguous
+/// blocks across the shared thread pool. Blocks until all iterations are
+/// done. fn must be safe to call concurrently for distinct i.
+///
+/// Small ranges (< min_parallel) run inline to avoid scheduling overhead.
+template <typename Fn>
+void ParallelFor(size_t begin, size_t end, Fn fn, size_t min_parallel = 256) {
+  if (end <= begin) return;
+  const size_t n = end - begin;
+  ThreadPool& pool = ThreadPool::Shared();
+  const size_t workers = pool.num_threads();
+  if (n < min_parallel || workers <= 1) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const size_t num_blocks = std::min(n, workers * 4);
+  const size_t block = (n + num_blocks - 1) / num_blocks;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t lo = begin + b * block;
+    const size_t hi = std::min(end, lo + block);
+    if (lo >= hi) break;
+    pool.Submit([lo, hi, &fn] {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace gqr
+
+#endif  // GQR_UTIL_PARALLEL_FOR_H_

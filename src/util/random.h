@@ -1,0 +1,55 @@
+// Seeded random number generation used across the library.
+//
+// Every stochastic stage in the library (synthetic data, LSH directions,
+// k-means++ init, ITQ's random rotation, query sampling) takes an explicit
+// Rng so that experiments and tests are reproducible bit-for-bit.
+#ifndef GQR_UTIL_RANDOM_H_
+#define GQR_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace gqr {
+
+/// Deterministic random source (Mersenne Twister under the hood).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform in [0, n).
+  uint64_t Uniform(uint64_t n);
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+  /// Standard normal N(0, 1).
+  double Gaussian();
+  /// N(mean, stddev^2).
+  double Gaussian(double mean, double stddev);
+
+  /// k distinct indices sampled uniformly from [0, n). Requires k <= n.
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Index sampled proportionally to non-negative weights. Requires the
+  /// weight sum to be positive.
+  size_t Discrete(const std::vector<double>& weights);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace gqr
+
+#endif  // GQR_UTIL_RANDOM_H_

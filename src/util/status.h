@@ -1,0 +1,98 @@
+// Lightweight Status / error-code type for fallible operations.
+//
+// Follows the RocksDB/Arrow idiom: library code on hot paths never throws;
+// operations that can fail (I/O, shape mismatches, invalid configuration)
+// return a Status, and value-returning fallible operations return
+// Result<T> (see result.h).
+#ifndef GQR_UTIL_STATUS_H_
+#define GQR_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace gqr {
+
+/// Error category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Outcome of a fallible operation: a code plus a human-readable message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (the
+/// message is empty in the OK case).
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<category>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk:
+        return "OK";
+      case StatusCode::kInvalidArgument:
+        return "InvalidArgument";
+      case StatusCode::kNotFound:
+        return "NotFound";
+      case StatusCode::kIOError:
+        return "IOError";
+      case StatusCode::kFailedPrecondition:
+        return "FailedPrecondition";
+      case StatusCode::kInternal:
+        return "Internal";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status to the caller. Use inside functions that
+/// themselves return Status.
+#define GQR_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::gqr::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+}  // namespace gqr
+
+#endif  // GQR_UTIL_STATUS_H_

@@ -1,0 +1,56 @@
+// Fixed-size worker pool used by the parallel building blocks
+// (ground-truth computation, k-means assignment, batched query runs).
+#ifndef GQR_UTIL_THREAD_POOL_H_
+#define GQR_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gqr {
+
+/// A simple fixed-size thread pool. Tasks are plain std::function<void()>;
+/// callers that need results should capture promises or shared state.
+///
+/// Thread-safe. The destructor drains outstanding tasks before joining.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware_concurrency().
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution by some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Process-wide shared pool (lazily constructed, never destroyed before
+  /// exit). Use for library-internal parallelism so that nested components
+  /// do not over-subscribe the machine.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace gqr
+
+#endif  // GQR_UTIL_THREAD_POOL_H_

@@ -1,0 +1,51 @@
+// Wall-clock and CPU timers for the evaluation harness.
+#ifndef GQR_UTIL_TIMER_H_
+#define GQR_UTIL_TIMER_H_
+
+#include <chrono>
+#include <ctime>
+
+namespace gqr {
+
+/// Monotonic wall-clock stopwatch. Started on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Process-wide CPU-time stopwatch (sums across all threads), used to
+/// report the paper's Table 2 "CPU time" column.
+class CpuTimer {
+ public:
+  CpuTimer() : start_(Now()) {}
+
+  void Reset() { start_ = Now(); }
+
+  double ElapsedSeconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+    timespec ts;
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+  }
+  double start_;
+};
+
+}  // namespace gqr
+
+#endif  // GQR_UTIL_TIMER_H_

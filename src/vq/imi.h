@@ -1,0 +1,101 @@
+// IMI: the inverted multi-index (Babenko-Lempitsky) over a 2-subspace
+// (O)PQ codebook. Items live in K x K cells keyed by their two centroid
+// indices; a query is answered by visiting cells in ascending sum of
+// per-subspace distances via the *multi-sequence algorithm* — a min-heap
+// over (i, j) positions in the two sorted distance sequences.
+//
+// Two query modes are provided:
+//  - Collect(): candidate ids in cell-visit order, for exact reranking
+//    against the raw vectors (how the paper's §6.5 comparison is run, so
+//    all methods share one rerank policy).
+//  - SearchAdc(): the full Multi-D-ADC pipeline — each item additionally
+//    stores a residual PQ code, and candidates are ranked by asymmetric
+//    distance (lazy per-cell residual lookup tables), never touching the
+//    raw vectors at query time.
+#ifndef GQR_VQ_IMI_H_
+#define GQR_VQ_IMI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "vq/opq.h"
+
+namespace gqr {
+
+struct ImiOptions {
+  /// Residual-PQ centroids per half for SearchAdc (0 disables residual
+  /// codes; SearchAdc then ranks by cell distance alone).
+  int residual_centroids = 16;
+  int residual_kmeans_iters = 15;
+  size_t max_train_samples = 20000;
+  uint64_t seed = 42;
+};
+
+class ImiIndex {
+ public:
+  /// Builds the K x K cell lists by encoding every item of `base` with
+  /// `model` (borrowed; must outlive the index), and trains/stores the
+  /// residual PQ codes. The codebook must have exactly 2 subspaces.
+  ImiIndex(const OpqModel& model, const Dataset& base,
+           const ImiOptions& options = ImiOptions());
+
+  struct ProbeStats {
+    size_t cells_visited = 0;
+    size_t cells_nonempty = 0;
+  };
+
+  /// Collects up to max_candidates item ids in ascending cell distance
+  /// (d0[i] + d1[j]) from the query. stats may be null.
+  std::vector<ItemId> Collect(const float* query, size_t max_candidates,
+                              ProbeStats* stats) const;
+
+  /// Multi-D-ADC search: sweeps cells in the multi-sequence order,
+  /// scoring up to max_candidates items by asymmetric distance
+  /// ||q_rot - cell centroid - residual codeword||^2 via lazy per-cell
+  /// lookup tables, and returns the best k ids (ascending estimated
+  /// distance). Quantization error bounds the accuracy — rerank against
+  /// raw vectors if exact order matters.
+  std::vector<ItemId> SearchAdc(const float* query, size_t k,
+                                size_t max_candidates,
+                                ProbeStats* stats = nullptr) const;
+
+  size_t num_cells() const {
+    return static_cast<size_t>(k_) * static_cast<size_t>(k_);
+  }
+  size_t num_nonempty_cells() const;
+  bool has_residuals() const { return residual_centroids_ > 0; }
+
+ private:
+  size_t CellIndex(uint32_t c0, uint32_t c1) const {
+    return static_cast<size_t>(c0) * k_ + c1;
+  }
+
+  /// Runs the multi-sequence sweep, invoking
+  /// visit(cell, item_begin, item_end) per visited cell until it returns
+  /// false. Items are addressed as positions into items_.
+  template <typename VisitFn>
+  void MultiSequenceSweep(const float* query, ProbeStats* stats,
+                          VisitFn visit) const;
+
+  /// Half-space boundaries of the 2 coarse subspaces.
+  size_t HalfBegin(int half) const;
+  size_t HalfEnd(int half) const;
+
+  const OpqModel* model_;
+  uint32_t k_;  // Centroids per subspace.
+  // CSR-style cell storage: items sorted by cell, offsets per cell.
+  std::vector<ItemId> items_;
+  std::vector<uint32_t> offsets_;  // Size k_^2 + 1.
+
+  // Residual PQ (Multi-D-ADC): per half, a codebook over residuals
+  // (rotated vector minus its coarse centroid); per stored item (aligned
+  // with items_), one residual code per half.
+  int residual_centroids_;
+  Matrix residual_codebook_[2];       // Kr x half_dim each.
+  std::vector<uint8_t> residual_code_[2];  // Aligned with items_.
+};
+
+}  // namespace gqr
+
+#endif  // GQR_VQ_IMI_H_

@@ -1,0 +1,100 @@
+#include "vq/opq.h"
+
+#include <cassert>
+
+#include "la/procrustes.h"
+#include "util/random.h"
+
+namespace gqr {
+
+OpqModel::OpqModel(Matrix rotation, PqCodebook codebook,
+                   std::vector<double> mean)
+    : rotation_(std::move(rotation)),
+      codebook_(std::move(codebook)),
+      mean_(std::move(mean)) {
+  assert(rotation_.rows() == rotation_.cols());
+  assert(mean_.size() == rotation_.rows());
+}
+
+void OpqModel::RotateInto(const float* x, double* out) const {
+  const size_t d = dim();
+  // out = R^T (x - mean): rotated row j = <column j of R, x - mean>.
+  for (size_t j = 0; j < d; ++j) out[j] = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    const double centered = static_cast<double>(x[i]) - mean_[i];
+    const double* r_row = rotation_.Row(i);
+    for (size_t j = 0; j < d; ++j) out[j] += centered * r_row[j];
+  }
+}
+
+std::vector<uint32_t> OpqModel::EncodeItem(const float* x) const {
+  std::vector<double> rotated(dim());
+  RotateInto(x, rotated.data());
+  return codebook_.Encode(rotated.data());
+}
+
+OpqModel TrainOpq(const Dataset& dataset, const OpqOptions& options) {
+  const size_t d = dataset.dim();
+  Rng rng(options.seed);
+
+  // Training sample, mean-centered, in doubles.
+  std::vector<uint32_t> rows;
+  if (dataset.size() > options.max_train_samples) {
+    rows = rng.SampleWithoutReplacement(
+        static_cast<uint32_t>(dataset.size()),
+        static_cast<uint32_t>(options.max_train_samples));
+  } else {
+    rows.resize(dataset.size());
+    for (size_t i = 0; i < dataset.size(); ++i) {
+      rows[i] = static_cast<uint32_t>(i);
+    }
+  }
+  const size_t t = rows.size();
+  std::vector<double> mean(d, 0.0);
+  for (uint32_t r : rows) {
+    const float* x = dataset.Row(r);
+    for (size_t j = 0; j < d; ++j) mean[j] += x[j];
+  }
+  for (size_t j = 0; j < d; ++j) mean[j] /= static_cast<double>(t);
+
+  Matrix x(t, d);
+  for (size_t i = 0; i < t; ++i) {
+    const float* src = dataset.Row(rows[i]);
+    for (size_t j = 0; j < d; ++j) {
+      x.At(i, j) = static_cast<double>(src[j]) - mean[j];
+    }
+  }
+
+  Matrix r = Matrix::RandomOrthogonal(d, &rng);
+  PqCodebook codebook;
+  std::vector<double> error_history;
+
+  PqOptions pq;
+  pq.num_subspaces = options.num_subspaces;
+  pq.num_centroids = options.num_centroids;
+  pq.kmeans_iters = options.kmeans_iters_per_round;
+  pq.max_train_samples = 0;  // Already sampled.
+  pq.seed = options.seed;
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    // (1) Rotate and (re-)train codebooks.
+    Matrix xr = x.Multiply(r);
+    codebook = TrainPq(xr.data().data(), t, d, pq,
+                       iter == 0 ? nullptr : &codebook);
+    error_history.push_back(codebook.QuantizationError(xr.data().data(), t));
+
+    // (2) Reconstructions Y and Procrustes update of R:
+    // min_R ||X R - Y||  =>  R = U V^T from SVD(X^T Y).
+    Matrix y(t, d);
+    for (size_t i = 0; i < t; ++i) {
+      codebook.Decode(codebook.Encode(xr.Row(i)), y.Row(i));
+    }
+    r = OrthogonalProcrustes(x.TransposedMultiply(y));
+  }
+
+  OpqModel model(std::move(r), std::move(codebook), std::move(mean));
+  model.set_error_history(std::move(error_history));
+  return model;
+}
+
+}  // namespace gqr

@@ -1,0 +1,65 @@
+// OPQ (optimized product quantization, Ge-He-Ke-Sun), non-parametric
+// variant: alternately (1) re-train the PQ codebooks on the rotated data
+// and (2) update the d x d rotation R by orthogonal Procrustes against
+// the PQ reconstructions. The state-of-the-art VQ comparator of the
+// paper's §6.5 / Table 2.
+#ifndef GQR_VQ_OPQ_H_
+#define GQR_VQ_OPQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "la/matrix.h"
+#include "vq/pq.h"
+
+namespace gqr {
+
+struct OpqOptions {
+  int num_subspaces = 2;
+  int num_centroids = 64;
+  /// Outer alternation rounds.
+  int iterations = 10;
+  int kmeans_iters_per_round = 4;
+  size_t max_train_samples = 20000;
+  uint64_t seed = 42;
+};
+
+/// A trained OPQ model: rotation + codebooks on the rotated space.
+class OpqModel {
+ public:
+  OpqModel(Matrix rotation, PqCodebook codebook, std::vector<double> mean);
+
+  size_t dim() const { return rotation_.rows(); }
+  const PqCodebook& codebook() const { return codebook_; }
+  const Matrix& rotation() const { return rotation_; }
+  /// Training-data mean subtracted before rotation.
+  const std::vector<double>& mean() const { return mean_; }
+
+  /// Rotates a float vector into the codebook space:
+  /// out = R^T (x - mean), length dim().
+  void RotateInto(const float* x, double* out) const;
+
+  /// PQ code of an item (rotates then encodes).
+  std::vector<uint32_t> EncodeItem(const float* x) const;
+
+  /// Mean squared quantization error per training round (non-increasing
+  /// up to k-means noise; reported for Table 2 style diagnostics).
+  const std::vector<double>& error_history() const { return error_history_; }
+  void set_error_history(std::vector<double> h) {
+    error_history_ = std::move(h);
+  }
+
+ private:
+  Matrix rotation_;  // d x d; columns orthonormal.
+  PqCodebook codebook_;
+  std::vector<double> mean_;
+  std::vector<double> error_history_;
+};
+
+/// Trains OPQ on (a sample of) the dataset.
+OpqModel TrainOpq(const Dataset& dataset, const OpqOptions& options);
+
+}  // namespace gqr
+
+#endif  // GQR_VQ_OPQ_H_

@@ -1,0 +1,145 @@
+#include "vq/pq.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "la/kmeans.h"
+#include "util/parallel_for.h"
+
+namespace gqr {
+
+namespace {
+
+double SubspaceSquaredL2(const double* centroid, const double* x,
+                         size_t dim) {
+  double s = 0.0;
+  for (size_t j = 0; j < dim; ++j) {
+    const double d = centroid[j] - x[j];
+    s += d * d;
+  }
+  return s;
+}
+
+// A few Lloyd iterations starting from existing centers — the warm-start
+// path of OPQ's alternating optimization.
+Matrix WarmStartLloyd(const double* data, size_t n, size_t dim,
+                      Matrix centers, int iters) {
+  const size_t k = centers.rows();
+  std::vector<uint32_t> assign(n);
+  for (int it = 0; it < iters; ++it) {
+    ParallelFor(0, n, [&](size_t i) {
+      assign[i] = NearestCenter(centers, data + i * dim);
+    });
+    Matrix sums(k, dim);
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const double* x = data + i * dim;
+      double* row = sums.Row(assign[i]);
+      for (size_t j = 0; j < dim; ++j) row[j] += x[j];
+      ++counts[assign[i]];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // Keep the old center.
+      for (size_t j = 0; j < dim; ++j) {
+        centers.At(c, j) = sums.At(c, j) / static_cast<double>(counts[c]);
+      }
+    }
+  }
+  return centers;
+}
+
+}  // namespace
+
+PqCodebook::PqCodebook(std::vector<Subspace> subspaces)
+    : subspaces_(std::move(subspaces)) {
+  assert(!subspaces_.empty());
+}
+
+std::vector<uint32_t> PqCodebook::Encode(const double* x) const {
+  std::vector<uint32_t> code(subspaces_.size());
+  for (size_t s = 0; s < subspaces_.size(); ++s) {
+    code[s] = NearestCenter(subspaces_[s].centroids,
+                            x + subspaces_[s].dim_begin);
+  }
+  return code;
+}
+
+void PqCodebook::ComputeDistanceTables(
+    const double* x, std::vector<std::vector<double>>* tables) const {
+  tables->resize(subspaces_.size());
+  for (size_t s = 0; s < subspaces_.size(); ++s) {
+    const Subspace& sub = subspaces_[s];
+    const size_t sub_dim = sub.dim_end - sub.dim_begin;
+    auto& t = (*tables)[s];
+    t.resize(sub.centroids.rows());
+    for (size_t c = 0; c < sub.centroids.rows(); ++c) {
+      t[c] = SubspaceSquaredL2(sub.centroids.Row(c), x + sub.dim_begin,
+                               sub_dim);
+    }
+  }
+}
+
+void PqCodebook::Decode(const std::vector<uint32_t>& code,
+                        double* out) const {
+  assert(code.size() == subspaces_.size());
+  for (size_t s = 0; s < subspaces_.size(); ++s) {
+    const Subspace& sub = subspaces_[s];
+    const double* c = sub.centroids.Row(code[s]);
+    for (size_t j = sub.dim_begin; j < sub.dim_end; ++j) {
+      out[j] = c[j - sub.dim_begin];
+    }
+  }
+}
+
+double PqCodebook::QuantizationError(const double* data, size_t n) const {
+  const size_t d = dim();
+  std::vector<double> errors(n);
+  ParallelFor(0, n, [&](size_t i) {
+    const double* x = data + i * d;
+    std::vector<uint32_t> code = Encode(x);
+    std::vector<double> rec(d);
+    Decode(code, rec.data());
+    errors[i] = SubspaceSquaredL2(rec.data(), x, d);
+  });
+  double total = 0.0;
+  for (double e : errors) total += e;
+  return n > 0 ? total / static_cast<double>(n) : 0.0;
+}
+
+PqCodebook TrainPq(const double* data, size_t n, size_t dim,
+                   const PqOptions& options, const PqCodebook* warm_start) {
+  assert(options.num_subspaces >= 1);
+  assert(static_cast<size_t>(options.num_subspaces) <= dim);
+  std::vector<PqCodebook::Subspace> subspaces(options.num_subspaces);
+  for (int s = 0; s < options.num_subspaces; ++s) {
+    PqCodebook::Subspace& sub = subspaces[s];
+    sub.dim_begin = dim * s / options.num_subspaces;
+    sub.dim_end = dim * (s + 1) / options.num_subspaces;
+    const size_t sub_dim = sub.dim_end - sub.dim_begin;
+
+    // Contiguous copy of the subspace slice.
+    std::vector<double> slice(n * sub_dim);
+    for (size_t i = 0; i < n; ++i) {
+      const double* x = data + i * dim + sub.dim_begin;
+      std::copy(x, x + sub_dim, slice.data() + i * sub_dim);
+    }
+
+    if (warm_start != nullptr) {
+      sub.centroids =
+          WarmStartLloyd(slice.data(), n, sub_dim,
+                         warm_start->subspace(s).centroids,
+                         options.kmeans_iters);
+    } else {
+      KMeansOptions km;
+      km.k = static_cast<size_t>(options.num_centroids);
+      km.max_iters = options.kmeans_iters;
+      km.seed = options.seed + static_cast<uint64_t>(s) * 104729;
+      km.max_train_samples = options.max_train_samples;
+      sub.centroids = KMeans(slice.data(), n, sub_dim, km).centers;
+    }
+  }
+  return PqCodebook(std::move(subspaces));
+}
+
+}  // namespace gqr

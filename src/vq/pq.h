@@ -1,0 +1,74 @@
+// Product quantization: split the space into M subspaces and vector-
+// quantize each with its own k-means codebook. The building block of OPQ
+// (opq.h) and of the inverted multi-index (imi.h).
+#ifndef GQR_VQ_PQ_H_
+#define GQR_VQ_PQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace gqr {
+
+struct PqOptions {
+  /// Number of subspaces M (the IMI uses exactly 2).
+  int num_subspaces = 2;
+  /// Centroids per subspace K.
+  int num_centroids = 64;
+  int kmeans_iters = 20;
+  size_t max_train_samples = 20000;
+  uint64_t seed = 42;
+};
+
+/// A trained product quantizer over d-dimensional doubles. (Training and
+/// encoding run on doubles because OPQ feeds it rotated data.)
+class PqCodebook {
+ public:
+  struct Subspace {
+    size_t dim_begin;
+    size_t dim_end;
+    /// num_centroids x (dim_end - dim_begin).
+    Matrix centroids;
+  };
+
+  PqCodebook() = default;
+  explicit PqCodebook(std::vector<Subspace> subspaces);
+
+  int num_subspaces() const { return static_cast<int>(subspaces_.size()); }
+  int num_centroids() const {
+    return static_cast<int>(subspaces_[0].centroids.rows());
+  }
+  size_t dim() const { return subspaces_.back().dim_end; }
+  const Subspace& subspace(int s) const { return subspaces_[s]; }
+
+  /// Per-subspace nearest-centroid indices of x (length num_subspaces).
+  std::vector<uint32_t> Encode(const double* x) const;
+
+  /// tables[s][c] = squared L2 distance from x's subvector s to centroid
+  /// c — the ADC lookup tables, also what the IMI multi-sequence
+  /// algorithm sorts.
+  void ComputeDistanceTables(const double* x,
+                             std::vector<std::vector<double>>* tables) const;
+
+  /// Reconstruction (codeword concatenation) of an encoded vector into
+  /// out (length dim()); used by OPQ's Procrustes update.
+  void Decode(const std::vector<uint32_t>& code, double* out) const;
+
+  /// Mean squared reconstruction error over n row-major vectors.
+  double QuantizationError(const double* data, size_t n) const;
+
+ private:
+  std::vector<Subspace> subspaces_;
+};
+
+/// Trains PQ on n row-major d-dimensional doubles. When warm_start is
+/// non-null its centroids seed the per-subspace k-means (used by OPQ's
+/// alternating loop).
+PqCodebook TrainPq(const double* data, size_t n, size_t dim,
+                   const PqOptions& options,
+                   const PqCodebook* warm_start = nullptr);
+
+}  // namespace gqr
+
+#endif  // GQR_VQ_PQ_H_

@@ -1,0 +1,83 @@
+// Tests for the parallel batch-search API.
+#include <gtest/gtest.h>
+
+#include "core/batch_search.h"
+#include "core/gqr_prober.h"
+#include "data/synthetic.h"
+#include "hash/itq.h"
+
+namespace gqr {
+namespace {
+
+struct BatchFixture {
+  Dataset base;
+  Dataset queries;
+  LinearHasher hasher;
+  StaticHashTable table;
+
+  static BatchFixture Make() {
+    SyntheticSpec spec;
+    spec.n = 3000;
+    spec.dim = 10;
+    spec.num_clusters = 30;
+    spec.seed = 211;
+    Dataset all = GenerateClusteredGaussian(spec);
+    Rng rng(4);
+    auto [base, queries] = all.SplitQueries(50, &rng);
+    ItqOptions opt;
+    opt.code_length = 8;
+    LinearHasher hasher = TrainItq(base, opt);
+    StaticHashTable table(hasher.HashDataset(base), 8);
+    return BatchFixture{std::move(base), std::move(queries),
+                        std::move(hasher), std::move(table)};
+  }
+};
+
+TEST(BatchSearchTest, MatchesSequentialSearch) {
+  BatchFixture f = BatchFixture::Make();
+  Searcher searcher(f.base);
+  SearchOptions so;
+  so.k = 10;
+  so.max_candidates = 300;
+  auto batch = BatchSearch(searcher, f.hasher, f.table, f.queries,
+                           QueryMethod::kGQR, so);
+  ASSERT_EQ(batch.size(), f.queries.size());
+  for (size_t q = 0; q < f.queries.size(); ++q) {
+    const float* query = f.queries.Row(static_cast<ItemId>(q));
+    GqrProber prober(f.hasher.HashQuery(query));
+    SearchResult seq = searcher.Search(query, &prober, f.table, so);
+    EXPECT_EQ(batch[q].ids, seq.ids) << "query " << q;
+    EXPECT_EQ(batch[q].stats.items_evaluated, seq.stats.items_evaluated);
+  }
+}
+
+TEST(BatchSearchTest, WorksForEveryMethod) {
+  BatchFixture f = BatchFixture::Make();
+  Searcher searcher(f.base);
+  SearchOptions so;
+  so.k = 5;
+  so.max_candidates = 200;
+  for (QueryMethod m : {QueryMethod::kHR, QueryMethod::kGHR,
+                        QueryMethod::kQR, QueryMethod::kGQR}) {
+    auto batch = BatchSearch(searcher, f.hasher, f.table, f.queries, m, so);
+    ASSERT_EQ(batch.size(), f.queries.size());
+    for (const SearchResult& r : batch) {
+      EXPECT_EQ(r.ids.size(), 5u);
+      EXPECT_GE(r.stats.items_evaluated, 5u);
+    }
+  }
+}
+
+TEST(BatchSearchTest, EmptyQueryBatch) {
+  BatchFixture f = BatchFixture::Make();
+  Searcher searcher(f.base);
+  SearchOptions so;
+  so.k = 5;
+  Dataset empty(0, f.base.dim());
+  auto batch = BatchSearch(searcher, f.hasher, f.table, empty,
+                           QueryMethod::kGQR, so);
+  EXPECT_TRUE(batch.empty());
+}
+
+}  // namespace
+}  // namespace gqr

@@ -1,0 +1,102 @@
+// Tests for the C2LSH collision-counting baseline (§7 related work).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/c2lsh.h"
+#include "core/searcher.h"
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+
+namespace gqr {
+namespace {
+
+Dataset TestData(size_t n = 3000, size_t dim = 12, uint64_t seed = 221) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = dim;
+  spec.num_clusters = 30;
+  spec.cluster_stddev = 4.0;
+  spec.zipf_exponent = 0.5;
+  spec.seed = seed;
+  return GenerateClusteredGaussian(spec);
+}
+
+TEST(C2lshTest, CollectsRequestedCandidates) {
+  Dataset base = TestData();
+  C2lshOptions opt;
+  opt.num_hashes = 16;
+  C2lshIndex index(base, opt);
+  EXPECT_EQ(index.num_hashes(), 16);
+  EXPECT_EQ(index.num_items(), base.size());
+  C2lshIndex::ProbeStats stats;
+  auto out = index.Collect(base.Row(0), 200, &stats);
+  EXPECT_GE(out.size(), 200u);
+  EXPECT_GE(stats.final_level, 1);
+  EXPECT_GT(stats.count_updates, 0u);
+  std::set<ItemId> unique(out.begin(), out.end());
+  EXPECT_EQ(unique.size(), out.size()) << "duplicate candidates";
+}
+
+TEST(C2lshTest, UnboundedBudgetEventuallyCoversEverything) {
+  Dataset base = TestData(800, 8, 222);
+  C2lshOptions opt;
+  opt.num_hashes = 12;
+  C2lshIndex index(base, opt);
+  auto out = index.Collect(base.Row(5), base.size(), nullptr);
+  // Every item collides on every axis at a high-enough level, so all
+  // items must eventually cross the threshold.
+  EXPECT_EQ(out.size(), base.size());
+}
+
+TEST(C2lshTest, SelfIsEarlyCandidate) {
+  Dataset base = TestData(2000, 10, 223);
+  C2lshOptions opt;
+  opt.num_hashes = 24;
+  C2lshIndex index(base, opt);
+  for (ItemId q = 0; q < 20; ++q) {
+    auto out = index.Collect(base.Row(q), 50, nullptr);
+    // The query is an indexed item: it collides with itself on all m
+    // axes at level 1, so it must be among the earliest emissions.
+    EXPECT_NE(std::find(out.begin(), out.end(), q), out.end())
+        << "query " << q << " not found in its own candidate set";
+  }
+}
+
+TEST(C2lshTest, EndToEndRecallBeatsRandom) {
+  Dataset all = TestData(4000, 16, 224);
+  Rng rng(6);
+  auto [base, queries] = all.SplitQueries(20, &rng);
+  auto gt = ComputeGroundTruth(base, queries, 10);
+  C2lshOptions opt;
+  opt.num_hashes = 24;
+  C2lshIndex index(base, opt);
+  Searcher searcher(base);
+  double recall = 0.0;
+  const size_t budget = 400;  // 10% of the base.
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const float* query = queries.Row(static_cast<ItemId>(q));
+    auto candidates = index.Collect(query, budget, nullptr);
+    SearchOptions so;
+    so.k = 10;
+    so.max_candidates = budget;
+    recall += RecallAtK(searcher.RerankCandidates(query, candidates, so).ids,
+                        gt[q], 10);
+  }
+  recall /= static_cast<double>(queries.size());
+  // Random 10% sampling would land ~0.1; collision counting must do far
+  // better.
+  EXPECT_GT(recall, 0.4);
+}
+
+TEST(C2lshTest, ZeroBudget) {
+  Dataset base = TestData(200, 8, 225);
+  C2lshOptions opt;
+  opt.num_hashes = 8;
+  C2lshIndex index(base, opt);
+  EXPECT_TRUE(index.Collect(base.Row(0), 0, nullptr).empty());
+}
+
+}  // namespace
+}  // namespace gqr

@@ -1,0 +1,64 @@
+// Tests for data/dataset.
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+
+namespace gqr {
+namespace {
+
+Dataset Sequential(size_t n, size_t dim) {
+  Dataset d(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < dim; ++j) {
+      d.MutableRow(static_cast<ItemId>(i))[j] =
+          static_cast<float>(i * dim + j);
+    }
+  }
+  return d;
+}
+
+TEST(DatasetTest, ShapeAndAccess) {
+  Dataset d = Sequential(4, 3);
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.dim(), 3u);
+  EXPECT_FLOAT_EQ(d.Row(2)[1], 7.f);
+}
+
+TEST(DatasetTest, TakesOwnershipOfData) {
+  std::vector<float> v = {1.f, 2.f, 3.f, 4.f};
+  Dataset d(2, 2, std::move(v));
+  EXPECT_FLOAT_EQ(d.Row(1)[0], 3.f);
+}
+
+TEST(DatasetTest, SplitQueriesPartitions) {
+  Dataset d = Sequential(100, 2);
+  Rng rng(5);
+  auto [base, queries] = d.SplitQueries(10, &rng);
+  EXPECT_EQ(base.size(), 90u);
+  EXPECT_EQ(queries.size(), 10u);
+  EXPECT_EQ(base.dim(), 2u);
+  // Every original row appears exactly once across the two sets.
+  std::multiset<float> original, combined;
+  for (size_t i = 0; i < 100; ++i) original.insert(d.Row(i)[0]);
+  for (size_t i = 0; i < 90; ++i) combined.insert(base.Row(i)[0]);
+  for (size_t i = 0; i < 10; ++i) combined.insert(queries.Row(i)[0]);
+  EXPECT_EQ(original, combined);
+}
+
+TEST(DatasetTest, GatherPicksRows) {
+  Dataset d = Sequential(10, 2);
+  Dataset g = d.Gather({3, 7, 3});
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_FLOAT_EQ(g.Row(0)[0], 6.f);
+  EXPECT_FLOAT_EQ(g.Row(1)[0], 14.f);
+  EXPECT_FLOAT_EQ(g.Row(2)[0], 6.f);
+}
+
+TEST(DatasetTest, SummaryMentionsShape) {
+  Dataset d = Sequential(5, 7);
+  EXPECT_NE(d.Summary().find("n=5"), std::string::npos);
+  EXPECT_NE(d.Summary().find("dim=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gqr

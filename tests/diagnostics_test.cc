@@ -1,0 +1,95 @@
+// Tests for eval/diagnostics.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/diagnostics.h"
+#include "hash/itq.h"
+#include "hash/lsh.h"
+
+namespace gqr {
+namespace {
+
+TEST(OccupancyTest, UniformCodesScoreHighEntropy) {
+  // 1024 items spread evenly over 256 buckets.
+  std::vector<Code> codes(1024);
+  for (size_t i = 0; i < codes.size(); ++i) codes[i] = i % 256;
+  StaticHashTable table(codes, 8);
+  OccupancyStats s = ComputeOccupancy(table);
+  EXPECT_EQ(s.num_buckets, 256u);
+  EXPECT_EQ(s.possible_buckets, 256u);
+  EXPECT_DOUBLE_EQ(s.fill_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean_occupancy, 4.0);
+  EXPECT_EQ(s.max_occupancy, 4u);
+  EXPECT_EQ(s.median_occupancy, 4u);
+  EXPECT_NEAR(s.occupancy_entropy, 1.0, 1e-12);
+}
+
+TEST(OccupancyTest, SkewedCodesScoreLowEntropyHighTopMass) {
+  // 990 items in one bucket, 10 spread elsewhere.
+  std::vector<Code> codes(1000, Code{0});
+  for (size_t i = 0; i < 10; ++i) codes[i] = static_cast<Code>(i + 1);
+  StaticHashTable table(codes, 8);
+  OccupancyStats s = ComputeOccupancy(table);
+  EXPECT_EQ(s.max_occupancy, 990u);
+  EXPECT_LT(s.occupancy_entropy, 0.3);
+  EXPECT_GT(s.top1pct_mass, 0.9);
+}
+
+TEST(OccupancyTest, EmptyTable) {
+  StaticHashTable table(std::vector<Code>{}, 8);
+  OccupancyStats s = ComputeOccupancy(table);
+  EXPECT_EQ(s.num_buckets, 0u);
+  EXPECT_EQ(s.num_items, 0u);
+}
+
+TEST(OccupancyTest, ReportMentionsKeyNumbers) {
+  std::vector<Code> codes = {0, 0, 1};
+  StaticHashTable table(codes, 4);
+  const std::string report = OccupancyReport(ComputeOccupancy(table));
+  EXPECT_NE(report.find("2 non-empty"), std::string::npos);
+  EXPECT_NE(report.find("16 possible"), std::string::npos);
+}
+
+TEST(BitBalanceTest, PcaLikeHashersAreRoughlyBalanced) {
+  SyntheticSpec spec;
+  spec.n = 5000;
+  spec.dim = 16;
+  spec.num_clusters = 100;
+  spec.cluster_stddev = 4.0;
+  spec.seed = 181;
+  Dataset data = GenerateClusteredGaussian(spec);
+  ItqOptions opt;
+  opt.code_length = 10;
+  LinearHasher hasher = TrainItq(data, opt);
+  BitBalanceStats s = ComputeBitBalance(hasher, data);
+  ASSERT_EQ(s.ones_fraction.size(), 10u);
+  // Mean-centered projections: bits are near-balanced, correlations low.
+  EXPECT_LT(s.worst_imbalance, 0.25);
+  EXPECT_LT(s.mean_abs_correlation, 0.3);
+}
+
+TEST(BitBalanceTest, ConstantBitIsFlagged) {
+  // A hasher with an always-one bit: offset pushed far negative on a
+  // non-negative dataset.
+  SyntheticSpec spec;
+  spec.n = 500;
+  spec.dim = 8;
+  spec.non_negative = true;
+  spec.seed = 182;
+  Dataset data = GenerateClusteredGaussian(spec);
+  LshOptions opt;
+  opt.code_length = 6;
+  opt.center_on_mean = false;  // Zero offset: projections of non-negative
+                               // data through positive rows stay positive.
+  LinearHasher base = TrainLsh(data, 8, opt);
+  // Force row 0 of the hashing matrix to all-positive weights.
+  Matrix w = base.HashingMatrix();
+  for (size_t j = 0; j < w.cols(); ++j) w.At(0, j) = 1.0;
+  LinearHasher rigged(std::move(w), std::vector<double>(8, 0.0), "rigged");
+  BitBalanceStats s = ComputeBitBalance(rigged, data);
+  EXPECT_GT(s.worst_imbalance, 0.45);
+  EXPECT_GT(s.ones_fraction[0], 0.95);
+}
+
+}  // namespace
+}  // namespace gqr

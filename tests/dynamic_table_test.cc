@@ -1,0 +1,124 @@
+// Tests for the dynamic (insert/remove) hash table.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/gqr_prober.h"
+#include "core/searcher.h"
+#include "data/synthetic.h"
+#include "hash/pcah.h"
+#include "index/dynamic_table.h"
+
+namespace gqr {
+namespace {
+
+TEST(DynamicTableTest, InsertProbeRemove) {
+  DynamicHashTable table(8);
+  EXPECT_TRUE(table.Insert(1, 0b1010).ok());
+  EXPECT_TRUE(table.Insert(2, 0b1010).ok());
+  EXPECT_TRUE(table.Insert(3, 0b0001).ok());
+  EXPECT_EQ(table.num_items(), 3u);
+  EXPECT_EQ(table.num_buckets(), 2u);
+  EXPECT_EQ(table.Probe(0b1010).size(), 2u);
+  EXPECT_TRUE(table.Contains(1, 0b1010));
+  EXPECT_FALSE(table.Contains(1, 0b0001));
+
+  EXPECT_TRUE(table.Remove(1, 0b1010).ok());
+  EXPECT_EQ(table.Probe(0b1010).size(), 1u);
+  EXPECT_EQ(table.Probe(0b1010)[0], 2u);
+  EXPECT_EQ(table.num_items(), 2u);
+}
+
+TEST(DynamicTableTest, ErrorPaths) {
+  DynamicHashTable table(4);
+  EXPECT_TRUE(table.Insert(5, 0b0110).ok());
+  // Duplicate insert.
+  EXPECT_EQ(table.Insert(5, 0b0110).code(),
+            StatusCode::kFailedPrecondition);
+  // Out-of-range code.
+  EXPECT_EQ(table.Insert(6, 0b10000).code(), StatusCode::kInvalidArgument);
+  // Remove from wrong/empty bucket.
+  EXPECT_EQ(table.Remove(5, 0b0001).code(), StatusCode::kNotFound);
+  EXPECT_EQ(table.Remove(99, 0b0110).code(), StatusCode::kNotFound);
+  // Removing the last member erases the bucket.
+  EXPECT_TRUE(table.Remove(5, 0b0110).ok());
+  EXPECT_EQ(table.num_buckets(), 0u);
+}
+
+TEST(DynamicTableTest, FreezeMatchesStaticBuild) {
+  Rng rng(201);
+  const int m = 8;
+  std::vector<Code> codes(500);
+  for (auto& c : codes) c = rng.Uniform(1u << m);
+
+  DynamicHashTable dynamic(m);
+  for (size_t i = 0; i < codes.size(); ++i) {
+    ASSERT_TRUE(dynamic.Insert(static_cast<ItemId>(i), codes[i]).ok());
+  }
+  Result<StaticHashTable> frozen = dynamic.Freeze();
+  ASSERT_TRUE(frozen.ok()) << frozen.status().ToString();
+  StaticHashTable direct(codes, m);
+  EXPECT_EQ(frozen->num_buckets(), direct.num_buckets());
+  EXPECT_EQ(frozen->bucket_codes(), direct.bucket_codes());
+  for (Code c : direct.bucket_codes()) {
+    std::multiset<ItemId> a(frozen->Probe(c).begin(),
+                            frozen->Probe(c).end());
+    std::multiset<ItemId> b(direct.Probe(c).begin(), direct.Probe(c).end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(DynamicTableTest, FreezeRejectsSparseIds) {
+  DynamicHashTable table(4);
+  ASSERT_TRUE(table.Insert(0, 1).ok());
+  ASSERT_TRUE(table.Insert(7, 2).ok());  // Gap: ids {0, 7} not dense.
+  EXPECT_EQ(table.Freeze().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DynamicTableTest, StreamingSearchSeesUpdates) {
+  SyntheticSpec spec;
+  spec.n = 1000;
+  spec.dim = 8;
+  spec.num_clusters = 10;
+  spec.seed = 202;
+  Dataset base = GenerateClusteredGaussian(spec);
+  PcahOptions opt;
+  opt.code_length = 7;
+  LinearHasher hasher = TrainPcah(base, opt);
+
+  DynamicHashTable table(7);
+  // Ingest only the first half.
+  for (ItemId i = 0; i < 500; ++i) {
+    ASSERT_TRUE(table.Insert(i, hasher.HashItem(base.Row(i))).ok());
+  }
+  Searcher searcher(base);
+  const float* query = base.Row(900);  // Not ingested.
+  SearchOptions so;
+  so.k = 5;
+  so.max_candidates = 0;
+  {
+    GqrProber prober(hasher.HashQuery(query));
+    SearchResult r = searcher.Search(query, &prober, table, so);
+    for (ItemId id : r.ids) EXPECT_LT(id, 500u);
+  }
+  // Ingest item 900 itself; it must now be the top result.
+  ASSERT_TRUE(table.Insert(900, hasher.HashItem(base.Row(900))).ok());
+  {
+    GqrProber prober(hasher.HashQuery(query));
+    SearchResult r = searcher.Search(query, &prober, table, so);
+    ASSERT_FALSE(r.ids.empty());
+    EXPECT_EQ(r.ids[0], 900u);
+    EXPECT_FLOAT_EQ(r.distances[0], 0.f);
+  }
+  // Delete it again; it must vanish from results.
+  ASSERT_TRUE(table.Remove(900, hasher.HashItem(base.Row(900))).ok());
+  {
+    GqrProber prober(hasher.HashQuery(query));
+    SearchResult r = searcher.Search(query, &prober, table, so);
+    for (ItemId id : r.ids) EXPECT_NE(id, 900u);
+  }
+}
+
+}  // namespace
+}  // namespace gqr

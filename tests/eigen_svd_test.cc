@@ -1,0 +1,183 @@
+// Tests for the Jacobi eigensolver, one-sided-Jacobi SVD, and Procrustes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/eigen_sym.h"
+#include "la/procrustes.h"
+#include "la/svd.h"
+#include "util/random.h"
+
+namespace gqr {
+namespace {
+
+Matrix RandomSymmetric(size_t n, Rng* rng) {
+  Matrix a = Matrix::RandomGaussian(n, n, rng);
+  Matrix sym(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      sym.At(i, j) = 0.5 * (a.At(i, j) + a.At(j, i));
+    }
+  }
+  return sym;
+}
+
+TEST(EigenSymTest, DiagonalMatrix) {
+  Matrix d(3, 3);
+  d.At(0, 0) = 1.0;
+  d.At(1, 1) = 5.0;
+  d.At(2, 2) = 3.0;
+  EigenDecomposition e = EigenSym(d);
+  EXPECT_NEAR(e.eigenvalues[0], 5.0, 1e-10);
+  EXPECT_NEAR(e.eigenvalues[1], 3.0, 1e-10);
+  EXPECT_NEAR(e.eigenvalues[2], 1.0, 1e-10);
+}
+
+TEST(EigenSymTest, ReconstructsMatrix) {
+  Rng rng(11);
+  for (size_t n : {2u, 5u, 17u}) {
+    Matrix a = RandomSymmetric(n, &rng);
+    EigenDecomposition e = EigenSym(a);
+    // V diag(lambda) V^T == A.
+    Matrix lambda(n, n);
+    for (size_t i = 0; i < n; ++i) lambda.At(i, i) = e.eigenvalues[i];
+    Matrix rec =
+        e.eigenvectors.Multiply(lambda).MultiplyTransposed(e.eigenvectors);
+    EXPECT_LT(rec.MaxAbsDiff(a), 1e-8) << "n=" << n;
+  }
+}
+
+TEST(EigenSymTest, EigenvectorsOrthonormal) {
+  Rng rng(12);
+  Matrix a = RandomSymmetric(10, &rng);
+  EigenDecomposition e = EigenSym(a);
+  Matrix vtv = e.eigenvectors.TransposedMultiply(e.eigenvectors);
+  EXPECT_LT(vtv.MaxAbsDiff(Matrix::Identity(10)), 1e-9);
+}
+
+TEST(EigenSymTest, EigenvaluesDescending) {
+  Rng rng(13);
+  EigenDecomposition e = EigenSym(RandomSymmetric(12, &rng));
+  for (size_t i = 1; i < e.eigenvalues.size(); ++i) {
+    EXPECT_GE(e.eigenvalues[i - 1], e.eigenvalues[i]);
+  }
+}
+
+TEST(EigenSymTest, SatisfiesEigenEquation) {
+  Rng rng(14);
+  const size_t n = 8;
+  Matrix a = RandomSymmetric(n, &rng);
+  EigenDecomposition e = EigenSym(a);
+  for (size_t j = 0; j < n; ++j) {
+    std::vector<double> v(n);
+    for (size_t i = 0; i < n; ++i) v[i] = e.eigenvectors.At(i, j);
+    std::vector<double> av = a.MatVec(v);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(av[i], e.eigenvalues[j] * v[i], 1e-8);
+    }
+  }
+}
+
+class SvdShapeTest : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(SvdShapeTest, ReconstructionAndOrthogonality) {
+  auto [rows, cols] = GetParam();
+  Rng rng(rows * 100 + cols);
+  Matrix a = Matrix::RandomGaussian(rows, cols, &rng);
+  SvdResult svd = Svd(a);
+  const size_t k = std::min(rows, cols);
+  ASSERT_EQ(svd.singular_values.size(), k);
+  ASSERT_EQ(svd.u.rows(), rows);
+  ASSERT_EQ(svd.u.cols(), k);
+  ASSERT_EQ(svd.v.rows(), cols);
+  ASSERT_EQ(svd.v.cols(), k);
+
+  // Singular values descending and non-negative.
+  for (size_t i = 0; i < k; ++i) {
+    EXPECT_GE(svd.singular_values[i], 0.0);
+    if (i > 0) {
+      EXPECT_GE(svd.singular_values[i - 1], svd.singular_values[i]);
+    }
+  }
+  // U, V orthonormal columns.
+  EXPECT_LT(svd.u.TransposedMultiply(svd.u).MaxAbsDiff(Matrix::Identity(k)),
+            1e-9);
+  EXPECT_LT(svd.v.TransposedMultiply(svd.v).MaxAbsDiff(Matrix::Identity(k)),
+            1e-9);
+  // A == U S V^T.
+  Matrix s(k, k);
+  for (size_t i = 0; i < k; ++i) s.At(i, i) = svd.singular_values[i];
+  Matrix rec = svd.u.Multiply(s).MultiplyTransposed(svd.v);
+  EXPECT_LT(rec.MaxAbsDiff(a), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdShapeTest,
+                         ::testing::Values(std::make_pair(4u, 4u),
+                                           std::make_pair(10u, 4u),
+                                           std::make_pair(4u, 10u),
+                                           std::make_pair(16u, 16u),
+                                           std::make_pair(1u, 5u),
+                                           std::make_pair(5u, 1u)));
+
+TEST(SvdTest, RankDeficientMatrix) {
+  // Rank-1 matrix: exactly one non-zero singular value.
+  Matrix a(4, 3);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      a.At(i, j) = static_cast<double>((i + 1) * (j + 1));
+    }
+  }
+  SvdResult svd = Svd(a);
+  EXPECT_GT(svd.singular_values[0], 1.0);
+  EXPECT_NEAR(svd.singular_values[1], 0.0, 1e-8);
+  EXPECT_NEAR(svd.singular_values[2], 0.0, 1e-8);
+}
+
+TEST(SvdTest, AgreesWithEigenOfGram) {
+  // Singular values of A == sqrt(eigenvalues of A^T A).
+  Rng rng(15);
+  Matrix a = Matrix::RandomGaussian(9, 6, &rng);
+  SvdResult svd = Svd(a);
+  EigenDecomposition e = EigenSym(a.TransposedMultiply(a));
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(svd.singular_values[i],
+                std::sqrt(std::max(0.0, e.eigenvalues[i])), 1e-8);
+  }
+}
+
+TEST(ProcrustesTest, ReturnsOrthogonal) {
+  Rng rng(16);
+  Matrix m = Matrix::RandomGaussian(7, 7, &rng);
+  Matrix r = OrthogonalProcrustes(m);
+  EXPECT_LT(r.TransposedMultiply(r).MaxAbsDiff(Matrix::Identity(7)), 1e-9);
+}
+
+TEST(ProcrustesTest, RecoversKnownRotation) {
+  // B = A R_true; Procrustes on A^T B must recover R_true.
+  Rng rng(17);
+  Matrix a = Matrix::RandomGaussian(30, 5, &rng);
+  Matrix r_true = Matrix::RandomOrthogonal(5, &rng);
+  Matrix b = a.Multiply(r_true);
+  Matrix r = OrthogonalProcrustes(a.TransposedMultiply(b));
+  EXPECT_LT(r.MaxAbsDiff(r_true), 1e-8);
+}
+
+TEST(ProcrustesTest, MaximizesTraceAmongRotations) {
+  // tr(R^T M) for the Procrustes R must beat random rotations.
+  Rng rng(18);
+  Matrix m = Matrix::RandomGaussian(5, 5, &rng);
+  auto trace_of = [&](const Matrix& r) {
+    double t = 0.0;
+    Matrix p = r.TransposedMultiply(m);
+    for (size_t i = 0; i < 5; ++i) t += p.At(i, i);
+    return t;
+  };
+  const double best = trace_of(OrthogonalProcrustes(m));
+  for (int i = 0; i < 25; ++i) {
+    Matrix r = Matrix::RandomOrthogonal(5, &rng);
+    EXPECT_GE(best, trace_of(r) - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace gqr

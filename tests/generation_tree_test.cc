@@ -1,0 +1,132 @@
+// Tests for the shared generation tree (§5.3) and its use by GqrProber.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/generation_tree.h"
+#include "core/gqr_prober.h"
+#include "util/random.h"
+
+namespace gqr {
+namespace {
+
+TEST(GenerationTreeTest, FullTreeHasAllFlippingVectorsOnce) {
+  // Property 1 at the structural level: 2^m - 1 nodes, all masks unique,
+  // spanning every non-zero sorted flipping vector.
+  const int m = 10;
+  GenerationTree tree(m);
+  ASSERT_TRUE(tree.complete());
+  ASSERT_EQ(tree.size(), (size_t{1} << m) - 1);
+  std::set<uint64_t> masks;
+  for (uint32_t i = 0; i < tree.size(); ++i) {
+    const auto& node = tree.node(i);
+    EXPECT_TRUE(masks.insert(node.mask).second);
+    EXPECT_EQ(node.rightmost, HighestSetBit(node.mask));
+    EXPECT_EQ(node.mask & ~LowBitsMask(m), 0u);
+  }
+}
+
+TEST(GenerationTreeTest, ChildLinksMatchAppendSwap) {
+  const int m = 8;
+  GenerationTree tree(m);
+  for (uint32_t i = 0; i < tree.size(); ++i) {
+    const auto& node = tree.node(i);
+    if (node.rightmost + 1 >= m) {
+      EXPECT_EQ(node.append_child, GenerationTree::kInvalidNode);
+      EXPECT_EQ(node.swap_child, GenerationTree::kInvalidNode);
+      continue;
+    }
+    const int j = node.rightmost;
+    ASSERT_NE(node.append_child, GenerationTree::kInvalidNode);
+    ASSERT_NE(node.swap_child, GenerationTree::kInvalidNode);
+    EXPECT_EQ(tree.node(node.append_child).mask,
+              node.mask | (uint64_t{1} << (j + 1)));
+    EXPECT_EQ(tree.node(node.swap_child).mask,
+              (node.mask ^ (uint64_t{1} << j)) | (uint64_t{1} << (j + 1)));
+  }
+}
+
+TEST(GenerationTreeTest, RootIsVr) {
+  GenerationTree tree(5);
+  EXPECT_EQ(tree.node(0).mask, 1u);
+  EXPECT_EQ(tree.node(0).rightmost, 0);
+}
+
+TEST(GenerationTreeTest, CappedTreeKeepsShallowNodes) {
+  const int m = 16;
+  GenerationTree tree(m, /*max_nodes=*/1000);
+  EXPECT_FALSE(tree.complete());
+  EXPECT_LE(tree.size(), 1000u);
+  // BFS order: popcounts (tree depth proxy) are produced level by level,
+  // so the materialized prefix is exactly the shallow frontier. Any
+  // child link points inside the array.
+  for (uint32_t i = 0; i < tree.size(); ++i) {
+    const auto& node = tree.node(i);
+    if (node.append_child != GenerationTree::kInvalidNode) {
+      EXPECT_LT(node.append_child, tree.size());
+    }
+    if (node.swap_child != GenerationTree::kInvalidNode) {
+      EXPECT_LT(node.swap_child, tree.size());
+    }
+  }
+}
+
+TEST(GenerationTreeTest, SharedInstanceIsCachedPerM) {
+  const GenerationTree& a = GenerationTree::Shared(12);
+  const GenerationTree& b = GenerationTree::Shared(12);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.code_length(), 12);
+  EXPECT_NE(&a, &GenerationTree::Shared(13));
+}
+
+TEST(GenerationTreeTest, ProberWithTreeMatchesWithout) {
+  // The §5.3 optimization must not change the probe sequence.
+  for (int m : {4, 9, 14}) {
+    Rng rng(m);
+    QueryHashInfo info;
+    info.code = rng.Uniform(uint64_t{1} << m);
+    info.flip_costs.resize(m);
+    for (double& c : info.flip_costs) c = rng.UniformDouble();
+
+    GqrProber plain(info);
+    GqrProber shared(info, 0, &GenerationTree::Shared(m));
+    ProbeTarget a, b;
+    size_t count = 0;
+    while (true) {
+      const bool more_a = plain.Next(&a);
+      const bool more_b = shared.Next(&b);
+      ASSERT_EQ(more_a, more_b) << "m=" << m << " i=" << count;
+      if (!more_a) break;
+      EXPECT_EQ(a.bucket, b.bucket) << "m=" << m << " i=" << count;
+      EXPECT_DOUBLE_EQ(plain.last_score(), shared.last_score());
+      ++count;
+    }
+    EXPECT_EQ(count, size_t{1} << m);
+  }
+}
+
+TEST(GenerationTreeTest, ProberWithCappedTreeStillExactlyOnce) {
+  // Past the materialized frontier the prober falls back to Append/Swap;
+  // the union must still cover every bucket exactly once in QD order.
+  const int m = 12;
+  GenerationTree small_tree(m, /*max_nodes=*/100);
+  Rng rng(77);
+  QueryHashInfo info;
+  info.code = rng.Uniform(uint64_t{1} << m);
+  info.flip_costs.resize(m);
+  for (double& c : info.flip_costs) c = rng.UniformDouble();
+
+  GqrProber prober(info, 0, &small_tree);
+  std::set<Code> seen;
+  ProbeTarget t;
+  double prev = -1.0;
+  while (prober.Next(&t)) {
+    EXPECT_TRUE(seen.insert(t.bucket).second);
+    EXPECT_GE(prober.last_score(), prev - 1e-12);
+    prev = prober.last_score();
+  }
+  EXPECT_EQ(seen.size(), size_t{1} << m);
+}
+
+}  // namespace
+}  // namespace gqr

@@ -1,0 +1,180 @@
+// Property tests for the GQR generate-to-probe algorithm (paper §5):
+// Property 1 (exactly once), Property 2 / requirement (R2) (ascending
+// QD, equal to the full sort), and equivalence with QR.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/gqr_prober.h"
+#include "core/qd.h"
+#include "core/qr_prober.h"
+#include "index/hash_table.h"
+#include "util/random.h"
+
+namespace gqr {
+namespace {
+
+QueryHashInfo RandomInfo(int m, uint64_t seed) {
+  Rng rng(seed);
+  QueryHashInfo info;
+  info.code = rng.Uniform(uint64_t{1} << m);
+  info.flip_costs.resize(m);
+  for (double& c : info.flip_costs) c = rng.UniformDouble();
+  return info;
+}
+
+class GqrPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GqrPropertyTest, EmitsEveryBucketExactlyOnce) {
+  const int m = GetParam();
+  QueryHashInfo info = RandomInfo(m, 100 + m);
+  GqrProber prober(info);
+  std::set<Code> seen;
+  ProbeTarget t;
+  while (prober.Next(&t)) {
+    EXPECT_TRUE(seen.insert(t.bucket).second)
+        << "bucket " << t.bucket << " emitted twice";
+    EXPECT_EQ(t.bucket & ~LowBitsMask(m), 0u);
+  }
+  EXPECT_EQ(seen.size(), size_t{1} << m);  // Property 1.
+}
+
+TEST_P(GqrPropertyTest, QdNonDecreasingAndMatchesScore) {
+  const int m = GetParam();
+  QueryHashInfo info = RandomInfo(m, 200 + m);
+  GqrProber prober(info);
+  ProbeTarget t;
+  double prev = -1.0;
+  while (prober.Next(&t)) {
+    const double qd = QuantizationDistance(info, t.bucket);
+    EXPECT_NEAR(prober.last_score(), qd, 1e-9);
+    EXPECT_GE(qd, prev - 1e-12);  // Property 2 / (R2).
+    prev = qd;
+  }
+}
+
+TEST_P(GqrPropertyTest, OrderMatchesFullSort) {
+  const int m = GetParam();
+  QueryHashInfo info = RandomInfo(m, 300 + m);
+  // Reference: QD of all 2^m buckets, fully sorted.
+  std::vector<double> all;
+  for (Code b = 0; b < (Code{1} << m); ++b) {
+    all.push_back(QuantizationDistance(info, b));
+  }
+  std::sort(all.begin(), all.end());
+  GqrProber prober(info);
+  ProbeTarget t;
+  size_t i = 0;
+  while (prober.Next(&t)) {
+    ASSERT_LT(i, all.size());
+    EXPECT_NEAR(QuantizationDistance(info, t.bucket), all[i], 1e-9);
+    ++i;
+  }
+  EXPECT_EQ(i, all.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(CodeLengths, GqrPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 12, 16));
+
+TEST(GqrProberTest, FirstBucketIsQueryCode) {
+  QueryHashInfo info = RandomInfo(10, 7);
+  GqrProber prober(info);
+  ProbeTarget t;
+  ASSERT_TRUE(prober.Next(&t));
+  EXPECT_EQ(t.bucket, info.code);
+  EXPECT_DOUBLE_EQ(prober.last_score(), 0.0);
+}
+
+TEST(GqrProberTest, HeapStaysSmall) {
+  // Paper: at most i heap entries after i iterations (each pop pushes at
+  // most two children).
+  QueryHashInfo info = RandomInfo(16, 8);
+  GqrProber prober(info);
+  ProbeTarget t;
+  for (size_t i = 1; i <= 2000; ++i) {
+    ASSERT_TRUE(prober.Next(&t));
+    EXPECT_LE(prober.heap_size(), i + 1);
+  }
+}
+
+TEST(GqrProberTest, TableTagPropagates) {
+  QueryHashInfo info = RandomInfo(4, 9);
+  GqrProber prober(info, /*table=*/3);
+  ProbeTarget t;
+  ASSERT_TRUE(prober.Next(&t));
+  EXPECT_EQ(t.table, 3u);
+}
+
+TEST(GqrProberTest, EqualCostsStillExactlyOnce) {
+  // Degenerate ties everywhere: all costs equal.
+  QueryHashInfo info;
+  info.code = 0b1100;
+  info.flip_costs = {0.5, 0.5, 0.5, 0.5};
+  GqrProber prober(info);
+  std::set<Code> seen;
+  ProbeTarget t;
+  double prev = -1.0;
+  while (prober.Next(&t)) {
+    EXPECT_TRUE(seen.insert(t.bucket).second);
+    EXPECT_GE(prober.last_score(), prev - 1e-12);
+    prev = prober.last_score();
+  }
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(GqrProberTest, ZeroCostsHandled) {
+  // A projection can be exactly 0 on some bits (cost 0): QD ties, but the
+  // enumeration must still be exactly-once and non-decreasing.
+  QueryHashInfo info;
+  info.code = 0;
+  info.flip_costs = {0.0, 0.0, 1.0};
+  GqrProber prober(info);
+  std::set<Code> seen;
+  ProbeTarget t;
+  double prev = -1.0;
+  while (prober.Next(&t)) {
+    EXPECT_TRUE(seen.insert(t.bucket).second);
+    EXPECT_GE(prober.last_score(), prev);
+    prev = prober.last_score();
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(GqrProberTest, AgreesWithQrOnNonEmptyBuckets) {
+  // Build a table over random codes; GQR restricted to existing buckets
+  // must probe them in the same order as QR (distinct QDs guaranteed by
+  // random real costs).
+  const int m = 10;
+  Rng rng(55);
+  std::vector<Code> codes(2000);
+  for (auto& c : codes) c = rng.Uniform(uint64_t{1} << m);
+  StaticHashTable table(codes, m);
+  QueryHashInfo info = RandomInfo(m, 56);
+
+  QrProber qr(info, table);
+  GqrProber gqr(info);
+  std::vector<Code> qr_order, gqr_order;
+  ProbeTarget t;
+  while (qr.Next(&t)) qr_order.push_back(t.bucket);
+  while (gqr.Next(&t)) {
+    if (!table.Probe(t.bucket).empty()) gqr_order.push_back(t.bucket);
+  }
+  EXPECT_EQ(qr_order, gqr_order);
+}
+
+TEST(GqrProberTest, SixtyFourBitGuard) {
+  // m = 63 must not overflow mask arithmetic for a budget-limited run.
+  QueryHashInfo info = RandomInfo(63, 57);
+  GqrProber prober(info);
+  ProbeTarget t;
+  double prev = -1.0;
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(prober.Next(&t));
+    EXPECT_GE(prober.last_score(), prev - 1e-12);
+    prev = prober.last_score();
+  }
+}
+
+}  // namespace
+}  // namespace gqr

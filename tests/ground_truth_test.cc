@@ -1,0 +1,75 @@
+// Tests for data/ground_truth against a naive O(n log n) reference.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "la/vector_ops.h"
+
+namespace gqr {
+namespace {
+
+std::vector<std::pair<float, ItemId>> NaiveAll(const Dataset& base,
+                                               const float* q) {
+  std::vector<std::pair<float, ItemId>> all;
+  for (size_t i = 0; i < base.size(); ++i) {
+    all.emplace_back(
+        L2Distance(base.Row(static_cast<ItemId>(i)), q, base.dim()),
+        static_cast<ItemId>(i));
+  }
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+TEST(GroundTruthTest, BruteForceMatchesFullSort) {
+  SyntheticSpec spec;
+  spec.n = 300;
+  spec.dim = 6;
+  Dataset base = GenerateClusteredGaussian(spec);
+  const float* q = base.Row(0);
+  Neighbors nn = BruteForceKnn(base, q, 10);
+  auto ref = NaiveAll(base, q);
+  ASSERT_EQ(nn.ids.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(nn.distances[i], ref[i].first, 1e-4);
+  }
+  // Distances ascending.
+  for (size_t i = 1; i < 10; ++i) {
+    EXPECT_LE(nn.distances[i - 1], nn.distances[i]);
+  }
+  // Query is its own nearest neighbor (it is row 0 of base).
+  EXPECT_EQ(nn.ids[0], 0u);
+  EXPECT_FLOAT_EQ(nn.distances[0], 0.f);
+}
+
+TEST(GroundTruthTest, ParallelMatchesSequential) {
+  SyntheticSpec spec;
+  spec.n = 500;
+  spec.dim = 5;
+  spec.seed = 3;
+  Dataset all = GenerateClusteredGaussian(spec);
+  Rng rng(1);
+  auto [base, queries] = all.SplitQueries(20, &rng);
+  auto gt = ComputeGroundTruth(base, queries, 7);
+  ASSERT_EQ(gt.size(), 20u);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    Neighbors ref = BruteForceKnn(base, queries.Row(static_cast<ItemId>(q)), 7);
+    EXPECT_EQ(gt[q].ids, ref.ids) << "query " << q;
+  }
+}
+
+TEST(GroundTruthTest, KEqualsN) {
+  Dataset base(5, 2);
+  for (size_t i = 0; i < 5; ++i) {
+    base.MutableRow(static_cast<ItemId>(i))[0] = static_cast<float>(i);
+  }
+  const float q[2] = {0.f, 0.f};
+  Neighbors nn = BruteForceKnn(base, q, 5);
+  EXPECT_EQ(nn.ids.size(), 5u);
+  EXPECT_EQ(nn.ids[0], 0u);
+  EXPECT_EQ(nn.ids[4], 4u);
+}
+
+}  // namespace
+}  // namespace gqr

@@ -1,0 +1,210 @@
+// Tests for the evaluation harness: metrics, curves, budget ladders, and
+// method sweeps.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/curve.h"
+#include "eval/harness.h"
+#include "eval/linear_scan.h"
+#include "eval/metrics.h"
+#include <memory>
+
+#include "hash/itq.h"
+#include "index/multi_table.h"
+#include "persist/model_io.h"
+#include "vq/imi.h"
+
+namespace gqr {
+namespace {
+
+TEST(MetricsTest, RecallAtK) {
+  Neighbors truth;
+  truth.ids = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(RecallAtK({1, 2, 3, 4, 5}, truth, 5), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtK({1, 2, 99, 98, 97}, truth, 5), 0.4);
+  EXPECT_DOUBLE_EQ(RecallAtK({}, truth, 5), 0.0);
+  // Only the first k truth ids count.
+  EXPECT_DOUBLE_EQ(RecallAtK({3}, truth, 2), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtK({2}, truth, 2), 0.5);
+}
+
+TEST(MetricsTest, Precision) {
+  Neighbors truth;
+  truth.ids = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(Precision({1, 2, 9}, truth, 3, 10), 0.2);
+  EXPECT_DOUBLE_EQ(Precision({1}, truth, 3, 0), 0.0);
+}
+
+TEST(CurveTest, TimeAtRecallInterpolates) {
+  Curve c;
+  c.name = "X";
+  c.points.push_back({.seconds = 1.0, .recall = 0.2});
+  c.points.push_back({.seconds = 3.0, .recall = 0.6});
+  c.points.push_back({.seconds = 5.0, .recall = 1.0});
+  EXPECT_DOUBLE_EQ(TimeAtRecall(c, 0.2), 1.0);
+  EXPECT_DOUBLE_EQ(TimeAtRecall(c, 0.4), 2.0);
+  EXPECT_DOUBLE_EQ(TimeAtRecall(c, 0.8), 4.0);
+  EXPECT_DOUBLE_EQ(TimeAtRecall(c, 0.1), 1.0);  // Below first point.
+  EXPECT_LT(TimeAtRecall(c, 1.01), 0.0);        // Unreachable.
+}
+
+TEST(CurveTest, ItemsAtRecall) {
+  Curve c;
+  c.points.push_back({.recall = 0.5, .items_evaluated = 100.0});
+  c.points.push_back({.recall = 1.0, .items_evaluated = 300.0});
+  EXPECT_DOUBLE_EQ(ItemsAtRecall(c, 0.75), 200.0);
+}
+
+TEST(CurveTest, EmptyCurve) {
+  Curve c;
+  EXPECT_LT(TimeAtRecall(c, 0.5), 0.0);
+}
+
+TEST(HarnessTest, DefaultBudgetsAscendingAndBounded) {
+  auto budgets = DefaultBudgets(100000, 20);
+  ASSERT_GE(budgets.size(), 3u);
+  for (size_t i = 1; i < budgets.size(); ++i) {
+    EXPECT_GT(budgets[i], budgets[i - 1]);
+  }
+  EXPECT_GE(budgets.front(), 20u);
+  EXPECT_LE(budgets.back(), 30000u + 1);
+}
+
+TEST(HarnessTest, QueryMethodNames) {
+  EXPECT_STREQ(QueryMethodName(QueryMethod::kHR), "HR");
+  EXPECT_STREQ(QueryMethodName(QueryMethod::kGHR), "GHR");
+  EXPECT_STREQ(QueryMethodName(QueryMethod::kQR), "QR");
+  EXPECT_STREQ(QueryMethodName(QueryMethod::kGQR), "GQR");
+}
+
+class HarnessSweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticSpec spec;
+    spec.n = 2000;
+    spec.dim = 10;
+    spec.num_clusters = 25;
+    spec.seed = 121;
+    Dataset all = GenerateClusteredGaussian(spec);
+    Rng rng(2);
+    auto split = all.SplitQueries(20, &rng);
+    base_ = std::move(split.first);
+    queries_ = std::move(split.second);
+    gt_ = ComputeGroundTruth(base_, queries_, 10);
+    ItqOptions opt;
+    opt.code_length = 8;
+    hasher_ = std::make_unique<LinearHasher>(TrainItq(base_, opt));
+    table_ = std::make_unique<StaticHashTable>(hasher_->HashDataset(base_),
+                                               8);
+  }
+
+  Dataset base_, queries_;
+  std::vector<Neighbors> gt_;
+  std::unique_ptr<LinearHasher> hasher_;
+  std::unique_ptr<StaticHashTable> table_;
+};
+
+TEST_F(HarnessSweepTest, RecallIncreasesWithBudgetAndReachesOne) {
+  HarnessOptions opt;
+  opt.k = 10;
+  opt.budgets = {20, 100, 500, 2000};
+  for (QueryMethod method : {QueryMethod::kHR, QueryMethod::kGHR,
+                             QueryMethod::kQR, QueryMethod::kGQR}) {
+    Curve c = RunMethodCurve(method, base_, queries_, gt_, *hasher_,
+                             *table_, opt);
+    ASSERT_EQ(c.points.size(), 4u) << c.name;
+    for (size_t i = 1; i < c.points.size(); ++i) {
+      EXPECT_GE(c.points[i].recall, c.points[i - 1].recall - 1e-9)
+          << c.name;
+    }
+    // Budget 2000 >= n - queries: every method degenerates to exact.
+    EXPECT_NEAR(c.points.back().recall, 1.0, 1e-9) << c.name;
+  }
+}
+
+TEST_F(HarnessSweepTest, GqrRecallDominatesHrAtEqualItems) {
+  // The Figure 8 claim, as a statistical assertion at a mid budget.
+  HarnessOptions opt;
+  opt.k = 10;
+  opt.budgets = {150};
+  Curve gqr = RunMethodCurve(QueryMethod::kGQR, base_, queries_, gt_,
+                             *hasher_, *table_, opt);
+  Curve hr = RunMethodCurve(QueryMethod::kHR, base_, queries_, gt_,
+                            *hasher_, *table_, opt);
+  EXPECT_GE(gqr.points[0].recall, hr.points[0].recall - 0.02);
+}
+
+TEST_F(HarnessSweepTest, CurveRecordsWork) {
+  HarnessOptions opt;
+  opt.k = 10;
+  opt.budgets = {100};
+  Curve c = RunMethodCurve(QueryMethod::kGQR, base_, queries_, gt_,
+                           *hasher_, *table_, opt);
+  EXPECT_GT(c.points[0].items_evaluated, 0.0);
+  EXPECT_GT(c.points[0].buckets_probed, 0.0);
+  EXPECT_GE(c.points[0].seconds, 0.0);
+  EXPECT_EQ(c.name, "GQR");
+}
+
+
+TEST_F(HarnessSweepTest, MultiTableCurveRuns) {
+  MultiTableIndex index = BuildMultiTableIndex(
+      base_, 2, [&](uint64_t seed) -> std::unique_ptr<BinaryHasher> {
+        ItqOptions o;
+        o.code_length = 8;
+        o.seed = seed;
+        return std::make_unique<LinearHasher>(TrainItq(base_, o));
+      });
+  HarnessOptions opt;
+  opt.k = 10;
+  opt.budgets = {100, 2000};
+  Curve c = RunMultiTableCurve(QueryMethod::kGQR, base_, queries_, gt_,
+                               index, opt);
+  ASSERT_EQ(c.points.size(), 2u);
+  EXPECT_GE(c.points[1].recall, c.points[0].recall);
+  EXPECT_NEAR(c.points[1].recall, 1.0, 1e-9);
+  EXPECT_NE(c.name.find("2 tables"), std::string::npos);
+}
+
+TEST_F(HarnessSweepTest, MihCurveRuns) {
+  std::vector<Code> codes = hasher_->HashDataset(base_);
+  MihIndex mih(codes, 8, 2);
+  HarnessOptions opt;
+  opt.k = 10;
+  opt.budgets = {100, 2000};
+  Curve c = RunMihCurve(base_, queries_, gt_, *hasher_, mih, opt);
+  ASSERT_EQ(c.points.size(), 2u);
+  EXPECT_EQ(c.name, "MIH");
+  EXPECT_NEAR(c.points[1].recall, 1.0, 1e-9);
+}
+
+TEST_F(HarnessSweepTest, ImiCurveRuns) {
+  OpqOptions oo;
+  oo.num_centroids = 16;
+  oo.iterations = 3;
+  OpqModel model = TrainOpq(base_, oo);
+  ImiIndex imi(model, base_);
+  HarnessOptions opt;
+  opt.k = 10;
+  opt.budgets = {100, 2000};
+  Curve c = RunImiCurve(base_, queries_, gt_, imi, opt);
+  ASSERT_EQ(c.points.size(), 2u);
+  EXPECT_EQ(c.name, "OPQ+IMI");
+  EXPECT_NEAR(c.points[1].recall, 1.0, 1e-9);
+  EXPECT_GE(c.points[1].recall, c.points[0].recall);
+}
+
+TEST(LinearScanTest, TimesAllQueries) {
+  SyntheticSpec spec;
+  spec.n = 500;
+  spec.dim = 8;
+  Dataset base = GenerateClusteredGaussian(spec);
+  Dataset queries = base.Gather({0, 1, 2});
+  LinearScanResult r = TimeLinearScan(base, queries, 5);
+  EXPECT_EQ(r.queries, 3u);
+  EXPECT_EQ(r.k, 5u);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace gqr

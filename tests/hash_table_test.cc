@@ -1,0 +1,107 @@
+// Tests for index/hash_table: partition invariant, lookup vs reference
+// map, edge cases.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "index/hash_table.h"
+#include "util/random.h"
+
+namespace gqr {
+namespace {
+
+TEST(HashTableTest, PartitionsItemsExactlyOnce) {
+  Rng rng(51);
+  const int m = 10;
+  std::vector<Code> codes(5000);
+  for (auto& c : codes) c = rng.Uniform(1u << m);
+  StaticHashTable table(codes, m);
+  EXPECT_EQ(table.num_items(), codes.size());
+
+  std::set<ItemId> seen;
+  size_t total = 0;
+  for (size_t b = 0; b < table.num_buckets(); ++b) {
+    for (ItemId id : table.bucket_items(b)) {
+      EXPECT_TRUE(seen.insert(id).second) << "item " << id << " duplicated";
+      EXPECT_EQ(codes[id], table.bucket_codes()[b]);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, codes.size());
+}
+
+TEST(HashTableTest, ProbeMatchesReferenceMap) {
+  Rng rng(52);
+  const int m = 12;
+  std::vector<Code> codes(3000);
+  for (auto& c : codes) c = rng.Uniform(1u << m);
+  StaticHashTable table(codes, m);
+
+  std::map<Code, std::multiset<ItemId>> ref;
+  for (size_t i = 0; i < codes.size(); ++i) {
+    ref[codes[i]].insert(static_cast<ItemId>(i));
+  }
+  // Every existing bucket returns exactly the reference members.
+  for (const auto& [code, members] : ref) {
+    auto span = table.Probe(code);
+    std::multiset<ItemId> got(span.begin(), span.end());
+    EXPECT_EQ(got, members);
+  }
+  // Absent buckets return empty spans.
+  for (int i = 0; i < 200; ++i) {
+    const Code c = rng.Uniform(1u << m);
+    if (ref.count(c) == 0) {
+      EXPECT_TRUE(table.Probe(c).empty());
+    }
+  }
+}
+
+TEST(HashTableTest, BucketCodesAscendingUnique) {
+  Rng rng(53);
+  std::vector<Code> codes(1000);
+  for (auto& c : codes) c = rng.Uniform(256);
+  StaticHashTable table(codes, 8);
+  const auto& bc = table.bucket_codes();
+  for (size_t i = 1; i < bc.size(); ++i) EXPECT_LT(bc[i - 1], bc[i]);
+}
+
+TEST(HashTableTest, SingleItem) {
+  StaticHashTable table({Code{5}}, 4);
+  EXPECT_EQ(table.num_buckets(), 1u);
+  ASSERT_EQ(table.Probe(5).size(), 1u);
+  EXPECT_EQ(table.Probe(5)[0], 0u);
+  EXPECT_TRUE(table.Probe(4).empty());
+}
+
+TEST(HashTableTest, EmptyInput) {
+  StaticHashTable table(std::vector<Code>{}, 8);
+  EXPECT_EQ(table.num_buckets(), 0u);
+  EXPECT_EQ(table.num_items(), 0u);
+  EXPECT_TRUE(table.Probe(0).empty());
+}
+
+TEST(HashTableTest, AllItemsOneBucket) {
+  std::vector<Code> codes(100, Code{3});
+  StaticHashTable table(codes, 6);
+  EXPECT_EQ(table.num_buckets(), 1u);
+  EXPECT_EQ(table.Probe(3).size(), 100u);
+  EXPECT_EQ(table.MaxBucketSize(), 100u);
+}
+
+TEST(HashTableTest, SixtyFourBitCodes) {
+  std::vector<Code> codes = {0, ~Code{0}, Code{1} << 63, 42};
+  StaticHashTable table(codes, 64);
+  EXPECT_EQ(table.num_buckets(), 4u);
+  EXPECT_EQ(table.Probe(~Code{0}).size(), 1u);
+  EXPECT_EQ(table.Probe(~Code{0})[0], 1u);
+}
+
+TEST(HashTableTest, CodeZeroIsAValidBucket) {
+  std::vector<Code> codes = {0, 0, 7};
+  StaticHashTable table(codes, 3);
+  EXPECT_EQ(table.Probe(0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace gqr

@@ -1,0 +1,252 @@
+// Tests for the projection hashers: LSH, PCAH, ITQ, SH — quantization
+// rule, flip costs, similarity preservation, training invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "hash/itq.h"
+#include "hash/lsh.h"
+#include "hash/pcah.h"
+#include "hash/sh.h"
+#include "util/bits.h"
+
+namespace gqr {
+namespace {
+
+Dataset TestData(size_t n = 2000, size_t dim = 16, uint64_t seed = 7) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = dim;
+  spec.num_clusters = 20;
+  spec.seed = seed;
+  return GenerateClusteredGaussian(spec);
+}
+
+// Fraction of the 100 nearest-neighbor pairs whose Hamming distance is
+// below the dataset's mean pair Hamming distance — a similarity-
+// preservation score (1.0 = perfect).
+double SimilarityPreservation(const BinaryHasher& hasher,
+                              const Dataset& data) {
+  std::vector<Code> codes = hasher.HashDataset(data);
+  // Mean Hamming distance over random pairs.
+  Rng rng(99);
+  double mean = 0.0;
+  const int pairs = 500;
+  for (int p = 0; p < pairs; ++p) {
+    const auto a = static_cast<ItemId>(rng.Uniform(data.size()));
+    const auto b = static_cast<ItemId>(rng.Uniform(data.size()));
+    mean += HammingDistance(codes[a], codes[b]);
+  }
+  mean /= pairs;
+  // Nearest-neighbor pairs.
+  int good = 0;
+  const int probes = 100;
+  for (int p = 0; p < probes; ++p) {
+    const auto a = static_cast<ItemId>(rng.Uniform(data.size()));
+    Neighbors nn = BruteForceKnn(data, data.Row(a), 2);
+    const ItemId b = nn.ids[1];  // Skip self.
+    if (HammingDistance(codes[a], codes[b]) < mean) ++good;
+  }
+  return static_cast<double>(good) / probes;
+}
+
+TEST(ProjectionHasherTest, QuantizationRule) {
+  Dataset data = TestData(100, 8);
+  LshOptions opt;
+  opt.code_length = 8;
+  LinearHasher hasher = TrainLsh(data, 8, opt);
+  std::vector<double> p(8);
+  hasher.Project(data.Row(0), p.data());
+  const Code c = hasher.HashItem(data.Row(0));
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(GetBit(c, i), p[i] >= 0.0 ? 1 : 0);
+  }
+}
+
+TEST(ProjectionHasherTest, FlipCostsAreAbsoluteProjections) {
+  Dataset data = TestData(100, 8);
+  LshOptions opt;
+  opt.code_length = 6;
+  LinearHasher hasher = TrainLsh(data, 8, opt);
+  std::vector<double> p(6);
+  hasher.Project(data.Row(3), p.data());
+  QueryHashInfo info = hasher.HashQuery(data.Row(3));
+  ASSERT_EQ(info.flip_costs.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(info.flip_costs[i], std::abs(p[i]));
+    EXPECT_GE(info.flip_costs[i], 0.0);
+  }
+  EXPECT_EQ(info.code, hasher.HashItem(data.Row(3)));
+}
+
+TEST(ProjectionHasherTest, HashDatasetMatchesHashItem) {
+  Dataset data = TestData(300, 8);
+  LshOptions opt;
+  opt.code_length = 10;
+  LinearHasher hasher = TrainLsh(data, 8, opt);
+  std::vector<Code> codes = hasher.HashDataset(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(codes[i], hasher.HashItem(data.Row(static_cast<ItemId>(i))));
+  }
+}
+
+TEST(LshTest, DeterministicInSeed) {
+  Dataset data = TestData(50, 8);
+  LshOptions opt;
+  opt.code_length = 12;
+  opt.seed = 5;
+  LinearHasher a = TrainLsh(data, 8, opt);
+  LinearHasher b = TrainLsh(data, 8, opt);
+  EXPECT_LT(a.HashingMatrix().MaxAbsDiff(b.HashingMatrix()), 1e-15);
+}
+
+TEST(LshTest, CodeLengthRespected) {
+  Dataset data = TestData(50, 8);
+  for (int m : {1, 7, 23, 64}) {
+    LshOptions opt;
+    opt.code_length = m;
+    LinearHasher hasher = TrainLsh(data, 8, opt);
+    EXPECT_EQ(hasher.code_length(), m);
+    const Code c = hasher.HashItem(data.Row(0));
+    EXPECT_EQ(c & ~LowBitsMask(m), 0u);
+  }
+}
+
+TEST(PcahTest, ProjectionsDecorrelatedAndCentered) {
+  Dataset data = TestData(3000, 12);
+  PcahOptions opt;
+  opt.code_length = 6;
+  LinearHasher hasher = TrainPcah(data, opt);
+  // Mean projection over the data is ~0 per bit (centered), and distinct
+  // components are uncorrelated.
+  std::vector<double> mean(6, 0.0);
+  std::vector<double> p(6);
+  Matrix cov(6, 6);
+  for (size_t i = 0; i < data.size(); ++i) {
+    hasher.Project(data.Row(static_cast<ItemId>(i)), p.data());
+    for (int a = 0; a < 6; ++a) {
+      mean[a] += p[a];
+      for (int b = 0; b < 6; ++b) cov.At(a, b) += p[a] * p[b];
+    }
+  }
+  for (int a = 0; a < 6; ++a) mean[a] /= static_cast<double>(data.size());
+  double scale = 0.0;
+  for (int a = 0; a < 6; ++a) scale = std::max(scale, cov.At(a, a));
+  for (int a = 0; a < 6; ++a) {
+    EXPECT_NEAR(mean[a], 0.0, 1.0);
+    for (int b = 0; b < 6; ++b) {
+      if (a != b) {
+        EXPECT_NEAR(cov.At(a, b) / scale, 0.0, 0.05);
+      }
+    }
+  }
+}
+
+TEST(PcahTest, VarianceOrderedBits) {
+  Dataset data = TestData(3000, 12);
+  PcahOptions opt;
+  opt.code_length = 5;
+  LinearHasher hasher = TrainPcah(data, opt);
+  std::vector<double> var(5, 0.0);
+  std::vector<double> p(5);
+  for (size_t i = 0; i < data.size(); ++i) {
+    hasher.Project(data.Row(static_cast<ItemId>(i)), p.data());
+    for (int a = 0; a < 5; ++a) var[a] += p[a] * p[a];
+  }
+  for (int a = 1; a < 5; ++a) {
+    EXPECT_GE(var[a - 1], var[a] * 0.95) << "PCA bits out of order";
+  }
+}
+
+TEST(ItqTest, LossNonIncreasing) {
+  Dataset data = TestData(2000, 12);
+  ItqOptions opt;
+  opt.code_length = 8;
+  opt.iterations = 15;
+  ItqTrainStats stats;
+  TrainItq(data, opt, &stats);
+  ASSERT_EQ(stats.loss_history.size(), 15u);
+  for (size_t i = 1; i < stats.loss_history.size(); ++i) {
+    EXPECT_LE(stats.loss_history[i], stats.loss_history[i - 1] + 1e-9);
+  }
+}
+
+TEST(ItqTest, RotationPreservesPcaGeometry) {
+  // ITQ's W = R^T P has the same singular values as P (R orthogonal), so
+  // the spectral norm matches PCAH's.
+  Dataset data = TestData(2000, 12);
+  PcahOptions popt;
+  popt.code_length = 8;
+  ItqOptions iopt;
+  iopt.code_length = 8;
+  LinearHasher pcah = TrainPcah(data, popt);
+  LinearHasher itq = TrainItq(data, iopt);
+  EXPECT_NEAR(pcah.HashingMatrix().SpectralNorm(),
+              itq.HashingMatrix().SpectralNorm(), 1e-4);
+}
+
+TEST(ShTest, BitsSortedByEigenvalue) {
+  Dataset data = TestData(2000, 12);
+  ShOptions opt;
+  opt.code_length = 8;
+  ShHasher hasher = TrainSh(data, opt);
+  const auto& bits = hasher.bits();
+  ASSERT_EQ(bits.size(), 8u);
+  for (size_t i = 1; i < bits.size(); ++i) {
+    EXPECT_LE(bits[i - 1].eigenvalue, bits[i].eigenvalue);
+  }
+  for (const auto& b : bits) {
+    EXPECT_GE(b.mode_k, 1);
+    EXPECT_GT(b.range, 0.0);
+  }
+}
+
+TEST(ShTest, ProjectionsBoundedByOne) {
+  // SH projections are sinusoids, so |p_i| <= 1.
+  Dataset data = TestData(500, 12);
+  ShOptions opt;
+  opt.code_length = 10;
+  ShHasher hasher = TrainSh(data, opt);
+  std::vector<double> p(10);
+  for (size_t i = 0; i < 100; ++i) {
+    hasher.Project(data.Row(static_cast<ItemId>(i)), p.data());
+    for (double v : p) EXPECT_LE(std::abs(v), 1.0 + 1e-12);
+  }
+}
+
+class LearnerPreservationTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(LearnerPreservationTest, NearNeighborsGetNearCodes) {
+  Dataset data = TestData(2000, 16, 77);
+  const std::string name = GetParam();
+  std::unique_ptr<BinaryHasher> hasher;
+  if (name == "LSH") {
+    LshOptions o;
+    o.code_length = 12;
+    hasher = std::make_unique<LinearHasher>(TrainLsh(data, 16, o));
+  } else if (name == "PCAH") {
+    PcahOptions o;
+    o.code_length = 12;
+    hasher = std::make_unique<LinearHasher>(TrainPcah(data, o));
+  } else if (name == "ITQ") {
+    ItqOptions o;
+    o.code_length = 12;
+    hasher = std::make_unique<LinearHasher>(TrainItq(data, o));
+  } else {
+    ShOptions o;
+    o.code_length = 12;
+    hasher = std::make_unique<ShHasher>(TrainSh(data, o));
+  }
+  // Nearest neighbors should nearly always have below-average Hamming
+  // distance; threshold is loose on purpose (statistical property).
+  EXPECT_GE(SimilarityPreservation(*hasher, data), 0.85) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLearners, LearnerPreservationTest,
+                         ::testing::Values("LSH", "PCAH", "ITQ", "SH"));
+
+}  // namespace
+}  // namespace gqr

@@ -1,0 +1,172 @@
+// Tests for the inverted multi-index: CSR layout, multi-sequence order,
+// coverage, budget.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <algorithm>
+#include <set>
+
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "vq/imi.h"
+
+namespace gqr {
+namespace {
+
+// The ImiIndex borrows the OpqModel, so the fixture heap-allocates both
+// to keep the borrowed pointer stable across the factory return.
+struct ImiFixture {
+  Dataset base;
+  std::unique_ptr<OpqModel> model;
+  std::unique_ptr<ImiIndex> index;
+
+  static ImiFixture Make(size_t n = 1500, size_t dim = 8, int k = 8) {
+    ImiFixture f;
+    SyntheticSpec spec;
+    spec.n = n;
+    spec.dim = dim;
+    spec.num_clusters = 20;
+    spec.seed = 111;
+    f.base = GenerateClusteredGaussian(spec);
+    OpqOptions opt;
+    opt.num_centroids = k;
+    opt.iterations = 3;
+    f.model = std::make_unique<OpqModel>(TrainOpq(f.base, opt));
+    f.index = std::make_unique<ImiIndex>(*f.model, f.base);
+    return f;
+  }
+};
+
+TEST(ImiTest, FullBudgetCoversAllItemsExactlyOnce) {
+  ImiFixture f = ImiFixture::Make();
+  auto out = f.index->Collect(f.base.Row(0), f.base.size(), nullptr);
+  ASSERT_EQ(out.size(), f.base.size());
+  std::set<ItemId> unique(out.begin(), out.end());
+  EXPECT_EQ(unique.size(), f.base.size());
+}
+
+TEST(ImiTest, CellsVisitedInAscendingDistance) {
+  ImiFixture f = ImiFixture::Make();
+  const float* query = f.base.Row(5);
+  // Recompute the cell-distance of each emitted candidate and check the
+  // sequence is non-decreasing.
+  std::vector<double> rotated(f.model->dim());
+  f.model->RotateInto(query, rotated.data());
+  std::vector<std::vector<double>> tables;
+  f.model->codebook().ComputeDistanceTables(rotated.data(), &tables);
+
+  auto out = f.index->Collect(query, f.base.size(), nullptr);
+  double prev = -1.0;
+  for (ItemId id : out) {
+    auto code = f.model->EncodeItem(f.base.Row(id));
+    const double cell_d = tables[0][code[0]] + tables[1][code[1]];
+    EXPECT_GE(cell_d, prev - 1e-9);
+    prev = std::max(prev, cell_d);
+  }
+}
+
+TEST(ImiTest, OwnCellEmittedFirst) {
+  ImiFixture f = ImiFixture::Make();
+  const float* query = f.base.Row(33);
+  auto out = f.index->Collect(query, 1, nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  // The first candidate shares the query's own (nearest) cell.
+  auto q_code = f.model->EncodeItem(query);
+  auto c_code = f.model->EncodeItem(f.base.Row(out[0]));
+  EXPECT_EQ(q_code, c_code);
+}
+
+TEST(ImiTest, BudgetRespected) {
+  ImiFixture f = ImiFixture::Make();
+  auto out = f.index->Collect(f.base.Row(1), 37, nullptr);
+  EXPECT_EQ(out.size(), 37u);
+}
+
+TEST(ImiTest, StatsCountCells) {
+  ImiFixture f = ImiFixture::Make();
+  ImiIndex::ProbeStats stats;
+  f.index->Collect(f.base.Row(2), 200, &stats);
+  EXPECT_GT(stats.cells_visited, 0u);
+  EXPECT_LE(stats.cells_nonempty, stats.cells_visited);
+  EXPECT_LE(stats.cells_visited, f.index->num_cells());
+}
+
+TEST(ImiTest, NonEmptyCellAccounting) {
+  ImiFixture f = ImiFixture::Make();
+  EXPECT_GT(f.index->num_nonempty_cells(), 0u);
+  EXPECT_LE(f.index->num_nonempty_cells(), f.index->num_cells());
+  EXPECT_EQ(f.index->num_cells(), 64u);  // 8 x 8.
+}
+
+
+TEST(ImiAdcTest, ResidualsImproveRankingOverCellOrder) {
+  // With residual codes, SearchAdc's top-k should contain at least as
+  // many of the true nearest neighbors as taking the first k candidates
+  // in raw cell order.
+  ImiFixture f = ImiFixture::Make(2000, 8, 8);
+  ASSERT_TRUE(f.index->has_residuals());
+  size_t adc_hits = 0, cell_hits = 0;
+  const size_t k = 10, budget = 400;
+  for (ItemId q = 0; q < 20; ++q) {
+    const float* query = f.base.Row(q);
+    Neighbors exact = BruteForceKnn(f.base, query, k);
+    std::set<ItemId> truth(exact.ids.begin(), exact.ids.end());
+    auto adc = f.index->SearchAdc(query, k, budget);
+    auto cells = f.index->Collect(query, budget, nullptr);
+    cells.resize(std::min(cells.size(), k));
+    for (ItemId id : adc) adc_hits += truth.count(id);
+    for (ItemId id : cells) cell_hits += truth.count(id);
+  }
+  EXPECT_GE(adc_hits + 5, cell_hits);  // Not worse (statistical slack).
+  EXPECT_GT(adc_hits, 0u);
+}
+
+TEST(ImiAdcTest, RespectsKAndBudget) {
+  ImiFixture f = ImiFixture::Make();
+  auto out = f.index->SearchAdc(f.base.Row(0), 7, 300);
+  EXPECT_LE(out.size(), 7u);
+  EXPECT_GE(out.size(), 1u);
+  std::set<ItemId> unique(out.begin(), out.end());
+  EXPECT_EQ(unique.size(), out.size());
+}
+
+TEST(ImiAdcTest, SelfQueryRanksSelfFirst) {
+  // The query is an indexed item: its ADC distance is the pure
+  // quantization error of its own codes, which should be the minimum.
+  ImiFixture f = ImiFixture::Make(1000, 8, 8);
+  size_t self_first = 0;
+  for (ItemId q = 0; q < 30; ++q) {
+    auto out = f.index->SearchAdc(f.base.Row(q), 5, f.base.size());
+    ASSERT_FALSE(out.empty());
+    if (out[0] == q) ++self_first;
+    // Self must at least be in the top 5.
+    EXPECT_NE(std::find(out.begin(), out.end(), q), out.end())
+        << "query " << q;
+  }
+  // ADC estimates collide under quantization error, so "self strictly
+  // first" is only a majority expectation.
+  EXPECT_GE(self_first, 10u);
+}
+
+TEST(ImiAdcTest, NoResidualModeStillWorks) {
+  SyntheticSpec spec;
+  spec.n = 800;
+  spec.dim = 8;
+  spec.num_clusters = 15;
+  spec.seed = 112;
+  Dataset base = GenerateClusteredGaussian(spec);
+  OpqOptions opt;
+  opt.num_centroids = 8;
+  opt.iterations = 2;
+  OpqModel model = TrainOpq(base, opt);
+  ImiOptions io;
+  io.residual_centroids = 0;
+  ImiIndex index(model, base, io);
+  EXPECT_FALSE(index.has_residuals());
+  auto out = index.SearchAdc(base.Row(3), 5, 200);
+  EXPECT_LE(out.size(), 5u);
+  EXPECT_GE(out.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gqr

@@ -1,0 +1,198 @@
+// End-to-end integration tests: the full pipeline (generate -> train ->
+// index -> query -> evaluate) across learners and methods, checking the
+// paper's qualitative claims on a small scale.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gqr.h"
+
+namespace gqr {
+namespace {
+
+struct Pipeline {
+  Dataset base;
+  Dataset queries;
+  std::vector<Neighbors> gt;
+
+  static Pipeline Make(size_t n, size_t dim, size_t nq, size_t k,
+                       uint64_t seed) {
+    SyntheticSpec spec;
+    spec.n = n;
+    spec.dim = dim;
+    spec.num_clusters = 40;
+    spec.seed = seed;
+    Dataset all = GenerateClusteredGaussian(spec);
+    Rng rng(seed + 1);
+    auto [base, queries] = all.SplitQueries(nq, &rng);
+    auto gt = ComputeGroundTruth(base, queries, k);
+    return Pipeline{std::move(base), std::move(queries), std::move(gt)};
+  }
+};
+
+// At a moderate candidate budget, every learner + GQR must reach a
+// usable recall on clustered data — the "it actually works" test.
+class EndToEndLearnerTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EndToEndLearnerTest, GqrReachesUsableRecall) {
+  Pipeline p = Pipeline::Make(5000, 16, 30, 10, 131);
+  const std::string learner = GetParam();
+  std::unique_ptr<BinaryHasher> hasher;
+  const int m = 9;  // log2(5000/10) ~ 9.
+  if (learner == "ITQ") {
+    ItqOptions o;
+    o.code_length = m;
+    hasher = std::make_unique<LinearHasher>(TrainItq(p.base, o));
+  } else if (learner == "PCAH") {
+    PcahOptions o;
+    o.code_length = m;
+    hasher = std::make_unique<LinearHasher>(TrainPcah(p.base, o));
+  } else if (learner == "SH") {
+    ShOptions o;
+    o.code_length = m;
+    hasher = std::make_unique<ShHasher>(TrainSh(p.base, o));
+  } else {
+    KmhOptions o;
+    o.code_length = 8;
+    o.bits_per_block = 4;
+    hasher = std::make_unique<KmhHasher>(TrainKmh(p.base, o));
+  }
+  StaticHashTable table(hasher->HashDataset(p.base), hasher->code_length());
+  Searcher searcher(p.base);
+  double recall = 0.0;
+  for (size_t q = 0; q < p.queries.size(); ++q) {
+    const float* query = p.queries.Row(static_cast<ItemId>(q));
+    QueryHashInfo info = hasher->HashQuery(query);
+    GqrProber prober(info);
+    SearchOptions so;
+    so.k = 10;
+    so.max_candidates = 500;  // 10% of the base.
+    SearchResult r = searcher.Search(query, &prober, table, so);
+    recall += RecallAtK(r.ids, p.gt[q], 10);
+  }
+  recall /= static_cast<double>(p.queries.size());
+  EXPECT_GT(recall, 0.5) << learner << " recall too low: " << recall;
+}
+
+INSTANTIATE_TEST_SUITE_P(Learners, EndToEndLearnerTest,
+                         ::testing::Values("ITQ", "PCAH", "SH", "KMH"));
+
+TEST(EndToEndTest, GqrBeatsHrOnItemsToReachRecall) {
+  // The core claim (Figure 8): at equal recall, GQR needs no more
+  // evaluated items than HR.
+  Pipeline p = Pipeline::Make(8000, 16, 40, 20, 132);
+  ItqOptions o;
+  o.code_length = 10;
+  LinearHasher hasher = TrainItq(p.base, o);
+  StaticHashTable table(hasher.HashDataset(p.base), 10);
+  HarnessOptions ho;
+  ho.k = 20;
+  ho.budgets = DefaultBudgets(p.base.size(), 20, 0.5, 8);
+  Curve gqr = RunMethodCurve(QueryMethod::kGQR, p.base, p.queries, p.gt,
+                             hasher, table, ho);
+  Curve hr = RunMethodCurve(QueryMethod::kHR, p.base, p.queries, p.gt,
+                            hasher, table, ho);
+  const double items_gqr = ItemsAtRecall(gqr, 0.8);
+  const double items_hr = ItemsAtRecall(hr, 0.8);
+  ASSERT_GT(items_gqr, 0.0);
+  ASSERT_GT(items_hr, 0.0);
+  EXPECT_LE(items_gqr, items_hr * 1.05)
+      << "GQR needed more items than HR to hit 80% recall";
+}
+
+TEST(EndToEndTest, GqrEquivalentToQrInResults) {
+  // (R1)+(R2): GQR and QR must return identical neighbor sets at any
+  // budget measured in buckets over non-empty buckets. We compare via
+  // equal candidate budgets.
+  Pipeline p = Pipeline::Make(3000, 12, 20, 10, 133);
+  ItqOptions o;
+  o.code_length = 9;
+  LinearHasher hasher = TrainItq(p.base, o);
+  StaticHashTable table(hasher.HashDataset(p.base), 9);
+  Searcher searcher(p.base);
+  for (size_t q = 0; q < p.queries.size(); ++q) {
+    const float* query = p.queries.Row(static_cast<ItemId>(q));
+    QueryHashInfo info = hasher.HashQuery(query);
+    SearchOptions so;
+    so.k = 10;
+    so.max_candidates = 300;
+    QrProber qr(info, table);
+    GqrProber gqr(info);
+    SearchResult a = searcher.Search(query, &qr, table, so);
+    SearchResult b = searcher.Search(query, &gqr, table, so);
+    EXPECT_EQ(a.ids, b.ids) << "query " << q;
+  }
+}
+
+TEST(EndToEndTest, MihMatchesGhrResults) {
+  // MIH enumerates candidates in the same ascending-Hamming semantics as
+  // GHR, so recall at equal candidate budgets must be comparable.
+  Pipeline p = Pipeline::Make(3000, 12, 20, 10, 134);
+  ItqOptions o;
+  o.code_length = 12;
+  LinearHasher hasher = TrainItq(p.base, o);
+  std::vector<Code> codes = hasher.HashDataset(p.base);
+  StaticHashTable table(codes, 12);
+  MihIndex mih(codes, 12, 2);
+  Searcher searcher(p.base);
+  double recall_mih = 0.0, recall_ghr = 0.0;
+  for (size_t q = 0; q < p.queries.size(); ++q) {
+    const float* query = p.queries.Row(static_cast<ItemId>(q));
+    QueryHashInfo info = hasher.HashQuery(query);
+    SearchOptions so;
+    so.k = 10;
+    so.max_candidates = 400;
+    GhrProber ghr(info);
+    SearchResult a = searcher.Search(query, &ghr, table, so);
+    auto candidates = mih.Collect(info.code, 400, nullptr);
+    SearchResult b = searcher.RerankCandidates(query, candidates, so);
+    recall_ghr += RecallAtK(a.ids, p.gt[q], 10);
+    recall_mih += RecallAtK(b.ids, p.gt[q], 10);
+  }
+  EXPECT_NEAR(recall_mih, recall_ghr,
+              0.15 * static_cast<double>(p.queries.size()));
+}
+
+TEST(EndToEndTest, OpqImiPipelineWorks) {
+  Pipeline p = Pipeline::Make(4000, 16, 20, 10, 135);
+  OpqOptions o;
+  o.num_centroids = 32;
+  o.iterations = 5;
+  OpqModel model = TrainOpq(p.base, o);
+  ImiIndex imi(model, p.base);
+  Searcher searcher(p.base);
+  double recall = 0.0;
+  for (size_t q = 0; q < p.queries.size(); ++q) {
+    const float* query = p.queries.Row(static_cast<ItemId>(q));
+    auto candidates = imi.Collect(query, 400, nullptr);
+    SearchOptions so;
+    so.k = 10;
+    so.max_candidates = 400;
+    SearchResult r = searcher.RerankCandidates(query, candidates, so);
+    recall += RecallAtK(r.ids, p.gt[q], 10);
+  }
+  recall /= static_cast<double>(p.queries.size());
+  EXPECT_GT(recall, 0.5) << "OPQ+IMI recall too low: " << recall;
+}
+
+TEST(EndToEndTest, FullRecallWhenBudgetIsWholeDataset) {
+  Pipeline p = Pipeline::Make(2000, 10, 10, 10, 136);
+  PcahOptions o;
+  o.code_length = 8;
+  LinearHasher hasher = TrainPcah(p.base, o);
+  StaticHashTable table(hasher.HashDataset(p.base), 8);
+  Searcher searcher(p.base);
+  for (size_t q = 0; q < p.queries.size(); ++q) {
+    const float* query = p.queries.Row(static_cast<ItemId>(q));
+    QueryHashInfo info = hasher.HashQuery(query);
+    GqrProber prober(info);
+    SearchOptions so;
+    so.k = 10;
+    so.max_candidates = 0;
+    SearchResult r = searcher.Search(query, &prober, table, so);
+    EXPECT_DOUBLE_EQ(RecallAtK(r.ids, p.gt[q], 10), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace gqr

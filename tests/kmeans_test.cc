@@ -1,0 +1,135 @@
+// Tests for la/kmeans: convergence, objective monotonicity, recovery of
+// planted clusters.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "la/kmeans.h"
+#include "util/random.h"
+
+namespace gqr {
+namespace {
+
+// Three well-separated planted clusters in 2D.
+std::vector<float> PlantedClusters(size_t per_cluster, Rng* rng) {
+  const double centers[3][2] = {{0, 0}, {100, 0}, {0, 100}};
+  std::vector<float> data;
+  data.reserve(per_cluster * 3 * 2);
+  for (int c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < per_cluster; ++i) {
+      data.push_back(static_cast<float>(centers[c][0] + rng->Gaussian()));
+      data.push_back(static_cast<float>(centers[c][1] + rng->Gaussian()));
+    }
+  }
+  return data;
+}
+
+TEST(KMeansTest, RecoversPlantedClusters) {
+  Rng rng(21);
+  auto data = PlantedClusters(100, &rng);
+  KMeansOptions opt;
+  opt.k = 3;
+  opt.seed = 1;
+  KMeansResult r = KMeans(data.data(), 300, 2, opt);
+  ASSERT_EQ(r.centers.rows(), 3u);
+  // Each planted center must be within 1.0 of some learned center.
+  const double planted[3][2] = {{0, 0}, {100, 0}, {0, 100}};
+  for (const auto& p : planted) {
+    double best = 1e18;
+    for (size_t c = 0; c < 3; ++c) {
+      const double dx = r.centers.At(c, 0) - p[0];
+      const double dy = r.centers.At(c, 1) - p[1];
+      best = std::min(best, dx * dx + dy * dy);
+    }
+    EXPECT_LT(best, 1.0);
+  }
+  // Points within one planted cluster share an assignment.
+  for (size_t c = 0; c < 3; ++c) {
+    std::set<uint32_t> labels;
+    for (size_t i = 0; i < 100; ++i) labels.insert(r.assignments[c * 100 + i]);
+    EXPECT_EQ(labels.size(), 1u) << "cluster " << c << " split";
+  }
+}
+
+TEST(KMeansTest, ObjectiveNonIncreasing) {
+  Rng rng(22);
+  std::vector<float> data(500 * 8);
+  for (auto& v : data) v = static_cast<float>(rng.Gaussian());
+  KMeansOptions opt;
+  opt.k = 16;
+  opt.max_iters = 15;
+  opt.tol = 0.0;  // Run all iterations.
+  KMeansResult r = KMeans(data.data(), 500, 8, opt);
+  ASSERT_GE(r.objective_history.size(), 2u);
+  for (size_t i = 1; i < r.objective_history.size(); ++i) {
+    EXPECT_LE(r.objective_history[i], r.objective_history[i - 1] + 1e-9);
+  }
+}
+
+TEST(KMeansTest, AssignmentsMatchNearestCenter) {
+  Rng rng(23);
+  std::vector<float> data(200 * 4);
+  for (auto& v : data) v = static_cast<float>(rng.Gaussian());
+  KMeansOptions opt;
+  opt.k = 7;
+  KMeansResult r = KMeans(data.data(), 200, 4, opt);
+  for (size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(r.assignments[i], NearestCenter(r.centers, data.data() + i * 4));
+  }
+}
+
+TEST(KMeansTest, KLargerThanNClamps) {
+  std::vector<float> data = {0.f, 10.f, 20.f};
+  KMeansOptions opt;
+  opt.k = 10;
+  KMeansResult r = KMeans(data.data(), 3, 1, opt);
+  EXPECT_EQ(r.centers.rows(), 3u);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  Rng rng(24);
+  std::vector<float> data(100 * 3);
+  for (auto& v : data) v = static_cast<float>(rng.Gaussian());
+  KMeansOptions opt;
+  opt.k = 5;
+  opt.seed = 77;
+  KMeansResult a = KMeans(data.data(), 100, 3, opt);
+  KMeansResult b = KMeans(data.data(), 100, 3, opt);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_LT(a.centers.MaxAbsDiff(b.centers), 1e-15);
+}
+
+TEST(KMeansTest, DoubleInputWorks) {
+  Rng rng(25);
+  std::vector<double> data(100 * 3);
+  for (auto& v : data) v = rng.Gaussian();
+  KMeansOptions opt;
+  opt.k = 4;
+  KMeansResult r = KMeans(data.data(), 100, 3, opt);
+  EXPECT_EQ(r.assignments.size(), 100u);
+  EXPECT_GT(r.iterations, 0);
+}
+
+TEST(KMeansTest, SubsampledTrainingStillAssignsAll) {
+  Rng rng(26);
+  std::vector<float> data(1000 * 2);
+  for (auto& v : data) v = static_cast<float>(rng.Gaussian());
+  KMeansOptions opt;
+  opt.k = 4;
+  opt.max_train_samples = 100;
+  KMeansResult r = KMeans(data.data(), 1000, 2, opt);
+  EXPECT_EQ(r.assignments.size(), 1000u);
+}
+
+TEST(KMeansTest, NoEmptyClustersOnSeparatedData) {
+  Rng rng(27);
+  auto data = PlantedClusters(50, &rng);
+  KMeansOptions opt;
+  opt.k = 3;
+  KMeansResult r = KMeans(data.data(), 150, 2, opt);
+  std::set<uint32_t> used(r.assignments.begin(), r.assignments.end());
+  EXPECT_EQ(used.size(), 3u);
+}
+
+}  // namespace
+}  // namespace gqr

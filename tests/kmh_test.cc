@@ -1,0 +1,161 @@
+// Tests for K-means hashing and its appendix flipping-cost definition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "hash/kmh.h"
+#include "la/vector_ops.h"
+
+namespace gqr {
+namespace {
+
+Dataset TestData(size_t n = 2000, size_t dim = 16, uint64_t seed = 8) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = dim;
+  spec.num_clusters = 25;
+  spec.seed = seed;
+  return GenerateClusteredGaussian(spec);
+}
+
+TEST(KmhTest, BlocksPartitionDimensions) {
+  Dataset data = TestData();
+  KmhOptions opt;
+  opt.code_length = 16;
+  opt.bits_per_block = 4;
+  KmhHasher hasher = TrainKmh(data, opt);
+  ASSERT_EQ(hasher.blocks().size(), 4u);
+  size_t expected_begin = 0;
+  for (const auto& block : hasher.blocks()) {
+    EXPECT_EQ(block.dim_begin, expected_begin);
+    EXPECT_GT(block.dim_end, block.dim_begin);
+    EXPECT_EQ(block.codewords.rows(), 16u);  // 2^4 codewords.
+    expected_begin = block.dim_end;
+  }
+  EXPECT_EQ(expected_begin, data.dim());
+}
+
+TEST(KmhTest, HashItemSelectsNearestCodeword) {
+  Dataset data = TestData(500, 8);
+  KmhOptions opt;
+  opt.code_length = 8;
+  opt.bits_per_block = 4;
+  KmhHasher hasher = TrainKmh(data, opt);
+  for (size_t i = 0; i < 50; ++i) {
+    const float* x = data.Row(static_cast<ItemId>(i));
+    const Code code = hasher.HashItem(x);
+    int shift = 0;
+    for (const auto& block : hasher.blocks()) {
+      const auto idx =
+          static_cast<uint32_t>((code >> shift) & LowBitsMask(4));
+      // Verify idx is the argmin over codewords.
+      const size_t sub_dim = block.dim_end - block.dim_begin;
+      double best = 1e300;
+      uint32_t best_idx = 0;
+      for (size_t c = 0; c < block.codewords.rows(); ++c) {
+        double sq = 0.0;
+        for (size_t j = 0; j < sub_dim; ++j) {
+          const double d = block.codewords.At(c, j) -
+                           static_cast<double>(x[block.dim_begin + j]);
+          sq += d * d;
+        }
+        if (sq < best) {
+          best = sq;
+          best_idx = static_cast<uint32_t>(c);
+        }
+      }
+      EXPECT_EQ(idx, best_idx);
+      shift += 4;
+    }
+  }
+}
+
+TEST(KmhTest, FlipCostsNonNegativeAndMatchDefinition) {
+  Dataset data = TestData(500, 8);
+  KmhOptions opt;
+  opt.code_length = 8;
+  opt.bits_per_block = 4;
+  KmhHasher hasher = TrainKmh(data, opt);
+  for (size_t i = 0; i < 50; ++i) {
+    const float* q = data.Row(static_cast<ItemId>(i));
+    QueryHashInfo info = hasher.HashQuery(q);
+    EXPECT_EQ(info.code, hasher.HashItem(q));
+    ASSERT_EQ(info.flip_costs.size(), 8u);
+    int shift = 0;
+    for (const auto& block : hasher.blocks()) {
+      const auto idx =
+          static_cast<uint32_t>((info.code >> shift) & LowBitsMask(4));
+      const size_t sub_dim = block.dim_end - block.dim_begin;
+      auto dist_to = [&](uint32_t c) {
+        double sq = 0.0;
+        for (size_t j = 0; j < sub_dim; ++j) {
+          const double d = block.codewords.At(c, j) -
+                           static_cast<double>(q[block.dim_begin + j]);
+          sq += d * d;
+        }
+        return std::sqrt(sq);
+      };
+      for (int b = 0; b < 4; ++b) {
+        const double cost = info.flip_costs[shift + b];
+        EXPECT_GE(cost, -1e-9);
+        // Appendix definition: dist(q, c') - dist(q, c).
+        EXPECT_NEAR(cost, dist_to(idx ^ (1u << b)) - dist_to(idx), 1e-9);
+      }
+      shift += 4;
+    }
+  }
+}
+
+TEST(KmhTest, AffinityAssignmentBeatsRandomOnAverage) {
+  // With the affinity-preserving assignment, codewords at Hamming
+  // distance 1 should be geometrically closer (on average) than codewords
+  // at larger Hamming distance.
+  Dataset data = TestData(3000, 8, 12);
+  KmhOptions opt;
+  opt.code_length = 8;
+  opt.bits_per_block = 4;
+  KmhHasher hasher = TrainKmh(data, opt);
+  double near_sum = 0.0, far_sum = 0.0;
+  size_t near_count = 0, far_count = 0;
+  for (const auto& block : hasher.blocks()) {
+    const size_t k = block.codewords.rows();
+    const size_t sub_dim = block.dim_end - block.dim_begin;
+    for (size_t a = 0; a < k; ++a) {
+      for (size_t b = a + 1; b < k; ++b) {
+        const double d = std::sqrt(SquaredL2(block.codewords.Row(a),
+                                             block.codewords.Row(b),
+                                             sub_dim));
+        if (HammingDistance(static_cast<Code>(a), static_cast<Code>(b)) ==
+            1) {
+          near_sum += d;
+          ++near_count;
+        } else if (HammingDistance(static_cast<Code>(a),
+                                   static_cast<Code>(b)) >= 3) {
+          far_sum += d;
+          ++far_count;
+        }
+      }
+    }
+  }
+  ASSERT_GT(near_count, 0u);
+  ASSERT_GT(far_count, 0u);
+  EXPECT_LT(near_sum / near_count, far_sum / far_count);
+}
+
+TEST(KmhTest, DeterministicInSeed) {
+  Dataset data = TestData(300, 8);
+  KmhOptions opt;
+  opt.code_length = 8;
+  opt.bits_per_block = 4;
+  opt.seed = 3;
+  KmhHasher a = TrainKmh(data, opt);
+  KmhHasher b = TrainKmh(data, opt);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.HashItem(data.Row(static_cast<ItemId>(i))),
+              b.HashItem(data.Row(static_cast<ItemId>(i))));
+  }
+}
+
+}  // namespace
+}  // namespace gqr

@@ -1,0 +1,174 @@
+// Unit tests for la/matrix and la/vector_ops.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/matrix.h"
+#include "la/vector_ops.h"
+#include "util/random.h"
+
+namespace gqr {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.At(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.0);
+}
+
+TEST(MatrixTest, IdentityMultiplyIsIdentity) {
+  Rng rng(1);
+  Matrix a = Matrix::RandomGaussian(4, 4, &rng);
+  Matrix i = Matrix::Identity(4);
+  EXPECT_LT(a.Multiply(i).MaxAbsDiff(a), 1e-12);
+  EXPECT_LT(i.Multiply(a).MaxAbsDiff(a), 1e-12);
+}
+
+TEST(MatrixTest, MultiplyMatchesManual) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  Matrix c = a.Multiply(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 154.0);
+}
+
+TEST(MatrixTest, TransposedMultiplyVariantsAgree) {
+  Rng rng(2);
+  Matrix a = Matrix::RandomGaussian(5, 3, &rng);
+  Matrix b = Matrix::RandomGaussian(5, 4, &rng);
+  // a^T b == Transposed(a).Multiply(b)
+  EXPECT_LT(a.TransposedMultiply(b).MaxAbsDiff(
+                a.Transposed().Multiply(b)),
+            1e-12);
+  Matrix c = Matrix::RandomGaussian(6, 3, &rng);
+  // a c^T == a.Multiply(Transposed(c))
+  EXPECT_LT(a.MultiplyTransposed(c).MaxAbsDiff(
+                a.Multiply(c.Transposed())),
+            1e-12);
+}
+
+TEST(MatrixTest, MatVecMatchesMultiply) {
+  Rng rng(3);
+  Matrix a = Matrix::RandomGaussian(4, 6, &rng);
+  std::vector<double> x(6);
+  for (auto& v : x) v = rng.Gaussian();
+  std::vector<double> y = a.MatVec(x);
+  Matrix xm(6, 1, std::vector<double>(x.begin(), x.end()));
+  Matrix ym = a.Multiply(xm);
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(y[i], ym.At(i, 0), 1e-12);
+}
+
+TEST(MatrixTest, AddSubtractScale) {
+  Matrix a(1, 2, {1, 2});
+  Matrix b(1, 2, {10, 20});
+  Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.At(0, 1), 22.0);
+  Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff.At(0, 0), 9.0);
+  a *= 3.0;
+  EXPECT_DOUBLE_EQ(a.At(0, 1), 6.0);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix a(1, 2, {3, 4});
+  EXPECT_DOUBLE_EQ(a.FrobeniusNorm(), 5.0);
+}
+
+TEST(MatrixTest, RandomOrthogonalIsOrthogonal) {
+  Rng rng(4);
+  Matrix q = Matrix::RandomOrthogonal(8, &rng);
+  Matrix qtq = q.TransposedMultiply(q);
+  EXPECT_LT(qtq.MaxAbsDiff(Matrix::Identity(8)), 1e-10);
+}
+
+TEST(MatrixTest, SpectralNormOfDiagonal) {
+  Matrix d(3, 3);
+  d.At(0, 0) = 2.0;
+  d.At(1, 1) = -7.0;
+  d.At(2, 2) = 3.0;
+  EXPECT_NEAR(d.SpectralNorm(), 7.0, 1e-6);
+}
+
+TEST(MatrixTest, SpectralNormBoundsMatVec) {
+  // ||A x|| <= sigma_max ||x|| for random A, x — the Theorem 1 statement.
+  Rng rng(5);
+  Matrix a = Matrix::RandomGaussian(6, 9, &rng);
+  const double sigma = a.SpectralNorm();
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> x(9);
+    for (auto& v : x) v = rng.Gaussian();
+    std::vector<double> y = a.MatVec(x);
+    EXPECT_LE(Norm(y.data(), y.size()),
+              sigma * Norm(x.data(), x.size()) + 1e-9);
+  }
+}
+
+TEST(MatrixTest, RowColSlice) {
+  Matrix a(3, 3, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Matrix rows = a.RowSlice(1, 3);
+  ASSERT_EQ(rows.rows(), 2u);
+  EXPECT_DOUBLE_EQ(rows.At(0, 0), 4.0);
+  Matrix cols = a.ColSlice(1, 2);
+  ASSERT_EQ(cols.cols(), 1u);
+  EXPECT_DOUBLE_EQ(cols.At(2, 0), 8.0);
+}
+
+TEST(VectorOpsTest, SquaredL2AndDistance) {
+  const float a[] = {1.f, 2.f, 3.f, 4.f, 5.f};
+  const float b[] = {1.f, 2.f, 3.f, 4.f, 5.f};
+  EXPECT_FLOAT_EQ(SquaredL2(a, b, 5), 0.f);
+  const float c[] = {0.f, 0.f, 0.f, 0.f, 0.f};
+  EXPECT_FLOAT_EQ(SquaredL2(a, c, 5), 55.f);
+  EXPECT_FLOAT_EQ(L2Distance(a, c, 5), std::sqrt(55.f));
+}
+
+TEST(VectorOpsTest, DotAndNorm) {
+  const float a[] = {3.f, 4.f};
+  const float b[] = {1.f, 2.f};
+  EXPECT_FLOAT_EQ(Dot(a, b, 2), 11.f);
+  EXPECT_FLOAT_EQ(Norm(a, 2), 5.f);
+}
+
+TEST(VectorOpsTest, CosineDistance) {
+  const float a[] = {1.f, 0.f};
+  const float b[] = {0.f, 1.f};
+  EXPECT_NEAR(CosineDistance(a, b, 2), 1.f, 1e-6);
+  EXPECT_NEAR(CosineDistance(a, a, 2), 0.f, 1e-6);
+  const float zero[] = {0.f, 0.f};
+  EXPECT_FLOAT_EQ(CosineDistance(a, zero, 2), 1.f);
+}
+
+TEST(VectorOpsTest, NormalizeInPlace) {
+  std::vector<double> v = {3.0, 4.0};
+  NormalizeInPlace(&v);
+  EXPECT_NEAR(Norm(v.data(), 2), 1.0, 1e-12);
+  std::vector<double> zero = {0.0, 0.0};
+  NormalizeInPlace(&zero);  // Must not divide by zero.
+  EXPECT_DOUBLE_EQ(zero[0], 0.0);
+}
+
+TEST(VectorOpsTest, FloatAndDoubleKernelsAgree) {
+  Rng rng(6);
+  std::vector<float> af(37), bf(37);
+  std::vector<double> ad(37), bd(37);
+  for (size_t i = 0; i < af.size(); ++i) {
+    ad[i] = rng.Gaussian();
+    bd[i] = rng.Gaussian();
+    af[i] = static_cast<float>(ad[i]);
+    bf[i] = static_cast<float>(bd[i]);
+  }
+  EXPECT_NEAR(SquaredL2(af.data(), bf.data(), 37),
+              SquaredL2(ad.data(), bd.data(), 37), 1e-3);
+  EXPECT_NEAR(Dot(af.data(), bf.data(), 37),
+              Dot(ad.data(), bd.data(), 37), 1e-3);
+}
+
+}  // namespace
+}  // namespace gqr

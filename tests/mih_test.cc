@@ -1,0 +1,101 @@
+// Tests for the multi-index hashing baseline: candidates arrive in
+// ascending full-code Hamming order, exactly once, and cover everything.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/mih_prober.h"
+#include "util/random.h"
+
+namespace gqr {
+namespace {
+
+std::vector<Code> RandomCodes(int m, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Code> codes(n);
+  for (auto& c : codes) c = rng.Uniform(uint64_t{1} << m);
+  return codes;
+}
+
+class MihBlockTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MihBlockTest, CollectsAllItemsInAscendingHammingOrder) {
+  const int num_blocks = GetParam();
+  const int m = 12;
+  auto codes = RandomCodes(m, 800, 81);
+  MihIndex index(codes, m, num_blocks);
+  Rng rng(82);
+  const Code q = rng.Uniform(uint64_t{1} << m);
+
+  auto out = index.Collect(q, codes.size(), nullptr);
+  ASSERT_EQ(out.size(), codes.size());
+
+  // Exactly once.
+  std::set<ItemId> unique(out.begin(), out.end());
+  EXPECT_EQ(unique.size(), codes.size());
+
+  // Ascending full-code Hamming distance.
+  int prev = -1;
+  for (ItemId id : out) {
+    const int d = HammingDistance(codes[id], q);
+    EXPECT_GE(d, prev);
+    prev = std::max(prev, d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, MihBlockTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(MihTest, BudgetRespected) {
+  auto codes = RandomCodes(10, 500, 83);
+  MihIndex index(codes, 10, 2);
+  auto out = index.Collect(7, 50, nullptr);
+  EXPECT_EQ(out.size(), 50u);
+}
+
+TEST(MihTest, PrefixMatchesFullEnumeration) {
+  // The first-N candidates must be N items of globally minimal Hamming
+  // distance (set equality on distance multisets).
+  const int m = 10;
+  auto codes = RandomCodes(m, 400, 84);
+  MihIndex index(codes, m, 2);
+  const Code q = 123;
+  auto out = index.Collect(q, 100, nullptr);
+  std::vector<int> got;
+  for (ItemId id : out) got.push_back(HammingDistance(codes[id], q));
+
+  std::vector<int> all;
+  for (const Code c : codes) all.push_back(HammingDistance(c, q));
+  std::sort(all.begin(), all.end());
+  all.resize(100);
+  std::vector<int> got_sorted = got;
+  std::sort(got_sorted.begin(), got_sorted.end());
+  EXPECT_EQ(got_sorted, all);
+}
+
+TEST(MihTest, StatsTrackWork) {
+  auto codes = RandomCodes(12, 1000, 85);
+  MihIndex index(codes, 12, 2);
+  MihIndex::ProbeStats stats;
+  index.Collect(55, 500, &stats);
+  EXPECT_GT(stats.substring_lookups, 0u);
+  // With 2 blocks there is overlap, so duplicates are expected on a
+  // dataset this size.
+  EXPECT_GT(stats.duplicates + stats.distance_filtered, 0u);
+}
+
+TEST(MihTest, ExactDuplicateCodes) {
+  std::vector<Code> codes(20, Code{9});
+  MihIndex index(codes, 6, 2);
+  auto out = index.Collect(9, 20, nullptr);
+  EXPECT_EQ(out.size(), 20u);
+}
+
+TEST(MihTest, ZeroBudget) {
+  auto codes = RandomCodes(8, 100, 86);
+  MihIndex index(codes, 8, 2);
+  EXPECT_TRUE(index.Collect(0, 0, nullptr).empty());
+}
+
+}  // namespace
+}  // namespace gqr

@@ -1,0 +1,121 @@
+// Tests for the multi-table index and multi-table search.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/gqr_prober.h"
+#include "core/multi_prober.h"
+#include "core/searcher.h"
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "hash/lsh.h"
+#include "index/multi_table.h"
+
+namespace gqr {
+namespace {
+
+Dataset MakeData(size_t n = 3000, size_t dim = 12) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = dim;
+  spec.num_clusters = 30;
+  spec.seed = 95;
+  return GenerateClusteredGaussian(spec);
+}
+
+MultiTableIndex MakeIndex(const Dataset& base, size_t tables, int m = 10) {
+  return BuildMultiTableIndex(
+      base, tables, [&](uint64_t seed) -> std::unique_ptr<BinaryHasher> {
+        LshOptions opt;
+        opt.code_length = m;
+        opt.seed = seed;
+        return std::make_unique<LinearHasher>(
+            TrainLsh(base, base.dim(), opt));
+      });
+}
+
+TEST(MultiTableTest, BuildsOneTablePerHasher) {
+  Dataset base = MakeData(500);
+  MultiTableIndex index = MakeIndex(base, 3);
+  EXPECT_EQ(index.num_tables(), 3u);
+  for (size_t t = 0; t < 3; ++t) {
+    EXPECT_EQ(index.table(t).num_items(), base.size());
+  }
+  EXPECT_GE(index.TotalBuckets(), index.table(0).num_buckets());
+}
+
+TEST(MultiTableTest, TablesDifferAcrossSeeds) {
+  Dataset base = MakeData(500);
+  MultiTableIndex index = MakeIndex(base, 2);
+  // Different random hashers produce different codes for some item.
+  bool any_diff = false;
+  for (ItemId i = 0; i < 100 && !any_diff; ++i) {
+    if (index.hasher(0).HashItem(base.Row(i)) !=
+        index.hasher(1).HashItem(base.Row(i))) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MultiTableTest, SearchDeduplicatesAcrossTables) {
+  Dataset base = MakeData(1000);
+  MultiTableIndex index = MakeIndex(base, 4);
+  Searcher searcher(base);
+  const float* query = base.Row(7);
+  std::vector<std::unique_ptr<BucketProber>> probers;
+  for (size_t t = 0; t < index.num_tables(); ++t) {
+    probers.push_back(std::make_unique<GqrProber>(
+        index.hasher(t).HashQuery(query), static_cast<uint32_t>(t)));
+  }
+  MultiProber merged(std::move(probers));
+  SearchOptions opt;
+  opt.k = 10;
+  opt.max_candidates = 0;  // Exhaust all tables.
+  SearchResult r = searcher.Search(query, &merged, index, opt);
+  // Every item lives in every table, so without dedup we would evaluate
+  // n * T items; with dedup exactly n.
+  EXPECT_EQ(r.stats.items_evaluated, base.size());
+  EXPECT_EQ(r.stats.duplicates_skipped, base.size() * 3);
+  // Exhaustive multi-table search is exact.
+  Neighbors exact = BruteForceKnn(base, query, 10);
+  EXPECT_EQ(r.ids, exact.ids);
+}
+
+TEST(MultiTableTest, MoreTablesImproveRecallAtFixedBudget) {
+  // The memory-for-recall trade of §6.3.5, on LSH where single-table
+  // recall is clearly below 1 at a small budget.
+  Dataset all = MakeData(4000);
+  Rng rng(3);
+  auto [base, queries] = all.SplitQueries(30, &rng);
+  auto gt = ComputeGroundTruth(base, queries, 10);
+  Searcher searcher(base);
+
+  auto recall_with_tables = [&](size_t tables) {
+    MultiTableIndex index = MakeIndex(base, tables, 12);
+    double total = 0.0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      const float* query = queries.Row(static_cast<ItemId>(q));
+      std::vector<std::unique_ptr<BucketProber>> probers;
+      for (size_t t = 0; t < index.num_tables(); ++t) {
+        probers.push_back(std::make_unique<GqrProber>(
+            index.hasher(t).HashQuery(query), static_cast<uint32_t>(t)));
+      }
+      MultiProber merged(std::move(probers));
+      SearchOptions opt;
+      opt.k = 10;
+      opt.max_candidates = 200;
+      SearchResult r = searcher.Search(query, &merged, index, opt);
+      total += RecallAtK(r.ids, gt[q], 10);
+    }
+    return total / static_cast<double>(queries.size());
+  };
+
+  const double one = recall_with_tables(1);
+  const double four = recall_with_tables(4);
+  EXPECT_GE(four, one - 0.05) << "multi-table recall collapsed";
+}
+
+}  // namespace
+}  // namespace gqr

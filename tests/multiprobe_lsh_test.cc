@@ -1,0 +1,167 @@
+// Tests for E2LSH and Multi-Probe LSH (the §5.3 baseline).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/multiprobe_lsh.h"
+#include "core/searcher.h"
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "hash/e2lsh.h"
+
+namespace gqr {
+namespace {
+
+Dataset TestData(size_t n = 3000, size_t dim = 12, uint64_t seed = 151) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = dim;
+  spec.num_clusters = 40;
+  spec.cluster_stddev = 4.0;
+  spec.zipf_exponent = 0.5;
+  spec.seed = seed;
+  return GenerateClusteredGaussian(spec);
+}
+
+TEST(E2lshTest, CodesMatchFloorRule) {
+  Dataset data = TestData(200);
+  E2lshOptions opt;
+  opt.num_hashes = 6;
+  opt.bucket_width = 5.0;
+  E2lshHasher hasher = TrainE2lsh(data, opt);
+  EXPECT_DOUBLE_EQ(hasher.bucket_width(), 5.0);
+  for (ItemId i = 0; i < 50; ++i) {
+    IntCode code = hasher.HashItem(data.Row(i));
+    E2lshQueryInfo info = hasher.HashQuery(data.Row(i));
+    EXPECT_EQ(code, info.code);
+    for (int h = 0; h < 6; ++h) {
+      EXPECT_GE(info.distance_down[h], 0.0);
+      EXPECT_LT(info.distance_down[h], 5.0);
+    }
+  }
+}
+
+TEST(E2lshTest, AutoWidthGivesReasonableOccupancy) {
+  Dataset data = TestData(5000);
+  E2lshOptions opt;
+  opt.num_hashes = 8;
+  opt.expected_per_bucket = 10.0;
+  E2lshHasher hasher = TrainE2lsh(data, opt);
+  IntCodeTable table(hasher.HashDataset(data));
+  const double avg =
+      static_cast<double>(table.num_items()) / table.num_buckets();
+  // Calibration is a heuristic; accept a wide band around the target.
+  EXPECT_GT(avg, 1.0);
+  EXPECT_LT(avg, 500.0);
+}
+
+TEST(IntCodeTableTest, ProbeFindsExactCodeGroups) {
+  std::vector<IntCode> codes = {{0, 1}, {0, 1}, {2, 3}, {-1, 5}};
+  IntCodeTable table(codes);
+  EXPECT_EQ(table.num_buckets(), 3u);
+  EXPECT_EQ(table.Probe({0, 1}).size(), 2u);
+  EXPECT_EQ(table.Probe({2, 3}).size(), 1u);
+  EXPECT_EQ(table.Probe({-1, 5}).size(), 1u);
+  EXPECT_TRUE(table.Probe({9, 9}).empty());
+}
+
+TEST(MultiProbeLshTest, FirstBucketIsQueryCodeThenAscendingScores) {
+  Dataset data = TestData(500);
+  E2lshOptions opt;
+  opt.num_hashes = 6;
+  E2lshHasher hasher = TrainE2lsh(data, opt);
+  E2lshQueryInfo info = hasher.HashQuery(data.Row(7));
+  MultiProbeLshProber prober(info);
+  IntCode bucket;
+  ASSERT_TRUE(prober.Next(&bucket));
+  EXPECT_EQ(bucket, info.code);
+  EXPECT_DOUBLE_EQ(prober.last_score(), 0.0);
+  double prev = 0.0;
+  for (int i = 0; i < 200 && prober.Next(&bucket); ++i) {
+    EXPECT_GE(prober.last_score(), prev - 1e-12);
+    prev = prober.last_score();
+  }
+}
+
+TEST(MultiProbeLshTest, EmitsOnlyValidUniqueBuckets) {
+  Dataset data = TestData(500);
+  E2lshOptions opt;
+  opt.num_hashes = 4;
+  E2lshHasher hasher = TrainE2lsh(data, opt);
+  E2lshQueryInfo info = hasher.HashQuery(data.Row(3));
+  MultiProbeLshProber prober(info);
+  std::set<IntCode> seen;
+  IntCode bucket;
+  while (prober.Next(&bucket)) {
+    // Every emitted bucket differs from the query code by at most 1 per
+    // coordinate (valid perturbation sets only).
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      EXPECT_LE(std::abs(bucket[i] - info.code[i]), 1);
+    }
+    EXPECT_TRUE(seen.insert(bucket).second) << "duplicate bucket";
+  }
+  // All 3^m - ... valid perturbation sets over 2m perturbations:
+  // each coordinate independently in {-1, 0, +1} => 3^m buckets.
+  EXPECT_EQ(seen.size(), static_cast<size_t>(std::pow(3, 4)));
+  // And some invalid sets were generated along the way (the §5.3
+  // overhead GQR avoids by construction).
+  EXPECT_GT(prober.invalid_generated(), 0u);
+}
+
+TEST(MultiProbeLshTest, ScoresMatchSquaredBoundaryDistances) {
+  E2lshQueryInfo info;
+  info.bucket_width = 10.0;
+  info.code = {0, 0};
+  info.distance_down = {1.0, 4.0};  // +1 costs: 9, 6.
+  MultiProbeLshProber prober(info);
+  IntCode bucket;
+  ASSERT_TRUE(prober.Next(&bucket));  // Root, score 0.
+  // Next scores ascending: 1 (coord0,-1), 16 (coord1,-1), 17, 36, ...
+  ASSERT_TRUE(prober.Next(&bucket));
+  EXPECT_DOUBLE_EQ(prober.last_score(), 1.0);
+  EXPECT_EQ(bucket, (IntCode{-1, 0}));
+  ASSERT_TRUE(prober.Next(&bucket));
+  EXPECT_DOUBLE_EQ(prober.last_score(), 16.0);
+  EXPECT_EQ(bucket, (IntCode{0, -1}));
+  ASSERT_TRUE(prober.Next(&bucket));
+  EXPECT_DOUBLE_EQ(prober.last_score(), 17.0);
+  EXPECT_EQ(bucket, (IntCode{-1, -1}));
+  ASSERT_TRUE(prober.Next(&bucket));
+  EXPECT_DOUBLE_EQ(prober.last_score(), 36.0);
+  EXPECT_EQ(bucket, (IntCode{0, 1}));
+}
+
+TEST(MultiProbeLshTest, EndToEndRecall) {
+  Dataset all = TestData(4000, 16);
+  Rng rng(5);
+  auto [base, queries] = all.SplitQueries(20, &rng);
+  auto gt = ComputeGroundTruth(base, queries, 10);
+  E2lshOptions opt;
+  opt.num_hashes = 8;
+  E2lshHasher hasher = TrainE2lsh(base, opt);
+  IntCodeTable table(hasher.HashDataset(base));
+  Searcher searcher(base);
+  double recall = 0.0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const float* query = queries.Row(static_cast<ItemId>(q));
+    MultiProbeLshProber prober(hasher.HashQuery(query));
+    std::vector<ItemId> candidates;
+    IntCode bucket;
+    while (candidates.size() < 800 && prober.Next(&bucket)) {
+      auto span = table.Probe(bucket);
+      candidates.insert(candidates.end(), span.begin(), span.end());
+    }
+    SearchOptions so;
+    so.k = 10;
+    so.max_candidates = 800;
+    SearchResult r = searcher.RerankCandidates(query, candidates, so);
+    recall += RecallAtK(r.ids, gt[q], 10);
+  }
+  recall /= static_cast<double>(queries.size());
+  EXPECT_GT(recall, 0.4) << "Multi-Probe LSH recall too low";
+}
+
+}  // namespace
+}  // namespace gqr

@@ -1,0 +1,99 @@
+// Tests for la/pca: recovered directions, variance ordering, projection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/pca.h"
+#include "la/vector_ops.h"
+#include "util/random.h"
+
+namespace gqr {
+namespace {
+
+// Data stretched along a known direction: x = t * dir + small noise.
+std::vector<float> StretchedData(size_t n, const std::vector<double>& dir,
+                                 Rng* rng) {
+  const size_t d = dir.size();
+  std::vector<float> data(n * d);
+  for (size_t i = 0; i < n; ++i) {
+    const double t = rng->Gaussian(0.0, 10.0);
+    for (size_t j = 0; j < d; ++j) {
+      data[i * d + j] =
+          static_cast<float>(t * dir[j] + rng->Gaussian(0.0, 0.1));
+    }
+  }
+  return data;
+}
+
+TEST(PcaTest, RecoversDominantDirection) {
+  Rng rng(31);
+  std::vector<double> dir = {0.6, 0.0, 0.8, 0.0};
+  auto data = StretchedData(2000, dir, &rng);
+  PcaModel pca = FitPca(data.data(), 2000, 4, 2);
+  // First component parallel (up to sign) to dir.
+  double dot = 0.0;
+  for (size_t j = 0; j < 4; ++j) dot += pca.components.At(0, j) * dir[j];
+  EXPECT_NEAR(std::abs(dot), 1.0, 1e-2);
+}
+
+TEST(PcaTest, ComponentsOrthonormal) {
+  Rng rng(32);
+  std::vector<float> data(500 * 6);
+  for (auto& v : data) v = static_cast<float>(rng.Gaussian());
+  PcaModel pca = FitPca(data.data(), 500, 6, 4);
+  for (size_t a = 0; a < 4; ++a) {
+    for (size_t b = 0; b < 4; ++b) {
+      const double dot =
+          Dot(pca.components.Row(a), pca.components.Row(b), 6);
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(PcaTest, ExplainedVarianceDescendingNonNegative) {
+  Rng rng(33);
+  std::vector<float> data(800 * 10);
+  for (size_t i = 0; i < 800; ++i) {
+    for (size_t j = 0; j < 10; ++j) {
+      // Decreasing per-dimension variance.
+      data[i * 10 + j] =
+          static_cast<float>(rng.Gaussian(0.0, 10.0 - static_cast<double>(j)));
+    }
+  }
+  PcaModel pca = FitPca(data.data(), 800, 10, 10);
+  for (size_t c = 0; c < 10; ++c) {
+    EXPECT_GE(pca.explained_variance[c], 0.0);
+    if (c > 0) {
+      EXPECT_GE(pca.explained_variance[c - 1],
+                pca.explained_variance[c] - 1e-9);
+    }
+  }
+  // Top variance should be near 100 (stddev 10).
+  EXPECT_NEAR(pca.explained_variance[0], 100.0, 20.0);
+}
+
+TEST(PcaTest, ProjectionCentersTheMean) {
+  // The mean vector itself projects to ~0 on every component.
+  Rng rng(34);
+  std::vector<float> data(300 * 5);
+  for (auto& v : data) v = static_cast<float>(rng.Gaussian(5.0, 2.0));
+  PcaModel pca = FitPca(data.data(), 300, 5, 3);
+  std::vector<float> mean_f(5);
+  for (size_t j = 0; j < 5; ++j) mean_f[j] = static_cast<float>(pca.mean[j]);
+  std::vector<double> out(3);
+  pca.Project(mean_f.data(), out.data());
+  for (double v : out) EXPECT_NEAR(v, 0.0, 1e-5);
+}
+
+TEST(PcaTest, SubsamplingStillRecoversStructure) {
+  Rng rng(35);
+  std::vector<double> dir = {1.0, 0.0, 0.0};
+  auto data = StretchedData(5000, dir, &rng);
+  Rng sample_rng(1);
+  PcaModel pca =
+      FitPca(data.data(), 5000, 3, 1, /*max_train_samples=*/500, &sample_rng);
+  EXPECT_NEAR(std::abs(pca.components.At(0, 0)), 1.0, 1e-2);
+}
+
+}  // namespace
+}  // namespace gqr

@@ -1,0 +1,112 @@
+// Failure-injection tests for persistence: random corruption of valid
+// artifact files must yield an error Status or a differing model — never
+// a crash, hang, or huge allocation.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "data/synthetic.h"
+#include "hash/itq.h"
+#include "persist/model_io.h"
+#include "util/random.h"
+
+namespace gqr {
+namespace {
+
+class PersistFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("gqr_fuzz_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  static std::vector<char> ReadAll(const std::string& path) {
+    std::ifstream f(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(f),
+            std::istreambuf_iterator<char>()};
+  }
+  static void WriteAll(const std::string& path,
+                       const std::vector<char>& bytes) {
+    std::ofstream f(path, std::ios::binary);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(PersistFuzzTest, RandomByteFlipsNeverCrashLinearHasherLoad) {
+  SyntheticSpec spec;
+  spec.n = 500;
+  spec.dim = 10;
+  spec.seed = 241;
+  Dataset data = GenerateClusteredGaussian(spec);
+  ItqOptions opt;
+  opt.code_length = 8;
+  LinearHasher hasher = TrainItq(data, opt);
+  const std::string good = Path("good.gqr");
+  ASSERT_TRUE(SaveLinearHasher(hasher, good).ok());
+  const std::vector<char> original = ReadAll(good);
+
+  Rng rng(1);
+  const std::string mutated = Path("mutated.gqr");
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<char> bytes = original;
+    // Flip 1-4 random bytes.
+    const int flips = 1 + static_cast<int>(rng.Uniform(4));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = rng.Uniform(bytes.size());
+      bytes[pos] = static_cast<char>(bytes[pos] ^
+                                     static_cast<char>(rng.Uniform(255) + 1));
+    }
+    WriteAll(mutated, bytes);
+    // Must not crash; may fail, or may load (a flipped weight byte still
+    // parses). Either outcome is acceptable — we only require safety.
+    Result<LinearHasher> r = LoadLinearHasher(mutated);
+    if (r.ok()) {
+      EXPECT_EQ(r->code_length(), 8);
+    }
+  }
+}
+
+TEST_F(PersistFuzzTest, RandomTruncationsNeverCrashHashTableLoad) {
+  Rng rng(2);
+  std::vector<Code> codes(300);
+  for (auto& c : codes) c = rng.Uniform(256);
+  StaticHashTable table(codes, 8);
+  const std::string good = Path("table.gqr");
+  ASSERT_TRUE(SaveHashTable(table, good).ok());
+  const std::vector<char> original = ReadAll(good);
+
+  const std::string mutated = Path("table_trunc.gqr");
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t keep = rng.Uniform(original.size());
+    WriteAll(mutated,
+             std::vector<char>(original.begin(), original.begin() + keep));
+    Result<StaticHashTable> r = LoadHashTable(mutated);
+    // A strict prefix can never be a complete valid artifact.
+    EXPECT_FALSE(r.ok());
+  }
+}
+
+TEST_F(PersistFuzzTest, GarbageFilesAreRejected) {
+  Rng rng(3);
+  const std::string path = Path("garbage.gqr");
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<char> bytes(rng.Uniform(2048) + 8);
+    for (char& b : bytes) b = static_cast<char>(rng.Uniform(256));
+    WriteAll(path, bytes);
+    EXPECT_FALSE(LoadLinearHasher(path).ok());
+    EXPECT_FALSE(LoadHashTable(path).ok());
+    EXPECT_FALSE(LoadOpqModel(path).ok());
+    EXPECT_FALSE(LoadShHasher(path).ok());
+    EXPECT_FALSE(LoadKmhHasher(path).ok());
+  }
+}
+
+}  // namespace
+}  // namespace gqr

@@ -1,0 +1,259 @@
+// Round-trip and corruption tests for model/index persistence.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include <memory>
+
+#include "data/synthetic.h"
+#include "hash/itq.h"
+#include "hash/kmh.h"
+#include "hash/sh.h"
+#include "persist/model_io.h"
+#include "persist/serializer.h"
+#include "vq/opq.h"
+
+namespace gqr {
+namespace {
+
+class PersistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("gqr_persist_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    SyntheticSpec spec;
+    spec.n = 1500;
+    spec.dim = 12;
+    spec.num_clusters = 20;
+    spec.seed = 141;
+    data_ = GenerateClusteredGaussian(spec);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+  Dataset data_;
+};
+
+TEST_F(PersistTest, SerializerPrimitivesRoundTrip) {
+  const std::string path = Path("prims.bin");
+  {
+    BinaryWriter w(path);
+    w.WriteHeader("TEST", 3);
+    w.WriteU32(42);
+    w.WriteU64(uint64_t{1} << 50);
+    w.WriteI32(-7);
+    w.WriteDouble(3.25);
+    w.WriteString("hello");
+    w.WriteDoubleVector({1.5, -2.5});
+    w.WriteU64Vector({9, 8, 7});
+    w.WriteU32Vector({1, 2});
+    w.WriteFloatVector({0.5f});
+    Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+    w.WriteMatrix(m);
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  BinaryReader r(path);
+  r.ExpectHeader("TEST", 3);
+  EXPECT_EQ(r.ReadU32(), 42u);
+  EXPECT_EQ(r.ReadU64(), uint64_t{1} << 50);
+  EXPECT_EQ(r.ReadI32(), -7);
+  EXPECT_DOUBLE_EQ(r.ReadDouble(), 3.25);
+  EXPECT_EQ(r.ReadString(), "hello");
+  EXPECT_EQ(r.ReadDoubleVector(), (std::vector<double>{1.5, -2.5}));
+  EXPECT_EQ(r.ReadU64Vector(), (std::vector<uint64_t>{9, 8, 7}));
+  EXPECT_EQ(r.ReadU32Vector(), (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(r.ReadFloatVector(), (std::vector<float>{0.5f}));
+  Matrix m = r.ReadMatrix();
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 6.0);
+  EXPECT_TRUE(r.status().ok()) << r.status().ToString();
+}
+
+TEST_F(PersistTest, HeaderMismatchIsError) {
+  const std::string path = Path("hdr.bin");
+  {
+    BinaryWriter w(path);
+    w.WriteHeader("AAAA", 1);
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  BinaryReader wrong_magic(path);
+  wrong_magic.ExpectHeader("BBBB", 1);
+  EXPECT_FALSE(wrong_magic.status().ok());
+  BinaryReader wrong_version(path);
+  wrong_version.ExpectHeader("AAAA", 2);
+  EXPECT_FALSE(wrong_version.status().ok());
+}
+
+TEST_F(PersistTest, LinearHasherRoundTrip) {
+  ItqOptions opt;
+  opt.code_length = 10;
+  LinearHasher original = TrainItq(data_, opt);
+  const std::string path = Path("itq.gqr");
+  ASSERT_TRUE(SaveLinearHasher(original, path).ok());
+  Result<LinearHasher> loaded = LoadLinearHasher(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name(), "ITQ");
+  EXPECT_EQ(loaded->code_length(), 10);
+  for (ItemId i = 0; i < 100; ++i) {
+    EXPECT_EQ(loaded->HashItem(data_.Row(i)), original.HashItem(data_.Row(i)));
+  }
+  // Flip costs preserved too (projection identical).
+  QueryHashInfo a = original.HashQuery(data_.Row(0));
+  QueryHashInfo b = loaded->HashQuery(data_.Row(0));
+  EXPECT_EQ(a.flip_costs, b.flip_costs);
+}
+
+TEST_F(PersistTest, ShHasherRoundTrip) {
+  ShOptions opt;
+  opt.code_length = 8;
+  ShHasher original = TrainSh(data_, opt);
+  const std::string path = Path("sh.gqr");
+  ASSERT_TRUE(SaveShHasher(original, path).ok());
+  Result<ShHasher> loaded = LoadShHasher(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (ItemId i = 0; i < 100; ++i) {
+    EXPECT_EQ(loaded->HashItem(data_.Row(i)), original.HashItem(data_.Row(i)));
+  }
+}
+
+TEST_F(PersistTest, KmhHasherRoundTrip) {
+  KmhOptions opt;
+  opt.code_length = 8;
+  opt.bits_per_block = 4;
+  KmhHasher original = TrainKmh(data_, opt);
+  const std::string path = Path("kmh.gqr");
+  ASSERT_TRUE(SaveKmhHasher(original, path).ok());
+  Result<KmhHasher> loaded = LoadKmhHasher(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (ItemId i = 0; i < 100; ++i) {
+    EXPECT_EQ(loaded->HashItem(data_.Row(i)), original.HashItem(data_.Row(i)));
+    QueryHashInfo a = original.HashQuery(data_.Row(i));
+    QueryHashInfo b = loaded->HashQuery(data_.Row(i));
+    EXPECT_EQ(a.code, b.code);
+    for (size_t j = 0; j < a.flip_costs.size(); ++j) {
+      EXPECT_NEAR(a.flip_costs[j], b.flip_costs[j], 1e-12);
+    }
+  }
+}
+
+TEST_F(PersistTest, OpqModelRoundTrip) {
+  OpqOptions opt;
+  opt.num_centroids = 8;
+  opt.iterations = 3;
+  OpqModel original = TrainOpq(data_, opt);
+  const std::string path = Path("opq.gqr");
+  ASSERT_TRUE(SaveOpqModel(original, path).ok());
+  Result<OpqModel> loaded = LoadOpqModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->error_history(), original.error_history());
+  for (ItemId i = 0; i < 100; ++i) {
+    EXPECT_EQ(loaded->EncodeItem(data_.Row(i)),
+              original.EncodeItem(data_.Row(i)));
+  }
+}
+
+TEST_F(PersistTest, HashTableRoundTrip) {
+  ItqOptions opt;
+  opt.code_length = 9;
+  LinearHasher hasher = TrainItq(data_, opt);
+  StaticHashTable original(hasher.HashDataset(data_), 9);
+  const std::string path = Path("table.gqr");
+  ASSERT_TRUE(SaveHashTable(original, path).ok());
+  Result<StaticHashTable> loaded = LoadHashTable(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_items(), original.num_items());
+  EXPECT_EQ(loaded->num_buckets(), original.num_buckets());
+  EXPECT_EQ(loaded->bucket_codes(), original.bucket_codes());
+  for (Code c : original.bucket_codes()) {
+    auto a = original.Probe(c);
+    auto b = loaded->Probe(c);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST_F(PersistTest, MissingFileIsError) {
+  EXPECT_FALSE(LoadLinearHasher(Path("nope.gqr")).ok());
+  EXPECT_FALSE(LoadHashTable(Path("nope.gqr")).ok());
+  EXPECT_FALSE(LoadOpqModel(Path("nope.gqr")).ok());
+}
+
+TEST_F(PersistTest, TruncatedFileIsError) {
+  ItqOptions opt;
+  opt.code_length = 8;
+  LinearHasher hasher = TrainItq(data_, opt);
+  const std::string path = Path("trunc.gqr");
+  ASSERT_TRUE(SaveLinearHasher(hasher, path).ok());
+  // Chop the file in half.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_FALSE(LoadLinearHasher(path).ok());
+}
+
+TEST_F(PersistTest, WrongArtifactTypeIsError) {
+  ItqOptions opt;
+  opt.code_length = 8;
+  LinearHasher hasher = TrainItq(data_, opt);
+  const std::string path = Path("itq2.gqr");
+  ASSERT_TRUE(SaveLinearHasher(hasher, path).ok());
+  // A linear-hasher file is not a hash table.
+  EXPECT_FALSE(LoadHashTable(path).ok());
+}
+
+TEST_F(PersistTest, CorruptContainerLengthIsError) {
+  const std::string path = Path("corrupt.gqr");
+  {
+    BinaryWriter w(path);
+    w.WriteHeader("GQLH", 1);
+    w.WriteString("X");
+    // Absurd matrix dims.
+    w.WriteU64(uint64_t{1} << 40);
+    w.WriteU64(uint64_t{1} << 40);
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  EXPECT_FALSE(LoadLinearHasher(path).ok());
+}
+
+
+TEST_F(PersistTest, MultiTableRoundTrip) {
+  MultiTableIndex index = BuildMultiTableIndex(
+      data_, 3, [&](uint64_t seed) -> std::unique_ptr<BinaryHasher> {
+        ItqOptions o;
+        o.code_length = 8;
+        o.seed = seed;
+        return std::make_unique<LinearHasher>(TrainItq(data_, o));
+      });
+  const std::string path = Path("multi.gqr");
+  ASSERT_TRUE(SaveMultiTableHashers(index, path).ok());
+  Result<MultiTableIndex> loaded = LoadMultiTableIndex(path, data_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_tables(), 3u);
+  for (size_t t = 0; t < 3; ++t) {
+    EXPECT_EQ(loaded->table(t).bucket_codes(),
+              index.table(t).bucket_codes());
+    for (ItemId i = 0; i < 50; ++i) {
+      EXPECT_EQ(loaded->hasher(t).HashItem(data_.Row(i)),
+                index.hasher(t).HashItem(data_.Row(i)));
+    }
+  }
+}
+
+TEST_F(PersistTest, MultiTableDimensionMismatchRejected) {
+  MultiTableIndex index = BuildMultiTableIndex(
+      data_, 2, [&](uint64_t seed) -> std::unique_ptr<BinaryHasher> {
+        ItqOptions o;
+        o.code_length = 8;
+        o.seed = seed;
+        return std::make_unique<LinearHasher>(TrainItq(data_, o));
+      });
+  const std::string path = Path("multi2.gqr");
+  ASSERT_TRUE(SaveMultiTableHashers(index, path).ok());
+  Dataset wrong_dim(10, data_.dim() + 1);
+  EXPECT_FALSE(LoadMultiTableIndex(path, wrong_dim).ok());
+}
+
+}  // namespace
+}  // namespace gqr

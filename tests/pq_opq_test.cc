@@ -1,0 +1,170 @@
+// Tests for PQ and OPQ: encode/decode consistency, distance tables,
+// quantization-error behaviour, rotation orthogonality.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "la/vector_ops.h"
+#include "vq/opq.h"
+#include "vq/pq.h"
+
+namespace gqr {
+namespace {
+
+std::vector<double> RandomDoubles(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> data(n * dim);
+  for (auto& v : data) v = rng.Gaussian();
+  return data;
+}
+
+TEST(PqTest, EncodePicksNearestCentroidPerSubspace) {
+  auto data = RandomDoubles(500, 8, 101);
+  PqOptions opt;
+  opt.num_subspaces = 2;
+  opt.num_centroids = 8;
+  PqCodebook cb = TrainPq(data.data(), 500, 8, opt);
+  ASSERT_EQ(cb.num_subspaces(), 2);
+  for (size_t i = 0; i < 50; ++i) {
+    const double* x = data.data() + i * 8;
+    auto code = cb.Encode(x);
+    std::vector<std::vector<double>> tables;
+    cb.ComputeDistanceTables(x, &tables);
+    for (int s = 0; s < 2; ++s) {
+      // The encoded centroid minimizes the distance table.
+      double min_d = 1e300;
+      for (double d : tables[s]) min_d = std::min(min_d, d);
+      EXPECT_NEAR(tables[s][code[s]], min_d, 1e-12);
+    }
+  }
+}
+
+TEST(PqTest, DistanceTablesMatchDirectComputation) {
+  auto data = RandomDoubles(300, 6, 102);
+  PqOptions opt;
+  opt.num_subspaces = 3;
+  opt.num_centroids = 4;
+  PqCodebook cb = TrainPq(data.data(), 300, 6, opt);
+  const double* x = data.data();
+  std::vector<std::vector<double>> tables;
+  cb.ComputeDistanceTables(x, &tables);
+  for (int s = 0; s < 3; ++s) {
+    const auto& sub = cb.subspace(s);
+    for (size_t c = 0; c < sub.centroids.rows(); ++c) {
+      double expect = 0.0;
+      for (size_t j = sub.dim_begin; j < sub.dim_end; ++j) {
+        const double d = sub.centroids.At(c, j - sub.dim_begin) - x[j];
+        expect += d * d;
+      }
+      EXPECT_NEAR(tables[s][c], expect, 1e-12);
+    }
+  }
+}
+
+TEST(PqTest, DecodeReconstructsCentroids) {
+  auto data = RandomDoubles(200, 4, 103);
+  PqOptions opt;
+  opt.num_subspaces = 2;
+  opt.num_centroids = 4;
+  PqCodebook cb = TrainPq(data.data(), 200, 4, opt);
+  std::vector<uint32_t> code = {1, 3};
+  std::vector<double> rec(4);
+  cb.Decode(code, rec.data());
+  EXPECT_DOUBLE_EQ(rec[0], cb.subspace(0).centroids.At(1, 0));
+  EXPECT_DOUBLE_EQ(rec[3], cb.subspace(1).centroids.At(3, 1));
+}
+
+TEST(PqTest, MoreCentroidsLowerError) {
+  auto data = RandomDoubles(2000, 8, 104);
+  PqOptions small, large;
+  small.num_subspaces = large.num_subspaces = 2;
+  small.num_centroids = 4;
+  large.num_centroids = 32;
+  const double err_small =
+      TrainPq(data.data(), 2000, 8, small).QuantizationError(data.data(), 2000);
+  const double err_large =
+      TrainPq(data.data(), 2000, 8, large).QuantizationError(data.data(), 2000);
+  EXPECT_LT(err_large, err_small);
+}
+
+TEST(OpqTest, RotationIsOrthogonal) {
+  SyntheticSpec spec;
+  spec.n = 1500;
+  spec.dim = 10;
+  spec.seed = 105;
+  Dataset data = GenerateClusteredGaussian(spec);
+  OpqOptions opt;
+  opt.num_centroids = 16;
+  opt.iterations = 4;
+  OpqModel model = TrainOpq(data, opt);
+  const Matrix& r = model.rotation();
+  EXPECT_LT(r.TransposedMultiply(r).MaxAbsDiff(Matrix::Identity(10)),
+            1e-8);
+}
+
+TEST(OpqTest, ErrorHistoryImproves) {
+  SyntheticSpec spec;
+  spec.n = 2000;
+  spec.dim = 12;
+  spec.seed = 106;
+  Dataset data = GenerateClusteredGaussian(spec);
+  OpqOptions opt;
+  opt.num_centroids = 16;
+  opt.iterations = 8;
+  OpqModel model = TrainOpq(data, opt);
+  const auto& hist = model.error_history();
+  ASSERT_EQ(hist.size(), 8u);
+  // The alternation should not end worse than it started (allow small
+  // k-means noise between consecutive rounds).
+  EXPECT_LE(hist.back(), hist.front() * 1.05);
+  for (double e : hist) EXPECT_GE(e, 0.0);
+}
+
+TEST(OpqTest, EncodeItemConsistentWithRotateAndEncode) {
+  SyntheticSpec spec;
+  spec.n = 800;
+  spec.dim = 8;
+  spec.seed = 107;
+  Dataset data = GenerateClusteredGaussian(spec);
+  OpqOptions opt;
+  opt.num_centroids = 8;
+  opt.iterations = 3;
+  OpqModel model = TrainOpq(data, opt);
+  for (ItemId i = 0; i < 20; ++i) {
+    std::vector<double> rotated(8);
+    model.RotateInto(data.Row(i), rotated.data());
+    EXPECT_EQ(model.EncodeItem(data.Row(i)),
+              model.codebook().Encode(rotated.data()));
+  }
+}
+
+TEST(OpqTest, RotationPreservesNorms) {
+  SyntheticSpec spec;
+  spec.n = 500;
+  spec.dim = 6;
+  spec.seed = 108;
+  Dataset data = GenerateClusteredGaussian(spec);
+  OpqOptions opt;
+  opt.num_centroids = 8;
+  opt.iterations = 2;
+  OpqModel model = TrainOpq(data, opt);
+  // Orthogonal rotations are isometries: ||R^T(x - y)|| == ||x - y|| for
+  // any pair (the mean offset cancels), which is what makes distances in
+  // the rotated codebook space meaningful.
+  std::vector<double> rx(6), ry(6);
+  for (ItemId i = 0; i + 1 < 20; ++i) {
+    model.RotateInto(data.Row(i), rx.data());
+    model.RotateInto(data.Row(i + 1), ry.data());
+    double rot_sq = 0.0;
+    for (size_t j = 0; j < 6; ++j) {
+      const double d = rx[j] - ry[j];
+      rot_sq += d * d;
+    }
+    const double orig_sq = SquaredL2(data.Row(i), data.Row(i + 1), 6);
+    EXPECT_NEAR(std::sqrt(rot_sq), std::sqrt(orig_sq), 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace gqr

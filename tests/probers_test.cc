@@ -1,0 +1,179 @@
+// Tests for HR, GHR, QR probers and the multi-table merge prober.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/ghr_prober.h"
+#include "core/gqr_prober.h"
+#include "core/hr_prober.h"
+#include "core/multi_prober.h"
+#include "core/qd.h"
+#include "core/qr_prober.h"
+#include "index/hash_table.h"
+#include "util/random.h"
+
+namespace gqr {
+namespace {
+
+QueryHashInfo RandomInfo(int m, uint64_t seed) {
+  Rng rng(seed);
+  QueryHashInfo info;
+  info.code = rng.Uniform(uint64_t{1} << m);
+  info.flip_costs.resize(m);
+  for (double& c : info.flip_costs) c = rng.UniformDouble();
+  return info;
+}
+
+StaticHashTable RandomTable(int m, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Code> codes(n);
+  for (auto& c : codes) c = rng.Uniform(uint64_t{1} << m);
+  return StaticHashTable(codes, m);
+}
+
+TEST(HrProberTest, CoversAllBucketsAscendingHamming) {
+  const int m = 9;
+  StaticHashTable table = RandomTable(m, 1500, 61);
+  QueryHashInfo info = RandomInfo(m, 62);
+  HrProber prober(info, table);
+  std::set<Code> seen;
+  ProbeTarget t;
+  int prev = -1;
+  while (prober.Next(&t)) {
+    const int d = HammingDistance(info.code, t.bucket);
+    EXPECT_EQ(prober.last_score(), d);
+    EXPECT_GE(d, prev);
+    prev = d;
+    EXPECT_TRUE(seen.insert(t.bucket).second);
+    EXPECT_FALSE(table.Probe(t.bucket).empty());  // HR probes only
+                                                  // existing buckets.
+  }
+  EXPECT_EQ(seen.size(), table.num_buckets());
+}
+
+TEST(GhrProberTest, EnumeratesWholeCodeSpaceAscending) {
+  const int m = 8;
+  QueryHashInfo info = RandomInfo(m, 63);
+  GhrProber prober(info);
+  std::set<Code> seen;
+  ProbeTarget t;
+  double prev = -1.0;
+  while (prober.Next(&t)) {
+    const int d = HammingDistance(info.code, t.bucket);
+    EXPECT_EQ(prober.last_score(), d);
+    EXPECT_GE(prober.last_score(), prev);
+    prev = prober.last_score();
+    EXPECT_TRUE(seen.insert(t.bucket).second);
+  }
+  EXPECT_EQ(seen.size(), size_t{1} << m);  // All codes, once each.
+}
+
+TEST(GhrProberTest, FirstIsQueryCodeThenDistanceOne) {
+  const int m = 12;
+  QueryHashInfo info = RandomInfo(m, 64);
+  GhrProber prober(info);
+  ProbeTarget t;
+  ASSERT_TRUE(prober.Next(&t));
+  EXPECT_EQ(t.bucket, info.code);
+  for (int i = 0; i < m; ++i) {
+    ASSERT_TRUE(prober.Next(&t));
+    EXPECT_EQ(HammingDistance(info.code, t.bucket), 1);
+  }
+  ASSERT_TRUE(prober.Next(&t));
+  EXPECT_EQ(HammingDistance(info.code, t.bucket), 2);
+}
+
+TEST(GhrProberTest, RadiusCountsMatchBinomials) {
+  const int m = 10;
+  QueryHashInfo info = RandomInfo(m, 65);
+  GhrProber prober(info);
+  std::map<int, size_t> count_by_radius;
+  ProbeTarget t;
+  while (prober.Next(&t)) {
+    ++count_by_radius[HammingDistance(info.code, t.bucket)];
+  }
+  for (int r = 0; r <= m; ++r) {
+    EXPECT_DOUBLE_EQ(static_cast<double>(count_by_radius[r]),
+                     BinomialCoefficient(m, r))
+        << "radius " << r;
+  }
+}
+
+TEST(GhrProberTest, CodeLengthOne) {
+  QueryHashInfo info;
+  info.code = 1;
+  info.flip_costs = {0.4};
+  GhrProber prober(info);
+  ProbeTarget t;
+  ASSERT_TRUE(prober.Next(&t));
+  EXPECT_EQ(t.bucket, 1u);
+  ASSERT_TRUE(prober.Next(&t));
+  EXPECT_EQ(t.bucket, 0u);
+  EXPECT_FALSE(prober.Next(&t));
+}
+
+TEST(QrProberTest, AscendingQdOverExistingBuckets) {
+  const int m = 10;
+  StaticHashTable table = RandomTable(m, 3000, 66);
+  QueryHashInfo info = RandomInfo(m, 67);
+  QrProber prober(info, table);
+  ProbeTarget t;
+  double prev = -1.0;
+  size_t count = 0;
+  while (prober.Next(&t)) {
+    const double qd = QuantizationDistance(info, t.bucket);
+    EXPECT_NEAR(prober.last_score(), qd, 1e-12);
+    EXPECT_GE(qd, prev - 1e-12);
+    prev = qd;
+    ++count;
+  }
+  EXPECT_EQ(count, table.num_buckets());
+}
+
+TEST(HrVsQrTest, SameBucketSetDifferentOrder) {
+  // Both rank exactly the set of non-empty buckets; QD refines the order.
+  const int m = 8;
+  StaticHashTable table = RandomTable(m, 800, 68);
+  QueryHashInfo info = RandomInfo(m, 69);
+  std::set<Code> hr_set, qr_set;
+  ProbeTarget t;
+  HrProber hr(info, table);
+  while (hr.Next(&t)) hr_set.insert(t.bucket);
+  QrProber qr(info, table);
+  while (qr.Next(&t)) qr_set.insert(t.bucket);
+  EXPECT_EQ(hr_set, qr_set);
+}
+
+TEST(MultiProberTest, MergesByScore) {
+  // Two GQR probers with different costs: the merged stream must be
+  // globally non-decreasing in score and contain both tables' buckets.
+  const int m = 6;
+  QueryHashInfo a = RandomInfo(m, 70);
+  QueryHashInfo b = RandomInfo(m, 71);
+  std::vector<std::unique_ptr<BucketProber>> probers;
+  probers.push_back(std::make_unique<GqrProber>(a, 0));
+  probers.push_back(std::make_unique<GqrProber>(b, 1));
+  MultiProber merged(std::move(probers));
+  ProbeTarget t;
+  double prev = -1.0;
+  size_t count = 0;
+  std::set<std::pair<uint32_t, Code>> seen;
+  while (merged.Next(&t)) {
+    EXPECT_GE(merged.last_score(), prev - 1e-12);
+    prev = merged.last_score();
+    EXPECT_TRUE(seen.insert({t.table, t.bucket}).second);
+    ++count;
+  }
+  EXPECT_EQ(count, 2 * (size_t{1} << m));
+}
+
+TEST(MultiProberTest, EmptyProberListExhaustsImmediately) {
+  MultiProber merged({});
+  ProbeTarget t;
+  EXPECT_FALSE(merged.Next(&t));
+}
+
+}  // namespace
+}  // namespace gqr

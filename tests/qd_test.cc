@@ -1,0 +1,118 @@
+// Tests for quantization distance: Definition 1, the Figure 3 example,
+// and the Theorem 2 lower-bound property.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/qd.h"
+#include "data/synthetic.h"
+#include "hash/itq.h"
+#include "hash/lsh.h"
+#include "index/hash_table.h"
+#include "la/vector_ops.h"
+
+namespace gqr {
+namespace {
+
+TEST(QdTest, Definition) {
+  QueryHashInfo info;
+  info.code = 0b00;  // c(q) = (0, 0)
+  info.flip_costs = {0.2, 0.8};
+  // The Figure 3 example: p(q1) = (-0.2, -0.8).
+  EXPECT_DOUBLE_EQ(QuantizationDistance(info, 0b00), 0.0);
+  EXPECT_DOUBLE_EQ(QuantizationDistance(info, 0b01), 0.2);
+  EXPECT_DOUBLE_EQ(QuantizationDistance(info, 0b10), 0.8);
+  EXPECT_DOUBLE_EQ(QuantizationDistance(info, 0b11), 1.0);
+}
+
+TEST(QdTest, DistinguishesEqualHammingBuckets) {
+  // Buckets (0,1) and (1,0) both have Hamming distance 1 but different QD
+  // — the core coarse-grain fix of the paper.
+  QueryHashInfo info;
+  info.code = 0b00;
+  info.flip_costs = {0.2, 0.8};
+  EXPECT_EQ(HammingDistance(info.code, 0b01),
+            HammingDistance(info.code, 0b10));
+  EXPECT_LT(QuantizationDistance(info, 0b01),
+            QuantizationDistance(info, 0b10));
+}
+
+TEST(QdTest, ZeroForOwnBucketOnly) {
+  QueryHashInfo info;
+  info.code = 0b1010;
+  info.flip_costs = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_DOUBLE_EQ(QuantizationDistance(info, info.code), 0.0);
+  for (Code b = 0; b < 16; ++b) {
+    if (b != info.code) {
+      EXPECT_GT(QuantizationDistance(info, b), 0.0);
+    }
+  }
+}
+
+TEST(QdTest, AdditiveOverBits) {
+  QueryHashInfo info;
+  info.code = 0;
+  info.flip_costs = {1.0, 2.0, 4.0, 8.0};
+  // QD of any bucket equals the sum of the costs of its set bits, so the
+  // 16 QDs are exactly the integers 0..15.
+  for (Code b = 0; b < 16; ++b) {
+    EXPECT_DOUBLE_EQ(QuantizationDistance(info, b),
+                     static_cast<double>(b));
+  }
+}
+
+TEST(QdTest, TheoremTwoMuPositiveForLinearHashers) {
+  SyntheticSpec spec;
+  spec.n = 500;
+  spec.dim = 10;
+  Dataset data = GenerateClusteredGaussian(spec);
+  LshOptions opt;
+  opt.code_length = 8;
+  LinearHasher hasher = TrainLsh(data, 10, opt);
+  const double mu = TheoremTwoMu(hasher);
+  EXPECT_GT(mu, 0.0);
+  // mu = 1 / (sigma_max sqrt(m)).
+  EXPECT_NEAR(mu, 1.0 / (hasher.HashingMatrix().SpectralNorm() *
+                         std::sqrt(8.0)),
+              1e-9);
+}
+
+// Property test of Theorem 2: for every item o in bucket b,
+// ||o - q|| >= mu * QD(q, b). Swept across learners and seeds.
+class TheoremTwoTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TheoremTwoTest, QdLowerBoundsItemDistances) {
+  const int seed = GetParam();
+  SyntheticSpec spec;
+  spec.n = 1500;
+  spec.dim = 12;
+  spec.seed = static_cast<uint64_t>(seed);
+  Dataset data = GenerateClusteredGaussian(spec);
+
+  ItqOptions opt;
+  opt.code_length = 10;
+  opt.seed = static_cast<uint64_t>(seed);
+  LinearHasher hasher = TrainItq(data, opt);
+  const double mu = TheoremTwoMu(hasher);
+  ASSERT_GT(mu, 0.0);
+
+  StaticHashTable table(hasher.HashDataset(data), hasher.code_length());
+  // A handful of queries; check the bound against every bucket's items.
+  for (ItemId q = 0; q < 5; ++q) {
+    const float* query = data.Row(q);
+    QueryHashInfo info = hasher.HashQuery(query);
+    for (size_t b = 0; b < table.num_buckets(); ++b) {
+      const double qd = QuantizationDistance(info, table.bucket_codes()[b]);
+      for (ItemId o : table.bucket_items(b)) {
+        const double dist = L2Distance(data.Row(o), query, data.dim());
+        EXPECT_GE(dist + 1e-4, mu * qd)
+            << "Theorem 2 violated: q=" << q << " bucket=" << b;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TheoremTwoTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace gqr

@@ -1,0 +1,130 @@
+// Tests for §4.1 distance-threshold (range) search: exactness under the
+// Theorem 2 early stop, against brute force.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/gqr_prober.h"
+#include "core/qd.h"
+#include "core/searcher.h"
+#include "data/synthetic.h"
+#include "hash/itq.h"
+#include "la/vector_ops.h"
+
+namespace gqr {
+namespace {
+
+struct RangeFixture {
+  Dataset base;
+  LinearHasher hasher;
+  StaticHashTable table;
+  double mu;
+
+  static RangeFixture Make(uint64_t seed) {
+    SyntheticSpec spec;
+    spec.n = 4000;
+    spec.dim = 12;
+    spec.num_clusters = 40;
+    spec.cluster_stddev = 4.0;
+    spec.zipf_exponent = 0.5;
+    spec.seed = seed;
+    Dataset base = GenerateClusteredGaussian(spec);
+    ItqOptions opt;
+    opt.code_length = 9;
+    opt.seed = seed;
+    LinearHasher hasher = TrainItq(base, opt);
+    StaticHashTable table(hasher.HashDataset(base), 9);
+    const double mu = TheoremTwoMu(hasher);
+    return RangeFixture{std::move(base), std::move(hasher),
+                        std::move(table), mu};
+  }
+};
+
+std::vector<ItemId> BruteForceRange(const Dataset& base, const float* q,
+                                    float radius) {
+  std::vector<std::pair<float, ItemId>> hits;
+  for (size_t i = 0; i < base.size(); ++i) {
+    const float d = L2Distance(base.Row(static_cast<ItemId>(i)), q,
+                               base.dim());
+    if (d <= radius) hits.emplace_back(d, static_cast<ItemId>(i));
+  }
+  std::sort(hits.begin(), hits.end());
+  std::vector<ItemId> ids;
+  for (const auto& [d, id] : hits) ids.push_back(id);
+  return ids;
+}
+
+class RangeSearchTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RangeSearchTest, ExactUnderEarlyStop) {
+  RangeFixture f = RangeFixture::Make(160 + GetParam());
+  ASSERT_GT(f.mu, 0.0);
+  Searcher searcher(f.base);
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto qid = static_cast<ItemId>(rng.Uniform(f.base.size()));
+    const float* query = f.base.Row(qid);
+    for (float radius : {1.0f, 5.0f, 15.0f}) {
+      QueryHashInfo info = f.hasher.HashQuery(query);
+      GqrProber prober(info);
+      SearchResult r =
+          searcher.RangeSearch(query, &prober, f.table, radius, f.mu);
+      EXPECT_EQ(r.ids, BruteForceRange(f.base, query, radius))
+          << "radius " << radius;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeSearchTest, ::testing::Values(1, 2, 3));
+
+TEST(RangeSearchTest, EarlyStopActuallyTruncates) {
+  RangeFixture f = RangeFixture::Make(170);
+  Searcher searcher(f.base);
+  const float* query = f.base.Row(0);
+  QueryHashInfo info = f.hasher.HashQuery(query);
+  GqrProber with_stop(info);
+  SearchResult stopped =
+      searcher.RangeSearch(query, &with_stop, f.table, 2.0f, f.mu);
+  GqrProber without_stop(info);
+  SearchResult exhaustive =
+      searcher.RangeSearch(query, &without_stop, f.table, 2.0f, 0.0);
+  EXPECT_EQ(stopped.ids, exhaustive.ids);
+  EXPECT_TRUE(stopped.stats.early_stopped);
+  EXPECT_LT(stopped.stats.buckets_probed, exhaustive.stats.buckets_probed);
+  EXPECT_LT(stopped.stats.items_evaluated,
+            exhaustive.stats.items_evaluated);
+}
+
+TEST(RangeSearchTest, ResultsSortedAndWithinRadius) {
+  RangeFixture f = RangeFixture::Make(171);
+  Searcher searcher(f.base);
+  const float* query = f.base.Row(7);
+  QueryHashInfo info = f.hasher.HashQuery(query);
+  GqrProber prober(info);
+  const float radius = 10.0f;
+  SearchResult r =
+      searcher.RangeSearch(query, &prober, f.table, radius, f.mu);
+  for (size_t i = 0; i < r.ids.size(); ++i) {
+    EXPECT_LE(r.distances[i], radius);
+    if (i > 0) {
+      EXPECT_LE(r.distances[i - 1], r.distances[i]);
+    }
+  }
+  // The query is its own row: distance 0 must be present.
+  ASSERT_FALSE(r.ids.empty());
+  EXPECT_EQ(r.ids[0], 7u);
+}
+
+TEST(RangeSearchTest, ZeroRadiusFindsExactDuplicatesOnly) {
+  RangeFixture f = RangeFixture::Make(172);
+  Searcher searcher(f.base);
+  const float* query = f.base.Row(3);
+  QueryHashInfo info = f.hasher.HashQuery(query);
+  GqrProber prober(info);
+  SearchResult r = searcher.RangeSearch(query, &prober, f.table, 0.0f, f.mu);
+  ASSERT_GE(r.ids.size(), 1u);
+  for (float d : r.distances) EXPECT_FLOAT_EQ(d, 0.f);
+}
+
+}  // namespace
+}  // namespace gqr

@@ -1,0 +1,46 @@
+// Tests for the text reporters (formatting only; printing goes to
+// stdout and is smoke-checked for crashes).
+#include <gtest/gtest.h>
+
+#include "eval/report.h"
+
+namespace gqr {
+namespace {
+
+TEST(ReportTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(1.23456, 4), "1.2346");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+  EXPECT_EQ(FormatDouble(0.0, 3), "0.000");
+  EXPECT_EQ(FormatDouble(1e6, 0), "1000000");
+}
+
+TEST(ReportTest, PrintersDoNotCrash) {
+  Curve c;
+  c.name = "GQR";
+  c.points.push_back({.seconds = 0.5,
+                      .recall = 0.9,
+                      .items_evaluated = 100,
+                      .buckets_probed = 10,
+                      .precision = 0.2});
+  ::testing::internal::CaptureStdout();
+  PrintCurves("title", {c});
+  PrintRecallItemsCurves("title", {c});
+  PrintTable("t", {"a", "bb"}, {{"1", "2"}, {"333", "4"}});
+  PrintTable("empty", {}, {});
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("GQR,0.500000,0.9000"), std::string::npos);
+  EXPECT_NE(out.find("# title"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+}
+
+TEST(ReportTest, TableColumnsAligned) {
+  ::testing::internal::CaptureStdout();
+  PrintTable("x", {"col", "c"}, {{"val", "1"}, {"longer_value", "2"}});
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  // Header cell padded to the widest row value.
+  EXPECT_NE(out.find("col           "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gqr

@@ -1,0 +1,132 @@
+// Tests for the SSH learner and its pseudo-supervision helper.
+#include <gtest/gtest.h>
+
+#include "core/gqr_prober.h"
+#include "core/searcher.h"
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "hash/pcah.h"
+#include "hash/ssh.h"
+#include "la/vector_ops.h"
+
+namespace gqr {
+namespace {
+
+Dataset TestData(size_t n = 3000, size_t dim = 12, uint64_t seed = 191) {
+  SyntheticSpec spec;
+  spec.n = n;
+  spec.dim = dim;
+  spec.num_clusters = 30;
+  spec.cluster_stddev = 4.0;
+  spec.zipf_exponent = 0.5;
+  spec.seed = seed;
+  return GenerateClusteredGaussian(spec);
+}
+
+TEST(SshTest, DirectionsOrthonormal) {
+  Dataset data = TestData();
+  auto pairs = MakeMetricPairs(data, 100, 1);
+  SshOptions opt;
+  opt.code_length = 6;
+  LinearHasher hasher = TrainSsh(data, pairs, opt);
+  const Matrix w = hasher.HashingMatrix();
+  for (size_t a = 0; a < 6; ++a) {
+    for (size_t b = 0; b < 6; ++b) {
+      EXPECT_NEAR(Dot(w.Row(a), w.Row(b), data.dim()),
+                  a == b ? 1.0 : 0.0, 1e-8);
+    }
+  }
+  EXPECT_EQ(hasher.name(), "SSH");
+}
+
+TEST(SshTest, NoPairsHighEtaMatchesPcahSubspace) {
+  // With no supervision the adjusted matrix reduces to eta * Cov, whose
+  // top eigenvectors are PCAH's directions (up to sign).
+  Dataset data = TestData(2000, 10, 192);
+  SshOptions sopt;
+  sopt.code_length = 4;
+  LinearHasher ssh = TrainSsh(data, {}, sopt);
+  PcahOptions popt;
+  popt.code_length = 4;
+  LinearHasher pcah = TrainPcah(data, popt);
+  for (int c = 0; c < 4; ++c) {
+    const double dot =
+        Dot(ssh.HashingMatrix().Row(c), pcah.HashingMatrix().Row(c), 10);
+    EXPECT_NEAR(std::abs(dot), 1.0, 1e-3) << "component " << c;
+  }
+}
+
+TEST(SshTest, MetricPairsAreWellFormed) {
+  Dataset data = TestData(500, 8, 193);
+  auto pairs = MakeMetricPairs(data, 50, 7);
+  EXPECT_GT(pairs.size(), 50u);
+  size_t similar = 0, dissimilar = 0;
+  for (const LabeledPair& p : pairs) {
+    EXPECT_LT(p.a, data.size());
+    EXPECT_LT(p.b, data.size());
+    EXPECT_NE(p.a, p.b);
+    ASSERT_TRUE(p.label == 1 || p.label == -1);
+    if (p.label == 1) {
+      ++similar;
+      // Similar pairs are genuine nearest neighbors: closer than a
+      // random pair on average — spot-check they are "close".
+    } else {
+      ++dissimilar;
+    }
+  }
+  EXPECT_GT(similar, 0u);
+  EXPECT_GT(dissimilar, 0u);
+}
+
+TEST(SshTest, SimilarPairsAgreeOnMoreBits) {
+  Dataset data = TestData(3000, 16, 194);
+  auto pairs = MakeMetricPairs(data, 200, 9);
+  SshOptions opt;
+  opt.code_length = 12;
+  LinearHasher hasher = TrainSsh(data, pairs, opt);
+  double sim_dist = 0.0, dis_dist = 0.0;
+  size_t sim_n = 0, dis_n = 0;
+  for (const LabeledPair& p : pairs) {
+    const int d = HammingDistance(hasher.HashItem(data.Row(p.a)),
+                                  hasher.HashItem(data.Row(p.b)));
+    if (p.label == 1) {
+      sim_dist += d;
+      ++sim_n;
+    } else {
+      dis_dist += d;
+      ++dis_n;
+    }
+  }
+  ASSERT_GT(sim_n, 0u);
+  ASSERT_GT(dis_n, 0u);
+  EXPECT_LT(sim_dist / sim_n, dis_dist / dis_n);
+}
+
+TEST(SshTest, EndToEndWithGqr) {
+  Dataset all = TestData(4000, 16, 195);
+  Rng rng(3);
+  auto [base, queries] = all.SplitQueries(20, &rng);
+  auto gt = ComputeGroundTruth(base, queries, 10);
+  auto pairs = MakeMetricPairs(base, 200, 11);
+  SshOptions opt;
+  opt.code_length = 9;
+  LinearHasher hasher = TrainSsh(base, pairs, opt);
+  StaticHashTable table(hasher.HashDataset(base), 9);
+  Searcher searcher(base);
+  double recall = 0.0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const float* query = queries.Row(static_cast<ItemId>(q));
+    GqrProber prober(hasher.HashQuery(query));
+    SearchOptions so;
+    so.k = 10;
+    so.max_candidates = 400;
+    recall += RecallAtK(searcher.Search(query, &prober, table, so).ids,
+                        gt[q], 10);
+  }
+  recall /= static_cast<double>(queries.size());
+  EXPECT_GT(recall, 0.5);
+}
+
+}  // namespace
+}  // namespace gqr

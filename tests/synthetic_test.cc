@@ -1,0 +1,118 @@
+// Tests for data/synthetic: determinism, shape, clustering structure,
+// and profile rules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "la/vector_ops.h"
+
+namespace gqr {
+namespace {
+
+TEST(SyntheticTest, ShapeMatchesSpec) {
+  SyntheticSpec spec;
+  spec.n = 123;
+  spec.dim = 7;
+  Dataset d = GenerateClusteredGaussian(spec);
+  EXPECT_EQ(d.size(), 123u);
+  EXPECT_EQ(d.dim(), 7u);
+}
+
+TEST(SyntheticTest, DeterministicInSeed) {
+  SyntheticSpec spec;
+  spec.n = 50;
+  spec.dim = 4;
+  spec.seed = 9;
+  Dataset a = GenerateClusteredGaussian(spec);
+  Dataset b = GenerateClusteredGaussian(spec);
+  for (size_t i = 0; i < 50; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_FLOAT_EQ(a.Row(static_cast<ItemId>(i))[j],
+                      b.Row(static_cast<ItemId>(i))[j]);
+    }
+  }
+  spec.seed = 10;
+  Dataset c = GenerateClusteredGaussian(spec);
+  bool any_diff = false;
+  for (size_t j = 0; j < 4; ++j) {
+    if (a.Row(0)[j] != c.Row(0)[j]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticTest, NonNegativeMode) {
+  SyntheticSpec spec;
+  spec.n = 500;
+  spec.dim = 6;
+  spec.non_negative = true;
+  Dataset d = GenerateClusteredGaussian(spec);
+  for (size_t i = 0; i < d.size(); ++i) {
+    for (size_t j = 0; j < d.dim(); ++j) {
+      EXPECT_GE(d.Row(static_cast<ItemId>(i))[j], 0.f);
+    }
+  }
+}
+
+TEST(SyntheticTest, ClusteredDataIsActuallyClustered) {
+  // Mean nearest-neighbor distance must be far below the mean pairwise
+  // distance — the property the generator exists to provide.
+  SyntheticSpec spec;
+  spec.n = 400;
+  spec.dim = 8;
+  spec.num_clusters = 10;
+  Dataset d = GenerateClusteredGaussian(spec);
+  double nn_sum = 0.0, all_sum = 0.0;
+  size_t all_count = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    double nn = 1e30;
+    for (size_t j = 0; j < d.size(); ++j) {
+      if (i == j) continue;
+      const double dist = L2Distance(d.Row(static_cast<ItemId>(i)),
+                                     d.Row(static_cast<ItemId>(j)), 8);
+      nn = std::min(nn, dist);
+      all_sum += dist;
+      ++all_count;
+    }
+    nn_sum += nn;
+  }
+  const double mean_nn = nn_sum / 100.0;
+  const double mean_all = all_sum / static_cast<double>(all_count);
+  EXPECT_LT(mean_nn, 0.3 * mean_all);
+}
+
+TEST(SyntheticTest, CodeLengthRule) {
+  // m ~= log2(n / 10), the paper's rule.
+  EXPECT_EQ(CodeLengthForSize(60000), 13);   // paper CIFAR60K uses ~12-13
+  EXPECT_EQ(CodeLengthForSize(1000000), 17); // GIST1M ~16-17
+  EXPECT_EQ(CodeLengthForSize(100), 8);      // Clamped low.
+  EXPECT_EQ(CodeLengthForSize(1ull << 50), 40);  // Clamped high.
+}
+
+TEST(SyntheticTest, PaperProfilesAreOrderedBySize) {
+  auto profiles = PaperDatasetProfiles();
+  ASSERT_EQ(profiles.size(), 4u);
+  for (size_t i = 1; i < profiles.size(); ++i) {
+    EXPECT_GT(profiles[i].spec.n, profiles[i - 1].spec.n);
+    EXPECT_GE(profiles[i].code_length, profiles[i - 1].code_length);
+  }
+  for (const auto& p : profiles) {
+    EXPECT_EQ(p.code_length, CodeLengthForSize(p.spec.n));
+    EXPECT_GT(p.num_queries, 0u);
+  }
+}
+
+TEST(SyntheticTest, ScaleMultipliesSizes) {
+  auto base = PaperDatasetProfiles(1.0);
+  auto scaled = PaperDatasetProfiles(2.0);
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(scaled[i].spec.n, base[i].spec.n * 2);
+  }
+}
+
+TEST(SyntheticTest, AppendixProfilesCount) {
+  EXPECT_EQ(AppendixDatasetProfiles().size(), 8u);
+}
+
+}  // namespace
+}  // namespace gqr

@@ -1,0 +1,120 @@
+// Tests for the recall-target budget auto-tuner.
+#include <gtest/gtest.h>
+
+#include "core/batch_search.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "eval/tuner.h"
+#include "hash/itq.h"
+
+namespace gqr {
+namespace {
+
+struct TunerFixture {
+  Dataset base;
+  Dataset validation;
+  Dataset test;
+  std::vector<Neighbors> validation_gt;
+  std::vector<Neighbors> test_gt;
+  LinearHasher hasher;
+  StaticHashTable table;
+
+  static TunerFixture Make() {
+    SyntheticSpec spec;
+    spec.n = 6000;
+    spec.dim = 12;
+    spec.num_clusters = 60;
+    spec.cluster_stddev = 4.0;
+    spec.zipf_exponent = 0.5;
+    spec.seed = 231;
+    Dataset all = GenerateClusteredGaussian(spec);
+    Rng rng(7);
+    auto [rest, validation] = all.SplitQueries(40, &rng);
+    auto [base, test] = rest.SplitQueries(40, &rng);
+    auto validation_gt = ComputeGroundTruth(base, validation, 10);
+    auto test_gt = ComputeGroundTruth(base, test, 10);
+    ItqOptions opt;
+    opt.code_length = 9;
+    LinearHasher hasher = TrainItq(base, opt);
+    StaticHashTable table(hasher.HashDataset(base), 9);
+    return TunerFixture{std::move(base),          std::move(validation),
+                        std::move(test),          std::move(validation_gt),
+                        std::move(test_gt),       std::move(hasher),
+                        std::move(table)};
+  }
+};
+
+TEST(TunerTest, FindsBudgetMeetingTargetOnValidation) {
+  TunerFixture f = TunerFixture::Make();
+  TuneOptions opt;
+  opt.k = 10;
+  opt.target_recall = 0.9;
+  TuneResult r = TuneBudgetForRecall(f.base, f.validation, f.validation_gt,
+                                     f.hasher, f.table, opt);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GE(r.achieved_recall, 0.9);
+  EXPECT_GT(r.budget, 10u);
+  EXPECT_LT(r.budget, f.base.size());
+}
+
+TEST(TunerTest, TunedBudgetGeneralizesToTestQueries) {
+  TunerFixture f = TunerFixture::Make();
+  TuneOptions opt;
+  opt.k = 10;
+  opt.target_recall = 0.85;
+  TuneResult r = TuneBudgetForRecall(f.base, f.validation, f.validation_gt,
+                                     f.hasher, f.table, opt);
+  ASSERT_TRUE(r.feasible);
+  Searcher searcher(f.base);
+  SearchOptions so;
+  so.k = 10;
+  so.max_candidates = r.budget;
+  auto results = BatchSearch(searcher, f.hasher, f.table, f.test,
+                             QueryMethod::kGQR, so);
+  double recall = 0.0;
+  for (size_t q = 0; q < results.size(); ++q) {
+    recall += RecallAtK(results[q].ids, f.test_gt[q], 10);
+  }
+  recall /= static_cast<double>(results.size());
+  EXPECT_GT(recall, 0.85 - 0.12) << "tuned budget did not generalize";
+}
+
+TEST(TunerTest, HigherTargetNeedsMoreBudget) {
+  TunerFixture f = TunerFixture::Make();
+  TuneOptions low;
+  low.k = 10;
+  low.target_recall = 0.6;
+  TuneOptions high = low;
+  high.target_recall = 0.95;
+  TuneResult a = TuneBudgetForRecall(f.base, f.validation, f.validation_gt,
+                                     f.hasher, f.table, low);
+  TuneResult b = TuneBudgetForRecall(f.base, f.validation, f.validation_gt,
+                                     f.hasher, f.table, high);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_TRUE(b.feasible);
+  EXPECT_LE(a.budget, b.budget);
+}
+
+TEST(TunerTest, InfeasibleTargetReported) {
+  TunerFixture f = TunerFixture::Make();
+  TuneOptions opt;
+  opt.k = 10;
+  opt.target_recall = 0.99;
+  opt.max_fraction = 0.001;  // Budget cap far too small for 99% recall.
+  TuneResult r = TuneBudgetForRecall(f.base, f.validation, f.validation_gt,
+                                     f.hasher, f.table, opt);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_LT(r.recall_at_max, 0.99);
+}
+
+TEST(TunerTest, EmptyValidationIsInfeasible) {
+  TunerFixture f = TunerFixture::Make();
+  Dataset empty(0, f.base.dim());
+  TuneOptions opt;
+  TuneResult r = TuneBudgetForRecall(f.base, empty, {}, f.hasher, f.table,
+                                     opt);
+  EXPECT_FALSE(r.feasible);
+}
+
+}  // namespace
+}  // namespace gqr

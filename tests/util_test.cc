@@ -1,0 +1,205 @@
+// Unit tests for util: Status/Result, Rng, bits, env, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+
+#include "util/bits.h"
+#include "util/env.h"
+#include "util/parallel_for.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace gqr {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IOError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(s.ToString(), "IOError: disk on fire");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = []() { return Status::NotFound("x"); };
+  auto outer = [&]() -> Status {
+    GQR_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(9), b(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(1000), b.Uniform(1000));
+  }
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyCorrect) {
+  Rng rng(2);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(3);
+  auto sample = rng.SampleWithoutReplacement(100, 60);
+  std::set<uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 60u);
+  for (uint32_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleAllIsPermutation) {
+  Rng rng(4);
+  auto sample = rng.SampleWithoutReplacement(50, 50);
+  std::set<uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 50u);
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(5);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Discrete(w), 1u);
+}
+
+TEST(BitsTest, PopCountAndHamming) {
+  EXPECT_EQ(PopCount(0), 0);
+  EXPECT_EQ(PopCount(0b1011), 3);
+  EXPECT_EQ(HammingDistance(0b1100, 0b1010), 2);
+  EXPECT_EQ(HammingDistance(~Code{0}, 0), 64);
+}
+
+TEST(BitsTest, LowBitsMask) {
+  EXPECT_EQ(LowBitsMask(0), 0u);
+  EXPECT_EQ(LowBitsMask(3), 0b111u);
+  EXPECT_EQ(LowBitsMask(64), ~Code{0});
+}
+
+TEST(BitsTest, GetFlipBit) {
+  Code c = 0b1010;
+  EXPECT_EQ(GetBit(c, 0), 0);
+  EXPECT_EQ(GetBit(c, 1), 1);
+  EXPECT_EQ(FlipBit(c, 0), Code{0b1011});
+  EXPECT_EQ(FlipBit(FlipBit(c, 5), 5), c);
+}
+
+TEST(BitsTest, LowestHighestSetBit) {
+  EXPECT_EQ(LowestSetBit(0b1000), 3);
+  EXPECT_EQ(HighestSetBit(0b1000), 3);
+  EXPECT_EQ(LowestSetBit(0b101000), 3);
+  EXPECT_EQ(HighestSetBit(0b101000), 5);
+}
+
+TEST(BitsTest, CodeToString) {
+  EXPECT_EQ(CodeToString(0b101, 4), "1010");
+}
+
+TEST(BitsTest, GosperEnumeratesAllCombinations) {
+  // All C(8, 3) = 56 masks with popcount 3, each exactly once, ascending.
+  const int m = 8, r = 3;
+  std::set<Code> seen;
+  Code mask = LowBitsMask(r);
+  while ((mask & ~LowBitsMask(m)) == 0) {
+    EXPECT_EQ(PopCount(mask), r);
+    EXPECT_TRUE(seen.insert(mask).second);
+    mask = NextSamePopCount(mask);
+  }
+  EXPECT_EQ(seen.size(), 56u);
+}
+
+TEST(BitsTest, BinomialCoefficient) {
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(20, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(20, 1), 20.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(20, 10), 184756.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(5, 6), 0.0);
+}
+
+TEST(EnvTest, FallbackWhenUnset) {
+  ::unsetenv("GQR_TEST_UNSET_VAR");
+  EXPECT_EQ(GetEnvInt("GQR_TEST_UNSET_VAR", 42), 42);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("GQR_TEST_UNSET_VAR", 1.5), 1.5);
+}
+
+TEST(EnvTest, ParsesSetValues) {
+  ::setenv("GQR_TEST_VAR", "123", 1);
+  EXPECT_EQ(GetEnvInt("GQR_TEST_VAR", 0), 123);
+  ::setenv("GQR_TEST_VAR", "2.5", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("GQR_TEST_VAR", 0.0), 2.5);
+  ::setenv("GQR_TEST_VAR", "garbage", 1);
+  EXPECT_EQ(GetEnvInt("GQR_TEST_VAR", 7), 7);
+  ::unsetenv("GQR_TEST_VAR");
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(5000);
+  ParallelFor(0, hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, SmallRangeRunsInline) {
+  std::vector<int> hits(10, 0);
+  ParallelFor(2, 7, [&](size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 5);
+  EXPECT_EQ(hits[2], 1);
+  EXPECT_EQ(hits[6], 1);
+  EXPECT_EQ(hits[7], 0);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  bool touched = false;
+  ParallelFor(5, 5, [&](size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+}  // namespace
+}  // namespace gqr

@@ -1,0 +1,127 @@
+// Round-trip and error-path tests for the .fvecs/.bvecs/.ivecs readers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "data/vecs_io.h"
+#include "util/random.h"
+
+namespace gqr {
+namespace {
+
+class VecsIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("gqr_vecs_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(VecsIoTest, FvecsRoundTrip) {
+  Rng rng(41);
+  Dataset original(17, 5);
+  for (size_t i = 0; i < 17; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      original.MutableRow(static_cast<ItemId>(i))[j] =
+          static_cast<float>(rng.Gaussian());
+    }
+  }
+  const std::string path = Path("a.fvecs");
+  ASSERT_TRUE(SaveFvecs(original, path).ok());
+  Result<Dataset> loaded = LoadFvecs(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 17u);
+  ASSERT_EQ(loaded->dim(), 5u);
+  for (size_t i = 0; i < 17; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_FLOAT_EQ(loaded->Row(static_cast<ItemId>(i))[j],
+                      original.Row(static_cast<ItemId>(i))[j]);
+    }
+  }
+}
+
+TEST_F(VecsIoTest, FvecsMaxVectorsTruncates) {
+  Dataset d(10, 3);
+  const std::string path = Path("b.fvecs");
+  ASSERT_TRUE(SaveFvecs(d, path).ok());
+  Result<Dataset> loaded = LoadFvecs(path, 4);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 4u);
+}
+
+TEST_F(VecsIoTest, IvecsRoundTrip) {
+  std::vector<std::vector<int32_t>> rows = {{1, 2, 3}, {4, 5, 6}};
+  const std::string path = Path("c.ivecs");
+  ASSERT_TRUE(SaveIvecs(rows, path).ok());
+  auto loaded = LoadIvecs(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, rows);
+}
+
+TEST_F(VecsIoTest, BvecsReadsBytes) {
+  // Hand-write a 2-vector bvecs file of dim 3.
+  const std::string path = Path("d.bvecs");
+  std::ofstream f(path, std::ios::binary);
+  const int32_t dim = 3;
+  const uint8_t v1[] = {1, 2, 3};
+  const uint8_t v2[] = {200, 0, 255};
+  f.write(reinterpret_cast<const char*>(&dim), 4);
+  f.write(reinterpret_cast<const char*>(v1), 3);
+  f.write(reinterpret_cast<const char*>(&dim), 4);
+  f.write(reinterpret_cast<const char*>(v2), 3);
+  f.close();
+  auto loaded = LoadBvecs(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_FLOAT_EQ(loaded->Row(1)[0], 200.f);
+  EXPECT_FLOAT_EQ(loaded->Row(1)[2], 255.f);
+}
+
+TEST_F(VecsIoTest, MissingFileIsIOError) {
+  Result<Dataset> r = LoadFvecs(Path("does_not_exist.fvecs"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(VecsIoTest, TruncatedRecordIsIOError) {
+  const std::string path = Path("trunc.fvecs");
+  std::ofstream f(path, std::ios::binary);
+  const int32_t dim = 4;
+  const float partial[] = {1.f, 2.f};  // Only 2 of 4 floats.
+  f.write(reinterpret_cast<const char*>(&dim), 4);
+  f.write(reinterpret_cast<const char*>(partial), sizeof(partial));
+  f.close();
+  EXPECT_FALSE(LoadFvecs(path).ok());
+}
+
+TEST_F(VecsIoTest, InconsistentDimsIsIOError) {
+  const std::string path = Path("mixed.fvecs");
+  std::ofstream f(path, std::ios::binary);
+  int32_t dim = 1;
+  float v = 0.f;
+  f.write(reinterpret_cast<const char*>(&dim), 4);
+  f.write(reinterpret_cast<const char*>(&v), 4);
+  dim = 2;
+  f.write(reinterpret_cast<const char*>(&dim), 4);
+  f.write(reinterpret_cast<const char*>(&v), 4);
+  f.write(reinterpret_cast<const char*>(&v), 4);
+  f.close();
+  EXPECT_FALSE(LoadFvecs(path).ok());
+}
+
+TEST_F(VecsIoTest, EmptyFileIsIOError) {
+  const std::string path = Path("empty.fvecs");
+  std::ofstream(path, std::ios::binary).close();
+  EXPECT_FALSE(LoadFvecs(path).ok());
+}
+
+}  // namespace
+}  // namespace gqr
