@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libbench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_gentree_ablation.dir/ext_gentree_ablation.cc.o"
+  "CMakeFiles/ext_gentree_ablation.dir/ext_gentree_ablation.cc.o.d"
+  "ext_gentree_ablation"
+  "ext_gentree_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_gentree_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_lsh_family.dir/ext_lsh_family.cc.o"
+  "CMakeFiles/ext_lsh_family.dir/ext_lsh_family.cc.o.d"
+  "ext_lsh_family"
+  "ext_lsh_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_lsh_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_lsh_family.
+# This may be replaced when dependencies are built.

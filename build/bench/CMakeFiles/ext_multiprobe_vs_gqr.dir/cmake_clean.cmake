@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multiprobe_vs_gqr.dir/ext_multiprobe_vs_gqr.cc.o"
+  "CMakeFiles/ext_multiprobe_vs_gqr.dir/ext_multiprobe_vs_gqr.cc.o.d"
+  "ext_multiprobe_vs_gqr"
+  "ext_multiprobe_vs_gqr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multiprobe_vs_gqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_multiprobe_vs_gqr.
+# This may be replaced when dependencies are built.

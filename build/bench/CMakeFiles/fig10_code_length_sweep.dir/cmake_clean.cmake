@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_code_length_sweep.dir/fig10_code_length_sweep.cc.o"
+  "CMakeFiles/fig10_code_length_sweep.dir/fig10_code_length_sweep.cc.o.d"
+  "fig10_code_length_sweep"
+  "fig10_code_length_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_code_length_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_multi_table.dir/fig12_multi_table.cc.o"
+  "CMakeFiles/fig12_multi_table.dir/fig12_multi_table.cc.o.d"
+  "fig12_multi_table"
+  "fig12_multi_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_multi_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_pcah_time_at_recall.dir/fig14_pcah_time_at_recall.cc.o"
+  "CMakeFiles/fig14_pcah_time_at_recall.dir/fig14_pcah_time_at_recall.cc.o.d"
+  "fig14_pcah_time_at_recall"
+  "fig14_pcah_time_at_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_pcah_time_at_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

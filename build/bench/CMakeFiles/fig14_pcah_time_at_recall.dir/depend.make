@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_pcah_time_at_recall.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_sh_recall_time.dir/fig15_sh_recall_time.cc.o"
+  "CMakeFiles/fig15_sh_recall_time.dir/fig15_sh_recall_time.cc.o.d"
+  "fig15_sh_recall_time"
+  "fig15_sh_recall_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_sh_recall_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

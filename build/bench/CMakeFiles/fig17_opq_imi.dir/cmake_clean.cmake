@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_opq_imi.dir/fig17_opq_imi.cc.o"
+  "CMakeFiles/fig17_opq_imi.dir/fig17_opq_imi.cc.o.d"
+  "fig17_opq_imi"
+  "fig17_opq_imi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_opq_imi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_opq_imi.
+# This may be replaced when dependencies are built.

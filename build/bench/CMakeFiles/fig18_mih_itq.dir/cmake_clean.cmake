@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_mih_itq.dir/fig18_mih_itq.cc.o"
+  "CMakeFiles/fig18_mih_itq.dir/fig18_mih_itq.cc.o.d"
+  "fig18_mih_itq"
+  "fig18_mih_itq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_mih_itq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

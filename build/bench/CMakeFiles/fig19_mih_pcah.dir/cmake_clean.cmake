@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_mih_pcah.dir/fig19_mih_pcah.cc.o"
+  "CMakeFiles/fig19_mih_pcah.dir/fig19_mih_pcah.cc.o.d"
+  "fig19_mih_pcah"
+  "fig19_mih_pcah.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_mih_pcah.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig19_mih_pcah.
+# This may be replaced when dependencies are built.

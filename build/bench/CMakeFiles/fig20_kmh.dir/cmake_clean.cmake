@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_kmh.dir/fig20_kmh.cc.o"
+  "CMakeFiles/fig20_kmh.dir/fig20_kmh.cc.o.d"
+  "fig20_kmh"
+  "fig20_kmh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_kmh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_22_additional_datasets.dir/fig21_22_additional_datasets.cc.o"
+  "CMakeFiles/fig21_22_additional_datasets.dir/fig21_22_additional_datasets.cc.o.d"
+  "fig21_22_additional_datasets"
+  "fig21_22_additional_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_22_additional_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

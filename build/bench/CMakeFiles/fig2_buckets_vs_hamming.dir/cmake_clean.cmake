@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_buckets_vs_hamming.dir/fig2_buckets_vs_hamming.cc.o"
+  "CMakeFiles/fig2_buckets_vs_hamming.dir/fig2_buckets_vs_hamming.cc.o.d"
+  "fig2_buckets_vs_hamming"
+  "fig2_buckets_vs_hamming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_buckets_vs_hamming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

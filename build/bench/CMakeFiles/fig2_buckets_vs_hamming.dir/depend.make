@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_buckets_vs_hamming.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_code_length_hr.dir/fig4_code_length_hr.cc.o"
+  "CMakeFiles/fig4_code_length_hr.dir/fig4_code_length_hr.cc.o.d"
+  "fig4_code_length_hr"
+  "fig4_code_length_hr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_code_length_hr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

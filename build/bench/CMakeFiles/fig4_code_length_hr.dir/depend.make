@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_code_length_hr.
+# This may be replaced when dependencies are built.

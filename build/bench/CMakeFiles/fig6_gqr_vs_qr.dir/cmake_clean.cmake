@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_gqr_vs_qr.dir/fig6_gqr_vs_qr.cc.o"
+  "CMakeFiles/fig6_gqr_vs_qr.dir/fig6_gqr_vs_qr.cc.o.d"
+  "fig6_gqr_vs_qr"
+  "fig6_gqr_vs_qr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_gqr_vs_qr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_gqr_vs_qr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_gqr_vs_hr.dir/fig7_gqr_vs_hr.cc.o"
+  "CMakeFiles/fig7_gqr_vs_hr.dir/fig7_gqr_vs_hr.cc.o.d"
+  "fig7_gqr_vs_hr"
+  "fig7_gqr_vs_hr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_gqr_vs_hr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

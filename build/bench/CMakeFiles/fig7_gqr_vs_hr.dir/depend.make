@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_gqr_vs_hr.
+# This may be replaced when dependencies are built.

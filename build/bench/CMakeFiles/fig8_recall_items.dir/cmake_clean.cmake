@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_recall_items.dir/fig8_recall_items.cc.o"
+  "CMakeFiles/fig8_recall_items.dir/fig8_recall_items.cc.o.d"
+  "fig8_recall_items"
+  "fig8_recall_items.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_recall_items.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

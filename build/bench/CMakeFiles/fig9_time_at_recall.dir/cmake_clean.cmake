@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_time_at_recall.dir/fig9_time_at_recall.cc.o"
+  "CMakeFiles/fig9_time_at_recall.dir/fig9_time_at_recall.cc.o.d"
+  "fig9_time_at_recall"
+  "fig9_time_at_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_time_at_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_learners.dir/compare_learners.cpp.o"
+  "CMakeFiles/compare_learners.dir/compare_learners.cpp.o.d"
+  "compare_learners"
+  "compare_learners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_learners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqr_cli.dir/gqr_cli.cpp.o"
+  "CMakeFiles/gqr_cli.dir/gqr_cli.cpp.o.d"
+  "gqr_cli"
+  "gqr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batch_search.cc" "src/CMakeFiles/gqr.dir/core/batch_search.cc.o" "gcc" "src/CMakeFiles/gqr.dir/core/batch_search.cc.o.d"
+  "/root/repo/src/core/c2lsh.cc" "src/CMakeFiles/gqr.dir/core/c2lsh.cc.o" "gcc" "src/CMakeFiles/gqr.dir/core/c2lsh.cc.o.d"
+  "/root/repo/src/core/generation_tree.cc" "src/CMakeFiles/gqr.dir/core/generation_tree.cc.o" "gcc" "src/CMakeFiles/gqr.dir/core/generation_tree.cc.o.d"
+  "/root/repo/src/core/ghr_prober.cc" "src/CMakeFiles/gqr.dir/core/ghr_prober.cc.o" "gcc" "src/CMakeFiles/gqr.dir/core/ghr_prober.cc.o.d"
+  "/root/repo/src/core/gqr_prober.cc" "src/CMakeFiles/gqr.dir/core/gqr_prober.cc.o" "gcc" "src/CMakeFiles/gqr.dir/core/gqr_prober.cc.o.d"
+  "/root/repo/src/core/hr_prober.cc" "src/CMakeFiles/gqr.dir/core/hr_prober.cc.o" "gcc" "src/CMakeFiles/gqr.dir/core/hr_prober.cc.o.d"
+  "/root/repo/src/core/mih_prober.cc" "src/CMakeFiles/gqr.dir/core/mih_prober.cc.o" "gcc" "src/CMakeFiles/gqr.dir/core/mih_prober.cc.o.d"
+  "/root/repo/src/core/multi_prober.cc" "src/CMakeFiles/gqr.dir/core/multi_prober.cc.o" "gcc" "src/CMakeFiles/gqr.dir/core/multi_prober.cc.o.d"
+  "/root/repo/src/core/multiprobe_lsh.cc" "src/CMakeFiles/gqr.dir/core/multiprobe_lsh.cc.o" "gcc" "src/CMakeFiles/gqr.dir/core/multiprobe_lsh.cc.o.d"
+  "/root/repo/src/core/qd.cc" "src/CMakeFiles/gqr.dir/core/qd.cc.o" "gcc" "src/CMakeFiles/gqr.dir/core/qd.cc.o.d"
+  "/root/repo/src/core/qr_prober.cc" "src/CMakeFiles/gqr.dir/core/qr_prober.cc.o" "gcc" "src/CMakeFiles/gqr.dir/core/qr_prober.cc.o.d"
+  "/root/repo/src/core/searcher.cc" "src/CMakeFiles/gqr.dir/core/searcher.cc.o" "gcc" "src/CMakeFiles/gqr.dir/core/searcher.cc.o.d"
+  "/root/repo/src/core/sklsh.cc" "src/CMakeFiles/gqr.dir/core/sklsh.cc.o" "gcc" "src/CMakeFiles/gqr.dir/core/sklsh.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/gqr.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/gqr.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/ground_truth.cc" "src/CMakeFiles/gqr.dir/data/ground_truth.cc.o" "gcc" "src/CMakeFiles/gqr.dir/data/ground_truth.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/gqr.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/gqr.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/data/vecs_io.cc" "src/CMakeFiles/gqr.dir/data/vecs_io.cc.o" "gcc" "src/CMakeFiles/gqr.dir/data/vecs_io.cc.o.d"
+  "/root/repo/src/eval/curve.cc" "src/CMakeFiles/gqr.dir/eval/curve.cc.o" "gcc" "src/CMakeFiles/gqr.dir/eval/curve.cc.o.d"
+  "/root/repo/src/eval/diagnostics.cc" "src/CMakeFiles/gqr.dir/eval/diagnostics.cc.o" "gcc" "src/CMakeFiles/gqr.dir/eval/diagnostics.cc.o.d"
+  "/root/repo/src/eval/harness.cc" "src/CMakeFiles/gqr.dir/eval/harness.cc.o" "gcc" "src/CMakeFiles/gqr.dir/eval/harness.cc.o.d"
+  "/root/repo/src/eval/linear_scan.cc" "src/CMakeFiles/gqr.dir/eval/linear_scan.cc.o" "gcc" "src/CMakeFiles/gqr.dir/eval/linear_scan.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/gqr.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/gqr.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/CMakeFiles/gqr.dir/eval/report.cc.o" "gcc" "src/CMakeFiles/gqr.dir/eval/report.cc.o.d"
+  "/root/repo/src/eval/tuner.cc" "src/CMakeFiles/gqr.dir/eval/tuner.cc.o" "gcc" "src/CMakeFiles/gqr.dir/eval/tuner.cc.o.d"
+  "/root/repo/src/hash/e2lsh.cc" "src/CMakeFiles/gqr.dir/hash/e2lsh.cc.o" "gcc" "src/CMakeFiles/gqr.dir/hash/e2lsh.cc.o.d"
+  "/root/repo/src/hash/itq.cc" "src/CMakeFiles/gqr.dir/hash/itq.cc.o" "gcc" "src/CMakeFiles/gqr.dir/hash/itq.cc.o.d"
+  "/root/repo/src/hash/kmh.cc" "src/CMakeFiles/gqr.dir/hash/kmh.cc.o" "gcc" "src/CMakeFiles/gqr.dir/hash/kmh.cc.o.d"
+  "/root/repo/src/hash/linear_hasher.cc" "src/CMakeFiles/gqr.dir/hash/linear_hasher.cc.o" "gcc" "src/CMakeFiles/gqr.dir/hash/linear_hasher.cc.o.d"
+  "/root/repo/src/hash/lsh.cc" "src/CMakeFiles/gqr.dir/hash/lsh.cc.o" "gcc" "src/CMakeFiles/gqr.dir/hash/lsh.cc.o.d"
+  "/root/repo/src/hash/pcah.cc" "src/CMakeFiles/gqr.dir/hash/pcah.cc.o" "gcc" "src/CMakeFiles/gqr.dir/hash/pcah.cc.o.d"
+  "/root/repo/src/hash/projection_hasher.cc" "src/CMakeFiles/gqr.dir/hash/projection_hasher.cc.o" "gcc" "src/CMakeFiles/gqr.dir/hash/projection_hasher.cc.o.d"
+  "/root/repo/src/hash/sh.cc" "src/CMakeFiles/gqr.dir/hash/sh.cc.o" "gcc" "src/CMakeFiles/gqr.dir/hash/sh.cc.o.d"
+  "/root/repo/src/hash/ssh.cc" "src/CMakeFiles/gqr.dir/hash/ssh.cc.o" "gcc" "src/CMakeFiles/gqr.dir/hash/ssh.cc.o.d"
+  "/root/repo/src/index/dynamic_table.cc" "src/CMakeFiles/gqr.dir/index/dynamic_table.cc.o" "gcc" "src/CMakeFiles/gqr.dir/index/dynamic_table.cc.o.d"
+  "/root/repo/src/index/hash_table.cc" "src/CMakeFiles/gqr.dir/index/hash_table.cc.o" "gcc" "src/CMakeFiles/gqr.dir/index/hash_table.cc.o.d"
+  "/root/repo/src/index/multi_table.cc" "src/CMakeFiles/gqr.dir/index/multi_table.cc.o" "gcc" "src/CMakeFiles/gqr.dir/index/multi_table.cc.o.d"
+  "/root/repo/src/la/eigen_sym.cc" "src/CMakeFiles/gqr.dir/la/eigen_sym.cc.o" "gcc" "src/CMakeFiles/gqr.dir/la/eigen_sym.cc.o.d"
+  "/root/repo/src/la/kmeans.cc" "src/CMakeFiles/gqr.dir/la/kmeans.cc.o" "gcc" "src/CMakeFiles/gqr.dir/la/kmeans.cc.o.d"
+  "/root/repo/src/la/matrix.cc" "src/CMakeFiles/gqr.dir/la/matrix.cc.o" "gcc" "src/CMakeFiles/gqr.dir/la/matrix.cc.o.d"
+  "/root/repo/src/la/pca.cc" "src/CMakeFiles/gqr.dir/la/pca.cc.o" "gcc" "src/CMakeFiles/gqr.dir/la/pca.cc.o.d"
+  "/root/repo/src/la/procrustes.cc" "src/CMakeFiles/gqr.dir/la/procrustes.cc.o" "gcc" "src/CMakeFiles/gqr.dir/la/procrustes.cc.o.d"
+  "/root/repo/src/la/svd.cc" "src/CMakeFiles/gqr.dir/la/svd.cc.o" "gcc" "src/CMakeFiles/gqr.dir/la/svd.cc.o.d"
+  "/root/repo/src/la/vector_ops.cc" "src/CMakeFiles/gqr.dir/la/vector_ops.cc.o" "gcc" "src/CMakeFiles/gqr.dir/la/vector_ops.cc.o.d"
+  "/root/repo/src/persist/model_io.cc" "src/CMakeFiles/gqr.dir/persist/model_io.cc.o" "gcc" "src/CMakeFiles/gqr.dir/persist/model_io.cc.o.d"
+  "/root/repo/src/persist/serializer.cc" "src/CMakeFiles/gqr.dir/persist/serializer.cc.o" "gcc" "src/CMakeFiles/gqr.dir/persist/serializer.cc.o.d"
+  "/root/repo/src/util/env.cc" "src/CMakeFiles/gqr.dir/util/env.cc.o" "gcc" "src/CMakeFiles/gqr.dir/util/env.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/gqr.dir/util/random.cc.o" "gcc" "src/CMakeFiles/gqr.dir/util/random.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/gqr.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/gqr.dir/util/thread_pool.cc.o.d"
+  "/root/repo/src/vq/imi.cc" "src/CMakeFiles/gqr.dir/vq/imi.cc.o" "gcc" "src/CMakeFiles/gqr.dir/vq/imi.cc.o.d"
+  "/root/repo/src/vq/opq.cc" "src/CMakeFiles/gqr.dir/vq/opq.cc.o" "gcc" "src/CMakeFiles/gqr.dir/vq/opq.cc.o.d"
+  "/root/repo/src/vq/pq.cc" "src/CMakeFiles/gqr.dir/vq/pq.cc.o" "gcc" "src/CMakeFiles/gqr.dir/vq/pq.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/angular_test.cc" "tests/CMakeFiles/gqr_tests.dir/angular_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/angular_test.cc.o.d"
+  "/root/repo/tests/batch_search_test.cc" "tests/CMakeFiles/gqr_tests.dir/batch_search_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/batch_search_test.cc.o.d"
+  "/root/repo/tests/c2lsh_test.cc" "tests/CMakeFiles/gqr_tests.dir/c2lsh_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/c2lsh_test.cc.o.d"
+  "/root/repo/tests/dataset_test.cc" "tests/CMakeFiles/gqr_tests.dir/dataset_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/dataset_test.cc.o.d"
+  "/root/repo/tests/diagnostics_test.cc" "tests/CMakeFiles/gqr_tests.dir/diagnostics_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/diagnostics_test.cc.o.d"
+  "/root/repo/tests/dynamic_table_test.cc" "tests/CMakeFiles/gqr_tests.dir/dynamic_table_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/dynamic_table_test.cc.o.d"
+  "/root/repo/tests/eigen_svd_test.cc" "tests/CMakeFiles/gqr_tests.dir/eigen_svd_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/eigen_svd_test.cc.o.d"
+  "/root/repo/tests/generation_tree_test.cc" "tests/CMakeFiles/gqr_tests.dir/generation_tree_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/generation_tree_test.cc.o.d"
+  "/root/repo/tests/gqr_prober_test.cc" "tests/CMakeFiles/gqr_tests.dir/gqr_prober_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/gqr_prober_test.cc.o.d"
+  "/root/repo/tests/ground_truth_test.cc" "tests/CMakeFiles/gqr_tests.dir/ground_truth_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/ground_truth_test.cc.o.d"
+  "/root/repo/tests/harness_test.cc" "tests/CMakeFiles/gqr_tests.dir/harness_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/harness_test.cc.o.d"
+  "/root/repo/tests/hash_table_test.cc" "tests/CMakeFiles/gqr_tests.dir/hash_table_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/hash_table_test.cc.o.d"
+  "/root/repo/tests/hashers_test.cc" "tests/CMakeFiles/gqr_tests.dir/hashers_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/hashers_test.cc.o.d"
+  "/root/repo/tests/imi_test.cc" "tests/CMakeFiles/gqr_tests.dir/imi_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/imi_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/gqr_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/kmeans_test.cc" "tests/CMakeFiles/gqr_tests.dir/kmeans_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/kmeans_test.cc.o.d"
+  "/root/repo/tests/kmh_test.cc" "tests/CMakeFiles/gqr_tests.dir/kmh_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/kmh_test.cc.o.d"
+  "/root/repo/tests/matrix_test.cc" "tests/CMakeFiles/gqr_tests.dir/matrix_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/matrix_test.cc.o.d"
+  "/root/repo/tests/mih_test.cc" "tests/CMakeFiles/gqr_tests.dir/mih_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/mih_test.cc.o.d"
+  "/root/repo/tests/multi_table_test.cc" "tests/CMakeFiles/gqr_tests.dir/multi_table_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/multi_table_test.cc.o.d"
+  "/root/repo/tests/multiprobe_lsh_test.cc" "tests/CMakeFiles/gqr_tests.dir/multiprobe_lsh_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/multiprobe_lsh_test.cc.o.d"
+  "/root/repo/tests/pca_test.cc" "tests/CMakeFiles/gqr_tests.dir/pca_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/pca_test.cc.o.d"
+  "/root/repo/tests/persist_fuzz_test.cc" "tests/CMakeFiles/gqr_tests.dir/persist_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/persist_fuzz_test.cc.o.d"
+  "/root/repo/tests/persist_test.cc" "tests/CMakeFiles/gqr_tests.dir/persist_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/persist_test.cc.o.d"
+  "/root/repo/tests/pq_opq_test.cc" "tests/CMakeFiles/gqr_tests.dir/pq_opq_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/pq_opq_test.cc.o.d"
+  "/root/repo/tests/probers_test.cc" "tests/CMakeFiles/gqr_tests.dir/probers_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/probers_test.cc.o.d"
+  "/root/repo/tests/property_sweep_test.cc" "tests/CMakeFiles/gqr_tests.dir/property_sweep_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/property_sweep_test.cc.o.d"
+  "/root/repo/tests/qd_test.cc" "tests/CMakeFiles/gqr_tests.dir/qd_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/qd_test.cc.o.d"
+  "/root/repo/tests/range_search_test.cc" "tests/CMakeFiles/gqr_tests.dir/range_search_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/range_search_test.cc.o.d"
+  "/root/repo/tests/report_test.cc" "tests/CMakeFiles/gqr_tests.dir/report_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/report_test.cc.o.d"
+  "/root/repo/tests/searcher_test.cc" "tests/CMakeFiles/gqr_tests.dir/searcher_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/searcher_test.cc.o.d"
+  "/root/repo/tests/sklsh_test.cc" "tests/CMakeFiles/gqr_tests.dir/sklsh_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/sklsh_test.cc.o.d"
+  "/root/repo/tests/ssh_test.cc" "tests/CMakeFiles/gqr_tests.dir/ssh_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/ssh_test.cc.o.d"
+  "/root/repo/tests/synthetic_test.cc" "tests/CMakeFiles/gqr_tests.dir/synthetic_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/synthetic_test.cc.o.d"
+  "/root/repo/tests/tuner_test.cc" "tests/CMakeFiles/gqr_tests.dir/tuner_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/tuner_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/gqr_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/vecs_io_test.cc" "tests/CMakeFiles/gqr_tests.dir/vecs_io_test.cc.o" "gcc" "tests/CMakeFiles/gqr_tests.dir/vecs_io_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gqr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
