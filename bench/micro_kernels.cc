@@ -1,0 +1,205 @@
+// Microbenchmark of the SIMD distance kernels: scalar reference vs the
+// runtime-dispatched implementation, per kernel and dimension, plus the
+// batched gather-evaluation path with and without software prefetch.
+// Emits BENCH_kernels.json (cwd) so kernel throughput is tracked across
+// PRs, and prints the same JSON to stdout.
+//
+// Usage: micro_kernels [output.json]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/eval_batch.h"
+#include "data/dataset.h"
+#include "la/simd_kernels.h"
+#include "la/vector_ops.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace gqr {
+namespace {
+
+volatile float g_sink = 0.f;  // Defeats dead-code elimination.
+
+void FillRandom(float* out, size_t n, Rng* rng) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(rng->UniformDouble() * 2.0 - 1.0);
+  }
+}
+
+// Times fn() until ~80ms have elapsed, returns ns per call. fn returns
+// a float that is folded into g_sink.
+template <typename Fn>
+double TimeNsPerCall(Fn fn) {
+  // Calibration pass.
+  size_t reps = 1;
+  for (;;) {
+    Timer t;
+    float acc = 0.f;
+    for (size_t r = 0; r < reps; ++r) acc += fn();
+    g_sink = g_sink + acc;
+    const double elapsed = t.ElapsedSeconds();
+    if (elapsed > 0.08) return elapsed * 1e9 / static_cast<double>(reps);
+    reps = elapsed < 1e-4 ? reps * 16 : reps * 2;
+  }
+}
+
+struct KernelReport {
+  std::string kernel;
+  size_t dim;
+  double scalar_ns;
+  double simd_ns;
+  double max_rel_err;
+};
+
+// Max relative disagreement between the scalar and dispatched kernels
+// over `trials` random pairs; the acceptance bound is 1e-4.
+double MaxRelErr(size_t dim, size_t trials, Rng* rng,
+                 float (*scalar)(const float*, const float*, size_t),
+                 float (*simd)(const float*, const float*, size_t)) {
+  std::vector<float> a(dim), b(dim);
+  double worst = 0.0;
+  for (size_t t = 0; t < trials; ++t) {
+    FillRandom(a.data(), dim, rng);
+    FillRandom(b.data(), dim, rng);
+    const double s = scalar(a.data(), b.data(), dim);
+    const double v = simd(a.data(), b.data(), dim);
+    const double scale = std::max({1.0, std::fabs(s), std::fabs(v)});
+    worst = std::max(worst, std::fabs(s - v) / scale);
+  }
+  return worst;
+}
+
+KernelReport BenchPairKernel(const char* name, size_t dim,
+                             float (*scalar)(const float*, const float*,
+                                             size_t),
+                             float (*simd)(const float*, const float*,
+                                           size_t)) {
+  Rng rng(1234);
+  // A pool of vectors larger than L2 cache would measure memory, not the
+  // kernel; keep the working set small so this is an ALU benchmark.
+  const size_t pool = 64;
+  std::vector<float> data(pool * dim);
+  FillRandom(data.data(), data.size(), &rng);
+  std::vector<float> query(dim);
+  FillRandom(query.data(), dim, &rng);
+
+  KernelReport r;
+  r.kernel = name;
+  r.dim = dim;
+  size_t i = 0;
+  r.scalar_ns = TimeNsPerCall([&] {
+    i = (i + 1) % pool;
+    return scalar(data.data() + i * dim, query.data(), dim);
+  });
+  i = 0;
+  r.simd_ns = TimeNsPerCall([&] {
+    i = (i + 1) % pool;
+    return simd(data.data() + i * dim, query.data(), dim);
+  });
+  r.max_rel_err = MaxRelErr(dim, 200, &rng, scalar, simd);
+  return r;
+}
+
+// The candidate-evaluation loop as the Searcher drives it: random row
+// gathers from a base too large for cache, with the batched (prefetching)
+// path against a naive per-candidate loop.
+struct BatchReport {
+  size_t n, dim, candidates;
+  double naive_ns_per_cand;
+  double batched_ns_per_cand;
+};
+
+BatchReport BenchBatchEval() {
+  Rng rng(99);
+  BatchReport r;
+  r.n = 200000;
+  r.dim = 128;
+  r.candidates = 20000;
+  std::vector<float> data(r.n * r.dim);
+  FillRandom(data.data(), data.size(), &rng);
+  Dataset base(r.n, r.dim, std::move(data));
+  std::vector<float> query(r.dim);
+  FillRandom(query.data(), r.dim, &rng);
+  std::vector<ItemId> ids(r.candidates);
+  for (auto& id : ids) id = static_cast<ItemId>(rng.Uniform(r.n));
+  std::vector<float> out(r.candidates);
+  const QueryContext ctx =
+      MakeQueryContext(query.data(), r.dim, Metric::kEuclidean);
+  const DistanceKernels& k = Kernels();
+
+  const double naive_ns = TimeNsPerCall([&] {
+    float acc = 0.f;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      acc += std::sqrt(k.squared_l2(
+          base.data() + static_cast<size_t>(ids[i]) * r.dim, query.data(),
+          r.dim));
+    }
+    return acc;
+  });
+  const double batched_ns = TimeNsPerCall([&] {
+    EvalDistancesBatch(query.data(), ctx, base, ids.data(), ids.size(),
+                       out.data());
+    return out[0];
+  });
+  r.naive_ns_per_cand = naive_ns / static_cast<double>(r.candidates);
+  r.batched_ns_per_cand = batched_ns / static_cast<double>(r.candidates);
+  return r;
+}
+
+int Run(const char* out_path) {
+  std::vector<KernelReport> reports;
+  const DistanceKernels& k = Kernels();
+  for (size_t dim : {16u, 64u, 128u, 256u, 960u}) {
+    reports.push_back(
+        BenchPairKernel("squared_l2", dim, SquaredL2Scalar, k.squared_l2));
+    reports.push_back(BenchPairKernel("dot", dim, DotScalar, k.dot));
+  }
+  const BatchReport batch = BenchBatchEval();
+
+  std::string json = "{\n";
+  json += "  \"simd_level\": \"" +
+          std::string(SimdLevelName(ActiveSimdLevel())) + "\",\n";
+  json += "  \"kernels\": [\n";
+  char buf[512];
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const KernelReport& r = reports[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"kernel\": \"%s\", \"dim\": %zu, "
+                  "\"scalar_ns\": %.2f, \"simd_ns\": %.2f, "
+                  "\"speedup\": %.2f, \"max_rel_err\": %.3g}%s\n",
+                  r.kernel.c_str(), r.dim, r.scalar_ns, r.simd_ns,
+                  r.scalar_ns / r.simd_ns, r.max_rel_err,
+                  i + 1 < reports.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"batch_eval\": {\"n\": %zu, \"dim\": %zu, "
+                "\"candidates\": %zu, \"naive_ns_per_candidate\": %.2f, "
+                "\"batched_ns_per_candidate\": %.2f, \"speedup\": %.2f}\n",
+                batch.n, batch.dim, batch.candidates, batch.naive_ns_per_cand,
+                batch.batched_ns_per_cand,
+                batch.naive_ns_per_cand / batch.batched_ns_per_cand);
+  json += buf;
+  json += "}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (std::FILE* f = std::fopen(out_path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", out_path);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gqr
+
+int main(int argc, char** argv) {
+  return gqr::Run(argc > 1 ? argv[1] : "BENCH_kernels.json");
+}

@@ -4,19 +4,32 @@
 
 namespace gqr {
 
+void BatchSearchInto(const Searcher& searcher, const BinaryHasher& hasher,
+                     const StaticHashTable& table, const Dataset& queries,
+                     QueryMethod method, const SearchOptions& options,
+                     std::vector<SearchResult>* results, ThreadPool* pool) {
+  results->resize(queries.size());
+  ParallelFor(0, queries.size(), [&](size_t q) {
+    const float* query = queries.Row(static_cast<ItemId>(q));
+    const QueryHashInfo info = hasher.HashQuery(query);
+    std::unique_ptr<BucketProber> prober = MakeProber(method, info, table);
+    // nullptr scratch = the worker thread's scratch, which persists
+    // across queries and batches on the pool's threads.
+    searcher.SearchInto(query, prober.get(), table, options,
+                        /*scratch=*/nullptr, &(*results)[q]);
+  }, /*min_parallel=*/2, pool);
+}
+
 std::vector<SearchResult> BatchSearch(const Searcher& searcher,
                                       const BinaryHasher& hasher,
                                       const StaticHashTable& table,
                                       const Dataset& queries,
                                       QueryMethod method,
-                                      const SearchOptions& options) {
-  std::vector<SearchResult> results(queries.size());
-  ParallelFor(0, queries.size(), [&](size_t q) {
-    const float* query = queries.Row(static_cast<ItemId>(q));
-    const QueryHashInfo info = hasher.HashQuery(query);
-    std::unique_ptr<BucketProber> prober = MakeProber(method, info, table);
-    results[q] = searcher.Search(query, prober.get(), table, options);
-  }, /*min_parallel=*/2);
+                                      const SearchOptions& options,
+                                      ThreadPool* pool) {
+  std::vector<SearchResult> results;
+  BatchSearchInto(searcher, hasher, table, queries, method, options, &results,
+                  pool);
   return results;
 }
 

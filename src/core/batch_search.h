@@ -2,9 +2,11 @@
 //
 // Each query gets its own prober (probers hold per-query state), so
 // queries are embarrassingly parallel; this helper shards the batch over
-// the process thread pool. Useful for offline evaluation and bulk
-// serving; the single-query Searcher path remains the latency-oriented
-// API.
+// a thread pool. Every worker thread drives the Searcher through its
+// thread-local SearchScratch, so after the first few queries per worker
+// the evaluation hot path stops allocating. Useful for offline evaluation
+// and bulk serving; the single-query Searcher path remains the
+// latency-oriented API.
 #ifndef GQR_CORE_BATCH_SEARCH_H_
 #define GQR_CORE_BATCH_SEARCH_H_
 
@@ -15,17 +17,30 @@
 #include "eval/harness.h"
 #include "hash/binary_hasher.h"
 #include "index/hash_table.h"
+#include "util/thread_pool.h"
 
 namespace gqr {
 
 /// Runs `method` for every row of `queries` against one table, in
-/// parallel. results[q] corresponds to queries.Row(q).
+/// parallel. results[q] corresponds to queries.Row(q). `pool` overrides
+/// the shared process pool (pass a 1-thread pool for deterministic
+/// single-threaded runs; results are identical either way).
 std::vector<SearchResult> BatchSearch(const Searcher& searcher,
                                       const BinaryHasher& hasher,
                                       const StaticHashTable& table,
                                       const Dataset& queries,
                                       QueryMethod method,
-                                      const SearchOptions& options);
+                                      const SearchOptions& options,
+                                      ThreadPool* pool = nullptr);
+
+/// As BatchSearch, but reuses `*results` (resized to the batch; element
+/// vectors keep their capacity), for callers that drain batches in a
+/// loop and want steady-state runs free of per-query allocations.
+void BatchSearchInto(const Searcher& searcher, const BinaryHasher& hasher,
+                     const StaticHashTable& table, const Dataset& queries,
+                     QueryMethod method, const SearchOptions& options,
+                     std::vector<SearchResult>* results,
+                     ThreadPool* pool = nullptr);
 
 }  // namespace gqr
 

@@ -1,0 +1,81 @@
+#include "core/eval_batch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/simd_kernels.h"
+#include "la/vector_ops.h"
+
+namespace gqr {
+
+namespace {
+
+// How many candidates ahead to prefetch. Rows are gathered from random
+// buckets, so each one is a likely cache miss; at dim 128 a row is 8
+// lines, and 4 candidates of headroom covers the miss latency without
+// evicting rows before they are scored.
+constexpr size_t kPrefetchAhead = 4;
+
+}  // namespace
+
+QueryContext MakeQueryContext(const float* query, size_t dim, Metric metric) {
+  QueryContext ctx;
+  ctx.metric = metric;
+  // Cached once per query; the per-candidate loop never recomputes it.
+  // Norm() uses the same dispatched dot kernel as the fused per-candidate
+  // evaluation, so cached-norm cosine matches one-shot CosineDistance.
+  if (metric == Metric::kAngular) ctx.query_norm = Norm(query, dim);
+  return ctx;
+}
+
+void EvalDistancesBatch(const float* query, const QueryContext& ctx,
+                        const Dataset& base, const ItemId* ids, size_t count,
+                        float* out) {
+  const float* data = base.data();
+  const size_t dim = base.dim();
+  const DistanceKernels& k = Kernels();
+  if (ctx.metric == Metric::kEuclidean) {
+    for (size_t i = 0; i < count; ++i) {
+      if (i + kPrefetchAhead < count) {
+        PrefetchRow(data + static_cast<size_t>(ids[i + kPrefetchAhead]) * dim,
+                    dim);
+      }
+      const float* row = data + static_cast<size_t>(ids[i]) * dim;
+      out[i] = std::sqrt(k.squared_l2(row, query, dim));
+    }
+    return;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if (i + kPrefetchAhead < count) {
+      PrefetchRow(data + static_cast<size_t>(ids[i + kPrefetchAhead]) * dim,
+                  dim);
+    }
+    const float* row = data + static_cast<size_t>(ids[i]) * dim;
+    float dot, row_norm2;
+    k.dot_and_norm(row, query, dim, &dot, &row_norm2);
+    out[i] = (row_norm2 == 0.f || ctx.query_norm == 0.f)
+                 ? 1.f
+                 : 1.f - dot / (std::sqrt(row_norm2) * ctx.query_norm);
+  }
+}
+
+void SearchScratch::BeginQuery(size_t base_size, bool need_visited) {
+  ids.clear();
+  distances.clear();
+  heap.clear();
+  if (!need_visited) return;
+  if (++epoch == 0) {
+    // Epoch counter wrapped (once per 2^32 queries): stale stamps could
+    // collide with the new epoch, so pay one full reset and restart at 1.
+    std::fill(visited.begin(), visited.end(), 0u);
+    epoch = 1;
+  }
+  if (visited.size() < base_size) visited.resize(base_size, 0u);
+}
+
+SearchScratch& ThreadLocalSearchScratch() {
+  thread_local SearchScratch scratch;
+  return scratch;
+}
+
+}  // namespace gqr

@@ -1,0 +1,89 @@
+// Batched candidate evaluation + reusable search scratch.
+//
+// The candidate-verification loop is the end-to-end bottleneck of every
+// querying method (bucket generation is O(log i) per probe; verification
+// is O(d) per candidate). This layer makes that loop fast and
+// allocation-free:
+//
+//  - QueryContext caches the per-query terms of the metric (the query
+//    norm for cosine) once, instead of recomputing them per candidate.
+//  - EvalDistancesBatch scores a whole bucket's candidates at once
+//    through the dispatched SIMD kernels, software-prefetching upcoming
+//    base rows while the current ones are being scored.
+//  - SearchScratch owns every buffer the Searcher hot path needs
+//    (candidate ids, distances, the top-k heap storage, and an
+//    epoch-stamped visited set replacing the per-query std::vector<bool>
+//    of multi-table search). Reusing one scratch across queries makes the
+//    hot path allocation-free after warmup.
+#ifndef GQR_CORE_EVAL_BATCH_H_
+#define GQR_CORE_EVAL_BATCH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/metric.h"
+#include "data/dataset.h"
+
+namespace gqr {
+
+/// Per-query constants of the metric, computed once per search.
+struct QueryContext {
+  Metric metric = Metric::kEuclidean;
+  /// |query|; only meaningful under Metric::kAngular.
+  float query_norm = 0.f;
+};
+
+/// Builds the context for one query (computes the query norm for cosine).
+QueryContext MakeQueryContext(const float* query, size_t dim, Metric metric);
+
+/// out[i] = distance(base.Row(ids[i]), query) under ctx.metric, for
+/// i in [0, count). Euclidean distances are true L2 (sqrt applied);
+/// angular is 1 - cosine with the cached query norm (1.0 when either
+/// vector has zero norm, matching CosineDistance). Prefetches rows a few
+/// candidates ahead so the gather's cache misses overlap the arithmetic.
+void EvalDistancesBatch(const float* query, const QueryContext& ctx,
+                        const Dataset& base, const ItemId* ids, size_t count,
+                        float* out);
+
+/// Reusable per-thread buffers for the Searcher hot path. A scratch may be
+/// reused across queries, searchers, and datasets (buffers only ever
+/// grow); it must not be shared by concurrent searches.
+struct SearchScratch {
+  /// Candidate ids of the bucket currently being evaluated.
+  std::vector<ItemId> ids;
+  /// Distances parallel to `ids`.
+  std::vector<float> distances;
+  /// Max-heap storage of the bounded top-k.
+  std::vector<std::pair<float, ItemId>> heap;
+  /// Epoch-stamped visited set for multi-table de-duplication:
+  /// visited[id] == epoch  <=>  id was already evaluated this query.
+  /// Bumping the epoch invalidates all stamps in O(1), so queries after
+  /// the first never touch (or zero) the whole array.
+  std::vector<uint32_t> visited;
+  uint32_t epoch = 0;
+
+  /// Starts a new query: clears the per-bucket buffers (keeping capacity)
+  /// and, when `need_visited`, advances the epoch and ensures the visited
+  /// array covers `base_size` items.
+  void BeginQuery(size_t base_size, bool need_visited);
+
+  /// True if `id` was already seen this query; marks it seen otherwise.
+  /// Only valid between BeginQuery(_, true) and the next BeginQuery.
+  bool CheckAndMarkSeen(ItemId id) {
+    uint32_t& stamp = visited[id];
+    if (stamp == epoch) return true;
+    stamp = epoch;
+    return false;
+  }
+};
+
+/// The calling thread's scratch; used by the Searcher when the caller
+/// does not pass one explicitly. Worker threads of the shared pool keep
+/// theirs alive across batches, so BatchSearch reuses buffers after the
+/// first few queries.
+SearchScratch& ThreadLocalSearchScratch();
+
+}  // namespace gqr
+
+#endif  // GQR_CORE_EVAL_BATCH_H_

@@ -1,0 +1,17 @@
+// Metric: the distance used for exact candidate verification. Split out
+// of searcher.h so the batched evaluation layer (eval_batch.h) can depend
+// on it without pulling in the full Searcher API.
+#ifndef GQR_CORE_METRIC_H_
+#define GQR_CORE_METRIC_H_
+
+namespace gqr {
+
+/// Distance metric for the final rerank.
+enum class Metric {
+  kEuclidean,
+  kAngular,  // 1 - cosine; for the angular-QD extension.
+};
+
+}  // namespace gqr
+
+#endif  // GQR_CORE_METRIC_H_

@@ -3,142 +3,196 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <queue>
 
-#include "la/vector_ops.h"
+#include "core/eval_batch.h"
 
 namespace gqr {
 
 namespace {
 
-// Bounded top-k by exact distance. Keeps a max-heap of size k; the root
-// is the running k-th best, which doubles as the early-stop threshold.
+// Bounded top-k by exact distance. A max-heap whose root is the running
+// k-th best distance, which doubles as the early-stop threshold. Storage
+// lives in the caller's scratch so repeated searches reuse it.
 class TopK {
  public:
-  explicit TopK(size_t k) : k_(k) {}
+  TopK(size_t k, std::vector<std::pair<float, ItemId>>* heap)
+      : k_(k), heap_(heap) {
+    heap_->clear();
+  }
 
   void Offer(float distance, ItemId id) {
-    if (heap_.size() < k_) {
-      heap_.emplace(distance, id);
-    } else if (distance < heap_.top().first) {
-      heap_.pop();
-      heap_.emplace(distance, id);
+    if (heap_->size() < k_) {
+      heap_->emplace_back(distance, id);
+      std::push_heap(heap_->begin(), heap_->end());
+    } else if (distance < heap_->front().first) {
+      std::pop_heap(heap_->begin(), heap_->end());
+      heap_->back() = {distance, id};
+      std::push_heap(heap_->begin(), heap_->end());
     }
   }
 
-  bool full() const { return heap_.size() >= k_; }
-  float worst() const { return heap_.top().first; }
+  bool full() const { return heap_->size() >= k_; }
+  float worst() const { return heap_->front().first; }
 
   void Drain(std::vector<ItemId>* ids, std::vector<float>* distances) {
-    ids->resize(heap_.size());
-    distances->resize(heap_.size());
-    for (size_t i = heap_.size(); i-- > 0;) {
-      (*ids)[i] = heap_.top().second;
-      (*distances)[i] = heap_.top().first;
-      heap_.pop();
+    ids->resize(heap_->size());
+    distances->resize(heap_->size());
+    for (size_t i = heap_->size(); i-- > 0;) {
+      std::pop_heap(heap_->begin(), heap_->end());
+      (*ids)[i] = heap_->back().second;
+      (*distances)[i] = heap_->back().first;
+      heap_->pop_back();
     }
   }
 
  private:
   size_t k_;
-  std::priority_queue<std::pair<float, ItemId>> heap_;
+  std::vector<std::pair<float, ItemId>>* heap_;
 };
-
-inline float EvalDistance(const float* a, const float* b, size_t dim,
-                          Metric metric) {
-  return metric == Metric::kEuclidean ? L2Distance(a, b, dim)
-                                      : CosineDistance(a, b, dim);
-}
 
 }  // namespace
 
 template <typename ProbeFn>
-SearchResult Searcher::SearchImpl(const float* query, BucketProber* prober,
-                                  const SearchOptions& options,
-                                  size_t num_tables, ProbeFn probe) const {
+void Searcher::SearchImpl(const float* query, BucketProber* prober,
+                          const SearchOptions& options, size_t num_tables,
+                          ProbeFn probe, SearchScratch* scratch,
+                          SearchResult* result) const {
   assert(options.k > 0);
-  SearchResult result;
-  TopK top(options.k);
+  SearchScratch& s = scratch != nullptr ? *scratch : ThreadLocalSearchScratch();
+  result->Clear();
+  SearchStats& stats = result->stats;
   // De-duplication across tables; a single table partitions the items so
-  // no bitmap is needed.
-  std::vector<bool> seen;
-  if (num_tables > 1) seen.assign(base_->size(), false);
+  // no visited set is needed.
+  const bool dedup = num_tables > 1;
+  s.BeginQuery(base_->size(), dedup);
+  const QueryContext ctx = MakeQueryContext(query, base_->dim(),
+                                            options.metric);
+  TopK top(options.k, &s.heap);
 
   ProbeTarget target;
   while (prober->Next(&target)) {
-    ++result.stats.buckets_probed;
+    ++stats.buckets_probed;
     std::span<const ItemId> items = probe(target);
-    if (!items.empty()) ++result.stats.buckets_nonempty;
+    if (!items.empty()) ++stats.buckets_nonempty;
+    // Gather the bucket's fresh candidates, then score them in one
+    // batched pass (whole buckets are evaluated even when they overshoot
+    // the candidate budget, as before).
+    s.ids.clear();
     for (ItemId id : items) {
-      if (num_tables > 1) {
-        if (seen[id]) {
-          ++result.stats.duplicates_skipped;
-          continue;
-        }
-        seen[id] = true;
+      if (dedup && s.CheckAndMarkSeen(id)) {
+        ++stats.duplicates_skipped;
+        continue;
       }
-      const float d = EvalDistance(base_->Row(id), query, base_->dim(),
-                                   options.metric);
-      ++result.stats.items_evaluated;
-      top.Offer(d, id);
+      s.ids.push_back(id);
+    }
+    if (!s.ids.empty()) {
+      s.distances.resize(s.ids.size());
+      EvalDistancesBatch(query, ctx, *base_, s.ids.data(), s.ids.size(),
+                         s.distances.data());
+      for (size_t i = 0; i < s.ids.size(); ++i) {
+        top.Offer(s.distances[i], s.ids[i]);
+      }
+      stats.items_evaluated += s.ids.size();
     }
     if (options.max_candidates != 0 &&
-        result.stats.items_evaluated >= options.max_candidates) {
+        stats.items_evaluated >= options.max_candidates) {
       break;
     }
     if (options.max_buckets != 0 &&
-        result.stats.buckets_probed >= options.max_buckets) {
+        stats.buckets_probed >= options.max_buckets) {
       break;
     }
     // Early stop of §4.1: all remaining buckets have score >= last_score,
     // and mu * QD lower-bounds the true distance of their items.
     if (options.early_stop_mu > 0.0 && top.full() &&
         options.early_stop_mu * prober->last_score() >= top.worst()) {
-      result.stats.early_stopped = true;
+      stats.early_stopped = true;
       break;
     }
   }
-  top.Drain(&result.ids, &result.distances);
-  return result;
+  top.Drain(&result->ids, &result->distances);
+}
+
+void Searcher::SearchInto(const float* query, BucketProber* prober,
+                          const StaticHashTable& table,
+                          const SearchOptions& options, SearchScratch* scratch,
+                          SearchResult* result) const {
+  SearchImpl(query, prober, options, /*num_tables=*/1,
+             [&](const ProbeTarget& t) { return table.Probe(t.bucket); },
+             scratch, result);
+}
+
+void Searcher::SearchInto(const float* query, BucketProber* prober,
+                          const DynamicHashTable& table,
+                          const SearchOptions& options, SearchScratch* scratch,
+                          SearchResult* result) const {
+  SearchImpl(query, prober, options, /*num_tables=*/1,
+             [&](const ProbeTarget& t) { return table.Probe(t.bucket); },
+             scratch, result);
+}
+
+void Searcher::SearchInto(const float* query, BucketProber* prober,
+                          const MultiTableIndex& index,
+                          const SearchOptions& options, SearchScratch* scratch,
+                          SearchResult* result) const {
+  SearchImpl(query, prober, options, index.num_tables(),
+             [&](const ProbeTarget& t) {
+               return index.table(t.table).Probe(t.bucket);
+             },
+             scratch, result);
 }
 
 SearchResult Searcher::Search(const float* query, BucketProber* prober,
                               const StaticHashTable& table,
-                              const SearchOptions& options) const {
-  return SearchImpl(query, prober, options, /*num_tables=*/1,
-                    [&](const ProbeTarget& t) { return table.Probe(t.bucket); });
+                              const SearchOptions& options,
+                              SearchScratch* scratch) const {
+  SearchResult result;
+  SearchInto(query, prober, table, options, scratch, &result);
+  return result;
 }
 
 SearchResult Searcher::Search(const float* query, BucketProber* prober,
                               const DynamicHashTable& table,
-                              const SearchOptions& options) const {
-  return SearchImpl(query, prober, options, /*num_tables=*/1,
-                    [&](const ProbeTarget& t) { return table.Probe(t.bucket); });
+                              const SearchOptions& options,
+                              SearchScratch* scratch) const {
+  SearchResult result;
+  SearchInto(query, prober, table, options, scratch, &result);
+  return result;
 }
 
 SearchResult Searcher::Search(const float* query, BucketProber* prober,
                               const MultiTableIndex& index,
-                              const SearchOptions& options) const {
-  return SearchImpl(query, prober, options, index.num_tables(),
-                    [&](const ProbeTarget& t) {
-                      return index.table(t.table).Probe(t.bucket);
-                    });
+                              const SearchOptions& options,
+                              SearchScratch* scratch) const {
+  SearchResult result;
+  SearchInto(query, prober, index, options, scratch, &result);
+  return result;
 }
 
 SearchResult Searcher::RangeSearch(const float* query, BucketProber* prober,
-                                   const StaticHashTable& table,
-                                   float radius, double mu) const {
+                                   const StaticHashTable& table, float radius,
+                                   double mu, Metric metric,
+                                   SearchScratch* scratch) const {
+  SearchScratch& s = scratch != nullptr ? *scratch : ThreadLocalSearchScratch();
+  s.BeginQuery(base_->size(), /*need_visited=*/false);
+  const QueryContext ctx = MakeQueryContext(query, base_->dim(), metric);
   SearchResult result;
   std::vector<std::pair<float, ItemId>> hits;
   ProbeTarget target;
   while (prober->Next(&target)) {
     ++result.stats.buckets_probed;
     std::span<const ItemId> items = table.Probe(target.bucket);
-    if (!items.empty()) ++result.stats.buckets_nonempty;
-    for (ItemId id : items) {
-      const float d = L2Distance(base_->Row(id), query, base_->dim());
-      ++result.stats.items_evaluated;
-      if (d <= radius) hits.emplace_back(d, id);
+    if (!items.empty()) {
+      ++result.stats.buckets_nonempty;
+      s.ids.assign(items.begin(), items.end());
+      s.distances.resize(s.ids.size());
+      EvalDistancesBatch(query, ctx, *base_, s.ids.data(), s.ids.size(),
+                         s.distances.data());
+      for (size_t i = 0; i < s.ids.size(); ++i) {
+        if (s.distances[i] <= radius) hits.emplace_back(s.distances[i],
+                                                        s.ids[i]);
+      }
+      result.stats.items_evaluated += s.ids.size();
     }
     // Distance-threshold stop of §4.1: every unprobed bucket b has
     // QD >= last_score, and items in b are at distance >= mu * QD(b).
@@ -157,22 +211,44 @@ SearchResult Searcher::RangeSearch(const float* query, BucketProber* prober,
   return result;
 }
 
+void Searcher::RerankCandidatesInto(const float* query,
+                                    const std::vector<ItemId>& candidates,
+                                    const SearchOptions& options,
+                                    SearchScratch* scratch,
+                                    SearchResult* result) const {
+  SearchScratch& s = scratch != nullptr ? *scratch : ThreadLocalSearchScratch();
+  result->Clear();
+  s.BeginQuery(base_->size(), /*need_visited=*/false);
+  const QueryContext ctx = MakeQueryContext(query, base_->dim(),
+                                            options.metric);
+  TopK top(options.k, &s.heap);
+  // The candidate list is already in the caller's order; evaluate the
+  // first max_candidates of it (matching the per-item budget check of the
+  // probing path), chunked so the distance buffer stays cache-resident.
+  size_t limit = candidates.size();
+  if (options.max_candidates != 0) {
+    limit = std::min(limit, options.max_candidates);
+  }
+  constexpr size_t kChunk = 1024;
+  for (size_t start = 0; start < limit; start += kChunk) {
+    const size_t n = std::min(kChunk, limit - start);
+    s.distances.resize(std::max(s.distances.size(), n));
+    EvalDistancesBatch(query, ctx, *base_, candidates.data() + start, n,
+                       s.distances.data());
+    for (size_t i = 0; i < n; ++i) {
+      top.Offer(s.distances[i], candidates[start + i]);
+    }
+    result->stats.items_evaluated += n;
+  }
+  top.Drain(&result->ids, &result->distances);
+}
+
 SearchResult Searcher::RerankCandidates(const float* query,
                                         const std::vector<ItemId>& candidates,
-                                        const SearchOptions& options) const {
+                                        const SearchOptions& options,
+                                        SearchScratch* scratch) const {
   SearchResult result;
-  TopK top(options.k);
-  for (ItemId id : candidates) {
-    const float d =
-        EvalDistance(base_->Row(id), query, base_->dim(), options.metric);
-    ++result.stats.items_evaluated;
-    top.Offer(d, id);
-    if (options.max_candidates != 0 &&
-        result.stats.items_evaluated >= options.max_candidates) {
-      break;
-    }
-  }
-  top.Drain(&result.ids, &result.distances);
+  RerankCandidatesInto(query, candidates, options, scratch, &result);
   return result;
 }
 

@@ -8,12 +8,21 @@
 // optional bucket budget, and the optional QD-based early stop of §4.1
 // (stop once mu * score of the current bucket can no longer beat the
 // running k-th nearest distance).
+//
+// Candidates are evaluated a bucket at a time through the batched SIMD
+// eval path (core/eval_batch.h), with per-query metric constants cached
+// up front. All working memory lives in a SearchScratch; callers that
+// pass nullptr get a per-thread scratch, so steady-state searches perform
+// no heap allocations beyond the returned result vectors — and none at
+// all through the *Into entry points once result capacity has warmed up.
 #ifndef GQR_CORE_SEARCHER_H_
 #define GQR_CORE_SEARCHER_H_
 
 #include <cstddef>
 #include <vector>
 
+#include "core/eval_batch.h"
+#include "core/metric.h"
 #include "core/prober.h"
 #include "data/dataset.h"
 #include "index/dynamic_table.h"
@@ -21,12 +30,6 @@
 #include "index/multi_table.h"
 
 namespace gqr {
-
-/// Distance metric for the final rerank.
-enum class Metric {
-  kEuclidean,
-  kAngular,  // 1 - cosine; for the angular-QD extension.
-};
 
 struct SearchOptions {
   /// Number of neighbors to return.
@@ -59,6 +62,13 @@ struct SearchResult {
   /// Exact distances, parallel to ids.
   std::vector<float> distances;
   SearchStats stats;
+
+  /// Empties the result for reuse, keeping vector capacity.
+  void Clear() {
+    ids.clear();
+    distances.clear();
+    stats = SearchStats{};
+  }
 };
 
 class Searcher {
@@ -66,48 +76,73 @@ class Searcher {
   /// The searcher borrows the base set; it must outlive the searcher.
   explicit Searcher(const Dataset& base) : base_(&base) {}
 
-  /// Single-table search: probes `table` in the prober's order.
+  /// Single-table search: probes `table` in the prober's order. A null
+  /// `scratch` uses the calling thread's scratch.
   SearchResult Search(const float* query, BucketProber* prober,
                       const StaticHashTable& table,
-                      const SearchOptions& options) const;
+                      const SearchOptions& options,
+                      SearchScratch* scratch = nullptr) const;
 
   /// Multi-table search: ProbeTarget::table selects the table; items seen
-  /// in an earlier table are de-duplicated.
+  /// in an earlier table are de-duplicated (epoch-stamped visited set).
   SearchResult Search(const float* query, BucketProber* prober,
                       const MultiTableIndex& index,
-                      const SearchOptions& options) const;
+                      const SearchOptions& options,
+                      SearchScratch* scratch = nullptr) const;
 
   /// Search over a mutable index (streaming ingest/delete). Only
   /// generate-to-probe probers (GQR/GHR) apply — HR/QR need the bucket
   /// list of a frozen table.
   SearchResult Search(const float* query, BucketProber* prober,
                       const DynamicHashTable& table,
-                      const SearchOptions& options) const;
+                      const SearchOptions& options,
+                      SearchScratch* scratch = nullptr) const;
+
+  /// Allocation-free variants: results are written into `*result`
+  /// (cleared first, capacity reused). These are what BatchSearch drives;
+  /// with a warm scratch and result they do not touch the heap.
+  void SearchInto(const float* query, BucketProber* prober,
+                  const StaticHashTable& table, const SearchOptions& options,
+                  SearchScratch* scratch, SearchResult* result) const;
+  void SearchInto(const float* query, BucketProber* prober,
+                  const MultiTableIndex& index, const SearchOptions& options,
+                  SearchScratch* scratch, SearchResult* result) const;
+  void SearchInto(const float* query, BucketProber* prober,
+                  const DynamicHashTable& table, const SearchOptions& options,
+                  SearchScratch* scratch, SearchResult* result) const;
 
   /// Reranks an explicit candidate list (used by the MIH and IMI paths,
   /// which generate candidates rather than buckets).
   SearchResult RerankCandidates(const float* query,
                                 const std::vector<ItemId>& candidates,
-                                const SearchOptions& options) const;
+                                const SearchOptions& options,
+                                SearchScratch* scratch = nullptr) const;
+  void RerankCandidatesInto(const float* query,
+                            const std::vector<ItemId>& candidates,
+                            const SearchOptions& options,
+                            SearchScratch* scratch,
+                            SearchResult* result) const;
 
   /// Range search (§4.1's distance-threshold early stop): returns every
-  /// probed item within Euclidean `radius` of the query, ascending by
-  /// distance. With mu > 0 (the Theorem 2 constant of the prober's
+  /// probed item within `radius` of the query under `metric`, ascending
+  /// by distance. With mu > 0 (the Theorem 2 constant of the prober's
   /// hasher) probing stops once mu * score >= radius — and because
   /// mu * QD lower-bounds the distance to every item of every unprobed
   /// bucket, the result is then *exact*: no in-range item is missed.
   /// With mu == 0 the prober is exhausted (still exact, just slower).
   SearchResult RangeSearch(const float* query, BucketProber* prober,
                            const StaticHashTable& table, float radius,
-                           double mu) const;
+                           double mu, Metric metric = Metric::kEuclidean,
+                           SearchScratch* scratch = nullptr) const;
 
   const Dataset& base() const { return *base_; }
 
  private:
   template <typename ProbeFn>
-  SearchResult SearchImpl(const float* query, BucketProber* prober,
-                          const SearchOptions& options, size_t num_tables,
-                          ProbeFn probe) const;
+  void SearchImpl(const float* query, BucketProber* prober,
+                  const SearchOptions& options, size_t num_tables,
+                  ProbeFn probe, SearchScratch* scratch,
+                  SearchResult* result) const;
 
   const Dataset* base_;
 };

@@ -5,25 +5,40 @@
 #include <cmath>
 #include <queue>
 
-#include "la/vector_ops.h"
+#include "la/simd_kernels.h"
 #include "util/parallel_for.h"
 
 namespace gqr {
 
 Neighbors BruteForceKnn(const Dataset& base, const float* query, size_t k) {
   assert(k > 0 && k <= base.size());
+  const size_t dim = base.dim();
+  const float* data = base.data();
+  const DistanceKernels& kernels = Kernels();
   // Bounded max-heap of (squared distance, id): the root is the worst of
   // the current best k, evicted whenever something closer shows up.
   using Entry = std::pair<float, ItemId>;
   std::priority_queue<Entry> heap;
-  for (size_t i = 0; i < base.size(); ++i) {
-    const float sq =
-        SquaredL2(base.Row(static_cast<ItemId>(i)), query, base.dim());
-    if (heap.size() < k) {
-      heap.emplace(sq, static_cast<ItemId>(i));
-    } else if (sq < heap.top().first) {
-      heap.pop();
-      heap.emplace(sq, static_cast<ItemId>(i));
+  // Score rows in blocks through the dispatched kernel so the heap
+  // bookkeeping stays out of the distance loop; the scan is sequential,
+  // so prefetching two rows ahead is enough to stay in front of it.
+  constexpr size_t kBlock = 64;
+  float d2[kBlock];
+  for (size_t start = 0; start < base.size(); start += kBlock) {
+    const size_t count = std::min(kBlock, base.size() - start);
+    const float* rows = data + start * dim;
+    for (size_t j = 0; j < count; ++j) {
+      if (j + 2 < count) PrefetchRow(rows + (j + 2) * dim, dim);
+      d2[j] = kernels.squared_l2(rows + j * dim, query, dim);
+    }
+    for (size_t j = 0; j < count; ++j) {
+      const auto id = static_cast<ItemId>(start + j);
+      if (heap.size() < k) {
+        heap.emplace(d2[j], id);
+      } else if (d2[j] < heap.top().first) {
+        heap.pop();
+        heap.emplace(d2[j], id);
+      }
     }
   }
   Neighbors out;

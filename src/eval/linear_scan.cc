@@ -11,6 +11,9 @@ LinearScanResult TimeLinearScan(const Dataset& base, const Dataset& queries,
   result.queries = queries.size();
   result.k = k;
   Timer timer;
+  // BruteForceKnn streams the base through the dispatched SIMD kernels
+  // (blocked evaluation, la/simd_kernels.h), so this measures the true
+  // hardware linear-scan floor the recall-time curves are compared to.
   volatile float sink = 0.f;  // Keep the scan from being optimized away.
   for (size_t q = 0; q < queries.size(); ++q) {
     Neighbors n = BruteForceKnn(base, queries.Row(static_cast<ItemId>(q)), k);

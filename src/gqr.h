@@ -19,6 +19,7 @@
 
 #include "core/batch_search.h"
 #include "core/c2lsh.h"
+#include "core/eval_batch.h"
 #include "core/generation_tree.h"
 #include "core/ghr_prober.h"
 #include "core/gqr_prober.h"
@@ -54,6 +55,7 @@
 #include "index/dynamic_table.h"
 #include "index/hash_table.h"
 #include "index/multi_table.h"
+#include "la/simd_kernels.h"
 #include "persist/model_io.h"
 #include "persist/serializer.h"
 #include "util/bits.h"

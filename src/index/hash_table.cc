@@ -74,7 +74,13 @@ uint32_t StaticHashTable::FindBucket(Code code) const {
 std::span<const ItemId> StaticHashTable::Probe(Code code) const {
   const uint32_t b = FindBucket(code);
   if (b == kNotFound) return {};
-  return bucket_items(b);
+  std::span<const ItemId> items = bucket_items(b);
+#if defined(__GNUC__) || defined(__clang__)
+  // The caller is about to stream this id span into the candidate
+  // gather; start pulling its first lines while it sets up.
+  __builtin_prefetch(items.data(), 0, 3);
+#endif
+  return items;
 }
 
 size_t StaticHashTable::MaxBucketSize() const {

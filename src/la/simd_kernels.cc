@@ -1,0 +1,284 @@
+#include "la/simd_kernels.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define GQR_X86 1
+#include <immintrin.h>
+#endif
+
+namespace gqr {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels. The lane counts (4 for squared L2, 2 for the
+// dot family) keep the FP dependency chains short and let the compiler
+// autovectorize at the baseline ISA. The fused kernels accumulate each
+// quantity with exactly the pattern of its standalone kernel, so fused and
+// standalone results agree (see the consistency contract in the header).
+// ---------------------------------------------------------------------------
+
+float SquaredL2Scalar(const float* a, const float* b, size_t dim) {
+  float s0 = 0.f, s1 = 0.f, s2 = 0.f, s3 = 0.f;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  float s = (s0 + s1) + (s2 + s3);
+  for (; i < dim; ++i) {
+    const float d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+float DotScalar(const float* a, const float* b, size_t dim) {
+  float s0 = 0.f, s1 = 0.f;
+  size_t i = 0;
+  for (; i + 2 <= dim; i += 2) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+  }
+  float s = s0 + s1;
+  for (; i < dim; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void DotAndNormScalar(const float* a, const float* b, size_t dim,
+                      float* dot, float* a_norm2) {
+  float d0 = 0.f, d1 = 0.f, n0 = 0.f, n1 = 0.f;
+  size_t i = 0;
+  for (; i + 2 <= dim; i += 2) {
+    d0 += a[i] * b[i];
+    d1 += a[i + 1] * b[i + 1];
+    n0 += a[i] * a[i];
+    n1 += a[i + 1] * a[i + 1];
+  }
+  float d = d0 + d1, n = n0 + n1;
+  for (; i < dim; ++i) {
+    d += a[i] * b[i];
+    n += a[i] * a[i];
+  }
+  *dot = d;
+  *a_norm2 = n;
+}
+
+void DotAndNormsScalar(const float* a, const float* b, size_t dim,
+                       float* dot, float* a_norm2, float* b_norm2) {
+  float d0 = 0.f, d1 = 0.f, na0 = 0.f, na1 = 0.f, nb0 = 0.f, nb1 = 0.f;
+  size_t i = 0;
+  for (; i + 2 <= dim; i += 2) {
+    d0 += a[i] * b[i];
+    d1 += a[i + 1] * b[i + 1];
+    na0 += a[i] * a[i];
+    na1 += a[i + 1] * a[i + 1];
+    nb0 += b[i] * b[i];
+    nb1 += b[i + 1] * b[i + 1];
+  }
+  float d = d0 + d1, na = na0 + na1, nb = nb0 + nb1;
+  for (; i < dim; ++i) {
+    d += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  *dot = d;
+  *a_norm2 = na;
+  *b_norm2 = nb;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 + FMA kernels. Compiled with a per-function target attribute so the
+// rest of the build stays at the baseline ISA; only called after the cpuid
+// check below. Canonical skeleton per accumulated quantity: two 8-wide FMA
+// accumulators over 16-element blocks, one 8-wide remainder block, a fixed
+// horizontal sum, then a scalar tail — identical across the standalone and
+// fused kernels so their results match bit for bit.
+// ---------------------------------------------------------------------------
+
+#if defined(GQR_X86)
+
+#define GQR_TARGET_AVX2 __attribute__((target("avx2,fma")))
+
+namespace {
+
+GQR_TARGET_AVX2 inline float Hsum8(__m256 v) {
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(v),
+                        _mm256_extractf128_ps(v, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+GQR_TARGET_AVX2 float SquaredL2Avx2(const float* a, const float* b,
+                                    size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m256 d0 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    const __m256 d1 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i + 8), _mm256_loadu_ps(b + i + 8));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  if (i + 8 <= dim) {
+    const __m256 d =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc0 = _mm256_fmadd_ps(d, d, acc0);
+    i += 8;
+  }
+  float s = Hsum8(_mm256_add_ps(acc0, acc1));
+  for (; i < dim; ++i) {
+    const float d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+GQR_TARGET_AVX2 float DotAvx2(const float* a, const float* b, size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  if (i + 8 <= dim) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    i += 8;
+  }
+  float s = Hsum8(_mm256_add_ps(acc0, acc1));
+  for (; i < dim; ++i) s += a[i] * b[i];
+  return s;
+}
+
+GQR_TARGET_AVX2 void DotAndNormAvx2(const float* a, const float* b,
+                                    size_t dim, float* dot, float* a_norm2) {
+  __m256 d0 = _mm256_setzero_ps(), d1 = _mm256_setzero_ps();
+  __m256 n0 = _mm256_setzero_ps(), n1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m256 a0 = _mm256_loadu_ps(a + i);
+    const __m256 a1 = _mm256_loadu_ps(a + i + 8);
+    d0 = _mm256_fmadd_ps(a0, _mm256_loadu_ps(b + i), d0);
+    d1 = _mm256_fmadd_ps(a1, _mm256_loadu_ps(b + i + 8), d1);
+    n0 = _mm256_fmadd_ps(a0, a0, n0);
+    n1 = _mm256_fmadd_ps(a1, a1, n1);
+  }
+  if (i + 8 <= dim) {
+    const __m256 a0 = _mm256_loadu_ps(a + i);
+    d0 = _mm256_fmadd_ps(a0, _mm256_loadu_ps(b + i), d0);
+    n0 = _mm256_fmadd_ps(a0, a0, n0);
+    i += 8;
+  }
+  float d = Hsum8(_mm256_add_ps(d0, d1));
+  float n = Hsum8(_mm256_add_ps(n0, n1));
+  for (; i < dim; ++i) {
+    d += a[i] * b[i];
+    n += a[i] * a[i];
+  }
+  *dot = d;
+  *a_norm2 = n;
+}
+
+GQR_TARGET_AVX2 void DotAndNormsAvx2(const float* a, const float* b,
+                                     size_t dim, float* dot, float* a_norm2,
+                                     float* b_norm2) {
+  __m256 d0 = _mm256_setzero_ps(), d1 = _mm256_setzero_ps();
+  __m256 na0 = _mm256_setzero_ps(), na1 = _mm256_setzero_ps();
+  __m256 nb0 = _mm256_setzero_ps(), nb1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m256 a0 = _mm256_loadu_ps(a + i);
+    const __m256 a1 = _mm256_loadu_ps(a + i + 8);
+    const __m256 b0 = _mm256_loadu_ps(b + i);
+    const __m256 b1 = _mm256_loadu_ps(b + i + 8);
+    d0 = _mm256_fmadd_ps(a0, b0, d0);
+    d1 = _mm256_fmadd_ps(a1, b1, d1);
+    na0 = _mm256_fmadd_ps(a0, a0, na0);
+    na1 = _mm256_fmadd_ps(a1, a1, na1);
+    nb0 = _mm256_fmadd_ps(b0, b0, nb0);
+    nb1 = _mm256_fmadd_ps(b1, b1, nb1);
+  }
+  if (i + 8 <= dim) {
+    const __m256 a0 = _mm256_loadu_ps(a + i);
+    const __m256 b0 = _mm256_loadu_ps(b + i);
+    d0 = _mm256_fmadd_ps(a0, b0, d0);
+    na0 = _mm256_fmadd_ps(a0, a0, na0);
+    nb0 = _mm256_fmadd_ps(b0, b0, nb0);
+    i += 8;
+  }
+  float d = Hsum8(_mm256_add_ps(d0, d1));
+  float na = Hsum8(_mm256_add_ps(na0, na1));
+  float nb = Hsum8(_mm256_add_ps(nb0, nb1));
+  for (; i < dim; ++i) {
+    d += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  *dot = d;
+  *a_norm2 = na;
+  *b_norm2 = nb;
+}
+
+}  // namespace
+
+#endif  // GQR_X86
+
+// ---------------------------------------------------------------------------
+// Dispatch: resolved once, before the first distance is computed.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+SimdLevel DetectSimdLevel() {
+  // Escape hatch for A/B runs and debugging: GQR_SIMD=scalar forces the
+  // reference kernels regardless of the host.
+  const char* force = std::getenv("GQR_SIMD");
+  if (force != nullptr && std::strcmp(force, "scalar") == 0) {
+    return SimdLevel::kScalar;
+  }
+#if defined(GQR_X86) && defined(__GNUC__)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return SimdLevel::kAvx2;
+  }
+#endif
+  return SimdLevel::kScalar;
+}
+
+}  // namespace
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel level = DetectSimdLevel();
+  return level;
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  return level == SimdLevel::kAvx2 ? "avx2" : "scalar";
+}
+
+const DistanceKernels& Kernels() {
+  static const DistanceKernels table = [] {
+    DistanceKernels k{SquaredL2Scalar, DotScalar, DotAndNormScalar,
+                      DotAndNormsScalar};
+#if defined(GQR_X86)
+    if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+      k = {SquaredL2Avx2, DotAvx2, DotAndNormAvx2, DotAndNormsAvx2};
+    }
+#endif
+    return k;
+  }();
+  return table;
+}
+
+}  // namespace gqr

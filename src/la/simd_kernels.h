@@ -1,0 +1,79 @@
+// Runtime-dispatched SIMD distance kernels.
+//
+// Candidate verification is the dominant cost of every querying method
+// (bucket generation is O(log i) per probe; exact distances are O(d) per
+// candidate), so these kernels are selected once at startup by cpuid:
+// AVX2+FMA implementations on hardware that has them, the portable scalar
+// reference otherwise. All distance consumers — vector_ops, the Searcher
+// hot path, ground truth — go through the same kernel table, so reference
+// computations in tests and search results see identical arithmetic.
+//
+// Consistency contract: for a fixed build and host, every kernel that
+// produces a given quantity (dot(a, b), |a|^2, ...) uses the same
+// accumulation pattern, so the fused kernels are bit-identical to the
+// corresponding standalone calls (DotAndNorms(a, b) == {Dot(a, b),
+// Dot(a, a), Dot(b, b)}). Search-time cached norms therefore match
+// one-shot CosineDistance exactly.
+#ifndef GQR_LA_SIMD_KERNELS_H_
+#define GQR_LA_SIMD_KERNELS_H_
+
+#include <cstddef>
+
+namespace gqr {
+
+/// Instruction-set level the dispatcher selected.
+enum class SimdLevel {
+  kScalar,
+  kAvx2,  // AVX2 + FMA.
+};
+
+/// Level picked at startup (cpuid, overridable with GQR_SIMD=scalar).
+SimdLevel ActiveSimdLevel();
+
+/// "scalar" / "avx2"; for logs and bench output.
+const char* SimdLevelName(SimdLevel level);
+
+/// The dispatched kernel table. Stateless function pointers; safe to call
+/// concurrently.
+struct DistanceKernels {
+  /// sum_i (a[i] - b[i])^2.
+  float (*squared_l2)(const float* a, const float* b, size_t dim);
+  /// sum_i a[i] * b[i].
+  float (*dot)(const float* a, const float* b, size_t dim);
+  /// Fused dot(a, b) and |a|^2 in one pass — the cosine candidate loop
+  /// with the query norm cached (pass the candidate as `a`).
+  void (*dot_and_norm)(const float* a, const float* b, size_t dim,
+                       float* dot, float* a_norm2);
+  /// Fused dot(a, b), |a|^2, |b|^2 — one-shot cosine distance.
+  void (*dot_and_norms)(const float* a, const float* b, size_t dim,
+                        float* dot, float* a_norm2, float* b_norm2);
+};
+
+/// The kernel table for this host, resolved once (thread-safe).
+const DistanceKernels& Kernels();
+
+/// Scalar reference implementations (always available; the bench and the
+/// equivalence tests compare the dispatched kernels against these).
+float SquaredL2Scalar(const float* a, const float* b, size_t dim);
+float DotScalar(const float* a, const float* b, size_t dim);
+void DotAndNormScalar(const float* a, const float* b, size_t dim,
+                      float* dot, float* a_norm2);
+void DotAndNormsScalar(const float* a, const float* b, size_t dim,
+                       float* dot, float* a_norm2, float* b_norm2);
+
+/// Hints the prefetcher to pull `dim` floats at `row` into cache; used to
+/// overlap the next candidate's memory latency with the current one's
+/// arithmetic. No-op when the compiler lacks __builtin_prefetch.
+inline void PrefetchRow(const float* row, size_t dim) {
+#if defined(__GNUC__) || defined(__clang__)
+  // One touch per 64-byte line (16 floats).
+  for (size_t i = 0; i < dim; i += 16) __builtin_prefetch(row + i, 0, 3);
+#else
+  (void)row;
+  (void)dim;
+#endif
+}
+
+}  // namespace gqr
+
+#endif  // GQR_LA_SIMD_KERNELS_H_

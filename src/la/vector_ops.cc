@@ -2,29 +2,17 @@
 
 #include <cmath>
 
+#include "la/simd_kernels.h"
+
 namespace gqr {
 
+// The float kernels forward to the runtime-dispatched table (scalar or
+// AVX2+FMA, picked once by cpuid — see simd_kernels.h). Every distance
+// consumer shares that table, so reference computations and the search
+// hot path produce identical values.
+
 float SquaredL2(const float* a, const float* b, size_t dim) {
-  // Accumulate in 4 independent lanes so the compiler can vectorize and
-  // the FP dependency chain stays short.
-  float s0 = 0.f, s1 = 0.f, s2 = 0.f, s3 = 0.f;
-  size_t i = 0;
-  for (; i + 4 <= dim; i += 4) {
-    const float d0 = a[i] - b[i];
-    const float d1 = a[i + 1] - b[i + 1];
-    const float d2 = a[i + 2] - b[i + 2];
-    const float d3 = a[i + 3] - b[i + 3];
-    s0 += d0 * d0;
-    s1 += d1 * d1;
-    s2 += d2 * d2;
-    s3 += d3 * d3;
-  }
-  float s = (s0 + s1) + (s2 + s3);
-  for (; i < dim; ++i) {
-    const float d = a[i] - b[i];
-    s += d * d;
-  }
-  return s;
+  return Kernels().squared_l2(a, b, dim);
 }
 
 float L2Distance(const float* a, const float* b, size_t dim) {
@@ -32,24 +20,16 @@ float L2Distance(const float* a, const float* b, size_t dim) {
 }
 
 float Dot(const float* a, const float* b, size_t dim) {
-  float s0 = 0.f, s1 = 0.f;
-  size_t i = 0;
-  for (; i + 2 <= dim; i += 2) {
-    s0 += a[i] * b[i];
-    s1 += a[i + 1] * b[i + 1];
-  }
-  float s = s0 + s1;
-  for (; i < dim; ++i) s += a[i] * b[i];
-  return s;
+  return Kernels().dot(a, b, dim);
 }
 
 float Norm(const float* a, size_t dim) { return std::sqrt(Dot(a, a, dim)); }
 
 float CosineDistance(const float* a, const float* b, size_t dim) {
-  const float na = Norm(a, dim);
-  const float nb = Norm(b, dim);
-  if (na == 0.f || nb == 0.f) return 1.f;
-  return 1.f - Dot(a, b, dim) / (na * nb);
+  float dot, na2, nb2;
+  Kernels().dot_and_norms(a, b, dim, &dot, &na2, &nb2);
+  if (na2 == 0.f || nb2 == 0.f) return 1.f;
+  return 1.f - dot / (std::sqrt(na2) * std::sqrt(nb2));
 }
 
 double SquaredL2(const double* a, const double* b, size_t dim) {

@@ -1,6 +1,8 @@
 // Small dense-vector kernels shared by the distance computations and the
 // learners. Distances between raw float descriptors are the hot path of
-// candidate reranking, so the float variants are kept branch-free.
+// candidate reranking, so the float variants forward to the runtime-
+// dispatched SIMD kernels (la/simd_kernels.h); the double variants stay
+// scalar (learning-stage math, not latency-critical).
 #ifndef GQR_LA_VECTOR_OPS_H_
 #define GQR_LA_VECTOR_OPS_H_
 

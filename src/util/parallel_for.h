@@ -10,15 +10,18 @@
 namespace gqr {
 
 /// Runs fn(i) for every i in [begin, end), partitioned into contiguous
-/// blocks across the shared thread pool. Blocks until all iterations are
-/// done. fn must be safe to call concurrently for distinct i.
+/// blocks across a thread pool (the shared pool when `override_pool` is
+/// null). Blocks until all iterations are done. fn must be safe to call
+/// concurrently for distinct i.
 ///
 /// Small ranges (< min_parallel) run inline to avoid scheduling overhead.
 template <typename Fn>
-void ParallelFor(size_t begin, size_t end, Fn fn, size_t min_parallel = 256) {
+void ParallelFor(size_t begin, size_t end, Fn fn, size_t min_parallel = 256,
+                 ThreadPool* override_pool = nullptr) {
   if (end <= begin) return;
   const size_t n = end - begin;
-  ThreadPool& pool = ThreadPool::Shared();
+  ThreadPool& pool =
+      override_pool != nullptr ? *override_pool : ThreadPool::Shared();
   const size_t workers = pool.num_threads();
   if (n < min_parallel || workers <= 1) {
     for (size_t i = begin; i < end; ++i) fn(i);

@@ -115,6 +115,35 @@ TEST(RangeSearchTest, ResultsSortedAndWithinRadius) {
   EXPECT_EQ(r.ids[0], 7u);
 }
 
+TEST(RangeSearchTest, AngularMetricMatchesBruteForce) {
+  RangeFixture f = RangeFixture::Make(173);
+  Searcher searcher(f.base);
+  const float* query = f.base.Row(11);
+  QueryHashInfo info = f.hasher.HashQuery(query);
+  GqrProber prober(info);
+  const float radius = 0.05f;  // Cosine distance threshold.
+  // mu = 0: exhaust the prober (the Euclidean Theorem 2 bound does not
+  // transfer to cosine radii, so no early stop is claimed here).
+  SearchResult r = searcher.RangeSearch(query, &prober, f.table, radius, 0.0,
+                                        Metric::kAngular);
+  std::vector<std::pair<float, ItemId>> hits;
+  for (size_t i = 0; i < f.base.size(); ++i) {
+    const float d =
+        CosineDistance(f.base.Row(static_cast<ItemId>(i)), query,
+                       f.base.dim());
+    if (d <= radius) hits.emplace_back(d, static_cast<ItemId>(i));
+  }
+  std::sort(hits.begin(), hits.end());
+  ASSERT_EQ(r.ids.size(), hits.size());
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(r.ids[i], hits[i].second);
+    EXPECT_FLOAT_EQ(r.distances[i], hits[i].first);
+  }
+  // The query's own row is at cosine distance 0.
+  ASSERT_FALSE(r.ids.empty());
+  EXPECT_EQ(r.ids[0], 11u);
+}
+
 TEST(RangeSearchTest, ZeroRadiusFindsExactDuplicatesOnly) {
   RangeFixture f = RangeFixture::Make(172);
   Searcher searcher(f.base);

@@ -1,0 +1,201 @@
+// Tests for the runtime-dispatched SIMD distance kernels: exhaustive
+// scalar-vs-dispatched equivalence over dims 1..65 (odd tails, unaligned
+// pointers), fused-vs-standalone consistency, and the batched evaluation
+// path against the one-shot reference distances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/eval_batch.h"
+#include "data/dataset.h"
+#include "la/simd_kernels.h"
+#include "la/vector_ops.h"
+#include "util/random.h"
+
+namespace gqr {
+namespace {
+
+// Relative agreement bound between the scalar reference and the SIMD
+// kernels (different accumulation orders round differently).
+constexpr float kRelTol = 1e-4f;
+
+void ExpectClose(float expected, float actual, size_t dim) {
+  const float scale =
+      std::max(1.f, std::max(std::fabs(expected), std::fabs(actual)));
+  EXPECT_LE(std::fabs(expected - actual), kRelTol * scale)
+      << "dim=" << dim << " expected=" << expected << " actual=" << actual;
+}
+
+// Fills [out, out + n) with values in [-1, 1).
+void FillRandom(float* out, size_t n, Rng* rng) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(rng->UniformDouble() * 2.0 - 1.0);
+  }
+}
+
+TEST(SimdKernelsTest, DispatchedMatchesScalarOnEveryDim) {
+  Rng rng(17);
+  const DistanceKernels& k = Kernels();
+  for (size_t dim = 1; dim <= 65; ++dim) {
+    // +1 float of padding, then index from 1: the kernels must accept
+    // pointers that are not 32-byte (or even 8-byte) aligned.
+    std::vector<float> abuf(dim + 1), bbuf(dim + 1);
+    FillRandom(abuf.data(), abuf.size(), &rng);
+    FillRandom(bbuf.data(), bbuf.size(), &rng);
+    const float* a = abuf.data() + 1;
+    const float* b = bbuf.data() + 1;
+
+    ExpectClose(SquaredL2Scalar(a, b, dim), k.squared_l2(a, b, dim), dim);
+    ExpectClose(DotScalar(a, b, dim), k.dot(a, b, dim), dim);
+
+    float ds, ns, dk, nk;
+    DotAndNormScalar(a, b, dim, &ds, &ns);
+    k.dot_and_norm(a, b, dim, &dk, &nk);
+    ExpectClose(ds, dk, dim);
+    ExpectClose(ns, nk, dim);
+
+    float ds3, nas, nbs, dk3, nak, nbk;
+    DotAndNormsScalar(a, b, dim, &ds3, &nas, &nbs);
+    k.dot_and_norms(a, b, dim, &dk3, &nak, &nbk);
+    ExpectClose(ds3, dk3, dim);
+    ExpectClose(nas, nak, dim);
+    ExpectClose(nbs, nbk, dim);
+  }
+}
+
+// The consistency contract of simd_kernels.h: fused kernels agree with
+// the standalone ones of the same dispatch level, so cached-norm cosine
+// (search path) equals one-shot CosineDistance (reference path).
+TEST(SimdKernelsTest, FusedKernelsMatchStandalone) {
+  Rng rng(23);
+  const DistanceKernels& k = Kernels();
+  for (size_t dim : {1u, 2u, 7u, 8u, 16u, 17u, 31u, 64u, 65u, 128u, 133u}) {
+    std::vector<float> a(dim), b(dim);
+    FillRandom(a.data(), dim, &rng);
+    FillRandom(b.data(), dim, &rng);
+
+    float dot2, a_norm2;
+    k.dot_and_norm(a.data(), b.data(), dim, &dot2, &a_norm2);
+    EXPECT_FLOAT_EQ(dot2, k.dot(a.data(), b.data(), dim)) << dim;
+    EXPECT_FLOAT_EQ(a_norm2, k.dot(a.data(), a.data(), dim)) << dim;
+
+    float dot3, na2, nb2;
+    k.dot_and_norms(a.data(), b.data(), dim, &dot3, &na2, &nb2);
+    EXPECT_FLOAT_EQ(dot3, k.dot(a.data(), b.data(), dim)) << dim;
+    EXPECT_FLOAT_EQ(na2, k.dot(a.data(), a.data(), dim)) << dim;
+    EXPECT_FLOAT_EQ(nb2, k.dot(b.data(), b.data(), dim)) << dim;
+  }
+}
+
+TEST(SimdKernelsTest, VectorOpsRouteThroughDispatch) {
+  Rng rng(31);
+  const size_t dim = 48;
+  std::vector<float> a(dim), b(dim);
+  FillRandom(a.data(), dim, &rng);
+  FillRandom(b.data(), dim, &rng);
+  const DistanceKernels& k = Kernels();
+  EXPECT_FLOAT_EQ(SquaredL2(a.data(), b.data(), dim),
+                  k.squared_l2(a.data(), b.data(), dim));
+  EXPECT_FLOAT_EQ(Dot(a.data(), b.data(), dim),
+                  k.dot(a.data(), b.data(), dim));
+}
+
+TEST(SimdKernelsTest, LevelNameIsConsistent) {
+  const SimdLevel level = ActiveSimdLevel();
+  const char* name = SimdLevelName(level);
+  EXPECT_TRUE(level == SimdLevel::kScalar || level == SimdLevel::kAvx2);
+  EXPECT_TRUE(std::string(name) == "scalar" || std::string(name) == "avx2");
+}
+
+TEST(EvalBatchTest, EuclideanMatchesOneShotDistances) {
+  Rng rng(41);
+  const size_t n = 300, dim = 37;
+  std::vector<float> data(n * dim);
+  FillRandom(data.data(), data.size(), &rng);
+  Dataset base(n, dim, std::move(data));
+  std::vector<float> query(dim);
+  FillRandom(query.data(), dim, &rng);
+
+  std::vector<ItemId> ids;
+  for (size_t i = 0; i < n; i += 3) ids.push_back(static_cast<ItemId>(i));
+  std::vector<float> out(ids.size());
+  const QueryContext ctx =
+      MakeQueryContext(query.data(), dim, Metric::kEuclidean);
+  EvalDistancesBatch(query.data(), ctx, base, ids.data(), ids.size(),
+                     out.data());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_FLOAT_EQ(out[i], L2Distance(base.Row(ids[i]), query.data(), dim));
+  }
+}
+
+TEST(EvalBatchTest, AngularMatchesOneShotCosine) {
+  Rng rng(43);
+  const size_t n = 200, dim = 19;
+  std::vector<float> data(n * dim);
+  FillRandom(data.data(), data.size(), &rng);
+  Dataset base(n, dim, std::move(data));
+  std::vector<float> query(dim);
+  FillRandom(query.data(), dim, &rng);
+
+  std::vector<ItemId> ids(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = static_cast<ItemId>(i);
+  std::vector<float> out(n);
+  const QueryContext ctx =
+      MakeQueryContext(query.data(), dim, Metric::kAngular);
+  EvalDistancesBatch(query.data(), ctx, base, ids.data(), n, out.data());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(out[i],
+                    CosineDistance(base.Row(ids[i]), query.data(), dim));
+  }
+}
+
+TEST(EvalBatchTest, AngularZeroVectorsGiveDistanceOne) {
+  const size_t dim = 8;
+  Dataset base(3, dim);  // All-zero rows.
+  std::vector<float> query(dim, 0.5f);
+  std::vector<ItemId> ids = {0, 1, 2};
+  std::vector<float> out(3);
+  const QueryContext ctx =
+      MakeQueryContext(query.data(), dim, Metric::kAngular);
+  EvalDistancesBatch(query.data(), ctx, base, ids.data(), 3, out.data());
+  for (float d : out) EXPECT_FLOAT_EQ(d, 1.f);
+
+  // Zero query against nonzero rows is also distance 1.
+  Dataset base2(1, dim);
+  for (size_t j = 0; j < dim; ++j) base2.MutableRow(0)[j] = 1.f;
+  std::vector<float> zero_query(dim, 0.f);
+  const QueryContext zctx =
+      MakeQueryContext(zero_query.data(), dim, Metric::kAngular);
+  float d;
+  ItemId id = 0;
+  EvalDistancesBatch(zero_query.data(), zctx, base2, &id, 1, &d);
+  EXPECT_FLOAT_EQ(d, 1.f);
+}
+
+TEST(EvalBatchTest, SmallCountsBelowPrefetchDistance) {
+  // count < prefetch distance exercises the no-lookahead boundary.
+  Rng rng(47);
+  const size_t dim = 16;
+  std::vector<float> data(8 * dim);
+  FillRandom(data.data(), data.size(), &rng);
+  Dataset base(8, dim, std::move(data));
+  std::vector<float> query(dim);
+  FillRandom(query.data(), dim, &rng);
+  const QueryContext ctx =
+      MakeQueryContext(query.data(), dim, Metric::kEuclidean);
+  for (size_t count = 1; count <= 4; ++count) {
+    std::vector<ItemId> ids(count);
+    for (size_t i = 0; i < count; ++i) ids[i] = static_cast<ItemId>(7 - i);
+    std::vector<float> out(count);
+    EvalDistancesBatch(query.data(), ctx, base, ids.data(), count,
+                       out.data());
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_FLOAT_EQ(out[i],
+                      L2Distance(base.Row(ids[i]), query.data(), dim));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gqr
