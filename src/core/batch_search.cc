@@ -1,18 +1,56 @@
 #include "core/batch_search.h"
 
+#include <algorithm>
+
 #include "util/parallel_for.h"
 
 namespace gqr {
+
+namespace {
+
+// Queries hashed per batched-projection tile. Tile boundaries are fixed
+// (independent of thread count), so batch results are deterministic
+// across pools — and since HashQueryBatch is bit-identical to HashQuery,
+// across the batched and per-query paths too.
+constexpr size_t kHashTile = 64;
+
+// Per-calling-thread QueryHashInfo storage, reused across batches so the
+// steady-state hashing phase performs no per-query allocation (each
+// info's flip_costs keeps its capacity).
+std::vector<QueryHashInfo>& TlQueryInfos(size_t n) {
+  thread_local std::vector<QueryHashInfo> infos;
+  if (infos.size() < n) infos.resize(n);
+  return infos;
+}
+
+}  // namespace
 
 void BatchSearchInto(const Searcher& searcher, const BinaryHasher& hasher,
                      const StaticHashTable& table, const Dataset& queries,
                      QueryMethod method, const SearchOptions& options,
                      std::vector<SearchResult>* results, ThreadPool* pool) {
-  results->resize(queries.size());
-  ParallelFor(0, queries.size(), [&](size_t q) {
+  const size_t nq = queries.size();
+  results->resize(nq);
+  if (nq == 0) return;
+
+  // Phase 1: hash the whole query block up front, one batched projection
+  // (a single GEMM for projection hashers) per tile. Worker threads
+  // project into their thread-local SearchScratch's projection buffer.
+  std::vector<QueryHashInfo>& infos = TlQueryInfos(nq);
+  const size_t num_tiles = (nq + kHashTile - 1) / kHashTile;
+  ParallelFor(0, num_tiles, [&](size_t t) {
+    const size_t lo = t * kHashTile;
+    const size_t hi = std::min(nq, lo + kHashTile);
+    hasher.HashQueryBatch(queries.Row(static_cast<ItemId>(lo)), hi - lo,
+                          queries.dim(),
+                          &ThreadLocalSearchScratch().projection, &infos[lo]);
+  }, /*min_parallel=*/2, pool);
+
+  // Phase 2: probe + evaluate per query, starting from the precomputed
+  // QueryHashInfo.
+  ParallelFor(0, nq, [&](size_t q) {
     const float* query = queries.Row(static_cast<ItemId>(q));
-    const QueryHashInfo info = hasher.HashQuery(query);
-    std::unique_ptr<BucketProber> prober = MakeProber(method, info, table);
+    std::unique_ptr<BucketProber> prober = MakeProber(method, infos[q], table);
     // nullptr scratch = the worker thread's scratch, which persists
     // across queries and batches on the pool's threads.
     searcher.SearchInto(query, prober.get(), table, options,

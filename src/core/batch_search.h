@@ -1,10 +1,15 @@
 // BatchSearch: answer a whole query batch in parallel.
 //
-// Each query gets its own prober (probers hold per-query state), so
-// queries are embarrassingly parallel; this helper shards the batch over
-// a thread pool. Every worker thread drives the Searcher through its
-// thread-local SearchScratch, so after the first few queries per worker
-// the evaluation hot path stops allocating. Useful for offline evaluation
+// The batch is answered in two phases. First the whole query block is
+// hashed up front through BinaryHasher::HashQueryBatch — for projection
+// hashers that is one blocked GEMM per 64-query tile instead of one
+// scalar GEMV (plus two heap allocations) per query, and it is
+// bit-identical to per-query HashQuery. Then each query probes and
+// evaluates from its precomputed QueryHashInfo; queries are
+// embarrassingly parallel (probers hold per-query state), so both phases
+// shard over a thread pool. Every worker thread drives the Searcher
+// through its thread-local SearchScratch, so after the first few queries
+// per worker the hot path stops allocating. Useful for offline evaluation
 // and bulk serving; the single-query Searcher path remains the
 // latency-oriented API.
 #ifndef GQR_CORE_BATCH_SEARCH_H_

@@ -56,6 +56,11 @@ struct SearchScratch {
   std::vector<float> distances;
   /// Max-heap storage of the bounded top-k.
   std::vector<std::pair<float, ItemId>> heap;
+  /// Projection buffer for batched query hashing: HashQueryBatch writes
+  /// a tile's worth of projections (tile_rows x code_length doubles)
+  /// here, so the hashing phase of BatchSearch reuses one allocation per
+  /// worker instead of allocating per query.
+  std::vector<double> projection;
   /// Epoch-stamped visited set for multi-table de-duplication:
   /// visited[id] == epoch  <=>  id was already evaluated this query.
   /// Bumping the epoch invalidates all stamps in O(1), so queries after

@@ -6,6 +6,21 @@
 
 namespace gqr {
 
+namespace {
+
+// Heap storage reserved per prober. Each Next() pops one entry and pushes
+// at most two, so after N emissions the heap holds at most N + 1 entries;
+// 1024 covers every realistic bucket budget (the paper's sweeps probe
+// hundreds of buckets), capped by the 2^m total bucket count for short
+// codes. 24 bytes per entry -> at most 24 KB per in-flight query.
+size_t HeapReserve(int m) {
+  const size_t kBudget = 1024;
+  if (m >= 11) return kBudget;
+  return std::min(kBudget, size_t{1} << m);
+}
+
+}  // namespace
+
 GqrProber::GqrProber(const QueryHashInfo& info, uint32_t table,
                      const GenerationTree* tree)
     : table_(table),
@@ -14,6 +29,12 @@ GqrProber::GqrProber(const QueryHashInfo& info, uint32_t table,
       query_code_(info.code) {
   assert(m_ >= 1 && m_ <= 64);
   assert(tree == nullptr || tree->code_length() == m_);
+  // Reserve the heap's backing vector up front: the container adaptor is
+  // rebuilt from a reserved vector (the move preserves capacity), so
+  // Next() only touches the allocator past HeapReserve() entries.
+  std::vector<Entry> storage;
+  storage.reserve(HeapReserve(m_));
+  heap_ = decltype(heap_)(std::greater<Entry>(), std::move(storage));
   // Sorted projected vector (Definition 3): sort |p_i(q)| ascending and
   // remember the mapping back to original bit positions.
   perm_.resize(m_);

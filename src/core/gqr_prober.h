@@ -81,6 +81,9 @@ class GqrProber : public BucketProber {
   Code query_code_;
   std::vector<double> sorted_costs_;  // Ascending flip costs.
   std::vector<int> perm_;             // sorted pos -> original bit index.
+  // Min-heap over sorted flipping vectors. Its storage is reserved at
+  // construction (the heap grows by at most one entry per Next), so
+  // probing a typical candidate budget never reallocates mid-stream.
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
   bool emitted_root_ = false;
   double last_qd_ = 0.0;

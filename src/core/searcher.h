@@ -11,10 +11,12 @@
 //
 // Candidates are evaluated a bucket at a time through the batched SIMD
 // eval path (core/eval_batch.h), with per-query metric constants cached
-// up front. All working memory lives in a SearchScratch; callers that
-// pass nullptr get a per-thread scratch, so steady-state searches perform
-// no heap allocations beyond the returned result vectors — and none at
-// all through the *Into entry points once result capacity has warmed up.
+// up front. All working memory lives in a SearchScratch — including the
+// projection buffer the batched hashing phase of core/batch_search.cc
+// fills through BinaryHasher::HashQueryBatch; callers that pass nullptr
+// get a per-thread scratch, so steady-state searches perform no heap
+// allocations beyond the returned result vectors — and none at all
+// through the *Into entry points once result capacity has warmed up.
 #ifndef GQR_CORE_SEARCHER_H_
 #define GQR_CORE_SEARCHER_H_
 

@@ -48,8 +48,27 @@ class BinaryHasher {
   /// Code plus per-bit flipping costs for a query.
   virtual QueryHashInfo HashQuery(const float* q) const = 0;
 
+  /// Allocation-aware variant: writes into `*info`, reusing its
+  /// flip_costs capacity. The default delegates to HashQuery;
+  /// ProjectionHasher overrides it to be heap-free once `info` is warm.
+  virtual void HashQueryInto(const float* q, QueryHashInfo* info) const;
+
+  /// Hashes `count` queries laid out row-major with `stride` floats
+  /// between consecutive query starts, writing infos[0..count). All
+  /// working memory comes from the caller-owned `projection_scratch`
+  /// (grown as needed, capacity reused across calls) and the infos' own
+  /// flip_costs buffers, so a warm caller performs no heap allocation.
+  /// Results are bit-identical to per-query HashQuery — batched hashing
+  /// never changes a code or a flipping cost. The default loops
+  /// HashQueryInto; ProjectionHasher overrides it with one blocked GEMM.
+  virtual void HashQueryBatch(const float* queries, size_t count,
+                              size_t stride,
+                              std::vector<double>* projection_scratch,
+                              QueryHashInfo* infos) const;
+
   /// Hashes every row of the dataset (parallel). The default
-  /// implementation calls HashItem per row.
+  /// implementation calls HashItem per row; ProjectionHasher overrides it
+  /// with tiled batched projection (same codes, one GEMM per tile).
   virtual std::vector<Code> HashDataset(const Dataset& dataset) const;
 };
 

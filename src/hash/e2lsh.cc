@@ -4,10 +4,22 @@
 #include <cassert>
 #include <cmath>
 
+#include "la/simd_kernels.h"
 #include "util/parallel_for.h"
 #include "util/random.h"
 
 namespace gqr {
+
+namespace {
+
+// Per-thread projection + widened-input scratch for the hot paths.
+std::vector<double>& TlBuffer(size_t n) {
+  thread_local std::vector<double> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf;
+}
+
+}  // namespace
 
 E2lshHasher::E2lshHasher(Matrix a, std::vector<double> b, double w)
     : a_(std::move(a)), b_(std::move(b)), w_(w) {
@@ -18,21 +30,24 @@ E2lshHasher::E2lshHasher(Matrix a, std::vector<double> b, double w)
 
 void E2lshHasher::Project(const float* x, double* out) const {
   const size_t d = a_.cols();
-  for (size_t i = 0; i < a_.rows(); ++i) {
-    const double* row = a_.Row(i);
-    double dot = b_[i];
-    for (size_t j = 0; j < d; ++j) {
-      dot += row[j] * static_cast<double>(x[j]);
-    }
-    out[i] = dot;
-  }
+  const size_t m = a_.rows();
+  const ProjectionKernels& k = ProjKernels();
+  // Widen x once (offset = nullptr), one dispatched GEMV, then the slot
+  // offsets b_i.
+  std::vector<double>& buf = TlBuffer(d);
+  k.center(x, nullptr, d, buf.data());
+  k.gemv(a_.Row(0), m, d, buf.data(), out);
+  for (size_t i = 0; i < m; ++i) out[i] += b_[i];
 }
 
 IntCode E2lshHasher::HashItem(const float* x) const {
-  std::vector<double> p(a_.rows());
+  const size_t m = a_.rows();
+  // The projection scratch must not alias the widened-input buffer used
+  // inside Project, so it lives past the first m slots.
+  std::vector<double> p(m);
   Project(x, p.data());
-  IntCode code(a_.rows());
-  for (size_t i = 0; i < a_.rows(); ++i) {
+  IntCode code(m);
+  for (size_t i = 0; i < m; ++i) {
     code[i] = static_cast<int32_t>(std::floor(p[i] / w_));
   }
   return code;

@@ -128,7 +128,9 @@ QueryHashInfo KmhHasher::HashQuery(const float* q) const {
   QueryHashInfo info;
   info.flip_costs.resize(code_length_);
   int shift = 0;
-  std::vector<double> sq;
+  // Codeword-distance scratch; thread-local so query hashing stays free
+  // of per-call heap traffic (the vector only grows).
+  thread_local std::vector<double> sq;
   for (const Block& block : blocks_) {
     const uint32_t idx = NearestCodeword(block, q, &sq);
     info.code |= static_cast<Code>(idx) << shift;

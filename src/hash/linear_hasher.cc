@@ -1,8 +1,28 @@
 #include "hash/linear_hasher.h"
 
+#include <algorithm>
 #include <cassert>
+#include <vector>
+
+#include "la/simd_kernels.h"
 
 namespace gqr {
+
+namespace {
+
+// Queries centered per GEMM call: the centered block is kQueryBlock x d
+// doubles (64 KB at d = 128), small enough to stay in L2 next to W while
+// the gemm_nt kernel sweeps it.
+constexpr size_t kQueryBlock = 64;
+
+// Per-thread centered-input buffer (holds up to kQueryBlock rows).
+double* TlCenteredAtLeast(size_t n) {
+  thread_local std::vector<double> centered;
+  if (centered.size() < n) centered.resize(n);
+  return centered.data();
+}
+
+}  // namespace
 
 LinearHasher::LinearHasher(Matrix w, std::vector<double> offset,
                            std::string name)
@@ -13,14 +33,26 @@ LinearHasher::LinearHasher(Matrix w, std::vector<double> offset,
 
 void LinearHasher::Project(const float* x, double* out) const {
   const size_t d = w_.cols();
+  const ProjectionKernels& k = ProjKernels();
+  double* xc = TlCenteredAtLeast(d);
+  k.center(x, offset_.data(), d, xc);
+  k.gemv(w_.Row(0), w_.rows(), d, xc, out);
+}
+
+void LinearHasher::ProjectBatch(const float* queries, size_t count,
+                                size_t stride, double* out) const {
+  const size_t d = w_.cols();
   const size_t m = w_.rows();
-  for (size_t i = 0; i < m; ++i) {
-    const double* row = w_.Row(i);
-    double dot = 0.0;
-    for (size_t j = 0; j < d; ++j) {
-      dot += row[j] * (static_cast<double>(x[j]) - offset_[j]);
+  const ProjectionKernels& k = ProjKernels();
+  double* xc = TlCenteredAtLeast(kQueryBlock * d);
+  for (size_t q0 = 0; q0 < count; q0 += kQueryBlock) {
+    const size_t qn = std::min(count - q0, kQueryBlock);
+    for (size_t q = 0; q < qn; ++q) {
+      k.center(queries + (q0 + q) * stride, offset_.data(), d, xc + q * d);
     }
-    out[i] = dot;
+    // One GEMM per block: every output row runs the same canonical dot
+    // accumulation as the gemv in Project, so batch == single bitwise.
+    k.gemm_nt(xc, qn, d, w_.Row(0), m, d, d, out + q0 * m, m);
   }
 }
 

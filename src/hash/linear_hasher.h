@@ -24,6 +24,10 @@ class LinearHasher : public ProjectionHasher {
   size_t dim() const override { return w_.cols(); }
 
   void Project(const float* x, double* out) const override;
+  /// One blocked GEMM over the centered query block (bit-identical to
+  /// per-query Project at every dispatch level).
+  void ProjectBatch(const float* queries, size_t count, size_t stride,
+                    double* out) const override;
 
   Matrix HashingMatrix() const override { return w_; }
   const std::vector<double>& offset() const { return offset_; }

@@ -1,10 +1,48 @@
 #include "hash/projection_hasher.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/parallel_for.h"
 
 namespace gqr {
+
+namespace {
+
+// Rows per HashDataset tile: large enough that one ProjectBatch GEMM
+// amortizes the kernel setup, small enough that the tile's projections
+// (tile * m doubles, <= 512 KB at m = 64) stay cache-resident.
+constexpr size_t kHashTileRows = 1024;
+
+// Per-thread projection buffer shared by the single-item entry points and
+// the HashDataset tiles. Grows monotonically; hashers of any code length
+// or tile size reuse it, and pool workers keep theirs across datasets.
+std::vector<double>& TlProjection() {
+  thread_local std::vector<double> projection;
+  return projection;
+}
+
+double* TlProjectionAtLeast(size_t n) {
+  std::vector<double>& p = TlProjection();
+  if (p.size() < n) p.resize(n);
+  return p.data();
+}
+
+}  // namespace
+
+void BinaryHasher::HashQueryInto(const float* q, QueryHashInfo* info) const {
+  *info = HashQuery(q);
+}
+
+void BinaryHasher::HashQueryBatch(const float* queries, size_t count,
+                                  size_t stride,
+                                  std::vector<double>* projection_scratch,
+                                  QueryHashInfo* infos) const {
+  (void)projection_scratch;
+  for (size_t q = 0; q < count; ++q) {
+    HashQueryInto(queries + q * stride, &infos[q]);
+  }
+}
 
 std::vector<Code> BinaryHasher::HashDataset(const Dataset& dataset) const {
   std::vector<Code> codes(dataset.size());
@@ -12,6 +50,14 @@ std::vector<Code> BinaryHasher::HashDataset(const Dataset& dataset) const {
     codes[i] = HashItem(dataset.Row(static_cast<ItemId>(i)));
   });
   return codes;
+}
+
+void ProjectionHasher::ProjectBatch(const float* queries, size_t count,
+                                    size_t stride, double* out) const {
+  const size_t m = static_cast<size_t>(code_length());
+  for (size_t q = 0; q < count; ++q) {
+    Project(queries + q * stride, out + q * m);
+  }
 }
 
 Code ProjectionHasher::Quantize(const double* projection) const {
@@ -25,20 +71,68 @@ Code ProjectionHasher::Quantize(const double* projection) const {
 }
 
 Code ProjectionHasher::HashItem(const float* x) const {
-  std::vector<double> p(code_length());
-  Project(x, p.data());
-  return Quantize(p.data());
+  double* p = TlProjectionAtLeast(code_length());
+  Project(x, p);
+  return Quantize(p);
 }
 
 QueryHashInfo ProjectionHasher::HashQuery(const float* q) const {
-  const int m = code_length();
-  std::vector<double> p(m);
-  Project(q, p.data());
   QueryHashInfo info;
-  info.code = Quantize(p.data());
-  info.flip_costs.resize(m);
-  for (int i = 0; i < m; ++i) info.flip_costs[i] = std::abs(p[i]);
+  HashQueryInto(q, &info);
   return info;
+}
+
+void ProjectionHasher::HashQueryInto(const float* q,
+                                     QueryHashInfo* info) const {
+  const int m = code_length();
+  double* p = TlProjectionAtLeast(m);
+  Project(q, p);
+  info->code = Quantize(p);
+  info->flip_costs.resize(m);
+  for (int i = 0; i < m; ++i) info->flip_costs[i] = std::abs(p[i]);
+}
+
+void ProjectionHasher::HashQueryBatch(const float* queries, size_t count,
+                                      size_t stride,
+                                      std::vector<double>* projection_scratch,
+                                      QueryHashInfo* infos) const {
+  const size_t m = static_cast<size_t>(code_length());
+  if (projection_scratch->size() < count * m) {
+    projection_scratch->resize(count * m);
+  }
+  double* p = projection_scratch->data();
+  ProjectBatch(queries, count, stride, p);
+  for (size_t q = 0; q < count; ++q) {
+    const double* row = p + q * m;
+    infos[q].code = Quantize(row);
+    infos[q].flip_costs.resize(m);
+    for (size_t i = 0; i < m; ++i) infos[q].flip_costs[i] = std::abs(row[i]);
+  }
+}
+
+std::vector<Code> ProjectionHasher::HashDataset(const Dataset& dataset) const {
+  const size_t m = static_cast<size_t>(code_length());
+  std::vector<Code> codes(dataset.size());
+  const size_t num_tiles =
+      (dataset.size() + kHashTileRows - 1) / kHashTileRows;
+  // One GEMM per tile instead of one GEMV per row; tiles are
+  // embarrassingly parallel and each worker projects into its own
+  // thread-local buffer. min_parallel = 2: even a handful of tiles is
+  // worth sharding, the per-tile work is thousands of dot products.
+  ParallelFor(
+      0, num_tiles,
+      [&](size_t t) {
+        const size_t lo = t * kHashTileRows;
+        const size_t hi = std::min(dataset.size(), lo + kHashTileRows);
+        double* p = TlProjectionAtLeast((hi - lo) * m);
+        ProjectBatch(dataset.Row(static_cast<ItemId>(lo)), hi - lo,
+                     dataset.dim(), p);
+        for (size_t r = lo; r < hi; ++r) {
+          codes[r] = Quantize(p + (r - lo) * m);
+        }
+      },
+      /*min_parallel=*/2);
+  return codes;
 }
 
 }  // namespace gqr

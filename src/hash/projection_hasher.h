@@ -19,8 +19,21 @@ class ProjectionHasher : public BinaryHasher {
   /// Writes the m projection values of x into out (length code_length()).
   virtual void Project(const float* x, double* out) const = 0;
 
+  /// Projects `count` items (row-major, `stride` floats between row
+  /// starts) into out (count x code_length(), row-major). The default
+  /// loops Project; LinearHasher overrides it with one blocked GEMM
+  /// through the dispatched projection kernels. Contract: row q of the
+  /// output is bit-identical to Project(queries + q * stride, ...).
+  virtual void ProjectBatch(const float* queries, size_t count,
+                            size_t stride, double* out) const;
+
   Code HashItem(const float* x) const final;
   QueryHashInfo HashQuery(const float* q) const final;
+  void HashQueryInto(const float* q, QueryHashInfo* info) const final;
+  void HashQueryBatch(const float* queries, size_t count, size_t stride,
+                      std::vector<double>* projection_scratch,
+                      QueryHashInfo* infos) const final;
+  std::vector<Code> HashDataset(const Dataset& dataset) const final;
 
   /// Quantization of an already-computed projection vector.
   Code Quantize(const double* projection) const;

@@ -14,7 +14,10 @@ ShHasher::ShHasher(PcaModel pca, std::vector<BitFunction> bits)
 }
 
 void ShHasher::Project(const float* x, double* out) const {
-  std::vector<double> v(pca_.num_components());
+  // Thread-local PCA buffer: Project sits on the query hot path and must
+  // not allocate (see the allocation-count tests).
+  thread_local std::vector<double> v;
+  if (v.size() < pca_.num_components()) v.resize(pca_.num_components());
   pca_.Project(x, v.data());
   for (size_t i = 0; i < bits_.size(); ++i) {
     const BitFunction& f = bits_[i];

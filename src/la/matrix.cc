@@ -5,6 +5,8 @@
 #include <sstream>
 #include <utility>
 
+#include "la/simd_kernels.h"
+
 namespace gqr {
 
 Matrix::Matrix(size_t rows, size_t cols, std::vector<double> data)
@@ -65,16 +67,23 @@ Matrix Matrix::Transposed() const {
 Matrix Matrix::Multiply(const Matrix& other) const {
   assert(cols_ == other.rows_);
   Matrix out(rows_, other.cols_);
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* a_row = Row(i);
-    double* out_row = out.Row(i);
-    for (size_t k = 0; k < cols_; ++k) {
-      const double a = a_row[k];
-      if (a == 0.0) continue;
-      const double* b_row = other.Row(k);
-      for (size_t j = 0; j < other.cols_; ++j) {
-        out_row[j] += a * b_row[j];
+  const ProjectionKernels& kern = ProjKernels();
+  const size_t p = other.cols_;
+  // Blocked i-k-j: a panel of kc B-rows stays in cache across the whole i
+  // sweep, and the inner axpy streams contiguous rows through the
+  // dispatched fma kernel. Each output element accumulates in strictly
+  // ascending k regardless of the block size or vector width, so results
+  // are identical across dispatch levels and blockings.
+  constexpr size_t kc = 64;
+  for (size_t k0 = 0; k0 < cols_; k0 += kc) {
+    const size_t k1 = std::min(cols_, k0 + kc);
+    for (size_t i = 0; i < rows_; ++i) {
+      const double* a_row = Row(i);
+      double* out_row = out.Row(i);
+      for (size_t k = k0; k < k1; ++k) {
+        const double a = a_row[k];
+        if (a == 0.0) continue;
+        kern.axpy(a, other.Row(k), out_row, p);
       }
     }
   }
@@ -84,16 +93,14 @@ Matrix Matrix::Multiply(const Matrix& other) const {
 Matrix Matrix::TransposedMultiply(const Matrix& other) const {
   assert(rows_ == other.rows_);
   Matrix out(cols_, other.cols_);
+  const ProjectionKernels& kern = ProjKernels();
   for (size_t k = 0; k < rows_; ++k) {
     const double* a_row = Row(k);
     const double* b_row = other.Row(k);
     for (size_t i = 0; i < cols_; ++i) {
       const double a = a_row[i];
       if (a == 0.0) continue;
-      double* out_row = out.Row(i);
-      for (size_t j = 0; j < other.cols_; ++j) {
-        out_row[j] += a * b_row[j];
-      }
+      kern.axpy(a, b_row, out.Row(i), other.cols_);
     }
   }
   return out;
@@ -102,26 +109,18 @@ Matrix Matrix::TransposedMultiply(const Matrix& other) const {
 Matrix Matrix::MultiplyTransposed(const Matrix& other) const {
   assert(cols_ == other.cols_);
   Matrix out(rows_, other.rows_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* a_row = Row(i);
-    for (size_t j = 0; j < other.rows_; ++j) {
-      const double* b_row = other.Row(j);
-      double dot = 0.0;
-      for (size_t k = 0; k < cols_; ++k) dot += a_row[k] * b_row[k];
-      out.At(i, j) = dot;
-    }
-  }
+  if (empty() || other.empty()) return out;
+  ProjKernels().gemm_nt(data_.data(), rows_, cols_, other.data_.data(),
+                        other.rows_, other.cols_, cols_, out.data_.data(),
+                        other.rows_);
   return out;
 }
 
 std::vector<double> Matrix::MatVec(const std::vector<double>& x) const {
   assert(x.size() == cols_);
   std::vector<double> y(rows_, 0.0);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* row = Row(i);
-    double dot = 0.0;
-    for (size_t j = 0; j < cols_; ++j) dot += row[j] * x[j];
-    y[i] = dot;
+  if (!empty()) {
+    ProjKernels().gemv(data_.data(), rows_, cols_, x.data(), y.data());
   }
   return y;
 }
@@ -162,10 +161,9 @@ double Matrix::SpectralNorm(int max_iters, double tol) const {
     std::vector<double> ax = MatVec(x);
     // y = A^T ax
     std::vector<double> y(cols_, 0.0);
+    const ProjectionKernels& kern = ProjKernels();
     for (size_t i = 0; i < rows_; ++i) {
-      const double* row = Row(i);
-      const double a = ax[i];
-      for (size_t j = 0; j < cols_; ++j) y[j] += a * row[j];
+      kern.axpy(ax[i], Row(i), y.data(), cols_);
     }
     double norm = 0.0;
     for (double v : y) norm += v * v;

@@ -2,23 +2,22 @@
 
 #include <algorithm>
 #include <cassert>
+#include <vector>
 
 #include "la/eigen_sym.h"
+#include "la/simd_kernels.h"
 #include "util/parallel_for.h"
 
 namespace gqr {
 
 void PcaModel::Project(const float* x, double* out) const {
   const size_t d = dim();
-  const size_t m = num_components();
-  for (size_t i = 0; i < m; ++i) {
-    const double* row = components.Row(i);
-    double dot = 0.0;
-    for (size_t j = 0; j < d; ++j) {
-      dot += row[j] * (static_cast<double>(x[j]) - mean[j]);
-    }
-    out[i] = dot;
-  }
+  if (num_components() == 0) return;
+  const ProjectionKernels& k = ProjKernels();
+  thread_local std::vector<double> centered;
+  if (centered.size() < d) centered.resize(d);
+  k.center(x, mean.data(), d, centered.data());
+  k.gemv(components.Row(0), num_components(), d, centered.data(), out);
 }
 
 PcaModel FitPca(const float* data, size_t n, size_t dim,

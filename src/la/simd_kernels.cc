@@ -1,5 +1,6 @@
 #include "la/simd_kernels.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 
@@ -91,6 +92,73 @@ void DotAndNormsScalar(const float* a, const float* b, size_t dim,
   *dot = d;
   *a_norm2 = na;
   *b_norm2 = nb;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar projection (double) kernels. Every accumulation is an explicit
+// std::fma over the canonical structure documented in the header: eight
+// strided partials, a 4-wide remainder block into s0..s3, the fixed
+// (t0+t1)+(t2+t3) combine, then an fma tail. The AVX2 kernels below
+// perform the identical operation sequence with vector lanes standing in
+// for the strided partials, so the two levels agree bit for bit.
+// ---------------------------------------------------------------------------
+
+double DdotScalar(const double* a, const double* b, size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  double s4 = 0.0, s5 = 0.0, s6 = 0.0, s7 = 0.0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    s0 = std::fma(a[i], b[i], s0);
+    s1 = std::fma(a[i + 1], b[i + 1], s1);
+    s2 = std::fma(a[i + 2], b[i + 2], s2);
+    s3 = std::fma(a[i + 3], b[i + 3], s3);
+    s4 = std::fma(a[i + 4], b[i + 4], s4);
+    s5 = std::fma(a[i + 5], b[i + 5], s5);
+    s6 = std::fma(a[i + 6], b[i + 6], s6);
+    s7 = std::fma(a[i + 7], b[i + 7], s7);
+  }
+  if (i + 4 <= n) {
+    s0 = std::fma(a[i], b[i], s0);
+    s1 = std::fma(a[i + 1], b[i + 1], s1);
+    s2 = std::fma(a[i + 2], b[i + 2], s2);
+    s3 = std::fma(a[i + 3], b[i + 3], s3);
+    i += 4;
+  }
+  const double t0 = s0 + s4, t1 = s1 + s5, t2 = s2 + s6, t3 = s3 + s7;
+  double s = (t0 + t1) + (t2 + t3);
+  for (; i < n; ++i) s = std::fma(a[i], b[i], s);
+  return s;
+}
+
+void DaxpyScalar(double alpha, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] = std::fma(alpha, x[i], y[i]);
+}
+
+void CenterScalar(const float* x, const double* offset, size_t n,
+                  double* out) {
+  if (offset != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<double>(x[i]) - offset[i];
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) out[i] = static_cast<double>(x[i]);
+  }
+}
+
+void DgemvScalar(const double* w, size_t m, size_t d, const double* x,
+                 double* y) {
+  for (size_t i = 0; i < m; ++i) y[i] = DdotScalar(w + i * d, x, d);
+}
+
+void DgemmNtScalar(const double* a, size_t n, size_t lda, const double* b,
+                   size_t m, size_t ldb, size_t d, double* c, size_t ldc) {
+  for (size_t i = 0; i < n; ++i) {
+    const double* a_row = a + i * lda;
+    double* c_row = c + i * ldc;
+    for (size_t j = 0; j < m; ++j) {
+      c_row[j] = DdotScalar(a_row, b + j * ldb, d);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -230,6 +298,151 @@ GQR_TARGET_AVX2 void DotAndNormsAvx2(const float* a, const float* b,
   *b_norm2 = nb;
 }
 
+// ---------------------------------------------------------------------------
+// AVX2 projection (double) kernels. A 256-bit double vector holds 4
+// lanes, so the canonical 8-partial structure is two accumulator vectors:
+// acc0 lanes = s0..s3 (offsets j+0..j+3 of each 8-block), acc1 lanes =
+// s4..s7. The combine adds acc0+acc1 element-wise (t_l = s_l + s_{l+4})
+// and reduces (t0+t1)+(t2+t3) — exactly the scalar reference's order.
+// Tails use _mm_fmadd_sd, the same correctly-rounded fma as std::fma.
+// ---------------------------------------------------------------------------
+
+GQR_TARGET_AVX2 inline double DdotCombine(__m256d acc0, __m256d acc1) {
+  const __m256d t = _mm256_add_pd(acc0, acc1);
+  const __m128d lo = _mm256_castpd256_pd128(t);     // t0, t1
+  const __m128d hi = _mm256_extractf128_pd(t, 1);   // t2, t3
+  const __m128d t01 = _mm_add_sd(lo, _mm_unpackhi_pd(lo, lo));  // t0 + t1
+  const __m128d t23 = _mm_add_sd(hi, _mm_unpackhi_pd(hi, hi));  // t2 + t3
+  return _mm_cvtsd_f64(_mm_add_sd(t01, t23));
+}
+
+GQR_TARGET_AVX2 inline double DdotTail(double s, const double* a,
+                                       const double* b, size_t i, size_t n) {
+  __m128d acc = _mm_set_sd(s);
+  for (; i < n; ++i) {
+    acc = _mm_fmadd_sd(_mm_load_sd(a + i), _mm_load_sd(b + i), acc);
+  }
+  return _mm_cvtsd_f64(acc);
+}
+
+GQR_TARGET_AVX2 double DdotAvx2(const double* a, const double* b, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                           _mm256_loadu_pd(b + i + 4), acc1);
+  }
+  if (i + 4 <= n) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    i += 4;
+  }
+  return DdotTail(DdotCombine(acc0, acc1), a, b, i, n);
+}
+
+GQR_TARGET_AVX2 void DaxpyAvx2(double alpha, const double* x, double* y,
+                               size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_pd(
+        y + i, _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i),
+                               _mm256_loadu_pd(y + i)));
+    _mm256_storeu_pd(
+        y + i + 4, _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i + 4),
+                                   _mm256_loadu_pd(y + i + 4)));
+  }
+  if (i + 4 <= n) {
+    _mm256_storeu_pd(
+        y + i, _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i),
+                               _mm256_loadu_pd(y + i)));
+    i += 4;
+  }
+  const __m128d sa = _mm_set_sd(alpha);
+  for (; i < n; ++i) {
+    _mm_store_sd(y + i, _mm_fmadd_sd(sa, _mm_load_sd(x + i),
+                                     _mm_load_sd(y + i)));
+  }
+}
+
+GQR_TARGET_AVX2 void CenterAvx2(const float* x, const double* offset,
+                                size_t n, double* out) {
+  // float -> double widening is exact, so the only rounding op per
+  // element is the subtraction — identical to the scalar reference.
+  size_t i = 0;
+  if (offset != nullptr) {
+    for (; i + 4 <= n; i += 4) {
+      const __m256d xd = _mm256_cvtps_pd(_mm_loadu_ps(x + i));
+      _mm256_storeu_pd(out + i,
+                       _mm256_sub_pd(xd, _mm256_loadu_pd(offset + i)));
+    }
+    for (; i < n; ++i) out[i] = static_cast<double>(x[i]) - offset[i];
+  } else {
+    for (; i + 4 <= n; i += 4) {
+      _mm256_storeu_pd(out + i, _mm256_cvtps_pd(_mm_loadu_ps(x + i)));
+    }
+    for (; i < n; ++i) out[i] = static_cast<double>(x[i]);
+  }
+}
+
+GQR_TARGET_AVX2 void DgemvAvx2(const double* w, size_t m, size_t d,
+                               const double* x, double* y) {
+  for (size_t i = 0; i < m; ++i) y[i] = DdotAvx2(w + i * d, x, d);
+}
+
+GQR_TARGET_AVX2 void DgemmNtAvx2(const double* a, size_t n, size_t lda,
+                                 const double* b, size_t m, size_t ldb,
+                                 size_t d, double* c, size_t ldc) {
+  // Register blocking: 4 B-rows share each A-row load, with two canonical
+  // accumulators per output (8 ymm accumulators + 2 A vectors + a B
+  // temporary fit the 16 architectural registers). Every output runs the
+  // same per-element fma sequence as DdotAvx2, so a 4-blocked column is
+  // bit-identical to four standalone dots.
+  for (size_t i = 0; i < n; ++i) {
+    const double* a_row = a + i * lda;
+    double* c_row = c + i * ldc;
+    size_t j = 0;
+    for (; j + 4 <= m; j += 4) {
+      const double* b0 = b + j * ldb;
+      const double* b1 = b0 + ldb;
+      const double* b2 = b1 + ldb;
+      const double* b3 = b2 + ldb;
+      __m256d c0a = _mm256_setzero_pd(), c0b = _mm256_setzero_pd();
+      __m256d c1a = _mm256_setzero_pd(), c1b = _mm256_setzero_pd();
+      __m256d c2a = _mm256_setzero_pd(), c2b = _mm256_setzero_pd();
+      __m256d c3a = _mm256_setzero_pd(), c3b = _mm256_setzero_pd();
+      size_t k = 0;
+      for (; k + 8 <= d; k += 8) {
+        const __m256d a0 = _mm256_loadu_pd(a_row + k);
+        const __m256d a1 = _mm256_loadu_pd(a_row + k + 4);
+        c0a = _mm256_fmadd_pd(a0, _mm256_loadu_pd(b0 + k), c0a);
+        c0b = _mm256_fmadd_pd(a1, _mm256_loadu_pd(b0 + k + 4), c0b);
+        c1a = _mm256_fmadd_pd(a0, _mm256_loadu_pd(b1 + k), c1a);
+        c1b = _mm256_fmadd_pd(a1, _mm256_loadu_pd(b1 + k + 4), c1b);
+        c2a = _mm256_fmadd_pd(a0, _mm256_loadu_pd(b2 + k), c2a);
+        c2b = _mm256_fmadd_pd(a1, _mm256_loadu_pd(b2 + k + 4), c2b);
+        c3a = _mm256_fmadd_pd(a0, _mm256_loadu_pd(b3 + k), c3a);
+        c3b = _mm256_fmadd_pd(a1, _mm256_loadu_pd(b3 + k + 4), c3b);
+      }
+      if (k + 4 <= d) {
+        const __m256d a0 = _mm256_loadu_pd(a_row + k);
+        c0a = _mm256_fmadd_pd(a0, _mm256_loadu_pd(b0 + k), c0a);
+        c1a = _mm256_fmadd_pd(a0, _mm256_loadu_pd(b1 + k), c1a);
+        c2a = _mm256_fmadd_pd(a0, _mm256_loadu_pd(b2 + k), c2a);
+        c3a = _mm256_fmadd_pd(a0, _mm256_loadu_pd(b3 + k), c3a);
+        k += 4;
+      }
+      c_row[j] = DdotTail(DdotCombine(c0a, c0b), a_row, b0, k, d);
+      c_row[j + 1] = DdotTail(DdotCombine(c1a, c1b), a_row, b1, k, d);
+      c_row[j + 2] = DdotTail(DdotCombine(c2a, c2b), a_row, b2, k, d);
+      c_row[j + 3] = DdotTail(DdotCombine(c3a, c3b), a_row, b3, k, d);
+    }
+    for (; j < m; ++j) c_row[j] = DdotAvx2(a_row, b + j * ldb, d);
+  }
+}
+
 }  // namespace
 
 #endif  // GQR_X86
@@ -274,6 +487,20 @@ const DistanceKernels& Kernels() {
 #if defined(GQR_X86)
     if (ActiveSimdLevel() == SimdLevel::kAvx2) {
       k = {SquaredL2Avx2, DotAvx2, DotAndNormAvx2, DotAndNormsAvx2};
+    }
+#endif
+    return k;
+  }();
+  return table;
+}
+
+const ProjectionKernels& ProjKernels() {
+  static const ProjectionKernels table = [] {
+    ProjectionKernels k{DdotScalar, DaxpyScalar, CenterScalar, DgemvScalar,
+                        DgemmNtScalar};
+#if defined(GQR_X86)
+    if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+      k = {DdotAvx2, DaxpyAvx2, CenterAvx2, DgemvAvx2, DgemmNtAvx2};
     }
 #endif
     return k;

@@ -61,6 +61,58 @@ void DotAndNormScalar(const float* a, const float* b, size_t dim,
 void DotAndNormsScalar(const float* a, const float* b, size_t dim,
                        float* dot, float* a_norm2, float* b_norm2);
 
+/// Double-precision projection/GEMM kernels behind the same dispatcher.
+///
+/// These back the projection stage p(q) = W^T q that every
+/// sign-of-projection hasher runs before probing, and the Matrix products
+/// of the learners. Unlike the float distance kernels (whose levels agree
+/// only to ~1e-4 relative), the projection kernels are **bit-identical
+/// across dispatch levels and across call shapes**: every accumulation is
+/// an explicit fused multiply-add (std::fma in the scalar kernels, vfmadd
+/// in the AVX2 ones) over the same fixed accumulator structure — eight
+/// strided partial sums s_0..s_7 over 8-element blocks, one 4-wide
+/// remainder block into s_0..s_3, the combine ((s_0+s_4)+(s_1+s_5)) +
+/// ((s_2+s_6)+(s_3+s_7)) grouped as (t_0+t_1)+(t_2+t_3), then a scalar
+/// fma tail. Since each IEEE-754 operation is deterministic, any two
+/// kernels performing this same sequence agree bit for bit, which is what
+/// lets hash codes (sign thresholds!) match between the scalar and AVX2
+/// builds and between batched and single-query hashing.
+struct ProjectionKernels {
+  /// sum_i a[i] * b[i] with the canonical fma accumulation above.
+  double (*dot)(const double* a, const double* b, size_t n);
+  /// y[i] = fma(alpha, x[i], y[i]) for i in [0, n). Element-wise, so any
+  /// vector width gives identical results.
+  void (*axpy)(double alpha, const double* x, double* y, size_t n);
+  /// out[i] = double(x[i]) - offset[i] (offset == nullptr: plain widen).
+  void (*center)(const float* x, const double* offset, size_t n,
+                 double* out);
+  /// y[i] = dot(w + i * d, x) for i in [0, m): row-major W (m x d) times
+  /// x. Each row uses the canonical dot accumulation.
+  void (*gemv)(const double* w, size_t m, size_t d, const double* x,
+               double* y);
+  /// C = A * B^T panel: c[i * ldc + j] = dot(a + i * lda, b + j * ldb)
+  /// over length d, for i in [0, n), j in [0, m). Register-blocked over
+  /// j; every output uses the canonical dot accumulation, so one row of
+  /// the batched product is bit-identical to a standalone gemv call.
+  void (*gemm_nt)(const double* a, size_t n, size_t lda, const double* b,
+                  size_t m, size_t ldb, size_t d, double* c, size_t ldc);
+};
+
+/// The projection kernel table for this host, resolved once alongside
+/// Kernels() and honoring the same GQR_SIMD=scalar override.
+const ProjectionKernels& ProjKernels();
+
+/// Scalar references for the projection kernels (the equivalence tests
+/// assert *bitwise* equality between these and the dispatched table).
+double DdotScalar(const double* a, const double* b, size_t n);
+void DaxpyScalar(double alpha, const double* x, double* y, size_t n);
+void CenterScalar(const float* x, const double* offset, size_t n,
+                  double* out);
+void DgemvScalar(const double* w, size_t m, size_t d, const double* x,
+                 double* y);
+void DgemmNtScalar(const double* a, size_t n, size_t lda, const double* b,
+                   size_t m, size_t ldb, size_t d, double* c, size_t ldc);
+
 /// Hints the prefetcher to pull `dim` floats at `row` into cache; used to
 /// overlap the next candidate's memory latency with the current one's
 /// arithmetic. No-op when the compiler lacks __builtin_prefetch.

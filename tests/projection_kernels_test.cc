@@ -1,0 +1,379 @@
+// Tests for the double-precision projection/GEMM kernel layer:
+//  - *bitwise* scalar-vs-dispatched equality for every projection kernel
+//    over lengths 1..65 (odd tails, every 4/8-block remainder) on
+//    unaligned data — stronger than the float distance kernels' 1e-4
+//    relative bound, because hash codes are sign thresholds,
+//  - gemm_nt-vs-gemv row equality (the batched path must reproduce the
+//    single-query path bit for bit, including the 4-wide register-block
+//    remainder columns),
+//  - Matrix products against naive references,
+//  - HashQueryBatch / HashDataset vs per-query HashQuery / HashItem for
+//    every hasher family (LSH, PCAH, ITQ, SSH, SH, KMH).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "hash/itq.h"
+#include "hash/kmh.h"
+#include "hash/lsh.h"
+#include "hash/pcah.h"
+#include "hash/sh.h"
+#include "hash/ssh.h"
+#include "la/matrix.h"
+#include "la/simd_kernels.h"
+#include "util/random.h"
+
+namespace gqr {
+namespace {
+
+void FillRandom(double* out, size_t n, Rng* rng) {
+  for (size_t i = 0; i < n; ++i) out[i] = rng->UniformDouble() * 2.0 - 1.0;
+}
+
+void FillRandomF(float* out, size_t n, Rng* rng) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(rng->UniformDouble() * 2.0 - 1.0);
+  }
+}
+
+// Bitwise double equality (EXPECT_EQ would treat -0.0 == 0.0 and reject
+// NaN; the kernels' contract is stronger: identical bit patterns).
+::testing::AssertionResult BitEqual(double a, double b) {
+  uint64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  if (ba == bb) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " and " << b << " differ in bits";
+}
+
+TEST(ProjectionKernelsTest, DdotDispatchedMatchesScalarBitwise) {
+  Rng rng(71);
+  const ProjectionKernels& k = ProjKernels();
+  for (size_t n = 1; n <= 65; ++n) {
+    // +1 double of padding, then index from 1: unaligned pointers.
+    std::vector<double> abuf(n + 1), bbuf(n + 1);
+    FillRandom(abuf.data(), abuf.size(), &rng);
+    FillRandom(bbuf.data(), bbuf.size(), &rng);
+    const double* a = abuf.data() + 1;
+    const double* b = bbuf.data() + 1;
+    EXPECT_TRUE(BitEqual(DdotScalar(a, b, n), k.dot(a, b, n))) << "n=" << n;
+  }
+}
+
+TEST(ProjectionKernelsTest, DaxpyDispatchedMatchesScalarBitwise) {
+  Rng rng(72);
+  const ProjectionKernels& k = ProjKernels();
+  for (size_t n = 1; n <= 65; ++n) {
+    std::vector<double> x(n + 1), y0(n + 1), y1;
+    FillRandom(x.data(), x.size(), &rng);
+    FillRandom(y0.data(), y0.size(), &rng);
+    y1 = y0;
+    const double alpha = rng.UniformDouble() * 2.0 - 1.0;
+    DaxpyScalar(alpha, x.data() + 1, y0.data() + 1, n);
+    k.axpy(alpha, x.data() + 1, y1.data() + 1, n);
+    for (size_t i = 0; i < n + 1; ++i) {
+      EXPECT_TRUE(BitEqual(y0[i], y1[i])) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(ProjectionKernelsTest, CenterDispatchedMatchesScalarBitwise) {
+  Rng rng(73);
+  const ProjectionKernels& k = ProjKernels();
+  for (size_t n = 1; n <= 65; ++n) {
+    std::vector<float> x(n + 1);
+    std::vector<double> off(n + 1), out0(n), out1(n);
+    FillRandomF(x.data(), x.size(), &rng);
+    FillRandom(off.data(), off.size(), &rng);
+    CenterScalar(x.data() + 1, off.data() + 1, n, out0.data());
+    k.center(x.data() + 1, off.data() + 1, n, out1.data());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(BitEqual(out0[i], out1[i])) << "n=" << n << " i=" << i;
+    }
+    // Offset-less widening variant.
+    CenterScalar(x.data() + 1, nullptr, n, out0.data());
+    k.center(x.data() + 1, nullptr, n, out1.data());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(BitEqual(out0[i], out1[i])) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(ProjectionKernelsTest, GemvDispatchedMatchesScalarBitwise) {
+  Rng rng(74);
+  const ProjectionKernels& k = ProjKernels();
+  for (size_t m : {1u, 2u, 3u, 5u, 8u, 17u, 33u, 64u}) {
+    for (size_t d : {1u, 3u, 4u, 7u, 8u, 12u, 16u, 31u, 65u}) {
+      std::vector<double> w(m * d), x(d), y0(m), y1(m);
+      FillRandom(w.data(), w.size(), &rng);
+      FillRandom(x.data(), x.size(), &rng);
+      DgemvScalar(w.data(), m, d, x.data(), y0.data());
+      k.gemv(w.data(), m, d, x.data(), y1.data());
+      for (size_t i = 0; i < m; ++i) {
+        EXPECT_TRUE(BitEqual(y0[i], y1[i])) << "m=" << m << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(ProjectionKernelsTest, GemmNtDispatchedMatchesScalarBitwise) {
+  Rng rng(75);
+  const ProjectionKernels& k = ProjKernels();
+  // Shapes chosen to hit every register-block remainder (m % 4 in
+  // 0..3), row counts around tile edges, and odd inner dims.
+  for (size_t n : {1u, 2u, 5u, 16u, 65u}) {
+    for (size_t m : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 33u}) {
+      for (size_t d : {1u, 4u, 7u, 8u, 24u, 65u}) {
+        std::vector<double> a(n * d), b(m * d), c0(n * m), c1(n * m);
+        FillRandom(a.data(), a.size(), &rng);
+        FillRandom(b.data(), b.size(), &rng);
+        DgemmNtScalar(a.data(), n, d, b.data(), m, d, d, c0.data(), m);
+        k.gemm_nt(a.data(), n, d, b.data(), m, d, d, c1.data(), m);
+        for (size_t i = 0; i < n * m; ++i) {
+          EXPECT_TRUE(BitEqual(c0[i], c1[i]))
+              << "n=" << n << " m=" << m << " d=" << d << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+// The batched/single-query contract at the kernel level: row q of a
+// gemm_nt product equals the standalone gemv of that row, bit for bit —
+// including remainder columns of the 4-wide register blocking.
+TEST(ProjectionKernelsTest, GemmRowsBitIdenticalToGemv) {
+  Rng rng(76);
+  const ProjectionKernels& k = ProjKernels();
+  for (size_t m : {1u, 3u, 4u, 6u, 32u}) {
+    for (size_t d : {7u, 16u, 65u, 128u}) {
+      const size_t n = 9;
+      std::vector<double> a(n * d), b(m * d), c(n * m), y(m);
+      FillRandom(a.data(), a.size(), &rng);
+      FillRandom(b.data(), b.size(), &rng);
+      k.gemm_nt(a.data(), n, d, b.data(), m, d, d, c.data(), m);
+      for (size_t q = 0; q < n; ++q) {
+        k.gemv(b.data(), m, d, a.data() + q * d, y.data());
+        for (size_t i = 0; i < m; ++i) {
+          EXPECT_TRUE(BitEqual(c[q * m + i], y[i]))
+              << "m=" << m << " d=" << d << " q=" << q << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+// Matrix products against a naive reference: the kernel-backed versions
+// must agree to rounding (not bitwise — the accumulation order differs
+// from the naive loop by design).
+TEST(ProjectionKernelsTest, MatrixProductsMatchNaive) {
+  Rng rng(77);
+  for (size_t rows : {1u, 3u, 17u}) {
+    for (size_t inner : {1u, 5u, 66u}) {
+      for (size_t cols : {1u, 4u, 19u}) {
+        Matrix a = Matrix::RandomGaussian(rows, inner, &rng);
+        Matrix b = Matrix::RandomGaussian(inner, cols, &rng);
+        Matrix ab = a.Multiply(b);
+        ASSERT_EQ(ab.rows(), rows);
+        ASSERT_EQ(ab.cols(), cols);
+        for (size_t i = 0; i < rows; ++i) {
+          for (size_t j = 0; j < cols; ++j) {
+            double ref = 0.0;
+            for (size_t t = 0; t < inner; ++t) ref += a.At(i, t) * b.At(t, j);
+            EXPECT_NEAR(ab.At(i, j), ref, 1e-10 * std::max(1.0, std::abs(ref)))
+                << rows << "x" << inner << "x" << cols;
+          }
+        }
+        // A^T * (A * B) exercises TransposedMultiply.
+        Matrix atab = a.TransposedMultiply(ab);
+        ASSERT_EQ(atab.rows(), inner);
+        ASSERT_EQ(atab.cols(), cols);
+        for (size_t i = 0; i < inner; ++i) {
+          for (size_t j = 0; j < cols; ++j) {
+            double ref = 0.0;
+            for (size_t t = 0; t < rows; ++t) ref += a.At(t, i) * ab.At(t, j);
+            EXPECT_NEAR(atab.At(i, j), ref,
+                        1e-10 * std::max(1.0, std::abs(ref)));
+          }
+        }
+        // A * A^T exercises gemm_nt through MultiplyTransposed.
+        Matrix aat = a.MultiplyTransposed(a);
+        for (size_t i = 0; i < rows; ++i) {
+          for (size_t j = 0; j < rows; ++j) {
+            double ref = 0.0;
+            for (size_t t = 0; t < inner; ++t) ref += a.At(i, t) * a.At(j, t);
+            EXPECT_NEAR(aat.At(i, j), ref,
+                        1e-10 * std::max(1.0, std::abs(ref)));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ProjectionKernelsTest, MatVecMatchesMultiplyColumn) {
+  Rng rng(78);
+  Matrix a = Matrix::RandomGaussian(13, 37, &rng);
+  std::vector<double> x(37);
+  FillRandom(x.data(), x.size(), &rng);
+  std::vector<double> y = a.MatVec(x);
+  for (size_t i = 0; i < 13; ++i) {
+    double ref = 0.0;
+    for (size_t j = 0; j < 37; ++j) ref += a.At(i, j) * x[j];
+    EXPECT_NEAR(y[i], ref, 1e-10 * std::max(1.0, std::abs(ref)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hasher-level equivalence: for every family, HashQueryBatch must equal
+// per-query HashQuery bitwise (codes and flip costs) and HashDataset must
+// equal per-item HashItem. Runs under the active dispatch level; CI
+// repeats the whole suite with GQR_SIMD=scalar, which closes the
+// cross-level half of the contract.
+// ---------------------------------------------------------------------------
+
+struct NamedHasher {
+  std::string name;
+  std::unique_ptr<BinaryHasher> hasher;
+};
+
+std::vector<NamedHasher> AllFamilies(const Dataset& data) {
+  std::vector<NamedHasher> out;
+  {
+    LshOptions o;
+    o.code_length = 12;
+    out.push_back(
+        {"LSH", std::make_unique<LinearHasher>(TrainLsh(data, data.dim(), o))});
+  }
+  {
+    PcahOptions o;
+    o.code_length = 12;
+    out.push_back({"PCAH", std::make_unique<LinearHasher>(TrainPcah(data, o))});
+  }
+  {
+    ItqOptions o;
+    o.code_length = 12;
+    o.iterations = 10;
+    out.push_back({"ITQ", std::make_unique<LinearHasher>(TrainItq(data, o))});
+  }
+  {
+    SshOptions o;
+    o.code_length = 12;
+    const auto pairs = MakeMetricPairs(data, 64, 99);
+    out.push_back(
+        {"SSH", std::make_unique<LinearHasher>(TrainSsh(data, pairs, o))});
+  }
+  {
+    ShOptions o;
+    o.code_length = 12;
+    out.push_back({"SH", std::make_unique<ShHasher>(TrainSh(data, o))});
+  }
+  {
+    KmhOptions o;
+    o.code_length = 12;
+    o.bits_per_block = 4;
+    o.kmeans_iters = 8;
+    o.assignment_passes = 3;
+    out.push_back({"KMH", std::make_unique<KmhHasher>(TrainKmh(data, o))});
+  }
+  return out;
+}
+
+TEST(ProjectionKernelsTest, HashQueryBatchBitIdenticalToHashQuery) {
+  SyntheticSpec spec;
+  spec.n = 700;
+  spec.dim = 24;
+  spec.num_clusters = 10;
+  spec.seed = 5;
+  Dataset all = GenerateClusteredGaussian(spec);
+  Rng rng(3);
+  auto [base, queries] = all.SplitQueries(65, &rng);  // Odd tile remainder.
+
+  for (const NamedHasher& nh : AllFamilies(base)) {
+    std::vector<QueryHashInfo> batch(queries.size());
+    std::vector<double> scratch;
+    nh.hasher->HashQueryBatch(queries.Row(0), queries.size(), queries.dim(),
+                              &scratch, batch.data());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      const QueryHashInfo single =
+          nh.hasher->HashQuery(queries.Row(static_cast<ItemId>(q)));
+      EXPECT_EQ(batch[q].code, single.code) << nh.name << " query " << q;
+      ASSERT_EQ(batch[q].flip_costs.size(), single.flip_costs.size());
+      for (size_t i = 0; i < single.flip_costs.size(); ++i) {
+        EXPECT_TRUE(BitEqual(batch[q].flip_costs[i], single.flip_costs[i]))
+            << nh.name << " query " << q << " bit " << i;
+      }
+    }
+  }
+}
+
+TEST(ProjectionKernelsTest, HashDatasetBitIdenticalToHashItem) {
+  SyntheticSpec spec;
+  spec.n = 600;
+  spec.dim = 20;
+  spec.num_clusters = 8;
+  spec.seed = 6;
+  Dataset data = GenerateClusteredGaussian(spec);
+
+  for (const NamedHasher& nh : AllFamilies(data)) {
+    const std::vector<Code> codes = nh.hasher->HashDataset(data);
+    ASSERT_EQ(codes.size(), data.size());
+    for (size_t i = 0; i < data.size(); ++i) {
+      EXPECT_EQ(codes[i], nh.hasher->HashItem(data.Row(static_cast<ItemId>(i))))
+          << nh.name << " item " << i;
+    }
+  }
+}
+
+TEST(ProjectionKernelsTest, ProjectBatchBitIdenticalToProject) {
+  SyntheticSpec spec;
+  spec.n = 300;
+  spec.dim = 33;  // Odd dim: center/gemv tails in play.
+  spec.num_clusters = 6;
+  spec.seed = 7;
+  Dataset data = GenerateClusteredGaussian(spec);
+  ItqOptions o;
+  o.code_length = 14;
+  o.iterations = 5;
+  const LinearHasher hasher = TrainItq(data, o);
+
+  const size_t count = 67;
+  std::vector<double> batch(count * 14), single(14);
+  hasher.ProjectBatch(data.Row(0), count, data.dim(), batch.data());
+  for (size_t q = 0; q < count; ++q) {
+    hasher.Project(data.Row(static_cast<ItemId>(q)), single.data());
+    for (size_t i = 0; i < single.size(); ++i) {
+      EXPECT_TRUE(BitEqual(batch[q * 14 + i], single[i]))
+          << "query " << q << " bit " << i;
+    }
+  }
+}
+
+TEST(ProjectionKernelsTest, HashQueryIntoMatchesHashQuery) {
+  SyntheticSpec spec;
+  spec.n = 200;
+  spec.dim = 16;
+  spec.num_clusters = 5;
+  spec.seed = 8;
+  Dataset data = GenerateClusteredGaussian(spec);
+  PcahOptions o;
+  o.code_length = 10;
+  const LinearHasher hasher = TrainPcah(data, o);
+
+  QueryHashInfo into;
+  for (size_t q = 0; q < 20; ++q) {
+    hasher.HashQueryInto(data.Row(static_cast<ItemId>(q)), &into);
+    const QueryHashInfo value =
+        hasher.HashQuery(data.Row(static_cast<ItemId>(q)));
+    EXPECT_EQ(into.code, value.code);
+    EXPECT_EQ(into.flip_costs, value.flip_costs);
+  }
+}
+
+}  // namespace
+}  // namespace gqr

@@ -198,6 +198,57 @@ TEST(ScratchReuseTest, BatchSearchIntoReusesResultStorage) {
   }
 }
 
+TEST(ScratchReuseTest, HashingHotPathsAreAllocationFreeAfterWarmup) {
+  Fixture f = Fixture::Make();
+
+  // Warmup: thread-local projection buffers and this query's flip_costs
+  // reach steady-state capacity.
+  QueryHashInfo info;
+  f.hasher.HashQueryInto(f.queries.Row(0), &info);
+  Code code = f.hasher.HashItem(f.base.Row(0));
+
+  const size_t before = AllocCount();
+  for (int pass = 0; pass < 5; ++pass) {
+    f.hasher.HashQueryInto(f.queries.Row(0), &info);
+    code ^= f.hasher.HashItem(f.base.Row(0));
+  }
+  EXPECT_EQ(AllocCount(), before)
+      << "HashQueryInto/HashItem allocated after warmup";
+  (void)code;
+}
+
+TEST(ScratchReuseTest, HashQueryBatchIsAllocationFreeAfterWarmup) {
+  Fixture f = Fixture::Make();
+
+  std::vector<QueryHashInfo> infos(f.queries.size());
+  std::vector<double> scratch;
+  auto run = [&] {
+    f.hasher.HashQueryBatch(f.queries.Row(0), f.queries.size(),
+                            f.queries.dim(), &scratch, infos.data());
+  };
+  run();  // Warmup: scratch + every info's flip_costs grow once.
+
+  const size_t before = AllocCount();
+  run();
+  EXPECT_EQ(AllocCount(), before) << "HashQueryBatch allocated after warmup";
+}
+
+TEST(ScratchReuseTest, GqrProberProbesWithoutReallocation) {
+  Fixture f = Fixture::Make();
+  QueryHashInfo info = f.hasher.HashQuery(f.queries.Row(0));
+
+  // Construction reserves the heap (and builds perm_/sorted_costs_);
+  // draining every bucket of an 8-bit code stays within that reserve, so
+  // Next() itself must never touch the allocator.
+  GqrProber prober(info);
+  const size_t before = AllocCount();
+  ProbeTarget target;
+  size_t emitted = 0;
+  while (prober.Next(&target)) ++emitted;
+  EXPECT_EQ(emitted, size_t{1} << info.code_length());
+  EXPECT_EQ(AllocCount(), before) << "GqrProber::Next allocated mid-stream";
+}
+
 TEST(ScratchReuseTest, VisitedSetSurvivesEpochWrap) {
   SearchScratch s;
   s.BeginQuery(/*base_size=*/8, /*need_visited=*/true);
