@@ -25,6 +25,19 @@ std::vector<QueryHashInfo>& TlQueryInfos(size_t n) {
 
 }  // namespace
 
+void BatchHashQueries(const BinaryHasher& hasher, const Dataset& queries,
+                      QueryHashInfo* infos, ThreadPool* pool) {
+  const size_t nq = queries.size();
+  const size_t num_tiles = (nq + kHashTile - 1) / kHashTile;
+  ParallelFor(0, num_tiles, [&](size_t t) {
+    const size_t lo = t * kHashTile;
+    const size_t hi = std::min(nq, lo + kHashTile);
+    hasher.HashQueryBatch(queries.Row(static_cast<ItemId>(lo)), hi - lo,
+                          queries.dim(),
+                          &ThreadLocalSearchScratch().projection, &infos[lo]);
+  }, /*min_parallel=*/2, pool);
+}
+
 void BatchSearchInto(const Searcher& searcher, const BinaryHasher& hasher,
                      const StaticHashTable& table, const Dataset& queries,
                      QueryMethod method, const SearchOptions& options,
@@ -37,14 +50,7 @@ void BatchSearchInto(const Searcher& searcher, const BinaryHasher& hasher,
   // (a single GEMM for projection hashers) per tile. Worker threads
   // project into their thread-local SearchScratch's projection buffer.
   std::vector<QueryHashInfo>& infos = TlQueryInfos(nq);
-  const size_t num_tiles = (nq + kHashTile - 1) / kHashTile;
-  ParallelFor(0, num_tiles, [&](size_t t) {
-    const size_t lo = t * kHashTile;
-    const size_t hi = std::min(nq, lo + kHashTile);
-    hasher.HashQueryBatch(queries.Row(static_cast<ItemId>(lo)), hi - lo,
-                          queries.dim(),
-                          &ThreadLocalSearchScratch().projection, &infos[lo]);
-  }, /*min_parallel=*/2, pool);
+  BatchHashQueries(hasher, queries, infos.data(), pool);
 
   // Phase 2: probe + evaluate per query, starting from the precomputed
   // QueryHashInfo.

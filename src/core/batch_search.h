@@ -26,6 +26,15 @@
 
 namespace gqr {
 
+/// Phase 1 of every batch path: hashes the whole query block in parallel
+/// 64-query tiles (one blocked GEMM per tile for projection hashers),
+/// writing infos[0..queries.size()). `infos` must already have that many
+/// elements; their flip_costs capacity is reused. Bit-identical to
+/// per-query HashQuery. Tile boundaries are fixed, so results do not
+/// depend on the pool.
+void BatchHashQueries(const BinaryHasher& hasher, const Dataset& queries,
+                      QueryHashInfo* infos, ThreadPool* pool = nullptr);
+
 /// Runs `method` for every row of `queries` against one table, in
 /// parallel. results[q] corresponds to queries.Row(q). `pool` overrides
 /// the shared process pool (pass a 1-thread pool for deterministic

@@ -61,6 +61,10 @@ struct SearchScratch {
   /// here, so the hashing phase of BatchSearch reuses one allocation per
   /// worker instead of allocating per query.
   std::vector<double> projection;
+  /// Gather buffer for sharded probing: ShardedIndex bucket copies land
+  /// here (one bucket's union across shards at a time), since a sharded
+  /// probe cannot hand out spans into mutable shard storage.
+  std::vector<ItemId> shard_items;
   /// Epoch-stamped visited set for multi-table de-duplication:
   /// visited[id] == epoch  <=>  id was already evaluated this query.
   /// Bumping the epoch invalidates all stamps in O(1), so queries after

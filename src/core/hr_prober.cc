@@ -4,15 +4,20 @@ namespace gqr {
 
 HrProber::HrProber(const QueryHashInfo& info, const StaticHashTable& table,
                    uint32_t table_id)
+    : HrProber(info, table.bucket_codes(), table.code_length(), table_id) {}
+
+HrProber::HrProber(const QueryHashInfo& info,
+                   const std::vector<Code>& bucket_codes, int code_length,
+                   uint32_t table_id)
     : table_id_(table_id) {
-  const int m = table.code_length();
+  const int m = code_length;
   // Bucket sort: one bin per Hamming distance 0..m.
   std::vector<std::vector<Code>> bins(m + 1);
-  for (Code code : table.bucket_codes()) {
+  for (Code code : bucket_codes) {
     bins[HammingDistance(info.code, code)].push_back(code);
   }
-  order_.reserve(table.num_buckets());
-  distances_.reserve(table.num_buckets());
+  order_.reserve(bucket_codes.size());
+  distances_.reserve(bucket_codes.size());
   for (int d = 0; d <= m; ++d) {
     // bucket_codes() is ascending, so bins preserve a deterministic
     // within-distance order ("ties are broken arbitrarily" in the paper).

@@ -20,6 +20,12 @@ class HrProber : public BucketProber {
   HrProber(const QueryHashInfo& info, const StaticHashTable& table,
            uint32_t table_id = 0);
 
+  /// As above, from an explicit bucket list (ascending code order for the
+  /// canonical within-distance tie-break) and code length m — used by the
+  /// sharded path with the bucket-code union across shards.
+  HrProber(const QueryHashInfo& info, const std::vector<Code>& bucket_codes,
+           int code_length, uint32_t table_id = 0);
+
   bool Next(ProbeTarget* target) override;
   double last_score() const override { return last_distance_; }
 

@@ -8,10 +8,14 @@ namespace gqr {
 
 QrProber::QrProber(const QueryHashInfo& info, const StaticHashTable& table,
                    uint32_t table_id)
+    : QrProber(info, table.bucket_codes(), table_id) {}
+
+QrProber::QrProber(const QueryHashInfo& info,
+                   const std::vector<Code>& bucket_codes, uint32_t table_id)
     : table_id_(table_id) {
   // Algorithm 1 line 4: calculate QD for all buckets and sort.
-  order_.reserve(table.num_buckets());
-  for (Code code : table.bucket_codes()) {
+  order_.reserve(bucket_codes.size());
+  for (Code code : bucket_codes) {
     order_.push_back({QuantizationDistance(info, code), code});
   }
   std::sort(order_.begin(), order_.end(),

@@ -21,6 +21,14 @@ class QrProber : public BucketProber {
   QrProber(const QueryHashInfo& info, const StaticHashTable& table,
            uint32_t table_id = 0);
 
+  /// As above, from an explicit bucket list instead of a table — used by
+  /// the sharded path, which sorts the bucket-code *union* across shards.
+  /// Emission order depends only on the code set (ties broken by code),
+  /// so this is identical to the table constructor when `bucket_codes`
+  /// equals the table's bucket_codes().
+  QrProber(const QueryHashInfo& info, const std::vector<Code>& bucket_codes,
+           uint32_t table_id = 0);
+
   bool Next(ProbeTarget* target) override;
   double last_score() const override { return last_qd_; }
 

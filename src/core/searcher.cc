@@ -132,6 +132,23 @@ void Searcher::SearchInto(const float* query, BucketProber* prober,
 }
 
 void Searcher::SearchInto(const float* query, BucketProber* prober,
+                          const ShardedIndex& index,
+                          const SearchOptions& options, SearchScratch* scratch,
+                          SearchResult* result) const {
+  SearchScratch& s = scratch != nullptr ? *scratch : ThreadLocalSearchScratch();
+  // Shards partition the corpus (num_tables = 1: no dedup needed). The
+  // per-bucket gather copies each shard's sub-bucket under that shard's
+  // shared lock, so the returned span never dangles into mutable storage.
+  SearchImpl(query, prober, options, /*num_tables=*/1,
+             [&](const ProbeTarget& t) -> std::span<const ItemId> {
+               s.shard_items.clear();
+               index.ProbeAll(t.bucket, &s.shard_items);
+               return {s.shard_items.data(), s.shard_items.size()};
+             },
+             &s, result);
+}
+
+void Searcher::SearchInto(const float* query, BucketProber* prober,
                           const MultiTableIndex& index,
                           const SearchOptions& options, SearchScratch* scratch,
                           SearchResult* result) const {
@@ -157,6 +174,15 @@ SearchResult Searcher::Search(const float* query, BucketProber* prober,
                               SearchScratch* scratch) const {
   SearchResult result;
   SearchInto(query, prober, table, options, scratch, &result);
+  return result;
+}
+
+SearchResult Searcher::Search(const float* query, BucketProber* prober,
+                              const ShardedIndex& index,
+                              const SearchOptions& options,
+                              SearchScratch* scratch) const {
+  SearchResult result;
+  SearchInto(query, prober, index, options, scratch, &result);
   return result;
 }
 

@@ -30,6 +30,7 @@
 #include "index/dynamic_table.h"
 #include "index/hash_table.h"
 #include "index/multi_table.h"
+#include "index/sharded_index.h"
 
 namespace gqr {
 
@@ -100,6 +101,19 @@ class Searcher {
                       const SearchOptions& options,
                       SearchScratch* scratch = nullptr) const;
 
+  /// Search over a concurrent sharded index. Each probed bucket is the
+  /// union of the bucket across shards, copied out under the per-shard
+  /// shared locks, so this is safe while writers Insert/Remove
+  /// concurrently. On a quiesced index the result is identical to
+  /// searching an unsharded table with the same contents (the shards
+  /// partition the corpus, so every probed bucket sees the same item
+  /// set, and budget accounting proceeds whole-bucket exactly as in the
+  /// single-table path). HR/QR probers additionally need the bucket-code
+  /// union; see MakeShardedProber in core/sharded_search.h.
+  SearchResult Search(const float* query, BucketProber* prober,
+                      const ShardedIndex& index, const SearchOptions& options,
+                      SearchScratch* scratch = nullptr) const;
+
   /// Allocation-free variants: results are written into `*result`
   /// (cleared first, capacity reused). These are what BatchSearch drives;
   /// with a warm scratch and result they do not touch the heap.
@@ -111,6 +125,9 @@ class Searcher {
                   SearchScratch* scratch, SearchResult* result) const;
   void SearchInto(const float* query, BucketProber* prober,
                   const DynamicHashTable& table, const SearchOptions& options,
+                  SearchScratch* scratch, SearchResult* result) const;
+  void SearchInto(const float* query, BucketProber* prober,
+                  const ShardedIndex& index, const SearchOptions& options,
                   SearchScratch* scratch, SearchResult* result) const;
 
   /// Reranks an explicit candidate list (used by the MIH and IMI paths,

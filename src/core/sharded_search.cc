@@ -1,0 +1,73 @@
+#include "core/sharded_search.h"
+
+#include "core/batch_search.h"
+#include "core/ghr_prober.h"
+#include "core/gqr_prober.h"
+#include "core/hr_prober.h"
+#include "core/qr_prober.h"
+#include "util/parallel_for.h"
+
+namespace gqr {
+
+std::unique_ptr<BucketProber> MakeShardedProber(
+    QueryMethod method, const QueryHashInfo& info,
+    const std::vector<Code>& bucket_union, int code_length) {
+  switch (method) {
+    case QueryMethod::kHR:
+      return std::make_unique<HrProber>(info, bucket_union, code_length);
+    case QueryMethod::kGHR:
+      return std::make_unique<GhrProber>(info);
+    case QueryMethod::kQR:
+      return std::make_unique<QrProber>(info, bucket_union);
+    case QueryMethod::kGQR:
+      return std::make_unique<GqrProber>(info);
+  }
+  return nullptr;
+}
+
+void ShardedSearchInto(const Searcher& searcher, const BinaryHasher& hasher,
+                       const ShardedIndex& index, const Dataset& queries,
+                       QueryMethod method, const SearchOptions& options,
+                       std::vector<SearchResult>* results, ThreadPool* pool) {
+  const size_t nq = queries.size();
+  results->resize(nq);
+  if (nq == 0) return;
+
+  // HR/QR sort a bucket list upfront; snapshot the cross-shard union
+  // once per batch (one shared-lock pass per shard). Under concurrent
+  // ingest the union is a point-in-time approximation — new buckets
+  // created after the snapshot are not probed this batch, which is the
+  // same staleness any sorted-upfront method has on a mutating index.
+  std::vector<Code> bucket_union;
+  if (method == QueryMethod::kHR || method == QueryMethod::kQR) {
+    bucket_union = index.BucketCodeUnion();
+  }
+
+  // Phase 1: batched query hashing, identical to BatchSearch.
+  std::vector<QueryHashInfo> infos(nq);
+  BatchHashQueries(hasher, queries, infos.data(), pool);
+
+  // Phase 2: probe + evaluate per query against the sharded index.
+  ParallelFor(0, nq, [&](size_t q) {
+    const float* query = queries.Row(static_cast<ItemId>(q));
+    std::unique_ptr<BucketProber> prober =
+        MakeShardedProber(method, infos[q], bucket_union, index.code_length());
+    searcher.SearchInto(query, prober.get(), index, options,
+                        /*scratch=*/nullptr, &(*results)[q]);
+  }, /*min_parallel=*/2, pool);
+}
+
+std::vector<SearchResult> ShardedSearch(const Searcher& searcher,
+                                        const BinaryHasher& hasher,
+                                        const ShardedIndex& index,
+                                        const Dataset& queries,
+                                        QueryMethod method,
+                                        const SearchOptions& options,
+                                        ThreadPool* pool) {
+  std::vector<SearchResult> results;
+  ShardedSearchInto(searcher, hasher, index, queries, method, options,
+                    &results, pool);
+  return results;
+}
+
+}  // namespace gqr

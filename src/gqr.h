@@ -31,6 +31,7 @@
 #include "core/qd.h"
 #include "core/qr_prober.h"
 #include "core/searcher.h"
+#include "core/sharded_search.h"
 #include "core/sklsh.h"
 #include "data/dataset.h"
 #include "data/ground_truth.h"
@@ -55,6 +56,7 @@
 #include "index/dynamic_table.h"
 #include "index/hash_table.h"
 #include "index/multi_table.h"
+#include "index/sharded_index.h"
 #include "la/simd_kernels.h"
 #include "persist/model_io.h"
 #include "persist/serializer.h"

@@ -55,6 +55,35 @@ std::span<const ItemId> DynamicHashTable::Probe(Code code) const {
   return it->second;
 }
 
+std::vector<Code> DynamicHashTable::BucketCodes() const {
+  std::vector<Code> codes;
+  codes.reserve(buckets_.size());
+  for (const auto& [code, items] : buckets_) codes.push_back(code);
+  std::sort(codes.begin(), codes.end());
+  return codes;
+}
+
+size_t DynamicHashTable::ProbeInto(Code code, std::vector<ItemId>* out) const {
+  auto it = buckets_.find(code & code_mask_);
+  if (it == buckets_.end()) return 0;
+  out->insert(out->end(), it->second.begin(), it->second.end());
+  return it->second.size();
+}
+
+StaticHashTable DynamicHashTable::SnapshotTable() const {
+  std::vector<ItemId> ids;
+  std::vector<Code> codes;
+  ids.reserve(num_items_);
+  codes.reserve(num_items_);
+  for (const auto& [code, items] : buckets_) {
+    for (ItemId id : items) {
+      ids.push_back(id);
+      codes.push_back(code);
+    }
+  }
+  return StaticHashTable(ids, codes, code_length_);
+}
+
 Result<StaticHashTable> DynamicHashTable::Freeze() const {
   // Re-derive the per-item code array; StaticHashTable addresses items
   // by dense row index, so the id set must be exactly [0, num_items).

@@ -44,11 +44,26 @@ class DynamicHashTable {
   /// swap-with-last removal holes).
   std::span<const ItemId> Probe(Code code) const;
 
+  /// Signatures of the currently non-empty buckets, sorted ascending.
+  std::vector<Code> BucketCodes() const;
+
+  /// Appends the items of bucket `code` to `*out` (same contents as
+  /// Probe, but usable by callers that must copy under an external lock
+  /// rather than hold a span into mutable storage). Returns the number
+  /// of items appended.
+  size_t ProbeInto(Code code, std::vector<ItemId>* out) const;
+
   /// Immutable snapshot for deployment / HR / QR probing. Requires the
   /// indexed ids to be exactly {0, ..., num_items() - 1} (StaticHashTable
   /// addresses items by dense row index); returns FailedPrecondition
   /// otherwise — re-ingest with compacted ids after deletions.
   Result<StaticHashTable> Freeze() const;
+
+  /// Sparse freeze: snapshots the current contents into a StaticHashTable
+  /// without the dense-id requirement (ids are preserved verbatim). This
+  /// is the shard freeze of ShardedIndex — each shard holds an arbitrary
+  /// subset of the corpus.
+  StaticHashTable SnapshotTable() const;
 
  private:
   int code_length_;

@@ -18,26 +18,45 @@ inline uint64_t MixCode(uint64_t x) {
 
 }  // namespace
 
+namespace {
+
+std::vector<ItemId> IotaIds(size_t n) {
+  std::vector<ItemId> ids(n);
+  std::iota(ids.begin(), ids.end(), ItemId{0});
+  return ids;
+}
+
+}  // namespace
+
 StaticHashTable::StaticHashTable(const std::vector<Code>& codes,
+                                 int code_length)
+    : StaticHashTable(IotaIds(codes.size()), codes, code_length) {}
+
+StaticHashTable::StaticHashTable(const std::vector<ItemId>& ids,
+                                 const std::vector<Code>& codes,
                                  int code_length)
     : code_length_(code_length) {
   assert(code_length >= 1 && code_length <= 64);
+  assert(ids.size() == codes.size());
   const Code mask = LowBitsMask(code_length);
-  const size_t n = codes.size();
+  (void)mask;
+  const size_t n = ids.size();
 
-  // Sort item ids by code (stable within equal codes by construction).
+  // Sort (code, id) pairs: items land bucket-contiguous, ascending by id
+  // within a bucket (the dense constructor's order exactly).
+  std::vector<std::pair<Code, ItemId>> entries(n);
+  for (size_t i = 0; i < n; ++i) {
+    assert((codes[i] & ~mask) == 0 && "code exceeds code_length bits");
+    entries[i] = {codes[i], ids[i]};
+  }
+  std::sort(entries.begin(), entries.end());
+
+  // Item array + unique codes + offsets.
   item_ids_.resize(n);
-  std::iota(item_ids_.begin(), item_ids_.end(), ItemId{0});
-  std::sort(item_ids_.begin(), item_ids_.end(), [&](ItemId a, ItemId b) {
-    return codes[a] != codes[b] ? codes[a] < codes[b] : a < b;
-  });
-
-  // Unique codes + offsets.
   bucket_offsets_.push_back(0);
   for (size_t i = 0; i < n; ++i) {
-    const Code c = codes[item_ids_[i]];
-    assert((c & ~mask) == 0 && "code exceeds code_length bits");
-    (void)mask;
+    item_ids_[i] = entries[i].second;
+    const Code c = entries[i].first;
     if (bucket_codes_.empty() || bucket_codes_.back() != c) {
       if (!bucket_codes_.empty()) {
         bucket_offsets_.push_back(static_cast<uint32_t>(i));
@@ -48,6 +67,10 @@ StaticHashTable::StaticHashTable(const std::vector<Code>& codes,
   bucket_offsets_.push_back(static_cast<uint32_t>(n));
   if (bucket_codes_.empty()) bucket_offsets_.assign(1, 0);
 
+  BuildSlotMap();
+}
+
+void StaticHashTable::BuildSlotMap() {
   // Open-addressing map sized to <= 50% load.
   size_t slot_count = 16;
   while (slot_count < bucket_codes_.size() * 2) slot_count <<= 1;

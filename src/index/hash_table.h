@@ -25,6 +25,14 @@ class StaticHashTable {
   /// code_length is m (1..64); codes must fit in m bits.
   StaticHashTable(const std::vector<Code>& codes, int code_length);
 
+  /// Builds the table from an explicit id set: codes[i] is the bucket
+  /// signature of item ids[i]. The ids need not be dense — this is how a
+  /// shard of a partitioned index freezes, holding an arbitrary subset of
+  /// the corpus. Buckets come out sorted by code, items within a bucket
+  /// ascending by id (matching the dense constructor).
+  StaticHashTable(const std::vector<ItemId>& ids,
+                  const std::vector<Code>& codes, int code_length);
+
   int code_length() const { return code_length_; }
   size_t num_items() const { return item_ids_.size(); }
   /// Number of non-empty buckets (B in the paper's complexity analysis).
@@ -53,6 +61,8 @@ class StaticHashTable {
   /// Open-addressing lookup: index into bucket_codes_ or kNotFound.
   static constexpr uint32_t kNotFound = 0xffffffffu;
   uint32_t FindBucket(Code code) const;
+  /// Builds slots_ / slot_mask_ from the finished bucket_codes_.
+  void BuildSlotMap();
 
   int code_length_ = 0;
   std::vector<ItemId> item_ids_;         // Sorted by code, then id.

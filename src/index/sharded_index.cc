@@ -1,0 +1,148 @@
+#include "index/sharded_index.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace gqr {
+
+namespace {
+
+// SplitMix64 finalizer: spreads structured id spaces (sequential ingest
+// ids, row indices) evenly across shards.
+inline uint64_t MixId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardedIndex::ShardedIndex(int code_length, size_t num_shards)
+    : code_length_(code_length) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(code_length));
+  }
+}
+
+size_t ShardedIndex::ShardOf(ItemId id) const {
+  return static_cast<size_t>(MixId(id) % shards_.size());
+}
+
+Status ShardedIndex::Insert(ItemId id, Code code) {
+  Shard& shard = *shards_[ShardOf(id)];
+  std::unique_lock<std::shared_mutex> lock = shard.WriteLock();
+  Status status = shard.table.Insert(id, code);
+  if (status.ok()) ++shard.version;
+  return status;
+}
+
+Status ShardedIndex::Remove(ItemId id, Code code) {
+  Shard& shard = *shards_[ShardOf(id)];
+  std::unique_lock<std::shared_mutex> lock = shard.WriteLock();
+  Status status = shard.table.Remove(id, code);
+  if (status.ok()) ++shard.version;
+  return status;
+}
+
+bool ShardedIndex::Contains(ItemId id, Code code) const {
+  const Shard& shard = *shards_[ShardOf(id)];
+  std::shared_lock<std::shared_mutex> lock = shard.ReadLock();
+  return shard.table.Contains(id, code);
+}
+
+size_t ShardedIndex::num_items() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock = shard->ReadLock();
+    total += shard->table.num_items();
+  }
+  return total;
+}
+
+size_t ShardedIndex::shard_size(size_t shard) const {
+  const Shard& s = *shards_[shard];
+  std::shared_lock<std::shared_mutex> lock = s.ReadLock();
+  return s.table.num_items();
+}
+
+uint64_t ShardedIndex::shard_version(size_t shard) const {
+  const Shard& s = *shards_[shard];
+  std::shared_lock<std::shared_mutex> lock = s.ReadLock();
+  return s.version;
+}
+
+size_t ShardedIndex::ProbeShard(size_t shard, Code code,
+                                std::vector<ItemId>* out) const {
+  const Shard& s = *shards_[shard];
+  // Serve from the frozen snapshot when it is current: the snapshot is
+  // immutable, so only the pointer/version read needs the lock. The
+  // bucket copy itself cannot race with writers either way — it happens
+  // before the shared lock is released, and writers take the exclusive
+  // side.
+  std::shared_lock<std::shared_mutex> lock = s.ReadLock();
+  if (s.frozen != nullptr && s.frozen_version == s.version) {
+    std::span<const ItemId> items = s.frozen->Probe(code);
+    out->insert(out->end(), items.begin(), items.end());
+    return items.size();
+  }
+  return s.table.ProbeInto(code, out);
+}
+
+size_t ShardedIndex::ProbeAll(Code code, std::vector<ItemId>* out) const {
+  size_t appended = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    appended += ProbeShard(s, code, out);
+  }
+  return appended;
+}
+
+std::vector<Code> ShardedIndex::BucketCodeUnion() const {
+  std::vector<Code> codes;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock = shard->ReadLock();
+    std::vector<Code> shard_codes = shard->table.BucketCodes();
+    codes.insert(codes.end(), shard_codes.begin(), shard_codes.end());
+  }
+  std::sort(codes.begin(), codes.end());
+  codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
+  return codes;
+}
+
+Status ShardedIndex::FreezeShard(size_t shard) {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  Shard& s = *shards_[shard];
+  // The snapshot is built under the exclusive lock: freezes are rare
+  // (corpus stabilization points), and holding the lock keeps the
+  // version <-> snapshot pairing exact.
+  std::unique_lock<std::shared_mutex> lock = s.WriteLock();
+  s.frozen = std::make_shared<const StaticHashTable>(s.table.SnapshotTable());
+  s.frozen_version = s.version;
+  return Status::OK();
+}
+
+void ShardedIndex::FreezeAll() {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    // Cannot fail: every index in [0, num_shards) is valid.
+    (void)FreezeShard(s);
+  }
+}
+
+std::shared_ptr<const StaticHashTable> ShardedIndex::FrozenShard(
+    size_t shard) const {
+  const Shard& s = *shards_[shard];
+  std::shared_lock<std::shared_mutex> lock = s.ReadLock();
+  return s.frozen;
+}
+
+bool ShardedIndex::ShardFrozen(size_t shard) const {
+  const Shard& s = *shards_[shard];
+  std::shared_lock<std::shared_mutex> lock = s.ReadLock();
+  return s.frozen != nullptr && s.frozen_version == s.version;
+}
+
+}  // namespace gqr

@@ -1,0 +1,150 @@
+// ShardedIndex: an N-way sharded DynamicHashTable for concurrent serving.
+//
+// DynamicHashTable assumes a single writer and no reader overlap. This
+// wrapper partitions the corpus by item id across N shards, each guarded
+// by its own std::shared_mutex, so the index supports concurrent
+// Insert/Remove (exclusive per shard) while readers probe (shared per
+// shard). Every probe copies the bucket out under the shard's lock —
+// readers never hold references into mutable storage, so a snapshot can
+// never observe a half-inserted bucket or a reallocation.
+//
+// Each shard carries a version counter (bumped by every successful
+// mutation) and an optional frozen StaticHashTable snapshot, swapped in
+// by FreezeShard under a read-mostly shared_ptr. While a shard's frozen
+// snapshot is current (frozen version == live version), probes are served
+// from the immutable snapshot; the first mutation after a freeze makes
+// probes fall back to the live table. This is the serving lifecycle of
+// the paper's deployment model — ingest into the dynamic side, freeze to
+// the probe-optimal static layout once traffic stabilizes — without ever
+// blocking readers for longer than one bucket copy.
+#ifndef GQR_INDEX_SHARDED_INDEX_H_
+#define GQR_INDEX_SHARDED_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "index/dynamic_table.h"
+#include "index/hash_table.h"
+#include "util/bits.h"
+#include "util/status.h"
+
+namespace gqr {
+
+class ShardedIndex {
+ public:
+  /// `num_shards` >= 1; clamped to 1 when 0 is passed. Shards partition
+  /// items by a mixed hash of the id, so sequential and structured id
+  /// spaces both balance.
+  ShardedIndex(int code_length, size_t num_shards);
+
+  ShardedIndex(const ShardedIndex&) = delete;
+  ShardedIndex& operator=(const ShardedIndex&) = delete;
+
+  int code_length() const { return code_length_; }
+  size_t num_shards() const { return shards_.size(); }
+
+  /// The shard owning item `id` (pure function of id and shard count).
+  size_t ShardOf(ItemId id) const;
+
+  /// Adds an item under `code` to its shard (exclusive lock on that shard
+  /// only). Error statuses are those of DynamicHashTable::Insert.
+  Status Insert(ItemId id, Code code);
+
+  /// Removes an item from its shard (exclusive lock on that shard only).
+  Status Remove(ItemId id, Code code);
+
+  /// True if the id is currently indexed under `code` (shared lock).
+  bool Contains(ItemId id, Code code) const;
+
+  /// Total items across shards. Each shard is read under its shared lock;
+  /// the sum is not a cross-shard atomic snapshot (fine for monitoring
+  /// and for quiesced verification).
+  size_t num_items() const;
+
+  /// Items in shard `shard` (shared lock).
+  size_t shard_size(size_t shard) const;
+
+  /// Mutation counter of `shard`: bumped once per successful Insert or
+  /// Remove. Readers can detect "shard unchanged since I looked".
+  uint64_t shard_version(size_t shard) const;
+
+  /// Appends the items of bucket `code` in `shard` to `*out`, copied
+  /// under the shard's shared lock (or served lock-light from the frozen
+  /// snapshot when it is current). Returns the number appended.
+  size_t ProbeShard(size_t shard, Code code, std::vector<ItemId>* out) const;
+
+  /// Appends bucket `code` across all shards in shard order. Because the
+  /// shards partition the corpus, the union equals the bucket of an
+  /// unsharded table with the same contents.
+  size_t ProbeAll(Code code, std::vector<ItemId>* out) const;
+
+  /// Sorted, de-duplicated union of non-empty bucket codes across shards
+  /// — the bucket list HR/QR probers sort. Equal to the bucket_codes()
+  /// of an unsharded table with the same contents.
+  std::vector<Code> BucketCodeUnion() const;
+
+  /// Freezes `shard`: builds an immutable StaticHashTable snapshot of its
+  /// current contents and publishes it under the shard's read-mostly
+  /// pointer. Probes of this shard are then served from the snapshot
+  /// until the next mutation. Returns InvalidArgument for a bad index.
+  Status FreezeShard(size_t shard);
+
+  /// Freezes every shard.
+  void FreezeAll();
+
+  /// The last published snapshot of `shard` (null before the first
+  /// freeze). The snapshot is immutable; it may be stale if the shard
+  /// mutated after the freeze — compare shard_version yourself if that
+  /// matters.
+  std::shared_ptr<const StaticHashTable> FrozenShard(size_t shard) const;
+
+  /// True when `shard`'s frozen snapshot exists and no mutation happened
+  /// after it was taken.
+  bool ShardFrozen(size_t shard) const;
+
+ private:
+  struct Shard {
+    explicit Shard(int code_length) : table(code_length) {}
+
+    // Readers yield to registered writers before taking the shared side.
+    // glibc's shared_mutex is reader-preferring: under sustained read
+    // load an unbroken relay of shared holders starves ingest and
+    // freezes indefinitely. The gate is advisory (relaxed atomics — the
+    // lock itself provides all synchronization), so a reader may slip
+    // past a registering writer; that costs the writer one more beat,
+    // never correctness. Never call while already holding this shard's
+    // lock in either mode.
+    std::shared_lock<std::shared_mutex> ReadLock() const {
+      while (writers_waiting.load(std::memory_order_relaxed) > 0) {
+        std::this_thread::yield();
+      }
+      return std::shared_lock<std::shared_mutex>(mu);
+    }
+    std::unique_lock<std::shared_mutex> WriteLock() {
+      writers_waiting.fetch_add(1, std::memory_order_relaxed);
+      std::unique_lock<std::shared_mutex> lock(mu);
+      writers_waiting.fetch_sub(1, std::memory_order_relaxed);
+      return lock;
+    }
+
+    mutable std::shared_mutex mu;
+    mutable std::atomic<int> writers_waiting{0};
+    // All fields below are guarded by mu.
+    DynamicHashTable table;
+    uint64_t version = 0;
+    uint64_t frozen_version = 0;
+    std::shared_ptr<const StaticHashTable> frozen;
+  };
+
+  int code_length_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace gqr
+
+#endif  // GQR_INDEX_SHARDED_INDEX_H_

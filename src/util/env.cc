@@ -27,4 +27,9 @@ double BenchScale() {
   return s > 0.0 ? s : 1.0;
 }
 
+int64_t StressIters(int64_t fallback) {
+  int64_t iters = GetEnvInt("GQR_STRESS_ITERS", fallback);
+  return iters > 0 ? iters : fallback;
+}
+
 }  // namespace gqr

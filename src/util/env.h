@@ -17,6 +17,12 @@ double GetEnvDouble(const std::string& name, double fallback);
 /// paper-scale runs.
 double BenchScale();
 
+/// GQR_STRESS_ITERS: iteration count for the concurrency stress tests.
+/// The tests pass a small `fallback` so tier-1 ctest stays fast; set the
+/// env var (e.g. GQR_STRESS_ITERS=200000) for full-length soak runs under
+/// the sanitizer CI legs or locally. Non-positive values fall back.
+int64_t StressIters(int64_t fallback);
+
 }  // namespace gqr
 
 #endif  // GQR_UTIL_ENV_H_

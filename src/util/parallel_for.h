@@ -14,6 +14,13 @@ namespace gqr {
 /// null). Blocks until all iterations are done. fn must be safe to call
 /// concurrently for distinct i.
 ///
+/// Each call owns a private TaskGroup, so overlapping ParallelFor calls
+/// from different threads on the same pool are independent: every call
+/// returns exactly when *its* iterations are done. A call made from
+/// inside a pool worker (a nested ParallelFor) runs inline on that
+/// worker — the outer loop already owns the pool's parallelism, and
+/// blocking a worker on pool-scheduled work could starve the pool.
+///
 /// Small ranges (< min_parallel) run inline to avoid scheduling overhead.
 template <typename Fn>
 void ParallelFor(size_t begin, size_t end, Fn fn, size_t min_parallel = 256,
@@ -23,21 +30,22 @@ void ParallelFor(size_t begin, size_t end, Fn fn, size_t min_parallel = 256,
   ThreadPool& pool =
       override_pool != nullptr ? *override_pool : ThreadPool::Shared();
   const size_t workers = pool.num_threads();
-  if (n < min_parallel || workers <= 1) {
+  if (n < min_parallel || workers <= 1 || pool.CurrentThreadInPool()) {
     for (size_t i = begin; i < end; ++i) fn(i);
     return;
   }
   const size_t num_blocks = std::min(n, workers * 4);
   const size_t block = (n + num_blocks - 1) / num_blocks;
+  ThreadPool::TaskGroup group(pool);
   for (size_t b = 0; b < num_blocks; ++b) {
     const size_t lo = begin + b * block;
     const size_t hi = std::min(end, lo + block);
     if (lo >= hi) break;
-    pool.Submit([lo, hi, &fn] {
+    group.Submit([lo, hi, &fn] {
       for (size_t i = lo; i < hi; ++i) fn(i);
     });
   }
-  pool.Wait();
+  group.Wait();
 }
 
 }  // namespace gqr

@@ -1,6 +1,16 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
+
 namespace gqr {
+
+namespace {
+
+// The pool the current thread is a worker of (a thread belongs to at
+// most one pool: the one that spawned it). Null on external threads.
+thread_local const ThreadPool* tl_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -22,40 +32,77 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::CurrentThreadInPool() const {
+  return tl_worker_pool == this;
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
+  Enqueue({std::move(task), /*group=*/nullptr});
+}
+
+void ThreadPool::Enqueue(Task task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    tasks_.push(std::move(task));
-    ++in_flight_;
+    tasks_.push_back(std::move(task));
   }
   task_available_.notify_one();
 }
 
-void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+bool ThreadPool::RunOneTaskOf(TaskGroup* group) {
+  Task task;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = std::find_if(tasks_.begin(), tasks_.end(), [group](
+                               const Task& t) { return t.group == group; });
+    if (it == tasks_.end()) return false;
+    task = std::move(*it);
+    tasks_.erase(it);
+  }
+  task.fn();
+  task.group->TaskDone();
+  return true;
 }
 
 void ThreadPool::WorkerLoop() {
+  tl_worker_pool = this;
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_available_.wait(
           lock, [this] { return shutting_down_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (shutting_down_) return;
-        continue;
-      }
+      if (tasks_.empty()) return;  // Only reachable when shutting down.
       task = std::move(tasks_.front());
-      tasks_.pop();
+      tasks_.pop_front();
     }
-    task();
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) all_done_.notify_all();
-    }
+    task.fn();
+    if (task.group != nullptr) task.group->TaskDone();
   }
+}
+
+void ThreadPool::TaskGroup::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_->Enqueue({std::move(task), this});
+}
+
+void ThreadPool::TaskGroup::TaskDone() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Notify under the lock: the waiter may destroy the group the moment
+  // pending_ hits zero, so the condition variable must not be touched
+  // after the mutex is released.
+  if (--pending_ == 0) done_.notify_all();
+}
+
+void ThreadPool::TaskGroup::Wait() {
+  // Help: drain this group's still-queued tasks on the calling thread.
+  while (pool_->RunOneTaskOf(this)) {
+  }
+  // Whatever remains is running on (or about to be claimed by) workers.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_.wait(lock, [this] { return pending_ == 0; });
 }
 
 ThreadPool& ThreadPool::Shared() {

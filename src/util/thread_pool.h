@@ -5,16 +5,21 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
 namespace gqr {
 
-/// A simple fixed-size thread pool. Tasks are plain std::function<void()>;
+/// A fixed-size thread pool. Tasks are plain std::function<void()>;
 /// callers that need results should capture promises or shared state.
+///
+/// Completion is tracked per TaskGroup, not per pool: each batch of work
+/// gets its own group with its own latch, so concurrent batches submitted
+/// from different threads never cross-talk (waiting on one group does not
+/// wait for — or return early because of — another group's tasks).
 ///
 /// Thread-safe. The destructor drains outstanding tasks before joining.
 class ThreadPool {
@@ -26,13 +31,52 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution by some worker.
+  /// One batch of tasks with its own completion latch. Submit tasks, then
+  /// Wait() for exactly those tasks — other groups sharing the pool are
+  /// invisible. The destructor waits, so a group can never outlive its
+  /// pending tasks.
+  class TaskGroup {
+   public:
+    /// The group borrows the pool; it must outlive the group.
+    explicit TaskGroup(ThreadPool& pool) : pool_(&pool) {}
+    ~TaskGroup() { Wait(); }
+
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    /// Enqueues a task belonging to this group.
+    void Submit(std::function<void()> task);
+
+    /// Blocks until every task submitted through *this* group has
+    /// finished. While the group still has queued (not yet claimed)
+    /// tasks, the waiting thread claims and runs them inline — so a
+    /// Wait() from inside a pool worker makes progress instead of
+    /// deadlocking the pool, and an external waiter helps out when the
+    /// workers are busy with other groups.
+    void Wait();
+
+   private:
+    friend class ThreadPool;
+
+    /// Called by whichever thread finished one of this group's tasks.
+    void TaskDone();
+
+    ThreadPool* pool_;
+    std::mutex mu_;
+    std::condition_variable done_;
+    size_t pending_ = 0;  // Guarded by mu_.
+  };
+
+  /// Enqueues a detached task (fire-and-forget: no completion handle;
+  /// outstanding tasks are drained by the destructor).
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished executing.
-  void Wait();
-
   size_t num_threads() const { return workers_.size(); }
+
+  /// True when the calling thread is one of this pool's workers. Nested
+  /// parallel constructs use this to run inline instead of blocking a
+  /// worker on work only the pool itself could execute.
+  bool CurrentThreadInPool() const;
 
   /// Process-wide shared pool (lazily constructed, never destroyed before
   /// exit). Use for library-internal parallelism so that nested components
@@ -40,14 +84,22 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group;  // Null for detached tasks.
+  };
+
+  void Enqueue(Task task);
+  /// Claims one queued task of `group` and runs it on the calling thread.
+  /// Returns false when none of the group's tasks are queued (they may
+  /// still be running on workers).
+  bool RunOneTaskOf(TaskGroup* group);
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::deque<Task> tasks_;
   std::mutex mu_;
   std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
   bool shutting_down_ = false;
 };
 

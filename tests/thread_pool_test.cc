@@ -1,0 +1,162 @@
+// Regression tests for the task-group thread pool: Wait() must cover
+// exactly the caller's batch (no cross-talk between concurrent batches),
+// and ParallelFor must be safe to overlap across threads and to nest
+// from inside a pool worker (the pre-task-group pool deadlocked on both).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "util/parallel_for.h"
+#include "util/thread_pool.h"
+
+namespace gqr {
+namespace {
+
+TEST(TaskGroupTest, WaitDoesNotWaitForOtherGroups) {
+  // A single worker, blocked on another group's task that only finishes
+  // when we say so. Wait() on our group must help-run our queued tasks
+  // inline and return — with pool-global completion tracking this test
+  // deadlocks.
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::atomic<bool> other_done{false};
+  ThreadPool::TaskGroup other(pool);
+  other.Submit([&] {
+    gate.wait();
+    other_done.store(true);
+  });
+
+  ThreadPool::TaskGroup mine(pool);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 16; ++i) {
+    mine.Submit([&count] { count.fetch_add(1); });
+  }
+  mine.Wait();
+  EXPECT_EQ(count.load(), 16);
+  EXPECT_FALSE(other_done.load());
+
+  release.set_value();
+  other.Wait();
+  EXPECT_TRUE(other_done.load());
+}
+
+TEST(TaskGroupTest, DestructorWaits) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  {
+    ThreadPool::TaskGroup group(pool);
+    for (int i = 0; i < 32; ++i) {
+      group.Submit([&count] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        count.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(TaskGroupTest, SequentialGroupsOnOnePool) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    ThreadPool::TaskGroup group(pool);
+    for (int i = 0; i < 10; ++i) {
+      group.Submit([&count] { count.fetch_add(1); });
+    }
+    group.Wait();
+    ASSERT_EQ(count.load(), 10) << "round " << round;
+  }
+}
+
+TEST(ParallelForTest, OverlappingCallsFromDistinctThreads) {
+  // Two external threads hammer the same pool with independent loops;
+  // each call must cover its own range exactly once per round. Under the
+  // old pool-global Wait, the calls cross-talked (and nested usage
+  // deadlocked); here they share workers but not completion state.
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  constexpr int kRounds = 5;
+  std::vector<std::atomic<int>> a(kN), b(kN);
+  auto run = [&pool](std::vector<std::atomic<int>>* hits) {
+    for (int r = 0; r < kRounds; ++r) {
+      ParallelFor(0, hits->size(),
+                  [hits](size_t i) { (*hits)[i].fetch_add(1); },
+                  /*min_parallel=*/1, &pool);
+    }
+  };
+  std::thread t1(run, &a);
+  std::thread t2(run, &b);
+  t1.join();
+  t2.join();
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(a[i].load(), kRounds) << "a[" << i << "]";
+    ASSERT_EQ(b[i].load(), kRounds) << "b[" << i << "]";
+  }
+}
+
+TEST(ParallelForTest, NestedCallRunsInlineWithoutDeadlock) {
+  // ParallelFor from inside a pool worker must not block the worker on
+  // pool-scheduled work. min_parallel = 1 forces both levels to try to
+  // parallelize; the inner call detects it is on a worker and runs
+  // inline.
+  ThreadPool pool(2);
+  constexpr size_t kOuter = 64;
+  constexpr size_t kInner = 128;
+  std::vector<std::atomic<int>> outer_ok(kOuter);
+  ParallelFor(0, kOuter, [&](size_t i) {
+    std::atomic<int> inner_hits{0};
+    ParallelFor(0, kInner,
+                [&inner_hits](size_t) { inner_hits.fetch_add(1); },
+                /*min_parallel=*/1, &pool);
+    if (inner_hits.load() == static_cast<int>(kInner)) {
+      outer_ok[i].fetch_add(1);
+    }
+  }, /*min_parallel=*/1, &pool);
+  for (size_t i = 0; i < kOuter; ++i) {
+    ASSERT_EQ(outer_ok[i].load(), 1) << "outer " << i;
+  }
+}
+
+TEST(ParallelForTest, NestedCallOnSharedPool) {
+  // Same nesting through the default shared pool (the configuration
+  // library code actually hits: e.g. a batched search calling a parallel
+  // training utility).
+  constexpr size_t kOuter = 300;
+  std::vector<std::atomic<int>> hits(kOuter);
+  ParallelFor(0, kOuter, [&](size_t i) {
+    std::atomic<int> inner{0};
+    ParallelFor(0, 300, [&inner](size_t) { inner.fetch_add(1); },
+                /*min_parallel=*/1);
+    hits[i].fetch_add(inner.load() == 300 ? 1 : -1000);
+  }, /*min_parallel=*/1);
+  for (size_t i = 0; i < kOuter; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "outer " << i;
+  }
+}
+
+TEST(ParallelForTest, ManyConcurrentCallersTerminate) {
+  // Thundering-herd smoke test: more caller threads than workers, all
+  // looping ParallelFor on the shared pool.
+  constexpr int kCallers = 8;
+  std::atomic<long> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&total] {
+      for (int r = 0; r < 3; ++r) {
+        ParallelFor(0, 2000, [&total](size_t) { total.fetch_add(1); },
+                    /*min_parallel=*/1);
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), static_cast<long>(kCallers) * 3 * 2000);
+}
+
+}  // namespace
+}  // namespace gqr

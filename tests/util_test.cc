@@ -173,11 +173,23 @@ TEST(EnvTest, ParsesSetValues) {
 TEST(ThreadPoolTest, RunsAllTasks) {
   ThreadPool pool(4);
   std::atomic<int> counter{0};
+  ThreadPool::TaskGroup group(pool);
   for (int i = 0; i < 100; ++i) {
-    pool.Submit([&counter] { counter.fetch_add(1); });
+    group.Submit([&counter] { counter.fetch_add(1); });
   }
-  pool.Wait();
+  group.Wait();
   EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, DetachedTasksDrainByDestructor) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
 }
 
 TEST(ParallelForTest, CoversRangeExactlyOnce) {
