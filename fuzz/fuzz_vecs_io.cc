@@ -1,0 +1,54 @@
+// Fuzz target for the .fvecs/.bvecs/.ivecs parsers.
+//
+// Input layout: byte 0 selects the format, the rest is the file image.
+// The parsers must return a Status for arbitrary input — truncated
+// headers and records, hostile dimensions, overflowing totals — and any
+// accepted parse must be shape-consistent. An abort, sanitizer report,
+// or GQR_CHECK failure here is a finding.
+#include <cstddef>
+#include <cstdint>
+
+#include "data/vecs_io.h"
+#include "util/check.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  const uint8_t selector = data[0];
+  const void* image = data + 1;
+  const size_t image_size = size - 1;
+  switch (selector % 3) {
+    case 0: {
+      gqr::Result<gqr::Dataset> r =
+          gqr::LoadFvecsFromMemory(image, image_size);
+      if (r.ok()) {
+        GQR_CHECK_GT(r->size(), size_t{0});
+        GQR_CHECK_GT(r->dim(), size_t{0});
+        // Every accepted fvecs image holds n records of 4 + 4*dim bytes.
+        GQR_CHECK_LE(r->size() * (4 + 4 * r->dim()), image_size);
+      }
+      break;
+    }
+    case 1: {
+      gqr::Result<gqr::Dataset> r =
+          gqr::LoadBvecsFromMemory(image, image_size);
+      if (r.ok()) {
+        GQR_CHECK_GT(r->size(), size_t{0});
+        GQR_CHECK_GT(r->dim(), size_t{0});
+        GQR_CHECK_LE(r->size() * (4 + r->dim()), image_size);
+      }
+      break;
+    }
+    default: {
+      gqr::Result<std::vector<std::vector<int32_t>>> r =
+          gqr::LoadIvecsFromMemory(image, image_size);
+      if (r.ok()) {
+        GQR_CHECK(!r->empty());
+        size_t bytes = 0;
+        for (const auto& row : *r) bytes += 4 + 4 * row.size();
+        GQR_CHECK_LE(bytes, image_size);
+      }
+      break;
+    }
+  }
+  return 0;
+}

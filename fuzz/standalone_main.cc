@@ -1,0 +1,53 @@
+// Replay driver for non-Clang builds: feeds every file named on the
+// command line (directories are walked non-recursively) through
+// LLVMFuzzerTestOneInput once. This turns the checked-in corpus into a
+// deterministic regression suite that runs in plain ctest; the real
+// coverage-guided loop needs the libFuzzer build (GQR_FUZZ=ON).
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool ReplayFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.string().c_str());
+    return false;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    if (std::filesystem::is_directory(arg)) {
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (!entry.is_regular_file()) continue;
+        if (!ReplayFile(entry.path())) return 1;
+        ++replayed;
+      }
+    } else {
+      if (!ReplayFile(arg)) return 1;
+      ++replayed;
+    }
+  }
+  if (replayed == 0) {
+    std::fprintf(stderr, "no corpus inputs replayed\n");
+    return 1;
+  }
+  std::printf("replayed %zu corpus inputs\n", replayed);
+  return 0;
+}

@@ -1,13 +1,16 @@
 #include "core/generation_tree.h"
 
+#include <algorithm>
 #include <array>
-#include <cassert>
 #include <mutex>
+
+#include "core/validators.h"
+#include "util/check.h"
 
 namespace gqr {
 
 GenerationTree::GenerationTree(int m, size_t max_nodes) : m_(m) {
-  assert(m >= 1 && m <= 63);
+  GQR_CHECK(m >= 1 && m <= 63) << "code length " << m;
   // Full tree size is 2^m - 1 (every non-zero sorted flipping vector).
   const size_t full =
       m >= 60 ? max_nodes : std::min(max_nodes, (size_t{1} << m) - 1);
@@ -36,10 +39,13 @@ GenerationTree::GenerationTree(int m, size_t max_nodes) : m_(m) {
     }
   }
   complete_ = m_ < 60 && nodes_.size() == (size_t{1} << m_) - 1;
+#if GQR_VALIDATE_ENABLED
+  ValidateGenerationTree(*this);
+#endif
 }
 
 const GenerationTree& GenerationTree::Shared(int m) {
-  assert(m >= 1 && m <= 63);
+  GQR_CHECK(m >= 1 && m <= 63) << "code length " << m;
   static std::array<const GenerationTree*, 64> cache{};
   static std::mutex mu;
   std::lock_guard<std::mutex> lock(mu);

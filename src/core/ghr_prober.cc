@@ -1,6 +1,6 @@
 #include "core/ghr_prober.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace gqr {
 
@@ -9,7 +9,8 @@ GhrProber::GhrProber(const QueryHashInfo& info, uint32_t table)
       m_(info.code_length()),
       query_code_(info.code),
       code_space_mask_(LowBitsMask(info.code_length())) {
-  assert(m_ >= 1 && m_ <= 63);  // Gosper enumeration needs headroom bits.
+  // Gosper enumeration needs headroom bits.
+  GQR_CHECK(m_ >= 1 && m_ <= 63) << "code length " << m_;
 }
 
 bool GhrProber::AdvanceMask() {
@@ -37,11 +38,19 @@ bool GhrProber::Next(ProbeTarget* target) {
     radius_ = 0;
     target->table = table_;
     target->bucket = query_code_;
+#if GQR_VALIDATE_ENABLED
+    validator_.ObserveEmission(/*key=*/0, /*score=*/0.0);
+#endif
     return true;
   }
   if (!AdvanceMask()) return false;
   target->table = table_;
   target->bucket = query_code_ ^ mask_;
+#if GQR_VALIDATE_ENABLED
+  // Flip masks are unique across radii (popcount r masks never recur),
+  // so the mask doubles as the Property 1 key; the root used key 0.
+  validator_.ObserveEmission(mask_, static_cast<double>(radius_));
+#endif
   return true;
 }
 

@@ -1,8 +1,9 @@
 #include "core/gqr_prober.h"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
+
+#include "util/check.h"
 
 namespace gqr {
 
@@ -27,8 +28,11 @@ GqrProber::GqrProber(const QueryHashInfo& info, uint32_t table,
       m_(info.code_length()),
       tree_(tree),
       query_code_(info.code) {
-  assert(m_ >= 1 && m_ <= 64);
-  assert(tree == nullptr || tree->code_length() == m_);
+  GQR_CHECK(m_ >= 1 && m_ <= 64) << "code length " << m_;
+  GQR_CHECK(tree == nullptr || tree->code_length() == m_)
+      << "shared tree built for m=" << (tree != nullptr ? tree->code_length()
+                                                        : 0)
+      << ", query hashed with m=" << m_;
   // Reserve the heap's backing vector up front: the container adaptor is
   // rebuilt from a reserved vector (the move preserves capacity), so
   // Next() only touches the allocator past HeapReserve() entries.
@@ -108,6 +112,9 @@ bool GqrProber::Next(ProbeTarget* target) {
     last_qd_ = 0.0;
     target->table = table_;
     target->bucket = query_code_;
+#if GQR_VALIDATE_ENABLED
+    validator_.ObserveEmission(/*key=*/0, /*score=*/0.0);
+#endif
     return true;
   }
   if (heap_.empty()) return false;
@@ -117,6 +124,9 @@ bool GqrProber::Next(ProbeTarget* target) {
   last_qd_ = top.qd;
   target->table = table_;
   target->bucket = BucketForMask(top.mask);
+#if GQR_VALIDATE_ENABLED
+  validator_.ObserveEmission(top.mask, top.qd);
+#endif
   return true;
 }
 

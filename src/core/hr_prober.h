@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/prober.h"
+#include "core/validators.h"
 #include "hash/binary_hasher.h"
 #include "index/hash_table.h"
 
@@ -35,6 +36,9 @@ class HrProber : public BucketProber {
   std::vector<int> distances_;
   size_t pos_ = 0;
   double last_distance_ = 0.0;
+#if GQR_VALIDATE_ENABLED
+  ProbeSequenceValidator validator_{"HrProber"};
+#endif
 };
 
 }  // namespace gqr

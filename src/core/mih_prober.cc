@@ -1,14 +1,16 @@
 #include "core/mih_prober.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace gqr {
 
 MihIndex::MihIndex(const std::vector<Code>& codes, int code_length,
                    int num_blocks)
     : code_length_(code_length), item_codes_(codes) {
-  assert(code_length >= 1 && code_length <= 64);
-  assert(num_blocks >= 1 && num_blocks <= code_length);
+  GQR_CHECK(code_length >= 1 && code_length <= 64)
+      << "code length " << code_length;
+  GQR_CHECK(num_blocks >= 1 && num_blocks <= code_length)
+      << "block count " << num_blocks << " for m=" << code_length;
   blocks_.reserve(num_blocks);
   for (int b = 0; b < num_blocks; ++b) {
     Block block;

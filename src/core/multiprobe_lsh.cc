@@ -1,10 +1,10 @@
 #include "core/multiprobe_lsh.h"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
 
 #include "util/bits.h"
+#include "util/check.h"
 
 namespace gqr {
 
@@ -37,7 +37,7 @@ std::span<const ItemId> IntCodeTable::Probe(const IntCode& code) const {
 MultiProbeLshProber::MultiProbeLshProber(const E2lshQueryInfo& info)
     : query_code_(info.code) {
   const int m = static_cast<int>(info.code.size());
-  assert(m >= 1);
+  GQR_CHECK_GE(m, 1);
   // 2m candidate perturbations: (i, -1) costs x_i, (i, +1) costs w - x_i.
   // Scores use squared costs per Multi-Probe LSH. The subset mask must
   // fit 63 bits; m <= 31 covers every practical table.

@@ -1,10 +1,11 @@
 #include "core/searcher.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 #include "core/eval_batch.h"
+#include "core/validators.h"
+#include "util/check.h"
 
 namespace gqr {
 
@@ -57,7 +58,7 @@ void Searcher::SearchImpl(const float* query, BucketProber* prober,
                           const SearchOptions& options, size_t num_tables,
                           ProbeFn probe, SearchScratch* scratch,
                           SearchResult* result) const {
-  assert(options.k > 0);
+  GQR_CHECK(options.k > 0) << "SearchOptions::k must be positive";
   SearchScratch& s = scratch != nullptr ? *scratch : ThreadLocalSearchScratch();
   result->Clear();
   SearchStats& stats = result->stats;
@@ -93,6 +94,19 @@ void Searcher::SearchImpl(const float* query, BucketProber* prober,
         top.Offer(s.distances[i], s.ids[i]);
       }
       stats.items_evaluated += s.ids.size();
+#if GQR_VALIDATE_ENABLED
+      // Theorem 2: every item of the bucket just evaluated lies at least
+      // mu * QD(q, bucket) away — the fact that makes the early stop
+      // below (and RangeSearch exactness) sound. Only claimed for the
+      // Euclidean metric with a caller-supplied mu.
+      if (options.early_stop_mu > 0.0 &&
+          options.metric == Metric::kEuclidean) {
+        for (size_t i = 0; i < s.ids.size(); ++i) {
+          ValidateTheorem2Bound(options.early_stop_mu, prober->last_score(),
+                                s.distances[i]);
+        }
+      }
+#endif
     }
     if (options.max_candidates != 0 &&
         stats.items_evaluated >= options.max_candidates) {
@@ -219,6 +233,13 @@ SearchResult Searcher::RangeSearch(const float* query, BucketProber* prober,
                                                         s.ids[i]);
       }
       result.stats.items_evaluated += s.ids.size();
+#if GQR_VALIDATE_ENABLED
+      if (mu > 0.0 && metric == Metric::kEuclidean) {
+        for (size_t i = 0; i < s.ids.size(); ++i) {
+          ValidateTheorem2Bound(mu, prober->last_score(), s.distances[i]);
+        }
+      }
+#endif
     }
     // Distance-threshold stop of §4.1: every unprobed bucket b has
     // QD >= last_score, and items in b are at distance >= mu * QD(b).

@@ -1,0 +1,79 @@
+#include "core/validators.h"
+
+#if GQR_VALIDATE_ENABLED
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "core/generation_tree.h"
+
+namespace gqr {
+
+namespace {
+
+// Incremental QD updates (parent QD + cost deltas) and the sorted-cost
+// prefix sums they shadow agree only up to rounding; allow a relative
+// slack far below any real ordering violation.
+constexpr double kScoreSlack = 1e-9;
+
+}  // namespace
+
+void ProbeSequenceValidator::ObserveEmission(uint64_t key, double score) {
+  GQR_CHECK(seen_.insert(key).second)
+      << " [" << where_ << "] Property 1 violated: emission key 0x"
+      << std::hex << key << std::dec << " generated twice (emission #"
+      << emitted_ << ")";
+  ObserveScore(score);
+}
+
+void ProbeSequenceValidator::ObserveScore(double score) {
+  if (any_) {
+    GQR_CHECK_GE(score, last_score_ - kScoreSlack * (1.0 + std::abs(
+                                                              last_score_)))
+        << " [" << where_ << "] Property 2 violated: score decreased at "
+        << "emission #" << emitted_;
+  }
+  any_ = true;
+  last_score_ = score;
+  ++emitted_;
+}
+
+void ValidateTheorem2Bound(double mu, double score, double distance) {
+  GQR_CHECK_LE(mu * score, distance + 1e-4 * (1.0 + distance))
+      << " [Searcher] Theorem 2 violated: mu*QD must lower-bound the "
+      << "Euclidean distance of every item in the probed bucket (mu="
+      << mu << ", QD=" << score << ")";
+}
+
+void ValidateGenerationTree(const GenerationTree& tree) {
+  std::unordered_set<uint64_t> masks;
+  for (uint32_t i = 0; i < tree.size(); ++i) {
+    const GenerationTree::Node& node = tree.node(i);
+    GQR_CHECK(masks.insert(node.mask).second)
+        << " [GenerationTree] Property 1 violated: mask 0x" << std::hex
+        << node.mask << std::dec << " materialized twice (node " << i
+        << ")";
+    GQR_CHECK_NE(node.mask, uint64_t{0})
+        << " [GenerationTree] node " << i << " holds the zero vector";
+    const int rightmost = 63 - std::countl_zero(node.mask);
+    GQR_CHECK_EQ(node.rightmost, rightmost)
+        << " [GenerationTree] node " << i << " rightmost mismatch";
+    const int j = node.rightmost;
+    if (node.append_child != GenerationTree::kInvalidNode) {
+      const GenerationTree::Node& child = tree.node(node.append_child);
+      GQR_CHECK_EQ(child.mask, node.mask | (uint64_t{1} << (j + 1)))
+          << " [GenerationTree] node " << i << " append child mask";
+    }
+    if (node.swap_child != GenerationTree::kInvalidNode) {
+      const GenerationTree::Node& child = tree.node(node.swap_child);
+      GQR_CHECK_EQ(child.mask,
+                   (node.mask ^ (uint64_t{1} << j)) | (uint64_t{1} << (j + 1)))
+          << " [GenerationTree] node " << i << " swap child mask";
+    }
+  }
+}
+
+}  // namespace gqr
+
+#endif  // GQR_VALIDATE_ENABLED

@@ -7,7 +7,7 @@ namespace gqr {
 
 std::pair<Dataset, Dataset> Dataset::SplitQueries(size_t num_queries,
                                                   Rng* rng) const {
-  assert(num_queries <= n_);
+  GQR_CHECK_LE(num_queries, n_);
   std::vector<uint32_t> picks = rng->SampleWithoutReplacement(
       static_cast<uint32_t>(n_), static_cast<uint32_t>(num_queries));
   std::vector<bool> is_query(n_, false);

@@ -2,13 +2,13 @@
 #ifndef GQR_DATA_DATASET_H_
 #define GQR_DATA_DATASET_H_
 
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/check.h"
 #include "util/random.h"
 
 namespace gqr {
@@ -31,7 +31,8 @@ class Dataset {
   /// Takes ownership of row-major data; data.size() must equal n * dim.
   Dataset(size_t n, size_t dim, std::vector<float> data)
       : n_(n), dim_(dim), data_(std::move(data)) {
-    assert(data_.size() == n_ * dim_);
+    GQR_CHECK_EQ(data_.size(), n_ * dim_)
+        << "row-major storage does not match n x dim";
   }
 
   size_t size() const { return n_; }
@@ -39,11 +40,11 @@ class Dataset {
   bool empty() const { return n_ == 0; }
 
   const float* Row(ItemId i) const {
-    assert(i < n_);
+    GQR_DCHECK_LT(i, n_);
     return data_.data() + static_cast<size_t>(i) * dim_;
   }
   float* MutableRow(ItemId i) {
-    assert(i < n_);
+    GQR_DCHECK_LT(i, n_);
     return data_.data() + static_cast<size_t>(i) * dim_;
   }
 

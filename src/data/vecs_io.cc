@@ -1,6 +1,8 @@
 #include "data/vecs_io.h"
 
 #include <cstdio>
+#include <cstring>
+#include <limits>
 #include <memory>
 
 namespace gqr {
@@ -14,85 +16,196 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-// Shared loader skeleton: reads (int32 dim, dim * element_size payload)
-// records and hands each payload to `consume`.
-template <typename ConsumeFn>
-Status ReadVecs(const std::string& path, size_t element_size,
-                size_t max_vectors, ConsumeFn consume) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) return Status::IOError("cannot open " + path);
+// Byte sources the shared loader reads from: a stdio stream or an
+// in-memory image (the fuzzer entry point). Both expose fread semantics:
+// Read returns the number of bytes delivered, short counts meaning EOF.
+struct FileSource {
+  std::FILE* f;
+  size_t Read(void* dst, size_t n) { return std::fread(dst, 1, n, f); }
+};
 
+struct MemorySource {
+  const unsigned char* p;
+  size_t remaining;
+  size_t Read(void* dst, size_t n) {
+    const size_t take = n < remaining ? n : remaining;
+    if (take != 0) std::memcpy(dst, p, take);
+    p += take;
+    remaining -= take;
+    return take;
+  }
+};
+
+// Total payload elements per load are capped so that neither n * dim nor
+// the byte size of the accumulated data can overflow size_t downstream
+// (element_size <= 8).
+constexpr size_t kMaxTotalElements = std::numeric_limits<size_t>::max() / 16;
+
+// Shared loader skeleton: reads (int32 dim, dim * element_size payload)
+// records and hands each payload to `consume`. `name` tags error
+// messages (the file path, or "<memory>"). fvecs/bvecs feed a dense
+// Dataset so every record must agree on dim; ivecs rows are ragged by
+// contract (per-query neighbor lists), so they set `allow_ragged`.
+template <typename Source, typename ConsumeFn>
+Status ReadVecs(Source& src, const std::string& name, size_t element_size,
+                size_t max_vectors, bool allow_ragged, ConsumeFn consume) {
   int32_t dim = 0;
   size_t count = 0;
+  size_t total_elements = 0;
   std::vector<char> buffer;
   while (max_vectors == 0 || count < max_vectors) {
     int32_t d = 0;
-    const size_t got = std::fread(&d, sizeof(d), 1, f.get());
-    if (got == 0) break;  // Clean EOF.
-    if (d <= 0) {
-      return Status::IOError(path + ": non-positive vector dimension");
+    const size_t got = src.Read(&d, sizeof(d));
+    if (got == 0) break;  // Clean EOF between records.
+    if (got != sizeof(d)) {
+      return Status::IOError(name + ": truncated header (" +
+                             std::to_string(got) + " of 4 bytes)");
     }
-    if (dim == 0) {
+    if (d <= 0) {
+      return Status::IOError(name + ": non-positive vector dimension " +
+                             std::to_string(d));
+    }
+    if (d > kMaxVecsDim) {
+      return Status::IOError(name + ": implausible vector dimension " +
+                             std::to_string(d));
+    }
+    if (dim == 0 || allow_ragged) {
       dim = d;
     } else if (d != dim) {
-      return Status::IOError(path + ": inconsistent dimensions " +
+      return Status::IOError(name + ": inconsistent dimensions " +
                              std::to_string(dim) + " vs " + std::to_string(d));
     }
+    if (total_elements > kMaxTotalElements - static_cast<size_t>(d)) {
+      return Status::IOError(name + ": dim * count overflows (" +
+                             std::to_string(count) + " vectors of dim " +
+                             std::to_string(d) + ")");
+    }
     buffer.resize(static_cast<size_t>(d) * element_size);
-    if (std::fread(buffer.data(), 1, buffer.size(), f.get()) !=
-        buffer.size()) {
-      return Status::IOError(path + ": truncated vector record");
+    if (src.Read(buffer.data(), buffer.size()) != buffer.size()) {
+      return Status::IOError(name + ": truncated vector record");
     }
     consume(static_cast<size_t>(d), buffer.data());
+    total_elements += static_cast<size_t>(d);
     ++count;
   }
-  if (count == 0) return Status::IOError(path + ": empty file");
+  if (count == 0) return Status::IOError(name + ": empty file");
   return Status::OK();
+}
+
+template <typename ConsumeFn>
+Status ReadVecsFile(const std::string& path, size_t element_size,
+                    size_t max_vectors, bool allow_ragged, ConsumeFn consume) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path);
+  FileSource src{f.get()};
+  return ReadVecs(src, path, element_size, max_vectors, allow_ragged, consume);
+}
+
+template <typename ConsumeFn>
+Status ReadVecsMemory(const void* data, size_t size, size_t element_size,
+                      size_t max_vectors, bool allow_ragged,
+                      ConsumeFn consume) {
+  MemorySource src{static_cast<const unsigned char*>(data), size};
+  return ReadVecs(src, "<memory>", element_size, max_vectors, allow_ragged,
+                  consume);
+}
+
+// The three consume adapters, shared by the file and memory variants.
+
+struct FvecsAccumulator {
+  std::vector<float> data;
+  size_t dim = 0;
+  void operator()(size_t d, const char* payload) {
+    dim = d;
+    const float* v = reinterpret_cast<const float*>(payload);
+    data.insert(data.end(), v, v + d);
+  }
+};
+
+struct BvecsAccumulator {
+  std::vector<float> data;
+  size_t dim = 0;
+  void operator()(size_t d, const char* payload) {
+    dim = d;
+    const uint8_t* v = reinterpret_cast<const uint8_t*>(payload);
+    for (size_t i = 0; i < d; ++i) {
+      data.push_back(static_cast<float>(v[i]));
+    }
+  }
+};
+
+Result<Dataset> FinishDataset(Status st, FvecsAccumulator* acc) {
+  if (!st.ok()) return st;
+  const size_t n = acc->data.size() / acc->dim;  // Before the move below.
+  return Dataset(n, acc->dim, std::move(acc->data));
+}
+
+Result<Dataset> FinishDataset(Status st, BvecsAccumulator* acc) {
+  if (!st.ok()) return st;
+  const size_t n = acc->data.size() / acc->dim;  // Before the move below.
+  return Dataset(n, acc->dim, std::move(acc->data));
 }
 
 }  // namespace
 
 Result<Dataset> LoadFvecs(const std::string& path, size_t max_vectors) {
-  std::vector<float> data;
-  size_t dim = 0;
-  Status st = ReadVecs(path, sizeof(float), max_vectors,
-                       [&](size_t d, const char* payload) {
-                         dim = d;
-                         const float* v =
-                             reinterpret_cast<const float*>(payload);
-                         data.insert(data.end(), v, v + d);
-                       });
-  if (!st.ok()) return st;
-  const size_t n = data.size() / dim;  // Before the move below.
-  return Dataset(n, dim, std::move(data));
+  FvecsAccumulator acc;
+  Status st = ReadVecsFile(path, sizeof(float), max_vectors,
+                           /*allow_ragged=*/false,
+                           [&acc](size_t d, const char* p) { acc(d, p); });
+  return FinishDataset(std::move(st), &acc);
+}
+
+Result<Dataset> LoadFvecsFromMemory(const void* data, size_t size,
+                                    size_t max_vectors) {
+  FvecsAccumulator acc;
+  Status st = ReadVecsMemory(data, size, sizeof(float), max_vectors,
+                             /*allow_ragged=*/false,
+                             [&acc](size_t d, const char* p) { acc(d, p); });
+  return FinishDataset(std::move(st), &acc);
 }
 
 Result<Dataset> LoadBvecs(const std::string& path, size_t max_vectors) {
-  std::vector<float> data;
-  size_t dim = 0;
-  Status st = ReadVecs(path, sizeof(uint8_t), max_vectors,
-                       [&](size_t d, const char* payload) {
-                         dim = d;
-                         const uint8_t* v =
-                             reinterpret_cast<const uint8_t*>(payload);
-                         for (size_t i = 0; i < d; ++i) {
-                           data.push_back(static_cast<float>(v[i]));
-                         }
-                       });
-  if (!st.ok()) return st;
-  const size_t n = data.size() / dim;  // Before the move below.
-  return Dataset(n, dim, std::move(data));
+  BvecsAccumulator acc;
+  Status st = ReadVecsFile(path, sizeof(uint8_t), max_vectors,
+                           /*allow_ragged=*/false,
+                           [&acc](size_t d, const char* p) { acc(d, p); });
+  return FinishDataset(std::move(st), &acc);
+}
+
+Result<Dataset> LoadBvecsFromMemory(const void* data, size_t size,
+                                    size_t max_vectors) {
+  BvecsAccumulator acc;
+  Status st = ReadVecsMemory(data, size, sizeof(uint8_t), max_vectors,
+                             /*allow_ragged=*/false,
+                             [&acc](size_t d, const char* p) { acc(d, p); });
+  return FinishDataset(std::move(st), &acc);
 }
 
 Result<std::vector<std::vector<int32_t>>> LoadIvecs(const std::string& path,
                                                     size_t max_vectors) {
   std::vector<std::vector<int32_t>> rows;
-  Status st = ReadVecs(path, sizeof(int32_t), max_vectors,
-                       [&](size_t d, const char* payload) {
-                         const int32_t* v =
-                             reinterpret_cast<const int32_t*>(payload);
-                         rows.emplace_back(v, v + d);
-                       });
+  Status st = ReadVecsFile(path, sizeof(int32_t), max_vectors,
+                           /*allow_ragged=*/true,
+                           [&rows](size_t d, const char* payload) {
+                             const int32_t* v =
+                                 reinterpret_cast<const int32_t*>(payload);
+                             rows.emplace_back(v, v + d);
+                           });
+  if (!st.ok()) return st;
+  return rows;
+}
+
+Result<std::vector<std::vector<int32_t>>> LoadIvecsFromMemory(
+    const void* data, size_t size, size_t max_vectors) {
+  std::vector<std::vector<int32_t>> rows;
+  Status st = ReadVecsMemory(data, size, sizeof(int32_t), max_vectors,
+                             /*allow_ragged=*/true,
+                             [&rows](size_t d, const char* payload) {
+                               const int32_t* v =
+                                   reinterpret_cast<const int32_t*>(payload);
+                               rows.emplace_back(v, v + d);
+                             });
   if (!st.ok()) return st;
   return rows;
 }

@@ -5,9 +5,18 @@
 // Format: each vector is stored as a little-endian int32 dimension d
 // followed by d payload elements (float32 for fvecs, uint8 for bvecs,
 // int32 for ivecs). All vectors in a file share the same d.
+//
+// Parsing is hardened against hostile input (and fuzzed — see
+// fuzz/fuzz_vecs_io.cc): a truncated header or record, a non-positive or
+// implausibly large dimension, inconsistent dimensions, and total-size
+// overflow all come back as Status errors, never as an abort or an
+// out-of-bounds read. The *FromMemory variants parse an in-memory buffer
+// with identical semantics; they are the fuzzer entry points and are
+// handy for tests.
 #ifndef GQR_DATA_VECS_IO_H_
 #define GQR_DATA_VECS_IO_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -16,6 +25,11 @@
 #include "util/result.h"
 
 namespace gqr {
+
+/// Per-vector dimensions above this are rejected as malformed input (no
+/// real descriptor set comes close; the cap keeps a hostile header from
+/// demanding a multi-gigabyte record buffer).
+inline constexpr int32_t kMaxVecsDim = 1 << 20;
 
 /// Loads an .fvecs file; max_vectors = 0 means "all".
 Result<Dataset> LoadFvecs(const std::string& path, size_t max_vectors = 0);
@@ -26,6 +40,18 @@ Result<Dataset> LoadBvecs(const std::string& path, size_t max_vectors = 0);
 /// Loads an .ivecs file (e.g. ground-truth neighbor ids).
 Result<std::vector<std::vector<int32_t>>> LoadIvecs(const std::string& path,
                                                     size_t max_vectors = 0);
+
+/// Parses an .fvecs image from memory; same semantics as LoadFvecs.
+Result<Dataset> LoadFvecsFromMemory(const void* data, size_t size,
+                                    size_t max_vectors = 0);
+
+/// Parses a .bvecs image from memory; same semantics as LoadBvecs.
+Result<Dataset> LoadBvecsFromMemory(const void* data, size_t size,
+                                    size_t max_vectors = 0);
+
+/// Parses an .ivecs image from memory; same semantics as LoadIvecs.
+Result<std::vector<std::vector<int32_t>>> LoadIvecsFromMemory(
+    const void* data, size_t size, size_t max_vectors = 0);
 
 /// Writes a dataset as .fvecs.
 Status SaveFvecs(const Dataset& dataset, const std::string& path);

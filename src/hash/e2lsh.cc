@@ -1,10 +1,10 @@
 #include "hash/e2lsh.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 #include "la/simd_kernels.h"
+#include "util/check.h"
 #include "util/parallel_for.h"
 #include "util/random.h"
 
@@ -23,9 +23,9 @@ std::vector<double>& TlBuffer(size_t n) {
 
 E2lshHasher::E2lshHasher(Matrix a, std::vector<double> b, double w)
     : a_(std::move(a)), b_(std::move(b)), w_(w) {
-  assert(a_.rows() >= 1);
-  assert(b_.size() == a_.rows());
-  assert(w_ > 0.0);
+  GQR_CHECK_GE(a_.rows(), size_t{1});
+  GQR_CHECK_EQ(b_.size(), a_.rows());
+  GQR_CHECK_GT(w_, 0.0) << "E2LSH bucket width must be positive";
 }
 
 void E2lshHasher::Project(const float* x, double* out) const {
@@ -77,7 +77,7 @@ std::vector<IntCode> E2lshHasher::HashDataset(const Dataset& dataset) const {
 }
 
 E2lshHasher TrainE2lsh(const Dataset& dataset, const E2lshOptions& options) {
-  assert(options.num_hashes >= 1);
+  GQR_CHECK_GE(options.num_hashes, 1);
   Rng rng(options.seed);
   Matrix a = Matrix::RandomGaussian(options.num_hashes, dataset.dim(), &rng);
 

@@ -1,10 +1,10 @@
 #include "hash/itq.h"
 
-#include <cassert>
 #include <cmath>
 
 #include "la/pca.h"
 #include "la/procrustes.h"
+#include "util/check.h"
 #include "util/random.h"
 
 namespace gqr {
@@ -12,8 +12,9 @@ namespace gqr {
 LinearHasher TrainItq(const Dataset& dataset, const ItqOptions& options,
                       ItqTrainStats* stats) {
   const int m = options.code_length;
-  assert(m >= 1 && m <= 64);
-  assert(static_cast<size_t>(m) <= dataset.dim());
+  GQR_CHECK(m >= 1 && m <= 64) << "code length " << m;
+  GQR_CHECK_LE(static_cast<size_t>(m), dataset.dim())
+      << "ITQ needs at least as many dimensions as code bits";
   Rng rng(options.seed);
 
   PcaModel pca = FitPca(dataset.data(), dataset.size(), dataset.dim(),

@@ -1,12 +1,12 @@
 #include "hash/kmh.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 
 #include "la/kmeans.h"
 #include "la/vector_ops.h"
+#include "util/check.h"
 #include "util/random.h"
 
 namespace gqr {
@@ -86,8 +86,8 @@ KmhHasher::KmhHasher(std::vector<Block> blocks, int bits_per_block,
       bits_per_block_(bits_per_block),
       code_length_(static_cast<int>(blocks_.size()) * bits_per_block),
       dim_(dim) {
-  assert(!blocks_.empty());
-  assert(code_length_ <= 64);
+  GQR_CHECK(!blocks_.empty());
+  GQR_CHECK_LE(code_length_, 64);
 }
 
 uint32_t KmhHasher::NearestCodeword(const Block& block, const float* x,
@@ -148,11 +148,14 @@ QueryHashInfo KmhHasher::HashQuery(const float* q) const {
 }
 
 KmhHasher TrainKmh(const Dataset& dataset, const KmhOptions& options) {
-  assert(options.code_length >= 1 && options.code_length <= 64);
-  assert(options.bits_per_block >= 1 && options.bits_per_block <= 8);
-  assert(options.code_length % options.bits_per_block == 0);
+  GQR_CHECK(options.code_length >= 1 && options.code_length <= 64)
+      << "code length " << options.code_length;
+  GQR_CHECK(options.bits_per_block >= 1 && options.bits_per_block <= 8)
+      << "bits per block " << options.bits_per_block;
+  GQR_CHECK_EQ(options.code_length % options.bits_per_block, 0)
+      << "code length must divide into whole blocks";
   const int num_blocks = options.code_length / options.bits_per_block;
-  assert(static_cast<size_t>(num_blocks) <= dataset.dim());
+  GQR_CHECK_LE(static_cast<size_t>(num_blocks), dataset.dim());
   const size_t k = size_t{1} << options.bits_per_block;
   Rng rng(options.seed);
 

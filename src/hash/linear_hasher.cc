@@ -1,10 +1,10 @@
 #include "hash/linear_hasher.h"
 
 #include <algorithm>
-#include <cassert>
 #include <vector>
 
 #include "la/simd_kernels.h"
+#include "util/check.h"
 
 namespace gqr {
 
@@ -27,8 +27,9 @@ double* TlCenteredAtLeast(size_t n) {
 LinearHasher::LinearHasher(Matrix w, std::vector<double> offset,
                            std::string name)
     : w_(std::move(w)), offset_(std::move(offset)), name_(std::move(name)) {
-  assert(w_.rows() >= 1 && w_.rows() <= 64);
-  assert(offset_.size() == w_.cols());
+  GQR_CHECK(w_.rows() >= 1 && w_.rows() <= 64)
+      << "hashing matrix rows " << w_.rows();
+  GQR_CHECK_EQ(offset_.size(), w_.cols());
 }
 
 void LinearHasher::Project(const float* x, double* out) const {

@@ -1,20 +1,20 @@
 #include "hash/lsh.h"
 
-#include <cassert>
-
+#include "util/check.h"
 #include "util/random.h"
 
 namespace gqr {
 
 LinearHasher TrainLsh(const Dataset& dataset, size_t dim,
                       const LshOptions& options) {
-  assert(options.code_length >= 1 && options.code_length <= 64);
+  GQR_CHECK(options.code_length >= 1 && options.code_length <= 64)
+      << "code length " << options.code_length;
   Rng rng(options.seed);
   Matrix w = Matrix::RandomGaussian(options.code_length, dim, &rng);
 
   std::vector<double> offset(dim, 0.0);
   if (options.center_on_mean && !dataset.empty()) {
-    assert(dataset.dim() == dim);
+    GQR_CHECK_EQ(dataset.dim(), dim);
     std::vector<uint32_t> rows;
     if (dataset.size() > options.max_train_samples) {
       rows = rng.SampleWithoutReplacement(

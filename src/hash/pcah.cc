@@ -1,15 +1,16 @@
 #include "hash/pcah.h"
 
-#include <cassert>
-
 #include "la/pca.h"
+#include "util/check.h"
 #include "util/random.h"
 
 namespace gqr {
 
 LinearHasher TrainPcah(const Dataset& dataset, const PcahOptions& options) {
-  assert(options.code_length >= 1 && options.code_length <= 64);
-  assert(static_cast<size_t>(options.code_length) <= dataset.dim());
+  GQR_CHECK(options.code_length >= 1 && options.code_length <= 64)
+      << "code length " << options.code_length;
+  GQR_CHECK_LE(static_cast<size_t>(options.code_length), dataset.dim())
+      << "PCAH needs at least as many dimensions as code bits";
   Rng rng(options.seed);
   PcaModel pca =
       FitPca(dataset.data(), dataset.size(), dataset.dim(),

@@ -1,16 +1,17 @@
 #include "hash/sh.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "util/check.h"
 #include "util/random.h"
 
 namespace gqr {
 
 ShHasher::ShHasher(PcaModel pca, std::vector<BitFunction> bits)
     : pca_(std::move(pca)), bits_(std::move(bits)) {
-  assert(!bits_.empty() && bits_.size() <= 64);
+  GQR_CHECK(!bits_.empty() && bits_.size() <= 64)
+      << "bit count " << bits_.size();
 }
 
 void ShHasher::Project(const float* x, double* out) const {
@@ -28,8 +29,9 @@ void ShHasher::Project(const float* x, double* out) const {
 
 ShHasher TrainSh(const Dataset& dataset, const ShOptions& options) {
   const int m = options.code_length;
-  assert(m >= 1 && m <= 64);
-  assert(static_cast<size_t>(m) <= dataset.dim());
+  GQR_CHECK(m >= 1 && m <= 64) << "code length " << m;
+  GQR_CHECK_LE(static_cast<size_t>(m), dataset.dim())
+      << "SH needs at least as many dimensions as code bits";
   Rng rng(options.seed);
 
   PcaModel pca = FitPca(dataset.data(), dataset.size(), dataset.dim(),

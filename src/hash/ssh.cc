@@ -1,9 +1,8 @@
 #include "hash/ssh.h"
 
-#include <cassert>
-
 #include "la/eigen_sym.h"
 #include "la/pca.h"
+#include "util/check.h"
 #include "util/random.h"
 
 namespace gqr {
@@ -13,7 +12,8 @@ LinearHasher TrainSsh(const Dataset& dataset,
                       const SshOptions& options) {
   const size_t d = dataset.dim();
   const int m = options.code_length;
-  assert(m >= 1 && m <= 64 && static_cast<size_t>(m) <= d);
+  GQR_CHECK(m >= 1 && m <= 64 && static_cast<size_t>(m) <= d)
+      << "code length " << m << " for dimension " << d;
   Rng rng(options.seed);
 
   // Unsupervised part: covariance of a training sample (reuse the PCA

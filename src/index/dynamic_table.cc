@@ -1,13 +1,15 @@
 #include "index/dynamic_table.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.h"
 
 namespace gqr {
 
 DynamicHashTable::DynamicHashTable(int code_length)
     : code_length_(code_length), code_mask_(LowBitsMask(code_length)) {
-  assert(code_length >= 1 && code_length <= 64);
+  GQR_CHECK(code_length >= 1 && code_length <= 64)
+      << "code length " << code_length;
 }
 
 Status DynamicHashTable::Insert(ItemId id, Code code) {

@@ -1,8 +1,9 @@
 #include "index/hash_table.h"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
+
+#include "util/check.h"
 
 namespace gqr {
 
@@ -36,8 +37,9 @@ StaticHashTable::StaticHashTable(const std::vector<ItemId>& ids,
                                  const std::vector<Code>& codes,
                                  int code_length)
     : code_length_(code_length) {
-  assert(code_length >= 1 && code_length <= 64);
-  assert(ids.size() == codes.size());
+  GQR_CHECK(code_length >= 1 && code_length <= 64)
+      << "code length " << code_length;
+  GQR_CHECK_EQ(ids.size(), codes.size());
   const Code mask = LowBitsMask(code_length);
   (void)mask;
   const size_t n = ids.size();
@@ -46,7 +48,8 @@ StaticHashTable::StaticHashTable(const std::vector<ItemId>& ids,
   // within a bucket (the dense constructor's order exactly).
   std::vector<std::pair<Code, ItemId>> entries(n);
   for (size_t i = 0; i < n; ++i) {
-    assert((codes[i] & ~mask) == 0 && "code exceeds code_length bits");
+    GQR_CHECK_EQ(codes[i] & ~mask, Code{0})
+        << "code exceeds code_length bits at item " << i;
     entries[i] = {codes[i], ids[i]};
   }
   std::sort(entries.begin(), entries.end());

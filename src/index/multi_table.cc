@@ -1,14 +1,16 @@
 #include "index/multi_table.h"
 
+#include "util/check.h"
+
 namespace gqr {
 
 MultiTableIndex::MultiTableIndex(
     std::vector<std::unique_ptr<BinaryHasher>> hashers, const Dataset& base)
     : hashers_(std::move(hashers)) {
-  assert(!hashers_.empty());
+  GQR_CHECK(!hashers_.empty());
   tables_.reserve(hashers_.size());
   for (const auto& hasher : hashers_) {
-    assert(hasher->dim() == base.dim());
+    GQR_CHECK_EQ(hasher->dim(), base.dim());
     tables_.emplace_back(hasher->HashDataset(base), hasher->code_length());
   }
 }

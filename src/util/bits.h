@@ -4,9 +4,10 @@
 #define GQR_UTIL_BITS_H_
 
 #include <bit>
-#include <cassert>
 #include <cstdint>
 #include <string>
+
+#include "util/check.h"
 
 namespace gqr {
 
@@ -21,7 +22,7 @@ inline int HammingDistance(Code a, Code b) { return PopCount(a ^ b); }
 
 /// Mask with the low m bits set. Requires 0 <= m <= 64.
 inline Code LowBitsMask(int m) {
-  assert(m >= 0 && m <= 64);
+  GQR_DCHECK(m >= 0 && m <= 64) << "m=" << m;
   return m == 64 ? ~Code{0} : ((Code{1} << m) - 1);
 }
 
@@ -33,13 +34,13 @@ inline Code FlipBit(Code c, int i) { return c ^ (Code{1} << i); }
 
 /// Index of the lowest set bit. Requires x != 0.
 inline int LowestSetBit(Code x) {
-  assert(x != 0);
+  GQR_DCHECK_NE(x, Code{0});
   return std::countr_zero(x);
 }
 
 /// Index of the highest set bit. Requires x != 0.
 inline int HighestSetBit(Code x) {
-  assert(x != 0);
+  GQR_DCHECK_NE(x, Code{0});
   return 63 - std::countl_zero(x);
 }
 
@@ -53,7 +54,7 @@ inline std::string CodeToString(Code c, int m) {
 /// Next integer with the same popcount (Gosper's hack); used to enumerate
 /// all codes at a fixed Hamming distance. Requires x != 0.
 inline Code NextSamePopCount(Code x) {
-  assert(x != 0);
+  GQR_DCHECK_NE(x, Code{0});
   Code c = x & -x;
   Code r = x + c;
   return (((r ^ x) >> 2) / c) | r;

@@ -1,0 +1,153 @@
+// GQR_CHECK / GQR_DCHECK: the library's executable contracts.
+//
+// Raw assert() has two failure modes this layer fixes: it vanishes in
+// release builds (so production violations corrupt results silently),
+// and it cannot carry context (no values, no streamed message). The
+// contract macros follow the glog/absl idiom:
+//
+//   GQR_CHECK(cond) << "context " << value;   // always on, aborts
+//   GQR_CHECK_EQ(a, b) << "context";          // prints both operands
+//   GQR_DCHECK(cond), GQR_DCHECK_LT(a, b)...  // debug / GQR_VALIDATE only
+//
+// GQR_CHECK is for cold-path preconditions (construction, training,
+// index build, per-search argument validation): it survives NDEBUG and
+// costs one predictable branch. GQR_DCHECK is for hot-path invariants
+// (per-item, per-bit, per-candidate): it compiles to nothing in plain
+// release builds but comes back under -DGQR_VALIDATE=ON together with
+// the paper-property validators (core/validators.h), so a validating
+// build re-arms every hot-path contract as well.
+//
+// On failure the full message — file:line, the stringified condition,
+// operand values for comparison forms, and anything streamed in — is
+// written to stderr in one write, then std::abort() raises SIGABRT
+// (tested via gtest EXPECT_DEATH in tests/check_test.cc).
+#ifndef GQR_UTIL_CHECK_H_
+#define GQR_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace gqr {
+namespace internal {
+
+/// Accumulates the failure message and aborts in its destructor (end of
+/// the full expression, i.e. after every streamed operand is appended).
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* what) {
+    stream_ << file << ":" << line << ": " << what;
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  ~CheckFailure() {
+    const std::string msg = stream_.str();
+    std::fprintf(stderr, "%s\n", msg.c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows the stream expression so GQR_CHECK's ternary arms both have
+/// type void. operator& binds looser than operator<<, so every streamed
+/// operand lands in the CheckFailure before it is voided.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+/// Comparison-form helper: evaluates the predicate once and, on failure,
+/// renders "<expr> (<lhs> vs <rhs>)" for CheckFailure. Returning the
+/// message through a unique_ptr lets the macro use the glog while-loop
+/// trick, which keeps the failure branch streamable.
+template <typename A, typename B, typename Pred>
+std::unique_ptr<std::string> CheckOpFailureMessage(const A& a, const B& b,
+                                                   Pred pred,
+                                                   const char* expr) {
+  if (pred(a, b)) return nullptr;
+  std::ostringstream os;
+  os << expr << " (" << a << " vs " << b << ")";
+  return std::make_unique<std::string>(os.str());
+}
+
+}  // namespace internal
+}  // namespace gqr
+
+/// Always-on contract. Failure streams to stderr and aborts.
+#define GQR_CHECK(cond)                                                  \
+  (cond) ? (void)0                                                      \
+         : ::gqr::internal::Voidify() &                                 \
+               ::gqr::internal::CheckFailure(__FILE__, __LINE__,        \
+                                             "GQR_CHECK failed: " #cond) \
+                   .stream()
+
+// The loop body runs at most once: CheckFailure's destructor aborts at
+// the end of the statement, streamed message included.
+#define GQR_CHECK_OP_(a, b, pred, expr)                                    \
+  while (std::unique_ptr<std::string> gqr_internal_msg =                   \
+             ::gqr::internal::CheckOpFailureMessage((a), (b), pred, expr)) \
+  ::gqr::internal::CheckFailure(__FILE__, __LINE__,                        \
+                                gqr_internal_msg->c_str())                 \
+      .stream()
+
+#define GQR_CHECK_EQ(a, b) \
+  GQR_CHECK_OP_(a, b, std::equal_to<>(), "GQR_CHECK_EQ failed: " #a " == " #b)
+#define GQR_CHECK_NE(a, b)                     \
+  GQR_CHECK_OP_(a, b, std::not_equal_to<>(),   \
+                "GQR_CHECK_NE failed: " #a " != " #b)
+#define GQR_CHECK_LT(a, b) \
+  GQR_CHECK_OP_(a, b, std::less<>(), "GQR_CHECK_LT failed: " #a " < " #b)
+#define GQR_CHECK_LE(a, b)                    \
+  GQR_CHECK_OP_(a, b, std::less_equal<>(),    \
+                "GQR_CHECK_LE failed: " #a " <= " #b)
+#define GQR_CHECK_GT(a, b) \
+  GQR_CHECK_OP_(a, b, std::greater<>(), "GQR_CHECK_GT failed: " #a " > " #b)
+#define GQR_CHECK_GE(a, b)                    \
+  GQR_CHECK_OP_(a, b, std::greater_equal<>(), \
+                "GQR_CHECK_GE failed: " #a " >= " #b)
+
+// Debug contracts are live in debug builds and in GQR_VALIDATE builds
+// (the validating CI leg), dead code otherwise — still type-checked, so
+// a validating build can't rot behind an #ifdef.
+#if !defined(NDEBUG) || (defined(GQR_VALIDATE) && GQR_VALIDATE)
+#define GQR_DEBUG_CHECKS 1
+#else
+#define GQR_DEBUG_CHECKS 0
+#endif
+
+#if GQR_DEBUG_CHECKS
+#define GQR_DCHECK(cond) GQR_CHECK(cond)
+#define GQR_DCHECK_EQ(a, b) GQR_CHECK_EQ(a, b)
+#define GQR_DCHECK_NE(a, b) GQR_CHECK_NE(a, b)
+#define GQR_DCHECK_LT(a, b) GQR_CHECK_LT(a, b)
+#define GQR_DCHECK_LE(a, b) GQR_CHECK_LE(a, b)
+#define GQR_DCHECK_GT(a, b) GQR_CHECK_GT(a, b)
+#define GQR_DCHECK_GE(a, b) GQR_CHECK_GE(a, b)
+#else
+#define GQR_DCHECK(cond) \
+  while (false) GQR_CHECK(cond)
+#define GQR_DCHECK_EQ(a, b) \
+  while (false) GQR_CHECK_EQ(a, b)
+#define GQR_DCHECK_NE(a, b) \
+  while (false) GQR_CHECK_NE(a, b)
+#define GQR_DCHECK_LT(a, b) \
+  while (false) GQR_CHECK_LT(a, b)
+#define GQR_DCHECK_LE(a, b) \
+  while (false) GQR_CHECK_LE(a, b)
+#define GQR_DCHECK_GT(a, b) \
+  while (false) GQR_CHECK_GT(a, b)
+#define GQR_DCHECK_GE(a, b) \
+  while (false) GQR_CHECK_GE(a, b)
+#endif
+
+#endif  // GQR_UTIL_CHECK_H_

@@ -3,10 +3,10 @@
 #ifndef GQR_UTIL_RESULT_H_
 #define GQR_UTIL_RESULT_H_
 
-#include <cassert>
 #include <optional>
 #include <utility>
 
+#include "util/check.h"
 #include "util/status.h"
 
 namespace gqr {
@@ -25,24 +25,30 @@ class Result {
 
   /// Implicit from a non-OK status: failure. Constructing from an OK
   /// status is a programming error.
+  // NOLINT above: implicit conversion from Status is the point of the
+  // type — `return Status::IOError(...)` inside a Result-returning
+  // function.
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    GQR_CHECK(!status_.ok())
+        << "Result constructed from OK status without a value";
   }
 
   bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
 
-  /// Requires ok().
+  /// Requires ok(); aborts (always, not just in debug builds) when
+  /// accessed on an error Result — the alternative is reading a
+  /// disengaged optional.
   const T& value() const& {
-    assert(ok());
+    GQR_CHECK(ok()) << "value() on error Result: " << status_.ToString();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    GQR_CHECK(ok()) << "value() on error Result: " << status_.ToString();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    GQR_CHECK(ok()) << "value() on error Result: " << status_.ToString();
     return std::move(*value_);
   }
 

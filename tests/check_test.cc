@@ -1,0 +1,112 @@
+// Death tests for the contract layer (util/check.h) and the Result
+// error paths that ride on it. GQR_CHECK aborts in every build mode, so
+// these use EXPECT_DEATH to assert both the abort and the message
+// content (file:line prefix, stringified condition, streamed operands).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace gqr {
+namespace {
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, CheckTrueIsSilent) {
+  GQR_CHECK(1 + 1 == 2);
+  GQR_CHECK_EQ(2, 2) << "never evaluated";
+  GQR_CHECK_LT(1, 2);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, CheckFalseAbortsWithConditionText) {
+  EXPECT_DEATH(GQR_CHECK(false), "GQR_CHECK failed: false");
+}
+
+TEST(CheckDeathTest, CheckStreamsContext) {
+  const int m = 65;
+  EXPECT_DEATH(GQR_CHECK(m <= 64) << "code_length m=" << m,
+               "code_length m=65");
+}
+
+TEST(CheckDeathTest, CheckEqPrintsBothOperands) {
+  const int got = 3;
+  const int want = 7;
+  EXPECT_DEATH(GQR_CHECK_EQ(got, want), "3 vs 7");
+}
+
+TEST(CheckDeathTest, CheckLeFailureNamesThePredicate) {
+  EXPECT_DEATH(GQR_CHECK_LE(10, 4), "GQR_CHECK_LE");
+}
+
+TEST(CheckDeathTest, CheckMessageCarriesFileAndLine) {
+  // The failure line must point at the call site, not into check.h.
+  EXPECT_DEATH(GQR_CHECK(false), "check_test.cc");
+}
+
+TEST(CheckDeathTest, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto once = [&calls]() {
+    ++calls;
+    return true;
+  };
+  GQR_CHECK(once());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckDeathTest, DcheckOperandsNotEvaluatedWhenDisabled) {
+#if GQR_DEBUG_CHECKS
+  GTEST_SKIP() << "debug checks armed in this build";
+#else
+  int calls = 0;
+  auto count = [&calls]() {
+    ++calls;
+    return 1;
+  };
+  GQR_DCHECK_EQ(count(), 1);
+  EXPECT_EQ(calls, 0) << "disabled GQR_DCHECK evaluated its operands";
+#endif
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> r(Status::IOError("disk on fire"));
+  EXPECT_DEATH((void)r.value(), "value\\(\\) on error Result.*disk on fire");
+}
+
+TEST(ResultDeathTest, DerefOnErrorAborts) {
+  Result<std::string> r(Status::NotFound("nope"));
+  EXPECT_DEATH((void)*r, "value\\(\\) on error Result");
+  EXPECT_DEATH((void)r->size(), "value\\(\\) on error Result");
+}
+
+TEST(ResultDeathTest, RvalueValueOnErrorAborts) {
+  EXPECT_DEATH(
+      { (void)Result<int>(Status::Internal("boom")).value(); },
+      "value\\(\\) on error Result.*boom");
+}
+
+TEST(ResultDeathTest, ConstructingFromOkStatusAborts) {
+  EXPECT_DEATH(Result<int> r(Status::OK()),
+               "Result constructed from OK status");
+}
+
+TEST(ResultTest, ErrorPathPreservesCodeAndMessage) {
+  Result<int> r(Status::FailedPrecondition("needs training"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(r.status().message(), "needs training");
+}
+
+TEST(ResultTest, MoveOutLeavesValueAccessible) {
+  Result<std::string> r(std::string("payload"));
+  ASSERT_TRUE(r.ok());
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+}  // namespace
+}  // namespace gqr

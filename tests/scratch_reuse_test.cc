@@ -17,6 +17,7 @@
 #include "core/batch_search.h"
 #include "core/gqr_prober.h"
 #include "core/searcher.h"
+#include "core/validators.h"
 #include "data/synthetic.h"
 #include "hash/itq.h"
 #include "util/thread_pool.h"
@@ -33,10 +34,17 @@ void* operator new(size_t size) {
 
 void* operator new[](size_t size) { return ::operator new(size); }
 
+// GCC's -Wmismatched-new-delete sees through the replacement operator
+// new above (it inlines the malloc) and flags these free() calls at
+// every optimized call site; pairing malloc/free across replaced global
+// operators is exactly what the standard requires of a replacement.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, size_t) noexcept { std::free(p); }
 void operator delete[](void* p, size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace gqr {
 namespace {
@@ -246,7 +254,14 @@ TEST(ScratchReuseTest, GqrProberProbesWithoutReallocation) {
   size_t emitted = 0;
   while (prober.Next(&target)) ++emitted;
   EXPECT_EQ(emitted, size_t{1} << info.code_length());
+#if GQR_VALIDATE_ENABLED
+  // Validating builds trade the zero-allocation contract for Property 1
+  // tracking (the validator's seen-set allocates per emission); the
+  // contract itself is only asserted in non-validating builds.
+  (void)before;
+#else
   EXPECT_EQ(AllocCount(), before) << "GqrProber::Next allocated mid-stream";
+#endif
 }
 
 TEST(ScratchReuseTest, VisitedSetSurvivesEpochWrap) {

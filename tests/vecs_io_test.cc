@@ -1,9 +1,14 @@
 // Round-trip and error-path tests for the .fvecs/.bvecs/.ivecs readers.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <limits>
+#include <string>
+#include <vector>
 
 #include "data/vecs_io.h"
 #include "util/random.h"
@@ -121,6 +126,135 @@ TEST_F(VecsIoTest, EmptyFileIsIOError) {
   const std::string path = Path("empty.fvecs");
   std::ofstream(path, std::ios::binary).close();
   EXPECT_FALSE(LoadFvecs(path).ok());
+}
+
+TEST_F(VecsIoTest, TruncatedHeaderIsIOError) {
+  // 1..3 bytes of a second dimension header after one complete record.
+  // fread with item semantics silently reports 0 items here, so the
+  // reader must count bytes to tell "clean EOF" from "torn header".
+  for (int extra = 1; extra <= 3; ++extra) {
+    const std::string path = Path("torn" + std::to_string(extra) + ".fvecs");
+    std::ofstream f(path, std::ios::binary);
+    const int32_t dim = 2;
+    const float v[] = {1.f, 2.f};
+    f.write(reinterpret_cast<const char*>(&dim), 4);
+    f.write(reinterpret_cast<const char*>(v), sizeof(v));
+    f.write(reinterpret_cast<const char*>(&dim), extra);
+    f.close();
+    Result<Dataset> r = LoadFvecs(path);
+    ASSERT_FALSE(r.ok()) << "trailing " << extra << " header bytes accepted";
+    EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+    EXPECT_NE(r.status().message().find("header"), std::string::npos)
+        << r.status().ToString();
+  }
+}
+
+TEST_F(VecsIoTest, NegativeDimIsIOError) {
+  const std::string path = Path("negdim.fvecs");
+  std::ofstream f(path, std::ios::binary);
+  const int32_t dim = -4;
+  f.write(reinterpret_cast<const char*>(&dim), 4);
+  f.close();
+  Result<Dataset> r = LoadFvecs(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(VecsIoTest, HugeDimIsRejectedWithoutAllocating) {
+  // dim = INT32_MAX would previously size a d*count product that can
+  // overflow (or attempt a giant allocation). The reader caps dim at
+  // kMaxVecsDim before touching memory.
+  const std::string path = Path("huge.fvecs");
+  std::ofstream f(path, std::ios::binary);
+  const int32_t dim = std::numeric_limits<int32_t>::max();
+  f.write(reinterpret_cast<const char*>(&dim), 4);
+  f.close();
+  Result<Dataset> r = LoadFvecs(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_NE(r.status().message().find("dimension"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(VecsIoTest, MemoryLoaderMatchesFileLoader) {
+  Rng rng(17);
+  Dataset original(9, 4);
+  for (size_t i = 0; i < 9; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      original.MutableRow(static_cast<ItemId>(i))[j] =
+          static_cast<float>(rng.Gaussian());
+    }
+  }
+  const std::string path = Path("mem.fvecs");
+  ASSERT_TRUE(SaveFvecs(original, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  Result<Dataset> from_mem = LoadFvecsFromMemory(bytes.data(), bytes.size());
+  ASSERT_TRUE(from_mem.ok()) << from_mem.status().ToString();
+  Result<Dataset> from_file = LoadFvecs(path);
+  ASSERT_TRUE(from_file.ok());
+  ASSERT_EQ(from_mem->size(), from_file->size());
+  ASSERT_EQ(from_mem->dim(), from_file->dim());
+  for (size_t i = 0; i < from_mem->size(); ++i) {
+    for (size_t j = 0; j < from_mem->dim(); ++j) {
+      EXPECT_FLOAT_EQ(from_mem->Row(static_cast<ItemId>(i))[j],
+                      from_file->Row(static_cast<ItemId>(i))[j]);
+    }
+  }
+}
+
+TEST_F(VecsIoTest, MemoryLoaderRejectsTruncatedRecord) {
+  // Header says dim=3 but only two floats follow.
+  std::vector<char> image;
+  const int32_t dim = 3;
+  const float v[] = {1.f, 2.f};
+  image.insert(image.end(), reinterpret_cast<const char*>(&dim),
+               reinterpret_cast<const char*>(&dim) + 4);
+  image.insert(image.end(), reinterpret_cast<const char*>(v),
+               reinterpret_cast<const char*>(v) + sizeof(v));
+  Result<Dataset> r = LoadFvecsFromMemory(image.data(), image.size());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(VecsIoTest, MemoryLoaderHonorsMaxVectors) {
+  Dataset d(6, 2);
+  const std::string path = Path("cap.fvecs");
+  ASSERT_TRUE(SaveFvecs(d, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  Result<Dataset> r =
+      LoadFvecsFromMemory(bytes.data(), bytes.size(), /*max_vectors=*/2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST_F(VecsIoTest, IvecsMemoryLoaderRoundTrip) {
+  std::vector<std::vector<int32_t>> rows = {{9, 8}, {7}, {1, 2, 3}};
+  const std::string path = Path("mem.ivecs");
+  ASSERT_TRUE(SaveIvecs(rows, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  auto r = LoadIvecsFromMemory(bytes.data(), bytes.size());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, rows);
+}
+
+TEST_F(VecsIoTest, BvecsMemoryLoaderReadsBytes) {
+  std::vector<char> image;
+  const int32_t dim = 2;
+  const uint8_t v1[] = {5, 250};
+  image.insert(image.end(), reinterpret_cast<const char*>(&dim),
+               reinterpret_cast<const char*>(&dim) + 4);
+  image.insert(image.end(), v1, v1 + 2);
+  auto r = LoadBvecsFromMemory(image.data(), image.size());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_FLOAT_EQ(r->Row(0)[0], 5.f);
+  EXPECT_FLOAT_EQ(r->Row(0)[1], 250.f);
 }
 
 }  // namespace
