@@ -78,11 +78,13 @@ std::vector<Curve> RunTrioCurves(const Workload& w,
 
 void PrintBenchHeader(const std::string& artifact,
                       const std::string& description) {
-  std::printf("==============================================================\n");
+  std::printf(
+      "==============================================================\n");
   std::printf("%s — %s\n", artifact.c_str(), description.c_str());
   std::printf("(synthetic stand-in datasets, GQR_SCALE=%.2f; see DESIGN.md)\n",
               BenchScale());
-  std::printf("==============================================================\n\n");
+  std::printf(
+      "==============================================================\n\n");
 }
 
 double SpeedupAtRecall(const Curve& baseline, const Curve& method,

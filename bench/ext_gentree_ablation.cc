@@ -53,8 +53,9 @@ int main() {
   }
   std::printf(
       "\nInterpretation: the heap dominates either way; the shared tree "
-      "trades two bit-ops per expansion for an array lookup, so it can even lose slightly to "
-      "in-register bit-ops once the node array falls out of cache — the paper's bigger win is that the tree "
-      "is query-independent at all (no per-query structure building).\n");
+      "trades two bit-ops per expansion for an array lookup, so it can even "
+      "lose slightly to in-register bit-ops once the node array falls out of "
+      "cache — the paper's bigger win is that the tree is query-independent "
+      "at all (no per-query structure building).\n");
   return 0;
 }

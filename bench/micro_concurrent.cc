@@ -252,7 +252,8 @@ int Run(const char* out_path) {
     std::snprintf(buf, sizeof(buf),
                   "    {\"shards\": %zu, \"qps_idle\": %.0f, "
                   "\"qps_under_ingest\": %.0f, "
-                  "\"qps_under_ingest_trials\": [%.0f, %.0f, %.0f, %.0f, %.0f], "
+                  "\"qps_under_ingest_trials\": "
+                  "[%.0f, %.0f, %.0f, %.0f, %.0f], "
                   "\"writer_ops_per_sec\": %.0f, "
                   "\"freezes_per_sec\": %.0f}%s\n",
                   shard_counts[i], idle[i].qps, ingest[i].qps, trials[i][0],

@@ -77,7 +77,9 @@ std::vector<ItemId> C2lshIndex::Collect(const float* query,
   std::vector<bool> window_init(m, false);
 
   for (int64_t level = 1;; level *= 2) {
-    if (stats != nullptr) stats->final_level = static_cast<int>(std::min<int64_t>(level, 1 << 30));
+    if (stats != nullptr) {
+      stats->final_level = static_cast<int>(std::min<int64_t>(level, 1 << 30));
+    }
     for (int h = 0; h < m; ++h) {
       const Axis& axis = axes_[h];
       // Level-c window on axis h: the search space expands

@@ -24,6 +24,7 @@
 
 #include "core/metric.h"
 #include "data/dataset.h"
+#include "util/attributes.h"
 
 namespace gqr {
 
@@ -42,9 +43,11 @@ QueryContext MakeQueryContext(const float* query, size_t dim, Metric metric);
 /// angular is 1 - cosine with the cached query norm (1.0 when either
 /// vector has zero norm, matching CosineDistance). Prefetches rows a few
 /// candidates ahead so the gather's cache misses overlap the arithmetic.
-void EvalDistancesBatch(const float* query, const QueryContext& ctx,
-                        const Dataset& base, const ItemId* ids, size_t count,
-                        float* out);
+/// GQR_HOT: the per-candidate loop performs no allocation at all, a
+/// contract the tools/lint static pass enforces.
+GQR_HOT void EvalDistancesBatch(const float* query, const QueryContext& ctx,
+                                const Dataset& base, const ItemId* ids,
+                                size_t count, float* out);
 
 /// Reusable per-thread buffers for the Searcher hot path. A scratch may be
 /// reused across queries, searchers, and datasets (buffers only ever

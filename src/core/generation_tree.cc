@@ -2,12 +2,24 @@
 
 #include <algorithm>
 #include <array>
-#include <mutex>
 
 #include "core/validators.h"
 #include "util/check.h"
+#include "util/sync.h"
 
 namespace gqr {
+
+namespace {
+
+// Shared-instance cache, one slot per code length. File-scope (not
+// function-local statics) so the guarded_by relationship is visible to
+// the thread-safety analysis; both are constant-initialized, so there is
+// no init-order hazard.
+Mutex g_shared_tree_mu;
+std::array<const GenerationTree*, 64> g_shared_tree_cache
+    GQR_GUARDED_BY(g_shared_tree_mu) = {};
+
+}  // namespace
 
 GenerationTree::GenerationTree(int m, size_t max_nodes) : m_(m) {
   GQR_CHECK(m >= 1 && m <= 63) << "code length " << m;
@@ -46,11 +58,11 @@ GenerationTree::GenerationTree(int m, size_t max_nodes) : m_(m) {
 
 const GenerationTree& GenerationTree::Shared(int m) {
   GQR_CHECK(m >= 1 && m <= 63) << "code length " << m;
-  static std::array<const GenerationTree*, 64> cache{};
-  static std::mutex mu;
-  std::lock_guard<std::mutex> lock(mu);
-  if (cache[m] == nullptr) cache[m] = new GenerationTree(m);
-  return *cache[m];
+  MutexLock lock(g_shared_tree_mu);
+  if (g_shared_tree_cache[m] == nullptr) {
+    g_shared_tree_cache[m] = new GenerationTree(m);
+  }
+  return *g_shared_tree_cache[m];
 }
 
 }  // namespace gqr

@@ -30,6 +30,7 @@
 #include "core/prober.h"
 #include "core/validators.h"
 #include "hash/binary_hasher.h"
+#include "util/attributes.h"
 
 namespace gqr {
 
@@ -47,8 +48,10 @@ class GqrProber : public BucketProber {
                      const GenerationTree* tree = nullptr);
 
   /// Emits buckets in ascending QD; the first bucket is c(q) itself
-  /// (QD 0). Exhausts after all 2^m buckets.
-  bool Next(ProbeTarget* target) override;
+  /// (QD 0). Exhausts after all 2^m buckets. GQR_HOT: the per-probe
+  /// path is statically checked allocation-source-free (tools/lint);
+  /// heap growth stays within the capacity reserved at construction.
+  GQR_HOT bool Next(ProbeTarget* target) override;
 
   double last_score() const override { return last_qd_; }
 
@@ -70,11 +73,11 @@ class GqrProber : public BucketProber {
   };
 
   /// Pushes both children of `top` (Algorithm 4's Append and Swap).
-  void Expand(const Entry& top);
+  GQR_HOT void Expand(const Entry& top);
 
   /// Applies Algorithm 3: flips the original code bits addressed by the
   /// sorted mask through the sort permutation.
-  Code BucketForMask(uint64_t mask) const;
+  GQR_HOT Code BucketForMask(uint64_t mask) const;
 
   uint32_t table_;
   int m_;

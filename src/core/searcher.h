@@ -31,6 +31,7 @@
 #include "index/hash_table.h"
 #include "index/multi_table.h"
 #include "index/sharded_index.h"
+#include "util/attributes.h"
 
 namespace gqr {
 
@@ -116,19 +117,26 @@ class Searcher {
 
   /// Allocation-free variants: results are written into `*result`
   /// (cleared first, capacity reused). These are what BatchSearch drives;
-  /// with a warm scratch and result they do not touch the heap.
-  void SearchInto(const float* query, BucketProber* prober,
-                  const StaticHashTable& table, const SearchOptions& options,
-                  SearchScratch* scratch, SearchResult* result) const;
-  void SearchInto(const float* query, BucketProber* prober,
-                  const MultiTableIndex& index, const SearchOptions& options,
-                  SearchScratch* scratch, SearchResult* result) const;
-  void SearchInto(const float* query, BucketProber* prober,
-                  const DynamicHashTable& table, const SearchOptions& options,
-                  SearchScratch* scratch, SearchResult* result) const;
-  void SearchInto(const float* query, BucketProber* prober,
-                  const ShardedIndex& index, const SearchOptions& options,
-                  SearchScratch* scratch, SearchResult* result) const;
+  /// with a warm scratch and result they do not touch the heap. GQR_HOT:
+  /// statically checked allocation-source-free (tools/lint) — amortized
+  /// growth of the warmed scratch/result buffers is the only allocator
+  /// contact, asserted at runtime by tests/scratch_reuse_test.cc.
+  GQR_HOT void SearchInto(const float* query, BucketProber* prober,
+                          const StaticHashTable& table,
+                          const SearchOptions& options, SearchScratch* scratch,
+                          SearchResult* result) const;
+  GQR_HOT void SearchInto(const float* query, BucketProber* prober,
+                          const MultiTableIndex& index,
+                          const SearchOptions& options, SearchScratch* scratch,
+                          SearchResult* result) const;
+  GQR_HOT void SearchInto(const float* query, BucketProber* prober,
+                          const DynamicHashTable& table,
+                          const SearchOptions& options, SearchScratch* scratch,
+                          SearchResult* result) const;
+  GQR_HOT void SearchInto(const float* query, BucketProber* prober,
+                          const ShardedIndex& index,
+                          const SearchOptions& options, SearchScratch* scratch,
+                          SearchResult* result) const;
 
   /// Reranks an explicit candidate list (used by the MIH and IMI paths,
   /// which generate candidates rather than buckets).
@@ -136,11 +144,11 @@ class Searcher {
                                 const std::vector<ItemId>& candidates,
                                 const SearchOptions& options,
                                 SearchScratch* scratch = nullptr) const;
-  void RerankCandidatesInto(const float* query,
-                            const std::vector<ItemId>& candidates,
-                            const SearchOptions& options,
-                            SearchScratch* scratch,
-                            SearchResult* result) const;
+  GQR_HOT void RerankCandidatesInto(const float* query,
+                                    const std::vector<ItemId>& candidates,
+                                    const SearchOptions& options,
+                                    SearchScratch* scratch,
+                                    SearchResult* result) const;
 
   /// Range search (§4.1's distance-threshold early stop): returns every
   /// probed item within `radius` of the query under `metric`, ascending
@@ -158,10 +166,10 @@ class Searcher {
 
  private:
   template <typename ProbeFn>
-  void SearchImpl(const float* query, BucketProber* prober,
-                  const SearchOptions& options, size_t num_tables,
-                  ProbeFn probe, SearchScratch* scratch,
-                  SearchResult* result) const;
+  GQR_HOT void SearchImpl(const float* query, BucketProber* prober,
+                          const SearchOptions& options, size_t num_tables,
+                          ProbeFn probe, SearchScratch* scratch,
+                          SearchResult* result) const;
 
   const Dataset* base_;
 };

@@ -1,17 +1,17 @@
 #include "data/ground_truth.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <queue>
 
 #include "la/simd_kernels.h"
+#include "util/check.h"
 #include "util/parallel_for.h"
 
 namespace gqr {
 
 Neighbors BruteForceKnn(const Dataset& base, const float* query, size_t k) {
-  assert(k > 0 && k <= base.size());
+  GQR_CHECK(k > 0 && k <= base.size());
   const size_t dim = base.dim();
   const float* data = base.data();
   const DistanceKernels& kernels = Kernels();
@@ -54,7 +54,7 @@ Neighbors BruteForceKnn(const Dataset& base, const float* query, size_t k) {
 
 std::vector<Neighbors> ComputeGroundTruth(const Dataset& base,
                                           const Dataset& queries, size_t k) {
-  assert(base.dim() == queries.dim());
+  GQR_CHECK(base.dim() == queries.dim());
   std::vector<Neighbors> out(queries.size());
   ParallelFor(0, queries.size(), [&](size_t q) {
     out[q] = BruteForceKnn(base, queries.Row(static_cast<ItemId>(q)), k);

@@ -1,15 +1,15 @@
 #include "data/synthetic.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "util/check.h"
 #include "util/random.h"
 
 namespace gqr {
 
 Dataset GenerateClusteredGaussian(const SyntheticSpec& spec) {
-  assert(spec.n > 0 && spec.dim > 0 && spec.num_clusters > 0);
+  GQR_CHECK(spec.n > 0 && spec.dim > 0 && spec.num_clusters > 0);
   Rng rng(spec.seed);
   const size_t k = std::min(spec.num_clusters, spec.n);
 
@@ -108,9 +108,11 @@ std::vector<DatasetProfile> AppendixDatasetProfiles(double scale) {
       MakeProfile("GLOVE1.2M-like", Scaled(48000, scale), 50, false, 203, 100),
       MakeProfile("GLOVE2.2M-like", Scaled(88000, scale), 72, false, 204, 100),
       MakeProfile("AUDIO50K-like", Scaled(20000, scale), 48, false, 205, 100),
-      MakeProfile("NUSWIDE0.26M-like", Scaled(26000, scale), 96, true, 206, 100),
+      MakeProfile("NUSWIDE0.26M-like", Scaled(26000, scale), 96, true, 206,
+                  100),
       MakeProfile("UKBENCH1M-like", Scaled(44000, scale), 32, true, 207, 100),
-      MakeProfile("IMAGENET2.3M-like", Scaled(92000, scale), 40, true, 208, 100),
+      MakeProfile("IMAGENET2.3M-like", Scaled(92000, scale), 40, true, 208,
+                  100),
   };
 }
 

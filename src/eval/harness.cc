@@ -1,7 +1,6 @@
 #include "eval/harness.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 #include "core/ghr_prober.h"
@@ -10,6 +9,7 @@
 #include "core/multi_prober.h"
 #include "core/qr_prober.h"
 #include "eval/metrics.h"
+#include "util/check.h"
 #include "util/timer.h"
 
 namespace gqr {
@@ -47,7 +47,7 @@ std::unique_ptr<BucketProber> MakeProber(QueryMethod method,
 
 std::vector<size_t> DefaultBudgets(size_t n, size_t k, double max_fraction,
                                    size_t points) {
-  assert(points >= 2);
+  GQR_CHECK(points >= 2);
   const double max_budget =
       std::max<double>(static_cast<double>(k) * 2.0,
                        static_cast<double>(n) * max_fraction);
@@ -75,7 +75,7 @@ Curve SweepBudgets(const std::string& name, const Dataset& queries,
                    const std::vector<Neighbors>& ground_truth, size_t k,
                    const std::vector<size_t>& budgets,
                    RunQueryFn run_query) {
-  assert(queries.size() == ground_truth.size());
+  GQR_CHECK(queries.size() == ground_truth.size());
   Curve curve;
   curve.name = name;
   for (size_t budget : budgets) {

@@ -6,6 +6,17 @@
 // StaticHashTable once the corpus stabilizes. GQR/GHR probers work
 // directly against it (they only generate codes); HR/QR probers need the
 // bucket list, which Freeze() provides.
+//
+// Concurrency contract: thread-compatible, not thread-safe. The table
+// assumes a single writer and no reader overlap; concurrent use goes
+// through an external capability. The one concurrent holder in the tree
+// is ShardedIndex, whose per-shard instance is declared
+// `DynamicHashTable table GQR_GUARDED_BY(mu)` — so under Clang's
+// -Wthread-safety every access to a shared instance is compile-time
+// forced under the owning shard's lock, and no lock type belongs in
+// this class. Probe() hands out a span into mutable storage and is for
+// exclusive use only; externally synchronized callers must copy out
+// under their lock via ProbeInto() instead.
 #ifndef GQR_INDEX_DYNAMIC_TABLE_H_
 #define GQR_INDEX_DYNAMIC_TABLE_H_
 

@@ -1,7 +1,6 @@
 #include "index/sharded_index.h"
 
 #include <algorithm>
-#include <mutex>
 
 namespace gqr {
 
@@ -33,7 +32,7 @@ size_t ShardedIndex::ShardOf(ItemId id) const {
 
 Status ShardedIndex::Insert(ItemId id, Code code) {
   Shard& shard = *shards_[ShardOf(id)];
-  std::unique_lock<std::shared_mutex> lock = shard.WriteLock();
+  ShardWriteLock lock(shard);
   Status status = shard.table.Insert(id, code);
   if (status.ok()) ++shard.version;
   return status;
@@ -41,7 +40,7 @@ Status ShardedIndex::Insert(ItemId id, Code code) {
 
 Status ShardedIndex::Remove(ItemId id, Code code) {
   Shard& shard = *shards_[ShardOf(id)];
-  std::unique_lock<std::shared_mutex> lock = shard.WriteLock();
+  ShardWriteLock lock(shard);
   Status status = shard.table.Remove(id, code);
   if (status.ok()) ++shard.version;
   return status;
@@ -49,14 +48,14 @@ Status ShardedIndex::Remove(ItemId id, Code code) {
 
 bool ShardedIndex::Contains(ItemId id, Code code) const {
   const Shard& shard = *shards_[ShardOf(id)];
-  std::shared_lock<std::shared_mutex> lock = shard.ReadLock();
+  ShardReadLock lock(shard);
   return shard.table.Contains(id, code);
 }
 
 size_t ShardedIndex::num_items() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock = shard->ReadLock();
+    ShardReadLock lock(*shard);
     total += shard->table.num_items();
   }
   return total;
@@ -64,31 +63,36 @@ size_t ShardedIndex::num_items() const {
 
 size_t ShardedIndex::shard_size(size_t shard) const {
   const Shard& s = *shards_[shard];
-  std::shared_lock<std::shared_mutex> lock = s.ReadLock();
+  ShardReadLock lock(s);
   return s.table.num_items();
 }
 
 uint64_t ShardedIndex::shard_version(size_t shard) const {
   const Shard& s = *shards_[shard];
-  std::shared_lock<std::shared_mutex> lock = s.ReadLock();
+  ShardReadLock lock(s);
   return s.version;
 }
 
-size_t ShardedIndex::ProbeShard(size_t shard, Code code,
-                                std::vector<ItemId>* out) const {
-  const Shard& s = *shards_[shard];
+size_t ShardedIndex::ProbeShardLocked(const Shard& s, Code code,
+                                      std::vector<ItemId>* out) const {
   // Serve from the frozen snapshot when it is current: the snapshot is
   // immutable, so only the pointer/version read needs the lock. The
   // bucket copy itself cannot race with writers either way — it happens
   // before the shared lock is released, and writers take the exclusive
   // side.
-  std::shared_lock<std::shared_mutex> lock = s.ReadLock();
   if (s.frozen != nullptr && s.frozen_version == s.version) {
     std::span<const ItemId> items = s.frozen->Probe(code);
     out->insert(out->end(), items.begin(), items.end());
     return items.size();
   }
   return s.table.ProbeInto(code, out);
+}
+
+size_t ShardedIndex::ProbeShard(size_t shard, Code code,
+                                std::vector<ItemId>* out) const {
+  const Shard& s = *shards_[shard];
+  ShardReadLock lock(s);
+  return ProbeShardLocked(s, code, out);
 }
 
 size_t ShardedIndex::ProbeAll(Code code, std::vector<ItemId>* out) const {
@@ -102,13 +106,23 @@ size_t ShardedIndex::ProbeAll(Code code, std::vector<ItemId>* out) const {
 std::vector<Code> ShardedIndex::BucketCodeUnion() const {
   std::vector<Code> codes;
   for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock = shard->ReadLock();
+    ShardReadLock lock(*shard);
     std::vector<Code> shard_codes = shard->table.BucketCodes();
     codes.insert(codes.end(), shard_codes.begin(), shard_codes.end());
   }
   std::sort(codes.begin(), codes.end());
   codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
   return codes;
+}
+
+void ShardedIndex::FreezeShardLocked(Shard& s) {
+  // Belt and braces at the gate: the attribute makes this a compile-time
+  // requirement, the assertion re-states it to the analysis across any
+  // future seam (and documents it at the point the version <-> snapshot
+  // pairing is established).
+  s.mu.AssertHeld();
+  s.frozen = std::make_shared<const StaticHashTable>(s.table.SnapshotTable());
+  s.frozen_version = s.version;
 }
 
 Status ShardedIndex::FreezeShard(size_t shard) {
@@ -119,9 +133,8 @@ Status ShardedIndex::FreezeShard(size_t shard) {
   // The snapshot is built under the exclusive lock: freezes are rare
   // (corpus stabilization points), and holding the lock keeps the
   // version <-> snapshot pairing exact.
-  std::unique_lock<std::shared_mutex> lock = s.WriteLock();
-  s.frozen = std::make_shared<const StaticHashTable>(s.table.SnapshotTable());
-  s.frozen_version = s.version;
+  ShardWriteLock lock(s);
+  FreezeShardLocked(s);
   return Status::OK();
 }
 
@@ -135,13 +148,13 @@ void ShardedIndex::FreezeAll() {
 std::shared_ptr<const StaticHashTable> ShardedIndex::FrozenShard(
     size_t shard) const {
   const Shard& s = *shards_[shard];
-  std::shared_lock<std::shared_mutex> lock = s.ReadLock();
+  ShardReadLock lock(s);
   return s.frozen;
 }
 
 bool ShardedIndex::ShardFrozen(size_t shard) const {
   const Shard& s = *shards_[shard];
-  std::shared_lock<std::shared_mutex> lock = s.ReadLock();
+  ShardReadLock lock(s);
   return s.frozen != nullptr && s.frozen_version == s.version;
 }
 

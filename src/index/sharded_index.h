@@ -2,11 +2,11 @@
 //
 // DynamicHashTable assumes a single writer and no reader overlap. This
 // wrapper partitions the corpus by item id across N shards, each guarded
-// by its own std::shared_mutex, so the index supports concurrent
-// Insert/Remove (exclusive per shard) while readers probe (shared per
-// shard). Every probe copies the bucket out under the shard's lock —
-// readers never hold references into mutable storage, so a snapshot can
-// never observe a half-inserted bucket or a reallocation.
+// by its own annotated SharedMutex (util/sync.h), so the index supports
+// concurrent Insert/Remove (exclusive per shard) while readers probe
+// (shared per shard). Every probe copies the bucket out under the
+// shard's lock — readers never hold references into mutable storage, so
+// a snapshot can never observe a half-inserted bucket or a reallocation.
 //
 // Each shard carries a version counter (bumped by every successful
 // mutation) and an optional frozen StaticHashTable snapshot, swapped in
@@ -17,14 +17,20 @@
 // the paper's deployment model — ingest into the dynamic side, freeze to
 // the probe-optimal static layout once traffic stabilizes — without ever
 // blocking readers for longer than one bucket copy.
+//
+// The locking protocol is a compile-time contract: every guarded shard
+// field is GQR_GUARDED_BY(shard.mu), the lock-held helpers carry
+// GQR_REQUIRES(_SHARED), and acquisition goes through the scoped
+// ShardReadLock/ShardWriteLock types below (which also implement the
+// writer-preference gate). Clang's -Wthread-safety verifies all of it on
+// the thread-safety CI leg; the tools/lint pass rejects raw std mutexes
+// here outright.
 #ifndef GQR_INDEX_SHARDED_INDEX_H_
 #define GQR_INDEX_SHARDED_INDEX_H_
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -32,6 +38,7 @@
 #include "index/hash_table.h"
 #include "util/bits.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace gqr {
 
@@ -111,35 +118,73 @@ class ShardedIndex {
   struct Shard {
     explicit Shard(int code_length) : table(code_length) {}
 
-    // Readers yield to registered writers before taking the shared side.
-    // glibc's shared_mutex is reader-preferring: under sustained read
+    // The capability guarding everything below it. `mutable` so const
+    // (reader) methods can lock; the annotated type keeps even those
+    // reads inside compiler-checked scopes.
+    mutable SharedMutex mu;
+    // Advisory writer-preference gate, deliberately NOT guarded by mu:
+    // glibc's shared_mutex is reader-preferring, so under sustained read
     // load an unbroken relay of shared holders starves ingest and
-    // freezes indefinitely. The gate is advisory (relaxed atomics — the
-    // lock itself provides all synchronization), so a reader may slip
-    // past a registering writer; that costs the writer one more beat,
-    // never correctness. Never call while already holding this shard's
-    // lock in either mode.
-    std::shared_lock<std::shared_mutex> ReadLock() const {
-      while (writers_waiting.load(std::memory_order_relaxed) > 0) {
+    // freezes indefinitely. Readers yield while this is non-zero
+    // (relaxed atomics — the lock itself provides all synchronization);
+    // a reader may slip past a registering writer, which costs the
+    // writer one more beat, never correctness.
+    mutable std::atomic<int> writers_waiting{0};
+    DynamicHashTable table GQR_GUARDED_BY(mu);
+    uint64_t version GQR_GUARDED_BY(mu) = 0;
+    uint64_t frozen_version GQR_GUARDED_BY(mu) = 0;
+    std::shared_ptr<const StaticHashTable> frozen GQR_GUARDED_BY(mu);
+  };
+
+  /// Scoped shared lock on one shard, with the writer-preference gate in
+  /// front. Acquiring while already holding the shard's lock in either
+  /// mode is a compile-time error (double-acquire) — the invariant the
+  /// old ReadLock() helper could only state in a comment.
+  class GQR_SCOPED_CAPABILITY ShardReadLock {
+   public:
+    explicit ShardReadLock(const Shard& s) GQR_ACQUIRE_SHARED(s.mu)
+        : mu_(&s.mu) {
+      while (s.writers_waiting.load(std::memory_order_relaxed) > 0) {
         std::this_thread::yield();
       }
-      return std::shared_lock<std::shared_mutex>(mu);
+      mu_->LockShared();
     }
-    std::unique_lock<std::shared_mutex> WriteLock() {
-      writers_waiting.fetch_add(1, std::memory_order_relaxed);
-      std::unique_lock<std::shared_mutex> lock(mu);
-      writers_waiting.fetch_sub(1, std::memory_order_relaxed);
-      return lock;
-    }
+    ~ShardReadLock() GQR_RELEASE() { mu_->UnlockShared(); }
 
-    mutable std::shared_mutex mu;
-    mutable std::atomic<int> writers_waiting{0};
-    // All fields below are guarded by mu.
-    DynamicHashTable table;
-    uint64_t version = 0;
-    uint64_t frozen_version = 0;
-    std::shared_ptr<const StaticHashTable> frozen;
+    ShardReadLock(const ShardReadLock&) = delete;
+    ShardReadLock& operator=(const ShardReadLock&) = delete;
+
+   private:
+    SharedMutex* mu_;
   };
+
+  /// Scoped exclusive lock on one shard; registers in the gate while
+  /// contending so readers yield.
+  class GQR_SCOPED_CAPABILITY ShardWriteLock {
+   public:
+    explicit ShardWriteLock(Shard& s) GQR_ACQUIRE(s.mu) : mu_(&s.mu) {
+      s.writers_waiting.fetch_add(1, std::memory_order_relaxed);
+      mu_->Lock();
+      s.writers_waiting.fetch_sub(1, std::memory_order_relaxed);
+    }
+    ~ShardWriteLock() GQR_RELEASE() { mu_->Unlock(); }
+
+    ShardWriteLock(const ShardWriteLock&) = delete;
+    ShardWriteLock& operator=(const ShardWriteLock&) = delete;
+
+   private:
+    SharedMutex* mu_;
+  };
+
+  /// Lock-held body of ProbeShard: serves from the frozen snapshot when
+  /// it is current, else copies out of the live table.
+  size_t ProbeShardLocked(const Shard& s, Code code,
+                          std::vector<ItemId>* out) const
+      GQR_REQUIRES_SHARED(s.mu);
+
+  /// Lock-held body of FreezeShard: publishes the snapshot and pairs it
+  /// with the version at which it was taken.
+  void FreezeShardLocked(Shard& s) GQR_REQUIRES(s.mu);
 
   int code_length_;
   std::vector<std::unique_ptr<Shard>> shards_;

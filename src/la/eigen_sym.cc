@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/check.h"
+
 namespace gqr {
 
 namespace {
@@ -22,7 +24,7 @@ double OffDiagonalMass(const Matrix& a) {
 }  // namespace
 
 EigenDecomposition EigenSym(const Matrix& a_in, int max_sweeps, double tol) {
-  assert(a_in.rows() == a_in.cols());
+  GQR_CHECK(a_in.rows() == a_in.cols());
   const size_t n = a_in.rows();
   Matrix a = a_in;
   // Symmetrize: trust the average of the two triangles.

@@ -1,10 +1,10 @@
 #include "la/kmeans.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 
+#include "util/check.h"
 #include "util/parallel_for.h"
 
 namespace gqr {
@@ -31,7 +31,8 @@ Matrix SeedPlusPlus(const T* data, const std::vector<uint32_t>& rows,
 
   size_t first = rng->Uniform(t);
   for (size_t j = 0; j < dim; ++j) {
-    centers.At(0, j) = static_cast<double>(data[rows[first] * size_t{1} * dim + j]);
+    centers.At(0, j) =
+        static_cast<double>(data[rows[first] * size_t{1} * dim + j]);
   }
   for (size_t c = 1; c < k; ++c) {
     // Refresh distances against the center added last.
@@ -85,7 +86,7 @@ uint32_t NearestCenter(const Matrix& centers, const T* x) {
 template <typename T>
 KMeansResult KMeans(const T* data, size_t n, size_t dim,
                     const KMeansOptions& options) {
-  assert(n > 0 && dim > 0 && options.k > 0);
+  GQR_CHECK(n > 0 && dim > 0 && options.k > 0);
   const size_t k = std::min(options.k, n);
   Rng rng(options.seed);
 
@@ -152,7 +153,8 @@ KMeansResult KMeans(const T* data, size_t n, size_t dim,
         continue;
       }
       for (size_t j = 0; j < dim; ++j) {
-        result.centers.At(c, j) = sums.At(c, j) / static_cast<double>(counts[c]);
+        result.centers.At(c, j) =
+            sums.At(c, j) / static_cast<double>(counts[c]);
       }
     }
 

@@ -7,11 +7,13 @@
 
 #include "la/simd_kernels.h"
 
+#include "util/check.h"
+
 namespace gqr {
 
 Matrix::Matrix(size_t rows, size_t cols, std::vector<double> data)
     : rows_(rows), cols_(cols), data_(std::move(data)) {
-  assert(data_.size() == rows * cols);
+  GQR_CHECK(data_.size() == rows * cols);
 }
 
 Matrix Matrix::Identity(size_t n) {
@@ -65,7 +67,7 @@ Matrix Matrix::Transposed() const {
 }
 
 Matrix Matrix::Multiply(const Matrix& other) const {
-  assert(cols_ == other.rows_);
+  GQR_CHECK(cols_ == other.rows_);
   Matrix out(rows_, other.cols_);
   const ProjectionKernels& kern = ProjKernels();
   const size_t p = other.cols_;
@@ -91,7 +93,7 @@ Matrix Matrix::Multiply(const Matrix& other) const {
 }
 
 Matrix Matrix::TransposedMultiply(const Matrix& other) const {
-  assert(rows_ == other.rows_);
+  GQR_CHECK(rows_ == other.rows_);
   Matrix out(cols_, other.cols_);
   const ProjectionKernels& kern = ProjKernels();
   for (size_t k = 0; k < rows_; ++k) {
@@ -107,7 +109,7 @@ Matrix Matrix::TransposedMultiply(const Matrix& other) const {
 }
 
 Matrix Matrix::MultiplyTransposed(const Matrix& other) const {
-  assert(cols_ == other.cols_);
+  GQR_CHECK(cols_ == other.cols_);
   Matrix out(rows_, other.rows_);
   if (empty() || other.empty()) return out;
   ProjKernels().gemm_nt(data_.data(), rows_, cols_, other.data_.data(),
@@ -117,7 +119,7 @@ Matrix Matrix::MultiplyTransposed(const Matrix& other) const {
 }
 
 std::vector<double> Matrix::MatVec(const std::vector<double>& x) const {
-  assert(x.size() == cols_);
+  GQR_CHECK(x.size() == cols_);
   std::vector<double> y(rows_, 0.0);
   if (!empty()) {
     ProjKernels().gemv(data_.data(), rows_, cols_, x.data(), y.data());
@@ -126,14 +128,14 @@ std::vector<double> Matrix::MatVec(const std::vector<double>& x) const {
 }
 
 Matrix Matrix::operator+(const Matrix& other) const {
-  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  GQR_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
   Matrix out = *this;
   for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
   return out;
 }
 
 Matrix Matrix::operator-(const Matrix& other) const {
-  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  GQR_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
   Matrix out = *this;
   for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
   return out;
@@ -180,7 +182,7 @@ double Matrix::SpectralNorm(int max_iters, double tol) const {
 }
 
 double Matrix::MaxAbsDiff(const Matrix& other) const {
-  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  GQR_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
   double max_diff = 0.0;
   for (size_t i = 0; i < data_.size(); ++i) {
     max_diff = std::max(max_diff, std::abs(data_[i] - other.data_[i]));
@@ -189,7 +191,7 @@ double Matrix::MaxAbsDiff(const Matrix& other) const {
 }
 
 Matrix Matrix::RowSlice(size_t row_begin, size_t row_end) const {
-  assert(row_begin <= row_end && row_end <= rows_);
+  GQR_CHECK(row_begin <= row_end && row_end <= rows_);
   Matrix out(row_end - row_begin, cols_);
   std::copy(data_.begin() + row_begin * cols_, data_.begin() + row_end * cols_,
             out.data_.begin());
@@ -197,7 +199,7 @@ Matrix Matrix::RowSlice(size_t row_begin, size_t row_end) const {
 }
 
 Matrix Matrix::ColSlice(size_t col_begin, size_t col_end) const {
-  assert(col_begin <= col_end && col_end <= cols_);
+  GQR_CHECK(col_begin <= col_end && col_end <= cols_);
   Matrix out(rows_, col_end - col_begin);
   for (size_t i = 0; i < rows_; ++i) {
     std::copy(Row(i) + col_begin, Row(i) + col_end, out.Row(i));

@@ -4,11 +4,11 @@
 #ifndef GQR_LA_MATRIX_H_
 #define GQR_LA_MATRIX_H_
 
-#include <cassert>
 #include <cstddef>
 #include <string>
 #include <vector>
 
+#include "util/check.h"
 #include "util/random.h"
 
 namespace gqr {
@@ -38,11 +38,11 @@ class Matrix {
   bool empty() const { return data_.empty(); }
 
   double& At(size_t i, size_t j) {
-    assert(i < rows_ && j < cols_);
+    GQR_DCHECK(i < rows_ && j < cols_);
     return data_[i * cols_ + j];
   }
   double At(size_t i, size_t j) const {
-    assert(i < rows_ && j < cols_);
+    GQR_DCHECK(i < rows_ && j < cols_);
     return data_[i * cols_ + j];
   }
 

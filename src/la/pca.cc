@@ -1,11 +1,11 @@
 #include "la/pca.h"
 
 #include <algorithm>
-#include <cassert>
 #include <vector>
 
 #include "la/eigen_sym.h"
 #include "la/simd_kernels.h"
+#include "util/check.h"
 #include "util/parallel_for.h"
 
 namespace gqr {
@@ -22,15 +22,15 @@ void PcaModel::Project(const float* x, double* out) const {
 
 PcaModel FitPca(const float* data, size_t n, size_t dim,
                 size_t num_components, size_t max_train_samples, Rng* rng) {
-  assert(n > 0 && dim > 0 && num_components > 0 && num_components <= dim);
+  GQR_CHECK(n > 0 && dim > 0 && num_components > 0 && num_components <= dim);
 
   // Pick training rows.
   std::vector<uint32_t> rows;
   if (n > max_train_samples) {
     Rng fallback(12345);
     Rng* r = rng != nullptr ? rng : &fallback;
-    rows = r->SampleWithoutReplacement(static_cast<uint32_t>(n),
-                                       static_cast<uint32_t>(max_train_samples));
+    rows = r->SampleWithoutReplacement(
+        static_cast<uint32_t>(n), static_cast<uint32_t>(max_train_samples));
   } else {
     rows.resize(n);
     for (size_t i = 0; i < n; ++i) rows[i] = static_cast<uint32_t>(i);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/check.h"
+
 namespace gqr {
 
 namespace {
@@ -97,7 +99,7 @@ SvdResult SvdTall(const Matrix& a_in, int max_sweeps, double tol) {
 }  // namespace
 
 SvdResult Svd(const Matrix& a, int max_sweeps, double tol) {
-  assert(!a.empty());
+  GQR_CHECK(!a.empty());
   if (a.rows() >= a.cols()) return SvdTall(a, max_sweeps, tol);
   // A = U S V^T  <=>  A^T = V S U^T.
   SvdResult t = SvdTall(a.Transposed(), max_sweeps, tol);

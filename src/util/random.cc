@@ -1,12 +1,13 @@
 #include "util/random.h"
 
-#include <cassert>
 #include <numeric>
+
+#include "util/check.h"
 
 namespace gqr {
 
 uint64_t Rng::Uniform(uint64_t n) {
-  assert(n > 0);
+  GQR_CHECK(n > 0);
   std::uniform_int_distribution<uint64_t> dist(0, n - 1);
   return dist(engine_);
 }
@@ -32,7 +33,7 @@ double Rng::Gaussian(double mean, double stddev) {
 }
 
 std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
-  assert(k <= n);
+  GQR_CHECK(k <= n);
   // Partial Fisher-Yates over an index array; O(n) memory, O(n + k) time.
   std::vector<uint32_t> idx(n);
   std::iota(idx.begin(), idx.end(), 0u);
@@ -46,7 +47,7 @@ std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
 
 size_t Rng::Discrete(const std::vector<double>& weights) {
   double total = std::accumulate(weights.begin(), weights.end(), 0.0);
-  assert(total > 0.0);
+  GQR_CHECK(total > 0.0);
   double r = UniformDouble() * total;
   double acc = 0.0;
   for (size_t i = 0; i < weights.size(); ++i) {

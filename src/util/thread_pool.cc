@@ -25,10 +25,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
@@ -42,16 +42,16 @@ void ThreadPool::Submit(std::function<void()> task) {
 
 void ThreadPool::Enqueue(Task task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_.push_back(std::move(task));
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
 }
 
 bool ThreadPool::RunOneTaskOf(TaskGroup* group) {
   Task task;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = std::find_if(tasks_.begin(), tasks_.end(), [group](
                                const Task& t) { return t.group == group; });
     if (it == tasks_.end()) return false;
@@ -68,9 +68,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(
-          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      // Explicit predicate loop (not a wait-with-lambda): the guarded
+      // reads stay inside this analyzed, lock-held scope.
+      while (!shutting_down_ && tasks_.empty()) task_available_.Wait(mu_);
       if (tasks_.empty()) return;  // Only reachable when shutting down.
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -82,18 +83,18 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::TaskGroup::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++pending_;
   }
   pool_->Enqueue({std::move(task), this});
 }
 
 void ThreadPool::TaskGroup::TaskDone() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Notify under the lock: the waiter may destroy the group the moment
   // pending_ hits zero, so the condition variable must not be touched
   // after the mutex is released.
-  if (--pending_ == 0) done_.notify_all();
+  if (--pending_ == 0) done_.NotifyAll();
 }
 
 void ThreadPool::TaskGroup::Wait() {
@@ -101,8 +102,8 @@ void ThreadPool::TaskGroup::Wait() {
   while (pool_->RunOneTaskOf(this)) {
   }
   // Whatever remains is running on (or about to be claimed by) workers.
-  std::unique_lock<std::mutex> lock(mu_);
-  done_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  while (pending_ != 0) done_.Wait(mu_);
 }
 
 ThreadPool& ThreadPool::Shared() {

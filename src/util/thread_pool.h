@@ -3,13 +3,13 @@
 #ifndef GQR_UTIL_THREAD_POOL_H_
 #define GQR_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace gqr {
 
@@ -21,7 +21,11 @@ namespace gqr {
 /// from different threads never cross-talk (waiting on one group does not
 /// wait for — or return early because of — another group's tasks).
 ///
-/// Thread-safe. The destructor drains outstanding tasks before joining.
+/// Thread-safe; the locking protocol is compiler-checked through the
+/// annotated sync primitives (util/sync.h): the task queue and the
+/// shutdown flag are GQR_GUARDED_BY the pool mutex, each group's pending
+/// count by the group mutex, and every entry point GQR_EXCLUDES the lock
+/// it takes. The destructor drains outstanding tasks before joining.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers; 0 means hardware_concurrency().
@@ -45,7 +49,7 @@ class ThreadPool {
     TaskGroup& operator=(const TaskGroup&) = delete;
 
     /// Enqueues a task belonging to this group.
-    void Submit(std::function<void()> task);
+    void Submit(std::function<void()> task) GQR_EXCLUDES(mu_);
 
     /// Blocks until every task submitted through *this* group has
     /// finished. While the group still has queued (not yet claimed)
@@ -53,23 +57,23 @@ class ThreadPool {
     /// Wait() from inside a pool worker makes progress instead of
     /// deadlocking the pool, and an external waiter helps out when the
     /// workers are busy with other groups.
-    void Wait();
+    void Wait() GQR_EXCLUDES(mu_);
 
    private:
     friend class ThreadPool;
 
     /// Called by whichever thread finished one of this group's tasks.
-    void TaskDone();
+    void TaskDone() GQR_EXCLUDES(mu_);
 
     ThreadPool* pool_;
-    std::mutex mu_;
-    std::condition_variable done_;
-    size_t pending_ = 0;  // Guarded by mu_.
+    Mutex mu_;
+    CondVar done_;
+    size_t pending_ GQR_GUARDED_BY(mu_) = 0;
   };
 
   /// Enqueues a detached task (fire-and-forget: no completion handle;
   /// outstanding tasks are drained by the destructor).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) GQR_EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -89,18 +93,19 @@ class ThreadPool {
     TaskGroup* group;  // Null for detached tasks.
   };
 
-  void Enqueue(Task task);
+  void Enqueue(Task task) GQR_EXCLUDES(mu_);
   /// Claims one queued task of `group` and runs it on the calling thread.
   /// Returns false when none of the group's tasks are queued (they may
   /// still be running on workers).
-  bool RunOneTaskOf(TaskGroup* group);
-  void WorkerLoop();
+  bool RunOneTaskOf(TaskGroup* group) GQR_EXCLUDES(mu_);
+  void WorkerLoop() GQR_EXCLUDES(mu_);
 
+  // Written only during construction/join; workers never mutate it.
   std::vector<std::thread> workers_;
-  std::deque<Task> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  bool shutting_down_ = false;
+  Mutex mu_;
+  CondVar task_available_;
+  std::deque<Task> tasks_ GQR_GUARDED_BY(mu_);
+  bool shutting_down_ GQR_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gqr

@@ -1,11 +1,11 @@
 #include "vq/imi.h"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
 #include <queue>
 
 #include "la/kmeans.h"
+#include "util/check.h"
 #include "util/parallel_for.h"
 #include "util/random.h"
 
@@ -24,7 +24,7 @@ ImiIndex::ImiIndex(const OpqModel& model, const Dataset& base,
     : model_(&model),
       k_(static_cast<uint32_t>(model.codebook().num_centroids())),
       residual_centroids_(options.residual_centroids) {
-  assert(model.codebook().num_subspaces() == 2);
+  GQR_CHECK(model.codebook().num_subspaces() == 2);
   const size_t n = base.size();
   const size_t d = model.dim();
 

@@ -1,8 +1,8 @@
 #include "vq/opq.h"
 
-#include <cassert>
 
 #include "la/procrustes.h"
+#include "util/check.h"
 #include "util/random.h"
 
 namespace gqr {
@@ -12,8 +12,8 @@ OpqModel::OpqModel(Matrix rotation, PqCodebook codebook,
     : rotation_(std::move(rotation)),
       codebook_(std::move(codebook)),
       mean_(std::move(mean)) {
-  assert(rotation_.rows() == rotation_.cols());
-  assert(mean_.size() == rotation_.rows());
+  GQR_CHECK(rotation_.rows() == rotation_.cols());
+  GQR_CHECK(mean_.size() == rotation_.rows());
 }
 
 void OpqModel::RotateInto(const float* x, double* out) const {

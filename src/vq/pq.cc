@@ -1,10 +1,10 @@
 #include "vq/pq.h"
 
-#include <cassert>
 #include <cmath>
 #include <limits>
 
 #include "la/kmeans.h"
+#include "util/check.h"
 #include "util/parallel_for.h"
 
 namespace gqr {
@@ -53,7 +53,7 @@ Matrix WarmStartLloyd(const double* data, size_t n, size_t dim,
 
 PqCodebook::PqCodebook(std::vector<Subspace> subspaces)
     : subspaces_(std::move(subspaces)) {
-  assert(!subspaces_.empty());
+  GQR_CHECK(!subspaces_.empty());
 }
 
 std::vector<uint32_t> PqCodebook::Encode(const double* x) const {
@@ -82,7 +82,7 @@ void PqCodebook::ComputeDistanceTables(
 
 void PqCodebook::Decode(const std::vector<uint32_t>& code,
                         double* out) const {
-  assert(code.size() == subspaces_.size());
+  GQR_CHECK(code.size() == subspaces_.size());
   for (size_t s = 0; s < subspaces_.size(); ++s) {
     const Subspace& sub = subspaces_[s];
     const double* c = sub.centroids.Row(code[s]);
@@ -109,8 +109,8 @@ double PqCodebook::QuantizationError(const double* data, size_t n) const {
 
 PqCodebook TrainPq(const double* data, size_t n, size_t dim,
                    const PqOptions& options, const PqCodebook* warm_start) {
-  assert(options.num_subspaces >= 1);
-  assert(static_cast<size_t>(options.num_subspaces) <= dim);
+  GQR_CHECK(options.num_subspaces >= 1);
+  GQR_CHECK(static_cast<size_t>(options.num_subspaces) <= dim);
   std::vector<PqCodebook::Subspace> subspaces(options.num_subspaces);
   for (int s = 0; s < options.num_subspaces; ++s) {
     PqCodebook::Subspace& sub = subspaces[s];

@@ -78,7 +78,8 @@ TEST(EigenSymTest, SatisfiesEigenEquation) {
   }
 }
 
-class SvdShapeTest : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+class SvdShapeTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
 
 TEST_P(SvdShapeTest, ReconstructionAndOrthogonality) {
   auto [rows, cols] = GetParam();

@@ -1,0 +1,28 @@
+// Negative-compilation CONTROL: annotation-correct code that must
+// compile cleanly under -Wthread-safety -Werror=thread-safety. If this
+// TU fails, the flag set (not the seeded violations) is broken, and the
+// sibling "must fail" cases prove nothing — the CMake gate checks this
+// one first for that reason.
+#include "util/sync.h"
+
+namespace {
+
+struct State {
+  gqr::Mutex mu;
+  int counter GQR_GUARDED_BY(mu) = 0;
+};
+
+void TickLocked(State& state) GQR_REQUIRES(state.mu) { ++state.counter; }
+
+int Tick(State& state) GQR_EXCLUDES(state.mu) {
+  gqr::MutexLock lock(state.mu);
+  TickLocked(state);
+  return state.counter;
+}
+
+}  // namespace
+
+int main() {
+  State state;
+  return Tick(state) == 1 ? 0 : 1;
+}

@@ -1,0 +1,28 @@
+// Negative-compilation case: calls a GQR_REQUIRES function without
+// holding the required mutex. MUST fail to compile under
+// -Wthread-safety -Werror=thread-safety; the CMake gate errors out at
+// configure time if it ever starts compiling (that would mean lock-held
+// helper contracts have silently stopped being enforced).
+#include "util/sync.h"
+
+namespace {
+
+struct State {
+  gqr::Mutex mu;
+  int counter GQR_GUARDED_BY(mu) = 0;
+};
+
+void TickLocked(State& state) GQR_REQUIRES(state.mu) { ++state.counter; }
+
+int BrokenCaller(State& state) {
+  TickLocked(state);  // Requires state.mu, which is not held: error.
+  gqr::MutexLock lock(state.mu);
+  return state.counter;
+}
+
+}  // namespace
+
+int main() {
+  State state;
+  return BrokenCaller(state);
+}

@@ -1,0 +1,25 @@
+// Negative-compilation case: writes a GQR_GUARDED_BY member without
+// holding its mutex. MUST fail to compile under
+// -Wthread-safety -Werror=thread-safety; the CMake gate errors out at
+// configure time if it ever starts compiling (that would mean the
+// guarded_by contract has silently stopped being enforced).
+#include "util/sync.h"
+
+namespace {
+
+struct State {
+  gqr::Mutex mu;
+  int counter GQR_GUARDED_BY(mu) = 0;
+};
+
+int BrokenTick(State& state) {
+  ++state.counter;  // Guarded write, no lock held: thread-safety error.
+  return state.counter;
+}
+
+}  // namespace
+
+int main() {
+  State state;
+  return BrokenTick(state);
+}

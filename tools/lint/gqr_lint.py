@@ -1,0 +1,347 @@
+#!/usr/bin/env python3
+"""gqr_lint: repo-specific static checks for the GQR codebase.
+
+Three rules, each encoding a contract the ordinary compiler cannot see:
+
+  A  raw-sync-primitives (clang-query, rules/raw_sync_primitives.query):
+     std::mutex & friends may only be declared inside util/sync.h. Every
+     other lock must be a util/sync.h type so Clang's -Wthread-safety
+     analysis covers it.
+
+  B  raw-assert (textual, implemented below):
+     bare assert() is banned in repo code -- NDEBUG builds compile it
+     away, silently dropping the check, and it never reaches the AST of
+     release TUs (which is also why this rule is a comment-stripping
+     textual scan rather than a matcher). Use GQR_CHECK / GQR_DCHECK.
+
+  C  hot-path-alloc (clang-query, rules/hot_path_alloc.query):
+     functions annotated GQR_HOT must contain no allocation *sources*
+     (new, malloc family, local owning containers, reserve /
+     shrink_to_fit). Amortized growth of warmed caller-owned buffers is
+     allowed by design.
+
+Exit status: 0 clean, 1 findings, 2 infrastructure error.
+
+Usage:
+  gqr_lint.py --build-dir build            # lint the repo
+  gqr_lint.py --self-test                  # prove the rules fire on
+                                           # seeded-bad TUs (testdata/)
+
+Rules A and C need clang-query (discovered on PATH, or via --clang-query /
+$CLANG_QUERY). Without it they are skipped with a notice unless
+--require-clang-query is given; rule B always runs.
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+LINT_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_DIRS = ("src", "tests", "bench", "fuzz", "examples")
+SOURCE_EXTS = (".cc", ".h", ".cpp", ".hpp")
+# Matches the exclusion in rules/raw_sync_primitives.query.
+SYNC_H = os.path.join("util", "sync.h")
+
+# clang-query match location, e.g. "/path/file.cc:12:3: note: ... binds here"
+_MATCH_RE = re.compile(r"^(.*?):(\d+):(\d+): note: .* binds here")
+_ASSERT_RE = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
+
+
+def fail(msg):
+    print(f"gqr_lint: error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def find_clang_query(explicit):
+    if explicit:
+        return explicit
+    env = os.environ.get("CLANG_QUERY")
+    if env:
+        return env
+    candidates = ["clang-query"]
+    candidates += [f"clang-query-{v}" for v in range(21, 13, -1)]
+    for name in candidates:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving newlines so
+    line numbers survive. Good enough for rule B: check.h documents GQR_CHECK
+    in terms of assert(), and that prose must not count as a finding."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        else:  # string or char
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def scan_raw_asserts(root, subdirs):
+    """Rule B. Returns [(path, line)] of bare assert( calls."""
+    findings = []
+    for sub in subdirs:
+        top = os.path.join(root, sub)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, _, names in os.walk(top):
+            for name in sorted(names):
+                if not name.endswith(SOURCE_EXTS):
+                    continue
+                path = os.path.join(dirpath, name)
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    text = strip_comments_and_strings(f.read())
+                for lineno, line in enumerate(text.splitlines(), start=1):
+                    if _ASSERT_RE.search(line):
+                        findings.append((path, lineno))
+    return findings
+
+
+def load_compile_db_files(build_dir, source_dir):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        fail(f"no compile_commands.json in {build_dir} "
+             "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)")
+    with open(db_path, encoding="utf-8") as f:
+        entries = json.load(f)
+    source_dir = os.path.abspath(source_dir)
+    wanted = tuple(os.path.join(source_dir, d) + os.sep for d in REPO_DIRS)
+    files = []
+    for entry in entries:
+        path = os.path.abspath(
+            os.path.join(entry.get("directory", "."), entry["file"]))
+        if path.startswith(wanted):
+            files.append(path)
+    return sorted(set(files))
+
+
+def run_clang_query(clang_query, rule_file, build_dir, files):
+    """Runs one rule file over `files`; returns deduped [(path, line)]."""
+    findings = []
+    chunk_size = 32
+    for start in range(0, len(files), chunk_size):
+        chunk = files[start:start + chunk_size]
+        cmd = [clang_query, "-p", build_dir, "-f", rule_file] + chunk
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        hard_errors = [
+            line for line in proc.stderr.splitlines()
+            if " error: " in line or line.startswith("Error")
+        ]
+        if proc.returncode != 0 or hard_errors:
+            detail = "\n".join(hard_errors or [proc.stderr.strip()])
+            fail(f"clang-query failed on {os.path.basename(rule_file)}:\n"
+                 f"{detail}")
+        for line in proc.stdout.splitlines():
+            m = _MATCH_RE.match(line)
+            if m:
+                findings.append((os.path.abspath(m.group(1)),
+                                 int(m.group(2))))
+    return sorted(set(findings))
+
+
+def report(rule, findings, advice):
+    if not findings:
+        print(f"  [PASS] {rule}")
+        return 0
+    print(f"  [FAIL] {rule}: {len(findings)} finding(s)")
+    for path, line in findings:
+        print(f"    {path}:{line}: {advice}")
+    return 1
+
+
+def lint_tree(source_dir, build_dir, clang_query, require_cq, label):
+    """Runs all rules over one tree. Returns the number of failed rules."""
+    print(f"gqr_lint: checking {label}")
+    failed = 0
+
+    asserts = scan_raw_asserts(source_dir, REPO_DIRS)
+    failed += report("raw-assert", asserts,
+                     "bare assert(); use GQR_CHECK/GQR_DCHECK (util/check.h)")
+
+    if clang_query is None:
+        msg = "clang-query not found; rules raw-sync-primitives and " \
+              "hot-path-alloc skipped"
+        if require_cq:
+            fail(msg)
+        print(f"  [SKIP] {msg}")
+        return failed
+
+    files = load_compile_db_files(build_dir, source_dir)
+    if not files:
+        fail(f"compile database in {build_dir} lists no repo sources")
+
+    sync = run_clang_query(
+        clang_query, os.path.join(LINT_DIR, "rules",
+                                  "raw_sync_primitives.query"),
+        build_dir, files)
+    sync = [(p, l) for (p, l) in sync if SYNC_H not in p]
+    failed += report("raw-sync-primitives", sync,
+                     "raw std sync primitive; use util/sync.h types")
+
+    hot = run_clang_query(
+        clang_query, os.path.join(LINT_DIR, "rules", "hot_path_alloc.query"),
+        build_dir, files)
+    failed += report("hot-path-alloc", hot,
+                     "allocation source in a GQR_HOT function")
+    return failed
+
+
+def self_test(clang_query, require_cq):
+    """Seeds the testdata TUs into a synthetic src/ tree and asserts each
+    rule fires on its bad TU and stays quiet on good.cc."""
+    testdata = os.path.join(LINT_DIR, "testdata")
+    with tempfile.TemporaryDirectory(prefix="gqr_lint_selftest_") as tmp:
+        srcdir = os.path.join(tmp, "src")
+        os.makedirs(srcdir)
+        tus = {}
+        for name in ("bad_raw_mutex.cc", "bad_hot_alloc.cc", "bad_assert.cc",
+                     "good.cc"):
+            dst = os.path.join(srcdir, name)
+            shutil.copyfile(os.path.join(testdata, name), dst)
+            tus[name] = dst
+
+        failures = []
+
+        def expect(rule, findings, must_flag, must_not_flag):
+            flagged = {os.path.basename(p) for (p, _) in findings}
+            if must_flag not in flagged:
+                failures.append(f"{rule}: expected a finding in {must_flag}, "
+                                f"got {sorted(flagged) or 'none'}")
+            if must_not_flag in flagged:
+                failures.append(f"{rule}: false positive in {must_not_flag}")
+
+        expect("raw-assert", scan_raw_asserts(tmp, ("src",)),
+               "bad_assert.cc", "good.cc")
+
+        if clang_query is None:
+            msg = "clang-query not found; self-test covered rule " \
+                  "raw-assert only"
+            if require_cq:
+                fail(msg)
+            print(f"gqr_lint: [SKIP] {msg}")
+        else:
+            db = [{
+                "directory": tmp,
+                "command": f"c++ -std=c++20 -c {path}",
+                "file": path,
+            } for path in tus.values()]
+            with open(os.path.join(tmp, "compile_commands.json"), "w",
+                      encoding="utf-8") as f:
+                json.dump(db, f)
+            files = sorted(tus.values())
+            expect("raw-sync-primitives",
+                   run_clang_query(
+                       clang_query,
+                       os.path.join(LINT_DIR, "rules",
+                                    "raw_sync_primitives.query"), tmp, files),
+                   "bad_raw_mutex.cc", "good.cc")
+            expect("hot-path-alloc",
+                   run_clang_query(
+                       clang_query,
+                       os.path.join(LINT_DIR, "rules", "hot_path_alloc.query"),
+                       tmp, files),
+                   "bad_hot_alloc.cc", "good.cc")
+
+        if failures:
+            print("gqr_lint: self-test FAILED")
+            for f_ in failures:
+                print(f"  {f_}")
+            return 1
+    print("gqr_lint: self-test passed (rules fire on seeded violations, "
+          "stay quiet on the control TU)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--source-dir",
+                        default=os.path.dirname(os.path.dirname(LINT_DIR)),
+                        help="repo root (default: two levels above this "
+                             "script)")
+    parser.add_argument("--build-dir", default=None,
+                        help="build dir holding compile_commands.json "
+                             "(default: <source-dir>/build)")
+    parser.add_argument("--clang-query", default=None,
+                        help="clang-query binary (default: $CLANG_QUERY or "
+                             "PATH discovery)")
+    parser.add_argument("--require-clang-query", action="store_true",
+                        help="fail instead of skipping when clang-query is "
+                             "missing (CI)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the rules against testdata/ instead of "
+                             "linting the repo")
+    args = parser.parse_args()
+
+    clang_query = find_clang_query(args.clang_query)
+    if args.self_test:
+        sys.exit(self_test(clang_query, args.require_clang_query))
+
+    source_dir = os.path.abspath(args.source_dir)
+    build_dir = os.path.abspath(args.build_dir or
+                                os.path.join(source_dir, "build"))
+    failed = lint_tree(source_dir, build_dir, clang_query,
+                       args.require_clang_query, source_dir)
+    if failed:
+        print(f"gqr_lint: {failed} rule(s) failed")
+        sys.exit(1)
+    print("gqr_lint: all rules passed")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

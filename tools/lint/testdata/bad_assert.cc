@@ -1,0 +1,14 @@
+// Seeded violation for gqr_lint rule B (raw-assert): a bare assert()
+// call, which NDEBUG builds silently compile away. Repo code must use
+// GQR_CHECK / GQR_DCHECK (util/check.h) instead. The self-test asserts
+// the rule reports exactly the call below -- and not this comment.
+#include <cassert>
+
+namespace gqr_lint_testdata {
+
+inline int CheckedIncrement(int x) {
+  assert(x >= 0);
+  return x + 1;
+}
+
+}  // namespace gqr_lint_testdata

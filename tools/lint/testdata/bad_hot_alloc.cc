@@ -1,0 +1,25 @@
+// Seeded violation for gqr_lint rule C (hot-path-alloc): a function
+// carrying the annotate("gqr_hot") attribute that hits all four
+// allocation sources (operator new, malloc family, local owning
+// container, explicit reserve). The self-test asserts the rule reports
+// this definition.
+#include <cstdlib>
+#include <vector>
+
+#define TEST_HOT __attribute__((hot, annotate("gqr_hot")))
+
+namespace gqr_lint_testdata {
+
+TEST_HOT int BadHotFunction(int n) {
+  std::vector<int> scratch(static_cast<size_t>(n), 1);  // C3: local container
+  int* raw = new int[static_cast<size_t>(n)];           // C1: operator new
+  void* block = std::malloc(16);                        // C2: malloc family
+  scratch.reserve(128);                                 // C4: capacity churn
+  int sum = 0;
+  for (int v : scratch) sum += v;
+  std::free(block);
+  delete[] raw;
+  return sum;
+}
+
+}  // namespace gqr_lint_testdata

@@ -1,0 +1,18 @@
+// Seeded violation for gqr_lint rule A (raw-sync-primitives): declares
+// std::mutex / std::condition_variable / std::lock_guard outside
+// util/sync.h. The self-test copies this TU under a synthetic src/ tree
+// and asserts the rule reports every declaration below.
+#include <condition_variable>
+#include <mutex>
+
+namespace gqr_lint_testdata {
+
+std::mutex g_bad_mutex;
+std::condition_variable g_bad_cv;
+
+int BadCriticalSection(int x) {
+  std::lock_guard<std::mutex> lock(g_bad_mutex);
+  return x + 1;
+}
+
+}  // namespace gqr_lint_testdata

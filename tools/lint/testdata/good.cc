@@ -1,0 +1,30 @@
+// Control TU for the gqr_lint self-test: must produce zero findings
+// under every rule. Exercises the sanctioned neighbors of each banned
+// pattern -- cold-path allocation, hot-path amortized growth into a
+// caller-owned buffer, and a comment that merely mentions assert().
+#include <vector>
+
+#define TEST_HOT __attribute__((hot, annotate("gqr_hot")))
+
+namespace gqr_lint_testdata {
+
+// Cold code may allocate freely (rule C only covers annotated functions).
+std::vector<int> MakeBuffer(int n) {
+  std::vector<int> out(static_cast<size_t>(n), 0);
+  out.reserve(static_cast<size_t>(n) + 8);
+  return out;
+}
+
+// Hot code that only reads, and pushes into caller-owned warmed storage:
+// amortized push_back growth is the documented steady-state contract.
+TEST_HOT int GoodHotFunction(const std::vector<int>& v,
+                             std::vector<int>* out) {
+  int sum = 0;
+  for (int x : v) {
+    sum += x;
+    out->push_back(x);
+  }
+  return sum;
+}
+
+}  // namespace gqr_lint_testdata
