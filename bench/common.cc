@@ -2,6 +2,10 @@
 
 #include <cstdio>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "util/env.h"
 
 namespace gqr {
@@ -110,6 +114,40 @@ void PrintTimeAtRecallTable(const std::string& artifact,
     rows.push_back(std::move(row));
   }
   PrintTable(artifact + " time-to-recall on " + dataset, header, rows);
+}
+
+bool WriteFileAtomic(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "could not create %s\n", tmp.c_str());
+    return false;
+  }
+  const bool wrote =
+      std::fwrite(contents.data(), 1, contents.size(), f) == contents.size();
+  // Flush userspace buffers, then fsync so the bytes are durable before
+  // the rename publishes them; rename itself is atomic, so readers see
+  // either the old complete file or the new complete file, never a
+  // truncated one.
+  const bool flushed = std::fflush(f) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+  const bool synced = flushed && fsync(fileno(f)) == 0;
+#else
+  const bool synced = flushed;
+#endif
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !synced || !closed) {
+    std::fprintf(stderr, "short write to %s\n", tmp.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "could not rename %s to %s\n", tmp.c_str(),
+                 path.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace bench

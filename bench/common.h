@@ -63,6 +63,13 @@ void PrintTimeAtRecallTable(const std::string& artifact,
                             const std::string& dataset,
                             const std::vector<Curve>& curves);
 
+/// Durably writes `contents` to `path`: writes to path + ".tmp", flushes
+/// and fsyncs it, then renames over `path`. A bench run killed mid-write
+/// (OOM, timeout, ^C) therefore leaves the previous BENCH_*.json intact
+/// instead of a truncated JSON document. Returns false (with a message on
+/// stderr) on any failure.
+bool WriteFileAtomic(const std::string& path, const std::string& contents);
+
 }  // namespace bench
 }  // namespace gqr
 

@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "common.h"
 #include "core/batch_search.h"
 #include "core/gqr_prober.h"
 #include "core/searcher.h"
@@ -269,13 +270,7 @@ int Run(const char* out_path) {
   json += "}\n";
 
   std::fputs(json.c_str(), stdout);
-  if (std::FILE* f = std::fopen(out_path, "w")) {
-    std::fputs(json.c_str(), f);
-    std::fclose(f);
-    return 0;
-  }
-  std::fprintf(stderr, "could not write %s\n", out_path);
-  return 1;
+  return bench::WriteFileAtomic(out_path, json) ? 0 : 1;
 }
 
 }  // namespace

@@ -38,7 +38,12 @@ void BatchHashQueries(const BinaryHasher& hasher, const Dataset& queries,
 /// Runs `method` for every row of `queries` against one table, in
 /// parallel. results[q] corresponds to queries.Row(q). `pool` overrides
 /// the shared process pool (pass a 1-thread pool for deterministic
-/// single-threaded runs; results are identical either way).
+/// single-threaded runs; results are identical either way). Compressed
+/// rerank mode plumbs through unchanged: set SearchOptions::compressed
+/// (and rerank_alpha) and every query scores candidates against the
+/// compressed rows, exact-reranking only its shortlist — the compressed
+/// kernels are bit-identical across dispatch levels, so batch results
+/// stay level-independent.
 std::vector<SearchResult> BatchSearch(const Searcher& searcher,
                                       const BinaryHasher& hasher,
                                       const StaticHashTable& table,

@@ -10,11 +10,24 @@ namespace gqr {
 
 namespace {
 
-// How many candidates ahead to prefetch. Rows are gathered from random
-// buckets, so each one is a likely cache miss; at dim 128 a row is 8
-// lines, and 4 candidates of headroom covers the miss latency without
-// evicting rows before they are scored.
-constexpr size_t kPrefetchAhead = 4;
+// How many candidates ahead to prefetch in the fp32 loops. Rows are
+// gathered from random buckets, so each one is a likely cache miss; the
+// distance is scaled to the row's cache-line count so the loop keeps a
+// roughly constant number of lines in flight (~32: enough memory-level
+// parallelism to hide DRAM latency on a DRAM-resident corpus) — a fixed
+// short distance leaves small rows latency-bound with only a handful of
+// outstanding misses. Bounded to [4, 32] candidates of headroom so tiny
+// rows do not prefetch past useful reach and huge rows keep a minimum
+// pipeline. (The compressed loops do not burst-prefetch like this: they
+// pace line prefetches through the fused `_pf` kernels instead — see
+// kCompressedPfDist below.)
+constexpr size_t kPrefetchLines = 32;
+
+constexpr size_t PrefetchAhead(size_t row_bytes) {
+  const size_t lines = (row_bytes + 63) / 64;
+  const size_t ahead = kPrefetchLines / lines;
+  return ahead < 4 ? 4 : (ahead > 32 ? 32 : ahead);
+}
 
 }  // namespace
 
@@ -33,12 +46,12 @@ void EvalDistancesBatch(const float* query, const QueryContext& ctx,
                         float* out) {
   const float* data = base.data();
   const size_t dim = base.dim();
+  const size_t ahead = PrefetchAhead(dim * sizeof(float));
   const DistanceKernels& k = Kernels();
   if (ctx.metric == Metric::kEuclidean) {
     for (size_t i = 0; i < count; ++i) {
-      if (i + kPrefetchAhead < count) {
-        PrefetchRow(data + static_cast<size_t>(ids[i + kPrefetchAhead]) * dim,
-                    dim);
+      if (i + ahead < count) {
+        PrefetchRow(data + static_cast<size_t>(ids[i + ahead]) * dim, dim);
       }
       const float* row = data + static_cast<size_t>(ids[i]) * dim;
       out[i] = std::sqrt(k.squared_l2(row, query, dim));
@@ -46,9 +59,8 @@ void EvalDistancesBatch(const float* query, const QueryContext& ctx,
     return;
   }
   for (size_t i = 0; i < count; ++i) {
-    if (i + kPrefetchAhead < count) {
-      PrefetchRow(data + static_cast<size_t>(ids[i + kPrefetchAhead]) * dim,
-                  dim);
+    if (i + ahead < count) {
+      PrefetchRow(data + static_cast<size_t>(ids[i + ahead]) * dim, dim);
     }
     const float* row = data + static_cast<size_t>(ids[i]) * dim;
     float dot, row_norm2;
@@ -59,10 +71,70 @@ void EvalDistancesBatch(const float* query, const QueryContext& ctx,
   }
 }
 
+// Lookahead for the prefetch-fused compressed kernels: the row evaluated
+// at step i paces prefetches of row i + kCompressedPfDist into L2 as it
+// runs (CompressedKernels doc). Four rows of lead is enough pipeline to
+// cover DRAM latency at the pacing rate while staying well inside L2.
+constexpr size_t kCompressedPfDist = 4;
+
+void EvalDistancesBatchCompressed(const float* query, const QueryContext& ctx,
+                                  const CompressedDataset& comp,
+                                  const ItemId* ids, size_t count,
+                                  float* out) {
+  const size_t dim = comp.dim();
+  const CompressedKernels& k = CompKernels();
+  if (comp.kind() == CompressionKind::kSq8) {
+    const float* min = comp.min();
+    const float* scale = comp.scale();
+    const auto pf_row = [&](size_t i) {
+      return i + kCompressedPfDist < count
+                 ? comp.Sq8Row(ids[i + kCompressedPfDist])
+                 : nullptr;
+    };
+    if (ctx.metric == Metric::kEuclidean) {
+      for (size_t i = 0; i < count; ++i) {
+        out[i] = std::sqrt(k.squared_l2_sq8_pf(query, comp.Sq8Row(ids[i]),
+                                               min, scale, dim, pf_row(i)));
+      }
+      return;
+    }
+    for (size_t i = 0; i < count; ++i) {
+      const float dot = k.dot_sq8_pf(query, comp.Sq8Row(ids[i]), min, scale,
+                                     dim, pf_row(i));
+      const float row_norm2 = comp.row_norm2(ids[i]);
+      out[i] = (row_norm2 == 0.f || ctx.query_norm == 0.f)
+                   ? 1.f
+                   : 1.f - dot / (std::sqrt(row_norm2) * ctx.query_norm);
+    }
+    return;
+  }
+  const auto pf_row = [&](size_t i) {
+    return i + kCompressedPfDist < count
+               ? comp.Fp16Row(ids[i + kCompressedPfDist])
+               : nullptr;
+  };
+  if (ctx.metric == Metric::kEuclidean) {
+    for (size_t i = 0; i < count; ++i) {
+      out[i] = std::sqrt(k.squared_l2_fp16_pf(query, comp.Fp16Row(ids[i]),
+                                              dim, pf_row(i)));
+    }
+    return;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const float dot = k.dot_fp16_pf(query, comp.Fp16Row(ids[i]), dim,
+                                    pf_row(i));
+    const float row_norm2 = comp.row_norm2(ids[i]);
+    out[i] = (row_norm2 == 0.f || ctx.query_norm == 0.f)
+                 ? 1.f
+                 : 1.f - dot / (std::sqrt(row_norm2) * ctx.query_norm);
+  }
+}
+
 void SearchScratch::BeginQuery(size_t base_size, bool need_visited) {
   ids.clear();
   distances.clear();
   heap.clear();
+  shortlist.clear();
   if (!need_visited) return;
   if (++epoch == 0) {
     // Epoch counter wrapped (once per 2^32 queries): stale stamps could

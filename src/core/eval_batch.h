@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/metric.h"
+#include "data/compressed_dataset.h"
 #include "data/dataset.h"
 #include "util/attributes.h"
 
@@ -49,6 +50,20 @@ GQR_HOT void EvalDistancesBatch(const float* query, const QueryContext& ctx,
                                 const Dataset& base, const ItemId* ids,
                                 size_t count, float* out);
 
+/// As EvalDistancesBatch, but scores candidates against their compressed
+/// rows (CompKernels asymmetric distances), touching 1/4 (SQ8) or 1/2
+/// (fp16) of the bytes per candidate. Euclidean distances are true L2 of
+/// query vs *decoded* row; angular uses the encode-time cached row norm
+/// so only the asymmetric dot runs per candidate. Distances are
+/// approximate relative to the fp32 rows — the searcher uses them to
+/// build a k*alpha shortlist it then exact-reranks (DESIGN.md section
+/// 14). GQR_HOT: the per-candidate loop performs no allocation.
+GQR_HOT void EvalDistancesBatchCompressed(const float* query,
+                                          const QueryContext& ctx,
+                                          const CompressedDataset& comp,
+                                          const ItemId* ids, size_t count,
+                                          float* out);
+
 /// Reusable per-thread buffers for the Searcher hot path. A scratch may be
 /// reused across queries, searchers, and datasets (buffers only ever
 /// grow); it must not be shared by concurrent searches.
@@ -68,6 +83,9 @@ struct SearchScratch {
   /// here (one bucket's union across shards at a time), since a sharded
   /// probe cannot hand out spans into mutable shard storage.
   std::vector<ItemId> shard_items;
+  /// Shortlist ids drained from the compressed-pass heap, then exact-
+  /// reranked against the fp32 rows (compressed rerank mode only).
+  std::vector<ItemId> shortlist;
   /// Epoch-stamped visited set for multi-table de-duplication:
   /// visited[id] == epoch  <=>  id was already evaluated this query.
   /// Bumping the epoch invalidates all stamps in O(1), so queries after

@@ -59,6 +59,15 @@ void Searcher::SearchImpl(const float* query, BucketProber* prober,
                           ProbeFn probe, SearchScratch* scratch,
                           SearchResult* result) const {
   GQR_CHECK(options.k > 0) << "SearchOptions::k must be positive";
+  const CompressedDataset* comp = options.compressed;
+  if (comp != nullptr) {
+    GQR_CHECK_EQ(comp->size(), base_->size())
+        << "compressed dataset does not cover the base set";
+    GQR_CHECK_EQ(comp->dim(), base_->dim())
+        << "compressed dataset dim does not match the base set";
+    GQR_CHECK_GE(options.rerank_alpha, size_t{1})
+        << "rerank_alpha must be >= 1";
+  }
   SearchScratch& s = scratch != nullptr ? *scratch : ThreadLocalSearchScratch();
   result->Clear();
   SearchStats& stats = result->stats;
@@ -68,7 +77,11 @@ void Searcher::SearchImpl(const float* query, BucketProber* prober,
   s.BeginQuery(base_->size(), dedup);
   const QueryContext ctx = MakeQueryContext(query, base_->dim(),
                                             options.metric);
-  TopK top(options.k, &s.heap);
+  // Compressed mode keeps a k * alpha shortlist during probing; the exact
+  // top-k is carved out of it afterwards.
+  const size_t heap_k =
+      comp != nullptr ? options.k * options.rerank_alpha : options.k;
+  TopK top(heap_k, &s.heap);
 
   ProbeTarget target;
   while (prober->Next(&target)) {
@@ -88,8 +101,13 @@ void Searcher::SearchImpl(const float* query, BucketProber* prober,
     }
     if (!s.ids.empty()) {
       s.distances.resize(s.ids.size());
-      EvalDistancesBatch(query, ctx, *base_, s.ids.data(), s.ids.size(),
-                         s.distances.data());
+      if (comp != nullptr) {
+        EvalDistancesBatchCompressed(query, ctx, *comp, s.ids.data(),
+                                     s.ids.size(), s.distances.data());
+      } else {
+        EvalDistancesBatch(query, ctx, *base_, s.ids.data(), s.ids.size(),
+                           s.distances.data());
+      }
       for (size_t i = 0; i < s.ids.size(); ++i) {
         top.Offer(s.distances[i], s.ids[i]);
       }
@@ -98,8 +116,10 @@ void Searcher::SearchImpl(const float* query, BucketProber* prober,
       // Theorem 2: every item of the bucket just evaluated lies at least
       // mu * QD(q, bucket) away — the fact that makes the early stop
       // below (and RangeSearch exactness) sound. Only claimed for the
-      // Euclidean metric with a caller-supplied mu.
-      if (options.early_stop_mu > 0.0 &&
+      // Euclidean metric with a caller-supplied mu, and only against
+      // exact distances: compressed distances carry quantization error,
+      // so the bound is not asserted for them.
+      if (comp == nullptr && options.early_stop_mu > 0.0 &&
           options.metric == Metric::kEuclidean) {
         for (size_t i = 0; i < s.ids.size(); ++i) {
           ValidateTheorem2Bound(options.early_stop_mu, prober->last_score(),
@@ -117,12 +137,33 @@ void Searcher::SearchImpl(const float* query, BucketProber* prober,
       break;
     }
     // Early stop of §4.1: all remaining buckets have score >= last_score,
-    // and mu * QD lower-bounds the true distance of their items.
+    // and mu * QD lower-bounds the true distance of their items. In
+    // compressed mode top.worst() is the k*alpha-th *compressed* distance
+    // — larger than the k-th, so the stop fires later (conservative), but
+    // the threshold itself carries quantization error; exactness claims
+    // only hold for the uncompressed path.
     if (options.early_stop_mu > 0.0 && top.full() &&
         options.early_stop_mu * prober->last_score() >= top.worst()) {
       stats.early_stopped = true;
       break;
     }
+  }
+  if (comp != nullptr) {
+    // Exact rerank: drain the compressed shortlist and rescore it against
+    // the fp32 rows, so the returned top-k distances are exact.
+    top.Drain(&s.shortlist, &s.distances);
+    stats.items_reranked = s.shortlist.size();
+    if (!s.shortlist.empty()) {
+      s.distances.resize(s.shortlist.size());
+      EvalDistancesBatch(query, ctx, *base_, s.shortlist.data(),
+                         s.shortlist.size(), s.distances.data());
+    }
+    TopK exact_top(options.k, &s.heap);
+    for (size_t i = 0; i < s.shortlist.size(); ++i) {
+      exact_top.Offer(s.distances[i], s.shortlist[i]);
+    }
+    exact_top.Drain(&result->ids, &result->distances);
+    return;
   }
   top.Drain(&result->ids, &result->distances);
 }
@@ -263,12 +304,23 @@ void Searcher::RerankCandidatesInto(const float* query,
                                     const SearchOptions& options,
                                     SearchScratch* scratch,
                                     SearchResult* result) const {
+  const CompressedDataset* comp = options.compressed;
+  if (comp != nullptr) {
+    GQR_CHECK_EQ(comp->size(), base_->size())
+        << "compressed dataset does not cover the base set";
+    GQR_CHECK_EQ(comp->dim(), base_->dim())
+        << "compressed dataset dim does not match the base set";
+    GQR_CHECK_GE(options.rerank_alpha, size_t{1})
+        << "rerank_alpha must be >= 1";
+  }
   SearchScratch& s = scratch != nullptr ? *scratch : ThreadLocalSearchScratch();
   result->Clear();
   s.BeginQuery(base_->size(), /*need_visited=*/false);
   const QueryContext ctx = MakeQueryContext(query, base_->dim(),
                                             options.metric);
-  TopK top(options.k, &s.heap);
+  const size_t heap_k =
+      comp != nullptr ? options.k * options.rerank_alpha : options.k;
+  TopK top(heap_k, &s.heap);
   // The candidate list is already in the caller's order; evaluate the
   // first max_candidates of it (matching the per-item budget check of the
   // probing path), chunked so the distance buffer stays cache-resident.
@@ -280,12 +332,33 @@ void Searcher::RerankCandidatesInto(const float* query,
   for (size_t start = 0; start < limit; start += kChunk) {
     const size_t n = std::min(kChunk, limit - start);
     s.distances.resize(std::max(s.distances.size(), n));
-    EvalDistancesBatch(query, ctx, *base_, candidates.data() + start, n,
-                       s.distances.data());
+    if (comp != nullptr) {
+      EvalDistancesBatchCompressed(query, ctx, *comp,
+                                   candidates.data() + start, n,
+                                   s.distances.data());
+    } else {
+      EvalDistancesBatch(query, ctx, *base_, candidates.data() + start, n,
+                         s.distances.data());
+    }
     for (size_t i = 0; i < n; ++i) {
       top.Offer(s.distances[i], candidates[start + i]);
     }
     result->stats.items_evaluated += n;
+  }
+  if (comp != nullptr) {
+    top.Drain(&s.shortlist, &s.distances);
+    result->stats.items_reranked = s.shortlist.size();
+    if (!s.shortlist.empty()) {
+      s.distances.resize(s.shortlist.size());
+      EvalDistancesBatch(query, ctx, *base_, s.shortlist.data(),
+                         s.shortlist.size(), s.distances.data());
+    }
+    TopK exact_top(options.k, &s.heap);
+    for (size_t i = 0; i < s.shortlist.size(); ++i) {
+      exact_top.Offer(s.distances[i], s.shortlist[i]);
+    }
+    exact_top.Drain(&result->ids, &result->distances);
+    return;
   }
   top.Drain(&result->ids, &result->distances);
 }

@@ -11,7 +11,10 @@
 //
 // Candidates are evaluated a bucket at a time through the batched SIMD
 // eval path (core/eval_batch.h), with per-query metric constants cached
-// up front. All working memory lives in a SearchScratch — including the
+// up front. With SearchOptions::compressed set, the per-bucket pass runs
+// against the compressed rows instead and only a k * alpha shortlist is
+// exact-reranked at the end (DESIGN.md section 14); the final top-k is
+// still reported with exact fp32 distances. All working memory lives in a SearchScratch — including the
 // projection buffer the batched hashing phase of core/batch_search.cc
 // fills through BinaryHasher::HashQueryBatch; callers that pass nullptr
 // get a per-thread scratch, so steady-state searches perform no heap
@@ -50,6 +53,19 @@ struct SearchOptions {
   /// mu * QD lower-bounds the true distance).
   double early_stop_mu = 0.0;
   Metric metric = Metric::kEuclidean;
+  /// Compressed rerank mode (DESIGN.md section 14). When set, candidates
+  /// are scored against this compressed representation of the base set
+  /// (must be an encoding of the same n x dim data), a top-(k *
+  /// rerank_alpha) shortlist is kept, and the shortlist alone is
+  /// exact-reranked against the fp32 rows — per-candidate bytes drop 4x
+  /// (SQ8) / 2x (fp16) while the returned distances stay exact. Borrowed;
+  /// must outlive the search.
+  const CompressedDataset* compressed = nullptr;
+  /// Shortlist oversampling factor alpha (>= 1). Larger alpha buys back
+  /// recall lost to quantization error at the shortlist boundary; alpha=4
+  /// recovers the exact top-k on every dataset we test (see
+  /// tests/compressed_rerank_test.cc).
+  size_t rerank_alpha = 4;
 };
 
 struct SearchStats {
@@ -57,6 +73,7 @@ struct SearchStats {
   size_t buckets_nonempty = 0;   // ... of which existed in the table.
   size_t items_evaluated = 0;    // Exact distance computations.
   size_t duplicates_skipped = 0; // Multi-table only.
+  size_t items_reranked = 0;     // Shortlist size (compressed mode only).
   bool early_stopped = false;
 };
 

@@ -43,6 +43,10 @@ std::unique_ptr<BucketProber> MakeShardedProber(
 /// concurrent Insert/Remove; on a quiesced index, results are identical
 /// to BatchSearch over the equivalent unsharded table. For HR/QR the
 /// bucket-code union is snapshotted once per batch, up front.
+/// SearchOptions::compressed works here as in BatchSearch: the sharded
+/// probe gathers ids as usual and only candidate scoring switches to the
+/// compressed rows (the compressed dataset is indexed by the same global
+/// ItemIds the shards store).
 std::vector<SearchResult> ShardedSearch(const Searcher& searcher,
                                         const BinaryHasher& hasher,
                                         const ShardedIndex& index,

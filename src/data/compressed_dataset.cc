@@ -1,0 +1,159 @@
+#include "data/compressed_dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "la/simd_kernels.h"
+#include "util/memory.h"
+
+namespace gqr {
+
+const char* CompressionKindName(CompressionKind kind) {
+  switch (kind) {
+    case CompressionKind::kSq8:
+      return "sq8";
+    case CompressionKind::kFp16:
+      return "fp16";
+  }
+  GQR_CHECK(false) << "unknown CompressionKind "
+                   << static_cast<uint32_t>(kind);
+  return "?";
+}
+
+namespace {
+
+// Decode of one SQ8 code — must match the kernels' DecodeSq8 exactly
+// (fmaf, not a separate multiply+add) so DecodeRow reproduces the values
+// the asymmetric kernels score against.
+inline float DecodeSq8Value(uint8_t code, float min, float scale) {
+  return std::fmaf(scale, static_cast<float>(code), min);
+}
+
+}  // namespace
+
+CompressedDataset CompressedDataset::Encode(const Dataset& base,
+                                            CompressionKind kind) {
+  const size_t n = base.size();
+  const size_t dim = base.dim();
+  CompressedDataset out;
+  out.kind_ = kind;
+  out.n_ = n;
+  out.dim_ = dim;
+  out.row_norm2_.resize(n);
+
+  if (kind == CompressionKind::kFp16) {
+    // The code array is the randomly-probed resident set of compressed
+    // search; hugepage backing keeps its TLB reach proportional to the
+    // corpus (see util/memory.h).
+    out.fp16_ = MakeHugeVector<uint16_t>(n * dim);
+    for (size_t i = 0; i < n; ++i) {
+      const float* row = base.Row(static_cast<ItemId>(i));
+      uint16_t* code = out.fp16_.data() + i * dim;
+      double norm2 = 0.0;
+      for (size_t j = 0; j < dim; ++j) {
+        code[j] = FloatToFp16(row[j]);
+        const double v = Fp16ToFloat(code[j]);
+        norm2 += v * v;
+      }
+      out.row_norm2_[i] = static_cast<float>(norm2);
+    }
+    return out;
+  }
+
+  GQR_CHECK(kind == CompressionKind::kSq8)
+      << "unknown CompressionKind " << static_cast<uint32_t>(kind);
+  out.min_.resize(dim, 0.f);
+  out.scale_.resize(dim, 0.f);
+  out.sq8_ = MakeHugeVector<uint8_t>(n * dim);
+  if (n == 0) return out;
+
+  // Per-dim range over the whole dataset; scale = (max - min) / 255 maps
+  // min -> code 0 and max -> code 255.
+  std::vector<float> maxv(dim, -std::numeric_limits<float>::infinity());
+  for (size_t j = 0; j < dim; ++j) {
+    out.min_[j] = std::numeric_limits<float>::infinity();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = base.Row(static_cast<ItemId>(i));
+    for (size_t j = 0; j < dim; ++j) {
+      out.min_[j] = std::min(out.min_[j], row[j]);
+      maxv[j] = std::max(maxv[j], row[j]);
+    }
+  }
+  for (size_t j = 0; j < dim; ++j) {
+    const float range = maxv[j] - out.min_[j];
+    // Constant dims get scale 0: every code decodes exactly to min_[j].
+    out.scale_[j] = range > 0.f ? range / 255.f : 0.f;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = base.Row(static_cast<ItemId>(i));
+    uint8_t* code = out.sq8_.data() + i * dim;
+    double norm2 = 0.0;
+    for (size_t j = 0; j < dim; ++j) {
+      float q = 0.f;
+      if (out.scale_[j] > 0.f) {
+        q = std::nearbyintf((row[j] - out.min_[j]) / out.scale_[j]);
+        q = std::min(255.f, std::max(0.f, q));
+      }
+      code[j] = static_cast<uint8_t>(q);
+      const double v = DecodeSq8Value(code[j], out.min_[j], out.scale_[j]);
+      norm2 += v * v;
+    }
+    out.row_norm2_[i] = static_cast<float>(norm2);
+  }
+  return out;
+}
+
+CompressedDataset::CompressedDataset(CompressionKind kind, size_t n,
+                                     size_t dim, std::vector<uint8_t> sq8,
+                                     std::vector<uint16_t> fp16,
+                                     std::vector<float> min,
+                                     std::vector<float> scale,
+                                     std::vector<float> row_norm2)
+    : kind_(kind),
+      n_(n),
+      dim_(dim),
+      sq8_(std::move(sq8)),
+      fp16_(std::move(fp16)),
+      min_(std::move(min)),
+      scale_(std::move(scale)),
+      row_norm2_(std::move(row_norm2)) {
+  GQR_CHECK(kind_ == CompressionKind::kSq8 || kind_ == CompressionKind::kFp16)
+      << "unknown CompressionKind " << static_cast<uint32_t>(kind_);
+  GQR_CHECK_EQ(row_norm2_.size(), n_) << "row norms do not match n";
+  if (kind_ == CompressionKind::kSq8) {
+    GQR_CHECK_EQ(sq8_.size(), n_ * dim_) << "sq8 payload shape mismatch";
+    GQR_CHECK_EQ(fp16_.size(), size_t{0}) << "fp16 payload on an sq8 dataset";
+    GQR_CHECK_EQ(min_.size(), dim_) << "sq8 min shape mismatch";
+    GQR_CHECK_EQ(scale_.size(), dim_) << "sq8 scale shape mismatch";
+  } else {
+    GQR_CHECK_EQ(fp16_.size(), n_ * dim_) << "fp16 payload shape mismatch";
+    GQR_CHECK_EQ(sq8_.size(), size_t{0}) << "sq8 payload on an fp16 dataset";
+    GQR_CHECK_EQ(min_.size(), size_t{0}) << "min array on an fp16 dataset";
+    GQR_CHECK_EQ(scale_.size(), size_t{0})
+        << "scale array on an fp16 dataset";
+  }
+}
+
+void CompressedDataset::DecodeRow(ItemId i, float* out) const {
+  GQR_DCHECK_LT(i, n_);
+  if (kind_ == CompressionKind::kSq8) {
+    const uint8_t* code = Sq8Row(i);
+    for (size_t j = 0; j < dim_; ++j) {
+      out[j] = DecodeSq8Value(code[j], min_[j], scale_[j]);
+    }
+  } else {
+    const uint16_t* code = Fp16Row(i);
+    for (size_t j = 0; j < dim_; ++j) out[j] = Fp16ToFloat(code[j]);
+  }
+}
+
+size_t CompressedDataset::resident_bytes() const {
+  return sq8_.size() * sizeof(uint8_t) + fp16_.size() * sizeof(uint16_t) +
+         (min_.size() + scale_.size() + row_norm2_.size()) * sizeof(float);
+}
+
+}  // namespace gqr

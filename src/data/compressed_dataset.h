@@ -1,0 +1,117 @@
+// CompressedDataset: a compact representation of a Dataset for the
+// compressed rerank path (DESIGN.md section 14).
+//
+// Candidate verification is memory-bandwidth-bound at scale: the batched
+// fp32 eval path gains only ~1.3x over naive because every candidate
+// gathers dim * 4 bytes from a random row. Encoding the base set once at
+// index time — SQ8 (one uint8 per dim with per-dim min/scale, 4x fewer
+// resident bytes) or fp16 (IEEE binary16, 2x) — and scoring candidates
+// through the asymmetric-distance kernels (la/simd_kernels.h
+// CompressedKernels) cuts the bytes touched per candidate by the same
+// factor. The searcher keeps a k*alpha shortlist of compressed-best
+// candidates and exact-reranks it against the fp32 rows, so the final
+// top-k distances remain exact.
+#ifndef GQR_DATA_COMPRESSED_DATASET_H_
+#define GQR_DATA_COMPRESSED_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/check.h"
+
+namespace gqr {
+
+/// Which compact representation a CompressedDataset holds.
+enum class CompressionKind : uint32_t {
+  kSq8 = 1,   // uint8 per dim, per-dim affine (min, scale) dequantizer.
+  kFp16 = 2,  // IEEE binary16 per dim.
+};
+
+/// "sq8" / "fp16"; for logs and bench output.
+const char* CompressionKindName(CompressionKind kind);
+
+/// Row-major n x dim compressed descriptors plus the per-row |x|^2 of
+/// the decoded vectors (cached so angular search needs only the
+/// asymmetric dot kernel). Immutable once built; encode at index build
+/// time with Encode(), or rehydrate from disk via
+/// persist/model_io.h:LoadCompressedDataset.
+class CompressedDataset {
+ public:
+  CompressedDataset() = default;
+
+  /// Encodes every row of `base`. SQ8 uses per-dim (min, scale) over the
+  /// dataset with scale = (max - min) / 255 and code = nearest integer
+  /// of (x - min) / scale clamped to [0, 255]; constant dims get
+  /// scale = 0 and decode exactly to their value. fp16 narrows with
+  /// round-to-nearest-even, saturating at +-65504 (FloatToFp16).
+  static CompressedDataset Encode(const Dataset& base, CompressionKind kind);
+
+  /// Assembles a dataset from parts (deserialization / tests). Shape
+  /// invariants are checked: payload of n * dim codes of the kind's
+  /// width, dim-sized min/scale for kSq8 (empty for kFp16), n row norms.
+  CompressedDataset(CompressionKind kind, size_t n, size_t dim,
+                    std::vector<uint8_t> sq8, std::vector<uint16_t> fp16,
+                    std::vector<float> min, std::vector<float> scale,
+                    std::vector<float> row_norm2);
+
+  CompressionKind kind() const { return kind_; }
+  size_t size() const { return n_; }
+  size_t dim() const { return dim_; }
+  bool empty() const { return n_ == 0; }
+
+  const uint8_t* Sq8Row(ItemId i) const {
+    GQR_DCHECK_LT(i, n_);
+    return sq8_.data() + static_cast<size_t>(i) * dim_;
+  }
+  const uint16_t* Fp16Row(ItemId i) const {
+    GQR_DCHECK_LT(i, n_);
+    return fp16_.data() + static_cast<size_t>(i) * dim_;
+  }
+
+  /// Per-dim dequantizer arrays (kSq8 only; empty for kFp16).
+  const float* min() const { return min_.data(); }
+  const float* scale() const { return scale_.data(); }
+
+  /// |decode(row i)|^2, accumulated in double at encode time (level- and
+  /// host-independent) and stored, so the angular eval path pays one
+  /// asymmetric dot per candidate instead of a fused dot+norm.
+  float row_norm2(ItemId i) const {
+    GQR_DCHECK_LT(i, n_);
+    return row_norm2_[i];
+  }
+
+  /// Decodes row `i` into out[0..dim): the exact values the asymmetric
+  /// kernels see (SQ8: fmaf(scale_j, code, min_j); fp16: exact widening).
+  void DecodeRow(ItemId i, float* out) const;
+
+  /// Bytes of one compressed row (dim for kSq8, 2 * dim for kFp16) —
+  /// the bytes a distance kernel touches per candidate.
+  size_t bytes_per_row() const {
+    return kind_ == CompressionKind::kSq8 ? dim_ : 2 * dim_;
+  }
+
+  /// Total resident payload bytes (codes + dequantizer + row norms);
+  /// compare against n * dim * 4 for the fp32 dataset it stands in for.
+  size_t resident_bytes() const;
+
+  /// Serialization access (persist/model_io.cc).
+  const std::vector<uint8_t>& sq8_codes() const { return sq8_; }
+  const std::vector<uint16_t>& fp16_codes() const { return fp16_; }
+  const std::vector<float>& min_vec() const { return min_; }
+  const std::vector<float>& scale_vec() const { return scale_; }
+  const std::vector<float>& row_norms2() const { return row_norm2_; }
+
+ private:
+  CompressionKind kind_ = CompressionKind::kSq8;
+  size_t n_ = 0;
+  size_t dim_ = 0;
+  std::vector<uint8_t> sq8_;       // n * dim when kSq8, else empty.
+  std::vector<uint16_t> fp16_;     // n * dim when kFp16, else empty.
+  std::vector<float> min_, scale_;  // dim each when kSq8, else empty.
+  std::vector<float> row_norm2_;   // n.
+};
+
+}  // namespace gqr
+
+#endif  // GQR_DATA_COMPRESSED_DATASET_H_

@@ -33,6 +33,7 @@
 #include "core/searcher.h"
 #include "core/sharded_search.h"
 #include "core/sklsh.h"
+#include "data/compressed_dataset.h"
 #include "data/dataset.h"
 #include "data/ground_truth.h"
 #include "data/synthetic.h"

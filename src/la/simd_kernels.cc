@@ -3,6 +3,10 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+
+#include "util/check.h"
+#include "util/env.h"
 
 #if defined(__x86_64__) || defined(__i386__)
 #define GQR_X86 1
@@ -92,6 +96,209 @@ void DotAndNormsScalar(const float* a, const float* b, size_t dim,
   *dot = d;
   *a_norm2 = na;
   *b_norm2 = nb;
+}
+
+// ---------------------------------------------------------------------------
+// IEEE binary16 conversions. Widening is exact (every half is a float);
+// narrowing rounds to nearest-even and saturates at +-65504 so an
+// outlier dimension cannot poison whole distances with infinities. Both
+// are branchy scalar code: encoding runs once at index build, and the
+// scalar kernels only decode.
+// ---------------------------------------------------------------------------
+
+float Fp16ToFloat(uint16_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1Fu;
+  uint32_t mant = h & 0x3FFu;
+  uint32_t bits;
+  if (exp == 31u) {  // inf / NaN: widen payload into the float field.
+    bits = sign | 0x7F800000u | (mant << 13);
+  } else if (exp != 0u) {  // Normal: rebias 15 -> 127.
+    bits = sign | ((exp + 112u) << 23) | (mant << 13);
+  } else if (mant != 0u) {  // Subnormal half: renormalize (value m*2^-24).
+    uint32_t e = 113u;
+    while ((mant & 0x400u) == 0u) {
+      mant <<= 1;
+      --e;
+    }
+    bits = sign | (e << 23) | ((mant & 0x3FFu) << 13);
+  } else {  // +-0.
+    bits = sign;
+  }
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+uint16_t FloatToFp16(float f) {
+  uint32_t x;
+  std::memcpy(&x, &f, sizeof(x));
+  const uint16_t sign = static_cast<uint16_t>((x >> 16) & 0x8000u);
+  x &= 0x7FFFFFFFu;
+  if (x > 0x7F800000u) return sign | 0x7E00u;  // NaN -> quiet half NaN.
+  // 65520 = halfway between 65504 (max half) and the next step; at or
+  // beyond it round-to-nearest would give inf — saturate instead.
+  if (x >= 0x477FF000u) return sign | 0x7BFFu;  // +-65504.
+  if (x >= 0x38800000u) {  // Normal half range [2^-14, 65504].
+    const uint32_t round = (x & 0x1FFFu);
+    uint32_t h = ((x - 0x38000000u) >> 13);  // Rebias 127 -> 15, truncate.
+    if (round > 0x1000u || (round == 0x1000u && (h & 1u))) ++h;
+    return sign | static_cast<uint16_t>(h);
+  }
+  // Subnormal half (or zero): value rounds to an integer multiple of
+  // 2^-24. Shift the 24-bit significand right with round-to-nearest-even.
+  if (x < 0x33000000u) return sign;  // Below 2^-25: rounds to +-0.
+  const uint32_t m = (x & 0x7FFFFFu) | 0x800000u;
+  const uint32_t shift = 126u - (x >> 23);  // In [14, 25].
+  const uint32_t halfway = 1u << (shift - 1);
+  const uint32_t frac = m & ((1u << shift) - 1u);
+  uint32_t t = m >> shift;
+  if (frac > halfway || (frac == halfway && (t & 1u))) ++t;
+  return sign | static_cast<uint16_t>(t);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar compressed (asymmetric-distance) kernels. These are the bitwise
+// reference for every dispatch level: the canonical accumulation is 32
+// strided fmaf partials over 32-element blocks, the fixed combine below,
+// then a sequential fmaf tail (see CompressedKernels in the header). The
+// AVX2/AVX-512 kernels run the identical operation sequence with vector
+// lanes standing in for the strided partials.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// The canonical combine: c_l = s_l + s_{l+16} (AVX-512: acc0 + acc1
+// elementwise; AVX2: a0+a2 / a1+a3), d_l = c_l + c_{l+8} (low half +
+// high half), e_l = d_l + d_{l+4}, then (e0 + e2) + (e1 + e3) — exactly
+// the Hsum8 reduction order of the AVX2 kernels.
+inline float CombineCanon32(const float* s) {
+  float c[16];
+  for (int l = 0; l < 16; ++l) c[l] = s[l] + s[l + 16];
+  float d[8];
+  for (int l = 0; l < 8; ++l) d[l] = c[l] + c[l + 8];
+  float e[4];
+  for (int l = 0; l < 4; ++l) e[l] = d[l] + d[l + 4];
+  return (e[0] + e[2]) + (e[1] + e[3]);
+}
+
+// Decode of one SQ8 component: uint8 -> float is exact, then one fused
+// multiply-add. Identical to the vector decode (vcvtudq2ps + vfmadd).
+inline float DecodeSq8(uint8_t code, float min, float scale) {
+  return std::fmaf(scale, static_cast<float>(code), min);
+}
+
+// One prefetch into L2 (locality hint 1 below T0), used by the paced
+// `_pf` kernels. L2's miss queue is deeper than the L1 fill buffers, so
+// paced L2 prefetches survive where a same-cycle burst of T0 prefetches
+// is dropped (see the CompressedKernels doc in the header).
+inline void PrefetchL2(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 0, 2);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace
+
+// The SQ8 `_pf` pacing: one code is one byte, so a 64-element stride is
+// one cache line of the upcoming row — issue its prefetch on every other
+// 32-element block. fp16 codes are two bytes, so every block is a line.
+// The non-`_pf` entry points below wrap these with pf == nullptr; the
+// branch is on a loop-invariant pointer and costs nothing, and sharing
+// the body is what makes fused == unfused bit-identical by construction.
+
+float SquaredL2Sq8PfScalar(const float* q, const uint8_t* code,
+                           const float* min, const float* scale, size_t dim,
+                           const uint8_t* pf) {
+  float s[32] = {};
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    if (pf != nullptr && (i & 63u) == 0) PrefetchL2(pf + i);
+    for (size_t l = 0; l < 32; ++l) {
+      const float d = q[i + l] - DecodeSq8(code[i + l], min[i + l],
+                                           scale[i + l]);
+      s[l] = std::fmaf(d, d, s[l]);
+    }
+  }
+  float acc = CombineCanon32(s);
+  for (; i < dim; ++i) {
+    const float d = q[i] - DecodeSq8(code[i], min[i], scale[i]);
+    acc = std::fmaf(d, d, acc);
+  }
+  return acc;
+}
+
+float SquaredL2Sq8Scalar(const float* q, const uint8_t* code,
+                         const float* min, const float* scale, size_t dim) {
+  return SquaredL2Sq8PfScalar(q, code, min, scale, dim, nullptr);
+}
+
+float DotSq8PfScalar(const float* q, const uint8_t* code, const float* min,
+                     const float* scale, size_t dim, const uint8_t* pf) {
+  float s[32] = {};
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    if (pf != nullptr && (i & 63u) == 0) PrefetchL2(pf + i);
+    for (size_t l = 0; l < 32; ++l) {
+      s[l] = std::fmaf(q[i + l], DecodeSq8(code[i + l], min[i + l],
+                                           scale[i + l]),
+                       s[l]);
+    }
+  }
+  float acc = CombineCanon32(s);
+  for (; i < dim; ++i) {
+    acc = std::fmaf(q[i], DecodeSq8(code[i], min[i], scale[i]), acc);
+  }
+  return acc;
+}
+
+float DotSq8Scalar(const float* q, const uint8_t* code, const float* min,
+                   const float* scale, size_t dim) {
+  return DotSq8PfScalar(q, code, min, scale, dim, nullptr);
+}
+
+float SquaredL2Fp16PfScalar(const float* q, const uint16_t* code, size_t dim,
+                            const uint16_t* pf) {
+  float s[32] = {};
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    if (pf != nullptr) PrefetchL2(pf + i);
+    for (size_t l = 0; l < 32; ++l) {
+      const float d = q[i + l] - Fp16ToFloat(code[i + l]);
+      s[l] = std::fmaf(d, d, s[l]);
+    }
+  }
+  float acc = CombineCanon32(s);
+  for (; i < dim; ++i) {
+    const float d = q[i] - Fp16ToFloat(code[i]);
+    acc = std::fmaf(d, d, acc);
+  }
+  return acc;
+}
+
+float SquaredL2Fp16Scalar(const float* q, const uint16_t* code, size_t dim) {
+  return SquaredL2Fp16PfScalar(q, code, dim, nullptr);
+}
+
+float DotFp16PfScalar(const float* q, const uint16_t* code, size_t dim,
+                      const uint16_t* pf) {
+  float s[32] = {};
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    if (pf != nullptr) PrefetchL2(pf + i);
+    for (size_t l = 0; l < 32; ++l) {
+      s[l] = std::fmaf(q[i + l], Fp16ToFloat(code[i + l]), s[l]);
+    }
+  }
+  float acc = CombineCanon32(s);
+  for (; i < dim; ++i) acc = std::fmaf(q[i], Fp16ToFloat(code[i]), acc);
+  return acc;
+}
+
+float DotFp16Scalar(const float* q, const uint16_t* code, size_t dim) {
+  return DotFp16PfScalar(q, code, dim, nullptr);
 }
 
 // ---------------------------------------------------------------------------
@@ -443,6 +650,485 @@ GQR_TARGET_AVX2 void DgemmNtAvx2(const double* a, size_t n, size_t lda,
   }
 }
 
+// ---------------------------------------------------------------------------
+// AVX2 compressed (asymmetric-distance) kernels. Four 8-lane
+// accumulators a0..a3 stand for the canonical partials s0..7, s8..15,
+// s16..23, s24..31; the combine (a0+a2), (a1+a3), then Hsum8 of their
+// sum reproduces the scalar CombineCanon32 order exactly, and the tail
+// is the same sequential std::fmaf chain (compiled to vfmadd132ss under
+// the fma target), so results are bit-identical to the scalar reference.
+// ---------------------------------------------------------------------------
+
+#define GQR_TARGET_AVX2_F16C __attribute__((target("avx2,fma,f16c")))
+
+// 8 uint8 codes -> float lanes (exact), then the fused decode
+// v = fma(scale, code, min). Same two rounding ops as DecodeSq8.
+GQR_TARGET_AVX2 inline __m256 DecodeSq8x8(const uint8_t* code,
+                                          const float* min,
+                                          const float* scale) {
+  const __m256 c = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(code))));
+  return _mm256_fmadd_ps(_mm256_loadu_ps(scale), c, _mm256_loadu_ps(min));
+}
+
+GQR_HOT GQR_TARGET_AVX2 float SquaredL2Sq8PfAvx2(const float* q,
+                                                 const uint8_t* code,
+                                                 const float* min,
+                                                 const float* scale,
+                                                 size_t dim,
+                                                 const uint8_t* pf) {
+  __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+  __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    if (pf != nullptr && (i & 63u) == 0) PrefetchL2(pf + i);
+    const __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(q + i),
+                                    DecodeSq8x8(code + i, min + i, scale + i));
+    const __m256 d1 =
+        _mm256_sub_ps(_mm256_loadu_ps(q + i + 8),
+                      DecodeSq8x8(code + i + 8, min + i + 8, scale + i + 8));
+    const __m256 d2 =
+        _mm256_sub_ps(_mm256_loadu_ps(q + i + 16),
+                      DecodeSq8x8(code + i + 16, min + i + 16, scale + i + 16));
+    const __m256 d3 =
+        _mm256_sub_ps(_mm256_loadu_ps(q + i + 24),
+                      DecodeSq8x8(code + i + 24, min + i + 24, scale + i + 24));
+    a0 = _mm256_fmadd_ps(d0, d0, a0);
+    a1 = _mm256_fmadd_ps(d1, d1, a1);
+    a2 = _mm256_fmadd_ps(d2, d2, a2);
+    a3 = _mm256_fmadd_ps(d3, d3, a3);
+  }
+  float acc = Hsum8(_mm256_add_ps(_mm256_add_ps(a0, a2),
+                                  _mm256_add_ps(a1, a3)));
+  for (; i < dim; ++i) {
+    const float d = q[i] - DecodeSq8(code[i], min[i], scale[i]);
+    acc = std::fmaf(d, d, acc);
+  }
+  return acc;
+}
+
+GQR_HOT GQR_TARGET_AVX2 float SquaredL2Sq8Avx2(const float* q,
+                                               const uint8_t* code,
+                                               const float* min,
+                                               const float* scale,
+                                               size_t dim) {
+  return SquaredL2Sq8PfAvx2(q, code, min, scale, dim, nullptr);
+}
+
+GQR_HOT GQR_TARGET_AVX2 float DotSq8PfAvx2(const float* q,
+                                           const uint8_t* code,
+                                           const float* min,
+                                           const float* scale, size_t dim,
+                                           const uint8_t* pf) {
+  __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+  __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    if (pf != nullptr && (i & 63u) == 0) PrefetchL2(pf + i);
+    a0 = _mm256_fmadd_ps(_mm256_loadu_ps(q + i),
+                         DecodeSq8x8(code + i, min + i, scale + i), a0);
+    a1 = _mm256_fmadd_ps(
+        _mm256_loadu_ps(q + i + 8),
+        DecodeSq8x8(code + i + 8, min + i + 8, scale + i + 8), a1);
+    a2 = _mm256_fmadd_ps(
+        _mm256_loadu_ps(q + i + 16),
+        DecodeSq8x8(code + i + 16, min + i + 16, scale + i + 16), a2);
+    a3 = _mm256_fmadd_ps(
+        _mm256_loadu_ps(q + i + 24),
+        DecodeSq8x8(code + i + 24, min + i + 24, scale + i + 24), a3);
+  }
+  float acc = Hsum8(_mm256_add_ps(_mm256_add_ps(a0, a2),
+                                  _mm256_add_ps(a1, a3)));
+  for (; i < dim; ++i) {
+    acc = std::fmaf(q[i], DecodeSq8(code[i], min[i], scale[i]), acc);
+  }
+  return acc;
+}
+
+GQR_HOT GQR_TARGET_AVX2 float DotSq8Avx2(const float* q, const uint8_t* code,
+                                         const float* min, const float* scale,
+                                         size_t dim) {
+  return DotSq8PfAvx2(q, code, min, scale, dim, nullptr);
+}
+
+GQR_HOT GQR_TARGET_AVX2_F16C float SquaredL2Fp16PfAvx2(const float* q,
+                                                       const uint16_t* code,
+                                                       size_t dim,
+                                                       const uint16_t* pf) {
+  __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+  __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    if (pf != nullptr) PrefetchL2(pf + i);
+    const __m256 d0 = _mm256_sub_ps(
+        _mm256_loadu_ps(q + i),
+        _mm256_cvtph_ps(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(code + i))));
+    const __m256 d1 = _mm256_sub_ps(
+        _mm256_loadu_ps(q + i + 8),
+        _mm256_cvtph_ps(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(code + i + 8))));
+    const __m256 d2 = _mm256_sub_ps(
+        _mm256_loadu_ps(q + i + 16),
+        _mm256_cvtph_ps(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(code + i + 16))));
+    const __m256 d3 = _mm256_sub_ps(
+        _mm256_loadu_ps(q + i + 24),
+        _mm256_cvtph_ps(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(code + i + 24))));
+    a0 = _mm256_fmadd_ps(d0, d0, a0);
+    a1 = _mm256_fmadd_ps(d1, d1, a1);
+    a2 = _mm256_fmadd_ps(d2, d2, a2);
+    a3 = _mm256_fmadd_ps(d3, d3, a3);
+  }
+  float acc = Hsum8(_mm256_add_ps(_mm256_add_ps(a0, a2),
+                                  _mm256_add_ps(a1, a3)));
+  for (; i < dim; ++i) {
+    const float d = q[i] - Fp16ToFloat(code[i]);
+    acc = std::fmaf(d, d, acc);
+  }
+  return acc;
+}
+
+GQR_HOT GQR_TARGET_AVX2_F16C float SquaredL2Fp16Avx2(const float* q,
+                                                     const uint16_t* code,
+                                                     size_t dim) {
+  return SquaredL2Fp16PfAvx2(q, code, dim, nullptr);
+}
+
+GQR_HOT GQR_TARGET_AVX2_F16C float DotFp16PfAvx2(const float* q,
+                                                 const uint16_t* code,
+                                                 size_t dim,
+                                                 const uint16_t* pf) {
+  __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+  __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    if (pf != nullptr) PrefetchL2(pf + i);
+    a0 = _mm256_fmadd_ps(
+        _mm256_loadu_ps(q + i),
+        _mm256_cvtph_ps(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(code + i))),
+        a0);
+    a1 = _mm256_fmadd_ps(
+        _mm256_loadu_ps(q + i + 8),
+        _mm256_cvtph_ps(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(code + i + 8))),
+        a1);
+    a2 = _mm256_fmadd_ps(
+        _mm256_loadu_ps(q + i + 16),
+        _mm256_cvtph_ps(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(code + i + 16))),
+        a2);
+    a3 = _mm256_fmadd_ps(
+        _mm256_loadu_ps(q + i + 24),
+        _mm256_cvtph_ps(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(code + i + 24))),
+        a3);
+  }
+  float acc = Hsum8(_mm256_add_ps(_mm256_add_ps(a0, a2),
+                                  _mm256_add_ps(a1, a3)));
+  for (; i < dim; ++i) acc = std::fmaf(q[i], Fp16ToFloat(code[i]), acc);
+  return acc;
+}
+
+GQR_HOT GQR_TARGET_AVX2_F16C float DotFp16Avx2(const float* q,
+                                               const uint16_t* code,
+                                               size_t dim) {
+  return DotFp16PfAvx2(q, code, dim, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512 kernels (F/BW/DQ/VL, which imply AVX2+FMA).
+//
+// Float distance kernels: the 1e-4 scalar-agreement contract of the fp32
+// table, with the fused kernels sharing the standalone skeleton (two
+// 16-lane accumulators over 32-element blocks, one 16-wide remainder
+// into acc0, Hsum16, scalar tail) so fused == standalone holds bit for
+// bit within the level.
+//
+// Compressed kernels: the canonical 32-partial structure with two zmm
+// accumulators (lanes s0..15 / s16..31); acc0+acc1 is the c_l combine,
+// Hsum16's 256-bit fold is the d_l combine, and Hsum8 finishes in the
+// canonical order — bit-identical to the scalar reference.
+// ---------------------------------------------------------------------------
+
+#define GQR_TARGET_AVX512 \
+  __attribute__((target("avx512f,avx512bw,avx512dq,avx512vl,fma")))
+
+// GCC's unmasked AVX-512 intrinsics pass _mm512_undefined_*() as the
+// dead passthru operand, which trips -W(maybe-)uninitialized when they
+// inline here (GCC PR 105593). The lanes are dead by construction
+// (mask = -1), so the warning is suppressed for this section only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+GQR_TARGET_AVX512 inline float Hsum16(__m512 v) {
+  return Hsum8(_mm256_add_ps(_mm512_castps512_ps256(v),
+                             _mm512_extractf32x8_ps(v, 1)));
+}
+
+GQR_TARGET_AVX512 float SquaredL2Avx512(const float* a, const float* b,
+                                        size_t dim) {
+  __m512 acc0 = _mm512_setzero_ps(), acc1 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    const __m512 d0 =
+        _mm512_sub_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i));
+    const __m512 d1 = _mm512_sub_ps(_mm512_loadu_ps(a + i + 16),
+                                    _mm512_loadu_ps(b + i + 16));
+    acc0 = _mm512_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm512_fmadd_ps(d1, d1, acc1);
+  }
+  if (i + 16 <= dim) {
+    const __m512 d =
+        _mm512_sub_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i));
+    acc0 = _mm512_fmadd_ps(d, d, acc0);
+    i += 16;
+  }
+  float s = Hsum16(_mm512_add_ps(acc0, acc1));
+  for (; i < dim; ++i) {
+    const float d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+GQR_TARGET_AVX512 float DotAvx512(const float* a, const float* b,
+                                  size_t dim) {
+  __m512 acc0 = _mm512_setzero_ps(), acc1 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i + 16),
+                           _mm512_loadu_ps(b + i + 16), acc1);
+  }
+  if (i + 16 <= dim) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+    i += 16;
+  }
+  float s = Hsum16(_mm512_add_ps(acc0, acc1));
+  for (; i < dim; ++i) s += a[i] * b[i];
+  return s;
+}
+
+GQR_TARGET_AVX512 void DotAndNormAvx512(const float* a, const float* b,
+                                        size_t dim, float* dot,
+                                        float* a_norm2) {
+  __m512 d0 = _mm512_setzero_ps(), d1 = _mm512_setzero_ps();
+  __m512 n0 = _mm512_setzero_ps(), n1 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    const __m512 a0 = _mm512_loadu_ps(a + i);
+    const __m512 a1 = _mm512_loadu_ps(a + i + 16);
+    d0 = _mm512_fmadd_ps(a0, _mm512_loadu_ps(b + i), d0);
+    d1 = _mm512_fmadd_ps(a1, _mm512_loadu_ps(b + i + 16), d1);
+    n0 = _mm512_fmadd_ps(a0, a0, n0);
+    n1 = _mm512_fmadd_ps(a1, a1, n1);
+  }
+  if (i + 16 <= dim) {
+    const __m512 a0 = _mm512_loadu_ps(a + i);
+    d0 = _mm512_fmadd_ps(a0, _mm512_loadu_ps(b + i), d0);
+    n0 = _mm512_fmadd_ps(a0, a0, n0);
+    i += 16;
+  }
+  float d = Hsum16(_mm512_add_ps(d0, d1));
+  float n = Hsum16(_mm512_add_ps(n0, n1));
+  for (; i < dim; ++i) {
+    d += a[i] * b[i];
+    n += a[i] * a[i];
+  }
+  *dot = d;
+  *a_norm2 = n;
+}
+
+GQR_TARGET_AVX512 void DotAndNormsAvx512(const float* a, const float* b,
+                                         size_t dim, float* dot,
+                                         float* a_norm2, float* b_norm2) {
+  __m512 d0 = _mm512_setzero_ps(), d1 = _mm512_setzero_ps();
+  __m512 na0 = _mm512_setzero_ps(), na1 = _mm512_setzero_ps();
+  __m512 nb0 = _mm512_setzero_ps(), nb1 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    const __m512 a0 = _mm512_loadu_ps(a + i);
+    const __m512 a1 = _mm512_loadu_ps(a + i + 16);
+    const __m512 b0 = _mm512_loadu_ps(b + i);
+    const __m512 b1 = _mm512_loadu_ps(b + i + 16);
+    d0 = _mm512_fmadd_ps(a0, b0, d0);
+    d1 = _mm512_fmadd_ps(a1, b1, d1);
+    na0 = _mm512_fmadd_ps(a0, a0, na0);
+    na1 = _mm512_fmadd_ps(a1, a1, na1);
+    nb0 = _mm512_fmadd_ps(b0, b0, nb0);
+    nb1 = _mm512_fmadd_ps(b1, b1, nb1);
+  }
+  if (i + 16 <= dim) {
+    const __m512 a0 = _mm512_loadu_ps(a + i);
+    const __m512 b0 = _mm512_loadu_ps(b + i);
+    d0 = _mm512_fmadd_ps(a0, b0, d0);
+    na0 = _mm512_fmadd_ps(a0, a0, na0);
+    nb0 = _mm512_fmadd_ps(b0, b0, nb0);
+    i += 16;
+  }
+  float d = Hsum16(_mm512_add_ps(d0, d1));
+  float na = Hsum16(_mm512_add_ps(na0, na1));
+  float nb = Hsum16(_mm512_add_ps(nb0, nb1));
+  for (; i < dim; ++i) {
+    d += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  *dot = d;
+  *a_norm2 = na;
+  *b_norm2 = nb;
+}
+
+// 16 uint8 codes -> float lanes (exact) + fused decode; the 512-bit
+// sibling of DecodeSq8x8.
+GQR_TARGET_AVX512 inline __m512 DecodeSq8x16(const uint8_t* code,
+                                             const float* min,
+                                             const float* scale) {
+  const __m512 c = _mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(code))));
+  return _mm512_fmadd_ps(_mm512_loadu_ps(scale), c, _mm512_loadu_ps(min));
+}
+
+GQR_HOT GQR_TARGET_AVX512 float SquaredL2Sq8PfAvx512(const float* q,
+                                                     const uint8_t* code,
+                                                     const float* min,
+                                                     const float* scale,
+                                                     size_t dim,
+                                                     const uint8_t* pf) {
+  __m512 z0 = _mm512_setzero_ps(), z1 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    if (pf != nullptr && (i & 63u) == 0) PrefetchL2(pf + i);
+    const __m512 d0 = _mm512_sub_ps(_mm512_loadu_ps(q + i),
+                                    DecodeSq8x16(code + i, min + i,
+                                                 scale + i));
+    const __m512 d1 =
+        _mm512_sub_ps(_mm512_loadu_ps(q + i + 16),
+                      DecodeSq8x16(code + i + 16, min + i + 16,
+                                   scale + i + 16));
+    z0 = _mm512_fmadd_ps(d0, d0, z0);
+    z1 = _mm512_fmadd_ps(d1, d1, z1);
+  }
+  float acc = Hsum16(_mm512_add_ps(z0, z1));
+  for (; i < dim; ++i) {
+    const float d = q[i] - DecodeSq8(code[i], min[i], scale[i]);
+    acc = std::fmaf(d, d, acc);
+  }
+  return acc;
+}
+
+GQR_HOT GQR_TARGET_AVX512 float SquaredL2Sq8Avx512(const float* q,
+                                                   const uint8_t* code,
+                                                   const float* min,
+                                                   const float* scale,
+                                                   size_t dim) {
+  return SquaredL2Sq8PfAvx512(q, code, min, scale, dim, nullptr);
+}
+
+GQR_HOT GQR_TARGET_AVX512 float DotSq8PfAvx512(const float* q,
+                                               const uint8_t* code,
+                                               const float* min,
+                                               const float* scale, size_t dim,
+                                               const uint8_t* pf) {
+  __m512 z0 = _mm512_setzero_ps(), z1 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    if (pf != nullptr && (i & 63u) == 0) PrefetchL2(pf + i);
+    z0 = _mm512_fmadd_ps(_mm512_loadu_ps(q + i),
+                         DecodeSq8x16(code + i, min + i, scale + i), z0);
+    z1 = _mm512_fmadd_ps(
+        _mm512_loadu_ps(q + i + 16),
+        DecodeSq8x16(code + i + 16, min + i + 16, scale + i + 16), z1);
+  }
+  float acc = Hsum16(_mm512_add_ps(z0, z1));
+  for (; i < dim; ++i) {
+    acc = std::fmaf(q[i], DecodeSq8(code[i], min[i], scale[i]), acc);
+  }
+  return acc;
+}
+
+GQR_HOT GQR_TARGET_AVX512 float DotSq8Avx512(const float* q,
+                                             const uint8_t* code,
+                                             const float* min,
+                                             const float* scale, size_t dim) {
+  return DotSq8PfAvx512(q, code, min, scale, dim, nullptr);
+}
+
+GQR_HOT GQR_TARGET_AVX512 float SquaredL2Fp16PfAvx512(const float* q,
+                                                      const uint16_t* code,
+                                                      size_t dim,
+                                                      const uint16_t* pf) {
+  __m512 z0 = _mm512_setzero_ps(), z1 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    if (pf != nullptr) PrefetchL2(pf + i);
+    const __m512 d0 = _mm512_sub_ps(
+        _mm512_loadu_ps(q + i),
+        _mm512_cvtph_ps(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(code + i))));
+    const __m512 d1 =
+        _mm512_sub_ps(_mm512_loadu_ps(q + i + 16),
+                      _mm512_cvtph_ps(_mm256_loadu_si256(
+                          reinterpret_cast<const __m256i*>(code + i + 16))));
+    z0 = _mm512_fmadd_ps(d0, d0, z0);
+    z1 = _mm512_fmadd_ps(d1, d1, z1);
+  }
+  float acc = Hsum16(_mm512_add_ps(z0, z1));
+  for (; i < dim; ++i) {
+    const float d = q[i] - Fp16ToFloat(code[i]);
+    acc = std::fmaf(d, d, acc);
+  }
+  return acc;
+}
+
+GQR_HOT GQR_TARGET_AVX512 float SquaredL2Fp16Avx512(const float* q,
+                                                    const uint16_t* code,
+                                                    size_t dim) {
+  return SquaredL2Fp16PfAvx512(q, code, dim, nullptr);
+}
+
+GQR_HOT GQR_TARGET_AVX512 float DotFp16PfAvx512(const float* q,
+                                                const uint16_t* code,
+                                                size_t dim,
+                                                const uint16_t* pf) {
+  __m512 z0 = _mm512_setzero_ps(), z1 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    if (pf != nullptr) PrefetchL2(pf + i);
+    z0 = _mm512_fmadd_ps(
+        _mm512_loadu_ps(q + i),
+        _mm512_cvtph_ps(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(code + i))),
+        z0);
+    z1 = _mm512_fmadd_ps(
+        _mm512_loadu_ps(q + i + 16),
+        _mm512_cvtph_ps(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(code + i + 16))),
+        z1);
+  }
+  float acc = Hsum16(_mm512_add_ps(z0, z1));
+  for (; i < dim; ++i) acc = std::fmaf(q[i], Fp16ToFloat(code[i]), acc);
+  return acc;
+}
+
+GQR_HOT GQR_TARGET_AVX512 float DotFp16Avx512(const float* q,
+                                              const uint16_t* code,
+                                              size_t dim) {
+  return DotFp16PfAvx512(q, code, dim, nullptr);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
 }  // namespace
 
 #endif  // GQR_X86
@@ -451,21 +1137,76 @@ GQR_TARGET_AVX2 void DgemmNtAvx2(const double* a, size_t n, size_t lda,
 // Dispatch: resolved once, before the first distance is computed.
 // ---------------------------------------------------------------------------
 
+bool SimdLevelAvailable(SimdLevel level) {
+  if (level == SimdLevel::kScalar) return true;
+#if defined(GQR_X86) && defined(__GNUC__)
+  __builtin_cpu_init();
+  if (level == SimdLevel::kAvx2) {
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  }
+  // kAvx512: every 512-bit instruction the kernels use is F/BW/DQ; VL is
+  // required because the compiler may EVEX-encode the 256/128-bit tail
+  // and reduction ops inside the avx512 target functions.
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512dq") &&
+         __builtin_cpu_supports("avx512vl");
+#else
+  return false;
+#endif
+}
+
+bool HostHasF16c() {
+#if defined(GQR_X86) && defined(__GNUC__)
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("f16c");
+#else
+  return false;
+#endif
+}
+
+bool HostHasVnni() {
+#if defined(GQR_X86) && defined(__GNUC__)
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx512vnni");
+#else
+  return false;
+#endif
+}
+
+bool ParseSimdLevel(const char* name, SimdLevel* out) {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "scalar") == 0) {
+    *out = SimdLevel::kScalar;
+  } else if (std::strcmp(name, "avx2") == 0) {
+    *out = SimdLevel::kAvx2;
+  } else if (std::strcmp(name, "avx512") == 0) {
+    *out = SimdLevel::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 namespace {
 
 SimdLevel DetectSimdLevel() {
-  // Escape hatch for A/B runs and debugging: GQR_SIMD=scalar forces the
-  // reference kernels regardless of the host.
-  const char* force = std::getenv("GQR_SIMD");
-  if (force != nullptr && std::strcmp(force, "scalar") == 0) {
-    return SimdLevel::kScalar;
+  // GQR_SIMD pins the dispatch level for A/B runs and the CI matrix. A
+  // pinned level the host cannot execute is a hard error, not a silent
+  // fallback: a silently-degraded pinned run measures the wrong thing.
+  const std::string force = GetEnvString("GQR_SIMD", "");
+  if (!force.empty()) {
+    SimdLevel level = SimdLevel::kScalar;
+    GQR_CHECK(ParseSimdLevel(force.c_str(), &level))
+        << " GQR_SIMD='" << force << "' is not one of scalar|avx2|avx512";
+    GQR_CHECK(SimdLevelAvailable(level))
+        << " GQR_SIMD=" << force
+        << " pinned, but this host cannot execute " << SimdLevelName(level)
+        << " kernels";
+    return level;
   }
-#if defined(GQR_X86) && defined(__GNUC__)
-  __builtin_cpu_init();
-  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-    return SimdLevel::kAvx2;
-  }
-#endif
+  if (SimdLevelAvailable(SimdLevel::kAvx512)) return SimdLevel::kAvx512;
+  if (SimdLevelAvailable(SimdLevel::kAvx2)) return SimdLevel::kAvx2;
   return SimdLevel::kScalar;
 }
 
@@ -477,7 +1218,15 @@ SimdLevel ActiveSimdLevel() {
 }
 
 const char* SimdLevelName(SimdLevel level) {
-  return level == SimdLevel::kAvx2 ? "avx2" : "scalar";
+  switch (level) {
+    case SimdLevel::kAvx512:
+      return "avx512";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kScalar:
+      break;
+  }
+  return "scalar";
 }
 
 const DistanceKernels& Kernels() {
@@ -485,7 +1234,10 @@ const DistanceKernels& Kernels() {
     DistanceKernels k{SquaredL2Scalar, DotScalar, DotAndNormScalar,
                       DotAndNormsScalar};
 #if defined(GQR_X86)
-    if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+    const SimdLevel level = ActiveSimdLevel();
+    if (level == SimdLevel::kAvx512) {
+      k = {SquaredL2Avx512, DotAvx512, DotAndNormAvx512, DotAndNormsAvx512};
+    } else if (level == SimdLevel::kAvx2) {
       k = {SquaredL2Avx2, DotAvx2, DotAndNormAvx2, DotAndNormsAvx2};
     }
 #endif
@@ -499,8 +1251,44 @@ const ProjectionKernels& ProjKernels() {
     ProjectionKernels k{DdotScalar, DaxpyScalar, CenterScalar, DgemvScalar,
                         DgemmNtScalar};
 #if defined(GQR_X86)
-    if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+    // kAvx512 also serves the AVX2 implementations here: the canonical
+    // 8-partial accumulation contract pins the structure, and AVX-512
+    // implies AVX2+FMA (see the header).
+    if (ActiveSimdLevel() != SimdLevel::kScalar) {
       k = {DdotAvx2, DaxpyAvx2, CenterAvx2, DgemvAvx2, DgemmNtAvx2};
+    }
+#endif
+    return k;
+  }();
+  return table;
+}
+
+const CompressedKernels& CompKernels() {
+  static const CompressedKernels table = [] {
+    CompressedKernels k{SquaredL2Sq8Scalar,   DotSq8Scalar,
+                        SquaredL2Fp16Scalar,  DotFp16Scalar,
+                        SquaredL2Sq8PfScalar, DotSq8PfScalar,
+                        SquaredL2Fp16PfScalar, DotFp16PfScalar};
+#if defined(GQR_X86)
+    const SimdLevel level = ActiveSimdLevel();
+    if (level == SimdLevel::kAvx512) {
+      k = {SquaredL2Sq8Avx512,   DotSq8Avx512,
+           SquaredL2Fp16Avx512,  DotFp16Avx512,
+           SquaredL2Sq8PfAvx512, DotSq8PfAvx512,
+           SquaredL2Fp16PfAvx512, DotFp16PfAvx512};
+    } else if (level == SimdLevel::kAvx2) {
+      k.squared_l2_sq8 = SquaredL2Sq8Avx2;
+      k.dot_sq8 = DotSq8Avx2;
+      k.squared_l2_sq8_pf = SquaredL2Sq8PfAvx2;
+      k.dot_sq8_pf = DotSq8PfAvx2;
+      // The fp16 kernels additionally need F16C at this level (on
+      // AVX-512 hosts the 512-bit conversions are part of AVX-512F).
+      if (HostHasF16c()) {
+        k.squared_l2_fp16 = SquaredL2Fp16Avx2;
+        k.dot_fp16 = DotFp16Avx2;
+        k.squared_l2_fp16_pf = SquaredL2Fp16PfAvx2;
+        k.dot_fp16_pf = DotFp16PfAvx2;
+      }
     }
 #endif
     return k;

@@ -18,20 +18,46 @@
 #define GQR_LA_SIMD_KERNELS_H_
 
 #include <cstddef>
+#include <cstdint>
+
+#include "util/attributes.h"
 
 namespace gqr {
 
 /// Instruction-set level the dispatcher selected.
 enum class SimdLevel {
   kScalar,
-  kAvx2,  // AVX2 + FMA.
+  kAvx2,    // AVX2 + FMA.
+  kAvx512,  // AVX-512 F/BW/DQ/VL (implies AVX2 + FMA).
 };
 
-/// Level picked at startup (cpuid, overridable with GQR_SIMD=scalar).
+/// Level picked at startup: the highest level the host supports, or the
+/// level pinned with GQR_SIMD=scalar|avx2|avx512 (fatal error when the
+/// host lacks the pinned level — see DetectSimdLevel).
 SimdLevel ActiveSimdLevel();
 
-/// "scalar" / "avx2"; for logs and bench output.
+/// "scalar" / "avx2" / "avx512"; for logs and bench output.
 const char* SimdLevelName(SimdLevel level);
+
+/// True when the host can execute kernels of `level` (kScalar always).
+/// kAvx2 requires AVX2+FMA; kAvx512 requires AVX-512 F, BW, DQ and VL.
+bool SimdLevelAvailable(SimdLevel level);
+
+/// Parses a GQR_SIMD value ("scalar" / "avx2" / "avx512") into `*out`;
+/// returns false on an unknown name.
+bool ParseSimdLevel(const char* name, SimdLevel* out);
+
+/// True when the host has F16C (hardware half<->float conversion). At
+/// kAvx2 the fp16 compressed kernels need it and fall back to scalar
+/// without it; at kAvx512 the 512-bit conversions are part of AVX-512F.
+bool HostHasF16c();
+
+/// True when the host has AVX-512 VNNI. Detected and reported (bench
+/// JSON) but unused by the asymmetric kernels: VNNI accumulates int8
+/// products in int32, which cannot reproduce the bitwise float scalar
+/// reference these kernels are contracted to match (a symmetric
+/// int8 x int8 VNNI path would need a quantized query — future work).
+bool HostHasVnni();
 
 /// The dispatched kernel table. Stateless function pointers; safe to call
 /// concurrently.
@@ -60,6 +86,101 @@ void DotAndNormScalar(const float* a, const float* b, size_t dim,
                       float* dot, float* a_norm2);
 void DotAndNormsScalar(const float* a, const float* b, size_t dim,
                        float* dot, float* a_norm2, float* b_norm2);
+
+/// Asymmetric-distance kernels for the compressed rerank path
+/// (DESIGN.md section 14): the query stays fp32, the candidate row is
+/// stored compressed (SQ8: one uint8 per dim with per-dim min/scale;
+/// fp16: one IEEE half per dim) and is decoded on the fly inside the
+/// kernel, so a candidate touches 1/4 (SQ8) or 1/2 (fp16) of the bytes
+/// of the fp32 row it replaces.
+///
+/// Unlike the float distance kernels above (1e-4 relative agreement),
+/// these are **bit-identical across dispatch levels**, in the discipline
+/// of the ProjectionKernels: every level runs the same canonical
+/// accumulation — 32 strided fmaf partials s_0..s_31 over 32-element
+/// blocks (AVX-512: two 16-lane accumulators; AVX2: four 8-lane
+/// accumulators; scalar: 32 named partials), the fixed combine
+/// c_l = s_l + s_{l+16}, d_l = c_l + c_{l+8}, e_l = d_l + d_{l+4},
+/// (e_0+e_2) + (e_1+e_3), then a sequential fmaf tail — and the same
+/// per-element decode (SQ8: v = fmaf(scale_j, float(code), min_j); fp16:
+/// the exact IEEE half->float widening). Each IEEE-754 operation is
+/// deterministic, so scalar, AVX2 and AVX-512 agree bit for bit, and the
+/// compressed shortlist (and thus the final exact-reranked top-k) does
+/// not depend on the dispatch level.
+struct CompressedKernels {
+  /// sum_j (q[j] - (min[j] + scale[j] * code[j]))^2.
+  float (*squared_l2_sq8)(const float* q, const uint8_t* code,
+                          const float* min, const float* scale, size_t dim);
+  /// sum_j q[j] * (min[j] + scale[j] * code[j]).
+  float (*dot_sq8)(const float* q, const uint8_t* code, const float* min,
+                   const float* scale, size_t dim);
+  /// sum_j (q[j] - widen(code[j]))^2 over IEEE binary16 codes.
+  float (*squared_l2_fp16)(const float* q, const uint16_t* code, size_t dim);
+  /// sum_j q[j] * widen(code[j]).
+  float (*dot_fp16)(const float* q, const uint16_t* code, size_t dim);
+
+  /// Prefetch-fused variants for gather loops: same arithmetic (each is
+  /// the body its non-`_pf` sibling wraps, so results are bit-identical
+  /// by construction), plus one L2 prefetch of the upcoming row `pf`
+  /// paced per 32-element block (`pf == nullptr` disables it).
+  ///
+  /// The pacing is the point. A compressed row is only a handful of
+  /// cache lines, so a gather loop that prefetches whole upcoming rows
+  /// in one burst floods the core's miss buffers — hardware silently
+  /// DROPS software prefetches when no fill buffer is free, the row
+  /// still misses, and the loop runs at the ~dozen-outstanding-lines
+  /// MLP ceiling instead of at draw bandwidth. Issuing one line per
+  /// arithmetic block matches the issue rate to the memory drain rate,
+  /// which is what lets the SQ8 batched-eval path actually bank its 4x
+  /// byte reduction (measured in BENCH_kernels.json's batch_eval rows).
+  float (*squared_l2_sq8_pf)(const float* q, const uint8_t* code,
+                             const float* min, const float* scale, size_t dim,
+                             const uint8_t* pf);
+  float (*dot_sq8_pf)(const float* q, const uint8_t* code, const float* min,
+                      const float* scale, size_t dim, const uint8_t* pf);
+  float (*squared_l2_fp16_pf)(const float* q, const uint16_t* code,
+                              size_t dim, const uint16_t* pf);
+  float (*dot_fp16_pf)(const float* q, const uint16_t* code, size_t dim,
+                       const uint16_t* pf);
+};
+
+/// The compressed kernel table for this host, resolved once alongside
+/// Kernels() and honoring the same GQR_SIMD override. At kAvx2 the fp16
+/// entries additionally require F16C and fall back to scalar without it.
+const CompressedKernels& CompKernels();
+
+/// Scalar references for the compressed kernels (the differential tests
+/// assert *bitwise* equality between these and the dispatched table).
+GQR_HOT float SquaredL2Sq8Scalar(const float* q, const uint8_t* code,
+                                 const float* min, const float* scale,
+                                 size_t dim);
+GQR_HOT float DotSq8Scalar(const float* q, const uint8_t* code,
+                           const float* min, const float* scale, size_t dim);
+GQR_HOT float SquaredL2Fp16Scalar(const float* q, const uint16_t* code,
+                                  size_t dim);
+GQR_HOT float DotFp16Scalar(const float* q, const uint16_t* code, size_t dim);
+GQR_HOT float SquaredL2Sq8PfScalar(const float* q, const uint8_t* code,
+                                   const float* min, const float* scale,
+                                   size_t dim, const uint8_t* pf);
+GQR_HOT float DotSq8PfScalar(const float* q, const uint8_t* code,
+                             const float* min, const float* scale, size_t dim,
+                             const uint8_t* pf);
+GQR_HOT float SquaredL2Fp16PfScalar(const float* q, const uint16_t* code,
+                                    size_t dim, const uint16_t* pf);
+GQR_HOT float DotFp16PfScalar(const float* q, const uint16_t* code,
+                              size_t dim, const uint16_t* pf);
+
+/// Exact IEEE binary16 -> binary32 widening (every half is exactly
+/// representable as a float; matches VCVTPH2PS bit for bit on encoded
+/// data). Used by the scalar kernels and by CompressedDataset::DecodeRow.
+float Fp16ToFloat(uint16_t h);
+
+/// binary32 -> binary16, round-to-nearest-even, *saturating*: values
+/// beyond +-65504 (max finite half) encode as +-65504 rather than
+/// infinity, so one outlier dimension cannot poison every distance with
+/// inf/NaN. NaN encodes as a quiet half NaN. In-range values match
+/// VCVTPS2PH with round-to-nearest exactly.
+uint16_t FloatToFp16(float f);
 
 /// Double-precision projection/GEMM kernels behind the same dispatcher.
 ///
@@ -99,7 +220,13 @@ struct ProjectionKernels {
 };
 
 /// The projection kernel table for this host, resolved once alongside
-/// Kernels() and honoring the same GQR_SIMD=scalar override.
+/// Kernels() and honoring the same GQR_SIMD override. At kAvx512 this
+/// table serves the AVX2 implementations: the canonical 8-partial
+/// accumulation is pinned by the cross-level bit-identity contract, and
+/// an AVX-512 double kernel constrained to that structure (one 8-lane
+/// zmm accumulator, serial dependency chain) is no faster than the
+/// two-accumulator AVX2 form — AVX-512 implies AVX2+FMA, so the AVX2
+/// kernels always run.
 const ProjectionKernels& ProjKernels();
 
 /// Scalar references for the projection kernels (the equivalence tests
@@ -123,6 +250,18 @@ inline void PrefetchRow(const float* row, size_t dim) {
 #else
   (void)row;
   (void)dim;
+#endif
+}
+
+/// As PrefetchRow, for compressed rows addressed in bytes (SQ8: dim
+/// bytes per row; fp16: 2 * dim).
+inline void PrefetchBytes(const void* p, size_t bytes) {
+#if defined(__GNUC__) || defined(__clang__)
+  const char* c = static_cast<const char*>(p);
+  for (size_t i = 0; i < bytes; i += 64) __builtin_prefetch(c + i, 0, 3);
+#else
+  (void)p;
+  (void)bytes;
 #endif
 }
 

@@ -275,4 +275,59 @@ Result<MultiTableIndex> LoadMultiTableIndex(const std::string& path,
   return MultiTableIndex(std::move(hashers), base);
 }
 
+Status SaveCompressedDataset(const CompressedDataset& comp,
+                             const std::string& path) {
+  BinaryWriter w(path);
+  w.WriteHeader("GQCD", kVersion);
+  w.WriteU32(static_cast<uint32_t>(comp.kind()));
+  w.WriteU64(comp.size());
+  w.WriteU64(comp.dim());
+  w.WriteFloatVector(comp.min_vec());
+  w.WriteFloatVector(comp.scale_vec());
+  w.WriteFloatVector(comp.row_norms2());
+  if (comp.kind() == CompressionKind::kSq8) {
+    w.WriteU8Vector(comp.sq8_codes());
+  } else {
+    w.WriteU16Vector(comp.fp16_codes());
+  }
+  return w.Finish();
+}
+
+Result<CompressedDataset> LoadCompressedDataset(const std::string& path) {
+  BinaryReader r(path);
+  r.ExpectHeader("GQCD", kVersion);
+  const uint32_t kind_raw = r.ReadU32();
+  const uint64_t n = r.ReadU64();
+  const uint64_t dim = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  if (kind_raw != static_cast<uint32_t>(CompressionKind::kSq8) &&
+      kind_raw != static_cast<uint32_t>(CompressionKind::kFp16)) {
+    return Status::IOError(path + ": unknown compression kind " +
+                           std::to_string(kind_raw));
+  }
+  const CompressionKind kind = static_cast<CompressionKind>(kind_raw);
+  std::vector<float> min = r.ReadFloatVector();
+  std::vector<float> scale = r.ReadFloatVector();
+  std::vector<float> row_norm2 = r.ReadFloatVector();
+  std::vector<uint8_t> sq8;
+  std::vector<uint16_t> fp16;
+  if (kind == CompressionKind::kSq8) {
+    sq8 = r.ReadU8Vector();
+  } else {
+    fp16 = r.ReadU16Vector();
+  }
+  if (!r.status().ok()) return r.status();
+  const size_t expected_minscale =
+      kind == CompressionKind::kSq8 ? static_cast<size_t>(dim) : 0;
+  const size_t payload =
+      kind == CompressionKind::kSq8 ? sq8.size() : fp16.size();
+  if (payload != n * dim || min.size() != expected_minscale ||
+      scale.size() != expected_minscale || row_norm2.size() != n) {
+    return Status::IOError(path + ": inconsistent compressed dataset shapes");
+  }
+  return CompressedDataset(kind, n, dim, std::move(sq8), std::move(fp16),
+                           std::move(min), std::move(scale),
+                           std::move(row_norm2));
+}
+
 }  // namespace gqr

@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "data/compressed_dataset.h"
 #include "hash/kmh.h"
 #include "hash/linear_hasher.h"
 #include "hash/sh.h"
@@ -45,6 +46,14 @@ Status SaveMultiTableHashers(const MultiTableIndex& index,
 /// `base`.
 Result<MultiTableIndex> LoadMultiTableIndex(const std::string& path,
                                             const Dataset& base);
+
+/// Compressed rerank representations (DESIGN.md section 14) persist
+/// bit-exactly — codes, SQ8 dequantizer, and cached row norms — so a
+/// loaded index serves compressed without re-encoding the base set, and
+/// a loaded dataset's distances match the encoder's bit for bit.
+Status SaveCompressedDataset(const CompressedDataset& comp,
+                             const std::string& path);
+Result<CompressedDataset> LoadCompressedDataset(const std::string& path);
 
 }  // namespace gqr
 

@@ -54,6 +54,16 @@ void BinaryWriter::WriteU32Vector(const std::vector<uint32_t>& v) {
   WriteBytes(v.data(), v.size() * sizeof(uint32_t));
 }
 
+void BinaryWriter::WriteU16Vector(const std::vector<uint16_t>& v) {
+  WriteU64(v.size());
+  WriteBytes(v.data(), v.size() * sizeof(uint16_t));
+}
+
+void BinaryWriter::WriteU8Vector(const std::vector<uint8_t>& v) {
+  WriteU64(v.size());
+  WriteBytes(v.data(), v.size() * sizeof(uint8_t));
+}
+
 void BinaryWriter::WriteFloatVector(const std::vector<float>& v) {
   WriteU64(v.size());
   WriteBytes(v.data(), v.size() * sizeof(float));
@@ -167,6 +177,22 @@ std::vector<uint32_t> BinaryReader::ReadU32Vector() {
   if (!CheckCount(size, sizeof(uint32_t))) return {};
   std::vector<uint32_t> v(size);
   ReadBytes(v.data(), size * sizeof(uint32_t));
+  return v;
+}
+
+std::vector<uint16_t> BinaryReader::ReadU16Vector() {
+  const uint64_t size = ReadU64();
+  if (!CheckCount(size, sizeof(uint16_t))) return {};
+  std::vector<uint16_t> v(size);
+  ReadBytes(v.data(), size * sizeof(uint16_t));
+  return v;
+}
+
+std::vector<uint8_t> BinaryReader::ReadU8Vector() {
+  const uint64_t size = ReadU64();
+  if (!CheckCount(size, sizeof(uint8_t))) return {};
+  std::vector<uint8_t> v(size);
+  ReadBytes(v.data(), size * sizeof(uint8_t));
   return v;
 }
 

@@ -41,6 +41,8 @@ class BinaryWriter {
   void WriteDoubleVector(const std::vector<double>& v);
   void WriteU64Vector(const std::vector<uint64_t>& v);
   void WriteU32Vector(const std::vector<uint32_t>& v);
+  void WriteU16Vector(const std::vector<uint16_t>& v);
+  void WriteU8Vector(const std::vector<uint8_t>& v);
   void WriteFloatVector(const std::vector<float>& v);
   void WriteMatrix(const Matrix& m);
 
@@ -75,6 +77,8 @@ class BinaryReader {
   std::vector<double> ReadDoubleVector();
   std::vector<uint64_t> ReadU64Vector();
   std::vector<uint32_t> ReadU32Vector();
+  std::vector<uint16_t> ReadU16Vector();
+  std::vector<uint8_t> ReadU8Vector();
   std::vector<float> ReadFloatVector();
   Matrix ReadMatrix();
 

@@ -22,6 +22,13 @@ double GetEnvDouble(const std::string& name, double fallback) {
   return parsed;
 }
 
+std::string GetEnvString(const std::string& name,
+                         const std::string& fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return fallback;
+  return v;
+}
+
 double BenchScale() {
   double s = GetEnvDouble("GQR_SCALE", 1.0);
   return s > 0.0 ? s : 1.0;

@@ -12,6 +12,13 @@ int64_t GetEnvInt(const std::string& name, int64_t fallback);
 /// Reads a double env var, returning `fallback` when unset or malformed.
 double GetEnvDouble(const std::string& name, double fallback);
 
+/// Reads a string env var, returning `fallback` when unset or empty.
+/// Knob inventory: GQR_SIMD=scalar|avx2|avx512 pins the kernel dispatch
+/// level (la/simd_kernels.h ActiveSimdLevel; pinning a level the host
+/// cannot execute is a fatal error, not a silent fallback).
+std::string GetEnvString(const std::string& name,
+                         const std::string& fallback);
+
 /// GQR_SCALE: multiplies the synthetic dataset sizes used by the bench
 /// binaries (default 1.0). Set e.g. GQR_SCALE=10 for longer, closer-to-
 /// paper-scale runs.

@@ -1,0 +1,80 @@
+// Hugepage advice for large, long-lived, randomly-accessed arrays.
+//
+// A serving-sized corpus (fp32 rows, SQ8/fp16 codes) spans hundreds of
+// megabytes; on 4 KiB pages a random row read almost always misses the
+// dTLB, and the page walk — not the row fetch — becomes the serial cost
+// per candidate (hardware drops software prefetches that miss the TLB,
+// so the eval loop's prefetch pipeline dies with it). 2 MiB pages cut
+// the page count 512x, restoring TLB reach and letting the prefetch
+// distance in core/eval_batch.cc do its job.
+//
+// AdviseHugePages() must run BEFORE the pages are first touched: with
+// transparent_hugepage=madvise (the common server default) the kernel
+// honors the hint at fault time, and collapsing already-faulted small
+// pages is left to khugepaged, which is far too slow to rely on.
+// MakeHugeVector() packages the reserve -> advise -> resize ordering
+// that guarantees this. Everything is a no-op on non-Linux hosts.
+#ifndef GQR_UTIL_MEMORY_H_
+#define GQR_UTIL_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <sys/prctl.h>
+#endif
+
+namespace gqr {
+
+/// Clears the process-wide THP-disable flag (PR_SET_THP_DISABLE).
+/// Container runtimes commonly set it on every process they launch,
+/// which silently turns all MADV_HUGEPAGE hints into no-ops. Flipping a
+/// process-global policy is the binary's decision, not a library's:
+/// call this from main() of serving/bench binaries that host a
+/// DRAM-resident corpus; the library data path only ever issues
+/// per-range madvise. Returns true if the flag is (now) clear.
+inline bool EnableProcessHugePages() {
+#if defined(__linux__) && defined(PR_SET_THP_DISABLE)
+  return prctl(PR_SET_THP_DISABLE, 0, 0, 0, 0) == 0;
+#else
+  return false;
+#endif
+}
+
+/// Advises the kernel to back [p, p + bytes) with transparent huge
+/// pages. Best-effort: trims to the 2 MiB-aligned inner range, ignores
+/// failure (the hint is a pure optimization), no-op off Linux or for
+/// ranges smaller than one huge page.
+inline void AdviseHugePages(void* p, size_t bytes) {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  constexpr uintptr_t kHuge = 2u << 20;
+  const uintptr_t lo = (reinterpret_cast<uintptr_t>(p) + kHuge - 1) &
+                       ~(kHuge - 1);
+  const uintptr_t hi = (reinterpret_cast<uintptr_t>(p) + bytes) &
+                       ~(kHuge - 1);
+  if (hi > lo) {
+    (void)madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_HUGEPAGE);
+  }
+#else
+  (void)p;
+  (void)bytes;
+#endif
+}
+
+/// Builds a value-initialized vector of n elements whose storage was
+/// advised huge before the first touch (reserve allocates without
+/// faulting; resize then faults with the hint in place).
+template <typename T>
+std::vector<T> MakeHugeVector(size_t n) {
+  std::vector<T> v;
+  v.reserve(n);
+  AdviseHugePages(v.data(), n * sizeof(T));
+  v.resize(n);
+  return v;
+}
+
+}  // namespace gqr
+
+#endif  // GQR_UTIL_MEMORY_H_

@@ -1,0 +1,472 @@
+// Tests for the compressed (asymmetric-distance) kernel layer:
+//  - *bitwise* scalar-vs-dispatched equality for every compressed kernel
+//    over dims 1..65 (odd tails, every 16/32-block remainder) on
+//    unaligned data — the shortlist must not depend on the dispatch
+//    level,
+//  - fp16 conversion: exact widening round trip over every finite half,
+//    round-to-nearest-even bounds, saturation at +-65504, NaN handling,
+//    and a bitwise differential against the hardware F16C instructions
+//    when the host has them,
+//  - SQ8 encode/decode round-trip error bounds (quantization step / 2),
+//  - EvalDistancesBatchCompressed against the kernel table under both
+//    metrics, and the persisted compressed dataset serving bit-identical
+//    distances after a save/load round trip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/eval_batch.h"
+#include "data/compressed_dataset.h"
+#include "data/dataset.h"
+#include "la/simd_kernels.h"
+#include "persist/model_io.h"
+#include "util/random.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define GQR_TEST_X86 1
+#else
+#define GQR_TEST_X86 0
+#endif
+
+namespace gqr {
+namespace {
+
+void FillRandom(float* out, size_t n, Rng* rng) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(rng->UniformDouble() * 2.0 - 1.0);
+  }
+}
+
+// Bitwise float equality (EXPECT_FLOAT_EQ admits ULP slack and -0.0 ==
+// 0.0; the compressed kernels' contract is identical bit patterns).
+::testing::AssertionResult BitEqual(float a, float b) {
+  uint32_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  if (ba == bb) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " and " << b << " differ in bits";
+}
+
+TEST(CompressedKernelsTest, DispatchedBitwiseMatchesScalarOnEveryDim) {
+  Rng rng(171);
+  const CompressedKernels& k = CompKernels();
+  for (size_t dim = 1; dim <= 65; ++dim) {
+    // +1 element of padding, then index from 1: the kernels must accept
+    // pointers with no 64/32-byte (or even element-size) alignment.
+    std::vector<float> qbuf(dim + 1), minbuf(dim + 1), scalebuf(dim + 1);
+    std::vector<uint8_t> cbuf(dim + 1);
+    std::vector<uint16_t> hbuf(dim + 1);
+    FillRandom(qbuf.data(), qbuf.size(), &rng);
+    FillRandom(minbuf.data(), minbuf.size(), &rng);
+    for (size_t j = 0; j < scalebuf.size(); ++j) {
+      scalebuf[j] = static_cast<float>(rng.UniformDouble() / 64.0);
+    }
+    for (size_t j = 0; j < cbuf.size(); ++j) {
+      cbuf[j] = static_cast<uint8_t>(rng.Uniform(256));
+      hbuf[j] = FloatToFp16(
+          static_cast<float>(rng.UniformDouble() * 2.0 - 1.0));
+    }
+    const float* q = qbuf.data() + 1;
+    const float* min = minbuf.data() + 1;
+    const float* scale = scalebuf.data() + 1;
+    const uint8_t* code8 = cbuf.data() + 1;
+    const uint16_t* code16 = hbuf.data() + 1;
+
+    EXPECT_TRUE(BitEqual(SquaredL2Sq8Scalar(q, code8, min, scale, dim),
+                         k.squared_l2_sq8(q, code8, min, scale, dim)))
+        << "squared_l2_sq8 dim=" << dim;
+    EXPECT_TRUE(BitEqual(DotSq8Scalar(q, code8, min, scale, dim),
+                         k.dot_sq8(q, code8, min, scale, dim)))
+        << "dot_sq8 dim=" << dim;
+    EXPECT_TRUE(BitEqual(SquaredL2Fp16Scalar(q, code16, dim),
+                         k.squared_l2_fp16(q, code16, dim)))
+        << "squared_l2_fp16 dim=" << dim;
+    EXPECT_TRUE(BitEqual(DotFp16Scalar(q, code16, dim),
+                         k.dot_fp16(q, code16, dim)))
+        << "dot_fp16 dim=" << dim;
+  }
+}
+
+// The `_pf` variants pace prefetches of an upcoming row while computing
+// the current one; prefetch never changes arithmetic, so with any pf —
+// null or a live row — they must reproduce the unfused kernel (and thus
+// the scalar reference) bit for bit. Runs under every GQR_SIMD level via
+// the pinned CI legs.
+TEST(CompressedKernelsTest, PrefetchFusedBitwiseMatchesUnfused) {
+  Rng rng(172);
+  const CompressedKernels& k = CompKernels();
+  for (size_t dim = 1; dim <= 65; ++dim) {
+    std::vector<float> qbuf(dim + 1), minbuf(dim + 1), scalebuf(dim + 1);
+    std::vector<uint8_t> cbuf(dim + 1), pf8(dim + 1);
+    std::vector<uint16_t> hbuf(dim + 1), pf16(dim + 1);
+    FillRandom(qbuf.data(), qbuf.size(), &rng);
+    FillRandom(minbuf.data(), minbuf.size(), &rng);
+    for (size_t j = 0; j < scalebuf.size(); ++j) {
+      scalebuf[j] = static_cast<float>(rng.UniformDouble() / 64.0);
+    }
+    for (size_t j = 0; j < cbuf.size(); ++j) {
+      cbuf[j] = static_cast<uint8_t>(rng.Uniform(256));
+      pf8[j] = static_cast<uint8_t>(rng.Uniform(256));
+      hbuf[j] = FloatToFp16(
+          static_cast<float>(rng.UniformDouble() * 2.0 - 1.0));
+      pf16[j] = FloatToFp16(
+          static_cast<float>(rng.UniformDouble() * 2.0 - 1.0));
+    }
+    const float* q = qbuf.data() + 1;
+    const float* min = minbuf.data() + 1;
+    const float* scale = scalebuf.data() + 1;
+    const uint8_t* code8 = cbuf.data() + 1;
+    const uint16_t* code16 = hbuf.data() + 1;
+
+    for (const uint8_t* pf : {static_cast<const uint8_t*>(nullptr),
+                              static_cast<const uint8_t*>(pf8.data())}) {
+      EXPECT_TRUE(
+          BitEqual(k.squared_l2_sq8(q, code8, min, scale, dim),
+                   k.squared_l2_sq8_pf(q, code8, min, scale, dim, pf)))
+          << "squared_l2_sq8_pf dim=" << dim << " pf=" << (pf != nullptr);
+      EXPECT_TRUE(BitEqual(k.dot_sq8(q, code8, min, scale, dim),
+                           k.dot_sq8_pf(q, code8, min, scale, dim, pf)))
+          << "dot_sq8_pf dim=" << dim << " pf=" << (pf != nullptr);
+    }
+    for (const uint16_t* pf : {static_cast<const uint16_t*>(nullptr),
+                               static_cast<const uint16_t*>(pf16.data())}) {
+      EXPECT_TRUE(BitEqual(k.squared_l2_fp16(q, code16, dim),
+                           k.squared_l2_fp16_pf(q, code16, dim, pf)))
+          << "squared_l2_fp16_pf dim=" << dim << " pf=" << (pf != nullptr);
+      EXPECT_TRUE(BitEqual(k.dot_fp16(q, code16, dim),
+                           k.dot_fp16_pf(q, code16, dim, pf)))
+          << "dot_fp16_pf dim=" << dim << " pf=" << (pf != nullptr);
+    }
+    EXPECT_TRUE(BitEqual(
+        SquaredL2Sq8Scalar(q, code8, min, scale, dim),
+        k.squared_l2_sq8_pf(q, code8, min, scale, dim, pf8.data())))
+        << "squared_l2_sq8_pf vs scalar reference dim=" << dim;
+    EXPECT_TRUE(BitEqual(SquaredL2Fp16Scalar(q, code16, dim),
+                         k.squared_l2_fp16_pf(q, code16, dim, pf16.data())))
+        << "squared_l2_fp16_pf vs scalar reference dim=" << dim;
+  }
+}
+
+TEST(Fp16Test, WideningRoundTripsEveryFiniteHalf) {
+  // Every finite half is exactly representable as a float, so narrowing
+  // the widened value must give back the identical bit pattern. Inf
+  // halves are excluded: FloatToFp16 saturates (never emits inf), which
+  // is fine because encoded data never contains them.
+  for (uint32_t h = 0; h <= 0xFFFFu; ++h) {
+    const uint16_t half = static_cast<uint16_t>(h);
+    if (((half >> 10) & 0x1Fu) == 0x1Fu) continue;  // inf / NaN.
+    EXPECT_EQ(FloatToFp16(Fp16ToFloat(half)), half) << "half=0x" << std::hex
+                                                    << h;
+  }
+}
+
+TEST(Fp16Test, RelativeErrorBoundForNormals) {
+  // Round-to-nearest-even over the normal half range: relative error is
+  // at most 2^-11 (half a ulp of a 10-bit mantissa).
+  Rng rng(172);
+  for (int t = 0; t < 20000; ++t) {
+    const double mag = std::pow(2.0, rng.UniformDouble() * 30.0 - 14.0);
+    const float f =
+        static_cast<float>((rng.UniformDouble() * 2.0 - 1.0) * mag);
+    if (std::fabs(f) < 6.2e-5f || std::fabs(f) > 65504.f) continue;
+    const float back = Fp16ToFloat(FloatToFp16(f));
+    EXPECT_LE(std::fabs(back - f), std::fabs(f) * 0x1p-11f)
+        << "f=" << f << " back=" << back;
+  }
+}
+
+TEST(Fp16Test, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(FloatToFp16(1e6f), 0x7BFFu);
+  EXPECT_EQ(FloatToFp16(-1e6f), 0xFBFFu);
+  EXPECT_EQ(FloatToFp16(std::numeric_limits<float>::infinity()), 0x7BFFu);
+  EXPECT_EQ(FloatToFp16(-std::numeric_limits<float>::infinity()), 0xFBFFu);
+  EXPECT_FLOAT_EQ(Fp16ToFloat(0x7BFFu), 65504.f);
+  // 65520 is the exact halfway point where RNE would round to inf.
+  EXPECT_EQ(FloatToFp16(65520.f), 0x7BFFu);
+  EXPECT_EQ(FloatToFp16(65519.97f), 0x7BFFu);
+  // NaN stays NaN (quiet), never a number.
+  const float qnan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(FloatToFp16(qnan) & 0x7C00u, 0x7C00u);
+  EXPECT_NE(FloatToFp16(qnan) & 0x3FFu, 0u);
+  EXPECT_TRUE(std::isnan(Fp16ToFloat(FloatToFp16(qnan))));
+  // Infinity halves still widen to infinity (load path robustness).
+  EXPECT_TRUE(std::isinf(Fp16ToFloat(0x7C00u)));
+  EXPECT_TRUE(std::isinf(Fp16ToFloat(0xFC00u)));
+  // Signed zero round trips with its sign.
+  EXPECT_EQ(FloatToFp16(-0.f), 0x8000u);
+  EXPECT_EQ(FloatToFp16(0.f), 0x0000u);
+}
+
+#if GQR_TEST_X86
+// Hardware conversion helpers, compiled for F16C but only executed when
+// cpuid reports it (HostHasF16c gate below).
+__attribute__((target("f16c"))) float HwHalfToFloat(uint16_t h) {
+  return _mm_cvtss_f32(_mm_cvtph_ps(_mm_cvtsi32_si128(h)));
+}
+__attribute__((target("f16c"))) uint16_t HwFloatToHalf(float f) {
+  return static_cast<uint16_t>(_mm_cvtsi128_si32(
+      _mm_cvtps_ph(_mm_set_ss(f), _MM_FROUND_TO_NEAREST_INT)));
+}
+
+TEST(Fp16Test, MatchesHardwareF16c) {
+  if (!HostHasF16c()) GTEST_SKIP() << "host lacks F16C";
+  // Widening: bit-identical to VCVTPH2PS for every non-NaN half
+  // (hardware quiets signaling NaN payloads; NaNs are compared only for
+  // NaN-ness).
+  for (uint32_t h = 0; h <= 0xFFFFu; ++h) {
+    const uint16_t half = static_cast<uint16_t>(h);
+    const float sw = Fp16ToFloat(half);
+    const float hw = HwHalfToFloat(half);
+    if (std::isnan(hw)) {
+      EXPECT_TRUE(std::isnan(sw)) << "half=0x" << std::hex << h;
+    } else {
+      EXPECT_TRUE(BitEqual(sw, hw)) << "half=0x" << std::hex << h;
+    }
+  }
+  // Narrowing: identical to VCVTPS2PH (round-to-nearest) wherever the
+  // hardware result is finite — i.e. everywhere but the saturation zone.
+  Rng rng(173);
+  for (int t = 0; t < 50000; ++t) {
+    const double mag = std::pow(2.0, rng.UniformDouble() * 45.0 - 30.0);
+    const float f =
+        static_cast<float>((rng.UniformDouble() * 2.0 - 1.0) * mag);
+    if (std::fabs(f) >= 65520.f) continue;
+    EXPECT_EQ(FloatToFp16(f), HwFloatToHalf(f)) << "f=" << f;
+  }
+}
+#endif  // GQR_TEST_X86
+
+TEST(Sq8Test, RoundTripWithinHalfStep) {
+  Rng rng(174);
+  const size_t n = 500, dim = 33;
+  std::vector<float> data(n * dim);
+  for (auto& v : data) {
+    v = static_cast<float>(rng.UniformDouble() * 20.0 - 7.0);
+  }
+  Dataset base(n, dim, std::move(data));
+  const CompressedDataset comp =
+      CompressedDataset::Encode(base, CompressionKind::kSq8);
+  ASSERT_EQ(comp.size(), n);
+  ASSERT_EQ(comp.dim(), dim);
+  std::vector<float> decoded(dim);
+  for (size_t i = 0; i < n; ++i) {
+    comp.DecodeRow(static_cast<ItemId>(i), decoded.data());
+    const float* row = base.Row(static_cast<ItemId>(i));
+    for (size_t j = 0; j < dim; ++j) {
+      // Nearest-code quantization: at most half a step away, plus a few
+      // ulps of fp slack from the (x - min) / scale arithmetic.
+      const float bound = comp.scale()[j] * 0.5f + 1e-4f;
+      EXPECT_LE(std::fabs(decoded[j] - row[j]), bound)
+          << "row " << i << " dim " << j;
+    }
+  }
+}
+
+TEST(Sq8Test, ConstantDimensionDecodesExactly) {
+  const size_t n = 10, dim = 3;
+  std::vector<float> data(n * dim);
+  for (size_t i = 0; i < n; ++i) {
+    data[i * dim + 0] = 2.5f;                          // Constant.
+    data[i * dim + 1] = static_cast<float>(i);         // Varying.
+    data[i * dim + 2] = -1.25f;                        // Constant.
+  }
+  Dataset base(n, dim, std::move(data));
+  const CompressedDataset comp =
+      CompressedDataset::Encode(base, CompressionKind::kSq8);
+  EXPECT_EQ(comp.scale()[0], 0.f);
+  EXPECT_EQ(comp.scale()[2], 0.f);
+  std::vector<float> decoded(dim);
+  for (size_t i = 0; i < n; ++i) {
+    comp.DecodeRow(static_cast<ItemId>(i), decoded.data());
+    EXPECT_EQ(decoded[0], 2.5f);
+    EXPECT_EQ(decoded[2], -1.25f);
+  }
+}
+
+TEST(Fp16DatasetTest, DecodeRowMatchesWidening) {
+  Rng rng(175);
+  const size_t n = 50, dim = 17;
+  std::vector<float> data(n * dim);
+  FillRandom(data.data(), data.size(), &rng);
+  Dataset base(n, dim, std::move(data));
+  const CompressedDataset comp =
+      CompressedDataset::Encode(base, CompressionKind::kFp16);
+  EXPECT_EQ(comp.bytes_per_row(), 2 * dim);
+  std::vector<float> decoded(dim);
+  for (size_t i = 0; i < n; ++i) {
+    comp.DecodeRow(static_cast<ItemId>(i), decoded.data());
+    const uint16_t* code = comp.Fp16Row(static_cast<ItemId>(i));
+    for (size_t j = 0; j < dim; ++j) {
+      EXPECT_TRUE(BitEqual(decoded[j], Fp16ToFloat(code[j])));
+      // Half-precision round trip of in-range data: within 2^-11 rel.
+      EXPECT_NEAR(decoded[j], base.Row(static_cast<ItemId>(i))[j],
+                  std::fabs(base.Row(static_cast<ItemId>(i))[j]) * 0x1p-11f +
+                      1e-6f);
+    }
+  }
+}
+
+// EvalDistancesBatchCompressed must agree with direct kernel-table calls
+// (same decode, same cached row norm) under both metrics.
+TEST(EvalBatchCompressedTest, MatchesKernelTableBothMetricsBothKinds) {
+  Rng rng(176);
+  const size_t n = 300, dim = 37;
+  std::vector<float> data(n * dim);
+  FillRandom(data.data(), data.size(), &rng);
+  Dataset base(n, dim, std::move(data));
+  std::vector<float> query(dim);
+  FillRandom(query.data(), dim, &rng);
+  std::vector<ItemId> ids;
+  for (size_t i = 0; i < n; i += 3) ids.push_back(static_cast<ItemId>(i));
+  std::vector<float> out(ids.size());
+  const CompressedKernels& k = CompKernels();
+
+  for (const CompressionKind kind :
+       {CompressionKind::kSq8, CompressionKind::kFp16}) {
+    const CompressedDataset comp = CompressedDataset::Encode(base, kind);
+
+    const QueryContext euc =
+        MakeQueryContext(query.data(), dim, Metric::kEuclidean);
+    EvalDistancesBatchCompressed(query.data(), euc, comp, ids.data(),
+                                 ids.size(), out.data());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const float sq =
+          kind == CompressionKind::kSq8
+              ? k.squared_l2_sq8(query.data(), comp.Sq8Row(ids[i]),
+                                 comp.min(), comp.scale(), dim)
+              : k.squared_l2_fp16(query.data(), comp.Fp16Row(ids[i]), dim);
+      EXPECT_TRUE(BitEqual(out[i], std::sqrt(sq))) << "id " << ids[i];
+    }
+
+    const QueryContext ang =
+        MakeQueryContext(query.data(), dim, Metric::kAngular);
+    EvalDistancesBatchCompressed(query.data(), ang, comp, ids.data(),
+                                 ids.size(), out.data());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const float dot =
+          kind == CompressionKind::kSq8
+              ? k.dot_sq8(query.data(), comp.Sq8Row(ids[i]), comp.min(),
+                          comp.scale(), dim)
+              : k.dot_fp16(query.data(), comp.Fp16Row(ids[i]), dim);
+      const float expected =
+          1.f - dot / (std::sqrt(comp.row_norm2(ids[i])) * ang.query_norm);
+      EXPECT_TRUE(BitEqual(out[i], expected)) << "id " << ids[i];
+    }
+  }
+}
+
+TEST(EvalBatchCompressedTest, AngularZeroVectorsGiveDistanceOne) {
+  const size_t dim = 8;
+  Dataset base(3, dim);  // All-zero rows: row_norm2 == 0.
+  std::vector<float> query(dim, 0.5f);
+  std::vector<ItemId> ids = {0, 1, 2};
+  std::vector<float> out(3);
+  const QueryContext ctx =
+      MakeQueryContext(query.data(), dim, Metric::kAngular);
+  for (const CompressionKind kind :
+       {CompressionKind::kSq8, CompressionKind::kFp16}) {
+    const CompressedDataset comp = CompressedDataset::Encode(base, kind);
+    EvalDistancesBatchCompressed(query.data(), ctx, comp, ids.data(), 3,
+                                 out.data());
+    for (float d : out) EXPECT_FLOAT_EQ(d, 1.f);
+  }
+}
+
+TEST(CompressedPersistTest, RoundTripServesBitIdenticalDistances) {
+  Rng rng(177);
+  const size_t n = 120, dim = 29;
+  std::vector<float> data(n * dim);
+  FillRandom(data.data(), data.size(), &rng);
+  Dataset base(n, dim, std::move(data));
+  std::vector<float> query(dim);
+  FillRandom(query.data(), dim, &rng);
+  std::vector<ItemId> ids(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = static_cast<ItemId>(i);
+  std::vector<float> before(n), after(n);
+  const QueryContext ctx =
+      MakeQueryContext(query.data(), dim, Metric::kEuclidean);
+
+  for (const CompressionKind kind :
+       {CompressionKind::kSq8, CompressionKind::kFp16}) {
+    const CompressedDataset comp = CompressedDataset::Encode(base, kind);
+    const std::string path =
+        ::testing::TempDir() + "comp_" +
+        std::string(CompressionKindName(kind)) + ".bin";
+    ASSERT_TRUE(SaveCompressedDataset(comp, path).ok());
+    auto loaded = LoadCompressedDataset(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->kind(), comp.kind());
+    EXPECT_EQ(loaded->size(), comp.size());
+    EXPECT_EQ(loaded->dim(), comp.dim());
+    EXPECT_EQ(loaded->sq8_codes(), comp.sq8_codes());
+    EXPECT_EQ(loaded->fp16_codes(), comp.fp16_codes());
+    EXPECT_EQ(loaded->min_vec(), comp.min_vec());
+    EXPECT_EQ(loaded->scale_vec(), comp.scale_vec());
+    EXPECT_EQ(loaded->row_norms2(), comp.row_norms2());
+    EXPECT_EQ(loaded->resident_bytes(), comp.resident_bytes());
+
+    EvalDistancesBatchCompressed(query.data(), ctx, comp, ids.data(), n,
+                                 before.data());
+    EvalDistancesBatchCompressed(query.data(), ctx, *loaded, ids.data(), n,
+                                 after.data());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(BitEqual(before[i], after[i])) << "id " << i;
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CompressedPersistTest, RejectsCorruptKind) {
+  Rng rng(178);
+  const size_t n = 8, dim = 4;
+  std::vector<float> data(n * dim);
+  FillRandom(data.data(), data.size(), &rng);
+  Dataset base(n, dim, std::move(data));
+  const CompressedDataset comp =
+      CompressedDataset::Encode(base, CompressionKind::kSq8);
+  const std::string path = ::testing::TempDir() + "comp_corrupt.bin";
+  ASSERT_TRUE(SaveCompressedDataset(comp, path).ok());
+  // Flip the kind field (first u32 after the 8-byte header) to garbage.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 8, SEEK_SET);
+  const uint32_t bogus = 99;
+  std::fwrite(&bogus, sizeof(bogus), 1, f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadCompressedDataset(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CompressedKernelsTest, ResidentBytesReflectCompressionRatio) {
+  Rng rng(179);
+  // dim large enough that the per-row norm sidecar (4 bytes/row) does not
+  // mask the payload ratio.
+  const size_t n = 1000, dim = 128;
+  std::vector<float> data(n * dim);
+  FillRandom(data.data(), data.size(), &rng);
+  Dataset base(n, dim, std::move(data));
+  const size_t fp32_bytes = n * dim * sizeof(float);
+  const CompressedDataset sq8 =
+      CompressedDataset::Encode(base, CompressionKind::kSq8);
+  const CompressedDataset fp16 =
+      CompressedDataset::Encode(base, CompressionKind::kFp16);
+  // Payload plus the small dequantizer/norm sidecars: ~4x and ~2x.
+  EXPECT_GT(static_cast<double>(fp32_bytes) /
+                static_cast<double>(sq8.resident_bytes()),
+            3.8);
+  EXPECT_GT(static_cast<double>(fp32_bytes) /
+                static_cast<double>(fp16.resident_bytes()),
+            1.9);
+  EXPECT_EQ(sq8.bytes_per_row(), dim);
+  EXPECT_EQ(fp16.bytes_per_row(), 2 * dim);
+}
+
+}  // namespace
+}  // namespace gqr

@@ -1,0 +1,214 @@
+// End-to-end tests for compressed rerank mode (DESIGN.md section 14):
+// probing with SearchOptions::compressed set scores candidates against
+// SQ8/fp16 rows and exact-reranks a k * alpha shortlist, and at the
+// default alpha = 4 must return exactly the same top-k (ids and exact
+// distances) as the uncompressed path on synthetic clustered data —
+// through the single-query Searcher, BatchSearch, ShardedSearch, and
+// RerankCandidates entry points, under both metrics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/batch_search.h"
+#include "core/gqr_prober.h"
+#include "core/sharded_search.h"
+#include "data/compressed_dataset.h"
+#include "data/synthetic.h"
+#include "hash/itq.h"
+
+namespace gqr {
+namespace {
+
+constexpr int kBits = 10;
+
+struct RerankFixture {
+  Dataset base;
+  Dataset queries;
+  LinearHasher hasher;
+  std::vector<Code> codes;
+  StaticHashTable table;
+  CompressedDataset sq8;
+  CompressedDataset fp16;
+
+  static RerankFixture Make() {
+    SyntheticSpec spec;
+    spec.n = 4000;
+    spec.dim = 24;
+    spec.num_clusters = 30;
+    spec.seed = 611;
+    Dataset all = GenerateClusteredGaussian(spec);
+    Rng rng(13);
+    auto [base, queries] = all.SplitQueries(30, &rng);
+    ItqOptions opt;
+    opt.code_length = kBits;
+    LinearHasher hasher = TrainItq(base, opt);
+    std::vector<Code> codes = hasher.HashDataset(base);
+    StaticHashTable table(codes, kBits);
+    CompressedDataset sq8 =
+        CompressedDataset::Encode(base, CompressionKind::kSq8);
+    CompressedDataset fp16 =
+        CompressedDataset::Encode(base, CompressionKind::kFp16);
+    return RerankFixture{std::move(base),  std::move(queries),
+                         std::move(hasher), std::move(codes),
+                         std::move(table),  std::move(sq8),
+                         std::move(fp16)};
+  }
+};
+
+SearchOptions BaseOptions(Metric metric = Metric::kEuclidean) {
+  SearchOptions so;
+  so.k = 10;
+  so.max_candidates = 600;
+  so.metric = metric;
+  return so;
+}
+
+TEST(CompressedRerankTest, SingleQueryMatchesExactTopK) {
+  RerankFixture f = RerankFixture::Make();
+  Searcher searcher(f.base);
+  for (const Metric metric : {Metric::kEuclidean, Metric::kAngular}) {
+    const SearchOptions exact = BaseOptions(metric);
+    for (const CompressedDataset* comp : {&f.sq8, &f.fp16}) {
+      SearchOptions compressed = exact;
+      compressed.compressed = comp;
+      compressed.rerank_alpha = 4;
+      for (size_t q = 0; q < f.queries.size(); ++q) {
+        const float* query = f.queries.Row(static_cast<ItemId>(q));
+        GqrProber p1(f.hasher.HashQuery(query));
+        const SearchResult want = searcher.Search(query, &p1, f.table, exact);
+        GqrProber p2(f.hasher.HashQuery(query));
+        const SearchResult got =
+            searcher.Search(query, &p2, f.table, compressed);
+        EXPECT_EQ(got.ids, want.ids)
+            << CompressionKindName(comp->kind()) << " query " << q;
+        EXPECT_EQ(got.distances, want.distances)
+            << CompressionKindName(comp->kind()) << " query " << q;
+        // Both paths consume the identical candidate stream; only the
+        // shortlist is reranked.
+        EXPECT_EQ(got.stats.items_evaluated, want.stats.items_evaluated);
+        EXPECT_GE(got.stats.items_reranked, compressed.k);
+        EXPECT_LE(got.stats.items_reranked,
+                  compressed.k * compressed.rerank_alpha);
+        EXPECT_EQ(want.stats.items_reranked, 0u);
+      }
+    }
+  }
+}
+
+TEST(CompressedRerankTest, BatchSearchMatchesExactTopK) {
+  RerankFixture f = RerankFixture::Make();
+  Searcher searcher(f.base);
+  const SearchOptions exact = BaseOptions();
+  const auto want = BatchSearch(searcher, f.hasher, f.table, f.queries,
+                                QueryMethod::kGQR, exact);
+  for (const CompressedDataset* comp : {&f.sq8, &f.fp16}) {
+    SearchOptions compressed = exact;
+    compressed.compressed = comp;
+    compressed.rerank_alpha = 4;
+    const auto got = BatchSearch(searcher, f.hasher, f.table, f.queries,
+                                 QueryMethod::kGQR, compressed);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t q = 0; q < got.size(); ++q) {
+      EXPECT_EQ(got[q].ids, want[q].ids)
+          << CompressionKindName(comp->kind()) << " query " << q;
+      EXPECT_EQ(got[q].distances, want[q].distances)
+          << CompressionKindName(comp->kind()) << " query " << q;
+    }
+  }
+}
+
+TEST(CompressedRerankTest, ShardedSearchMatchesExactTopK) {
+  RerankFixture f = RerankFixture::Make();
+  Searcher searcher(f.base);
+  ShardedIndex index(kBits, 4);
+  for (size_t id = 0; id < f.base.size(); ++id) {
+    ASSERT_TRUE(
+        index.Insert(static_cast<ItemId>(id), f.codes[id]).ok());
+  }
+  const SearchOptions exact = BaseOptions();
+  const auto want = ShardedSearch(searcher, f.hasher, index, f.queries,
+                                  QueryMethod::kGQR, exact);
+  SearchOptions compressed = exact;
+  compressed.compressed = &f.sq8;
+  const auto got = ShardedSearch(searcher, f.hasher, index, f.queries,
+                                 QueryMethod::kGQR, compressed);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t q = 0; q < got.size(); ++q) {
+    EXPECT_EQ(got[q].ids, want[q].ids) << "query " << q;
+    EXPECT_EQ(got[q].distances, want[q].distances) << "query " << q;
+  }
+}
+
+TEST(CompressedRerankTest, RerankCandidatesMatchesExactTopK) {
+  RerankFixture f = RerankFixture::Make();
+  Searcher searcher(f.base);
+  // Rerank the whole base: the harshest shortlist test — the compressed
+  // pass must surface the true top-k out of every item.
+  std::vector<ItemId> all(f.base.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<ItemId>(i);
+  SearchOptions exact = BaseOptions();
+  exact.max_candidates = 0;  // Unlimited.
+  for (const CompressedDataset* comp : {&f.sq8, &f.fp16}) {
+    SearchOptions compressed = exact;
+    compressed.compressed = comp;
+    compressed.rerank_alpha = 4;
+    for (size_t q = 0; q < 10; ++q) {
+      const float* query = f.queries.Row(static_cast<ItemId>(q));
+      const SearchResult want = searcher.RerankCandidates(query, all, exact);
+      const SearchResult got =
+          searcher.RerankCandidates(query, all, compressed);
+      EXPECT_EQ(got.ids, want.ids)
+          << CompressionKindName(comp->kind()) << " query " << q;
+      EXPECT_EQ(got.distances, want.distances)
+          << CompressionKindName(comp->kind()) << " query " << q;
+      EXPECT_EQ(got.stats.items_reranked,
+                compressed.k * compressed.rerank_alpha);
+    }
+  }
+}
+
+TEST(CompressedRerankTest, AlphaOneStillReturnsKResults) {
+  // alpha = 1 degenerates to "trust the compressed ranking for member-
+  // ship": still k results with exact distances, though ids may differ
+  // from the exact path near the boundary. Sanity-check shape only.
+  RerankFixture f = RerankFixture::Make();
+  Searcher searcher(f.base);
+  SearchOptions so = BaseOptions();
+  so.compressed = &f.sq8;
+  so.rerank_alpha = 1;
+  const float* query = f.queries.Row(0);
+  GqrProber prober(f.hasher.HashQuery(query));
+  const SearchResult r = searcher.Search(query, &prober, f.table, so);
+  EXPECT_EQ(r.ids.size(), so.k);
+  EXPECT_EQ(r.stats.items_reranked, so.k);
+  for (size_t i = 1; i < r.distances.size(); ++i) {
+    EXPECT_LE(r.distances[i - 1], r.distances[i]);
+  }
+}
+
+TEST(CompressedRerankDeathTest, RejectsMismatchedCompressedDataset) {
+  RerankFixture f = RerankFixture::Make();
+  Searcher searcher(f.base);
+  // A compressed encoding of a *different* (smaller) dataset must be
+  // rejected up front, not read out of bounds.
+  SyntheticSpec spec;
+  spec.n = 100;
+  spec.dim = 24;
+  spec.num_clusters = 4;
+  spec.seed = 612;
+  const Dataset other = GenerateClusteredGaussian(spec);
+  const CompressedDataset wrong =
+      CompressedDataset::Encode(other, CompressionKind::kSq8);
+  SearchOptions so = BaseOptions();
+  so.compressed = &wrong;
+  const float* query = f.queries.Row(0);
+  EXPECT_DEATH(
+      {
+        GqrProber prober(f.hasher.HashQuery(query));
+        searcher.Search(query, &prober, f.table, so);
+      },
+      "compressed dataset");
+}
+
+}  // namespace
+}  // namespace gqr

@@ -104,8 +104,18 @@ TEST(SimdKernelsTest, VectorOpsRouteThroughDispatch) {
 TEST(SimdKernelsTest, LevelNameIsConsistent) {
   const SimdLevel level = ActiveSimdLevel();
   const char* name = SimdLevelName(level);
-  EXPECT_TRUE(level == SimdLevel::kScalar || level == SimdLevel::kAvx2);
-  EXPECT_TRUE(std::string(name) == "scalar" || std::string(name) == "avx2");
+  EXPECT_TRUE(level == SimdLevel::kScalar || level == SimdLevel::kAvx2 ||
+              level == SimdLevel::kAvx512);
+  EXPECT_TRUE(std::string(name) == "scalar" || std::string(name) == "avx2" ||
+              std::string(name) == "avx512");
+  // The active level must be one the host can actually execute, and
+  // names round-trip through the parser.
+  EXPECT_TRUE(SimdLevelAvailable(level));
+  SimdLevel parsed = SimdLevel::kScalar;
+  EXPECT_TRUE(ParseSimdLevel(name, &parsed));
+  EXPECT_EQ(parsed, level);
+  EXPECT_FALSE(ParseSimdLevel("sse9", &parsed));
+  EXPECT_FALSE(ParseSimdLevel(nullptr, &parsed));
 }
 
 TEST(EvalBatchTest, EuclideanMatchesOneShotDistances) {
