@@ -1,5 +1,7 @@
 #include "common.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -114,6 +116,20 @@ void PrintTimeAtRecallTable(const std::string& artifact,
     rows.push_back(std::move(row));
   }
   PrintTable(artifact + " time-to-recall on " + dataset, header, rows);
+}
+
+double Percentile(std::vector<double>* samples, double p) {
+  if (samples->empty()) return 0.0;
+  std::sort(samples->begin(), samples->end());
+  if (p <= 0.0) return samples->front();
+  if (p >= 1.0) return samples->back();
+  // Nearest-rank: the smallest value with at least ceil(p * n) samples
+  // at or below it.
+  const size_t n = samples->size();
+  size_t rank = static_cast<size_t>(std::ceil(p * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return (*samples)[rank - 1];
 }
 
 bool WriteFileAtomic(const std::string& path, const std::string& contents) {

@@ -63,6 +63,12 @@ void PrintTimeAtRecallTable(const std::string& artifact,
                             const std::string& dataset,
                             const std::vector<Curve>& curves);
 
+/// Nearest-rank percentile of `*samples` for p in [0, 1] (p = 0.5 is the
+/// median, 0.99 the p99). Sorts *samples in place; returns 0 on empty
+/// input. Shared by the latency-reporting benches (micro_serving,
+/// micro_concurrent) so their percentile definitions cannot drift apart.
+double Percentile(std::vector<double>* samples, double p);
+
 /// Durably writes `contents` to `path`: writes to path + ".tmp", flushes
 /// and fsyncs it, then renames over `path`. A bench run killed mid-write
 /// (OOM, timeout, ^C) therefore leaves the previous BENCH_*.json intact

@@ -108,7 +108,22 @@ struct RunResult {
   double qps;
   double writer_ops_per_sec;  // 0 when run without ingest.
   double freezes_per_sec;     // 0 when run without ingest.
+  // Per-query wall-clock latencies (µs), pooled across readers. What
+  // closed-loop qps hides: the stall distribution readers see while
+  // freezes hold shards exclusively. Percentiles via bench::Percentile
+  // make this directly comparable with BENCH_serving.json.
+  std::vector<double> latencies_us;
 };
+
+std::string LatencyJson(std::vector<double>* lat) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"p50\": %.1f, \"p99\": %.1f, \"p999\": %.1f, "
+                "\"samples\": %zu}",
+                bench::Percentile(lat, 0.5), bench::Percentile(lat, 0.99),
+                bench::Percentile(lat, 0.999), lat->size());
+  return buf;
+}
 
 // Reader threads loop single-query GQR searches (round-robin over the
 // query set, each with its own prober and thread-local scratch). The
@@ -136,18 +151,24 @@ RunResult RunConfig(const Workload& w, size_t shards, bool with_ingest) {
   std::atomic<long> writer_ops{0};
   std::atomic<long> freezes{0};
 
+  std::vector<std::vector<double>> reader_lat(kReaders);
+
   std::vector<std::thread> threads;
   for (int r = 0; r < kReaders; ++r) {
     threads.emplace_back([&, r] {
+      std::vector<double>& lat = reader_lat[static_cast<size_t>(r)];
+      lat.reserve(1 << 16);
       while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
       size_t q = static_cast<size_t>(r);
       SearchResult result;
       long local = 0;
       while (!stop.load(std::memory_order_acquire)) {
         q = (q + 1) % kQueries;
+        Timer per_query;
         GqrProber prober(w.infos[q]);
         w.searcher.SearchInto(w.queries.Row(static_cast<ItemId>(q)), &prober,
                               index, w.options, nullptr, &result);
+        lat.push_back(per_query.ElapsedMicros());
         ++local;
       }
       queries_done.fetch_add(local);
@@ -209,6 +230,9 @@ RunResult RunConfig(const Workload& w, size_t shards, bool with_ingest) {
   r.qps = static_cast<double>(queries_done.load()) / elapsed;
   r.writer_ops_per_sec = static_cast<double>(writer_ops.load()) / elapsed;
   r.freezes_per_sec = static_cast<double>(freezes.load()) / elapsed;
+  for (std::vector<double>& lat : reader_lat) {
+    r.latencies_us.insert(r.latencies_us.end(), lat.begin(), lat.end());
+  }
   return r;
 }
 
@@ -256,12 +280,19 @@ int Run(const char* out_path) {
                   "\"qps_under_ingest_trials\": "
                   "[%.0f, %.0f, %.0f, %.0f, %.0f], "
                   "\"writer_ops_per_sec\": %.0f, "
-                  "\"freezes_per_sec\": %.0f}%s\n",
+                  "\"freezes_per_sec\": %.0f,\n",
                   shard_counts[i], idle[i].qps, ingest[i].qps, trials[i][0],
                   trials[i][1], trials[i][2], trials[i][3], trials[i][4],
-                  ingest[i].writer_ops_per_sec, ingest[i].freezes_per_sec,
-                  i == 0 ? "," : "");
+                  ingest[i].writer_ops_per_sec, ingest[i].freezes_per_sec);
     json += buf;
+    // Latencies of the idle run and of the median-qps ingest trial; the
+    // freeze stalls live in the ingest tail (p99/p999), which closed-loop
+    // qps alone cannot show.
+    json += "     \"latency_us_idle\": " + LatencyJson(&idle[i].latencies_us) +
+            ",\n";
+    json += "     \"latency_us_under_ingest\": " +
+            LatencyJson(&ingest[i].latencies_us) + "}" + (i == 0 ? "," : "") +
+            "\n";
   }
   json += "  ],\n";
   std::snprintf(buf, sizeof(buf),

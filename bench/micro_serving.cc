@@ -1,0 +1,544 @@
+// Open-loop load test of the serving front end (src/serve): Poisson
+// arrivals are submitted one query at a time to a QueryService and the
+// per-request latency distribution is measured with coalescing on vs
+// off, idle vs under ingest churn. The coalescer amortizes per-request
+// setup over each flushed block: batched-GEMM hashing for every
+// method, plus — for the bucket-union methods HR/QR — one
+// BucketCodeUnion() snapshot of the live sharded index per flush
+// instead of per request (the dominant coalescable cost here; see
+// kSweepMethod below). Its cost is up to max_linger of added wait at
+// low load, its payoff is capacity — so the honest comparison is
+// open-loop: arrivals keep coming at the offered rate whether or not
+// the service keeps up, and a service past saturation shows the
+// backlog as p99/p999 blow-up plus expired/shed requests instead of
+// quietly slowing the generator down (closed-loop benches hide exactly
+// this).
+//
+// Protocol: fixed-count saturation probes (submit-and-drain, see
+// MeasureSaturation) first measure each mode's capacity — per method
+// while idle, then for the sweep method under churn — and the
+// open-loop sweep offers rates derived from those capacities per
+// condition: "low"/"mid" below the no-coalescing capacity (both modes
+// keep up; shows the linger cost), "high" between the two capacities
+// (the no-coalescing service saturates while the coalesced one still
+// keeps up — the regime the coalescer is for). Latency is measured
+// from each request's *scheduled* arrival time, so generator lateness
+// under load counts against the service (no coordinated omission).
+// Requests carry a 20 ms deadline and the queue is bounded, so
+// overload surfaces as kExpired/kRejected, never as an unbounded
+// queue.
+//
+// Emits BENCH_serving.json (atomic write) and prints it to stdout.
+//
+// Usage: micro_serving [out.json] [seconds_per_run]
+//   seconds_per_run defaults to 1.0; CI smoke runs pass a short value
+//   (e.g. 0.2) so the bench stays build-and-run cheap there.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "core/searcher.h"
+#include "data/dataset.h"
+#include "hash/lsh.h"
+#include "index/sharded_index.h"
+#include "serve/query_service.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace gqr {
+namespace {
+
+// The sweep serves HR, the method with the largest per-request setup
+// the coalescer can amortize: every flush needs a consistent
+// BucketCodeUnion() snapshot of the live sharded index before the
+// block's probers can be built. A single-query server pays that
+// snapshot per request; the coalescer pays it once per batch (plus the
+// batched-GEMM hashing every method rides). GQR/GHR generate probe
+// codes straight from the query, so their amortizable share is hashing
+// only — the per-method saturation probes record both regimes.
+constexpr QueryMethod kSweepMethod = QueryMethod::kHR;
+constexpr size_t kN = 65536;
+constexpr size_t kDim = 64;
+constexpr int kBits = 12;
+constexpr size_t kShards = 4;
+constexpr size_t kQueries = 256;
+constexpr size_t kK = 5;
+constexpr size_t kMaxCandidates = 10;
+
+constexpr size_t kMaxBatch = 64;
+constexpr auto kLinger = std::chrono::microseconds(200);
+constexpr size_t kMaxQueue = 512;
+constexpr auto kDeadline = std::chrono::milliseconds(20);
+// Requests per second of window for the saturation probe (see
+// MeasureSaturation).
+constexpr double kProbeRequestsPerSecond = 2000.0;
+
+// Ingest churn, as in micro_concurrent: remove+insert bursts over the
+// top half of the id space plus continuous shard re-freezing, so
+// serving latency is measured against live snapshot copies.
+constexpr int kChurnBurst = 64;
+constexpr auto kChurnGap = std::chrono::milliseconds(2);
+
+using Clock = QueryService::Clock;
+
+struct Workload {
+  Dataset base;
+  Dataset queries;
+  LinearHasher hasher;
+  std::vector<Code> codes;
+  Searcher searcher;  // Holds a reference to `base`: must init after it.
+  SearchOptions options;
+
+  Workload(Dataset b, Dataset q, LinearHasher h, std::vector<Code> c,
+           SearchOptions o)
+      : base(std::move(b)),
+        queries(std::move(q)),
+        hasher(std::move(h)),
+        codes(std::move(c)),
+        searcher(base),
+        options(o) {}
+
+  static Workload Make() {
+    Rng rng(2026);
+    std::vector<float> bdata(kN * kDim), qdata(kQueries * kDim);
+    for (auto& v : bdata) {
+      v = static_cast<float>(rng.UniformDouble() * 2.0 - 1.0);
+    }
+    for (auto& v : qdata) {
+      v = static_cast<float>(rng.UniformDouble() * 2.0 - 1.0);
+    }
+    Dataset base(kN, kDim, std::move(bdata));
+    Dataset queries(kQueries, kDim, std::move(qdata));
+    LshOptions lsh;
+    lsh.code_length = kBits;
+    LinearHasher hasher = TrainLsh(base, kDim, lsh);
+    std::vector<Code> codes = hasher.HashDataset(base);
+    SearchOptions options;
+    options.k = kK;
+    options.max_candidates = kMaxCandidates;
+    return Workload(std::move(base), std::move(queries), std::move(hasher),
+                    std::move(codes), options);
+  }
+};
+
+QueryServiceOptions ServiceOptions(const Workload& w, QueryMethod method,
+                                   bool coalesce) {
+  QueryServiceOptions opt;
+  opt.max_batch = kMaxBatch;
+  opt.max_linger = kLinger;
+  opt.max_queue = kMaxQueue;
+  opt.num_workers = 1;
+  opt.coalesce = coalesce;
+  opt.method = method;
+  opt.search = w.options;
+  return opt;
+}
+
+// Continuous ingest: churn bursts over the top half of the id space,
+// one shard re-frozen per beat (churn invalidates each snapshot as
+// soon as it is taken, so the freezer is always copying).
+void ChurnLoop(const Workload& w, ShardedIndex* index,
+               const std::atomic<bool>* stop) {
+  const size_t lo = kN / 2;
+  size_t id = lo;
+  size_t s = 0;
+  while (!stop->load(std::memory_order_acquire)) {
+    for (int b = 0; b < kChurnBurst; ++b) {
+      const ItemId item = static_cast<ItemId>(id);
+      if (!index->Remove(item, w.codes[id]).ok() ||
+          !index->Insert(item, w.codes[id]).ok()) {
+        std::fprintf(stderr, "churn failed\n");
+        std::abort();
+      }
+      if (++id == kN) id = lo;
+    }
+    if (!index->FreezeShard(s).ok()) {
+      std::fprintf(stderr, "freeze failed\n");
+      std::abort();
+    }
+    s = (s + 1) % kShards;
+    std::this_thread::sleep_for(kChurnGap);
+  }
+}
+
+// Saturation probe: submit a fixed number of no-deadline requests as
+// fast as admission allows (spinning on shed), then drain through
+// Shutdown(); the drain rate is the service's capacity with a full
+// queue. First-submit-to-last-completion timing charges the tail drain
+// to the rate, so a probe is honest even when capacity is far below
+// the submit rate. (A closed-loop future-per-request probe is wrong
+// here: on the 1-core CI containers it measures context-switch cost,
+// which is identical for both modes, not serving capacity.)
+struct SaturationResult {
+  double qps = 0.0;
+  double elapsed_s = 0.0;
+};
+
+SaturationResult MeasureSaturationOnce(const Workload& w, ShardedIndex* index,
+                                       QueryMethod method, bool coalesce,
+                                       bool churn, size_t requests) {
+  QueryService service(w.searcher, w.hasher, *index,
+                       ServiceOptions(w, method, coalesce));
+  std::atomic<bool> stop_churn{false};
+  std::thread ingest;
+  if (churn) {
+    ingest = std::thread([&] { ChurnLoop(w, index, &stop_churn); });
+  }
+  Timer timer;
+  size_t q = 0;
+  for (size_t i = 0; i < requests; ++i) {
+    q = (q + 1) % kQueries;
+    while (!service.SubmitAsync(w.queries.Row(static_cast<ItemId>(q)),
+                                /*k=*/0, QueryService::NoDeadline(),
+                                [](Response) {})) {
+      std::this_thread::yield();
+    }
+  }
+  service.Shutdown();  // Drains every admitted request.
+  const double elapsed = timer.ElapsedSeconds();
+  if (churn) {
+    stop_churn.store(true, std::memory_order_release);
+    ingest.join();
+  }
+  return {static_cast<double>(requests) / elapsed, elapsed};
+}
+
+// Fast methods chew through a fixed request count in milliseconds —
+// pure scheduler noise. Rerun with 4x the requests until the window is
+// long enough to mean something.
+double MeasureSaturation(const Workload& w, ShardedIndex* index,
+                         QueryMethod method, bool coalesce, bool churn,
+                         size_t requests, double min_elapsed_s) {
+  for (;;) {
+    const SaturationResult r = MeasureSaturationOnce(w, index, method,
+                                                     coalesce, churn,
+                                                     requests);
+    if (r.elapsed_s >= min_elapsed_s || requests >= (1u << 20)) return r.qps;
+    requests *= 4;
+  }
+}
+
+struct OpenLoopResult {
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;  // kOk responses per second of offered load.
+  uint64_t submitted = 0;
+  uint64_t ok = 0;
+  uint64_t expired = 0;
+  uint64_t rejected = 0;
+  double mean_batch_fill = 0.0;
+  double p50_us = 0.0, p99_us = 0.0, p999_us = 0.0;
+  size_t samples = 0;
+};
+
+// One open-loop run: Poisson arrivals at `rate` for `seconds`. Latency
+// is scheduled-arrival -> terminal callback and pools kOk with kExpired
+// (an expired request *is* the tail; dropping it would launder
+// saturation out of the percentiles). Rejected requests are shed at
+// submit with ~zero latency and are reported as a count instead.
+// `use_deadline` is false for the saturation probe, where expiry would
+// siphon queue drain away from the achieved-qps measurement.
+OpenLoopResult RunOpenLoop(const Workload& w, ShardedIndex* index,
+                           QueryMethod method, bool coalesce, bool churn,
+                           bool use_deadline, double rate, double seconds,
+                           uint64_t seed) {
+  QueryService service(w.searcher, w.hasher, *index,
+                       ServiceOptions(w, method, coalesce));
+  std::atomic<bool> stop_churn{false};
+  std::thread ingest;
+  if (churn) {
+    ingest = std::thread([&] { ChurnLoop(w, index, &stop_churn); });
+  }
+
+  const size_t slots =
+      static_cast<size_t>(rate * seconds * 1.5) + 64;
+  std::vector<double> latency_us(slots, 0.0);
+  std::vector<uint8_t> status(slots, 0);  // 1=ok, 2=expired, 3=rejected.
+
+  Rng rng(seed);
+  const Clock::time_point start = Clock::now();
+  double sched_s = 0.0;
+  size_t idx = 0;
+  size_t q = 0;
+  double offered_window_s = seconds;
+  for (;;) {
+    // Exponential inter-arrival: open-loop Poisson process.
+    sched_s += -std::log(1.0 - rng.UniformDouble()) / rate;
+    if (sched_s >= seconds) break;
+    if (idx >= slots) {
+      // Slot exhaustion (saturation probe only: shed requests burn
+      // slots far faster than the offered rate). Close the window at
+      // the wall clock so achieved qps stays an honest rate.
+      offered_window_s = std::chrono::duration<double>(Clock::now() - start)
+                             .count();
+      break;
+    }
+    const Clock::time_point sched =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(sched_s));
+    // Yield-spin to the scheduled instant: kernel sleep granularity
+    // (~4 ms here) would otherwise quantize the arrival process.
+    while (Clock::now() < sched) std::this_thread::yield();
+    const size_t i = idx++;
+    q = (q + 1) % kQueries;
+    const QueryService::Deadline deadline =
+        use_deadline ? sched + kDeadline : QueryService::NoDeadline();
+    const bool admitted = service.SubmitAsync(
+        w.queries.Row(static_cast<ItemId>(q)), /*k=*/0, deadline,
+        [&latency_us, &status, i, sched](Response r) {
+          latency_us[i] = std::chrono::duration<double, std::micro>(
+                              Clock::now() - sched)
+                              .count();
+          status[i] = r.status == RequestStatus::kOk ? 1 : 2;
+        });
+    if (!admitted) status[i] = 3;
+  }
+  service.Flush();
+  service.Shutdown();  // Drains: every admitted callback has fired.
+  if (churn) {
+    stop_churn.store(true, std::memory_order_release);
+    ingest.join();
+  }
+  const ServiceStats stats = service.Stats();
+
+  OpenLoopResult r;
+  r.offered_qps = rate;
+  r.submitted = idx;
+  r.mean_batch_fill = stats.MeanBatchFill();
+  std::vector<double> lat;
+  lat.reserve(idx);
+  for (size_t i = 0; i < idx; ++i) {
+    switch (status[i]) {
+      case 1:
+        ++r.ok;
+        lat.push_back(latency_us[i]);
+        break;
+      case 2:
+        ++r.expired;
+        lat.push_back(latency_us[i]);
+        break;
+      default:
+        ++r.rejected;
+        break;
+    }
+  }
+  r.achieved_qps = static_cast<double>(r.ok) / offered_window_s;
+  r.samples = lat.size();
+  r.p50_us = bench::Percentile(&lat, 0.5);
+  r.p99_us = bench::Percentile(&lat, 0.99);
+  r.p999_us = bench::Percentile(&lat, 0.999);
+  return r;
+}
+
+int Run(const char* out_path, double seconds) {
+  bench::PrintBenchHeader(
+      "BENCH_serving",
+      "open-loop serving latency: coalescing on/off, idle vs ingest churn");
+
+  const Workload w = Workload::Make();
+  ShardedIndex index(kBits, kShards);
+  for (size_t id = 0; id < kN; ++id) {
+    if (!index.Insert(static_cast<ItemId>(id), w.codes[id]).ok()) {
+      std::fprintf(stderr, "insert failed\n");
+      std::abort();
+    }
+  }
+  for (size_t s = 0; s < kShards; ++s) {
+    if (!index.FreezeShard(s).ok()) {
+      std::fprintf(stderr, "freeze failed\n");
+      std::abort();
+    }
+  }
+
+  const size_t probe_requests = static_cast<size_t>(
+      std::max(1024.0, kProbeRequestsPerSecond * seconds));
+
+  // Warmup: touch the whole serving path once (pool spin-up, scratch
+  // allocation, page faults) before anything is measured.
+  const double probe_floor_s = std::min(0.3, 0.5 * seconds);
+  (void)MeasureSaturation(w, &index, kSweepMethod, /*coalesce=*/true,
+                          /*churn=*/false, probe_requests / 2,
+                          probe_floor_s);
+
+  // Per-method saturation (idle): how much of each method's request is
+  // coalescable. HR/QR amortize the per-flush bucket-union snapshot on
+  // top of batched hashing; GQR/GHR amortize hashing alone, which at
+  // this shape (dim=64) is about the same size as the batch-path
+  // gather, so their ratio hovers around 1.0 in either direction.
+  constexpr QueryMethod kMethods[] = {QueryMethod::kGQR, QueryMethod::kGHR,
+                                      QueryMethod::kHR, QueryMethod::kQR};
+  double method_cap[4][2];
+  for (int m = 0; m < 4; ++m) {
+    for (int on = 0; on < 2; ++on) {
+      method_cap[m][on] =
+          MeasureSaturation(w, &index, kMethods[m], /*coalesce=*/on == 1,
+                            /*churn=*/false, probe_requests, probe_floor_s);
+    }
+    std::printf("saturation qps (idle, %s): coalesce_off %.0f, "
+                "coalesce_on %.0f (%.2fx)\n",
+                QueryMethodName(kMethods[m]), method_cap[m][0],
+                method_cap[m][1],
+                method_cap[m][0] > 0.0 ? method_cap[m][1] / method_cap[m][0]
+                                       : 0.0);
+  }
+
+  const struct {
+    const char* label;
+    bool churn;
+  } kConditions[] = {{"idle", false}, {"churn", true}};
+  const char* kRateLabels[] = {"low", "mid", "high"};
+
+  // Sweep-method saturation per condition. Churn costs capacity (the
+  // ingest thread competes for the core and freezes stall probes), so
+  // the sweep anchors its rates per condition. Idle reuses the
+  // per-method probes above.
+  double cap[2][2];  // [condition][coalesce on=1]
+  cap[0][0] = method_cap[2][0];
+  cap[0][1] = method_cap[2][1];
+  for (int on = 0; on < 2; ++on) {
+    cap[1][on] = MeasureSaturation(w, &index, kSweepMethod,
+                                   /*coalesce=*/on == 1, /*churn=*/true,
+                                   probe_requests, probe_floor_s);
+  }
+  std::printf("saturation qps (churn, %s): coalesce_off %.0f, "
+              "coalesce_on %.0f (%.2fx)\n\n",
+              QueryMethodName(kSweepMethod), cap[1][0], cap[1][1],
+              cap[1][0] > 0.0 ? cap[1][1] / cap[1][0] : 0.0);
+
+  OpenLoopResult results[2][3][2];  // [condition][rate][coalesce on=1].
+  uint64_t seed = 7;
+  for (int c = 0; c < 2; ++c) {
+    // Offered rates anchored to this condition's capacities: low/mid
+    // below the no-coalescing capacity (both modes keep up; shows the
+    // linger cost), high between the two capacities (geometric mean) so
+    // the no-coalescing service is past its queueing knee while the
+    // coalesced one is not — the regime the coalescer is for. If
+    // coalescing ever stops winning capacity, high degrades to the
+    // off-capacity and the JSON records the regression honestly.
+    const double cap_off = cap[c][0];
+    const double cap_on = cap[c][1];
+    const double rates[3] = {
+        0.5 * cap_off,
+        0.9 * cap_off,
+        cap_on > cap_off ? std::sqrt(cap_off * cap_on) : cap_off,
+    };
+    for (int rt = 0; rt < 3; ++rt) {
+      for (int on = 0; on < 2; ++on) {
+        results[c][rt][on] =
+            RunOpenLoop(w, &index, kSweepMethod, /*coalesce=*/on == 1,
+                        kConditions[c].churn, /*use_deadline=*/true,
+                        rates[rt], seconds, ++seed);
+        const OpenLoopResult& r = results[c][rt][on];
+        std::printf(
+            "%-5s %-4s coalesce=%s  offered %7.0f  ok %7.0f/s  "
+            "p50 %7.0fus  p99 %8.0fus  p999 %8.0fus  fill %5.1f  "
+            "expired %llu  rejected %llu\n",
+            kConditions[c].label, kRateLabels[rt], on ? "on " : "off",
+            r.offered_qps, r.achieved_qps, r.p50_us, r.p99_us, r.p999_us,
+            r.mean_batch_fill,
+            static_cast<unsigned long long>(r.expired),
+            static_cast<unsigned long long>(r.rejected));
+      }
+    }
+  }
+  std::printf("\n");
+
+  std::string json = "{\n";
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"config\": {\"method\": \"%s\", \"n\": %zu, \"dim\": %zu, "
+      "\"bits\": %d, "
+      "\"shards\": %zu, \"k\": %zu, \"max_candidates\": %zu, "
+      "\"max_batch\": %zu, \"max_linger_us\": %lld, \"max_queue\": %zu, "
+      "\"deadline_ms\": %lld, \"seconds_per_run\": %.2f, "
+      "\"probe_requests\": %zu, \"hardware_threads\": %u},\n",
+      QueryMethodName(kSweepMethod), kN, kDim, kBits, kShards, kK,
+      kMaxCandidates, kMaxBatch,
+      static_cast<long long>(kLinger.count()), kMaxQueue,
+      static_cast<long long>(kDeadline.count()), seconds, probe_requests,
+      std::thread::hardware_concurrency());
+  json += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"saturation_qps\": {"
+      "\"idle\": {\"coalesce_off\": %.0f, \"coalesce_on\": %.0f}, "
+      "\"churn\": {\"coalesce_off\": %.0f, \"coalesce_on\": %.0f}},\n",
+      cap[0][0], cap[0][1], cap[1][0], cap[1][1]);
+  json += buf;
+  json += "  \"saturation_qps_by_method\": {\n";
+  for (int m = 0; m < 4; ++m) {
+    std::snprintf(buf, sizeof(buf),
+                  "    \"%s\": {\"coalesce_off\": %.0f, "
+                  "\"coalesce_on\": %.0f, \"speedup\": %.2f}%s\n",
+                  QueryMethodName(kMethods[m]), method_cap[m][0],
+                  method_cap[m][1],
+                  method_cap[m][0] > 0.0
+                      ? method_cap[m][1] / method_cap[m][0]
+                      : 0.0,
+                  m == 3 ? "" : ",");
+    json += buf;
+  }
+  json += "  },\n";
+  json += "  \"results\": [\n";
+  for (int c = 0; c < 2; ++c) {
+    for (int rt = 0; rt < 3; ++rt) {
+      for (int on = 0; on < 2; ++on) {
+        const OpenLoopResult& r = results[c][rt][on];
+        const bool last = c == 1 && rt == 2 && on == 1;
+        std::snprintf(
+            buf, sizeof(buf),
+            "    {\"condition\": \"%s\", \"rate\": \"%s\", "
+            "\"coalesce\": %s, \"offered_qps\": %.0f, "
+            "\"achieved_qps\": %.0f, \"submitted\": %llu, "
+            "\"ok\": %llu, \"expired\": %llu, \"rejected\": %llu, "
+            "\"mean_batch_fill\": %.2f, \"latency_us\": "
+            "{\"p50\": %.1f, \"p99\": %.1f, \"p999\": %.1f, "
+            "\"samples\": %zu}}%s\n",
+            kConditions[c].label, kRateLabels[rt],
+            on ? "true" : "false", r.offered_qps, r.achieved_qps,
+            static_cast<unsigned long long>(r.submitted),
+            static_cast<unsigned long long>(r.ok),
+            static_cast<unsigned long long>(r.expired),
+            static_cast<unsigned long long>(r.rejected), r.mean_batch_fill,
+            r.p50_us, r.p99_us, r.p999_us, r.samples, last ? "" : ",");
+        json += buf;
+      }
+    }
+  }
+  json += "  ],\n";
+  // Headline: coalescing's p99 win at the high (past-off-saturation)
+  // rate — the number README's Serving section quotes.
+  const double idle_win =
+      results[0][2][1].p99_us > 0.0
+          ? results[0][2][0].p99_us / results[0][2][1].p99_us
+          : 0.0;
+  const double churn_win =
+      results[1][2][1].p99_us > 0.0
+          ? results[1][2][0].p99_us / results[1][2][1].p99_us
+          : 0.0;
+  std::snprintf(buf, sizeof(buf),
+                "  \"p99_win_coalescing_high_rate_idle\": %.2f,\n"
+                "  \"p99_win_coalescing_high_rate_churn\": %.2f\n",
+                idle_win, churn_win);
+  json += buf;
+  json += "}\n";
+
+  std::fputs(json.c_str(), stdout);
+  return bench::WriteFileAtomic(out_path, json) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace gqr
+
+int main(int argc, char** argv) {
+  const char* out = argc > 1 ? argv[1] : "BENCH_serving.json";
+  double seconds = argc > 2 ? std::atof(argv[2]) : 1.0;
+  if (!(seconds > 0.0)) seconds = 1.0;
+  return gqr::Run(out, seconds);
+}

@@ -25,17 +25,22 @@ std::vector<QueryHashInfo>& TlQueryInfos(size_t n) {
 
 }  // namespace
 
-void BatchHashQueries(const BinaryHasher& hasher, const Dataset& queries,
-                      QueryHashInfo* infos, ThreadPool* pool) {
-  const size_t nq = queries.size();
-  const size_t num_tiles = (nq + kHashTile - 1) / kHashTile;
+void BatchHashQueries(const BinaryHasher& hasher, const float* queries,
+                      size_t count, size_t stride, QueryHashInfo* infos,
+                      ThreadPool* pool) {
+  const size_t num_tiles = (count + kHashTile - 1) / kHashTile;
   ParallelFor(0, num_tiles, [&](size_t t) {
     const size_t lo = t * kHashTile;
-    const size_t hi = std::min(nq, lo + kHashTile);
-    hasher.HashQueryBatch(queries.Row(static_cast<ItemId>(lo)), hi - lo,
-                          queries.dim(),
+    const size_t hi = std::min(count, lo + kHashTile);
+    hasher.HashQueryBatch(queries + lo * stride, hi - lo, stride,
                           &ThreadLocalSearchScratch().projection, &infos[lo]);
   }, /*min_parallel=*/2, pool);
+}
+
+void BatchHashQueries(const BinaryHasher& hasher, const Dataset& queries,
+                      QueryHashInfo* infos, ThreadPool* pool) {
+  BatchHashQueries(hasher, queries.data(), queries.size(), queries.dim(),
+                   infos, pool);
 }
 
 void BatchSearchInto(const Searcher& searcher, const BinaryHasher& hasher,

@@ -35,6 +35,16 @@ namespace gqr {
 void BatchHashQueries(const BinaryHasher& hasher, const Dataset& queries,
                       QueryHashInfo* infos, ThreadPool* pool = nullptr);
 
+/// Raw-pointer variant for callers whose query block is not a Dataset
+/// (the serving coalescer gathers submitted queries into a flat buffer):
+/// hashes `count` queries laid out row-major with `stride` floats between
+/// consecutive query starts, writing infos[0..count). Same fixed 64-query
+/// tiling and bit-identity guarantees as the Dataset overload (which
+/// delegates here).
+void BatchHashQueries(const BinaryHasher& hasher, const float* queries,
+                      size_t count, size_t stride, QueryHashInfo* infos,
+                      ThreadPool* pool = nullptr);
+
 /// Runs `method` for every row of `queries` against one table, in
 /// parallel. results[q] corresponds to queries.Row(q). `pool` overrides
 /// the shared process pool (pass a 1-thread pool for deterministic

@@ -25,6 +25,10 @@ std::unique_ptr<BucketProber> MakeShardedProber(
   return nullptr;
 }
 
+bool MethodNeedsBucketUnion(QueryMethod method) {
+  return method == QueryMethod::kHR || method == QueryMethod::kQR;
+}
+
 void ShardedSearchInto(const Searcher& searcher, const BinaryHasher& hasher,
                        const ShardedIndex& index, const Dataset& queries,
                        QueryMethod method, const SearchOptions& options,
@@ -39,7 +43,7 @@ void ShardedSearchInto(const Searcher& searcher, const BinaryHasher& hasher,
   // created after the snapshot are not probed this batch, which is the
   // same staleness any sorted-upfront method has on a mutating index.
   std::vector<Code> bucket_union;
-  if (method == QueryMethod::kHR || method == QueryMethod::kQR) {
+  if (MethodNeedsBucketUnion(method)) {
     bucket_union = index.BucketCodeUnion();
   }
 

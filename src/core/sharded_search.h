@@ -38,6 +38,12 @@ std::unique_ptr<BucketProber> MakeShardedProber(
     QueryMethod method, const QueryHashInfo& info,
     const std::vector<Code>& bucket_union, int code_length);
 
+/// True for the sort-upfront methods (HR/QR) whose probers need the
+/// index's BucketCodeUnion(); GQR/GHR generate codes straight from the
+/// query and can skip the cross-shard snapshot. Shared by ShardedSearch
+/// and the serving coalescer so both snapshot exactly when required.
+bool MethodNeedsBucketUnion(QueryMethod method);
+
 /// Runs `method` for every row of `queries` against the sharded index,
 /// in parallel over `pool` (null = the shared pool). Safe under
 /// concurrent Insert/Remove; on a quiesced index, results are identical

@@ -61,6 +61,7 @@
 #include "la/simd_kernels.h"
 #include "persist/model_io.h"
 #include "persist/serializer.h"
+#include "serve/query_service.h"
 #include "util/bits.h"
 #include "util/env.h"
 #include "util/random.h"

@@ -33,6 +33,7 @@
 #ifndef GQR_UTIL_SYNC_H_
 #define GQR_UTIL_SYNC_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -229,6 +230,16 @@ class CondVar {
   /// Atomically releases `mu`, blocks, and reacquires `mu` before
   /// returning. Spurious wakeups possible; always re-check the predicate.
   void Wait(Mutex& mu) GQR_REQUIRES(mu) { cv_.wait(mu.mu_); }
+
+  /// As Wait, but gives up once the steady-clock `deadline` passes.
+  /// Returns false on timeout, true on notification — including spurious
+  /// wakeups, so callers re-check their predicate either way (the serving
+  /// coalescer's linger loop is the canonical `while (...) WaitUntil`
+  /// shape). `mu` is held again on return in both cases.
+  bool WaitUntil(Mutex& mu, std::chrono::steady_clock::time_point deadline)
+      GQR_REQUIRES(mu) {
+    return cv_.wait_until(mu.mu_, deadline) == std::cv_status::no_timeout;
+  }
 
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }

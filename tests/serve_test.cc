@@ -1,0 +1,387 @@
+// QueryService coalescer tests: admission control, deadline expiry,
+// linger flushes, shutdown drain, stats accounting — and the
+// differential contract that coalesced serving is bit-identical to
+// direct single-query Searcher::Search for all four querying methods.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/sharded_search.h"
+#include "data/synthetic.h"
+#include "hash/lsh.h"
+#include "serve/query_service.h"
+
+namespace gqr {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+constexpr int kBits = 10;
+constexpr size_t kShards = 4;
+
+struct ServeFixture {
+  Dataset base;
+  Dataset queries;
+  LinearHasher hasher;
+  std::vector<Code> codes;
+
+  static ServeFixture Make() {
+    SyntheticSpec spec;
+    spec.n = 3032;
+    spec.dim = 12;
+    spec.num_clusters = 16;
+    spec.seed = 707;
+    Dataset all = GenerateClusteredGaussian(spec);
+    Rng rng(13);
+    auto [base, queries] = all.SplitQueries(32, &rng);
+    LshOptions opt;
+    opt.code_length = kBits;
+    LinearHasher hasher = TrainLsh(base, base.dim(), opt);
+    std::vector<Code> codes = hasher.HashDataset(base);
+    return ServeFixture{std::move(base), std::move(queries),
+                        std::move(hasher), std::move(codes)};
+  }
+
+  void Fill(ShardedIndex* index) const {
+    for (size_t id = 0; id < base.size(); ++id) {
+      EXPECT_TRUE(index->Insert(static_cast<ItemId>(id), codes[id]).ok());
+    }
+  }
+};
+
+const ServeFixture& Fixture() {
+  static const ServeFixture f = ServeFixture::Make();
+  return f;
+}
+
+SearchOptions BaseOptions() {
+  SearchOptions so;
+  so.k = 5;
+  so.max_candidates = 300;
+  return so;
+}
+
+// The headline contract: a request served through the coalescer (batched
+// hashing, per-batch bucket-union snapshot, shared worker threads) must
+// return exactly what a direct single-query Searcher::Search returns, for
+// every querying method, on ids and on distances bit-for-bit.
+TEST(QueryServiceTest, CoalescedResultsMatchDirectSearchAllMethods) {
+  const ServeFixture& f = Fixture();
+  ShardedIndex index(kBits, kShards);
+  f.Fill(&index);
+  Searcher searcher(f.base);
+
+  const QueryMethod methods[] = {QueryMethod::kGQR, QueryMethod::kGHR,
+                                 QueryMethod::kQR, QueryMethod::kHR};
+  for (QueryMethod method : methods) {
+    SCOPED_TRACE(QueryMethodName(method));
+    QueryServiceOptions opt;
+    opt.method = method;
+    opt.search = BaseOptions();
+    opt.max_batch = 8;                // Forces multi-flush coalescing.
+    opt.max_linger = milliseconds(2);
+    QueryService service(searcher, f.hasher, index, opt);
+
+    std::vector<QueryService::Future> futures;
+    futures.reserve(f.queries.size());
+    for (ItemId q = 0; q < f.queries.size(); ++q) {
+      futures.push_back(service.Submit(f.queries.Row(q), /*k=*/0));
+    }
+
+    const std::vector<Code> bucket_union =
+        MethodNeedsBucketUnion(method) ? index.BucketCodeUnion()
+                                       : std::vector<Code>();
+    for (ItemId q = 0; q < f.queries.size(); ++q) {
+      Response resp = futures[q].Get();
+      ASSERT_EQ(resp.status, RequestStatus::kOk);
+      EXPECT_GE(resp.batch_size, 1u);
+
+      const QueryHashInfo info = f.hasher.HashQuery(f.queries.Row(q));
+      std::unique_ptr<BucketProber> prober =
+          MakeShardedProber(method, info, bucket_union, index.code_length());
+      const SearchResult direct = searcher.Search(
+          f.queries.Row(q), prober.get(), index, BaseOptions());
+
+      ASSERT_EQ(resp.result.ids.size(), direct.ids.size());
+      for (size_t i = 0; i < direct.ids.size(); ++i) {
+        EXPECT_EQ(resp.result.ids[i], direct.ids[i]) << "rank " << i;
+        // Bit-identical, not approximately equal: the batched hashing
+        // path guarantees the same codes and flipping costs, so the
+        // whole probe/evaluate pipeline must agree exactly.
+        EXPECT_EQ(resp.result.distances[i], direct.distances[i])
+            << "rank " << i;
+      }
+    }
+  }
+}
+
+// A single straggler must not wait for the block to fill: the linger
+// timeout flushes a batch of one.
+TEST(QueryServiceTest, FlushOnLingerServesSingleStraggler) {
+  const ServeFixture& f = Fixture();
+  ShardedIndex index(kBits, kShards);
+  f.Fill(&index);
+  Searcher searcher(f.base);
+
+  QueryServiceOptions opt;
+  opt.search = BaseOptions();
+  opt.max_batch = 64;
+  opt.max_linger = milliseconds(5);
+  QueryService service(searcher, f.hasher, index, opt);
+
+  QueryService::Future future = service.Submit(f.queries.Row(0), /*k=*/3);
+  Response resp = future.Get();  // Must return without 63 more submits.
+  ASSERT_EQ(resp.status, RequestStatus::kOk);
+  EXPECT_EQ(resp.batch_size, 1u);
+  EXPECT_EQ(resp.result.ids.size(), 3u);
+
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.batches, 1u);
+  ASSERT_GT(stats.batch_fill.size(), 1u);
+  EXPECT_EQ(stats.batch_fill[1], 1u);
+}
+
+// Per-request k overrides the service default.
+TEST(QueryServiceTest, PerRequestKOverridesDefault) {
+  const ServeFixture& f = Fixture();
+  ShardedIndex index(kBits, kShards);
+  f.Fill(&index);
+  Searcher searcher(f.base);
+
+  QueryServiceOptions opt;
+  opt.search = BaseOptions();  // k = 5.
+  opt.max_linger = microseconds(100);
+  QueryService service(searcher, f.hasher, index, opt);
+
+  QueryService::Future k1 = service.Submit(f.queries.Row(1), /*k=*/1);
+  QueryService::Future k0 = service.Submit(f.queries.Row(1), /*k=*/0);
+  Response r1 = k1.Get();
+  Response r0 = k0.Get();
+  ASSERT_EQ(r1.status, RequestStatus::kOk);
+  ASSERT_EQ(r0.status, RequestStatus::kOk);
+  EXPECT_EQ(r1.result.ids.size(), 1u);
+  EXPECT_EQ(r0.result.ids.size(), 5u);
+}
+
+// A request whose deadline already passed when the worker claims it is
+// completed as kExpired without being executed.
+TEST(QueryServiceTest, DeadlineExpiredWhileQueued) {
+  const ServeFixture& f = Fixture();
+  ShardedIndex index(kBits, kShards);
+  f.Fill(&index);
+  Searcher searcher(f.base);
+
+  QueryServiceOptions opt;
+  opt.search = BaseOptions();
+  opt.max_batch = 64;
+  opt.max_linger = milliseconds(5);
+  QueryService service(searcher, f.hasher, index, opt);
+
+  // Already expired at submit: it necessarily expires while queued.
+  const QueryService::Deadline past =
+      QueryService::Clock::now() - milliseconds(1);
+  QueryService::Future expired = service.Submit(f.queries.Row(2), 0, past);
+  // A live request in the same batch still executes.
+  QueryService::Future alive = service.Submit(f.queries.Row(3), 0);
+
+  Response expired_resp = expired.Get();
+  Response alive_resp = alive.Get();
+  EXPECT_EQ(expired_resp.status, RequestStatus::kExpired);
+  EXPECT_TRUE(expired_resp.result.ids.empty());
+  ASSERT_EQ(alive_resp.status, RequestStatus::kOk);
+  EXPECT_EQ(alive_resp.batch_size, 1u);  // The expired one didn't count.
+
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+// Submitting against a full queue sheds with kRejected; the accepted
+// requests are unaffected and drain on shutdown.
+TEST(QueryServiceTest, ShedOnFullQueue) {
+  const ServeFixture& f = Fixture();
+  ShardedIndex index(kBits, kShards);
+  f.Fill(&index);
+  Searcher searcher(f.base);
+
+  QueryServiceOptions opt;
+  opt.search = BaseOptions();
+  opt.max_batch = 64;
+  opt.max_queue = 2;
+  // Long linger: the worker holds the queue un-claimed while we fill it,
+  // making the shed deterministic.
+  opt.max_linger = std::chrono::seconds(10);
+  QueryService service(searcher, f.hasher, index, opt);
+
+  QueryService::Future a = service.Submit(f.queries.Row(0), 0);
+  QueryService::Future b = service.Submit(f.queries.Row(1), 0);
+  QueryService::Future shed = service.Submit(f.queries.Row(2), 0);
+  Response shed_resp = shed.Get();  // Born resolved; no blocking.
+  EXPECT_EQ(shed_resp.status, RequestStatus::kRejected);
+
+  // The callback flavor reports the shed synchronously instead.
+  std::atomic<int> callbacks{0};
+  EXPECT_FALSE(service.SubmitAsync(f.queries.Row(2), 0,
+                                   QueryService::NoDeadline(),
+                                   [&](Response) { ++callbacks; }));
+  EXPECT_EQ(callbacks.load(), 0);
+
+  service.Shutdown();  // Drains the two accepted requests.
+  EXPECT_EQ(a.Get().status, RequestStatus::kOk);
+  EXPECT_EQ(b.Get().status, RequestStatus::kOk);
+
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+// Flush() cuts the linger short without shutting down.
+TEST(QueryServiceTest, FlushCutsLingerShort) {
+  const ServeFixture& f = Fixture();
+  ShardedIndex index(kBits, kShards);
+  f.Fill(&index);
+  Searcher searcher(f.base);
+
+  QueryServiceOptions opt;
+  opt.search = BaseOptions();
+  opt.max_batch = 64;
+  opt.max_linger = std::chrono::seconds(10);
+  QueryService service(searcher, f.hasher, index, opt);
+
+  std::vector<QueryService::Future> futures;
+  for (ItemId q = 0; q < 3; ++q) {
+    futures.push_back(service.Submit(f.queries.Row(q), 0));
+  }
+  service.Flush();
+  for (auto& future : futures) {
+    Response resp = future.Get();  // Without Flush this would take 10 s.
+    ASSERT_EQ(resp.status, RequestStatus::kOk);
+    EXPECT_EQ(resp.batch_size, 3u);
+  }
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.batches, 1u);
+  ASSERT_GT(stats.batch_fill.size(), 3u);
+  EXPECT_EQ(stats.batch_fill[3], 1u);
+}
+
+// Shutdown with requests still queued: every accepted request completes
+// (drain semantics), and submits after shutdown are rejected.
+TEST(QueryServiceTest, ShutdownDrainsInFlightRequests) {
+  const ServeFixture& f = Fixture();
+  ShardedIndex index(kBits, kShards);
+  f.Fill(&index);
+  Searcher searcher(f.base);
+
+  QueryServiceOptions opt;
+  opt.search = BaseOptions();
+  opt.max_batch = 4;
+  opt.max_linger = std::chrono::seconds(10);
+  QueryService service(searcher, f.hasher, index, opt);
+
+  std::vector<QueryService::Future> futures;
+  for (ItemId q = 0; q < 10; ++q) {
+    futures.push_back(service.Submit(f.queries.Row(q), 0));
+  }
+  service.Shutdown();
+  for (auto& future : futures) {
+    EXPECT_EQ(future.Get().status, RequestStatus::kOk);
+  }
+
+  QueryService::Future late = service.Submit(f.queries.Row(0), 0);
+  EXPECT_EQ(late.Get().status, RequestStatus::kRejected);
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.accepted, 10u);
+  EXPECT_EQ(stats.completed, 10u);
+  EXPECT_EQ(stats.rejected, 1u);
+}
+
+// Coalescing off: every request is served as a batch of one even when a
+// backlog exists — the ablation baseline must not re-amortize.
+TEST(QueryServiceTest, CoalesceOffServesBatchesOfOne) {
+  const ServeFixture& f = Fixture();
+  ShardedIndex index(kBits, kShards);
+  f.Fill(&index);
+  Searcher searcher(f.base);
+
+  QueryServiceOptions opt;
+  opt.search = BaseOptions();
+  opt.coalesce = false;
+  QueryService service(searcher, f.hasher, index, opt);
+
+  std::vector<QueryService::Future> futures;
+  for (ItemId q = 0; q < 8; ++q) {
+    futures.push_back(service.Submit(f.queries.Row(q), 0));
+  }
+  for (ItemId q = 0; q < 8; ++q) {
+    Response resp = futures[q].Get();
+    ASSERT_EQ(resp.status, RequestStatus::kOk);
+    EXPECT_EQ(resp.batch_size, 1u);
+
+    const QueryHashInfo info = f.hasher.HashQuery(f.queries.Row(q));
+    std::unique_ptr<BucketProber> prober = MakeShardedProber(
+        QueryMethod::kGQR, info, {}, index.code_length());
+    const SearchResult direct =
+        searcher.Search(f.queries.Row(q), prober.get(), index, BaseOptions());
+    EXPECT_EQ(resp.result.ids, direct.ids);
+  }
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.batches, 8u);
+  EXPECT_EQ(stats.batch_fill[1], 8u);
+}
+
+// Concurrent submitters through both the future and the callback APIs:
+// all requests resolve, counters reconcile.
+TEST(QueryServiceTest, ConcurrentSubmittersAllResolve) {
+  const ServeFixture& f = Fixture();
+  ShardedIndex index(kBits, kShards);
+  f.Fill(&index);
+  Searcher searcher(f.base);
+
+  QueryServiceOptions opt;
+  opt.search = BaseOptions();
+  opt.max_batch = 16;
+  opt.max_linger = microseconds(200);
+  opt.num_workers = 2;
+  QueryService service(searcher, f.hasher, index, opt);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::atomic<int> ok{0};
+  std::atomic<int> other{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const ItemId q =
+            static_cast<ItemId>((t * kPerThread + i) % f.queries.size());
+        Response resp = service.Submit(f.queries.Row(q), 0).Get();
+        if (resp.status == RequestStatus::kOk) {
+          ++ok;
+        } else {
+          ++other;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+  EXPECT_EQ(other.load(), 0);
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.accepted, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.expired, 0u);
+  EXPECT_GE(stats.MeanBatchFill(), 1.0);
+}
+
+}  // namespace
+}  // namespace gqr
