@@ -1,0 +1,191 @@
+// Adaptive-vs-fixed probe-budget microbench (DESIGN.md section 16,
+// ROADMAP item 2): for each of the paper's four querying methods, run a
+// held-out query set once under the fixed candidate budget N and once
+// under the adaptive planner — Theorem-2 margin termination plus the
+// feedback-table budget predictions, warmed on a disjoint training
+// half — and report recall@k against exact ground truth next to the
+// mean evaluated-candidate count. The headline the README quotes is
+// candidate_ratio: fixed mean candidates / adaptive mean candidates at
+// (near-)matched recall. The margin is 1.0 — the provably sound stop —
+// so every recall difference comes from learned-budget censoring alone,
+// and the censoring discipline keeps that within noise.
+//
+// Emits BENCH_adaptive.json (atomic write) and prints it to stdout.
+//
+// Usage: micro_adaptive [out.json] [scale]
+//   scale multiplies the dataset size (default 1.0); CI smoke runs pass
+//   a small value (e.g. 0.2) so the validate leg stays cheap.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "core/qd.h"
+#include "eval/metrics.h"
+#include "plan/planner.h"
+
+namespace gqr {
+namespace {
+
+constexpr size_t kK = bench::kDefaultK;
+constexpr double kMargin = 1.0;
+
+struct Condition {
+  double recall = 0.0;
+  double mean_candidates = 0.0;
+  double terminated_fraction = 0.0;
+  double explored_fraction = 0.0;
+};
+
+struct MethodRow {
+  const char* name;
+  Condition fixed;
+  Condition adaptive;
+  double candidate_ratio = 0.0;
+  FeedbackTable::Counters feedback;
+};
+
+// Runs queries [begin, end) one at a time (the planner hook is entry
+// point agnostic — tests/adaptive_plan_test.cc proves the batch paths
+// identical), accumulating recall and probe-cost statistics.
+Condition RunSlice(const Searcher& searcher, const bench::Workload& w,
+                   const LinearHasher& hasher, const StaticHashTable& table,
+                   QueryMethod method, const SearchOptions& base_options,
+                   size_t begin, size_t end) {
+  Condition c;
+  const size_t count = end - begin;
+  for (size_t q = begin; q < end; ++q) {
+    const float* query = w.queries.Row(static_cast<ItemId>(q));
+    QueryHashInfo info = hasher.HashQuery(query);
+    SearchOptions so = base_options;
+    if (so.plan.planner != nullptr) {
+      so.plan.feature_key = QueryFeatureKey(info);
+      so.plan.ticket = q;
+    }
+    std::unique_ptr<BucketProber> prober = MakeProber(method, info, table);
+    SearchResult r = searcher.Search(query, prober.get(), table, so);
+    c.recall += RecallAtK(r.ids, w.ground_truth[q], kK);
+    c.mean_candidates += static_cast<double>(r.stats.items_evaluated);
+    if (r.stats.terminated) c.terminated_fraction += 1.0;
+    if (r.stats.explored) c.explored_fraction += 1.0;
+  }
+  const double denom = static_cast<double>(count);
+  c.recall /= denom;
+  c.mean_candidates /= denom;
+  c.terminated_fraction /= denom;
+  c.explored_fraction /= denom;
+  return c;
+}
+
+}  // namespace
+}  // namespace gqr
+
+int main(int argc, char** argv) {
+  using namespace gqr;
+
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_adaptive.json";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+
+  DatasetProfile profile;
+  profile.name = "adaptive-synthetic";
+  profile.spec.n = static_cast<size_t>(20000 * scale);
+  profile.spec.dim = 24;
+  profile.spec.num_clusters = 100;
+  profile.spec.seed = 1223;
+  profile.code_length = CodeLengthForSize(profile.spec.n);
+  profile.num_queries = 256;
+
+  bench::PrintBenchHeader(
+      "micro_adaptive",
+      "adaptive probe budgets (Theorem-2 termination + feedback table) "
+      "vs the fixed budget N, recall at mean candidate cost");
+
+  bench::Workload w = bench::BuildWorkload(profile, kK);
+  const LinearHasher hasher =
+      bench::TrainItqHasher(w.base, w.code_length());
+  const StaticHashTable table(hasher.HashDataset(w.base), w.code_length());
+  const Searcher searcher(w.base);
+  const double mu = TheoremTwoMu(hasher);
+
+  // Fixed budget N: 10% of the base set, the mid range of the paper's
+  // recall-vs-items sweeps.
+  const size_t fixed_budget = w.base.size() / 10;
+  // Disjoint halves: the planner learns on [0, half), is measured on
+  // [half, nq) — predictions are never scored on the queries that
+  // trained them.
+  const size_t nq = w.queries.size();
+  const size_t half = nq / 2;
+
+  SearchOptions fixed;
+  fixed.k = kK;
+  fixed.max_candidates = fixed_budget;
+
+  const QueryMethod methods[] = {QueryMethod::kHR, QueryMethod::kGHR,
+                                 QueryMethod::kQR, QueryMethod::kGQR};
+  std::vector<MethodRow> rows;
+  for (QueryMethod m : methods) {
+    MethodRow row;
+    row.name = QueryMethodName(m);
+    row.fixed =
+        RunSlice(searcher, w, hasher, table, m, fixed, half, nq);
+
+    PlannerOptions po;  // Fresh planner per method: no cross-pollution.
+    BudgetPlanner planner(po);
+    SearchOptions adaptive = fixed;
+    adaptive.termination.mu = mu;
+    adaptive.termination.margin = kMargin;
+    adaptive.plan.planner = &planner;
+    // Two warm-up passes over the training half settle the EWMAs.
+    RunSlice(searcher, w, hasher, table, m, adaptive, 0, half);
+    RunSlice(searcher, w, hasher, table, m, adaptive, 0, half);
+    row.adaptive =
+        RunSlice(searcher, w, hasher, table, m, adaptive, half, nq);
+    row.feedback = planner.feedback_counters();
+
+    row.candidate_ratio =
+        row.adaptive.mean_candidates > 0.0
+            ? row.fixed.mean_candidates / row.adaptive.mean_candidates
+            : 0.0;
+    rows.push_back(row);
+  }
+
+  char buf[512];
+  std::string json = "{\n  \"bench\": \"micro_adaptive\",\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"n\": %zu,\n  \"num_queries\": %zu,\n"
+                "  \"code_length\": %d,\n  \"k\": %zu,\n"
+                "  \"fixed_budget\": %zu,\n  \"margin\": %.2f,\n"
+                "  \"methods\": [\n",
+                w.base.size(), nq - half, w.code_length(), kK, fixed_budget,
+                kMargin);
+  json += buf;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const MethodRow& r = rows[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"method\": \"%s\",\n"
+        "     \"fixed\": {\"recall\": %.4f, \"mean_candidates\": %.1f},\n"
+        "     \"adaptive\": {\"recall\": %.4f, \"mean_candidates\": %.1f,\n"
+        "       \"terminated_fraction\": %.3f, "
+        "\"explored_fraction\": %.3f},\n"
+        "     \"candidate_ratio\": %.2f,\n"
+        "     \"feedback\": {\"records\": %llu, \"evictions\": %llu, "
+        "\"entries\": %zu}}%s\n",
+        r.name, r.fixed.recall, r.fixed.mean_candidates, r.adaptive.recall,
+        r.adaptive.mean_candidates, r.adaptive.terminated_fraction,
+        r.adaptive.explored_fraction, r.candidate_ratio,
+        static_cast<unsigned long long>(r.feedback.records),
+        static_cast<unsigned long long>(r.feedback.evictions),
+        r.feedback.entries, i + 1 < rows.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (!bench::WriteFileAtomic(out_path, json)) return 1;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

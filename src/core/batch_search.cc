@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "plan/planner.h"
 #include "util/parallel_for.h"
 
 namespace gqr {
@@ -62,9 +63,18 @@ void BatchSearchInto(const Searcher& searcher, const BinaryHasher& hasher,
   ParallelFor(0, nq, [&](size_t q) {
     const float* query = queries.Row(static_cast<ItemId>(q));
     std::unique_ptr<BucketProber> prober = MakeProber(method, infos[q], table);
+    // Per-query plan inputs: the feature key comes from the query's own
+    // hash info, the exploration ticket from the caller's base ticket
+    // plus the batch position — deterministic whatever the thread
+    // interleaving.
+    SearchOptions per_query = options;
+    if (per_query.plan.planner != nullptr) {
+      per_query.plan.feature_key = QueryFeatureKey(infos[q]);
+      per_query.plan.ticket = options.plan.ticket + q;
+    }
     // nullptr scratch = the worker thread's scratch, which persists
     // across queries and batches on the pool's threads.
-    searcher.SearchInto(query, prober.get(), table, options,
+    searcher.SearchInto(query, prober.get(), table, per_query,
                         /*scratch=*/nullptr, &(*results)[q]);
   }, /*min_parallel=*/2, pool);
 }

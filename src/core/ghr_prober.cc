@@ -1,5 +1,7 @@
 #include "core/ghr_prober.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace gqr {
@@ -11,6 +13,12 @@ GhrProber::GhrProber(const QueryHashInfo& info, uint32_t table)
       code_space_mask_(LowBitsMask(info.code_length())) {
   // Gosper enumeration needs headroom bits.
   GQR_CHECK(m_ >= 1 && m_ <= 63) << "code length " << m_;
+  std::vector<double> sorted_costs = info.flip_costs;
+  std::sort(sorted_costs.begin(), sorted_costs.end());
+  cost_prefix_.assign(static_cast<size_t>(m_) + 1, 0.0);
+  for (int i = 0; i < m_; ++i) {
+    cost_prefix_[i + 1] = cost_prefix_[i] + sorted_costs[i];
+  }
 }
 
 bool GhrProber::AdvanceMask() {

@@ -55,6 +55,10 @@ class GqrProber : public BucketProber {
 
   double last_score() const override { return last_qd_; }
 
+  /// GQR's score *is* the quantization distance, and emission order is
+  /// ascending QD, so the last QD lower-bounds every future one.
+  double qd_bound() const override { return last_qd_; }
+
   /// Current heap size (paper: at most i entries after i iterations).
   size_t heap_size() const { return heap_.size(); }
 

@@ -1,5 +1,9 @@
 #include "core/hr_prober.h"
 
+#include <algorithm>
+
+#include "util/check.h"
+
 namespace gqr {
 
 HrProber::HrProber(const QueryHashInfo& info, const StaticHashTable& table,
@@ -11,6 +15,16 @@ HrProber::HrProber(const QueryHashInfo& info,
                    uint32_t table_id)
     : table_id_(table_id) {
   const int m = code_length;
+  GQR_CHECK_EQ(info.code_length(), m)
+      << "flip-cost vector does not match the code length";
+  // Prefix sums of the ascending flip costs: cost_prefix_[h] is the
+  // least possible QD of any bucket at Hamming distance >= h (qd_bound).
+  std::vector<double> sorted_costs = info.flip_costs;
+  std::sort(sorted_costs.begin(), sorted_costs.end());
+  cost_prefix_.assign(static_cast<size_t>(m) + 1, 0.0);
+  for (int i = 0; i < m; ++i) {
+    cost_prefix_[i + 1] = cost_prefix_[i] + sorted_costs[i];
+  }
   // Bucket sort: one bin per Hamming distance 0..m.
   std::vector<std::vector<Code>> bins(m + 1);
   for (Code code : bucket_codes) {

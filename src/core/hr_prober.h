@@ -30,10 +30,20 @@ class HrProber : public BucketProber {
   bool Next(ProbeTarget* target) override;
   double last_score() const override { return last_distance_; }
 
+  /// A bucket at Hamming distance h differs from c(q) in h bits, so its
+  /// QD is at least the sum of the h smallest flipping costs — and
+  /// future buckets have h' >= h, so the prefix sum lower-bounds every
+  /// future QD too. This is what lets the Theorem-2 termination rule
+  /// fire soundly on a Hamming-ranked stream.
+  double qd_bound() const override {
+    return cost_prefix_[static_cast<size_t>(last_distance_)];
+  }
+
  private:
   uint32_t table_id_;
   std::vector<Code> order_;  // Ascending Hamming distance.
   std::vector<int> distances_;
+  std::vector<double> cost_prefix_;  // Prefix sums of sorted flip costs.
   size_t pos_ = 0;
   double last_distance_ = 0.0;
 #if GQR_VALIDATE_ENABLED

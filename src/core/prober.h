@@ -39,6 +39,21 @@ class BucketProber {
   /// in non-decreasing score order, which is what makes score-based
   /// early stopping sound.
   virtual double last_score() const = 0;
+
+  /// A sound lower bound on the quantization distance of the bucket last
+  /// emitted AND of every bucket this prober will emit later. Theorem 2
+  /// turns it into a distance bound — every item of any
+  /// current-or-future bucket lies at least mu * qd_bound() away — which
+  /// is what makes the TerminationPolicy margin rule
+  /// (plan/termination.h) sound for every method:
+  ///   QR/GQR  return last_score() (the QD itself; future QDs are >=).
+  ///   HR/GHR  return the sum of the h smallest flipping costs at
+  ///           Hamming radius h: a bucket differing in h' >= h bits has
+  ///           QD >= that prefix sum (costs are non-negative).
+  /// The default returns 0 — no usable bound, so bound-based termination
+  /// never fires — which is the only sound answer for probers that merge
+  /// streams (MultiProber) or carry no cost information.
+  virtual double qd_bound() const { return 0.0; }
 };
 
 }  // namespace gqr

@@ -33,6 +33,9 @@ class QrProber : public BucketProber {
   bool Next(ProbeTarget* target) override;
   double last_score() const override { return last_qd_; }
 
+  /// QR's score is the quantization distance itself (ascending).
+  double qd_bound() const override { return last_qd_; }
+
  private:
   struct Scored {
     double qd;

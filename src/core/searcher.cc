@@ -5,6 +5,7 @@
 
 #include "core/eval_batch.h"
 #include "core/validators.h"
+#include "plan/planner.h"
 #include "util/check.h"
 
 namespace gqr {
@@ -21,15 +22,21 @@ class TopK {
     heap_->clear();
   }
 
-  void Offer(float distance, ItemId id) {
+  /// Returns true when the offer changed the heap — the signal the
+  /// planner's probes-to-convergence observation is built from.
+  bool Offer(float distance, ItemId id) {
     if (heap_->size() < k_) {
       heap_->emplace_back(distance, id);
       std::push_heap(heap_->begin(), heap_->end());
-    } else if (distance < heap_->front().first) {
+      return true;
+    }
+    if (distance < heap_->front().first) {
       std::pop_heap(heap_->begin(), heap_->end());
       heap_->back() = {distance, id};
       std::push_heap(heap_->begin(), heap_->end());
+      return true;
     }
+    return false;
   }
 
   bool full() const { return heap_->size() >= k_; }
@@ -59,6 +66,9 @@ void Searcher::SearchImpl(const float* query, BucketProber* prober,
                           ProbeFn probe, SearchScratch* scratch,
                           SearchResult* result) const {
   GQR_CHECK(options.k > 0) << "SearchOptions::k must be positive";
+  GQR_CHECK(options.termination.valid())
+      << "SearchOptions::termination is malformed (margin must be > 0, "
+      << "mu >= 0)";
   const CompressedDataset* comp = options.compressed;
   if (comp != nullptr) {
     GQR_CHECK_EQ(comp->size(), base_->size())
@@ -82,6 +92,24 @@ void Searcher::SearchImpl(const float* query, BucketProber* prober,
   const size_t heap_k =
       comp != nullptr ? options.k * options.rerank_alpha : options.k;
   TopK top(heap_k, &s.heap);
+
+  // Adaptive budget: ask the planner (if any) for this query's starting
+  // budget. The learned budget never exceeds the caller's fixed one and
+  // is floored at the heap size so the top-k can always fill.
+  const BudgetPlanner* planner = options.plan.planner;
+  PlanDecision decision;
+  decision.budget = options.max_candidates;
+  if (planner != nullptr) {
+    decision = planner->Plan(options.plan.feature_key, options.plan.ticket,
+                             options.max_candidates);
+    if (decision.budget != 0 && decision.budget < heap_k) {
+      decision.budget = heap_k;
+    }
+    stats.planned_budget = decision.budget;
+    stats.explored = decision.explored;
+  }
+  const size_t max_candidates = decision.budget;
+  size_t last_improvement = 0;
 
   ProbeTarget target;
   while (prober->Next(&target)) {
@@ -109,7 +137,9 @@ void Searcher::SearchImpl(const float* query, BucketProber* prober,
                            s.distances.data());
       }
       for (size_t i = 0; i < s.ids.size(); ++i) {
-        top.Offer(s.distances[i], s.ids[i]);
+        if (top.Offer(s.distances[i], s.ids[i])) {
+          last_improvement = stats.items_evaluated + i + 1;
+        }
       }
       stats.items_evaluated += s.ids.size();
 #if GQR_VALIDATE_ENABLED
@@ -126,10 +156,20 @@ void Searcher::SearchImpl(const float* query, BucketProber* prober,
                                 s.distances[i]);
         }
       }
+      // Same contract for the termination policy's mu, but against
+      // qd_bound(): its prefix-sum form is what keeps the Hamming probers
+      // (whose last_score is a bit count, not a QD) inside Theorem 2. A
+      // wrongly large mu fires here on the live probe stream.
+      if (comp == nullptr && options.termination.mu > 0.0 &&
+          options.metric == Metric::kEuclidean) {
+        for (size_t i = 0; i < s.ids.size(); ++i) {
+          ValidateTheorem2Bound(options.termination.mu, prober->qd_bound(),
+                                s.distances[i]);
+        }
+      }
 #endif
     }
-    if (options.max_candidates != 0 &&
-        stats.items_evaluated >= options.max_candidates) {
+    if (max_candidates != 0 && stats.items_evaluated >= max_candidates) {
       break;
     }
     if (options.max_buckets != 0 &&
@@ -147,6 +187,26 @@ void Searcher::SearchImpl(const float* query, BucketProber* prober,
       stats.early_stopped = true;
       break;
     }
+    // Margin-scaled Theorem-2 termination (plan/termination.h): every
+    // unprobed bucket has QD >= qd_bound(), so once mu * qd_bound() >=
+    // margin * d_k no remaining item can improve the result by more than
+    // the margin allows (exact at margin 1; see DESIGN.md section 16).
+    // Inert by default — an infinite margin never fires, keeping the
+    // bit-identity contract of tests/adaptive_plan_test.cc.
+    if (options.termination.enabled() && top.full() &&
+        options.termination.ShouldStop(prober->qd_bound(), top.worst())) {
+#if GQR_VALIDATE_ENABLED
+      ValidateTerminationDecision(options.termination.mu,
+                                  options.termination.margin,
+                                  prober->qd_bound(), top.worst());
+#endif
+      stats.terminated = true;
+      break;
+    }
+  }
+  stats.items_to_last_improvement = last_improvement;
+  if (planner != nullptr) {
+    planner->Observe(options.plan.feature_key, decision, stats);
   }
   if (comp != nullptr) {
     // Exact rerank: drain the compressed shortlist and rescore it against

@@ -34,9 +34,29 @@
 #include "index/hash_table.h"
 #include "index/multi_table.h"
 #include "index/sharded_index.h"
+#include "plan/termination.h"
 #include "util/attributes.h"
 
 namespace gqr {
+
+class BudgetPlanner;
+
+/// The adaptive-budget hook of SearchOptions (DESIGN.md section 16).
+/// With a planner attached the Searcher asks it for the query's starting
+/// budget at query start and reports the finished stats back at query
+/// end; the batch entry points (BatchSearch, ShardedSearch,
+/// QueryService) fill the per-query fields, deriving each query's
+/// exploration ticket as `ticket + query index`. Single-query callers
+/// set `feature_key = QueryFeatureKey(info)` and a ticket themselves.
+struct QueryPlanInput {
+  /// Borrowed, internally synchronized, shareable across threads; null
+  /// disables planning entirely (the default — zero behavior change).
+  const BudgetPlanner* planner = nullptr;
+  /// plan::QueryFeatureKey of this query's flipping-cost distribution.
+  uint64_t feature_key = 0;
+  /// Deterministic exploration ticket (base ticket for batch paths).
+  uint64_t ticket = 0;
+};
 
 struct SearchOptions {
   /// Number of neighbors to return.
@@ -66,6 +86,15 @@ struct SearchOptions {
   /// recovers the exact top-k on every dataset we test (see
   /// tests/compressed_rerank_test.cc).
   size_t rerank_alpha = 4;
+  /// Margin-scaled Theorem-2 early termination (plan/termination.h).
+  /// Inert by default (infinite margin): results are then bit-identical
+  /// to a search without the policy. With mu > 0 and a finite margin the
+  /// search stops once mu * prober->qd_bound() >= margin * d_k — sound
+  /// at margin 1, approximation bounded by 1/margin below it.
+  TerminationPolicy termination;
+  /// Adaptive budget planning (plan/planner.h); inert when
+  /// plan.planner == nullptr.
+  QueryPlanInput plan;
 };
 
 struct SearchStats {
@@ -74,7 +103,15 @@ struct SearchStats {
   size_t items_evaluated = 0;    // Exact distance computations.
   size_t duplicates_skipped = 0; // Multi-table only.
   size_t items_reranked = 0;     // Shortlist size (compressed mode only).
-  bool early_stopped = false;
+  /// Items evaluated up to and including the last one that changed the
+  /// top-k (the probes-to-convergence observation the planner learns
+  /// from; in compressed mode, the last change of the k*alpha shortlist).
+  size_t items_to_last_improvement = 0;
+  /// Budget the planner chose for this query (0 = no planner attached).
+  size_t planned_budget = 0;
+  bool early_stopped = false;    // Legacy early_stop_mu rule fired.
+  bool terminated = false;       // TerminationPolicy margin rule fired.
+  bool explored = false;         // Epsilon-greedy ran the full budget.
 };
 
 struct SearchResult {

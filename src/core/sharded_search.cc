@@ -5,6 +5,7 @@
 #include "core/gqr_prober.h"
 #include "core/hr_prober.h"
 #include "core/qr_prober.h"
+#include "plan/planner.h"
 #include "util/parallel_for.h"
 
 namespace gqr {
@@ -56,7 +57,13 @@ void ShardedSearchInto(const Searcher& searcher, const BinaryHasher& hasher,
     const float* query = queries.Row(static_cast<ItemId>(q));
     std::unique_ptr<BucketProber> prober =
         MakeShardedProber(method, infos[q], bucket_union, index.code_length());
-    searcher.SearchInto(query, prober.get(), index, options,
+    // Per-query plan inputs, exactly as in BatchSearchInto.
+    SearchOptions per_query = options;
+    if (per_query.plan.planner != nullptr) {
+      per_query.plan.feature_key = QueryFeatureKey(infos[q]);
+      per_query.plan.ticket = options.plan.ticket + q;
+    }
+    searcher.SearchInto(query, prober.get(), index, per_query,
                         /*scratch=*/nullptr, &(*results)[q]);
   }, /*min_parallel=*/2, pool);
 }

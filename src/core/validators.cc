@@ -46,6 +46,24 @@ void ValidateTheorem2Bound(double mu, double score, double distance) {
       << mu << ", QD=" << score << ")";
 }
 
+void ValidateTerminationDecision(double mu, double margin, double qd_bound,
+                                 double kth_distance) {
+  GQR_CHECK_GT(mu, 0.0)
+      << " [Searcher] termination fired with no Theorem 2 constant";
+  GQR_CHECK(std::isfinite(margin) && margin > 0.0)
+      << " [Searcher] termination fired with an unusable margin "
+      << margin;
+  // Recompute the claimed inequality from its raw components; the tiny
+  // relative slack absorbs nothing but the multiply's own rounding, so
+  // a stop the bound does not justify (e.g. a sign or side mix-up in
+  // the Searcher's condition) aborts here.
+  GQR_CHECK_GE(mu * qd_bound,
+               margin * kth_distance * (1.0 - 1e-12) - 1e-300)
+      << " [Searcher] early termination not justified by Theorem 2: "
+      << "mu * qd_bound = " << mu * qd_bound << " < margin * d_k = "
+      << margin * kth_distance;
+}
+
 void ValidateGenerationTree(const GenerationTree& tree) {
   std::unordered_set<uint64_t> masks;
   for (uint32_t i = 0; i < tree.size(); ++i) {

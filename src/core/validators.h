@@ -73,6 +73,17 @@ class ProbeSequenceValidator {
 /// both sides of the inequality on violation.
 void ValidateTheorem2Bound(double mu, double score, double distance);
 
+/// Cross-checks one firing of the TerminationPolicy margin rule
+/// (plan/termination.h) against the exact Theorem-2 inequality it
+/// claims: the policy parameters must be usable (mu > 0, margin finite
+/// and positive) and the bound mu * qd_bound >= margin * kth_distance
+/// must actually hold, recomputed here from the raw components. Called
+/// by the Searcher on every early-termination decision on the live
+/// probe stream; a planted wrong margin (or a stop the bound does not
+/// justify) aborts — tests/adaptive_plan_test.cc's death regression.
+void ValidateTerminationDecision(double mu, double margin, double qd_bound,
+                                 double kth_distance);
+
 /// Structural check of the precomputed shared tree (§5.3): every
 /// materialized node's mask is unique (Property 1 at the tree level) and
 /// child links reproduce exactly the Append/Swap expansion of its

@@ -1,0 +1,113 @@
+#include "plan/feedback_table.h"
+
+#include "util/check.h"
+
+namespace gqr {
+
+namespace {
+
+// SplitMix64 finalizer: feature keys are already mixed, but re-mixing
+// here keeps slot placement well spread even for adversarial or
+// hand-constructed keys (tests address slots directly).
+uint64_t MixKey(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FeedbackTable::FeedbackTable(const Options& options)
+    : options_(options),
+      slots_capacity_(
+          RoundUpPow2(options.capacity < kProbeWindow ? kProbeWindow
+                                                      : options.capacity)),
+      mask_(slots_capacity_ - 1) {
+  GQR_CHECK(options.alpha_up > 0.0 && options.alpha_up <= 1.0)
+      << "alpha_up must lie in (0, 1]";
+  GQR_CHECK(options.alpha_down > 0.0 && options.alpha_down <= 1.0)
+      << "alpha_down must lie in (0, 1]";
+  // No other thread can hold a reference yet, but initializing the
+  // guarded storage under the lock keeps the capability contract
+  // unconditional (the discipline of serve/query_service.cc).
+  WriterLock lock(mu_);
+  slots_.assign(slots_capacity_, Slot{});
+}
+
+size_t FeedbackTable::SlotBase(uint64_t key) const {
+  return static_cast<size_t>(MixKey(key)) & mask_;
+}
+
+bool FeedbackTable::Predict(uint64_t key, double* ewma) const {
+  const size_t base = SlotBase(key);
+  ReaderLock lock(mu_);
+  for (size_t i = 0; i < kProbeWindow; ++i) {
+    const Slot& slot = slots_[(base + i) & mask_];
+    if (slot.used && slot.key == key) {
+      *ewma = slot.ewma;
+      return true;
+    }
+  }
+  return false;
+}
+
+void FeedbackTable::Record(uint64_t key, double observed) {
+  const size_t base = SlotBase(key);
+  WriterLock lock(mu_);
+  ++clock_;
+  ++counters_.records;
+
+  Slot* match = nullptr;
+  Slot* free_slot = nullptr;
+  Slot* stalest = nullptr;
+  for (size_t i = 0; i < kProbeWindow; ++i) {
+    Slot& slot = slots_[(base + i) & mask_];
+    if (slot.used && slot.key == key) {
+      match = &slot;
+      break;
+    }
+    if (!slot.used) {
+      if (free_slot == nullptr) free_slot = &slot;
+    } else if (stalest == nullptr || slot.stamp < stalest->stamp) {
+      stalest = &slot;
+    }
+  }
+
+  if (match != nullptr) {
+    const double alpha =
+        observed > match->ewma ? options_.alpha_up : options_.alpha_down;
+    match->ewma += alpha * (observed - match->ewma);
+    match->stamp = clock_;
+    return;
+  }
+
+  Slot* target = free_slot;
+  if (target == nullptr) {
+    // Window full of other keys: recycle the least-recently-recorded
+    // slot. The table is bounded by construction, so under pressure the
+    // working set degrades to the hottest feature signatures — exactly
+    // the entries worth keeping.
+    target = stalest;
+    ++counters_.evictions;
+    --counters_.entries;  // Rebalanced by the ++ below.
+  }
+  target->key = key;
+  target->ewma = observed;
+  target->stamp = clock_;
+  target->used = true;
+  ++counters_.entries;
+}
+
+FeedbackTable::Counters FeedbackTable::counters() const {
+  ReaderLock lock(mu_);
+  return counters_;
+}
+
+}  // namespace gqr

@@ -1,0 +1,95 @@
+// FeedbackTable: the learn-on-execution store of the adaptive
+// probe-budget planner (DESIGN.md section 16).
+//
+// Keyed by a query-feature hash (plan/planner.h QueryFeatureKey), each
+// entry holds an EWMA of the observed probes-to-convergence — the
+// candidate count at which searches with that feature signature stopped
+// improving their top-k. The planner reads the EWMA to predict a
+// starting budget for the next query with the same signature and writes
+// a fresh observation back after every uncensored execution, the
+// learn-cache shape of PostgreSQL's AQO extension.
+//
+// Storage is a fixed, bounded open-addressing table: capacity slots
+// (power of two), linear probing over a short window. When the window
+// for a new key is full, the least-recently-recorded slot in the window
+// is evicted — memory never grows past construction, which is what lets
+// the table sit on the serving path. The asymmetric EWMA (fast up, slow
+// down) makes predictions track the *hard* tail of a feature bucket:
+// one difficult query raises the budget quickly; it decays only over
+// many easy ones.
+//
+// Concurrency: a SharedMutex in the util/sync.h capability discipline.
+// Predict takes the shared side (many concurrent serving threads),
+// Record the exclusive side. Both are wait-bounded (no allocation, no
+// rehash) and safe to call from concurrent searches — soaked under TSan
+// by tests/feedback_stress_test.cc.
+#ifndef GQR_PLAN_FEEDBACK_TABLE_H_
+#define GQR_PLAN_FEEDBACK_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/sync.h"
+
+namespace gqr {
+
+class FeedbackTable {
+ public:
+  struct Options {
+    /// Slot count; rounded up to a power of two, minimum kProbeWindow.
+    size_t capacity = 4096;
+    /// EWMA weight when the observation exceeds the stored mean. Large:
+    /// a hard query raises the bucket's prediction almost immediately.
+    double alpha_up = 0.5;
+    /// EWMA weight when the observation is below the stored mean. Small:
+    /// predictions drift down only over a run of easy queries.
+    double alpha_down = 0.15;
+  };
+
+  /// Monotonic counters, snapshotted under the lock.
+  struct Counters {
+    uint64_t records = 0;    // Record() calls applied.
+    uint64_t evictions = 0;  // Slots recycled under pressure.
+    size_t entries = 0;      // Live slots (<= capacity).
+  };
+
+  explicit FeedbackTable(const Options& options);
+
+  /// Looks up the EWMA for `key`. Returns false (leaving *ewma alone) on
+  /// a miss. Shared lock: concurrent predictions never serialize.
+  bool Predict(uint64_t key, double* ewma) const GQR_EXCLUDES(mu_);
+
+  /// Folds one observed probes-to-convergence value into `key`'s EWMA,
+  /// creating (or evicting into) a slot as needed. Exclusive lock.
+  void Record(uint64_t key, double observed) GQR_EXCLUDES(mu_);
+
+  Counters counters() const GQR_EXCLUDES(mu_);
+  size_t capacity() const { return slots_capacity_; }
+
+ private:
+  /// Linear-probe window per key; eviction picks the stalest slot in it.
+  static constexpr size_t kProbeWindow = 8;
+
+  struct Slot {
+    uint64_t key = 0;
+    double ewma = 0.0;
+    uint64_t stamp = 0;  // clock_ at last Record; eviction order.
+    bool used = false;
+  };
+
+  size_t SlotBase(uint64_t key) const;
+
+  const Options options_;
+  size_t slots_capacity_;  // Power of two.
+  size_t mask_;
+
+  mutable SharedMutex mu_;
+  std::vector<Slot> slots_ GQR_GUARDED_BY(mu_);
+  uint64_t clock_ GQR_GUARDED_BY(mu_) = 0;
+  Counters counters_ GQR_GUARDED_BY(mu_);
+};
+
+}  // namespace gqr
+
+#endif  // GQR_PLAN_FEEDBACK_TABLE_H_

@@ -1,0 +1,110 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/searcher.h"
+#include "util/check.h"
+
+namespace gqr {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from the top 53 bits of a mixed word.
+double UnitDouble(uint64_t mixed) {
+  return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+uint64_t QueryFeatureKey(const QueryHashInfo& info) {
+  const size_t m = info.flip_costs.size();
+  if (m == 0) return SplitMix64(0);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double min_cost = info.flip_costs[0];
+  for (double c : info.flip_costs) {
+    sum += c;
+    sum_sq += c * c;
+    min_cost = std::min(min_cost, c);
+  }
+  const double md = static_cast<double>(m);
+  const double mean = sum / md;
+  uint64_t dispersion_bucket = 0;
+  uint64_t min_ratio_bucket = 0;
+  if (mean > 0.0) {
+    // Coefficient of variation of the cost vector: flat distributions
+    // (many near-tie flips) converge late, spiky ones early.
+    const double var = std::max(0.0, sum_sq / md - mean * mean);
+    const double cv = std::sqrt(var) / mean;
+    dispersion_bucket =
+        static_cast<uint64_t>(std::min(31.0, std::floor(cv * 8.0)));
+    // How cheap the cheapest flip is, log-scaled: a near-zero minimum
+    // cost means the query sits on a bucket boundary.
+    const double ratio = std::max(min_cost / mean, 1e-9);
+    min_ratio_bucket =
+        static_cast<uint64_t>(std::min(31.0, std::floor(-std::log2(ratio))));
+  }
+  const uint64_t packed = static_cast<uint64_t>(m) |
+                          (dispersion_bucket << 8) | (min_ratio_bucket << 16);
+  return SplitMix64(packed);
+}
+
+BudgetPlanner::BudgetPlanner(const PlannerOptions& options)
+    : options_(options), table_(options.feedback) {
+  GQR_CHECK_GE(options.headroom, 1.0)
+      << "headroom < 1 would plan below observed convergence";
+  GQR_CHECK(options.explore_epsilon >= 0.0 && options.explore_epsilon <= 1.0)
+      << "explore_epsilon must lie in [0, 1]";
+}
+
+bool BudgetPlanner::WouldExplore(uint64_t ticket) const {
+  if (options_.explore_epsilon <= 0.0) return false;
+  return UnitDouble(SplitMix64(options_.seed ^ (ticket * 0x2545f4914f6cdd1dULL
+                                                ))) < options_.explore_epsilon;
+}
+
+PlanDecision BudgetPlanner::Plan(uint64_t feature_key, uint64_t ticket,
+                                 size_t fixed_budget) const {
+  PlanDecision decision;
+  decision.budget = fixed_budget;
+  if (!options_.learn) return decision;
+  if (WouldExplore(ticket)) {
+    decision.explored = true;
+    return decision;
+  }
+  double ewma = 0.0;
+  if (!table_.Predict(feature_key, &ewma)) return decision;
+  const double planned = std::ceil(options_.headroom * ewma);
+  size_t budget = planned >= static_cast<double>(SIZE_MAX)
+                      ? SIZE_MAX
+                      : static_cast<size_t>(std::max(planned, 1.0));
+  budget = std::max(budget, options_.min_budget);
+  if (fixed_budget != 0) budget = std::min(budget, fixed_budget);
+  decision.budget = budget;
+  decision.from_feedback = fixed_budget == 0 || budget < fixed_budget;
+  return decision;
+}
+
+void BudgetPlanner::Observe(uint64_t feature_key, const PlanDecision& decision,
+                            const SearchStats& stats) const {
+  if (!options_.learn) return;
+  // Censoring discipline: a run truncated by its own learned budget
+  // observes convergence <= budget by construction; learning from it
+  // would ratchet the EWMA toward zero. Termination-rule stops are the
+  // exception — the Theorem-2 bound proves the query converged.
+  if (decision.from_feedback && !stats.terminated) return;
+  const double observed =
+      static_cast<double>(std::max<size_t>(stats.items_to_last_improvement,
+                                           1));
+  table_.Record(feature_key, observed);
+}
+
+}  // namespace gqr

@@ -1,0 +1,126 @@
+// BudgetPlanner: AQO-style per-query probe-budget prediction with
+// execution feedback (DESIGN.md section 16, ROADMAP item 2).
+//
+// GQR's probing knob — the candidate budget N — is static, but query
+// difficulty varies wildly: the repo's own recall-vs-time benches show
+// most queries converge long before a fixed budget is spent. The
+// planner closes that gap with the learn-on-execution loop of
+// PostgreSQL's AQO extension:
+//
+//   hash the query's features  ->  QueryFeatureKey (the flipping-cost
+//                                  distribution: how contested the
+//                                  query's quantization is)
+//   store observed outcomes    ->  FeedbackTable EWMA of
+//                                  probes-to-convergence
+//   predict the budget         ->  Plan(): headroom * EWMA, clamped to
+//                                  [min_budget, fixed budget]
+//   learn from the execution   ->  Observe() after every search
+//
+// Censoring discipline: a search truncated by its own learned budget
+// observes convergence <= budget by construction; feeding that back
+// would ratchet predictions toward zero. Observe() therefore learns
+// only from *uncensored* executions — cold misses and epsilon-greedy
+// explorations (both run the full fixed budget) and searches stopped by
+// the Theorem-2 termination rule (provably converged). Exploration is
+// deterministic: the decision is a pure function of (seed, ticket),
+// where entry points derive tickets as base + query index — so a fixed
+// seed replays the exact exploration schedule regardless of thread
+// interleaving (tested).
+//
+// Threading: Plan and Observe are const and internally synchronized
+// (the FeedbackTable's SharedMutex), so one planner instance may be
+// shared by every concurrent search of a serving process. The hook
+// rides SearchOptions (core/searcher.h): set `plan.planner`, and
+// BatchSearch / ShardedSearch / QueryService fill the per-query
+// feature key and ticket; single-query callers fill them directly.
+#ifndef GQR_PLAN_PLANNER_H_
+#define GQR_PLAN_PLANNER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hash/binary_hasher.h"
+#include "plan/feedback_table.h"
+#include "plan/termination.h"
+
+namespace gqr {
+
+struct SearchStats;
+
+/// Feature hash of one query's flipping-cost distribution. Queries whose
+/// cheapest flips are tiny relative to the mean sit near bucket
+/// boundaries — many near-tie buckets, late convergence — while queries
+/// with uniformly large costs converge almost immediately. The key
+/// quantizes (code length, cost dispersion, min-cost ratio) into coarse
+/// buckets and mixes them, so similar queries share a feedback slot.
+/// Depends only on the QueryHashInfo, which is bit-identical across the
+/// single-query, batched, sharded, and served hashing paths.
+uint64_t QueryFeatureKey(const QueryHashInfo& info);
+
+/// What Plan() decided for one query.
+struct PlanDecision {
+  /// Effective candidate budget (0 keeps "unlimited" semantics).
+  size_t budget = 0;
+  /// Epsilon-greedy exploration fired: the full fixed budget ran so the
+  /// observation refreshes the feedback table.
+  bool explored = false;
+  /// The budget came from a feedback-table prediction (and is smaller
+  /// than the fixed budget — the censoring marker for Observe).
+  bool from_feedback = false;
+};
+
+struct PlannerOptions {
+  /// Master switch: false makes Plan() return the fixed budget untouched
+  /// and Observe() a no-op — the planner is then inert and results are
+  /// bit-identical to planner-free search (the differential contract).
+  bool learn = true;
+  /// Safety multiplier on the predicted probes-to-convergence.
+  double headroom = 1.6;
+  /// Fraction of queries that ignore the prediction and run the full
+  /// fixed budget, keeping the feedback fresh (epsilon-greedy).
+  double explore_epsilon = 0.05;
+  /// Seed of the deterministic exploration schedule.
+  uint64_t seed = 42;
+  /// Floor on any predicted budget (also floored at k by the Searcher).
+  size_t min_budget = 64;
+  FeedbackTable::Options feedback;
+};
+
+class BudgetPlanner {
+ public:
+  explicit BudgetPlanner(const PlannerOptions& options);
+
+  /// Plans the starting budget for one query. `fixed_budget` is the
+  /// caller's SearchOptions::max_candidates (0 = unlimited); the
+  /// returned budget never exceeds it. Pure read + deterministic
+  /// exploration; safe from concurrent searches.
+  PlanDecision Plan(uint64_t feature_key, uint64_t ticket,
+                    size_t fixed_budget) const;
+
+  /// Folds one finished search back into the feedback table. `decision`
+  /// must be the Plan() result the search ran under; budget-censored
+  /// executions are skipped (see the censoring discipline above).
+  /// Called by the Searcher after every planned search.
+  void Observe(uint64_t feature_key, const PlanDecision& decision,
+               const SearchStats& stats) const;
+
+  /// True when Plan(feature_key, ticket, ...) would explore — exposed so
+  /// tests can assert the schedule is a pure function of (seed, ticket).
+  bool WouldExplore(uint64_t ticket) const;
+
+  const PlannerOptions& options() const { return options_; }
+  FeedbackTable::Counters feedback_counters() const {
+    return table_.counters();
+  }
+
+ private:
+  const PlannerOptions options_;
+  /// Mutable: Observe() must be callable through the const planner
+  /// pointer SearchOptions carries; the table is internally
+  /// synchronized, so const-correctness here means "safe to share".
+  mutable FeedbackTable table_;
+};
+
+}  // namespace gqr
+
+#endif  // GQR_PLAN_PLANNER_H_

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/batch_search.h"
+#include "plan/planner.h"
 #include "util/check.h"
 
 namespace gqr {
@@ -105,6 +106,7 @@ bool QueryService::SubmitAsync(const float* query, size_t k, Deadline deadline,
     }
     r.enqueue_time = Clock::now();
     r.flush_gen = flush_generation_;
+    r.ticket = stats_.accepted;
     queue_.push_back(std::move(r));
     ++stats_.accepted;
     ++stats_.queue_depth[DepthBucket(queue_.size(),
@@ -288,6 +290,12 @@ void QueryService::ExecuteBatch(std::vector<Request>* batch) {
       Request& r = (*batch)[live[j]];
       SearchOptions so = options_.search;
       if (r.k > 0) so.k = r.k;
+      if (so.plan.planner != nullptr) {
+        // Per-request plan inputs: the feature key from this request's
+        // hash info, the ticket stamped at admission (see Request).
+        so.plan.feature_key = QueryFeatureKey(infos[j]);
+        so.plan.ticket = so.plan.ticket + r.ticket;
+      }
       Response resp;
       resp.status = RequestStatus::kOk;
       resp.batch_size = fill;

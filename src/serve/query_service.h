@@ -197,6 +197,11 @@ class QueryService {
     /// flush_generation_ at enqueue; a later Flush() makes the linger
     /// loop release this request immediately.
     uint64_t flush_gen = 0;
+    /// Admission-order exploration ticket (stats_.accepted at accept),
+    /// assigned under mu_ — the planner's epsilon-greedy schedule is
+    /// then a deterministic function of the admission sequence no matter
+    /// which worker executes the request.
+    uint64_t ticket = 0;
     Callback done;
   };
 

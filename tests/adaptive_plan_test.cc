@@ -1,0 +1,333 @@
+// Differential tests for the adaptive probe-budget planner and the
+// margin-scaled Theorem-2 termination rule (plan/, DESIGN.md section 16).
+//
+// The load-bearing contract: an *inert* policy — infinite margin,
+// learning disabled — must leave every entry point bit-identical to a
+// planner-free search, for all four querying methods, across Searcher,
+// BatchSearch, ShardedSearch, and QueryService. Then the sound setting
+// (margin = 1) must reproduce the exhaustive top-k exactly while probing
+// no more, and aggressive margins (< 1) must keep every returned
+// distance within the guaranteed 1/margin factor of the fixed-budget
+// result. Finally, the regression deaths: a malformed margin trips the
+// always-on policy check, and (under GQR_VALIDATE) a deliberately wrong
+// mu trips the live-stream Theorem-2 cross-check of core/validators.cc.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/batch_search.h"
+#include "core/qd.h"
+#include "core/sharded_search.h"
+#include "core/validators.h"
+#include "data/synthetic.h"
+#include "eval/harness.h"
+#include "hash/itq.h"
+#include "plan/planner.h"
+#include "serve/query_service.h"
+
+namespace gqr {
+namespace {
+
+constexpr int kBits = 10;
+constexpr QueryMethod kAllMethods[] = {QueryMethod::kHR, QueryMethod::kGHR,
+                                       QueryMethod::kQR, QueryMethod::kGQR};
+
+struct PlanFixture {
+  Dataset base;
+  Dataset queries;
+  LinearHasher hasher;
+  std::vector<Code> codes;
+  StaticHashTable table;
+  double mu = 0.0;
+
+  static PlanFixture Make() {
+    SyntheticSpec spec;
+    spec.n = 3000;
+    spec.dim = 12;
+    spec.num_clusters = 25;
+    spec.seed = 977;
+    Dataset all = GenerateClusteredGaussian(spec);
+    Rng rng(11);
+    auto [base, queries] = all.SplitQueries(30, &rng);
+    ItqOptions opt;
+    opt.code_length = kBits;
+    LinearHasher hasher = TrainItq(base, opt);
+    std::vector<Code> codes = hasher.HashDataset(base);
+    StaticHashTable table(codes, kBits);
+    const double mu = TheoremTwoMu(hasher);
+    return PlanFixture{std::move(base), std::move(queries),
+                       std::move(hasher), std::move(codes),
+                       std::move(table), mu};
+  }
+
+  void Populate(ShardedIndex* index) const {
+    for (size_t id = 0; id < base.size(); ++id) {
+      ASSERT_TRUE(index->Insert(static_cast<ItemId>(id), codes[id]).ok());
+    }
+  }
+};
+
+void ExpectSameResult(const SearchResult& expected, const SearchResult& got,
+                      const std::string& label) {
+  EXPECT_EQ(expected.ids, got.ids) << label;
+  EXPECT_EQ(expected.distances, got.distances) << label;
+  EXPECT_EQ(expected.stats.items_evaluated, got.stats.items_evaluated)
+      << label;
+  EXPECT_EQ(expected.stats.buckets_probed, got.stats.buckets_probed)
+      << label;
+}
+
+// margin = inf + learning disabled: every entry point must match the
+// planner-free baseline bit for bit, for every querying method.
+TEST(AdaptivePlanTest, InertPolicyBitIdenticalAcrossEntryPoints) {
+  PlanFixture f = PlanFixture::Make();
+  ASSERT_GT(f.mu, 0.0);
+  Searcher searcher(f.base);
+
+  PlannerOptions po;
+  po.learn = false;
+  BudgetPlanner planner(po);
+
+  SearchOptions plain;
+  plain.k = 10;
+  plain.max_candidates = 400;
+  SearchOptions inert = plain;
+  inert.termination.mu = f.mu;  // margin stays infinite: never fires.
+  inert.plan.planner = &planner;
+
+  for (QueryMethod m : kAllMethods) {
+    const std::string name = QueryMethodName(m);
+    const auto baseline =
+        BatchSearch(searcher, f.hasher, f.table, f.queries, m, plain);
+
+    // Searcher: the single-query path, plan inputs filled by hand.
+    for (size_t q = 0; q < f.queries.size(); ++q) {
+      const float* query = f.queries.Row(static_cast<ItemId>(q));
+      QueryHashInfo info = f.hasher.HashQuery(query);
+      SearchOptions so = inert;
+      so.plan.feature_key = QueryFeatureKey(info);
+      so.plan.ticket = q;
+      std::unique_ptr<BucketProber> prober = MakeProber(m, info, f.table);
+      SearchResult got = searcher.Search(query, prober.get(), f.table, so);
+      ExpectSameResult(baseline[q], got,
+                       name + "/Searcher query " + std::to_string(q));
+    }
+
+    // BatchSearch.
+    const auto batch =
+        BatchSearch(searcher, f.hasher, f.table, f.queries, m, inert);
+    ASSERT_EQ(batch.size(), baseline.size());
+    for (size_t q = 0; q < baseline.size(); ++q) {
+      ExpectSameResult(baseline[q], batch[q],
+                       name + "/BatchSearch query " + std::to_string(q));
+    }
+
+    // ShardedSearch.
+    ShardedIndex index(kBits, 3);
+    f.Populate(&index);
+    const auto sharded =
+        ShardedSearch(searcher, f.hasher, index, f.queries, m, inert);
+    ASSERT_EQ(sharded.size(), baseline.size());
+    for (size_t q = 0; q < baseline.size(); ++q) {
+      ExpectSameResult(baseline[q], sharded[q],
+                       name + "/ShardedSearch query " + std::to_string(q));
+    }
+
+    // QueryService (ids/distances only: the service's stats ride the
+    // sharded path, already proven identical above).
+    QueryServiceOptions qopt;
+    qopt.method = m;
+    qopt.search = inert;
+    QueryService service(searcher, f.hasher, index, qopt);
+    std::vector<QueryService::Future> futures;
+    for (size_t q = 0; q < f.queries.size(); ++q) {
+      futures.push_back(
+          service.Submit(f.queries.Row(static_cast<ItemId>(q)), /*k=*/0));
+    }
+    for (size_t q = 0; q < futures.size(); ++q) {
+      Response resp = futures[q].Get();
+      ASSERT_EQ(resp.status, RequestStatus::kOk);
+      EXPECT_EQ(baseline[q].ids, resp.result.ids)
+          << name << "/QueryService query " << q;
+      EXPECT_EQ(baseline[q].distances, resp.result.distances)
+          << name << "/QueryService query " << q;
+    }
+    service.Shutdown();
+  }
+}
+
+// margin = 1 is the sound stop of §4.1: same top-k as the exhaustive
+// search, never more work, for every method (the Hamming methods ride
+// the flip-cost prefix-sum qd_bound).
+TEST(AdaptivePlanTest, MarginOneMatchesExhaustiveSearch) {
+  PlanFixture f = PlanFixture::Make();
+  Searcher searcher(f.base);
+
+  SearchOptions full;
+  full.k = 10;
+  full.max_candidates = 0;  // Exhaust the prober.
+  SearchOptions sound = full;
+  sound.termination.mu = f.mu;
+  sound.termination.margin = 1.0;
+
+  size_t terminated = 0;
+  for (QueryMethod m : kAllMethods) {
+    const std::string name = QueryMethodName(m);
+    for (size_t q = 0; q < f.queries.size(); ++q) {
+      const float* query = f.queries.Row(static_cast<ItemId>(q));
+      QueryHashInfo info = f.hasher.HashQuery(query);
+      std::unique_ptr<BucketProber> p1 = MakeProber(m, info, f.table);
+      SearchResult exhaustive = searcher.Search(query, p1.get(), f.table,
+                                                full);
+      std::unique_ptr<BucketProber> p2 = MakeProber(m, info, f.table);
+      SearchResult stopped = searcher.Search(query, p2.get(), f.table,
+                                             sound);
+      EXPECT_EQ(exhaustive.ids, stopped.ids)
+          << name << " query " << q;
+      EXPECT_EQ(exhaustive.distances, stopped.distances)
+          << name << " query " << q;
+      EXPECT_LE(stopped.stats.items_evaluated,
+                exhaustive.stats.items_evaluated)
+          << name << " query " << q;
+      if (stopped.stats.terminated) ++terminated;
+    }
+  }
+  // On clustered data the bound must actually bite somewhere — otherwise
+  // this test is vacuous.
+  EXPECT_GT(terminated, 0u);
+}
+
+// margin < 1: every returned distance is within 1/margin of the
+// fixed-budget result at the same rank (the approximation guarantee of
+// plan/termination.h).
+TEST(AdaptivePlanTest, AggressiveMarginKeepsPerRankGuarantee) {
+  PlanFixture f = PlanFixture::Make();
+  Searcher searcher(f.base);
+  const double margin = 0.5;
+
+  SearchOptions fixed;
+  fixed.k = 10;
+  fixed.max_candidates = 0;
+  SearchOptions aggressive = fixed;
+  aggressive.termination.mu = f.mu;
+  aggressive.termination.margin = margin;
+
+  size_t terminated = 0;
+  for (QueryMethod m : kAllMethods) {
+    const std::string name = QueryMethodName(m);
+    for (size_t q = 0; q < f.queries.size(); ++q) {
+      const float* query = f.queries.Row(static_cast<ItemId>(q));
+      QueryHashInfo info = f.hasher.HashQuery(query);
+      std::unique_ptr<BucketProber> p1 = MakeProber(m, info, f.table);
+      SearchResult full = searcher.Search(query, p1.get(), f.table, fixed);
+      std::unique_ptr<BucketProber> p2 = MakeProber(m, info, f.table);
+      SearchResult adaptive = searcher.Search(query, p2.get(), f.table,
+                                              aggressive);
+      ASSERT_EQ(full.ids.size(), adaptive.ids.size())
+          << name << " query " << q;
+      for (size_t i = 0; i < full.ids.size(); ++i) {
+        EXPECT_LE(adaptive.distances[i],
+                  full.distances[i] / margin + 1e-4)
+            << name << " query " << q << " rank " << i;
+      }
+      if (adaptive.stats.terminated) ++terminated;
+    }
+  }
+  EXPECT_GT(terminated, 0u);
+}
+
+// A learning planner attached through BatchSearch must start predicting
+// budgets below the fixed one once the feedback table has observations,
+// without ever exceeding the caller's budget.
+TEST(AdaptivePlanTest, LearningPlannerShrinksBudgets) {
+  PlanFixture f = PlanFixture::Make();
+  Searcher searcher(f.base);
+
+  PlannerOptions po;
+  po.explore_epsilon = 0.0;  // Pure exploit: every miss runs full budget.
+  po.min_budget = 16;
+  BudgetPlanner planner(po);
+
+  SearchOptions so;
+  so.k = 10;
+  so.max_candidates = 1000;
+  so.termination.mu = f.mu;
+  so.termination.margin = 1.0;
+  so.plan.planner = &planner;
+
+  // Warm-up pass populates the feedback table, second pass predicts.
+  BatchSearch(searcher, f.hasher, f.table, f.queries, QueryMethod::kGQR, so);
+  EXPECT_GT(planner.feedback_counters().records, 0u);
+  const auto learned = BatchSearch(searcher, f.hasher, f.table, f.queries,
+                                   QueryMethod::kGQR, so);
+
+  size_t shrunk = 0;
+  for (const SearchResult& r : learned) {
+    ASSERT_GT(r.stats.planned_budget, 0u);
+    EXPECT_LE(r.stats.planned_budget, so.max_candidates);
+    if (r.stats.planned_budget < so.max_candidates) ++shrunk;
+  }
+  EXPECT_GT(shrunk, 0u);
+}
+
+// A malformed margin must die at query start in every build (the
+// always-on policy check), not silently misbehave.
+TEST(AdaptivePlanDeathTest, InvalidMarginDies) {
+  PlanFixture f = PlanFixture::Make();
+  Searcher searcher(f.base);
+  const float* query = f.queries.Row(0);
+  QueryHashInfo info = f.hasher.HashQuery(query);
+  SearchOptions so;
+  so.k = 5;
+  so.termination.mu = f.mu;
+  so.termination.margin = 0.0;  // The planted wrong margin.
+  std::unique_ptr<BucketProber> prober =
+      MakeProber(QueryMethod::kGQR, info, f.table);
+  EXPECT_DEATH(searcher.Search(query, prober.get(), f.table, so),
+               "termination");
+}
+
+#if GQR_VALIDATE_ENABLED
+// A mu far above the hasher's Theorem-2 constant makes the termination
+// machinery claim bounds the geometry cannot support; the live-stream
+// validator must catch it on real probe data.
+TEST(AdaptivePlanDeathTest, WrongMuDiesUnderValidation) {
+  PlanFixture f = PlanFixture::Make();
+  Searcher searcher(f.base);
+  const float* query = f.queries.Row(1);
+  QueryHashInfo info = f.hasher.HashQuery(query);
+  SearchOptions so;
+  so.k = 5;
+  so.max_candidates = 0;
+  so.termination.mu = f.mu * 1e6;
+  so.termination.margin = 1.0;
+  std::unique_ptr<BucketProber> prober =
+      MakeProber(QueryMethod::kGQR, info, f.table);
+  EXPECT_DEATH(searcher.Search(query, prober.get(), f.table, so),
+               "Theorem 2");
+}
+
+// Direct regression coverage of the decision validator itself.
+TEST(AdaptivePlanDeathTest, ValidatorRejectsUnjustifiedStop) {
+  EXPECT_DEATH(ValidateTerminationDecision(/*mu=*/0.0, /*margin=*/1.0,
+                                           /*qd_bound=*/1.0,
+                                           /*kth_distance=*/1.0),
+               "no Theorem 2 constant");
+  EXPECT_DEATH(
+      ValidateTerminationDecision(/*mu=*/0.5,
+                                  /*margin=*/std::numeric_limits<
+                                      double>::infinity(),
+                                  /*qd_bound=*/1.0, /*kth_distance=*/0.0),
+      "unusable margin");
+  EXPECT_DEATH(ValidateTerminationDecision(/*mu=*/0.5, /*margin=*/1.0,
+                                           /*qd_bound=*/1.0,
+                                           /*kth_distance=*/10.0),
+               "not justified");
+}
+#endif  // GQR_VALIDATE_ENABLED
+
+}  // namespace
+}  // namespace gqr

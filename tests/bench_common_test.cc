@@ -1,0 +1,133 @@
+// Unit coverage of the bench-side utilities every BENCH_*.json rests
+// on: the nearest-rank Percentile shared by the latency benches and the
+// atomic JSON writer that keeps a killed bench run from leaving a
+// truncated artifact behind.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+
+namespace gqr {
+namespace bench {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + name;
+}
+
+TEST(PercentileTest, EmptyInputReturnsZero) {
+  std::vector<double> samples;
+  EXPECT_EQ(Percentile(&samples, 0.5), 0.0);
+}
+
+TEST(PercentileTest, SingleSampleIsEveryPercentile) {
+  for (double p : {0.0, 0.001, 0.5, 0.99, 0.999, 1.0}) {
+    std::vector<double> samples = {7.5};
+    EXPECT_EQ(Percentile(&samples, p), 7.5) << "p = " << p;
+  }
+}
+
+TEST(PercentileTest, NearestRankDefinition) {
+  // Nearest-rank over 10 samples: p maps to element ceil(p * 10) - 1 of
+  // the sorted order (the smallest value covering at least p of the
+  // distribution), regardless of input order.
+  std::vector<double> samples = {9, 7, 5, 3, 1, 10, 8, 6, 4, 2};
+  std::vector<double> s;
+  s = samples;
+  EXPECT_EQ(Percentile(&s, 0.5), 5.0);  // ceil(5) -> 5th of 1..10.
+  s = samples;
+  EXPECT_EQ(Percentile(&s, 0.51), 6.0);  // ceil(5.1) -> 6th.
+  s = samples;
+  EXPECT_EQ(Percentile(&s, 0.99), 10.0);
+  s = samples;
+  EXPECT_EQ(Percentile(&s, 0.05), 1.0);  // ceil(0.5) clamps to rank 1.
+}
+
+TEST(PercentileTest, ClampsOutOfRangeP) {
+  std::vector<double> s = {3.0, 1.0, 2.0};
+  EXPECT_EQ(Percentile(&s, -0.5), 1.0);  // p <= 0: the minimum.
+  s = {3.0, 1.0, 2.0};
+  EXPECT_EQ(Percentile(&s, 2.0), 3.0);  // p >= 1: the maximum.
+}
+
+TEST(PercentileTest, TiesCollapseToTheTiedValue) {
+  std::vector<double> s(8, 4.0);
+  s.push_back(9.0);
+  for (double p : {0.1, 0.5, 0.8}) {
+    std::vector<double> copy = s;
+    EXPECT_EQ(Percentile(&copy, p), 4.0) << "p = " << p;
+  }
+  std::vector<double> copy = s;
+  EXPECT_EQ(Percentile(&copy, 0.999), 9.0);
+}
+
+TEST(PercentileTest, P999NeedsTheFullShortArray) {
+  // On short arrays every high percentile is the maximum — the p999 the
+  // serving benches report must not read past the end or drop to a
+  // lower rank.
+  for (size_t n : {size_t{1}, size_t{2}, size_t{3}, size_t{100}}) {
+    std::vector<double> s;
+    for (size_t i = 0; i < n; ++i) s.push_back(static_cast<double>(i));
+    EXPECT_EQ(Percentile(&s, 0.999), static_cast<double>(n - 1))
+        << "n = " << n;
+  }
+}
+
+TEST(WriteFileAtomicTest, RoundTripsContents) {
+  const std::string path = TempPath("gqr_atomic_roundtrip.json");
+  const std::string contents = "{\"answer\": 42}\n";
+  ASSERT_TRUE(WriteFileAtomic(path, contents));
+  EXPECT_EQ(ReadAll(path), contents);
+  // No temporary file survives a successful publish.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(WriteFileAtomicTest, OverwritesPreviousArtifact) {
+  const std::string path = TempPath("gqr_atomic_overwrite.json");
+  ASSERT_TRUE(WriteFileAtomic(path, "old"));
+  ASSERT_TRUE(WriteFileAtomic(path, "new and longer"));
+  EXPECT_EQ(ReadAll(path), "new and longer");
+  std::remove(path.c_str());
+}
+
+TEST(WriteFileAtomicTest, EmptyContentsAreValid) {
+  const std::string path = TempPath("gqr_atomic_empty.json");
+  ASSERT_TRUE(WriteFileAtomic(path, ""));
+  EXPECT_EQ(ReadAll(path), "");
+  std::remove(path.c_str());
+}
+
+TEST(WriteFileAtomicTest, FailureLeavesExistingFileIntact) {
+  // An unwritable destination directory must fail cleanly — and because
+  // the write goes through a temp + rename, a previously published file
+  // at a *valid* path survives any later failed attempt byte for byte.
+  EXPECT_FALSE(
+      WriteFileAtomic("/nonexistent-dir/gqr_atomic_fail.json", "x"));
+
+  const std::string path = TempPath("gqr_atomic_keep.json");
+  ASSERT_TRUE(WriteFileAtomic(path, "survivor"));
+  // Simulate a doomed rewrite by making the rename target a directory
+  // the rename cannot replace on any platform: path + "/sub" is invalid
+  // because path is a regular file.
+  EXPECT_FALSE(WriteFileAtomic(path + "/sub", "clobber"));
+  EXPECT_EQ(ReadAll(path), "survivor");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gqr

@@ -1,0 +1,177 @@
+// Unit tests for the planner's feedback machinery (plan/): the bounded
+// EWMA table (asymmetric updates, eviction under pressure) and the
+// deterministic epsilon-greedy exploration schedule.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/searcher.h"
+#include "plan/feedback_table.h"
+#include "plan/planner.h"
+
+namespace gqr {
+namespace {
+
+TEST(FeedbackTableTest, MissThenHit) {
+  FeedbackTable table(FeedbackTable::Options{});
+  double ewma = -1.0;
+  EXPECT_FALSE(table.Predict(0xfeedULL, &ewma));
+  EXPECT_EQ(ewma, -1.0);  // A miss leaves the output untouched.
+  table.Record(0xfeedULL, 120.0);
+  ASSERT_TRUE(table.Predict(0xfeedULL, &ewma));
+  EXPECT_DOUBLE_EQ(ewma, 120.0);
+  EXPECT_EQ(table.counters().records, 1u);
+  EXPECT_EQ(table.counters().entries, 1u);
+}
+
+TEST(FeedbackTableTest, AsymmetricEwmaTracksTheHardTail) {
+  FeedbackTable::Options opt;
+  opt.alpha_up = 0.5;
+  opt.alpha_down = 0.15;
+  FeedbackTable table(opt);
+  const uint64_t key = 42;
+  table.Record(key, 100.0);
+  table.Record(key, 200.0);  // Up: 100 + 0.5 * (200 - 100) = 150.
+  double ewma = 0.0;
+  ASSERT_TRUE(table.Predict(key, &ewma));
+  EXPECT_DOUBLE_EQ(ewma, 150.0);
+  table.Record(key, 100.0);  // Down: 150 + 0.15 * (100 - 150) = 142.5.
+  ASSERT_TRUE(table.Predict(key, &ewma));
+  EXPECT_DOUBLE_EQ(ewma, 142.5);
+}
+
+TEST(FeedbackTableTest, CapacityRoundsUpAndBoundsEntries) {
+  FeedbackTable::Options opt;
+  opt.capacity = 5;  // Rounds to 8 (= kProbeWindow minimum).
+  FeedbackTable table(opt);
+  EXPECT_EQ(table.capacity(), 8u);
+  for (uint64_t k = 0; k < 64; ++k) {
+    table.Record(k, static_cast<double>(k + 1));
+  }
+  const FeedbackTable::Counters c = table.counters();
+  EXPECT_EQ(c.records, 64u);
+  EXPECT_LE(c.entries, table.capacity());
+  // 64 distinct keys through 8 slots: eviction must have fired, and
+  // the books must balance (every record either created, updated, or
+  // evicted-into a slot).
+  EXPECT_GT(c.evictions, 0u);
+  EXPECT_EQ(c.entries + c.evictions, 64u);
+}
+
+TEST(FeedbackTableTest, EvictionRecyclesTheStalestSlot) {
+  FeedbackTable::Options opt;
+  opt.capacity = 8;  // Window == whole table: fully controllable.
+  FeedbackTable table(opt);
+  for (uint64_t k = 0; k < 8; ++k) {
+    table.Record(k, 10.0 * static_cast<double>(k + 1));
+  }
+  // Refresh key 0 so key 1 becomes the stalest, then overflow.
+  table.Record(0, 10.0);
+  table.Record(99, 500.0);
+  double ewma = 0.0;
+  EXPECT_TRUE(table.Predict(99, &ewma));
+  EXPECT_DOUBLE_EQ(ewma, 500.0);
+  EXPECT_TRUE(table.Predict(0, &ewma));   // Refreshed: survived.
+  EXPECT_FALSE(table.Predict(1, &ewma));  // Stalest: evicted.
+  EXPECT_EQ(table.counters().evictions, 1u);
+}
+
+TEST(FeedbackTableDeathTest, RejectsMalformedAlphas) {
+  FeedbackTable::Options opt;
+  opt.alpha_up = 0.0;
+  EXPECT_DEATH(FeedbackTable{opt}, "alpha_up");
+  opt.alpha_up = 0.5;
+  opt.alpha_down = 1.5;
+  EXPECT_DEATH(FeedbackTable{opt}, "alpha_down");
+}
+
+// The exploration schedule is a pure function of (seed, ticket): two
+// planners with the same seed agree on every ticket, and the schedule
+// replays identically however the tickets are interleaved.
+TEST(BudgetPlannerTest, ExplorationScheduleIsDeterministic) {
+  PlannerOptions po;
+  po.explore_epsilon = 0.5;
+  po.seed = 1234;
+  BudgetPlanner a(po);
+  BudgetPlanner b(po);
+  PlannerOptions other = po;
+  other.seed = 4321;
+  BudgetPlanner c(other);
+
+  size_t explored = 0;
+  size_t diverged = 0;
+  for (uint64_t ticket = 0; ticket < 2000; ++ticket) {
+    const bool ea = a.WouldExplore(ticket);
+    EXPECT_EQ(ea, b.WouldExplore(ticket)) << "ticket " << ticket;
+    if (ea) ++explored;
+    if (ea != c.WouldExplore(ticket)) ++diverged;
+  }
+  // The rate tracks epsilon (binomial, wide tolerance)...
+  EXPECT_GT(explored, 800u);
+  EXPECT_LT(explored, 1200u);
+  // ... and a different seed yields a genuinely different schedule.
+  EXPECT_GT(diverged, 0u);
+}
+
+TEST(BudgetPlannerTest, PlanClampsAndFlagsFeedback) {
+  PlannerOptions po;
+  po.explore_epsilon = 0.0;
+  po.headroom = 2.0;
+  po.min_budget = 50;
+  BudgetPlanner planner(po);
+
+  // Cold miss: the fixed budget runs unmodified.
+  PlanDecision cold = planner.Plan(/*feature_key=*/7, /*ticket=*/0,
+                                   /*fixed_budget=*/1000);
+  EXPECT_EQ(cold.budget, 1000u);
+  EXPECT_FALSE(cold.from_feedback);
+  EXPECT_FALSE(cold.explored);
+
+  // An uncensored observation (full budget ran) is learned from...
+  SearchStats stats;
+  stats.items_to_last_improvement = 100;
+  planner.Observe(/*feature_key=*/7, cold, stats);
+  PlanDecision warm = planner.Plan(7, 1, 1000);
+  EXPECT_EQ(warm.budget, 200u);  // ceil(2.0 * 100), above min_budget.
+  EXPECT_TRUE(warm.from_feedback);
+
+  // ... the floor and the fixed-budget ceiling both clamp...
+  SearchStats tiny;
+  tiny.items_to_last_improvement = 1;
+  planner.Observe(/*feature_key=*/8, cold, tiny);
+  EXPECT_EQ(planner.Plan(8, 2, 1000).budget, po.min_budget);
+  SearchStats huge;
+  huge.items_to_last_improvement = 5000;
+  planner.Observe(/*feature_key=*/9, cold, huge);
+  EXPECT_EQ(planner.Plan(9, 3, 1000).budget, 1000u);
+
+  // ... and a budget-censored run (learned budget, no termination) is
+  // never folded back — the anti-ratchet discipline.
+  const uint64_t before = planner.feedback_counters().records;
+  SearchStats censored;
+  censored.items_to_last_improvement = 10;
+  censored.terminated = false;
+  planner.Observe(/*feature_key=*/7, warm, censored);
+  EXPECT_EQ(planner.feedback_counters().records, before);
+  // The same run stopped by the termination rule provably converged, so
+  // it *is* learned from.
+  censored.terminated = true;
+  planner.Observe(/*feature_key=*/7, warm, censored);
+  EXPECT_EQ(planner.feedback_counters().records, before + 1);
+}
+
+TEST(BudgetPlannerTest, FeatureKeyIsStableAndDiscriminates) {
+  QueryHashInfo a;
+  a.code = 5;
+  a.flip_costs = {0.5, 0.5, 0.5, 0.5};
+  QueryHashInfo b = a;
+  b.code = 9;  // The key reads the cost distribution, not the code.
+  EXPECT_EQ(QueryFeatureKey(a), QueryFeatureKey(b));
+  QueryHashInfo c = a;
+  c.flip_costs = {0.001, 0.9, 0.9, 0.9};  // Boundary-hugging query.
+  EXPECT_NE(QueryFeatureKey(a), QueryFeatureKey(c));
+}
+
+}  // namespace
+}  // namespace gqr
