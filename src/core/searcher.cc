@@ -24,7 +24,10 @@ class TopK {
 
   /// Returns true when the offer changed the heap — the signal the
   /// planner's probes-to-convergence observation is built from.
-  bool Offer(float distance, ItemId id) {
+  /// [[nodiscard]] so an accidentally ignored improvement signal cannot
+  /// silently skew the feedback loop; rerank loops that genuinely only
+  /// want the heap effect discard with an explicit (void).
+  [[nodiscard]] bool Offer(float distance, ItemId id) {
     if (heap_->size() < k_) {
       heap_->emplace_back(distance, id);
       std::push_heap(heap_->begin(), heap_->end());
@@ -220,7 +223,9 @@ void Searcher::SearchImpl(const float* query, BucketProber* prober,
     }
     TopK exact_top(options.k, &s.heap);
     for (size_t i = 0; i < s.shortlist.size(); ++i) {
-      exact_top.Offer(s.distances[i], s.shortlist[i]);
+      // Heap effect only: the exact rerank pass is past the point where
+      // improvement feeds the convergence observation.
+      (void)exact_top.Offer(s.distances[i], s.shortlist[i]);
     }
     exact_top.Drain(&result->ids, &result->distances);
     return;
@@ -401,7 +406,7 @@ void Searcher::RerankCandidatesInto(const float* query,
                          s.distances.data());
     }
     for (size_t i = 0; i < n; ++i) {
-      top.Offer(s.distances[i], candidates[start + i]);
+      (void)top.Offer(s.distances[i], candidates[start + i]);
     }
     result->stats.items_evaluated += n;
   }
@@ -415,7 +420,9 @@ void Searcher::RerankCandidatesInto(const float* query,
     }
     TopK exact_top(options.k, &s.heap);
     for (size_t i = 0; i < s.shortlist.size(); ++i) {
-      exact_top.Offer(s.distances[i], s.shortlist[i]);
+      // Heap effect only: the exact rerank pass is past the point where
+      // improvement feeds the convergence observation.
+      (void)exact_top.Offer(s.distances[i], s.shortlist[i]);
     }
     exact_top.Drain(&result->ids, &result->distances);
     return;

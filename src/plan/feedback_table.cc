@@ -46,8 +46,19 @@ size_t FeedbackTable::SlotBase(uint64_t key) const {
 }
 
 bool FeedbackTable::Predict(uint64_t key, double* ewma) const {
-  const size_t base = SlotBase(key);
   ReaderLock lock(mu_);
+  return PredictLocked(key, ewma);
+}
+
+bool FeedbackTable::TryPredict(uint64_t key, double* ewma) const {
+  if (!mu_.TryLockShared()) return false;
+  const bool hit = PredictLocked(key, ewma);
+  mu_.UnlockShared();
+  return hit;
+}
+
+bool FeedbackTable::PredictLocked(uint64_t key, double* ewma) const {
+  const size_t base = SlotBase(key);
   for (size_t i = 0; i < kProbeWindow; ++i) {
     const Slot& slot = slots_[(base + i) & mask_];
     if (slot.used && slot.key == key) {
@@ -59,8 +70,22 @@ bool FeedbackTable::Predict(uint64_t key, double* ewma) const {
 }
 
 void FeedbackTable::Record(uint64_t key, double observed) {
-  const size_t base = SlotBase(key);
   WriterLock lock(mu_);
+  RecordLocked(key, observed);
+}
+
+bool FeedbackTable::TryRecord(uint64_t key, double observed) {
+  if (!mu_.TryLock()) {
+    dropped_records_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  RecordLocked(key, observed);
+  mu_.Unlock();
+  return true;
+}
+
+void FeedbackTable::RecordLocked(uint64_t key, double observed) {
+  const size_t base = SlotBase(key);
   ++clock_;
   ++counters_.records;
 
@@ -107,7 +132,9 @@ void FeedbackTable::Record(uint64_t key, double observed) {
 
 FeedbackTable::Counters FeedbackTable::counters() const {
   ReaderLock lock(mu_);
-  return counters_;
+  Counters snap = counters_;
+  snap.dropped_records = dropped_records_.load(std::memory_order_relaxed);
+  return snap;
 }
 
 }  // namespace gqr

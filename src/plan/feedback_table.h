@@ -23,9 +23,20 @@
 // Record the exclusive side. Both are wait-bounded (no allocation, no
 // rehash) and safe to call from concurrent searches — soaked under TSan
 // by tests/feedback_stress_test.cc.
+//
+// The serving hot path uses the TryPredict/TryRecord variants instead:
+// they take the lock with try-acquire semantics and give up immediately
+// under contention, so a search thread never blocks on the feedback
+// table (the hot-path purity contract enforced by tools/analyze). The
+// table is advisory — a skipped prediction falls back to the fixed
+// budget and a dropped observation only delays EWMA convergence by one
+// sample — so losing an access under contention is strictly better than
+// stalling a query on it. Drops are counted (Counters::dropped_records)
+// so the trade stays observable.
 #ifndef GQR_PLAN_FEEDBACK_TABLE_H_
 #define GQR_PLAN_FEEDBACK_TABLE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -52,6 +63,7 @@ class FeedbackTable {
     uint64_t records = 0;    // Record() calls applied.
     uint64_t evictions = 0;  // Slots recycled under pressure.
     size_t entries = 0;      // Live slots (<= capacity).
+    uint64_t dropped_records = 0;  // TryRecord() calls lost to contention.
   };
 
   explicit FeedbackTable(const Options& options);
@@ -63,6 +75,17 @@ class FeedbackTable {
   /// Folds one observed probes-to-convergence value into `key`'s EWMA,
   /// creating (or evicting into) a slot as needed. Exclusive lock.
   void Record(uint64_t key, double observed) GQR_EXCLUDES(mu_);
+
+  /// Non-blocking Predict for the serving hot path: if the shared lock
+  /// cannot be taken immediately (a writer holds or is acquiring it),
+  /// reports a miss instead of waiting. Misses on contention are safe —
+  /// the caller falls back to its fixed budget.
+  bool TryPredict(uint64_t key, double* ewma) const GQR_EXCLUDES(mu_);
+
+  /// Non-blocking Record for the serving hot path: drops the observation
+  /// (counting it in Counters::dropped_records) when the exclusive lock
+  /// is contended. Returns true iff the observation was applied.
+  bool TryRecord(uint64_t key, double observed) GQR_EXCLUDES(mu_);
 
   Counters counters() const GQR_EXCLUDES(mu_);
   size_t capacity() const { return slots_capacity_; }
@@ -80,6 +103,11 @@ class FeedbackTable {
 
   size_t SlotBase(uint64_t key) const;
 
+  /// Lock-held bodies shared by the blocking and try- entry points.
+  bool PredictLocked(uint64_t key, double* ewma) const
+      GQR_REQUIRES_SHARED(mu_);
+  void RecordLocked(uint64_t key, double observed) GQR_REQUIRES(mu_);
+
   const Options options_;
   size_t slots_capacity_;  // Power of two.
   size_t mask_;
@@ -88,6 +116,9 @@ class FeedbackTable {
   std::vector<Slot> slots_ GQR_GUARDED_BY(mu_);
   uint64_t clock_ GQR_GUARDED_BY(mu_) = 0;
   Counters counters_ GQR_GUARDED_BY(mu_);
+  // Outside the lock by design: bumped exactly when the lock could not
+  // be taken. Folded into the Counters snapshot on read.
+  std::atomic<uint64_t> dropped_records_{0};
 };
 
 }  // namespace gqr

@@ -80,8 +80,11 @@ PlanDecision BudgetPlanner::Plan(uint64_t feature_key, uint64_t ticket,
     decision.explored = true;
     return decision;
   }
+  // Try-acquire: Plan runs inside the search hot path (gqr-analyze
+  // hot-path purity gate), so a contended table reads as a miss and the
+  // query proceeds on its fixed budget rather than blocking.
   double ewma = 0.0;
-  if (!table_.Predict(feature_key, &ewma)) return decision;
+  if (!table_.TryPredict(feature_key, &ewma)) return decision;
   const double planned = std::ceil(options_.headroom * ewma);
   size_t budget = planned >= static_cast<double>(SIZE_MAX)
                       ? SIZE_MAX
@@ -104,7 +107,9 @@ void BudgetPlanner::Observe(uint64_t feature_key, const PlanDecision& decision,
   const double observed =
       static_cast<double>(std::max<size_t>(stats.items_to_last_improvement,
                                            1));
-  table_.Record(feature_key, observed);
+  // Try-acquire (see Plan): a dropped observation delays convergence by
+  // one sample, which beats stalling a serving thread on the writer lock.
+  table_.TryRecord(feature_key, observed);
 }
 
 }  // namespace gqr

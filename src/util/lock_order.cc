@@ -1,0 +1,184 @@
+#include "util/lock_order.h"
+
+#if defined(GQR_VALIDATE) && GQR_VALIDATE
+
+#include <atomic>
+#include <map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace gqr::lock_order {
+namespace {
+
+struct Site {
+  const char* file = "?";
+  int line = 0;
+};
+
+struct Held {
+  const void* lock = nullptr;
+  Site site;
+};
+
+// Per-thread stack of currently-held locks. Thread-local, so no
+// synchronization; entries are pushed by On(Try)Acquire and removed by
+// OnRelease.
+thread_local std::vector<Held> t_held;
+
+/// `held -> acquired` edge: `site` is where the target was acquired,
+/// `held_site` where the source was held at that moment. Both are kept
+/// so an inversion report shows the complete earlier ordering.
+struct Edge {
+  Site site;
+  Site held_site;
+};
+
+// The order graph cannot use util/sync.h primitives (they call back
+// into this detector), so it hides behind a raw test-and-set spinlock.
+// Acquisitions are short — map lookups plus a bounded DFS — and the
+// detector only exists in GQR_VALIDATE builds, where throughput is
+// already sacrificed to checking.
+class Registry {
+ public:
+  void Acquire(const void* lock, Site site) {
+    if (!t_held.empty()) {
+      SpinGuard guard(busy_);
+      for (const Held& h : t_held) {
+        if (h.lock == lock) continue;  // Re-entry is the static pass's job.
+        CheckNoPathLocked(lock, h, site);
+        // Record h.lock -> lock; first writer wins so the report always
+        // names the original ordering site.
+        edges_[h.lock].emplace(lock, Edge{site, h.site});
+      }
+    }
+    t_held.push_back({lock, site});
+  }
+
+  void TryAcquire(const void* lock, Site site) {
+    t_held.push_back({lock, site});
+  }
+
+  void Release(const void* lock) {
+    for (size_t i = t_held.size(); i-- > 0;) {
+      if (t_held[i].lock == lock) {
+        t_held.erase(t_held.begin() + static_cast<long>(i));
+        return;
+      }
+    }
+  }
+
+  void Destroy(const void* lock) {
+    SpinGuard guard(busy_);
+    edges_.erase(lock);
+    for (auto& [from, targets] : edges_) targets.erase(lock);
+  }
+
+  void Reset() {
+    SpinGuard guard(busy_);
+    edges_.clear();
+  }
+
+ private:
+  class SpinGuard {
+   public:
+    explicit SpinGuard(std::atomic_flag& flag) : flag_(flag) {
+      while (flag_.test_and_set(std::memory_order_acquire)) {
+      }
+    }
+    ~SpinGuard() { flag_.clear(std::memory_order_release); }
+    SpinGuard(const SpinGuard&) = delete;
+    SpinGuard& operator=(const SpinGuard&) = delete;
+
+   private:
+    std::atomic_flag& flag_;
+  };
+
+  /// Aborts if `from` can already reach the held lock `to` through
+  /// recorded edges: adding the edge to.lock -> from would then close a
+  /// cycle, i.e. some earlier execution acquired these locks in the
+  /// opposite order. DFS; the graph is small and this build is for
+  /// validation, not throughput.
+  void CheckNoPathLocked(const void* from, const Held& to, Site site) {
+    std::vector<const void*> stack = {from};
+    std::vector<const void*> seen;
+    const void* first_hop = nullptr;  // Neighbor of `from` on the path.
+    std::map<const void*, const void*> parent;
+    while (!stack.empty()) {
+      const void* node = stack.back();
+      stack.pop_back();
+      bool visited = false;
+      for (const void* s : seen) visited = visited || s == node;
+      if (visited) continue;
+      seen.push_back(node);
+      auto it = edges_.find(node);
+      if (it == edges_.end()) continue;
+      for (const auto& [next, edge] : it->second) {
+        if (parent.find(next) == parent.end()) parent[next] = node;
+        if (next != to.lock) {
+          stack.push_back(next);
+          continue;
+        }
+        // Walk back to the edge leaving `from`: its recorded site is
+        // the other half of the inversion.
+        const void* hop = next;
+        while (parent[hop] != from) hop = parent[hop];
+        first_hop = hop;
+        const Edge& prior = edges_[from].at(first_hop);
+        GQR_CHECK(false)
+            << " lock-order inversion: acquiring lock " << to.lock
+            << "-then-" << from << " at " << site.file << ":" << site.line
+            << " (lock " << to.lock << " held since " << to.site.file << ":"
+            << to.site.line << "), but the opposite order " << from
+            << "-then-..." << "-then-" << to.lock
+            << " was recorded at " << prior.site.file << ":"
+            << prior.site.line << " (while " << from << " was held at "
+            << prior.held_site.file << ":" << prior.held_site.line << ")";
+      }
+    }
+  }
+
+  std::atomic_flag busy_ = ATOMIC_FLAG_INIT;
+  std::map<const void*, std::map<const void*, Edge>> edges_;
+};
+
+Registry& GetRegistry() {
+  // Leaked singleton: lock hooks run during static destruction (thread
+  // pools tearing down), so the registry must outlive everything.
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+}  // namespace
+
+void OnAcquire(const void* lock, const char* file, int line) {
+  GetRegistry().Acquire(lock, Site{file, line});
+}
+
+void OnTryAcquire(const void* lock, const char* file, int line) {
+  GetRegistry().TryAcquire(lock, Site{file, line});
+}
+
+void OnRelease(const void* lock) { GetRegistry().Release(lock); }
+
+void OnDestroy(const void* lock) { GetRegistry().Destroy(lock); }
+
+void ResetForTest() { GetRegistry().Reset(); }
+
+}  // namespace gqr::lock_order
+
+#else  // !GQR_VALIDATE
+
+// Release builds: the sync.h hooks compile out, but the symbols stay
+// defined so tests and tools can link against the API unconditionally.
+namespace gqr::lock_order {
+
+void OnAcquire(const void*, const char*, int) {}
+void OnTryAcquire(const void*, const char*, int) {}
+void OnRelease(const void*) {}
+void OnDestroy(const void*) {}
+void ResetForTest() {}
+
+}  // namespace gqr::lock_order
+
+#endif  // GQR_VALIDATE

@@ -1,0 +1,73 @@
+// Runtime lock-order inversion detector (GQR_VALIDATE builds).
+//
+// The static pass (tools/analyze) proves the *named* lock-order graph
+// acyclic — Class::member against Class::member. What it cannot see is
+// instance-level order: two locks of the same class (two ShardedIndex
+// shards, two FeedbackTables) are one node to the static graph, and
+// data-dependent acquisition paths may only materialize at runtime.
+// This detector closes that gap, the same split as Clang thread-safety
+// analysis vs TSan's deadlock detector (or absl::Mutex's deadlock
+// graph, the design this follows).
+//
+// Mechanism: every blocking acquisition through util/sync.h reports
+// here (OnAcquire) *before* it blocks, carrying its call site via
+// __builtin_FILE/__builtin_LINE default arguments. A thread-local
+// stack tracks the locks each thread currently holds; acquiring L
+// while holding H inserts the directed edge H -> L (with both sites)
+// into a process-wide order graph. If the new acquisition can reach a
+// currently-held lock through existing edges — a cycle — the process
+// aborts via GQR_CHECK, printing the acquisition being attempted and
+// the previously recorded conflicting edge, i.e. both sides of the
+// inversion.
+//
+// Semantics mirror the static pass:
+//   * Successful TryLock* acquisitions (OnTryAcquire) join the held
+//     stack — later blocking acquisitions under them form edges — but
+//     are never themselves cycle-checked: a try-acquire cannot block,
+//     so it cannot deadlock.
+//   * CondVar::Wait is not instrumented: its internal unlock/relock of
+//     an already-ordered mutex adds no new order information.
+//   * OnDestroy purges a lock's node and edges, so a reused address
+//     (stack locks, pooled objects) cannot inherit stale order.
+//
+// Cost model (why GQR_VALIDATE-only): each acquisition takes one
+// process-wide spinlock plus a DFS over the recorded graph — O(edges)
+// worst case. The graph is bounded by distinct (held, acquired) site
+// pairs, so steady state is a handful of comparisons, but the spinlock
+// serializes all acquisitions in the process: release builds compile
+// none of this (the hooks in util/sync.h vanish entirely, keeping the
+// release lock path a zero-cost shim over std primitives).
+//
+// Everything here is a no-op stub when GQR_VALIDATE is off, so the TU
+// always links and tests can reference the API unconditionally.
+#ifndef GQR_UTIL_LOCK_ORDER_H_
+#define GQR_UTIL_LOCK_ORDER_H_
+
+namespace gqr::lock_order {
+
+/// A blocking acquisition of `lock` is about to start on this thread.
+/// Checks for an order inversion against the global graph (aborting on
+/// one), records edges from every currently-held lock, and pushes
+/// `lock` onto this thread's held stack.
+void OnAcquire(const void* lock, const char* file, int line);
+
+/// A TryLock* on `lock` succeeded: push it onto the held stack so later
+/// blocking acquisitions order against it. No cycle check, no incoming
+/// edges — the acquisition could not have blocked.
+void OnTryAcquire(const void* lock, const char* file, int line);
+
+/// `lock` was released by this thread; removes the most recent matching
+/// held-stack entry (locks may be released out of LIFO order).
+void OnRelease(const void* lock);
+
+/// `lock` is being destroyed; purges its node and all incident edges so
+/// a later lock at the same address starts clean.
+void OnDestroy(const void* lock);
+
+/// Test hook: drops the entire recorded graph (held stacks are
+/// per-thread and survive; callers must not hold locks across this).
+void ResetForTest();
+
+}  // namespace gqr::lock_order
+
+#endif  // GQR_UTIL_LOCK_ORDER_H_

@@ -17,8 +17,11 @@ namespace gqr {
 ///   Result<Dataset> r = LoadFvecs(path);
 ///   if (!r.ok()) return r.status();
 ///   Dataset d = std::move(r).value();
+///
+/// [[nodiscard]] like Status: dropping a Result discards both the value
+/// and the error that explains its absence.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: success.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

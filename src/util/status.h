@@ -26,7 +26,11 @@ enum class StatusCode {
 ///
 /// A default-constructed Status is OK. Statuses are cheap to copy (the
 /// message is empty in the OK case).
-class Status {
+///
+/// [[nodiscard]] at class level: a dropped Status is a swallowed error
+/// (the C++17 idiom Arrow/Abseil adopted). Intentional drops — none in
+/// the library today — would spell themselves `(void)DoThing();`.
+class [[nodiscard]] Status {
  public:
   Status() = default;
 

@@ -39,6 +39,41 @@
 #include <shared_mutex>
 
 // ---------------------------------------------------------------------------
+// Runtime lock-order hooks (GQR_VALIDATE builds only). Every blocking
+// acquisition reports to util/lock_order.h *before* it blocks, carrying
+// its call site through __builtin_FILE/__builtin_LINE default arguments
+// that propagate from the scoped-lock constructors; the first cyclic
+// acquisition order observed at runtime aborts with both conflicting
+// sites. Release builds expand all of this to nothing — the wrappers
+// stay zero-cost shims with their original signatures.
+// ---------------------------------------------------------------------------
+
+#if defined(GQR_VALIDATE) && GQR_VALIDATE
+#include "util/lock_order.h"
+// Parameter list for zero-arg lock methods / trailing addition for the
+// scoped-lock constructors; both capture the *caller's* site.
+#define GQR_SYNC_SITE_PARAMS_ \
+  const char* gqr_file = __builtin_FILE(), int gqr_line = __builtin_LINE()
+#define GQR_SYNC_SITE_TAIL_ \
+  , const char* gqr_file = __builtin_FILE(), int gqr_line = __builtin_LINE()
+#define GQR_SYNC_SITE_FWD_ gqr_file, gqr_line
+#define GQR_SYNC_ON_ACQUIRE_(lk) \
+  ::gqr::lock_order::OnAcquire((lk), gqr_file, gqr_line)
+#define GQR_SYNC_ON_TRY_(lk) \
+  ::gqr::lock_order::OnTryAcquire((lk), gqr_file, gqr_line)
+#define GQR_SYNC_ON_RELEASE_(lk) ::gqr::lock_order::OnRelease(lk)
+#define GQR_SYNC_ON_DESTROY_(lk) ::gqr::lock_order::OnDestroy(lk)
+#else
+#define GQR_SYNC_SITE_PARAMS_
+#define GQR_SYNC_SITE_TAIL_
+#define GQR_SYNC_SITE_FWD_
+#define GQR_SYNC_ON_ACQUIRE_(lk) ((void)0)
+#define GQR_SYNC_ON_TRY_(lk) ((void)0)
+#define GQR_SYNC_ON_RELEASE_(lk) ((void)0)
+#define GQR_SYNC_ON_DESTROY_(lk) ((void)0)
+#endif
+
+// ---------------------------------------------------------------------------
 // Annotation macros. Thread-safety attributes are a Clang extension;
 // every other compiler gets the empty expansion (GCC would warn
 // -Wattributes on the unknown attributes).
@@ -123,13 +158,24 @@ namespace gqr {
 class GQR_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  ~Mutex() { GQR_SYNC_ON_DESTROY_(this); }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() GQR_ACQUIRE() GQR_NO_THREAD_SAFETY_ANALYSIS { mu_.lock(); }
-  void Unlock() GQR_RELEASE() GQR_NO_THREAD_SAFETY_ANALYSIS { mu_.unlock(); }
-  bool TryLock() GQR_TRY_ACQUIRE(true) GQR_NO_THREAD_SAFETY_ANALYSIS {
-    return mu_.try_lock();
+  void Lock(GQR_SYNC_SITE_PARAMS_) GQR_ACQUIRE()
+      GQR_NO_THREAD_SAFETY_ANALYSIS {
+    GQR_SYNC_ON_ACQUIRE_(this);
+    mu_.lock();
+  }
+  void Unlock() GQR_RELEASE() GQR_NO_THREAD_SAFETY_ANALYSIS {
+    GQR_SYNC_ON_RELEASE_(this);
+    mu_.unlock();
+  }
+  bool TryLock(GQR_SYNC_SITE_PARAMS_) GQR_TRY_ACQUIRE(true)
+      GQR_NO_THREAD_SAFETY_ANALYSIS {
+    const bool acquired = mu_.try_lock();
+    if (acquired) GQR_SYNC_ON_TRY_(this);
+    return acquired;
   }
   /// Static assertion point: tells the analysis this thread holds the
   /// mutex (used across seams the analysis cannot follow). No runtime
@@ -147,19 +193,42 @@ class GQR_CAPABILITY("mutex") Mutex {
 class GQR_CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  ~SharedMutex() { GQR_SYNC_ON_DESTROY_(this); }
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() GQR_ACQUIRE() GQR_NO_THREAD_SAFETY_ANALYSIS { mu_.lock(); }
-  void Unlock() GQR_RELEASE() GQR_NO_THREAD_SAFETY_ANALYSIS { mu_.unlock(); }
-  void LockShared() GQR_ACQUIRE_SHARED() GQR_NO_THREAD_SAFETY_ANALYSIS {
+  // Shared and exclusive acquisitions report as the same lock-order
+  // node: a reader-vs-writer inversion deadlocks exactly like an
+  // exclusive one once a writer queues between the readers.
+  void Lock(GQR_SYNC_SITE_PARAMS_) GQR_ACQUIRE()
+      GQR_NO_THREAD_SAFETY_ANALYSIS {
+    GQR_SYNC_ON_ACQUIRE_(this);
+    mu_.lock();
+  }
+  void Unlock() GQR_RELEASE() GQR_NO_THREAD_SAFETY_ANALYSIS {
+    GQR_SYNC_ON_RELEASE_(this);
+    mu_.unlock();
+  }
+  void LockShared(GQR_SYNC_SITE_PARAMS_) GQR_ACQUIRE_SHARED()
+      GQR_NO_THREAD_SAFETY_ANALYSIS {
+    GQR_SYNC_ON_ACQUIRE_(this);
     mu_.lock_shared();
   }
   void UnlockShared() GQR_RELEASE_SHARED() GQR_NO_THREAD_SAFETY_ANALYSIS {
+    GQR_SYNC_ON_RELEASE_(this);
     mu_.unlock_shared();
   }
-  bool TryLock() GQR_TRY_ACQUIRE(true) GQR_NO_THREAD_SAFETY_ANALYSIS {
-    return mu_.try_lock();
+  bool TryLock(GQR_SYNC_SITE_PARAMS_) GQR_TRY_ACQUIRE(true)
+      GQR_NO_THREAD_SAFETY_ANALYSIS {
+    const bool acquired = mu_.try_lock();
+    if (acquired) GQR_SYNC_ON_TRY_(this);
+    return acquired;
+  }
+  bool TryLockShared(GQR_SYNC_SITE_PARAMS_) GQR_TRY_ACQUIRE_SHARED(true)
+      GQR_NO_THREAD_SAFETY_ANALYSIS {
+    const bool acquired = mu_.try_lock_shared();
+    if (acquired) GQR_SYNC_ON_TRY_(this);
+    return acquired;
   }
   /// Static assertion points (see Mutex::AssertHeld).
   void AssertHeld() const GQR_ASSERT_CAPABILITY(this) {}
@@ -172,7 +241,10 @@ class GQR_CAPABILITY("shared_mutex") SharedMutex {
 /// Scoped exclusive lock on a Mutex.
 class GQR_SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex& mu) GQR_ACQUIRE(mu) : mu_(&mu) { mu.Lock(); }
+  explicit MutexLock(Mutex& mu GQR_SYNC_SITE_TAIL_) GQR_ACQUIRE(mu)
+      : mu_(&mu) {
+    mu.Lock(GQR_SYNC_SITE_FWD_);
+  }
   ~MutexLock() GQR_RELEASE() { mu_->Unlock(); }
 
   MutexLock(const MutexLock&) = delete;
@@ -185,8 +257,10 @@ class GQR_SCOPED_CAPABILITY MutexLock {
 /// Scoped shared (read) lock on a SharedMutex.
 class GQR_SCOPED_CAPABILITY ReaderLock {
  public:
-  explicit ReaderLock(SharedMutex& mu) GQR_ACQUIRE_SHARED(mu) : mu_(&mu) {
-    mu.LockShared();
+  explicit ReaderLock(SharedMutex& mu GQR_SYNC_SITE_TAIL_)
+      GQR_ACQUIRE_SHARED(mu)
+      : mu_(&mu) {
+    mu.LockShared(GQR_SYNC_SITE_FWD_);
   }
   ~ReaderLock() GQR_RELEASE() { mu_->UnlockShared(); }
 
@@ -200,8 +274,9 @@ class GQR_SCOPED_CAPABILITY ReaderLock {
 /// Scoped exclusive (write) lock on a SharedMutex.
 class GQR_SCOPED_CAPABILITY WriterLock {
  public:
-  explicit WriterLock(SharedMutex& mu) GQR_ACQUIRE(mu) : mu_(&mu) {
-    mu.Lock();
+  explicit WriterLock(SharedMutex& mu GQR_SYNC_SITE_TAIL_) GQR_ACQUIRE(mu)
+      : mu_(&mu) {
+    mu.Lock(GQR_SYNC_SITE_FWD_);
   }
   ~WriterLock() GQR_RELEASE() { mu_->Unlock(); }
 

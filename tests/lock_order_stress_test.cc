@@ -1,0 +1,147 @@
+// Lock-graph soak for the runtime inversion detector: the full serving
+// stack — QueryService coalescer, ShardedIndex shard locks under
+// insert/remove/freeze churn, and the planner's FeedbackTable driven
+// from inside the search hot path — runs concurrently, so the detector
+// (GQR_VALIDATE builds) observes the library's complete real lock-order
+// graph under load and must record it without a false abort. Under the
+// TSan CI leg the same soak is the data-race proof for the detector's
+// own registry (the spinlocked order graph and the thread-local held
+// stacks are exercised from every thread). In plain builds the hooks
+// compile out and this is one more serve-under-churn soak.
+//
+// Iteration counts default low so tier-1 ctest stays fast; set
+// GQR_STRESS_ITERS (read through util/env) for full-length soak runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "hash/lsh.h"
+#include "plan/planner.h"
+#include "serve/query_service.h"
+#include "util/env.h"
+
+namespace gqr {
+namespace {
+
+constexpr int kBits = 12;
+constexpr size_t kShards = 4;
+
+TEST(LockOrderStressTest, FullServingStackRecordsCleanOrderGraph) {
+  const int64_t iters = StressIters(/*fallback=*/20);
+
+  SyntheticSpec spec;
+  spec.n = 2016;
+  spec.dim = 8;
+  spec.num_clusters = 12;
+  spec.seed = 4242;
+  Dataset all = GenerateClusteredGaussian(spec);
+  Rng rng(29);
+  auto [base, queries] = all.SplitQueries(24, &rng);
+  LshOptions opt;
+  opt.code_length = kBits;
+  const LinearHasher hasher = TrainLsh(base, base.dim(), opt);
+  const std::vector<Code> codes = hasher.HashDataset(base);
+
+  const size_t n = base.size();
+  const size_t stable = n / 2;
+  ShardedIndex index(kBits, kShards);
+  for (size_t id = 0; id < stable; ++id) {
+    ASSERT_TRUE(index.Insert(static_cast<ItemId>(id), codes[id]).ok());
+  }
+
+  // The planner inside the search options puts FeedbackTable
+  // TryPredict/TryRecord on every served query, alongside the coalescer
+  // and shard locks.
+  PlannerOptions po;
+  po.feedback.capacity = 32;
+  po.min_budget = 32;
+  BudgetPlanner planner(po);
+
+  Searcher searcher(base);
+  QueryServiceOptions service_opt;
+  service_opt.search.k = 8;
+  service_opt.search.max_candidates = 200;
+  service_opt.search.plan.planner = &planner;
+  service_opt.max_batch = 8;
+  service_opt.max_linger = std::chrono::microseconds(200);
+  service_opt.max_queue = 128;
+  QueryService service(searcher, hasher, index, service_opt);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violation{false};
+
+  // Shard churn: Insert/Remove take writer locks, FreezeShard swaps the
+  // frozen snapshot — writer-side edges against the probing readers.
+  std::thread writer([&] {
+    for (int64_t it = 0; it < iters; ++it) {
+      for (size_t id = stable; id < n; ++id) {
+        if (!index.Insert(static_cast<ItemId>(id), codes[id]).ok()) {
+          violation.store(true);
+        }
+      }
+      (void)index.FreezeShard(static_cast<size_t>(it) % kShards);
+      for (size_t id = stable; id < n; ++id) {
+        if (!index.Remove(static_cast<ItemId>(id), codes[id]).ok()) {
+          violation.store(true);
+        }
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  // Direct planner pressure from outside the service: the blocking
+  // Predict/Record entry points contend with the try- variants the
+  // serving threads use.
+  std::thread feedback([&] {
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      double ewma = 0.0;
+      (void)planner.feedback_counters();
+      ++i;
+      const PlanDecision d = planner.Plan(i % 64, i, /*fixed=*/500);
+      SearchStats stats;
+      stats.items_to_last_improvement = static_cast<size_t>(i % 100 + 1);
+      stats.terminated = true;
+      planner.Observe(i % 64, d, stats);
+      (void)ewma;
+    }
+  });
+
+  auto client = [&](unsigned seed) {
+    size_t q = seed;
+    while (!stop.load(std::memory_order_acquire)) {
+      q = (q + 1) % queries.size();
+      const QueryService::Deadline deadline =
+          QueryService::Clock::now() + std::chrono::milliseconds(50);
+      Response resp =
+          service.Submit(queries.Row(static_cast<ItemId>(q)), 0, deadline)
+              .Get();
+      if (resp.status != RequestStatus::kOk) continue;
+      const SearchResult& r = resp.result;
+      for (size_t i = 0; i < r.ids.size(); ++i) {
+        if (r.ids[i] >= n || !std::isfinite(r.distances[i])) {
+          violation.store(true);
+        }
+      }
+    }
+  };
+  std::vector<std::thread> clients;
+  for (unsigned c = 0; c < 3; ++c) clients.emplace_back(client, c);
+
+  writer.join();
+  feedback.join();
+  for (auto& thread : clients) thread.join();
+  service.Shutdown();
+
+  EXPECT_FALSE(violation.load());
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.accepted, stats.completed + stats.expired);
+}
+
+}  // namespace
+}  // namespace gqr

@@ -1,0 +1,204 @@
+// Tests for the runtime lock-order inversion detector
+// (util/lock_order.h). The same TU compiles in every build mode and
+// asserts the mode-appropriate behavior: under GQR_VALIDATE a seeded
+// A-then-B / B-then-A inversion aborts with both acquisition sites in
+// the message (EXPECT_DEATH, like the check_test.cc contract tests);
+// in plain builds the hooks compile out and the identical sequence
+// completes normally — the detector must never change release
+// semantics. The false-positive tests run in both modes: consistent
+// orders, try-acquisitions, destroy/reuse, and the thread pool's
+// help-running nested TaskGroup::Wait must all stay silent.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "util/lock_order.h"
+#include "util/sync.h"
+#include "util/thread_pool.h"
+
+namespace gqr {
+namespace {
+
+#if defined(GQR_VALIDATE) && GQR_VALIDATE
+
+TEST(LockOrderDeathTest, InversionAbortsWithBothSites) {
+  EXPECT_DEATH(
+      {
+        Mutex a;
+        Mutex b;
+        {
+          MutexLock la(a);
+          MutexLock lb(b);  // Records a -> b.
+        }
+        {
+          MutexLock lb(b);
+          MutexLock la(a);  // b -> a closes the cycle: abort here.
+        }
+      },
+      "lock-order inversion");
+}
+
+// The report names both sides: the acquisition being attempted and the
+// previously recorded opposite-order site, each as file:line.
+TEST(LockOrderDeathTest, ReportNamesTheConflictingSite) {
+  EXPECT_DEATH(
+      {
+        Mutex a;
+        Mutex b;
+        {
+          MutexLock la(a);
+          MutexLock lb(b);
+        }
+        {
+          MutexLock lb(b);
+          MutexLock la(a);
+        }
+      },
+      "lock_order_test.cc.*recorded at.*lock_order_test.cc");
+}
+
+TEST(LockOrderDeathTest, SharedMutexInversionAborts) {
+  EXPECT_DEATH(
+      {
+        SharedMutex a;
+        SharedMutex b;
+        {
+          ReaderLock la(a);
+          WriterLock lb(b);
+        }
+        {
+          ReaderLock lb(b);
+          WriterLock la(a);  // Reader/writer sides share one order node.
+        }
+      },
+      "lock-order inversion");
+}
+
+// Three-lock cycle through transitive edges: a -> b, b -> c, then
+// c -> a. No two-lock pair ever inverts; only the transitive closure
+// catches it.
+TEST(LockOrderDeathTest, TransitiveCycleAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex a;
+        Mutex b;
+        Mutex c;
+        {
+          MutexLock la(a);
+          MutexLock lb(b);
+        }
+        {
+          MutexLock lb(b);
+          MutexLock lc(c);
+        }
+        {
+          MutexLock lc(c);
+          MutexLock la(a);
+        }
+      },
+      "lock-order inversion");
+}
+
+#else  // !GQR_VALIDATE
+
+// Release builds compile the hooks out entirely: the seeded inversion
+// is just four scoped acquisitions of two different mutexes from one
+// thread and must complete normally.
+TEST(LockOrderTest, InversionSequenceCompletesWithoutValidation) {
+  Mutex a;
+  Mutex b;
+  {
+    MutexLock la(a);
+    MutexLock lb(b);
+  }
+  {
+    MutexLock lb(b);
+    MutexLock la(a);
+  }
+  SUCCEED();
+}
+
+#endif  // GQR_VALIDATE
+
+// ---------------------------------------------------------------------------
+// No-false-positive coverage: everything below must pass in every build
+// mode, GQR_VALIDATE included.
+// ---------------------------------------------------------------------------
+
+TEST(LockOrderTest, ConsistentOrderStaysSilent) {
+  lock_order::ResetForTest();
+  Mutex a;
+  Mutex b;
+  for (int i = 0; i < 100; ++i) {
+    MutexLock la(a);
+    MutexLock lb(b);
+  }
+  SUCCEED();
+}
+
+// A successful TryLock joins the held stack (ordering later blocking
+// acquisitions) but is never itself an inversion: try-acquire cannot
+// block, so B-try-then-A against a recorded A-then-B must not abort.
+TEST(LockOrderTest, TryAcquireAgainstRecordedOrderStaysSilent) {
+  lock_order::ResetForTest();
+  Mutex a;
+  Mutex b;
+  {
+    MutexLock la(a);
+    MutexLock lb(b);  // Record a -> b.
+  }
+  {
+    MutexLock lb(b);
+    ASSERT_TRUE(a.TryLock());  // Opposite order, but non-blocking.
+    a.Unlock();
+  }
+  SUCCEED();
+}
+
+// Destroying a lock purges its node: a fresh lock reusing the same
+// address (the common allocator fast path) must not inherit the dead
+// lock's edges and trip on a phantom inversion.
+TEST(LockOrderTest, DestroyPurgesRecordedEdges) {
+  lock_order::ResetForTest();
+  for (int i = 0; i < 50; ++i) {
+    auto locks = std::make_unique<std::pair<Mutex, Mutex>>();
+    if (i % 2 == 0) {
+      MutexLock l1(locks->first);
+      MutexLock l2(locks->second);
+    } else {
+      // Opposite order on alternating (likely address-reused)
+      // allocations: legal because each pair dies in between.
+      MutexLock l1(locks->second);
+      MutexLock l2(locks->first);
+    }
+  }
+  SUCCEED();
+}
+
+// The thread pool's help-running Wait: a worker waiting on an inner
+// TaskGroup claims and runs that group's queued tasks inline, nesting
+// pool-mutex / group-mutex acquisitions in both directions across
+// threads. This is the library's trickiest legitimate lock pattern and
+// the canonical false-positive candidate for a naive detector.
+TEST(LockOrderTest, NestedTaskGroupWaitStaysSilent) {
+  lock_order::ResetForTest();
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  ThreadPool::TaskGroup outer(pool);
+  for (int i = 0; i < 8; ++i) {
+    outer.Submit([&pool, &done] {
+      ThreadPool::TaskGroup inner(pool);
+      for (int j = 0; j < 4; ++j) {
+        inner.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+      }
+      inner.Wait();  // Help-runs inner tasks on this worker.
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(done.load(), 8 * 4);
+}
+
+}  // namespace
+}  // namespace gqr

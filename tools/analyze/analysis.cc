@@ -1,0 +1,424 @@
+#include "analysis.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <iostream>
+#include <set>
+#include <sstream>
+
+namespace gqr::analyze {
+
+namespace {
+
+std::string MergeKey(const FunctionInfo& f) {
+  return f.class_name + "::" + f.name;
+}
+
+const char* EffectVerb(EffectSite::Type t) {
+  switch (t) {
+    case EffectSite::Type::kNew:
+      return "may allocate";
+    case EffectSite::Type::kMalloc:
+      return "may allocate";
+    case EffectSite::Type::kOwningLocal:
+      return "constructs an owning container";
+    case EffectSite::Type::kCapacity:
+      return "may reallocate";
+    case EffectSite::Type::kThrow:
+      return "may throw";
+    case EffectSite::Type::kBlocking:
+      return "may block";
+  }
+  return "has an impure effect";
+}
+
+}  // namespace
+
+bool ParseWaivers(const std::string& text, std::vector<Waiver>* out,
+                  std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Trim.
+    size_t b = line.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    if (line[b] == '#') continue;
+    std::istringstream ls(line.substr(b));
+    Waiver w;
+    w.line = lineno;
+    if (!(ls >> w.check >> w.pattern)) {
+      if (error) {
+        *error = "waivers line " + std::to_string(lineno) +
+                 ": expected '<check> <pattern> <reason...>'";
+      }
+      return false;
+    }
+    std::getline(ls, w.reason);
+    const size_t rb = w.reason.find_first_not_of(" \t");
+    w.reason = rb == std::string::npos ? "" : w.reason.substr(rb);
+    if (w.check != "hot-path" && w.check != "lock-order") {
+      if (error) {
+        *error = "waivers line " + std::to_string(lineno) +
+                 ": unknown check '" + w.check + "'";
+      }
+      return false;
+    }
+    if (w.reason.empty()) {
+      if (error) {
+        *error = "waivers line " + std::to_string(lineno) +
+                 ": waiver for '" + w.pattern +
+                 "' has no reason (reasons are mandatory)";
+      }
+      return false;
+    }
+    out->push_back(std::move(w));
+  }
+  return true;
+}
+
+void Analyzer::AddFile(FileModel model, bool in_lock_universe) {
+  for (FunctionInfo& f : model.functions) {
+    Fn fn;
+    fn.info = std::move(f);
+    fn.in_lock_universe = in_lock_universe;
+    fns_.push_back(std::move(fn));
+  }
+  index_built_ = false;
+}
+
+void Analyzer::BuildIndex() const {
+  if (index_built_) return;
+  name_index_.clear();
+  hot_by_key_.clear();
+  requires_by_key_.clear();
+  for (size_t i = 0; i < fns_.size(); ++i) {
+    const FunctionInfo& f = fns_[i].info;
+    name_index_[f.name].push_back(static_cast<int>(i));
+    const std::string key = MergeKey(f);
+    if (f.hot) hot_by_key_[key] = true;
+    for (const std::string& r : f.requires_locks) {
+      auto& v = requires_by_key_[key];
+      if (std::find(v.begin(), v.end(), r) == v.end()) v.push_back(r);
+    }
+  }
+  index_built_ = true;
+}
+
+const std::vector<int>& Analyzer::Lookup(const std::string& name) const {
+  static const std::vector<int> empty;
+  auto it = name_index_.find(name);
+  return it == name_index_.end() ? empty : it->second;
+}
+
+bool Analyzer::MergedHot(const Fn& fn) const {
+  auto it = hot_by_key_.find(MergeKey(fn.info));
+  return it != hot_by_key_.end() && it->second;
+}
+
+std::vector<std::string> Analyzer::MergedRequires(const Fn& fn) const {
+  auto it = requires_by_key_.find(MergeKey(fn.info));
+  return it == requires_by_key_.end() ? std::vector<std::string>{}
+                                      : it->second;
+}
+
+std::vector<int> Analyzer::Resolve(const Fn& caller,
+                                   const CallSite& call) const {
+  // std:: (and other external namespaces we know are external) never
+  // resolve into the universe; unknown names fall out naturally below.
+  if (call.qualifier == "std" || call.qualifier.rfind("std::", 0) == 0) {
+    return {};
+  }
+  const std::vector<int>& cands = Lookup(call.name);
+  if (cands.empty()) return {};
+
+  if (!call.qualifier.empty()) {
+    // Last qualifier component is a class or namespace name.
+    std::string last = call.qualifier;
+    const size_t p = last.rfind("::");
+    if (p != std::string::npos) last = last.substr(p + 2);
+    std::vector<int> filtered;
+    for (int i : cands) {
+      const FunctionInfo& f = fns_[i].info;
+      if (f.class_name == last ||
+          f.qname.find(call.qualifier + "::" + call.name) !=
+              std::string::npos) {
+        filtered.push_back(i);
+      }
+    }
+    // A receiver typed to a base class (virtual dispatch) matches no
+    // candidate class directly — fall back to every implementation.
+    return filtered.empty() ? cands : filtered;
+  }
+
+  if (call.member_call) return cands;  // Unresolved receiver type.
+
+  // Unqualified call: same-class methods and free functions.
+  std::vector<int> filtered;
+  for (int i : cands) {
+    const FunctionInfo& f = fns_[i].info;
+    if (f.class_name.empty() || f.class_name == caller.info.class_name) {
+      filtered.push_back(i);
+    }
+  }
+  return filtered.empty() ? cands : filtered;
+}
+
+std::vector<Finding> Analyzer::RunHotPath(
+    std::vector<Waiver>* waivers) const {
+  BuildIndex();
+  std::vector<Finding> findings;
+  std::set<std::string> reported;  // file:line:detail dedupe across entries
+
+  for (size_t e = 0; e < fns_.size(); ++e) {
+    const Fn& entry = fns_[e];
+    if (!entry.info.defined || !MergedHot(entry)) continue;
+
+    // BFS with parent links for chain reconstruction.
+    std::map<int, std::pair<int, int>> parent;  // idx -> (parent idx, line)
+    std::set<int> visited;
+    std::deque<int> queue;
+    queue.push_back(static_cast<int>(e));
+    visited.insert(static_cast<int>(e));
+
+    while (!queue.empty()) {
+      const int fi = queue.front();
+      queue.pop_front();
+      const Fn& fn = fns_[fi];
+
+      for (const EffectSite& eff : fn.info.effects) {
+        if (eff.validate_only || eff.once_only) continue;
+        const std::string key = fn.info.file + ":" +
+                                std::to_string(eff.line) + ":" + eff.detail;
+        if (!reported.insert(key).second) continue;
+
+        // Chain entry -> ... -> fn.
+        std::vector<std::string> chain;
+        int cur = fi;
+        chain.push_back(fns_[cur].info.qname);
+        while (cur != static_cast<int>(e)) {
+          auto it = parent.find(cur);
+          if (it == parent.end()) break;
+          cur = it->second.first;
+          chain.push_back(fns_[cur].info.qname);
+        }
+        std::reverse(chain.begin(), chain.end());
+
+        Finding f;
+        f.check = "hot-path";
+        f.file = fn.info.file;
+        f.line = eff.line;
+        f.waiver_key = fn.info.qname;
+        std::ostringstream msg;
+        msg << fn.info.file << ":" << eff.line << ": '" << fn.info.qname
+            << "' " << EffectVerb(eff.type) << " (" << eff.detail
+            << ") and is reachable from GQR_HOT '" << entry.info.qname
+            << "'\n    call chain: ";
+        for (size_t c = 0; c < chain.size(); ++c) {
+          if (c) msg << " -> ";
+          msg << chain[c];
+        }
+        f.message = msg.str();
+        findings.push_back(std::move(f));
+      }
+
+      for (const CallSite& call : fn.info.calls) {
+        if (call.validate_only || call.once_only) continue;
+        for (int callee : Resolve(fn, call)) {
+          if (!fns_[callee].info.defined) continue;
+          if (visited.insert(callee).second) {
+            parent[callee] = {fi, call.line};
+            queue.push_back(callee);
+          }
+        }
+      }
+    }
+  }
+
+  ApplyWaivers(&findings, waivers);
+  return findings;
+}
+
+std::vector<Finding> Analyzer::RunLockOrder(
+    std::vector<Waiver>* waivers) const {
+  BuildIndex();
+
+  struct EdgeInfo {
+    std::string file;
+    int line = 0;           // acquisition site of `to`
+    int held_line = 0;      // where `from` was acquired (0: GQR_REQUIRES)
+    std::string function;
+  };
+  // from -> to -> first site that established the edge.
+  std::map<std::string, std::map<std::string, EdgeInfo>> graph;
+  std::vector<Finding> findings;
+  std::set<std::string> reported;
+
+  auto add_edge = [&](const std::string& from, const std::string& to,
+                      EdgeInfo info) {
+    auto& row = graph[from];
+    if (row.find(to) == row.end()) row.emplace(to, std::move(info));
+  };
+
+  for (const Fn& fn : fns_) {
+    if (!fn.in_lock_universe || !fn.info.defined) continue;
+    const std::vector<std::string> pre = MergedRequires(fn);
+    for (const AcquireSite& acq : fn.info.acquires) {
+      if (!acq.blocking) continue;  // try-lock: cannot close a cycle
+      std::vector<std::pair<std::string, int>> held;
+      for (const std::string& r : pre) held.emplace_back(r, 0);
+      for (size_t h = 0; h < acq.held_exprs.size(); ++h) {
+        held.emplace_back(acq.held_exprs[h],
+                          h < acq.held_lines.size() ? acq.held_lines[h] : 0);
+      }
+      for (const auto& [from, held_line] : held) {
+        if (from == acq.lock_expr) {
+          // Self-edge: nested acquisition of the same lock identity.
+          const std::string key = "self:" + from + ":" + fn.info.file + ":" +
+                                  std::to_string(acq.line);
+          if (!reported.insert(key).second) continue;
+          Finding f;
+          f.check = "lock-order";
+          f.file = fn.info.file;
+          f.line = acq.line;
+          f.waiver_key = from + "->" + acq.lock_expr;
+          f.message = fn.info.file + ":" + std::to_string(acq.line) +
+                      ": nested acquisition of lock '" + from + "' in '" +
+                      fn.info.qname +
+                      "' (already held" +
+                      (held_line ? " since line " + std::to_string(held_line)
+                                 : " via GQR_REQUIRES") +
+                      ") — same-identity nesting self-deadlocks or inverts "
+                      "across threads";
+          findings.push_back(std::move(f));
+          continue;
+        }
+        EdgeInfo info;
+        info.file = fn.info.file;
+        info.line = acq.line;
+        info.held_line = held_line;
+        info.function = fn.info.qname;
+        add_edge(from, acq.lock_expr, std::move(info));
+      }
+    }
+  }
+
+  // Cycle detection: DFS with colors; report each cycle once (rotated to
+  // its lexicographically smallest node for deduplication).
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+
+  std::function<void(const std::string&)> dfs = [&](const std::string& node) {
+    color[node] = 1;
+    stack.push_back(node);
+    auto it = graph.find(node);
+    if (it != graph.end()) {
+      for (const auto& [next, info] : it->second) {
+        if (color[next] == 1) {
+          // Cycle: suffix of stack from `next`.
+          auto from = std::find(stack.begin(), stack.end(), next);
+          std::vector<std::string> cycle(from, stack.end());
+          // Canonical rotation for dedupe.
+          auto min_it = std::min_element(cycle.begin(), cycle.end());
+          std::rotate(cycle.begin(), min_it, cycle.end());
+          std::string key = "cycle:";
+          for (const auto& n : cycle) key += n + ";";
+          if (reported.insert(key).second) {
+            Finding f;
+            f.check = "lock-order";
+            std::ostringstream msg;
+            msg << "lock-order cycle: ";
+            for (size_t c = 0; c < cycle.size(); ++c) {
+              msg << cycle[c] << " -> ";
+            }
+            msg << cycle.front();
+            std::string wkey;
+            for (size_t c = 0; c < cycle.size(); ++c) {
+              const std::string& a = cycle[c];
+              const std::string& b = cycle[(c + 1) % cycle.size()];
+              const EdgeInfo& ei = graph[a][b];
+              msg << "\n    " << a << " -> " << b << " at " << ei.file << ":"
+                  << ei.line << " in '" << ei.function << "'"
+                  << (ei.held_line
+                          ? " (" + a + " held since line " +
+                                std::to_string(ei.held_line) + ")"
+                          : " (" + a + " held via GQR_REQUIRES)");
+              if (!wkey.empty()) wkey += " ";
+              wkey += a + "->" + b;
+              if (f.file.empty()) {
+                f.file = ei.file;
+                f.line = ei.line;
+              }
+            }
+            f.waiver_key = wkey;
+            f.message = msg.str();
+            findings.push_back(std::move(f));
+          }
+          continue;
+        }
+        if (color[next] == 0) dfs(next);
+      }
+    }
+    stack.pop_back();
+    color[node] = 2;
+  };
+  for (const auto& [node, edges] : graph) {
+    (void)edges;
+    if (color[node] == 0) dfs(node);
+  }
+
+  ApplyWaivers(&findings, waivers);
+  return findings;
+}
+
+void Analyzer::DumpFunctions(const std::string& pattern) const {
+  BuildIndex();
+  std::ostringstream out;
+  for (const Fn& fn : fns_) {
+    const FunctionInfo& f = fn.info;
+    if (f.qname.find(pattern) == std::string::npos) continue;
+    out << f.qname << " (" << f.file << ":" << f.line << ")"
+        << (f.defined ? " defined" : " decl") << (MergedHot(fn) ? " HOT" : "")
+        << "\n";
+    for (const std::string& r : f.requires_locks) {
+      out << "  requires " << r << "\n";
+    }
+    for (const CallSite& c : f.calls) {
+      out << "  call " << (c.qualifier.empty() ? "" : c.qualifier + "::")
+          << c.name << " @" << c.line << (c.member_call ? " member" : "")
+          << (c.validate_only ? " validate-only" : "")
+          << (c.once_only ? " once-only" : "") << "\n";
+    }
+    for (const EffectSite& e : f.effects) {
+      out << "  effect " << e.detail << " @" << e.line
+          << (e.validate_only ? " validate-only" : "")
+          << (e.once_only ? " once-only" : "") << "\n";
+    }
+    for (const AcquireSite& a : f.acquires) {
+      out << "  acquire " << a.lock_expr << " @" << a.line
+          << (a.blocking ? "" : " try");
+      for (const std::string& h : a.held_exprs) out << " [held " << h << "]";
+      out << "\n";
+    }
+  }
+  std::cout << out.str();
+}
+
+void Analyzer::ApplyWaivers(std::vector<Finding>* findings,
+                            std::vector<Waiver>* waivers) {
+  if (waivers == nullptr) return;
+  for (Finding& f : *findings) {
+    for (Waiver& w : *waivers) {
+      if (w.check != f.check) continue;
+      if (f.waiver_key.find(w.pattern) == std::string::npos) continue;
+      f.waived = true;
+      f.waiver_reason = w.reason;
+      w.used = true;
+      break;
+    }
+  }
+}
+
+}  // namespace gqr::analyze

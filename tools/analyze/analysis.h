@@ -1,0 +1,92 @@
+// Whole-program analyses over the extracted FileModels.
+//
+//  * Hot-path purity: call-graph BFS from every GQR_HOT function; any
+//    transitively reachable allocation / throw / blocking acquisition is
+//    a finding, reported with the full call chain. GQR_VALIDATE-gated
+//    code and static/thread_local once-only initializers are excluded —
+//    the hot-path contract is a release-build contract.
+//  * Lock order: every acquisition made while other locks are held (or
+//    declared pre-held via GQR_REQUIRES) contributes an edge to a global
+//    lock-order graph over canonical lock names; any cycle — including a
+//    self-edge, i.e. nested acquisition of the same lock class — is a
+//    finding.
+//
+// Waivers (tools/analyze/waivers.txt) suppress individual findings by
+// pattern, and every waiver must carry a reason — same policy as the
+// repo's NOLINT-with-reason clang-tidy gate.
+#ifndef GQR_TOOLS_ANALYZE_ANALYSIS_H_
+#define GQR_TOOLS_ANALYZE_ANALYSIS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model.h"
+
+namespace gqr::analyze {
+
+struct Finding {
+  std::string check;  // "hot-path" | "lock-order"
+  std::string file;
+  int line = 0;
+  std::string message;     // Fully formatted, multi-line (chain included).
+  std::string waiver_key;  // What waiver patterns match against.
+  bool waived = false;
+  std::string waiver_reason;
+};
+
+struct Waiver {
+  std::string check;    // "hot-path" | "lock-order"
+  std::string pattern;  // Substring of the finding's waiver_key.
+  std::string reason;   // Required non-empty.
+  int line = 0;
+  bool used = false;
+};
+
+/// Parses a waivers file. Returns false (with *error set) on a
+/// malformed line — including a waiver without a reason.
+bool ParseWaivers(const std::string& text, std::vector<Waiver>* out,
+                  std::string* error);
+
+class Analyzer {
+ public:
+  /// `in_lock_universe` excludes the sync-primitive implementation files
+  /// themselves (util/sync.h, util/lock_order.*) from lock-order edge
+  /// extraction; they stay in the hot-path universe.
+  void AddFile(FileModel model, bool in_lock_universe);
+
+  /// Both analyses. Waivers are matched (and flagged used) in place.
+  std::vector<Finding> RunHotPath(std::vector<Waiver>* waivers) const;
+  std::vector<Finding> RunLockOrder(std::vector<Waiver>* waivers) const;
+
+  /// Debug aid (--dump): prints extraction for every function whose
+  /// qname contains `pattern`.
+  void DumpFunctions(const std::string& pattern) const;
+
+ private:
+  struct Fn {
+    FunctionInfo info;
+    bool in_lock_universe = true;
+  };
+
+  std::vector<int> Resolve(const Fn& caller, const CallSite& call) const;
+  bool MergedHot(const Fn& fn) const;
+  std::vector<std::string> MergedRequires(const Fn& fn) const;
+  static void ApplyWaivers(std::vector<Finding>* findings,
+                           std::vector<Waiver>* waivers);
+
+  const std::vector<int>& Lookup(const std::string& name) const;
+  void BuildIndex() const;
+
+  std::vector<Fn> fns_;
+  // name -> indices into fns_ (built lazily on first Run*).
+  mutable std::map<std::string, std::vector<int>> name_index_;
+  // class::name -> any decl/def carries GQR_HOT / GQR_REQUIRES.
+  mutable std::map<std::string, bool> hot_by_key_;
+  mutable std::map<std::string, std::vector<std::string>> requires_by_key_;
+  mutable bool index_built_ = false;
+};
+
+}  // namespace gqr::analyze
+
+#endif  // GQR_TOOLS_ANALYZE_ANALYSIS_H_

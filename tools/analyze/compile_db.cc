@@ -1,0 +1,111 @@
+#include "compile_db.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace gqr::analyze {
+
+namespace {
+
+/// Parses the JSON string whose opening quote is at `i`; returns the
+/// decoded value and leaves `i` past the closing quote.
+std::string ParseJsonString(const std::string& s, size_t* i) {
+  std::string out;
+  size_t j = *i + 1;
+  while (j < s.size() && s[j] != '"') {
+    if (s[j] == '\\' && j + 1 < s.size()) {
+      const char c = s[j + 1];
+      switch (c) {
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'u':
+          // Paths never need non-ASCII here; keep the escape verbatim.
+          out += "\\u";
+          break;
+        default: out += c; break;
+      }
+      j += 2;
+      continue;
+    }
+    out += s[j];
+    ++j;
+  }
+  *i = j < s.size() ? j + 1 : j;
+  return out;
+}
+
+}  // namespace
+
+bool ReadCompileDb(const std::string& path, std::vector<std::string>* files,
+                   std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string s = buf.str();
+
+  // Object-by-object scan: track brace depth; inside each depth-1
+  // object, pick up the "directory" and "file" key values.
+  int depth = 0;
+  std::string directory, file;
+  bool any_object = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '"') {
+      const std::string key = ParseJsonString(s, &i);
+      // `i` is now just past the closing quote. Key (followed by ':')?
+      size_t j = i;
+      while (j < s.size() && (s[j] == ' ' || s[j] == '\n' || s[j] == '\t' ||
+                              s[j] == '\r')) {
+        ++j;
+      }
+      if (j < s.size() && s[j] == ':' && depth == 1) {
+        ++j;
+        while (j < s.size() && (s[j] == ' ' || s[j] == '\n' ||
+                                s[j] == '\t' || s[j] == '\r')) {
+          ++j;
+        }
+        if (j < s.size() && s[j] == '"') {
+          const std::string value = ParseJsonString(s, &j);
+          if (key == "directory") directory = value;
+          if (key == "file") file = value;
+          i = j - 1;  // Loop increment lands just past the value.
+          continue;
+        }
+      }
+      i = i == 0 ? 0 : i - 1;  // Loop increment lands just past the string.
+      continue;
+    }
+    if (c == '{') {
+      ++depth;
+      if (depth == 1) {
+        directory.clear();
+        file.clear();
+        any_object = true;
+      }
+      continue;
+    }
+    if (c == '}') {
+      if (depth == 1 && !file.empty()) {
+        std::string resolved = file;
+        if (!resolved.empty() && resolved[0] != '/' && !directory.empty()) {
+          resolved = directory + "/" + resolved;
+        }
+        files->push_back(resolved);
+      }
+      --depth;
+      continue;
+    }
+  }
+  if (!any_object) {
+    if (error) *error = path + ": no compile command objects found";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace gqr::analyze

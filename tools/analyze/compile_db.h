@@ -1,0 +1,22 @@
+// Minimal compile_commands.json reader: gqr-analyze only needs the TU
+// list (its frontend does not consume compiler flags), so this avoids a
+// JSON library dependency. Handles the CMake emitter's shape — an array
+// of objects with "directory", "command"/"arguments", and "file" string
+// values — including escaped characters.
+#ifndef GQR_TOOLS_ANALYZE_COMPILE_DB_H_
+#define GQR_TOOLS_ANALYZE_COMPILE_DB_H_
+
+#include <string>
+#include <vector>
+
+namespace gqr::analyze {
+
+/// Returns the absolute "file" paths from the database at `path`
+/// (relative entries resolved against their "directory"). Empty vector
+/// with *error set if the file is missing or unparsable.
+bool ReadCompileDb(const std::string& path, std::vector<std::string>* files,
+                   std::string* error);
+
+}  // namespace gqr::analyze
+
+#endif  // GQR_TOOLS_ANALYZE_COMPILE_DB_H_

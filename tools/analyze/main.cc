@@ -1,0 +1,454 @@
+// gqr-analyze: whole-program static analysis gate for the GQR codebase.
+//
+//   gqr-analyze --build-dir build [--source-dir .] [--check all]
+//   gqr-analyze --self-test [--testdata tools/analyze/testdata]
+//
+// Checks (see analysis.h / DESIGN.md §17):
+//   hot-path    interprocedural GQR_HOT purity (no transitive allocation,
+//               throw, or blocking acquisition), with full call chains
+//   lock-order  global lock-order graph from scoped-lock usage and
+//               GQR_REQUIRES; fails on any cycle
+//
+// Exit codes follow tools/lint/gqr_lint.py: 0 clean, 1 findings,
+// 2 usage/internal error.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis.h"
+#include "compile_db.h"
+#include "frontend.h"
+
+namespace gqr::analyze {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool ReadFileToString(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// The sync-primitive implementations are excluded from lock-order edge
+/// extraction (they ARE the locks); everything else in src/ is in both
+/// universes.
+bool InLockUniverse(const std::string& path) {
+  return !EndsWith(path, "util/sync.h") &&
+         !EndsWith(path, "util/lock_order.h") &&
+         !EndsWith(path, "util/lock_order.cc");
+}
+
+std::string Relativize(const std::string& path, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(path, root, ec);
+  if (ec || rel.empty()) return path;
+  const std::string r = rel.string();
+  return r.rfind("..", 0) == 0 ? path : r;
+}
+
+struct Options {
+  std::string build_dir = "build";
+  std::string source_dir = ".";
+  std::string waivers_path;  // empty: default to <source>/tools/analyze/...
+  std::string check = "all";
+  std::string testdata;  // self-test data dir
+  std::string dump;      // debug: dump extraction for matching functions
+  bool self_test = false;
+  bool verbose = false;
+};
+
+int Usage() {
+  std::cerr
+      << "usage: gqr-analyze [--build-dir DIR] [--source-dir DIR]\n"
+         "                   [--waivers FILE] [--check all|hot-path|"
+         "lock-order] [-v]\n"
+         "       gqr-analyze --self-test [--testdata DIR]\n";
+  return 2;
+}
+
+bool LoadWaivers(const std::string& path, std::vector<Waiver>* out,
+                 bool required) {
+  std::string text;
+  if (!ReadFileToString(path, &text)) {
+    if (required) {
+      std::cerr << "gqr-analyze: cannot read waivers file " << path << "\n";
+      return false;
+    }
+    return true;  // optional default file absent: no waivers
+  }
+  std::string error;
+  if (!ParseWaivers(text, out, &error)) {
+    std::cerr << "gqr-analyze: " << path << ": " << error << "\n";
+    return false;
+  }
+  return true;
+}
+
+int ReportFindings(const std::vector<Finding>& findings,
+                   const std::vector<Waiver>& waivers, const fs::path& root,
+                   bool verbose) {
+  int unwaived = 0, waived = 0;
+  for (const Finding& f : findings) {
+    if (f.waived) {
+      ++waived;
+      if (verbose) {
+        std::cout << "gqr-analyze: waived: " << f.check << ": "
+                  << Relativize(f.file, root) << ":" << f.line << " ("
+                  << f.waiver_reason << ")\n";
+      }
+      continue;
+    }
+    ++unwaived;
+    std::cout << "gqr-analyze: " << f.check << ": " << f.message << "\n";
+  }
+  for (const Waiver& w : waivers) {
+    if (!w.used) {
+      std::cout << "gqr-analyze: warning: unused waiver '" << w.pattern
+                << "' (" << w.check << ", waivers line " << w.line << ")\n";
+    }
+  }
+  if (waived > 0) {
+    std::cout << "gqr-analyze: " << waived
+              << " finding(s) waived with reasons (see waivers.txt"
+              << (verbose ? "" : ", -v to list") << ")\n";
+  }
+  return unwaived;
+}
+
+// ---------------------------------------------------------------------------
+// Repo mode
+// ---------------------------------------------------------------------------
+
+int RunRepo(const Options& opt) {
+  // Canonicalize so the src/ prefix filter below compares like with
+  // like: fs::absolute(".") keeps the trailing "/." and would match no
+  // compile-database entry.
+  const fs::path source_root =
+      fs::weakly_canonical(fs::absolute(opt.source_dir));
+  const fs::path src = source_root / "src";
+  if (!fs::is_directory(src)) {
+    std::cerr << "gqr-analyze: no src/ under " << source_root << "\n";
+    return 2;
+  }
+
+  // TU list from the compile database, headers from a src/ walk. The
+  // frontend does not need compiler flags, but reading the database
+  // keeps the analyzed set honest: exactly what the build compiles,
+  // plus the headers those TUs include.
+  const fs::path db_path =
+      fs::path(opt.build_dir) / "compile_commands.json";
+  std::vector<std::string> db_files;
+  std::string error;
+  if (!ReadCompileDb(db_path.string(), &db_files, &error)) {
+    std::cerr << "gqr-analyze: " << error
+              << " (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)\n";
+    return 2;
+  }
+
+  std::set<std::string> universe;
+  const std::string src_prefix = src.string() + "/";
+  for (const std::string& f : db_files) {
+    std::error_code ec;
+    const fs::path canon = fs::weakly_canonical(f, ec);
+    const std::string p = ec ? f : canon.string();
+    if (p.rfind(src_prefix, 0) == 0) universe.insert(p);
+  }
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".h" && ext != ".hpp") continue;
+    std::error_code ec;
+    const fs::path canon = fs::weakly_canonical(entry.path(), ec);
+    universe.insert(ec ? entry.path().string() : canon.string());
+  }
+  if (universe.empty()) {
+    std::cerr << "gqr-analyze: no src/ TUs in " << db_path << "\n";
+    return 2;
+  }
+
+  Analyzer analyzer;
+  int parsed = 0;
+  for (const std::string& path : universe) {
+    std::string text;
+    if (!ReadFileToString(path, &text)) {
+      std::cerr << "gqr-analyze: cannot read " << path << "\n";
+      return 2;
+    }
+    analyzer.AddFile(ParseFile(Relativize(path, source_root), text),
+                     InLockUniverse(path));
+    ++parsed;
+  }
+
+  std::vector<Waiver> waivers;
+  const std::string waivers_path =
+      !opt.waivers_path.empty()
+          ? opt.waivers_path
+          : (source_root / "tools" / "analyze" / "waivers.txt").string();
+  if (!LoadWaivers(waivers_path, &waivers, !opt.waivers_path.empty())) {
+    return 2;
+  }
+
+  if (!opt.dump.empty()) {
+    analyzer.DumpFunctions(opt.dump);
+    return 0;
+  }
+
+  std::vector<Finding> findings;
+  if (opt.check == "all" || opt.check == "hot-path") {
+    auto f = analyzer.RunHotPath(&waivers);
+    findings.insert(findings.end(), f.begin(), f.end());
+  }
+  if (opt.check == "all" || opt.check == "lock-order") {
+    auto f = analyzer.RunLockOrder(&waivers);
+    findings.insert(findings.end(), f.begin(), f.end());
+  }
+
+  const int unwaived =
+      ReportFindings(findings, waivers, source_root, opt.verbose);
+  if (opt.verbose) {
+    std::cout << "gqr-analyze: analyzed " << parsed << " files ("
+              << opt.check << ")\n";
+  }
+  if (unwaived > 0) {
+    std::cout << "gqr-analyze: " << unwaived << " finding(s)\n";
+    return 1;
+  }
+  std::cout << "gqr-analyze: OK (" << parsed << " files, checks: "
+            << opt.check << ")\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Self-test mode: seeded-bad TUs must fire, good TUs must stay quiet,
+// and the repo waivers file must not mask seeded violations.
+// ---------------------------------------------------------------------------
+
+struct SelfTestCase {
+  const char* file;
+  const char* check;      // which analysis must fire ("" = none)
+  const char* expect_sub; // substring required in some finding message
+  int min_findings;
+};
+
+int RunSelfTest(const Options& opt) {
+  fs::path testdata = opt.testdata.empty()
+                          ? fs::path("tools/analyze/testdata")
+                          : fs::path(opt.testdata);
+  if (!fs::is_directory(testdata)) {
+    // Fall back to the directory next to the binary's source, passed by
+    // ctest via --testdata; nothing more to guess here.
+    std::cerr << "gqr-analyze: testdata directory not found: " << testdata
+              << "\n";
+    return 2;
+  }
+
+  const SelfTestCase cases[] = {
+      {"good.cc", "", "", 0},
+      {"bad_hot_transitive_alloc.cc", "hot-path",
+       "SeedHot -> SeedMid -> SeedLeafAlloc", 1},
+      {"bad_hot_transitive_throw.cc", "hot-path", "may throw", 1},
+      {"bad_hot_transitive_lock.cc", "hot-path", "may block", 1},
+      {"bad_lock_cycle.cc", "lock-order", "lock-order cycle", 1},
+      {"bad_lock_requires.cc", "lock-order", "lock-order cycle", 1},
+  };
+
+  // Repo waivers (if present) are loaded for the masking check below.
+  std::vector<Waiver> repo_waivers;
+  const fs::path repo_waivers_path = testdata.parent_path() / "waivers.txt";
+  {
+    std::string text;
+    if (ReadFileToString(repo_waivers_path, &text)) {
+      std::string error;
+      if (!ParseWaivers(text, &repo_waivers, &error)) {
+        std::cerr << "gqr-analyze: self-test: repo waivers unparsable: "
+                  << error << "\n";
+        return 2;
+      }
+    }
+  }
+
+  int failures = 0;
+  auto fail = [&](const std::string& msg) {
+    std::cerr << "gqr-analyze: self-test FAIL: " << msg << "\n";
+    ++failures;
+  };
+
+  auto analyze_one = [&](const fs::path& file, std::vector<Waiver>* waivers,
+                         std::vector<Finding>* out) -> bool {
+    std::string text;
+    if (!ReadFileToString(file, &text)) return false;
+    Analyzer analyzer;
+    analyzer.AddFile(ParseFile(file.filename().string(), text), true);
+    auto hot = analyzer.RunHotPath(waivers);
+    auto lock = analyzer.RunLockOrder(waivers);
+    out->insert(out->end(), hot.begin(), hot.end());
+    out->insert(out->end(), lock.begin(), lock.end());
+    return true;
+  };
+
+  for (const SelfTestCase& c : cases) {
+    const fs::path file = testdata / c.file;
+    std::vector<Finding> findings;
+    if (!analyze_one(file, nullptr, &findings)) {
+      fail(std::string("cannot read ") + file.string());
+      continue;
+    }
+    if (c.check[0] == '\0') {
+      if (!findings.empty()) {
+        fail(std::string(c.file) + ": expected clean, got " +
+             std::to_string(findings.size()) + " finding(s): " +
+             findings[0].message);
+      }
+      continue;
+    }
+    int matching = 0;
+    bool sub_found = false;
+    for (const Finding& f : findings) {
+      if (f.check == c.check) ++matching;
+      if (f.message.find(c.expect_sub) != std::string::npos) {
+        sub_found = true;
+      }
+    }
+    if (matching < c.min_findings) {
+      fail(std::string(c.file) + ": expected >= " +
+           std::to_string(c.min_findings) + " " + c.check +
+           " finding(s), got " + std::to_string(matching));
+      continue;
+    }
+    if (!sub_found) {
+      fail(std::string(c.file) + ": no finding mentions '" + c.expect_sub +
+           "'");
+      continue;
+    }
+    // Masking check: the repo waivers must not silence a seeded TU.
+    if (!repo_waivers.empty()) {
+      std::vector<Finding> waived_run;
+      std::vector<Waiver> waivers_copy = repo_waivers;
+      if (!analyze_one(file, &waivers_copy, &waived_run)) continue;
+      int unwaived = 0;
+      for (const Finding& f : waived_run) {
+        if (!f.waived && f.check == c.check) ++unwaived;
+      }
+      if (unwaived < c.min_findings) {
+        fail(std::string(c.file) +
+             ": repo waivers.txt masks a seeded violation");
+      }
+    }
+  }
+
+  // Waiver mechanism: waived.cc findings are suppressed by the adjacent
+  // self-test waivers file, and unmatched waivers are detected.
+  {
+    const fs::path file = testdata / "waived.cc";
+    std::string wtext;
+    std::vector<Waiver> waivers;
+    if (!ReadFileToString(testdata / "waivers_selftest.txt", &wtext)) {
+      fail("cannot read waivers_selftest.txt");
+    } else {
+      std::string error;
+      if (!ParseWaivers(wtext, &waivers, &error)) {
+        fail("waivers_selftest.txt unparsable: " + error);
+      }
+    }
+    std::vector<Finding> without;
+    if (!analyze_one(file, nullptr, &without)) {
+      fail("cannot read waived.cc");
+    } else {
+      if (without.empty()) {
+        fail("waived.cc: expected findings without waivers, got none");
+      }
+      std::vector<Finding> with;
+      analyze_one(file, &waivers, &with);
+      for (const Finding& f : with) {
+        if (!f.waived) {
+          fail("waived.cc: finding not waived: " + f.message);
+          break;
+        }
+      }
+    }
+  }
+
+  // Waiver hygiene: a reason-less waiver must be rejected at parse time.
+  {
+    std::vector<Waiver> out;
+    std::string error;
+    if (ParseWaivers("hot-path SomeFunction\n", &out, &error)) {
+      fail("reason-less waiver was accepted");
+    }
+  }
+
+  if (failures > 0) {
+    std::cerr << "gqr-analyze: self-test: " << failures << " failure(s)\n";
+    return 1;
+  }
+  std::cout << "gqr-analyze: self-test OK ("
+            << sizeof(cases) / sizeof(cases[0])
+            << " seeded cases + waiver checks)\n";
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--build-dir") {
+      const char* v = next();
+      if (!v) return Usage();
+      opt.build_dir = v;
+    } else if (arg == "--source-dir") {
+      const char* v = next();
+      if (!v) return Usage();
+      opt.source_dir = v;
+    } else if (arg == "--waivers") {
+      const char* v = next();
+      if (!v) return Usage();
+      opt.waivers_path = v;
+    } else if (arg == "--check") {
+      const char* v = next();
+      if (!v) return Usage();
+      opt.check = v;
+      if (opt.check != "all" && opt.check != "hot-path" &&
+          opt.check != "lock-order") {
+        return Usage();
+      }
+    } else if (arg == "--testdata") {
+      const char* v = next();
+      if (!v) return Usage();
+      opt.testdata = v;
+    } else if (arg == "--dump") {
+      const char* v = next();
+      if (!v) return Usage();
+      opt.dump = v;
+    } else if (arg == "--self-test") {
+      opt.self_test = true;
+    } else if (arg == "-v" || arg == "--verbose") {
+      opt.verbose = true;
+    } else {
+      return Usage();
+    }
+  }
+  return opt.self_test ? RunSelfTest(opt) : RunRepo(opt);
+}
+
+}  // namespace
+}  // namespace gqr::analyze
+
+int main(int argc, char** argv) { return gqr::analyze::Main(argc, argv); }

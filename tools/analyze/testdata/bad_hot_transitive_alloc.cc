@@ -1,0 +1,18 @@
+// Self-test TU (analyzed, never compiled): a GQR_HOT entry reaching an
+// allocation two calls deep — exactly the gap lint rule C (direct
+// allocations only) cannot see. The analyzer must report the full
+// SeedHot -> SeedMid -> SeedLeafAlloc chain.
+
+int SeedLeafAlloc(int n);
+
+GQR_HOT int SeedHot(int n) { return SeedMid(n); }
+
+int SeedMid(int n) { return SeedLeafAlloc(n + 1); }
+
+int SeedLeafAlloc(int n) {
+  int* p = new int[n];  // transitive hot-path allocation: must fire
+  int sum = 0;
+  for (int i = 0; i < n; ++i) sum += p[i];
+  delete[] p;
+  return sum;
+}

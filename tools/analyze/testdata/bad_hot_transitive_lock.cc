@@ -1,0 +1,27 @@
+// Self-test TU (analyzed, never compiled): a GQR_HOT entry reaching a
+// blocking lock acquisition through a helper — the per-candidate loop
+// must never wait on a contended mutex.
+
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+  ~MutexLock();
+};
+
+Mutex g_stats_mu;
+int g_stats_count;
+
+int SeedCount();
+
+GQR_HOT int SeedHot(int n) { return n + SeedCount(); }
+
+int SeedCount() {
+  MutexLock lock(g_stats_mu);  // transitive blocking acquire: must fire
+  return g_stats_count;
+}

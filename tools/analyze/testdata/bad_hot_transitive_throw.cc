@@ -1,0 +1,12 @@
+// Self-test TU (analyzed, never compiled): a GQR_HOT entry reaching a
+// throw through a helper. Hot paths are noexcept territory — an unwound
+// probe loop corrupts per-query scratch reuse.
+
+float SeedCheck(float v);
+
+GQR_HOT float SeedHot(float v) { return SeedCheck(v) + 1.0f; }
+
+float SeedCheck(float v) {
+  if (v < 0.0f) throw 42;  // transitive hot-path throw: must fire
+  return v;
+}

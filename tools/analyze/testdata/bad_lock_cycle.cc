@@ -1,0 +1,32 @@
+// Self-test TU (analyzed, never compiled): classic A->B / B->A
+// inversion via scoped locks. Each function is individually correct —
+// only the global lock-order graph sees the cycle.
+
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+  ~MutexLock();
+};
+
+Mutex g_first;
+Mutex g_second;
+int g_x;
+int g_y;
+
+void SeedForward() {
+  MutexLock la(g_first);
+  MutexLock lb(g_second);  // g_first -> g_second
+  g_x = g_y + 1;
+}
+
+void SeedBackward() {
+  MutexLock lb(g_second);
+  MutexLock la(g_first);  // g_second -> g_first: closes the cycle
+  g_y = g_x + 1;
+}

@@ -1,0 +1,27 @@
+// Self-test TU (analyzed, never compiled): inversion where one side of
+// each edge comes from a GQR_REQUIRES annotation instead of a visible
+// scoped-lock acquisition — lock-held helpers participate in the global
+// order graph through their contracts.
+
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+  ~MutexLock();
+};
+
+Mutex g_table_mu;
+Mutex g_log_mu;
+
+void SeedLogLocked() GQR_REQUIRES(g_table_mu) {
+  MutexLock lock(g_log_mu);  // g_table_mu -> g_log_mu
+}
+
+void SeedTableLocked() GQR_REQUIRES(g_log_mu) {
+  MutexLock lock(g_table_mu);  // g_log_mu -> g_table_mu: cycle
+}

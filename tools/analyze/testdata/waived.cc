@@ -1,0 +1,12 @@
+// Self-test TU (analyzed, never compiled): a real violation whose
+// containing function matches an entry in waivers_selftest.txt. Proves
+// the waiver mechanism suppresses exactly what it names — the masking
+// check in --self-test separately proves the repo waivers.txt does NOT
+// suppress the other seeded TUs.
+
+GQR_HOT int WaivedSeedFn(int n) {
+  int* p = new int(n);  // waived by waivers_selftest.txt
+  const int v = *p;
+  delete p;
+  return v;
+}

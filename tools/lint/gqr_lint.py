@@ -242,31 +242,45 @@ def lint_tree(source_dir, build_dir, clang_query, require_cq, label):
 
 
 def self_test(clang_query, require_cq):
-    """Seeds the testdata TUs into a synthetic src/ tree and asserts each
-    rule fires on its bad TU and stays quiet on good.cc."""
+    """Seeds the testdata TUs into synthetic src/, bench/, and fuzz/
+    trees and asserts each rule fires on its bad TU — in every enforced
+    directory, so a regression that narrows the coverage to src/ fails
+    here — and stays quiet on good.cc."""
     testdata = os.path.join(LINT_DIR, "testdata")
     with tempfile.TemporaryDirectory(prefix="gqr_lint_selftest_") as tmp:
-        srcdir = os.path.join(tmp, "src")
-        os.makedirs(srcdir)
+        # (directory, source TU, seeded name): src/ carries the full set;
+        # bench/ and fuzz/ each get one bad TU per clang-query rule plus
+        # a raw assert, proving the rules see beyond src/.
+        seeds = [
+            ("src", "bad_raw_mutex.cc", "bad_raw_mutex.cc"),
+            ("src", "bad_hot_alloc.cc", "bad_hot_alloc.cc"),
+            ("src", "bad_assert.cc", "bad_assert.cc"),
+            ("src", "good.cc", "good.cc"),
+            ("bench", "bad_raw_mutex.cc", "bad_raw_mutex_bench.cc"),
+            ("bench", "bad_assert.cc", "bad_assert_bench.cc"),
+            ("fuzz", "bad_hot_alloc.cc", "bad_hot_alloc_fuzz.cc"),
+        ]
         tus = {}
-        for name in ("bad_raw_mutex.cc", "bad_hot_alloc.cc", "bad_assert.cc",
-                     "good.cc"):
-            dst = os.path.join(srcdir, name)
-            shutil.copyfile(os.path.join(testdata, name), dst)
-            tus[name] = dst
+        for subdir, src_name, dst_name in seeds:
+            os.makedirs(os.path.join(tmp, subdir), exist_ok=True)
+            dst = os.path.join(tmp, subdir, dst_name)
+            shutil.copyfile(os.path.join(testdata, src_name), dst)
+            tus[dst_name] = dst
 
         failures = []
 
         def expect(rule, findings, must_flag, must_not_flag):
             flagged = {os.path.basename(p) for (p, _) in findings}
-            if must_flag not in flagged:
-                failures.append(f"{rule}: expected a finding in {must_flag}, "
-                                f"got {sorted(flagged) or 'none'}")
+            for name in ([must_flag] if isinstance(must_flag, str)
+                         else must_flag):
+                if name not in flagged:
+                    failures.append(f"{rule}: expected a finding in {name}, "
+                                    f"got {sorted(flagged) or 'none'}")
             if must_not_flag in flagged:
                 failures.append(f"{rule}: false positive in {must_not_flag}")
 
-        expect("raw-assert", scan_raw_asserts(tmp, ("src",)),
-               "bad_assert.cc", "good.cc")
+        expect("raw-assert", scan_raw_asserts(tmp, ("src", "bench", "fuzz")),
+               ["bad_assert.cc", "bad_assert_bench.cc"], "good.cc")
 
         if clang_query is None:
             msg = "clang-query not found; self-test covered rule " \
@@ -289,13 +303,13 @@ def self_test(clang_query, require_cq):
                        clang_query,
                        os.path.join(LINT_DIR, "rules",
                                     "raw_sync_primitives.query"), tmp, files),
-                   "bad_raw_mutex.cc", "good.cc")
+                   ["bad_raw_mutex.cc", "bad_raw_mutex_bench.cc"], "good.cc")
             expect("hot-path-alloc",
                    run_clang_query(
                        clang_query,
                        os.path.join(LINT_DIR, "rules", "hot_path_alloc.query"),
                        tmp, files),
-                   "bad_hot_alloc.cc", "good.cc")
+                   ["bad_hot_alloc.cc", "bad_hot_alloc_fuzz.cc"], "good.cc")
 
         if failures:
             print("gqr_lint: self-test FAILED")
