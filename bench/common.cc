@@ -166,5 +166,59 @@ bool WriteFileAtomic(const std::string& path, const std::string& contents) {
   return true;
 }
 
+namespace {
+
+// JSON string escaping for the metadata values (compiler flag strings
+// can contain quotes and backslashes; nothing else exotic appears).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n' || c == '\t') c = ' ';
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string BuildMetadataJson() {
+  // Stamped by bench/CMakeLists.txt at configure time; defaults keep
+  // non-CMake compilations (e.g. analysis frontends) building.
+#if !defined(GQR_BENCH_GIT_SHA)
+#define GQR_BENCH_GIT_SHA "unknown"
+#endif
+#if !defined(GQR_BENCH_BUILD_TYPE)
+#define GQR_BENCH_BUILD_TYPE "unknown"
+#endif
+#if !defined(GQR_BENCH_BUILD_FLAGS)
+#define GQR_BENCH_BUILD_FLAGS ""
+#endif
+  std::string json = "{\"git_sha\": \"";
+  json += JsonEscape(GQR_BENCH_GIT_SHA);
+  json += "\", \"simd_level\": \"";
+  json += SimdLevelName(ActiveSimdLevel());
+  json += "\", \"build_type\": \"";
+  json += JsonEscape(GQR_BENCH_BUILD_TYPE);
+  json += "\", \"build_flags\": \"";
+  json += JsonEscape(GQR_BENCH_BUILD_FLAGS);
+  json += "\"}";
+  return json;
+}
+
+bool WriteBenchJson(const std::string& path, const std::string& json) {
+  const size_t brace = json.find('{');
+  if (brace == std::string::npos) {
+    std::fprintf(stderr, "WriteBenchJson: %s is not a JSON object document\n",
+                 path.c_str());
+    return false;
+  }
+  std::string stamped = json.substr(0, brace + 1);
+  stamped += "\n  \"meta\": " + BuildMetadataJson() + ",";
+  stamped += json.substr(brace + 1);
+  return WriteFileAtomic(path, stamped);
+}
+
 }  // namespace bench
 }  // namespace gqr

@@ -76,6 +76,18 @@ double Percentile(std::vector<double>* samples, double p);
 /// stderr) on any failure.
 bool WriteFileAtomic(const std::string& path, const std::string& contents);
 
+/// Provenance of this binary as a JSON object: git SHA (stamped at
+/// configure time), active SIMD dispatch level, build type and compiler
+/// flags. A BENCH_*.json without these is unreviewable — two runs that
+/// differ only in -march or a dirty tree look like a regression.
+std::string BuildMetadataJson();
+
+/// Stamps `json` (a complete JSON object document) with a "meta" field
+/// holding BuildMetadataJson() — inserted right after the opening brace,
+/// so it leads the document — then writes it via WriteFileAtomic. Every
+/// BENCH_*.json writer goes through here.
+bool WriteBenchJson(const std::string& path, const std::string& json);
+
 }  // namespace bench
 }  // namespace gqr
 

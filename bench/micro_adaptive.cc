@@ -185,7 +185,7 @@ int main(int argc, char** argv) {
   json += "  ]\n}\n";
 
   std::fputs(json.c_str(), stdout);
-  if (!bench::WriteFileAtomic(out_path, json)) return 1;
+  if (!bench::WriteBenchJson(out_path, json)) return 1;
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

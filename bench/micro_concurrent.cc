@@ -301,7 +301,7 @@ int Run(const char* out_path) {
   json += "}\n";
 
   std::fputs(json.c_str(), stdout);
-  return bench::WriteFileAtomic(out_path, json) ? 0 : 1;
+  return bench::WriteBenchJson(out_path, json) ? 0 : 1;
 }
 
 }  // namespace

@@ -474,7 +474,7 @@ int RunProjection(const char* out_path) {
   json += "}\n";
 
   std::fputs(json.c_str(), stdout);
-  return bench::WriteFileAtomic(out_path, json) ? 0 : 1;
+  return bench::WriteBenchJson(out_path, json) ? 0 : 1;
 }
 
 // Scalar-vs-dispatched throughput for one compressed kernel shape. The
@@ -638,7 +638,7 @@ int Run(const char* out_path) {
   json += "}\n";
 
   std::fputs(json.c_str(), stdout);
-  return bench::WriteFileAtomic(out_path, json) ? 0 : 1;
+  return bench::WriteBenchJson(out_path, json) ? 0 : 1;
 }
 
 }  // namespace

@@ -28,14 +28,13 @@
 #ifndef GQR_INDEX_SHARDED_INDEX_H_
 #define GQR_INDEX_SHARDED_INDEX_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <thread>
 #include <vector>
 
 #include "index/dynamic_table.h"
 #include "index/hash_table.h"
+#include "util/atomic.h"
 #include "util/bits.h"
 #include "util/status.h"
 #include "util/sync.h"
@@ -125,11 +124,12 @@ class ShardedIndex {
     // Advisory writer-preference gate, deliberately NOT guarded by mu:
     // glibc's shared_mutex is reader-preferring, so under sustained read
     // load an unbroken relay of shared holders starves ingest and
-    // freezes indefinitely. Readers yield while this is non-zero
-    // (relaxed atomics — the lock itself provides all synchronization);
+    // freezes indefinitely. Readers yield while this is non-zero (a
+    // counter-intent atomic — the lock itself provides all
+    // synchronization);
     // a reader may slip past a registering writer, which costs the
     // writer one more beat, never correctness.
-    mutable std::atomic<int> writers_waiting{0};
+    mutable Atomic<int> writers_waiting{0};
     DynamicHashTable table GQR_GUARDED_BY(mu);
     uint64_t version GQR_GUARDED_BY(mu) = 0;
     uint64_t frozen_version GQR_GUARDED_BY(mu) = 0;
@@ -144,8 +144,8 @@ class ShardedIndex {
    public:
     explicit ShardReadLock(const Shard& s) GQR_ACQUIRE_SHARED(s.mu)
         : mu_(&s.mu) {
-      while (s.writers_waiting.load(std::memory_order_relaxed) > 0) {
-        std::this_thread::yield();
+      while (s.writers_waiting.Load() > 0) {
+        SpinYield();
       }
       mu_->LockShared();
     }
@@ -163,9 +163,9 @@ class ShardedIndex {
   class GQR_SCOPED_CAPABILITY ShardWriteLock {
    public:
     explicit ShardWriteLock(Shard& s) GQR_ACQUIRE(s.mu) : mu_(&s.mu) {
-      s.writers_waiting.fetch_add(1, std::memory_order_relaxed);
+      s.writers_waiting.FetchAdd(1);
       mu_->Lock();
-      s.writers_waiting.fetch_sub(1, std::memory_order_relaxed);
+      s.writers_waiting.FetchSub(1);
     }
     ~ShardWriteLock() GQR_RELEASE() { mu_->Unlock(); }
 

@@ -76,7 +76,7 @@ void FeedbackTable::Record(uint64_t key, double observed) {
 
 bool FeedbackTable::TryRecord(uint64_t key, double observed) {
   if (!mu_.TryLock()) {
-    dropped_records_.fetch_add(1, std::memory_order_relaxed);
+    dropped_records_.FetchAdd(1);
     return false;
   }
   RecordLocked(key, observed);
@@ -133,7 +133,7 @@ void FeedbackTable::RecordLocked(uint64_t key, double observed) {
 FeedbackTable::Counters FeedbackTable::counters() const {
   ReaderLock lock(mu_);
   Counters snap = counters_;
-  snap.dropped_records = dropped_records_.load(std::memory_order_relaxed);
+  snap.dropped_records = dropped_records_.Load();
   return snap;
 }
 

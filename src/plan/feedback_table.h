@@ -36,11 +36,11 @@
 #ifndef GQR_PLAN_FEEDBACK_TABLE_H_
 #define GQR_PLAN_FEEDBACK_TABLE_H_
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "util/atomic.h"
 #include "util/sync.h"
 
 namespace gqr {
@@ -118,7 +118,7 @@ class FeedbackTable {
   Counters counters_ GQR_GUARDED_BY(mu_);
   // Outside the lock by design: bumped exactly when the lock could not
   // be taken. Folded into the Counters snapshot on read.
-  std::atomic<uint64_t> dropped_records_{0};
+  Atomic<uint64_t> dropped_records_{0};
 };
 
 }  // namespace gqr

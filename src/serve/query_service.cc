@@ -6,6 +6,7 @@
 #include "core/batch_search.h"
 #include "plan/planner.h"
 #include "util/check.h"
+#include "util/clock.h"
 
 namespace gqr {
 
@@ -104,7 +105,7 @@ bool QueryService::SubmitAsync(const float* query, size_t k, Deadline deadline,
       ++stats_.rejected;
       return false;
     }
-    r.enqueue_time = Clock::now();
+    r.enqueue_time = SteadyNow();
     r.flush_gen = flush_generation_;
     r.ticket = stats_.accepted;
     queue_.push_back(std::move(r));
@@ -155,8 +156,8 @@ void QueryService::Shutdown() {
   // Not safe against a *concurrent* Shutdown (join of the same thread),
   // but idempotent across sequential calls — the destructor's re-run
   // finds every worker already joined.
-  for (std::thread& w : workers_) {
-    if (w.joinable()) w.join();
+  for (Thread& w : workers_) {
+    if (w.Joinable()) w.Join();
   }
 }
 
@@ -214,7 +215,7 @@ bool QueryService::ClaimBatch(std::vector<Request>* batch) {
 
 void QueryService::ExecuteBatch(std::vector<Request>* batch) {
   if (batch->empty()) return;
-  const Clock::time_point claim_time = Clock::now();
+  const Clock::time_point claim_time = SteadyNow();
   const size_t dim = hasher_->dim();
 
   // Per-worker execution buffers; workers are long-lived threads, so the

@@ -46,7 +46,6 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <thread>
 #include <vector>
 
 #include "core/searcher.h"
@@ -55,6 +54,7 @@
 #include "hash/binary_hasher.h"
 #include "index/sharded_index.h"
 #include "util/sync.h"
+#include "util/thread.h"
 
 namespace gqr {
 
@@ -233,7 +233,7 @@ class QueryService {
 
   /// Written during construction, joined by Shutdown(); workers never
   /// touch the vector itself.
-  std::vector<std::thread> workers_;
+  std::vector<Thread> workers_;
 };
 
 }  // namespace gqr

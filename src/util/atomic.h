@@ -1,0 +1,163 @@
+// The repo's one sanctioned atomics layer.
+//
+// Raw std::atomic gives every call site the full memory-order menu, which
+// makes intent unreviewable: a relaxed load that feeds a pointer dereference
+// looks identical to a relaxed statistics counter. Here every atomic names
+// its protocol up front (AtomicIntent) and the wrapper only exposes the
+// orderings that protocol permits, so "which fence does this need?" is
+// answered by the declaration, not re-derived at each use. gqr-analyze
+// check (3) and lint rule D enforce that atomics outside this header do not
+// exist (util/det_sched.* excepted: the model-checking scheduler is
+// instrumentation underneath this layer, like util/sync.h is for locks).
+//
+// Under GQR_MODELCHECK builds every operation is additionally a scheduler
+// visible event (det::OnAtomicOp), so the deterministic explorer can
+// interleave threads between atomic accesses exactly like between lock
+// operations.
+#ifndef GQR_UTIL_ATOMIC_H_
+#define GQR_UTIL_ATOMIC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#if defined(GQR_MODELCHECK)
+#include "util/det_sched.h"
+#endif
+
+namespace gqr {
+
+namespace atomic_internal {
+
+#if defined(GQR_MODELCHECK)
+inline void Event(const void* addr, bool write) {
+  det::OnAtomicOp(addr, write);
+}
+inline void YieldEvent() { det::OnYield(); }
+#else
+inline void Event(const void*, bool) {}
+inline void YieldEvent() {}
+#endif
+
+}  // namespace atomic_internal
+
+/// The synchronization protocol an atomic participates in. The intent picks
+/// the memory orders; call sites never spell them.
+enum class AtomicIntent {
+  /// Monotonic statistics / advisory gates. All operations relaxed: the
+  /// value never releases other writes, readers tolerate staleness.
+  kCounter,
+  /// Version word of a seqlock-style protocol: writers bump with release,
+  /// readers load with acquire and retry on odd/changed values.
+  kSeqlock,
+  /// Publication pointer (or index) for immutable payloads: stores are
+  /// release so the payload written before the store is visible to any
+  /// reader whose acquire load observes the new value.
+  kPublicationPtr,
+};
+
+/// Atomic with a named protocol. The API is deliberately narrower than
+/// std::atomic: only the operations and orderings the declared intent
+/// permits exist, so misuse is a compile error rather than a data race.
+template <typename T, AtomicIntent Intent = AtomicIntent::kCounter>
+class Atomic {
+ public:
+  constexpr Atomic() noexcept : v_(T{}) {}
+  constexpr explicit Atomic(T init) noexcept : v_(init) {}
+
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  /// Protocol-ordered load: relaxed for kCounter, acquire otherwise.
+  T Load() const noexcept {
+    atomic_internal::Event(&v_, /*write=*/false);
+    return v_.load(kLoadOrder);
+  }
+
+  /// Protocol-ordered store: relaxed for kCounter, release otherwise.
+  void Store(T value) noexcept {
+    atomic_internal::Event(&v_, /*write=*/true);
+    v_.store(value, kStoreOrder);
+  }
+
+  /// Read-modify-writes keep the protocol's store order on the write side
+  /// (relaxed for counters, acq_rel for seqlock version bumps).
+  T FetchAdd(T delta) noexcept {
+    atomic_internal::Event(&v_, /*write=*/true);
+    return v_.fetch_add(delta, kRmwOrder);
+  }
+  T FetchSub(T delta) noexcept {
+    atomic_internal::Event(&v_, /*write=*/true);
+    return v_.fetch_sub(delta, kRmwOrder);
+  }
+  T Exchange(T value) noexcept {
+    atomic_internal::Event(&v_, /*write=*/true);
+    return v_.exchange(value, kRmwOrder);
+  }
+  bool CompareExchange(T& expected, T desired) noexcept {
+    atomic_internal::Event(&v_, /*write=*/true);
+    return v_.compare_exchange_strong(expected, desired, kRmwOrder,
+                                      kLoadOrder);
+  }
+
+ private:
+  static constexpr std::memory_order kLoadOrder =
+      Intent == AtomicIntent::kCounter ? std::memory_order_relaxed
+                                       : std::memory_order_acquire;
+  static constexpr std::memory_order kStoreOrder =
+      Intent == AtomicIntent::kCounter ? std::memory_order_relaxed
+                                       : std::memory_order_release;
+  static constexpr std::memory_order kRmwOrder =
+      Intent == AtomicIntent::kCounter ? std::memory_order_relaxed
+                                       : std::memory_order_acq_rel;
+
+  std::atomic<T> v_;
+};
+
+/// Shorthand for the publication protocol (pointer-typed payloads must use
+/// this; gqr-analyze check (3) flags a pointer-typed Atomic without it).
+template <typename T>
+using AtomicPublicationPtr = Atomic<T, AtomicIntent::kPublicationPtr>;
+
+/// Test-and-set spin flag (acquire on set, release on clear) for leaf
+/// critical sections that must never block — e.g. the GQR_VALIDATE
+/// lock-order registry, which runs *inside* every Mutex::Lock and so cannot
+/// itself take a Mutex. Deliberately NOT a det_sched schedule point: a
+/// modeled spin over a suspended holder cannot make progress under
+/// serialized execution, and the sections it guards are a handful of
+/// instructions with no nested synchronization.
+class SpinFlag {
+ public:
+  SpinFlag() noexcept = default;
+  SpinFlag(const SpinFlag&) = delete;
+  SpinFlag& operator=(const SpinFlag&) = delete;
+
+  /// Returns true if the flag was clear and is now set (acquire).
+  bool TryAcquire() noexcept {
+    return !flag_.test_and_set(std::memory_order_acquire);
+  }
+  void Acquire() noexcept {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void Release() noexcept { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+/// Backoff step of an advisory spin loop (e.g. the sharded-index writer
+/// preference gate). In normal builds this is std::this_thread::yield();
+/// under an active deterministic exploration it tells the scheduler the
+/// calling thread cannot progress until some other thread runs, which both
+/// keeps the schedule tree finite and models yield semantics faithfully.
+inline void SpinYield() {
+#if defined(GQR_MODELCHECK)
+  atomic_internal::YieldEvent();
+#endif
+  std::this_thread::yield();
+}
+
+}  // namespace gqr
+
+#endif  // GQR_UTIL_ATOMIC_H_

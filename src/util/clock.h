@@ -1,0 +1,31 @@
+// Deterministic time source for the serving stack.
+//
+// All deadline / linger arithmetic in serve/ goes through SteadyNow()
+// instead of steady_clock::now() directly. In ordinary builds this is the
+// real clock. Under an active GQR_MODELCHECK exploration it is the
+// scheduler's virtual clock (one tick per transition, jumping to the
+// deadline when a timeout transition fires), which makes time-dependent
+// control flow — batch linger loops, deadline expiry — a deterministic
+// function of the schedule and therefore explorable and replayable.
+#ifndef GQR_UTIL_CLOCK_H_
+#define GQR_UTIL_CLOCK_H_
+
+#include <chrono>
+
+#if defined(GQR_MODELCHECK)
+#include "util/det_sched.h"
+#endif
+
+namespace gqr {
+
+inline std::chrono::steady_clock::time_point SteadyNow() {
+#if defined(GQR_MODELCHECK)
+  std::chrono::steady_clock::time_point t;
+  if (det::VirtualNow(&t)) return t;
+#endif
+  return std::chrono::steady_clock::now();
+}
+
+}  // namespace gqr
+
+#endif  // GQR_UTIL_CLOCK_H_

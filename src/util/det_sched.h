@@ -1,0 +1,194 @@
+// Deterministic, preemption-bounded schedule explorer (CHESS/DPOR-lite)
+// for the serving stack's synchronization protocols.
+//
+// TSan observes only the interleavings the OS happens to schedule; both
+// historical races in this repo (the PR-8 lost-wakeup flush race, the
+// PR-9 blocking-planner stall) were interleaving-dependent and survived
+// sanitizer runs. This module replaces the OS scheduler for a scenario
+// under test: every synchronization point that already funnels through
+// util/sync.h (mutex / shared-mutex acquire + release, condvar wait +
+// notify), every util/atomic.h operation, and every util/thread.h spawn /
+// join becomes a *transition* of an explicit interleaving graph. Threads
+// run one at a time, handing control back at each transition, and the
+// explorer enumerates every schedule reachable with at most
+// `preemption_bound` forced context switches (CHESS's key result: almost
+// all concurrency bugs manifest within 2 preemptions), pruning provably
+// equivalent interleavings with sleep sets (the DPOR family's core idea).
+//
+// Everything here is compiled in every build so the explorer's own unit
+// tests always run, but the util/sync.h / util/atomic.h / util/thread.h
+// hook *call sites* exist only under GQR_MODELCHECK builds, keeping
+// normal builds zero-cost. Even in a GQR_MODELCHECK build the hooks are a
+// single thread_local load for any thread not owned by an active
+// exploration, so the full ordinary test suite still runs unchanged.
+//
+// Modeling notes (all deliberate, all documented in DESIGN.md §18):
+//  - Managed mutexes/condvars are *virtualized*: their state lives in the
+//    model, the real std primitives are never touched by managed threads
+//    (a real lock held by a suspended thread would deadlock serialized
+//    execution).
+//  - notify_one wakes waiters FIFO; real condvars promise nothing, but a
+//    deterministic choice is required for replay, and the explorer still
+//    interleaves wake-ups against every other transition.
+//  - Spurious wakeups are not modeled; timed waits always carry an
+//    always-enabled "timeout fires" transition instead, which covers the
+//    wake-with-predicate-false paths that matter in this codebase.
+//  - SpinYield() tells the scheduler the thread cannot progress until
+//    another thread runs; this keeps advisory spin loops (the sharded
+//    index writer gate) finite under exploration.
+//
+// A failing schedule prints a compact replay token (run-length encoded
+// thread choices, e.g. "t0x12.t1x3.t0"); Options::replay_token re-executes
+// exactly that schedule with a verbose transition trace.
+#ifndef GQR_UTIL_DET_SCHED_H_
+#define GQR_UTIL_DET_SCHED_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace gqr::det {
+
+/// Exploration parameters.
+struct Options {
+  /// Max forced context switches per schedule (a switch away from a
+  /// still-runnable thread). 0 explores only the cooperative schedule.
+  int preemption_bound = 2;
+  /// Stop after this many schedules (0 = unlimited). The run is then
+  /// reported incomplete, never silently truncated.
+  uint64_t max_schedules = 0;
+  /// Wall-clock budget in milliseconds (0 = unlimited); checked between
+  /// schedules, so one schedule may overshoot.
+  int64_t budget_ms = 0;
+  /// When non-empty: run exactly one schedule following this token
+  /// (produced by a previous failing run) instead of exploring.
+  std::string replay_token;
+  /// Print every transition of every schedule to stderr (use with
+  /// replay_token; unusable noise during exploration).
+  bool trace = false;
+  /// Per-schedule transition cap; exceeding it is reported as a
+  /// "livelock" finding (a schedule that cannot terminate, e.g. two
+  /// spinners yielding to each other with no writer left to unblock
+  /// them, has no other observable signature under serialized execution).
+  uint64_t max_steps = 100000;
+};
+
+/// What the exploration did. One Stats object per Explore() call.
+struct Stats {
+  uint64_t schedules = 0;         // Complete schedules executed.
+  uint64_t transitions = 0;       // Total transitions across schedules.
+  uint64_t decision_points = 0;   // States with >= 2 enabled threads.
+  uint64_t sleep_skips = 0;       // Branches pruned by sleep sets.
+  uint64_t bound_skips = 0;       // Branches pruned by the preemption bound.
+  uint64_t redundant_runs = 0;    // Schedules finished in sleep-covered mode.
+  uint64_t max_depth = 0;         // Longest schedule (transitions).
+  double wall_ms = 0;
+  bool complete = false;  // True when the bounded space was exhausted.
+  bool found = false;     // True when a finding aborted exploration.
+  std::string finding_kind;     // "deadlock", "livelock", "assert",
+                                // "hot-blocked", "double-lock",
+                                // "unlock-not-owner", "internal".
+  std::string finding_message;  // Human-readable one-liner.
+  std::string finding_token;    // Replay token of the failing schedule.
+};
+
+/// Runs `body` as the root thread of a fresh exploration and enumerates
+/// schedules until the bounded space is exhausted, a budget trips, or a
+/// finding occurs. `body` runs once per schedule and must be
+/// deterministic given the schedule (no wall-clock reads — use
+/// gqr::SteadyNow —, no randomness, no I/O races); the explorer verifies
+/// this by re-checking enabled sets during prefix replay and reports an
+/// "internal" finding on divergence.
+///
+/// On a finding the explorer stops scheduling; suspended scenario threads
+/// are intentionally leaked (they may be deadlocked — that can be the
+/// finding), so the caller must treat the process as doomed and exit
+/// after reporting. tools/modelcheck does exactly that.
+Stats Explore(const std::function<void()>& body, const Options& options);
+
+/// True when the *calling thread* is a managed thread of an active
+/// exploration. All hooks below are no-ops returning false when this is
+/// false, which is what makes the instrumented build safe for ordinary
+/// tests.
+bool Active();
+
+/// Declares the calling managed thread hot-path (serving fast path): any
+/// *contended* blocking acquire or condvar wait while hot is reported as
+/// a "hot-blocked" finding — the dynamic twin of gqr-analyze check (1).
+void SetHotPath(bool hot);
+
+/// Scenario invariant. A false `ok` aborts the current exploration with
+/// an "assert" finding carrying `msg` and the replay token.
+void ModelAssert(bool ok, const char* msg);
+
+/// Deterministic stand-in for steady_clock::now() on managed threads:
+/// a logical clock that ticks once per transition and jumps to the
+/// deadline when a timeout transition fires. Returns false (leaving *now
+/// untouched) on unmanaged threads.
+bool VirtualNow(std::chrono::steady_clock::time_point* now);
+
+// ---------------------------------------------------------------------------
+// Hooks — called from util/sync.h, util/atomic.h, util/thread.h under
+// GQR_MODELCHECK. Each returns true when the operation was performed on
+// the virtualized primitive; the caller must then NOT touch the real one.
+// A false return means "not managed — do the real operation".
+// ---------------------------------------------------------------------------
+
+bool OnMutexLock(void* mu);
+bool OnMutexTryLock(void* mu, bool* acquired);
+bool OnMutexUnlock(void* mu);
+
+bool OnSharedLock(void* mu);
+bool OnSharedTryLock(void* mu, bool* acquired);
+bool OnSharedUnlock(void* mu);
+bool OnSharedLockShared(void* mu);
+bool OnSharedTryLockShared(void* mu, bool* acquired);
+bool OnSharedUnlockShared(void* mu);
+
+bool OnCvWait(void* cv, void* mu);
+/// *timed_out reports whether the wait ended by the deadline transition.
+bool OnCvWaitUntil(void* cv, void* mu,
+                   std::chrono::steady_clock::time_point deadline,
+                   bool* timed_out);
+bool OnCvNotifyOne(void* cv);
+bool OnCvNotifyAll(void* cv);
+
+/// Schedule point around a util/atomic.h operation (the real atomic op
+/// runs in the calling thread right after the hook returns; serialized
+/// execution makes that order the modeled order).
+void OnAtomicOp(const void* addr, bool write);
+
+/// SpinYield(): the thread is descheduled until another thread has taken
+/// at least one transition (no-op when unmanaged).
+void OnYield();
+
+// Thread lifecycle — used by gqr::Thread only.
+
+/// Registers a child of the calling managed thread; returns its logical
+/// id, or -1 when the caller is unmanaged (spawn a plain thread then).
+int RegisterChild();
+/// Child-side entry: adopts logical id `child_id`, runs `fn` under the
+/// scheduler, then parks until the real thread may exit.
+void RunChild(int child_id, const std::function<void()>& fn);
+/// Parent-side: waits for the child to reach its first schedule point,
+/// then takes one "spawn" transition.
+void OnChildSpawned(int child_id);
+/// Join transition: enabled once the child's logical thread finished.
+/// Returns false when the calling thread is unmanaged or `child_id` < 0.
+bool OnThreadJoin(int child_id);
+
+/// Model-state cleanup when a managed thread destroys a sync primitive
+/// (Mutex / SharedMutex / CondVar). Destroying one that is held or has
+/// waiters is reported as a finding. No-op on unmanaged threads.
+void OnSyncDestroy(const void* obj);
+
+// Replay-token codec (public for unit tests and tools/modelcheck).
+// Format: run-length encoded thread choices, "t0x12.t1.t0x3".
+std::string EncodeToken(const std::vector<int>& choices);
+bool DecodeToken(const std::string& token, std::vector<int>* choices);
+
+}  // namespace gqr::det
+
+#endif  // GQR_UTIL_DET_SCHED_H_

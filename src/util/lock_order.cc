@@ -2,10 +2,10 @@
 
 #if defined(GQR_VALIDATE) && GQR_VALIDATE
 
-#include <atomic>
 #include <map>
 #include <vector>
 
+#include "util/atomic.h"
 #include "util/check.h"
 
 namespace gqr::lock_order {
@@ -35,7 +35,7 @@ struct Edge {
 };
 
 // The order graph cannot use util/sync.h primitives (they call back
-// into this detector), so it hides behind a raw test-and-set spinlock.
+// into this detector), so it hides behind a test-and-set SpinFlag.
 // Acquisitions are short — map lookups plus a bounded DFS — and the
 // detector only exists in GQR_VALIDATE builds, where throughput is
 // already sacrificed to checking.
@@ -82,16 +82,13 @@ class Registry {
  private:
   class SpinGuard {
    public:
-    explicit SpinGuard(std::atomic_flag& flag) : flag_(flag) {
-      while (flag_.test_and_set(std::memory_order_acquire)) {
-      }
-    }
-    ~SpinGuard() { flag_.clear(std::memory_order_release); }
+    explicit SpinGuard(SpinFlag& flag) : flag_(flag) { flag_.Acquire(); }
+    ~SpinGuard() { flag_.Release(); }
     SpinGuard(const SpinGuard&) = delete;
     SpinGuard& operator=(const SpinGuard&) = delete;
 
    private:
-    std::atomic_flag& flag_;
+    SpinFlag& flag_;
   };
 
   /// Aborts if `from` can already reach the held lock `to` through
@@ -138,7 +135,7 @@ class Registry {
     }
   }
 
-  std::atomic_flag busy_ = ATOMIC_FLAG_INIT;
+  SpinFlag busy_;
   std::map<const void*, std::map<const void*, Edge>> edges_;
 };
 

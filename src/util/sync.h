@@ -38,6 +38,17 @@
 #include <mutex>
 #include <shared_mutex>
 
+// Under GQR_MODELCHECK builds every primitive operation below first offers
+// itself to the deterministic schedule explorer (util/det_sched.h). For a
+// managed thread of an active exploration the operation happens on the
+// *virtualized* primitive inside the model — the std object is never
+// touched — and the hook returns true. For every other thread (the entire
+// ordinary test suite) the hook is one thread_local load returning false
+// and the real operation proceeds. Ordinary builds compile none of this.
+#if defined(GQR_MODELCHECK)
+#include "util/det_sched.h"
+#endif
+
 // ---------------------------------------------------------------------------
 // Runtime lock-order hooks (GQR_VALIDATE builds only). Every blocking
 // acquisition reports to util/lock_order.h *before* it blocks, carrying
@@ -158,21 +169,38 @@ namespace gqr {
 class GQR_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
-  ~Mutex() { GQR_SYNC_ON_DESTROY_(this); }
+  ~Mutex() {
+    GQR_SYNC_ON_DESTROY_(this);
+#if defined(GQR_MODELCHECK)
+    det::OnSyncDestroy(this);
+#endif
+  }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
   void Lock(GQR_SYNC_SITE_PARAMS_) GQR_ACQUIRE()
       GQR_NO_THREAD_SAFETY_ANALYSIS {
     GQR_SYNC_ON_ACQUIRE_(this);
+#if defined(GQR_MODELCHECK)
+    if (det::OnMutexLock(this)) return;
+#endif
     mu_.lock();
   }
   void Unlock() GQR_RELEASE() GQR_NO_THREAD_SAFETY_ANALYSIS {
     GQR_SYNC_ON_RELEASE_(this);
+#if defined(GQR_MODELCHECK)
+    if (det::OnMutexUnlock(this)) return;
+#endif
     mu_.unlock();
   }
   bool TryLock(GQR_SYNC_SITE_PARAMS_) GQR_TRY_ACQUIRE(true)
       GQR_NO_THREAD_SAFETY_ANALYSIS {
+#if defined(GQR_MODELCHECK)
+    {
+      bool acquired;
+      if (det::OnMutexTryLock(this, &acquired)) return acquired;
+    }
+#endif
     const bool acquired = mu_.try_lock();
     if (acquired) GQR_SYNC_ON_TRY_(this);
     return acquired;
@@ -193,7 +221,12 @@ class GQR_CAPABILITY("mutex") Mutex {
 class GQR_CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
-  ~SharedMutex() { GQR_SYNC_ON_DESTROY_(this); }
+  ~SharedMutex() {
+    GQR_SYNC_ON_DESTROY_(this);
+#if defined(GQR_MODELCHECK)
+    det::OnSyncDestroy(this);
+#endif
+  }
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
@@ -203,29 +236,53 @@ class GQR_CAPABILITY("shared_mutex") SharedMutex {
   void Lock(GQR_SYNC_SITE_PARAMS_) GQR_ACQUIRE()
       GQR_NO_THREAD_SAFETY_ANALYSIS {
     GQR_SYNC_ON_ACQUIRE_(this);
+#if defined(GQR_MODELCHECK)
+    if (det::OnSharedLock(this)) return;
+#endif
     mu_.lock();
   }
   void Unlock() GQR_RELEASE() GQR_NO_THREAD_SAFETY_ANALYSIS {
     GQR_SYNC_ON_RELEASE_(this);
+#if defined(GQR_MODELCHECK)
+    if (det::OnSharedUnlock(this)) return;
+#endif
     mu_.unlock();
   }
   void LockShared(GQR_SYNC_SITE_PARAMS_) GQR_ACQUIRE_SHARED()
       GQR_NO_THREAD_SAFETY_ANALYSIS {
     GQR_SYNC_ON_ACQUIRE_(this);
+#if defined(GQR_MODELCHECK)
+    if (det::OnSharedLockShared(this)) return;
+#endif
     mu_.lock_shared();
   }
   void UnlockShared() GQR_RELEASE_SHARED() GQR_NO_THREAD_SAFETY_ANALYSIS {
     GQR_SYNC_ON_RELEASE_(this);
+#if defined(GQR_MODELCHECK)
+    if (det::OnSharedUnlockShared(this)) return;
+#endif
     mu_.unlock_shared();
   }
   bool TryLock(GQR_SYNC_SITE_PARAMS_) GQR_TRY_ACQUIRE(true)
       GQR_NO_THREAD_SAFETY_ANALYSIS {
+#if defined(GQR_MODELCHECK)
+    {
+      bool acquired;
+      if (det::OnSharedTryLock(this, &acquired)) return acquired;
+    }
+#endif
     const bool acquired = mu_.try_lock();
     if (acquired) GQR_SYNC_ON_TRY_(this);
     return acquired;
   }
   bool TryLockShared(GQR_SYNC_SITE_PARAMS_) GQR_TRY_ACQUIRE_SHARED(true)
       GQR_NO_THREAD_SAFETY_ANALYSIS {
+#if defined(GQR_MODELCHECK)
+    {
+      bool acquired;
+      if (det::OnSharedTryLockShared(this, &acquired)) return acquired;
+    }
+#endif
     const bool acquired = mu_.try_lock_shared();
     if (acquired) GQR_SYNC_ON_TRY_(this);
     return acquired;
@@ -299,12 +356,22 @@ class GQR_SCOPED_CAPABILITY WriterLock {
 class CondVar {
  public:
   CondVar() = default;
+  ~CondVar() {
+#if defined(GQR_MODELCHECK)
+    det::OnSyncDestroy(this);
+#endif
+  }
   CondVar(const CondVar&) = delete;
   CondVar& operator=(const CondVar&) = delete;
 
   /// Atomically releases `mu`, blocks, and reacquires `mu` before
   /// returning. Spurious wakeups possible; always re-check the predicate.
-  void Wait(Mutex& mu) GQR_REQUIRES(mu) { cv_.wait(mu.mu_); }
+  void Wait(Mutex& mu) GQR_REQUIRES(mu) {
+#if defined(GQR_MODELCHECK)
+    if (det::OnCvWait(this, &mu)) return;
+#endif
+    cv_.wait(mu.mu_);
+  }
 
   /// As Wait, but gives up once the steady-clock `deadline` passes.
   /// Returns false on timeout, true on notification — including spurious
@@ -313,11 +380,29 @@ class CondVar {
   /// shape). `mu` is held again on return in both cases.
   bool WaitUntil(Mutex& mu, std::chrono::steady_clock::time_point deadline)
       GQR_REQUIRES(mu) {
+#if defined(GQR_MODELCHECK)
+    {
+      bool timed_out;
+      if (det::OnCvWaitUntil(this, &mu, deadline, &timed_out)) {
+        return !timed_out;
+      }
+    }
+#endif
     return cv_.wait_until(mu.mu_, deadline) == std::cv_status::no_timeout;
   }
 
-  void NotifyOne() { cv_.notify_one(); }
-  void NotifyAll() { cv_.notify_all(); }
+  void NotifyOne() {
+#if defined(GQR_MODELCHECK)
+    if (det::OnCvNotifyOne(this)) return;
+#endif
+    cv_.notify_one();
+  }
+  void NotifyAll() {
+#if defined(GQR_MODELCHECK)
+    if (det::OnCvNotifyAll(this)) return;
+#endif
+    cv_.notify_all();
+  }
 
  private:
   std::condition_variable_any cv_;

@@ -1,0 +1,89 @@
+// The repo's sanctioned thread handle.
+//
+// A thin wrapper over std::thread in ordinary builds. Under GQR_MODELCHECK,
+// a thread spawned *by a managed thread of an active deterministic
+// exploration* (util/det_sched.h) is registered with the scheduler before
+// it runs: creation becomes a schedule transition, the child executes only
+// when scheduled, and Join() becomes a transition enabled once the child's
+// logical thread finished. Threads spawned outside an exploration — the
+// entire ordinary test suite — behave exactly like std::thread.
+#ifndef GQR_UTIL_THREAD_H_
+#define GQR_UTIL_THREAD_H_
+
+#include <thread>
+#include <utility>
+
+#if defined(GQR_MODELCHECK)
+#include <functional>
+
+#include "util/det_sched.h"
+#endif
+
+namespace gqr {
+
+class Thread {
+ public:
+  Thread() noexcept = default;
+
+  template <typename F>
+  explicit Thread(F&& fn) {
+#if defined(GQR_MODELCHECK)
+    if (det::Active()) {
+      det_id_ = det::RegisterChild();
+      std::function<void()> body(std::forward<F>(fn));
+      real_ = std::thread([id = det_id_, body = std::move(body)] {
+        det::RunChild(id, body);
+      });
+      det::OnChildSpawned(det_id_);
+      return;
+    }
+#endif
+    real_ = std::thread(std::forward<F>(fn));
+  }
+
+  Thread(Thread&& other) noexcept
+      : real_(std::move(other.real_))
+#if defined(GQR_MODELCHECK)
+        ,
+        det_id_(other.det_id_)
+#endif
+  {
+#if defined(GQR_MODELCHECK)
+    other.det_id_ = -1;
+#endif
+  }
+
+  Thread& operator=(Thread&& other) noexcept {
+    real_ = std::move(other.real_);
+#if defined(GQR_MODELCHECK)
+    det_id_ = other.det_id_;
+    other.det_id_ = -1;
+#endif
+    return *this;
+  }
+
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  bool Joinable() const noexcept { return real_.joinable(); }
+
+  void Join() {
+#if defined(GQR_MODELCHECK)
+    if (det_id_ >= 0) {
+      det::OnThreadJoin(det_id_);  // No-op if the joiner is unmanaged.
+      det_id_ = -1;
+    }
+#endif
+    real_.join();
+  }
+
+ private:
+  std::thread real_;
+#if defined(GQR_MODELCHECK)
+  int det_id_ = -1;
+#endif
+};
+
+}  // namespace gqr
+
+#endif  // GQR_UTIL_THREAD_H_

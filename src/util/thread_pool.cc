@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <thread>
 
 namespace gqr {
 
@@ -29,7 +30,7 @@ ThreadPool::~ThreadPool() {
     shutting_down_ = true;
   }
   task_available_.NotifyAll();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) w.Join();
 }
 
 bool ThreadPool::CurrentThreadInPool() const {

@@ -6,10 +6,10 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <thread>
 #include <vector>
 
 #include "util/sync.h"
+#include "util/thread.h"
 
 namespace gqr {
 
@@ -101,7 +101,7 @@ class ThreadPool {
   void WorkerLoop() GQR_EXCLUDES(mu_);
 
   // Written only during construction/join; workers never mutate it.
-  std::vector<std::thread> workers_;
+  std::vector<Thread> workers_;
   Mutex mu_;
   CondVar task_available_;
   std::deque<Task> tasks_ GQR_GUARDED_BY(mu_);

@@ -1,0 +1,265 @@
+// Unit tests for the deterministic schedule explorer (util/det_sched.h).
+//
+// The replay-token codec and the degenerate single-threaded exploration
+// run in every build. The multi-threaded explorations — mutual exclusion,
+// deadlock discovery, condvar wake-ups, the virtual clock — need the
+// GQR_MODELCHECK hooks in util/sync.h and util/thread.h and are compiled
+// only into the modelcheck CI leg's build.
+//
+// Tests that expect a finding deliberately leak the parked scenario
+// threads (a found deadlock cannot unwind); each leaks two tiny stacks,
+// which is fine for a test process and is the explorer's documented
+// contract.
+
+#include "util/det_sched.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#if defined(GQR_MODELCHECK)
+#include "util/atomic.h"
+#include "util/clock.h"
+#include "util/sync.h"
+#include "util/thread.h"
+#endif
+
+namespace gqr {
+namespace {
+
+TEST(ReplayToken, RoundTrip) {
+  const std::vector<int> choices = {0, 0, 0, 1, 0, 2, 2, 2, 2, 1};
+  const std::string token = det::EncodeToken(choices);
+  EXPECT_EQ(token, "t0x3.t1.t0.t2x4.t1");
+  std::vector<int> back;
+  ASSERT_TRUE(det::DecodeToken(token, &back));
+  EXPECT_EQ(back, choices);
+}
+
+TEST(ReplayToken, EmptyAndSingle) {
+  EXPECT_EQ(det::EncodeToken({}), "");
+  EXPECT_EQ(det::EncodeToken({7}), "t7");
+  std::vector<int> back;
+  ASSERT_TRUE(det::DecodeToken("t7", &back));
+  EXPECT_EQ(back, std::vector<int>{7});
+}
+
+TEST(ReplayToken, RejectsGarbage) {
+  std::vector<int> back;
+  EXPECT_FALSE(det::DecodeToken("x0", &back));
+  EXPECT_FALSE(det::DecodeToken("t", &back));
+  EXPECT_FALSE(det::DecodeToken("t0x", &back));
+  EXPECT_FALSE(det::DecodeToken("t0.", &back));
+  EXPECT_FALSE(det::DecodeToken("t0..t1", &back));
+  EXPECT_FALSE(det::DecodeToken("t0x0", &back));
+}
+
+TEST(DetSched, SingleThreadedBodyExploresOneSchedule) {
+  int runs = 0;
+  det::Options opts;
+  det::Stats stats = det::Explore([&] { ++runs; }, opts);
+  EXPECT_FALSE(stats.found) << stats.finding_message;
+  EXPECT_TRUE(stats.complete);
+  EXPECT_EQ(stats.schedules, 1u);
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(DetSched, InactiveOutsideExploration) {
+  EXPECT_FALSE(det::Active());
+  std::chrono::steady_clock::time_point tp;
+  EXPECT_FALSE(det::VirtualNow(&tp));
+}
+
+#if defined(GQR_MODELCHECK)
+
+TEST(DetSched, MutualExclusionHoldsAcrossAllSchedules) {
+  det::Options opts;
+  det::Stats stats = det::Explore(
+      [] {
+        Mutex mu;
+        int counter = 0;
+        auto bump = [&] {
+          for (int i = 0; i < 2; ++i) {
+            MutexLock lock(mu);
+            ++counter;
+          }
+        };
+        Thread a(bump);
+        Thread b(bump);
+        a.Join();
+        b.Join();
+        det::ModelAssert(counter == 4, "lost update under mutex");
+      },
+      opts);
+  EXPECT_FALSE(stats.found) << stats.finding_kind << ": "
+                            << stats.finding_message;
+  EXPECT_TRUE(stats.complete);
+  EXPECT_GT(stats.schedules, 1u);  // Interleavings were actually explored.
+}
+
+TEST(DetSched, FindsAbBaDeadlockAndReplaysIt) {
+  auto scenario = [] {
+    Mutex a, b;
+    Thread t1([&] {
+      MutexLock la(a);
+      MutexLock lb(b);
+    });
+    Thread t2([&] {
+      MutexLock lb(b);
+      MutexLock la(a);
+    });
+    t1.Join();
+    t2.Join();
+  };
+  det::Options opts;
+  det::Stats stats = det::Explore(scenario, opts);
+  ASSERT_TRUE(stats.found);
+  EXPECT_EQ(stats.finding_kind, "deadlock");
+  ASSERT_FALSE(stats.finding_token.empty());
+
+  // The printed token must deterministically reproduce the finding.
+  det::Options replay;
+  replay.replay_token = stats.finding_token;
+  det::Stats again = det::Explore(scenario, replay);
+  ASSERT_TRUE(again.found);
+  EXPECT_EQ(again.finding_kind, "deadlock");
+}
+
+TEST(DetSched, CondVarHandoffCompletes) {
+  det::Options opts;
+  det::Stats stats = det::Explore(
+      [] {
+        Mutex mu;
+        CondVar cv;
+        bool ready = false;
+        Thread consumer([&] {
+          MutexLock lock(mu);
+          while (!ready) cv.Wait(mu);
+        });
+        {
+          MutexLock lock(mu);
+          ready = true;
+        }
+        cv.NotifyOne();
+        consumer.Join();
+      },
+      opts);
+  EXPECT_FALSE(stats.found) << stats.finding_kind << ": "
+                            << stats.finding_message;
+  EXPECT_TRUE(stats.complete);
+}
+
+TEST(DetSched, LostWakeupWithoutTimeoutIsADeadlockFinding) {
+  // Bare wait with the notify *before* the wait in some schedules: the
+  // schedule where the consumer checks `ready` after the producer set it
+  // completes, but the untimed wait after a missed notify deadlocks.
+  det::Stats stats = det::Explore(
+      [] {
+        Mutex mu;
+        CondVar cv;
+        bool ready = false;
+        Thread consumer([&] {
+          MutexLock lock(mu);
+          if (!ready) cv.Wait(mu);  // BUG: no generation stamp, no loop.
+        });
+        {
+          MutexLock lock(mu);
+          ready = true;
+        }
+        cv.NotifyOne();  // May fire before the consumer ever waits...
+        consumer.Join();
+      },
+      det::Options{});
+  // ...except the wait is guarded by the `ready` re-check under the same
+  // lock here, so this *particular* shape is actually safe: the explorer
+  // must prove it clean, not flag it.
+  EXPECT_FALSE(stats.found) << stats.finding_kind << ": "
+                            << stats.finding_message;
+  EXPECT_TRUE(stats.complete);
+}
+
+TEST(DetSched, TimedWaitTimesOutDeterministically) {
+  det::Options opts;
+  det::Stats stats = det::Explore(
+      [] {
+        Mutex mu;
+        CondVar cv;
+        MutexLock lock(mu);
+        const bool notified =
+            cv.WaitUntil(mu, SteadyNow() + std::chrono::milliseconds(1));
+        det::ModelAssert(!notified, "nobody notifies; must time out");
+      },
+      opts);
+  EXPECT_FALSE(stats.found) << stats.finding_message;
+  EXPECT_TRUE(stats.complete);
+}
+
+TEST(DetSched, SpinGateWithYieldTerminates) {
+  det::Options opts;
+  det::Stats stats = det::Explore(
+      [] {
+        Atomic<int> gate{1};
+        Thread opener([&] { gate.Store(0); });
+        while (gate.Load() != 0) SpinYield();
+        opener.Join();
+      },
+      opts);
+  EXPECT_FALSE(stats.found) << stats.finding_kind << ": "
+                            << stats.finding_message;
+  EXPECT_TRUE(stats.complete);
+}
+
+TEST(DetSched, HotPathBlockingIsAFinding) {
+  det::Stats stats = det::Explore(
+      [] {
+        Mutex mu;
+        Thread holder([&] {
+          MutexLock lock(mu);
+        });
+        det::SetHotPath(true);
+        mu.Lock();  // Blocks whenever `holder` owns mu: a hot-path stall.
+        mu.Unlock();
+        det::SetHotPath(false);
+        holder.Join();
+      },
+      det::Options{});
+  ASSERT_TRUE(stats.found);
+  EXPECT_EQ(stats.finding_kind, "hot-blocked");
+}
+
+TEST(DetSched, DoubleLockIsAFinding) {
+  det::Stats stats = det::Explore(
+      [] {
+        Mutex mu;
+        mu.Lock();
+        mu.Lock();  // BUG.
+      },
+      det::Options{});
+  ASSERT_TRUE(stats.found);
+  EXPECT_EQ(stats.finding_kind, "double-lock");
+}
+
+TEST(DetSched, PreemptionBoundZeroStillRunsCooperatively) {
+  det::Options opts;
+  opts.preemption_bound = 0;
+  int total = 0;
+  det::Stats stats = det::Explore(
+      [&] {
+        Mutex mu;
+        Thread t([&] { MutexLock lock(mu); });
+        {
+          MutexLock lock(mu);
+          ++total;
+        }
+        t.Join();
+      },
+      opts);
+  EXPECT_FALSE(stats.found) << stats.finding_message;
+  EXPECT_TRUE(stats.complete);
+  EXPECT_GE(total, 1);
+}
+
+#endif  // GQR_MODELCHECK
+
+}  // namespace
+}  // namespace gqr

@@ -59,7 +59,8 @@ bool ParseWaivers(const std::string& text, std::vector<Waiver>* out,
     std::getline(ls, w.reason);
     const size_t rb = w.reason.find_first_not_of(" \t");
     w.reason = rb == std::string::npos ? "" : w.reason.substr(rb);
-    if (w.check != "hot-path" && w.check != "lock-order") {
+    if (w.check != "hot-path" && w.check != "lock-order" &&
+        w.check != "atomics") {
       if (error) {
         *error = "waivers line " + std::to_string(lineno) +
                  ": unknown check '" + w.check + "'";
@@ -79,12 +80,20 @@ bool ParseWaivers(const std::string& text, std::vector<Waiver>* out,
   return true;
 }
 
-void Analyzer::AddFile(FileModel model, bool in_lock_universe) {
+void Analyzer::AddFile(FileModel model, bool in_lock_universe,
+                       bool in_atomics_universe) {
   for (FunctionInfo& f : model.functions) {
     Fn fn;
     fn.info = std::move(f);
     fn.in_lock_universe = in_lock_universe;
+    fn.in_atomics_universe = in_atomics_universe;
     fns_.push_back(std::move(fn));
+  }
+  for (MemberDecl& m : model.members) {
+    MemberRec rec;
+    rec.decl = std::move(m);
+    rec.in_atomics_universe = in_atomics_universe;
+    members_.push_back(std::move(rec));
   }
   index_built_ = false;
 }
@@ -367,6 +376,157 @@ std::vector<Finding> Analyzer::RunLockOrder(
   for (const auto& [node, edges] : graph) {
     (void)edges;
     if (color[node] == 0) dfs(node);
+  }
+
+  ApplyWaivers(&findings, waivers);
+  return findings;
+}
+
+std::vector<Finding> Analyzer::RunAtomics(
+    std::vector<Waiver>* waivers) const {
+  BuildIndex();
+  std::vector<Finding> findings;
+
+  auto member_key = [](const MemberDecl& m) {
+    return m.class_name.empty() ? m.name : m.class_name + "::" + m.name;
+  };
+
+  // (3a) Raw atomics: every atomic in the universe must be a
+  // gqr::Atomic<> with a named intent. (3b) Publication intent: a
+  // pointer payload under counter/seqlock intent is loaded relaxed (or
+  // without a paired release store), so the dereference on the reader
+  // side has no happens-before edge to the initialization it reads.
+  for (const MemberRec& rec : members_) {
+    if (!rec.in_atomics_universe) continue;
+    const MemberDecl& m = rec.decl;
+    if (m.type == "atomic" || m.type == "atomic_flag") {
+      Finding f;
+      f.check = "atomics";
+      f.file = m.file;
+      f.line = m.line;
+      f.waiver_key = member_key(m);
+      f.message = m.file + ":" + std::to_string(m.line) +
+                  ": raw std::" + m.type + " declaration '" + member_key(m) +
+                  "' — declare a gqr::Atomic<> (util/atomic.h) with a "
+                  "named memory-order intent instead";
+      findings.push_back(std::move(f));
+    }
+    if (m.type == "Atomic" &&
+        m.type_args.find('*') != std::string::npos &&
+        m.type_args.find("kPublicationPtr") == std::string::npos) {
+      Finding f;
+      f.check = "atomics";
+      f.file = m.file;
+      f.line = m.line;
+      f.waiver_key = member_key(m);
+      f.message = m.file + ":" + std::to_string(m.line) +
+                  ": pointer-typed Atomic '" + member_key(m) +
+                  "' without AtomicIntent::kPublicationPtr — a relaxed "
+                  "load would feed a pointer dereference with no acquire "
+                  "edge; use AtomicPublicationPtr<T>";
+      findings.push_back(std::move(f));
+    }
+  }
+
+  // (3c) Wait/notify mutex consistency. Member types from *all* files
+  // (universe or not) identify the CondVars; only sites in universe
+  // functions are judged.
+  std::map<std::string, const MemberDecl*> member_types;
+  for (const MemberRec& rec : members_) {
+    member_types.emplace(member_key(rec.decl), &rec.decl);
+  }
+  auto is_condvar = [&](const std::string& canon) {
+    auto it = member_types.find(canon);
+    if (it == member_types.end()) return false;
+    const std::string& t = it->second->type;
+    return t == "CondVar" || t == "condition_variable" ||
+           t == "condition_variable_any";
+  };
+
+  struct WaitSite {
+    std::string mutex;
+    std::string file;
+    int line = 0;
+  };
+  struct NotifySite {
+    const Fn* fn;
+    int line = 0;
+  };
+  std::map<std::string, std::vector<WaitSite>> waits;
+  std::map<std::string, std::vector<NotifySite>> notifies;
+  for (const Fn& fn : fns_) {
+    if (!fn.in_atomics_universe || !fn.info.defined) continue;
+    for (const CvOpSite& op : fn.info.cv_ops) {
+      if (!is_condvar(op.cv_expr)) continue;
+      if (op.is_wait) {
+        waits[op.cv_expr].push_back({op.mutex_expr, fn.info.file, op.line});
+      } else {
+        notifies[op.cv_expr].push_back({&fn, op.line});
+      }
+    }
+  }
+
+  for (const auto& [cv, sites] : waits) {
+    // One consistent wait mutex per condvar.
+    std::string mutex;
+    for (const WaitSite& w : sites) {
+      if (w.mutex.empty()) continue;
+      if (mutex.empty()) {
+        mutex = w.mutex;
+        continue;
+      }
+      if (w.mutex != mutex) {
+        Finding f;
+        f.check = "atomics";
+        f.file = w.file;
+        f.line = w.line;
+        f.waiver_key = cv;
+        f.message = w.file + ":" + std::to_string(w.line) +
+                    ": condvar '" + cv + "' waited with different mutexes "
+                    "('" + mutex + "' elsewhere, '" + w.mutex +
+                    "' here) — waiters under different locks miss each "
+                    "other's predicate writes";
+        findings.push_back(std::move(f));
+        break;
+      }
+    }
+    if (mutex.empty()) continue;
+
+    // Every notify must come from a function that acquires (or declares
+    // via GQR_REQUIRES) the wait mutex: the predicate write it orders
+    // with the waiter's re-check must be under that lock.
+    auto nit = notifies.find(cv);
+    if (nit == notifies.end()) continue;
+    for (const NotifySite& n : nit->second) {
+      bool holds = false;
+      for (const AcquireSite& a : n.fn->info.acquires) {
+        if (a.lock_expr == mutex) {
+          holds = true;
+          break;
+        }
+      }
+      if (!holds) {
+        for (const std::string& r : MergedRequires(*n.fn)) {
+          if (r == mutex) {
+            holds = true;
+            break;
+          }
+        }
+      }
+      if (!holds) {
+        Finding f;
+        f.check = "atomics";
+        f.file = n.fn->info.file;
+        f.line = n.line;
+        f.waiver_key = cv;
+        f.message = n.fn->info.file + ":" + std::to_string(n.line) + ": '" +
+                    n.fn->info.qname + "' notifies '" + cv +
+                    "' without acquiring its wait mutex '" + mutex +
+                    "' — the predicate write is unordered with the "
+                    "waiter's re-check (lost-wakeup risk)";
+        findings.push_back(std::move(f));
+      }
+    }
   }
 
   ApplyWaivers(&findings, waivers);

@@ -10,6 +10,16 @@
 //    lock-order graph over canonical lock names; any cycle — including a
 //    self-edge, i.e. nested acquisition of the same lock class — is a
 //    finding.
+//  * Atomics discipline: (3a) every atomic declaration outside
+//    util/atomic.h must be a gqr::Atomic<> with a named intent — raw
+//    std::atomic / std::atomic_flag members are findings; (3b) a
+//    pointer-typed Atomic<> without AtomicIntent::kPublicationPtr is a
+//    finding (its relaxed load would feed a dereference with no acquire
+//    edge back to the publishing store); (3c) every wait on a condition
+//    variable must use one consistent mutex, and every notify must sit
+//    in a function that acquires (or GQR_REQUIRES) that mutex — the
+//    static twin of the lost-wakeup class the schedule explorer hunts
+//    dynamically.
 //
 // Waivers (tools/analyze/waivers.txt) suppress individual findings by
 // pattern, and every waiver must carry a reason — same policy as the
@@ -26,7 +36,7 @@
 namespace gqr::analyze {
 
 struct Finding {
-  std::string check;  // "hot-path" | "lock-order"
+  std::string check;  // "hot-path" | "lock-order" | "atomics"
   std::string file;
   int line = 0;
   std::string message;     // Fully formatted, multi-line (chain included).
@@ -36,7 +46,7 @@ struct Finding {
 };
 
 struct Waiver {
-  std::string check;    // "hot-path" | "lock-order"
+  std::string check;    // "hot-path" | "lock-order" | "atomics"
   std::string pattern;  // Substring of the finding's waiver_key.
   std::string reason;   // Required non-empty.
   int line = 0;
@@ -53,11 +63,18 @@ class Analyzer {
   /// `in_lock_universe` excludes the sync-primitive implementation files
   /// themselves (util/sync.h, util/lock_order.*) from lock-order edge
   /// extraction; they stay in the hot-path universe.
-  void AddFile(FileModel model, bool in_lock_universe);
+  /// `in_atomics_universe` excludes util/atomic.h and util/sync.h from
+  /// the atomics-discipline check — they implement the sanctioned
+  /// wrappers and thus hold the only permitted raw atomics and the
+  /// condvar itself. Member *types* from excluded files still inform
+  /// the check (they identify which members are CondVars).
+  void AddFile(FileModel model, bool in_lock_universe,
+               bool in_atomics_universe);
 
-  /// Both analyses. Waivers are matched (and flagged used) in place.
+  /// The analyses. Waivers are matched (and flagged used) in place.
   std::vector<Finding> RunHotPath(std::vector<Waiver>* waivers) const;
   std::vector<Finding> RunLockOrder(std::vector<Waiver>* waivers) const;
+  std::vector<Finding> RunAtomics(std::vector<Waiver>* waivers) const;
 
   /// Debug aid (--dump): prints extraction for every function whose
   /// qname contains `pattern`.
@@ -67,6 +84,12 @@ class Analyzer {
   struct Fn {
     FunctionInfo info;
     bool in_lock_universe = true;
+    bool in_atomics_universe = true;
+  };
+
+  struct MemberRec {
+    MemberDecl decl;
+    bool in_atomics_universe = true;
   };
 
   std::vector<int> Resolve(const Fn& caller, const CallSite& call) const;
@@ -79,6 +102,7 @@ class Analyzer {
   void BuildIndex() const;
 
   std::vector<Fn> fns_;
+  std::vector<MemberRec> members_;
   // name -> indices into fns_ (built lazily on first Run*).
   mutable std::map<std::string, std::vector<int>> name_index_;
   // class::name -> any decl/def carries GQR_HOT / GQR_REQUIRES.

@@ -387,13 +387,18 @@ class Parser {
   /// like `mu_` and `s.mu` canonicalize to `Class::member`.
   void RecordMemberDecl(size_t begin, size_t end) {
     std::vector<size_t> idents;
-    int angle = 0;
+    std::vector<std::string> targs;  // template args written after each ident
     for (size_t i = begin; i < end; ++i) {
       const std::string& t = toks_[i].text;
       if (t == "=") break;
       if (t == "<") {
         size_t j = SkipBalanced(i);
         if (j > i + 1) {
+          // Template args directly after the previous ident belong to it
+          // (std::atomic<Node*> / Atomic<T, AtomicIntent::kSeqlock>).
+          if (!idents.empty() && idents.back() == i - 1) {
+            targs.back() = JoinTokens(i + 1, j - 1);
+          }
           i = j - 1;
           continue;
         }
@@ -405,17 +410,49 @@ class Parser {
       if (toks_[i].kind == Token::Kind::kIdent && !IsKeyword(t) &&
           !IsAnnotationMacro(t)) {
         idents.push_back(i);
+        targs.emplace_back();
       }
-      (void)angle;
     }
     if (idents.size() < 2) return;
     MemberDecl m;
     m.class_name = InnermostClass();
     m.name = toks_[idents.back()].text;
     m.type = toks_[idents[idents.size() - 2]].text;
+    m.type_args = targs[idents.size() - 2];
+    // Smart-pointer members descend into the pointee, same as ParseParams
+    // — `std::shared_ptr<Future::State> state_` types receiver chains
+    // like `state_->cv` as State, not shared_ptr.
+    if ((m.type == "shared_ptr" || m.type == "unique_ptr" ||
+         m.type == "weak_ptr") &&
+        !m.type_args.empty()) {
+      std::string tail;
+      std::string run;
+      for (const char c : m.type_args + '\0') {
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+          run += c;
+          continue;
+        }
+        if (!run.empty() && !IsKeyword(run) &&
+            !std::isdigit(static_cast<unsigned char>(run[0]))) {
+          tail = run;
+        }
+        run.clear();
+      }
+      if (!tail.empty()) m.type = tail;
+    }
     m.file = path_;
     m.line = toks_[idents.back()].line;
     out_->members.push_back(std::move(m));
+  }
+
+  /// Joined text of [begin, end), token-concatenated (no spaces; intent
+  /// tags like AtomicIntent::kSeqlock stay substring-searchable).
+  std::string JoinTokens(size_t begin, size_t end) const {
+    std::string out;
+    for (size_t i = begin; i < end && i < toks_.size(); ++i) {
+      out += toks_[i].text;
+    }
+    return out;
   }
 
   // --- function level -------------------------------------------------
@@ -907,6 +944,28 @@ class Parser {
                   name + "() on " + receiver_tokens, tok, once_active);
         advance_past_name();
         return;
+      }
+      // Condition-variable operations, recorded by canonical identity.
+      // The frontend cannot always see the receiver's declaration (inline
+      // methods parse before trailing members), so every Wait/Notify
+      // member call is recorded and the atomics analysis filters to
+      // receivers whose merged member type is CondVar.
+      if (name == "Wait" || name == "WaitUntil" || name == "NotifyOne" ||
+          name == "NotifyAll") {
+        CvOpSite site;
+        site.cv_expr = canon;
+        site.line = tok.line;
+        site.is_wait = name == "Wait" || name == "WaitUntil";
+        if (site.is_wait && Is(pos_ + 1, "(")) {
+          const size_t open = pos_ + 1;
+          const size_t close = SkipBalanced(open);
+          const auto args = SplitTopLevelArgs(open + 1, close - 1);
+          if (!args.empty()) {
+            site.mutex_expr = CanonicalizeLockText(args[0], *fn);
+          }
+        }
+        fn->cv_ops.push_back(std::move(site));
+        // Fall through: Wait keeps its blocking effect and call record.
       }
     }
 

@@ -8,9 +8,13 @@
 //               throw, or blocking acquisition), with full call chains
 //   lock-order  global lock-order graph from scoped-lock usage and
 //               GQR_REQUIRES; fails on any cycle
+//   atomics     atomics discipline: raw std::atomic outside util/atomic.h,
+//               pointer-typed Atomic<> without publication intent, and
+//               condvar wait/notify sites that do not share one mutex
 //
 // Exit codes follow tools/lint/gqr_lint.py: 0 clean, 1 findings,
-// 2 usage/internal error.
+// 2 usage/internal error. --strict additionally promotes unused-waiver
+// warnings to findings (CI hygiene: stale waivers must be deleted).
 
 #include <filesystem>
 #include <fstream>
@@ -53,6 +57,24 @@ bool InLockUniverse(const std::string& path) {
          !EndsWith(path, "util/lock_order.cc");
 }
 
+/// util/det_sched.* is the GQR_MODELCHECK-only schedule explorer: its
+/// coordinator and hooks block by design (serialized execution is the
+/// point), and none of it is compiled into release builds. The token
+/// frontend is not preprocessor-aware, so the files are excluded from
+/// the analysis universe entirely rather than waived finding by finding.
+bool InAnalysisUniverse(const std::string& path) {
+  return !EndsWith(path, "util/det_sched.h") &&
+         !EndsWith(path, "util/det_sched.cc");
+}
+
+/// util/atomic.h implements the sanctioned wrapper (it holds the only
+/// permitted raw std::atomic / atomic_flag); util/sync.h implements the
+/// condvar whose discipline the check enforces. Their member *types*
+/// still feed the analysis — only their own sites are exempt.
+bool InAtomicsUniverse(const std::string& path) {
+  return !EndsWith(path, "util/atomic.h") && !EndsWith(path, "util/sync.h");
+}
+
 std::string Relativize(const std::string& path, const fs::path& root) {
   std::error_code ec;
   const fs::path rel = fs::relative(path, root, ec);
@@ -70,13 +92,15 @@ struct Options {
   std::string dump;      // debug: dump extraction for matching functions
   bool self_test = false;
   bool verbose = false;
+  bool strict = false;  // unused waivers become findings
 };
 
 int Usage() {
   std::cerr
       << "usage: gqr-analyze [--build-dir DIR] [--source-dir DIR]\n"
          "                   [--waivers FILE] [--check all|hot-path|"
-         "lock-order] [-v]\n"
+         "lock-order|atomics]\n"
+         "                   [--strict] [-v]\n"
          "       gqr-analyze --self-test [--testdata DIR]\n";
   return 2;
 }
@@ -101,7 +125,7 @@ bool LoadWaivers(const std::string& path, std::vector<Waiver>* out,
 
 int ReportFindings(const std::vector<Finding>& findings,
                    const std::vector<Waiver>& waivers, const fs::path& root,
-                   bool verbose) {
+                   bool verbose, bool strict) {
   int unwaived = 0, waived = 0;
   for (const Finding& f : findings) {
     if (f.waived) {
@@ -118,8 +142,12 @@ int ReportFindings(const std::vector<Finding>& findings,
   }
   for (const Waiver& w : waivers) {
     if (!w.used) {
-      std::cout << "gqr-analyze: warning: unused waiver '" << w.pattern
-                << "' (" << w.check << ", waivers line " << w.line << ")\n";
+      std::cout << "gqr-analyze: " << (strict ? "error" : "warning")
+                << ": unused waiver '" << w.pattern << "' (" << w.check
+                << ", waivers line " << w.line << ")"
+                << (strict ? " — delete stale waivers (--strict)" : "")
+                << "\n";
+      if (strict) ++unwaived;
     }
   }
   if (waived > 0) {
@@ -166,7 +194,9 @@ int RunRepo(const Options& opt) {
     std::error_code ec;
     const fs::path canon = fs::weakly_canonical(f, ec);
     const std::string p = ec ? f : canon.string();
-    if (p.rfind(src_prefix, 0) == 0) universe.insert(p);
+    if (p.rfind(src_prefix, 0) == 0 && InAnalysisUniverse(p)) {
+      universe.insert(p);
+    }
   }
   for (const auto& entry : fs::recursive_directory_iterator(src)) {
     if (!entry.is_regular_file()) continue;
@@ -174,7 +204,8 @@ int RunRepo(const Options& opt) {
     if (ext != ".h" && ext != ".hpp") continue;
     std::error_code ec;
     const fs::path canon = fs::weakly_canonical(entry.path(), ec);
-    universe.insert(ec ? entry.path().string() : canon.string());
+    const std::string p = ec ? entry.path().string() : canon.string();
+    if (InAnalysisUniverse(p)) universe.insert(p);
   }
   if (universe.empty()) {
     std::cerr << "gqr-analyze: no src/ TUs in " << db_path << "\n";
@@ -190,7 +221,7 @@ int RunRepo(const Options& opt) {
       return 2;
     }
     analyzer.AddFile(ParseFile(Relativize(path, source_root), text),
-                     InLockUniverse(path));
+                     InLockUniverse(path), InAtomicsUniverse(path));
     ++parsed;
   }
 
@@ -217,9 +248,13 @@ int RunRepo(const Options& opt) {
     auto f = analyzer.RunLockOrder(&waivers);
     findings.insert(findings.end(), f.begin(), f.end());
   }
+  if (opt.check == "all" || opt.check == "atomics") {
+    auto f = analyzer.RunAtomics(&waivers);
+    findings.insert(findings.end(), f.begin(), f.end());
+  }
 
-  const int unwaived =
-      ReportFindings(findings, waivers, source_root, opt.verbose);
+  const int unwaived = ReportFindings(findings, waivers, source_root,
+                                      opt.verbose, opt.strict);
   if (opt.verbose) {
     std::cout << "gqr-analyze: analyzed " << parsed << " files ("
               << opt.check << ")\n";
@@ -265,6 +300,10 @@ int RunSelfTest(const Options& opt) {
       {"bad_hot_transitive_lock.cc", "hot-path", "may block", 1},
       {"bad_lock_cycle.cc", "lock-order", "lock-order cycle", 1},
       {"bad_lock_requires.cc", "lock-order", "lock-order cycle", 1},
+      {"bad_atomic_raw.cc", "atomics", "raw std::atomic", 2},
+      {"bad_atomic_pub_intent.cc", "atomics", "kPublicationPtr", 2},
+      {"bad_cv_mixed_mutex.cc", "atomics", "different mutexes", 1},
+      {"bad_cv_notify_no_mutex.cc", "atomics", "without acquiring", 1},
   };
 
   // Repo waivers (if present) are loaded for the masking check below.
@@ -293,11 +332,13 @@ int RunSelfTest(const Options& opt) {
     std::string text;
     if (!ReadFileToString(file, &text)) return false;
     Analyzer analyzer;
-    analyzer.AddFile(ParseFile(file.filename().string(), text), true);
+    analyzer.AddFile(ParseFile(file.filename().string(), text), true, true);
     auto hot = analyzer.RunHotPath(waivers);
     auto lock = analyzer.RunLockOrder(waivers);
+    auto atomics = analyzer.RunAtomics(waivers);
     out->insert(out->end(), hot.begin(), hot.end());
     out->insert(out->end(), lock.begin(), lock.end());
+    out->insert(out->end(), atomics.begin(), atomics.end());
     return true;
   };
 
@@ -426,7 +467,7 @@ int Main(int argc, char** argv) {
       if (!v) return Usage();
       opt.check = v;
       if (opt.check != "all" && opt.check != "hot-path" &&
-          opt.check != "lock-order") {
+          opt.check != "lock-order" && opt.check != "atomics") {
         return Usage();
       }
     } else if (arg == "--testdata") {
@@ -439,6 +480,8 @@ int Main(int argc, char** argv) {
       opt.dump = v;
     } else if (arg == "--self-test") {
       opt.self_test = true;
+    } else if (arg == "--strict") {
+      opt.strict = true;
     } else if (arg == "-v" || arg == "--verbose") {
       opt.verbose = true;
     } else {

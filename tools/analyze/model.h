@@ -44,6 +44,17 @@ struct EffectSite {
   bool once_only = false;
 };
 
+/// One condition-variable operation: `cv.Wait(mu)` / `cv.WaitUntil(mu,
+/// ...)` records the canonical cv and mutex identities; `cv.NotifyOne()`
+/// / `cv.NotifyAll()` records the cv alone. Raw material for the
+/// atomics-discipline check's wait/notify mutex-consistency rule.
+struct CvOpSite {
+  std::string cv_expr;     // Canonicalized ("State::cv", "Impl::cv_").
+  std::string mutex_expr;  // Wait sites only; empty for notifies.
+  int line = 0;
+  bool is_wait = false;
+};
+
 /// One lock acquisition (scoped-lock construction or direct Lock call),
 /// with the set of locks already held in the enclosing scopes at that
 /// point — the raw material of the lock-order graph.
@@ -79,6 +90,7 @@ struct FunctionInfo {
   std::vector<CallSite> calls;
   std::vector<EffectSite> effects;
   std::vector<AcquireSite> acquires;
+  std::vector<CvOpSite> cv_ops;
 
   /// Best-effort local/parameter name -> type (last class-ish component),
   /// used to resolve lock expressions like "s.mu" to "Shard::mu".
@@ -92,6 +104,11 @@ struct MemberDecl {
   std::string class_name;  // Empty for namespace-scope variables.
   std::string name;
   std::string type;  // Last type component ("Mutex", "SharedMutex", ...).
+  /// Joined text of the template arguments written directly after the
+  /// type ("Node*,AtomicIntent::kCounter" for Atomic<Node*, ...>); empty
+  /// when the type is not written with template arguments. Used by the
+  /// atomics-discipline check to read the declared intent.
+  std::string type_args;
   std::string file;
   int line = 0;
 };

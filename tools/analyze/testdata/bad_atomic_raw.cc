@@ -1,0 +1,22 @@
+// Self-test TU (analyzed, never compiled): raw std::atomic and
+// std::atomic_flag members outside util/atomic.h. The atomics check
+// (3a) must flag both — every atomic in the codebase goes through
+// gqr::Atomic<> so its memory-order intent is named and the modelcheck
+// build can interpose a schedule point.
+
+namespace seedatomics {
+
+class HitCounter {
+ public:
+  void Bump() { hits_.fetch_add(1); }
+
+ private:
+  std::atomic<unsigned long> hits_{0};  // seeded: raw atomic member
+};
+
+class SpinGate {
+ private:
+  std::atomic_flag busy_;  // seeded: raw atomic_flag member
+};
+
+}  // namespace seedatomics

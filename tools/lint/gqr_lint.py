@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
 """gqr_lint: repo-specific static checks for the GQR codebase.
 
-Three rules, each encoding a contract the ordinary compiler cannot see:
+Four rules, each encoding a contract the ordinary compiler cannot see:
 
   A  raw-sync-primitives (clang-query, rules/raw_sync_primitives.query):
-     std::mutex & friends may only be declared inside util/sync.h. Every
-     other lock must be a util/sync.h type so Clang's -Wthread-safety
-     analysis covers it.
+     std::mutex & friends may only be declared inside util/sync.h (the
+     annotated wrapper) and util/det_sched.cc (the schedule explorer's
+     own coordination layer, which cannot use the primitives it
+     virtualizes). Every other lock must be a util/sync.h type so
+     Clang's -Wthread-safety analysis covers it.
 
   B  raw-assert (textual, implemented below):
      bare assert() is banned in repo code -- NDEBUG builds compile it
@@ -19,6 +21,16 @@ Three rules, each encoding a contract the ordinary compiler cannot see:
      (new, malloc family, local owning containers, reserve /
      shrink_to_fit). Amortized growth of warmed caller-owned buffers is
      allowed by design.
+
+  D  raw-atomic (textual, implemented below):
+     std::atomic / std::atomic_flag are banned in src/ outside
+     util/atomic.h (and util/det_sched.*, see rule A). Product atomics
+     must be gqr::Atomic<T> so (a) the declaration names its
+     memory-order intent, (b) gqr-analyze check (3) can audit it, and
+     (c) GQR_MODELCHECK builds can interpose a schedule point on every
+     operation. Tests and benches drive *unmanaged* threads where the
+     explorer never interposes, so their scaffolding atomics are out of
+     scope by design.
 
 Exit status: 0 clean, 1 findings, 2 infrastructure error.
 
@@ -44,12 +56,21 @@ import tempfile
 LINT_DIR = os.path.dirname(os.path.abspath(__file__))
 REPO_DIRS = ("src", "tests", "bench", "fuzz", "examples")
 SOURCE_EXTS = (".cc", ".h", ".cpp", ".hpp")
-# Matches the exclusion in rules/raw_sync_primitives.query.
+# Matches the exclusions in rules/raw_sync_primitives.query.
 SYNC_H = os.path.join("util", "sync.h")
+DET_SCHED = os.path.join("util", "det_sched")
+# Rule D scope: product code only (see module docstring), minus the
+# sanctioned wrapper and the explorer internals.
+ATOMIC_DIRS = ("src",)
+ATOMIC_H = os.path.join("util", "atomic.h")
 
 # clang-query match location, e.g. "/path/file.cc:12:3: note: ... binds here"
 _MATCH_RE = re.compile(r"^(.*?):(\d+):(\d+): note: .* binds here")
 _ASSERT_RE = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
+# std::atomic<...> and std::atomic_flag. The \b keeps free functions like
+# std::atomic_thread_fence out of scope (they have no wrapper equivalent
+# and do not appear in repo code).
+_ATOMIC_RE = re.compile(r"(?<![A-Za-z0-9_])std\s*::\s*atomic(?:_flag)?\b")
 
 
 def fail(msg):
@@ -132,8 +153,8 @@ def strip_comments_and_strings(text):
     return "".join(out)
 
 
-def scan_raw_asserts(root, subdirs):
-    """Rule B. Returns [(path, line)] of bare assert( calls."""
+def scan_textual(root, subdirs, regex, exclude=None):
+    """Comment/string-stripped regex scan. Returns [(path, line)]."""
     findings = []
     for sub in subdirs:
         top = os.path.join(root, sub)
@@ -144,12 +165,28 @@ def scan_raw_asserts(root, subdirs):
                 if not name.endswith(SOURCE_EXTS):
                     continue
                 path = os.path.join(dirpath, name)
+                if exclude is not None and exclude(path):
+                    continue
                 with open(path, encoding="utf-8", errors="replace") as f:
                     text = strip_comments_and_strings(f.read())
                 for lineno, line in enumerate(text.splitlines(), start=1):
-                    if _ASSERT_RE.search(line):
+                    if regex.search(line):
                         findings.append((path, lineno))
     return findings
+
+
+def scan_raw_asserts(root, subdirs):
+    """Rule B. Returns [(path, line)] of bare assert( calls."""
+    return scan_textual(root, subdirs, _ASSERT_RE)
+
+
+def scan_raw_atomics(root):
+    """Rule D. Returns [(path, line)] of raw std::atomic/atomic_flag uses
+    in src/ outside the sanctioned wrapper and the explorer internals."""
+    def excluded(path):
+        return path.endswith(ATOMIC_H) or DET_SCHED in path
+
+    return scan_textual(root, ATOMIC_DIRS, _ATOMIC_RE, exclude=excluded)
 
 
 def load_compile_db_files(build_dir, source_dir):
@@ -213,6 +250,11 @@ def lint_tree(source_dir, build_dir, clang_query, require_cq, label):
     failed += report("raw-assert", asserts,
                      "bare assert(); use GQR_CHECK/GQR_DCHECK (util/check.h)")
 
+    atomics = scan_raw_atomics(source_dir)
+    failed += report("raw-atomic", atomics,
+                     "raw std::atomic; use gqr::Atomic<> (util/atomic.h) "
+                     "with a named memory-order intent")
+
     if clang_query is None:
         msg = "clang-query not found; rules raw-sync-primitives and " \
               "hot-path-alloc skipped"
@@ -229,7 +271,8 @@ def lint_tree(source_dir, build_dir, clang_query, require_cq, label):
         clang_query, os.path.join(LINT_DIR, "rules",
                                   "raw_sync_primitives.query"),
         build_dir, files)
-    sync = [(p, l) for (p, l) in sync if SYNC_H not in p]
+    sync = [(p, l) for (p, l) in sync
+            if SYNC_H not in p and DET_SCHED not in p]
     failed += report("raw-sync-primitives", sync,
                      "raw std sync primitive; use util/sync.h types")
 
@@ -255,6 +298,7 @@ def self_test(clang_query, require_cq):
             ("src", "bad_raw_mutex.cc", "bad_raw_mutex.cc"),
             ("src", "bad_hot_alloc.cc", "bad_hot_alloc.cc"),
             ("src", "bad_assert.cc", "bad_assert.cc"),
+            ("src", "bad_raw_atomic.cc", "bad_raw_atomic.cc"),
             ("src", "good.cc", "good.cc"),
             ("bench", "bad_raw_mutex.cc", "bad_raw_mutex_bench.cc"),
             ("bench", "bad_assert.cc", "bad_assert_bench.cc"),
@@ -282,9 +326,25 @@ def self_test(clang_query, require_cq):
         expect("raw-assert", scan_raw_asserts(tmp, ("src", "bench", "fuzz")),
                ["bad_assert.cc", "bad_assert_bench.cc"], "good.cc")
 
+        # Rule D fires on both seeded declarations (atomic + atomic_flag)
+        # and honors the util/atomic.h exclusion: the same bad TU seeded
+        # AT the sanctioned path must stay quiet.
+        atomic_findings = scan_raw_atomics(tmp)
+        expect("raw-atomic", atomic_findings, "bad_raw_atomic.cc", "good.cc")
+        if len({l for (p, l) in atomic_findings
+                if os.path.basename(p) == "bad_raw_atomic.cc"}) < 2:
+            failures.append("raw-atomic: expected findings on both the "
+                            "std::atomic and std::atomic_flag lines")
+        os.makedirs(os.path.join(tmp, "src", "util"), exist_ok=True)
+        shutil.copyfile(os.path.join(testdata, "bad_raw_atomic.cc"),
+                        os.path.join(tmp, "src", "util", "atomic.h"))
+        masked = {os.path.basename(p) for (p, _) in scan_raw_atomics(tmp)}
+        if "atomic.h" in masked:
+            failures.append("raw-atomic: util/atomic.h exclusion broken")
+
         if clang_query is None:
-            msg = "clang-query not found; self-test covered rule " \
-                  "raw-assert only"
+            msg = "clang-query not found; self-test covered the textual " \
+                  "rules (raw-assert, raw-atomic) only"
             if require_cq:
                 fail(msg)
             print(f"gqr_lint: [SKIP] {msg}")

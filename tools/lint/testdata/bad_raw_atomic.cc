@@ -1,0 +1,28 @@
+// Seeded-bad TU for gqr_lint rule D (raw-atomic): raw std::atomic and
+// std::atomic_flag declarations outside util/atomic.h. Product atomics
+// must be gqr::Atomic<T> so the memory-order intent is named, the
+// gqr-analyze atomics check can audit it, and GQR_MODELCHECK builds can
+// interpose a schedule point on every operation.
+//
+// The commented and quoted mentions below must NOT count: the rule is a
+// comment/string-stripped scan.
+//   std::atomic<int> in_a_comment;
+#include <atomic>
+
+namespace lint_selftest {
+
+class Counter {
+ public:
+  void Bump() { hits_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<unsigned long> hits_{0};  // BAD: raw atomic member.
+};
+
+inline std::atomic_flag g_busy = ATOMIC_FLAG_INIT;  // BAD: raw atomic_flag.
+
+inline const char* Doc() {
+  return "mentioning std::atomic<int> in a string is fine";
+}
+
+}  // namespace lint_selftest

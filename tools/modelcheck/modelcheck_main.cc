@@ -1,0 +1,715 @@
+// gqr-modelcheck: deterministic schedule exploration for the serving
+// stack's concurrency protocols (util/det_sched.h, DESIGN.md section 18).
+//
+// The binary runs curated small-state-space scenarios for the three
+// riskiest protocols in the repo — QueryService submit/flush/deadline/
+// shutdown, ShardedIndex churn + FreezeShard + reader snapshot probes,
+// FeedbackTable TryPredict/TryRecord under eviction — and enumerates
+// every thread interleaving reachable within the preemption bound
+// (default 2, the CHESS result), failing on the first deadlock,
+// livelock, hot-path stall, lock misuse, or scenario-invariant
+// violation.
+//
+// It also pins the repo's two historical interleaving bugs as negative
+// tests: minimal replicas of the PR-8 first-draft flush protocol (a
+// notify-only flush the worker can miss: lost wakeup -> deadlock) and
+// the PR-9 first-draft planner (a blocking feedback-table acquire on the
+// serving hot path -> hot-blocked), each next to the shipped fix, which
+// must explore clean. Replay tokens for the buggy variants are checked
+// in under tools/modelcheck/replay/ so CI proves the explorer re-finds
+// both races deterministically.
+//
+// Exit codes:
+//   0   all selected scenarios clean, or --expect-finding matched
+//   2   usage error
+//   3   unexpected finding, or exploration incomplete under
+//       --require-complete
+//   4   --expect-finding given but the exploration completed clean
+//   77  built without GQR_MODELCHECK (ctest SKIP_RETURN_CODE)
+//
+// After any finding the process must _Exit: the explorer intentionally
+// parks the failing schedule's threads (they may be deadlocked — that
+// can be the finding), so the process is not safe to run more scenarios
+// in.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/searcher.h"
+#include "core/sharded_search.h"
+#include "data/synthetic.h"
+#include "hash/lsh.h"
+#include "index/sharded_index.h"
+#include "plan/feedback_table.h"
+#include "serve/query_service.h"
+#include "util/check.h"
+#include "util/clock.h"
+#include "util/det_sched.h"
+#include "util/sync.h"
+#include "util/thread.h"
+#include "util/thread_pool.h"
+
+namespace gqr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scenario 1: QueryService submit / flush / deadline / shutdown.
+//
+// The serving fixture (dataset, hasher, filled index, expected direct-
+// search answer) is built ONCE, outside any exploration, by the
+// unmanaged main thread. Building it inside a scenario body would make
+// the first schedule's transition stream differ from every later one
+// (static initialization runs once) and trip the explorer's divergence
+// check; it would also register the fixture's locks as model state for
+// mutations no schedule ever revisits.
+// ---------------------------------------------------------------------------
+
+constexpr int kServeBits = 6;
+
+struct ServeWorld {
+  std::unique_ptr<Dataset> base;
+  std::unique_ptr<Dataset> queries;
+  std::unique_ptr<LinearHasher> hasher;
+  std::unique_ptr<ShardedIndex> index;
+  std::unique_ptr<Searcher> searcher;
+  QueryServiceOptions opt;
+  SearchResult expected;  // Direct single-query answer for queries row 0.
+};
+
+const ServeWorld& Serve() {
+  static const ServeWorld* world = [] {
+    auto* w = new ServeWorld();
+    SyntheticSpec spec;
+    spec.n = 96;  // Tiny on purpose: every probe is a model transition.
+    spec.dim = 8;
+    spec.num_clusters = 4;
+    spec.seed = 11;
+    Dataset all = GenerateClusteredGaussian(spec);
+    Rng rng(7);
+    auto [base, queries] = all.SplitQueries(4, &rng);
+    w->base = std::make_unique<Dataset>(std::move(base));
+    w->queries = std::make_unique<Dataset>(std::move(queries));
+    LshOptions lsh;
+    lsh.code_length = kServeBits;
+    w->hasher =
+        std::make_unique<LinearHasher>(TrainLsh(*w->base, w->base->dim(), lsh));
+    w->index = std::make_unique<ShardedIndex>(kServeBits, /*num_shards=*/2);
+    const std::vector<Code> codes = w->hasher->HashDataset(*w->base);
+    for (size_t id = 0; id < w->base->size(); ++id) {
+      GQR_CHECK(w->index->Insert(static_cast<ItemId>(id), codes[id]).ok());
+    }
+    w->searcher = std::make_unique<Searcher>(*w->base);
+
+    w->opt.method = QueryMethod::kGQR;  // Needs no bucket-union snapshot.
+    w->opt.search.k = 2;
+    w->opt.search.max_candidates = 16;
+    w->opt.max_batch = 4;  // > queued requests, so the linger/flush
+                           // protocol (not batch fill) releases claims.
+    w->opt.num_workers = 1;
+
+    const QueryHashInfo info = w->hasher->HashQuery(w->queries->Row(0));
+    std::unique_ptr<BucketProber> prober = MakeShardedProber(
+        w->opt.method, info, std::vector<Code>(), w->index->code_length());
+    w->expected = w->searcher->Search(w->queries->Row(0), prober.get(),
+                                      *w->index, w->opt.search);
+    return w;
+  }();
+  return *world;
+}
+
+void QueryServiceScenario() {
+  const ServeWorld& w = Serve();
+  QueryService service(*w.searcher, *w.hasher, *w.index, w.opt);
+
+  // One live request and one whose deadline already passed when it was
+  // accepted: the claim path must execute the former and resolve the
+  // latter as kExpired without running it, in every interleaving of the
+  // worker against the submitter.
+  QueryService::Future ok = service.Submit(w.queries->Row(0), /*k=*/0);
+  QueryService::Future late =
+      service.Submit(w.queries->Row(1), /*k=*/0,
+                     SteadyNow() - std::chrono::milliseconds(1));
+  service.Flush();
+
+  Response live = ok.Get();
+  det::ModelAssert(live.status == RequestStatus::kOk,
+                   "in-deadline request must execute");
+  det::ModelAssert(live.result.ids == w.expected.ids,
+                   "coalesced ids must match direct search");
+  det::ModelAssert(live.result.distances == w.expected.distances,
+                   "coalesced distances must be bit-identical");
+  det::ModelAssert(live.batch_size >= 1, "executed request rode a batch");
+
+  Response expired = late.Get();
+  det::ModelAssert(expired.status == RequestStatus::kExpired,
+                   "expired request must not execute");
+
+  service.Shutdown();
+  Response shed = service.Submit(w.queries->Row(0), /*k=*/0).Get();
+  det::ModelAssert(shed.status == RequestStatus::kRejected,
+                   "post-shutdown submit must shed");
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: ShardedIndex churn + FreezeShard vs a reader's snapshot
+// probes. The writer inserts, freezes, then removes one item while a
+// reader probes a stable bucket and the churned bucket; stable items
+// must be visible in every interleaving, the churned item may be seen
+// or not (that IS the race-free ambiguity), and quiesced state must be
+// exact.
+// ---------------------------------------------------------------------------
+
+void ShardedIndexScenario() {
+  constexpr Code kStableBucket = 5;
+  constexpr Code kChurnBucket = 9;
+  constexpr ItemId kStableA = 1;
+  constexpr ItemId kStableB = 2;
+  constexpr ItemId kChurn = 3;
+
+  ShardedIndex index(/*code_length=*/4, /*num_shards=*/2);
+  det::ModelAssert(index.Insert(kStableA, kStableBucket).ok(),
+                   "prefill stable A");
+  det::ModelAssert(index.Insert(kStableB, kStableBucket).ok(),
+                   "prefill stable B");
+
+  Thread writer([&] {
+    det::ModelAssert(index.Insert(kChurn, kChurnBucket).ok(), "churn insert");
+    det::ModelAssert(index.FreezeShard(index.ShardOf(kChurn)).ok(),
+                     "freeze churned shard");
+    det::ModelAssert(index.Remove(kChurn, kChurnBucket).ok(), "churn remove");
+  });
+
+  Thread reader([&] {
+    std::vector<ItemId> out;
+    index.ProbeShard(index.ShardOf(kStableA), kStableBucket, &out);
+    det::ModelAssert(
+        std::find(out.begin(), out.end(), kStableA) != out.end(),
+        "stable item visible to a concurrent probe");
+
+    // The churned bucket holds at most the churned item, whichever of
+    // the writer's states this probe lands in.
+    std::vector<ItemId> churn_out;
+    const size_t n = index.ProbeShard(index.ShardOf(kChurn), kChurnBucket,
+                                      &churn_out);
+    det::ModelAssert(n <= 1, "churn bucket never over-reports");
+    det::ModelAssert(
+        churn_out.empty() || churn_out.front() == kChurn,
+        "churn bucket only ever holds the churned item");
+
+    // Snapshot publication: FrozenShard is either still unpublished or
+    // an immutable table taken after the churn insert — reading it must
+    // be safe mid-freeze and it must hold at least the churned item.
+    std::shared_ptr<const StaticHashTable> snap =
+        index.FrozenShard(index.ShardOf(kChurn));
+    det::ModelAssert(snap == nullptr || snap->num_items() >= 1,
+                     "published snapshot is readable and non-empty");
+
+    det::ModelAssert(index.Contains(kStableA, kStableBucket),
+                     "stable membership holds under churn");
+  });
+
+  writer.Join();
+  reader.Join();
+
+  // Quiesced: the churned item is gone, stable ones intact, and the
+  // frozen snapshot (taken before the remove) is correctly stale.
+  det::ModelAssert(!index.Contains(kChurn, kChurnBucket),
+                   "churned item removed after join");
+  det::ModelAssert(index.Contains(kStableA, kStableBucket) &&
+                       index.Contains(kStableB, kStableBucket),
+                   "stable items intact after join");
+  det::ModelAssert(!index.ShardFrozen(index.ShardOf(kChurn)),
+                   "remove after freeze must stale the snapshot");
+  const std::vector<Code> uni = index.BucketCodeUnion();
+  det::ModelAssert(
+      std::find(uni.begin(), uni.end(), kStableBucket) != uni.end(),
+      "stable bucket present in the quiesced union");
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3: FeedbackTable TryPredict / TryRecord under eviction.
+// The table is prefilled past capacity so every new key evicts; a
+// recorder thread mixes blocking and try- records against a predictor
+// thread, and the counters must account for every attempt exactly.
+// ---------------------------------------------------------------------------
+
+void FeedbackTableScenario() {
+  FeedbackTable::Options opt;
+  opt.capacity = 8;  // One probe window == the whole table: max pressure.
+  FeedbackTable table(opt);
+
+  // 9 distinct keys into 8 slots: the prefill itself must evict.
+  for (uint64_t i = 1; i <= 9; ++i) {
+    table.Record(i * 0x9e3779b97f4a7c15ull, 100.0);
+  }
+  det::ModelAssert(table.counters().evictions > 0,
+                   "overfull prefill must evict");
+
+  constexpr uint64_t kHotKey = 0xabcdef12345ull;
+  table.Record(kHotKey, 50.0);  // Nobody re-records this key below.
+
+  int applied = 0;
+  int dropped = 0;
+  Thread recorder([&table, &applied, &dropped] {
+    if (table.TryRecord(0x1111, 70.0)) {
+      ++applied;
+    } else {
+      ++dropped;
+    }
+    table.Record(0x2222, 80.0);
+    if (table.TryRecord(0x3333, 90.0)) {
+      ++applied;
+    } else {
+      ++dropped;
+    }
+  });
+
+  Thread predictor([&table] {
+    double ewma = 0.0;
+    // TryPredict may lose to the recorder's exclusive lock — that is
+    // the contract — but a hit must return the recorded value even
+    // while eviction churns the surrounding slots.
+    const bool hit = table.TryPredict(kHotKey, &ewma);
+    det::ModelAssert(!hit || ewma == 50.0,
+                     "try-hit returns the recorded EWMA");
+    double ewma2 = 0.0;
+    const bool hit2 = table.Predict(kHotKey, &ewma2);
+    det::ModelAssert(!hit2 || ewma2 == 50.0,
+                     "blocking hit returns the recorded EWMA");
+  });
+
+  recorder.Join();
+  predictor.Join();
+
+  const FeedbackTable::Counters c = table.counters();
+  det::ModelAssert(c.dropped_records == static_cast<uint64_t>(dropped),
+                   "every TryRecord drop is counted");
+  det::ModelAssert(c.records == 10 + 1 + static_cast<uint64_t>(applied),
+                   "every applied record is counted");
+  det::ModelAssert(c.entries <= table.capacity(), "storage stays bounded");
+}
+
+// ---------------------------------------------------------------------------
+// Historical race 1 (PR 8): the lost-wakeup flush.
+//
+// Minimal replica of the QueryService linger protocol in both forms.
+// The shipped form stamps each request with the flush generation at
+// enqueue and the worker lingers only while the front request's stamp
+// still matches — a Flush() that ran before the worker reached its wait
+// is visible in the re-checked predicate. The first-draft form treated
+// the flush as a *wakeup* rather than *state*: the worker parks once
+// and trusts a notify to release it, so a Flush() whose NotifyAll fired
+// before the worker reached the wait is simply lost and the worker
+// lingers forever (modeled as an untimed wait = unbounded linger),
+// which the explorer reports as a deadlock.
+// ---------------------------------------------------------------------------
+
+class FlushReplica {
+ public:
+  explicit FlushReplica(bool generation_stamped)
+      : stamped_(generation_stamped) {}
+
+  void RunWorker() {
+    MutexLock lock(mu_);
+    while (!queued_) cv_.Wait(mu_);
+    if (stamped_) {
+      // Shipped: re-check the generation stamp every pass. gen_ != the
+      // item's stamp means a flush happened since enqueue — claim now.
+      while (queued_ && item_gen_ == gen_) cv_.Wait(mu_);
+    } else {
+      // First draft: any wakeup means "flush or fill — claim now". The
+      // flush left no state behind, so if its notify fired before this
+      // wait was reached, no wakeup is ever coming.
+      if (queued_) cv_.Wait(mu_);
+    }
+    queued_ = false;
+    ++served_;
+  }
+
+  void Enqueue() {
+    MutexLock lock(mu_);
+    queued_ = true;
+    item_gen_ = gen_;
+    cv_.NotifyAll();
+  }
+
+  void Flush() {
+    MutexLock lock(mu_);
+    ++gen_;  // The stamped worker sees this even if it was not yet waiting.
+    cv_.NotifyAll();
+  }
+
+  int served() {
+    MutexLock lock(mu_);
+    return served_;
+  }
+
+ private:
+  const bool stamped_;
+  Mutex mu_;
+  CondVar cv_;
+  bool queued_ GQR_GUARDED_BY(mu_) = false;
+  uint64_t gen_ GQR_GUARDED_BY(mu_) = 0;
+  uint64_t item_gen_ GQR_GUARDED_BY(mu_) = 0;
+  int served_ GQR_GUARDED_BY(mu_) = 0;
+};
+
+void FlushReplicaScenario(bool stamped) {
+  FlushReplica replica(stamped);
+  Thread worker([&replica] { replica.RunWorker(); });
+  replica.Enqueue();
+  replica.Flush();
+  worker.Join();
+  det::ModelAssert(replica.served() == 1,
+                   "the queued request must be claimed after a flush");
+}
+
+// ---------------------------------------------------------------------------
+// Historical race 2 (PR 9): the blocking-planner stall.
+//
+// Minimal replica of the adaptive planner's serving-path feedback-table
+// access in both forms. The shipped form uses TryPredict/TryRecord —
+// try-acquires that give up under contention, so the hot thread never
+// blocks. The first draft called the blocking Predict/Record from the
+// serving hot path; any schedule where the maintenance thread holds the
+// table's exclusive lock when the server arrives stalls the hot thread,
+// which the explorer reports as hot-blocked (the dynamic twin of
+// gqr-analyze check (1)).
+// ---------------------------------------------------------------------------
+
+void PlannerStallScenario(bool nonblocking) {
+  constexpr uint64_t kKey = 0x51ull;
+  FeedbackTable::Options opt;
+  opt.capacity = 8;
+  FeedbackTable table(opt);
+  table.Record(kKey, 40.0);
+
+  Thread maintainer([&table] { table.Record(kKey, 60.0); });
+
+  Thread server([&table, nonblocking] {
+    det::SetHotPath(true);
+    double ewma = 0.0;
+    bool hit;
+    if (nonblocking) {
+      hit = table.TryPredict(kKey, &ewma);
+      (void)table.TryRecord(kKey, 55.0);
+    } else {
+      hit = table.Predict(kKey, &ewma);  // Seeded: blocks while hot.
+      table.Record(kKey, 55.0);          // Seeded: blocks while hot.
+    }
+    det::SetHotPath(false);
+    det::ModelAssert(!hit || (ewma >= 40.0 && ewma <= 60.0),
+                     "prediction stays inside the observed range");
+  });
+
+  maintainer.Join();
+  server.Join();
+}
+
+// ---------------------------------------------------------------------------
+// Scenario registry + driver.
+// ---------------------------------------------------------------------------
+
+struct ScenarioDef {
+  const char* name;
+  const char* summary;
+  // Non-empty for the seeded-buggy replicas: the finding kind the
+  // explorer must produce. These are excluded from --scenario all.
+  const char* seeded_finding;
+  std::function<void()> body;
+};
+
+const std::vector<ScenarioDef>& Scenarios() {
+  static const std::vector<ScenarioDef>* defs = new std::vector<ScenarioDef>{
+      {"query_service",
+       "QueryService submit/flush/deadline/shutdown over the real serving "
+       "stack",
+       "", [] { QueryServiceScenario(); }},
+      {"sharded_index",
+       "ShardedIndex churn + FreezeShard vs reader snapshot probes", "",
+       [] { ShardedIndexScenario(); }},
+      {"feedback_table",
+       "FeedbackTable TryPredict/TryRecord under eviction pressure", "",
+       [] { FeedbackTableScenario(); }},
+      {"flush_replica_fixed",
+       "PR-8 flush protocol, shipped generation-stamped form", "",
+       [] { FlushReplicaScenario(/*stamped=*/true); }},
+      {"flush_replica_buggy",
+       "PR-8 first-draft notify-only flush (lost wakeup)", "deadlock",
+       [] { FlushReplicaScenario(/*stamped=*/false); }},
+      {"planner_stall_fixed",
+       "PR-9 planner on the hot path, shipped try-lock form", "",
+       [] { PlannerStallScenario(/*nonblocking=*/true); }},
+      {"planner_stall_buggy",
+       "PR-9 first-draft blocking planner on the hot path", "hot-blocked",
+       [] { PlannerStallScenario(/*nonblocking=*/false); }},
+  };
+  return *defs;
+}
+
+struct RunRecord {
+  std::string name;
+  det::Stats stats;
+};
+
+void AppendStatsJson(const RunRecord& r, std::string* out) {
+  std::ostringstream os;
+  const det::Stats& s = r.stats;
+  os << "    {\"name\": \"" << r.name << "\", \"schedules\": " << s.schedules
+     << ", \"transitions\": " << s.transitions
+     << ", \"decision_points\": " << s.decision_points
+     << ", \"sleep_skips\": " << s.sleep_skips
+     << ", \"bound_skips\": " << s.bound_skips
+     << ", \"redundant_runs\": " << s.redundant_runs
+     << ", \"max_depth\": " << s.max_depth << ", \"wall_ms\": " << s.wall_ms
+     << ", \"complete\": " << (s.complete ? "true" : "false")
+     << ", \"found\": " << (s.found ? "true" : "false") << ", \"finding_kind\": \""
+     << s.finding_kind << "\", \"finding_token\": \"" << s.finding_token
+     << "\"}";
+  *out += os.str();
+}
+
+void WriteStats(const std::string& path, int preemptions,
+                const std::vector<RunRecord>& runs) {
+  if (path.empty()) return;
+  std::string body = "{\n  \"preemption_bound\": " +
+                     std::to_string(preemptions) + ",\n  \"scenarios\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    AppendStatsJson(runs[i], &body);
+    if (i + 1 < runs.size()) body += ",";
+    body += "\n";
+  }
+  body += "  ]\n}\n";
+  std::ofstream out(path);
+  out << body;
+  if (!out) {
+    std::fprintf(stderr, "gqr-modelcheck: cannot write stats to %s\n",
+                 path.c_str());
+  }
+}
+
+struct CliOptions {
+  std::string scenario = "all";
+  std::string expect_finding;
+  std::string stats_out;
+  det::Options explore;
+  bool require_complete = false;
+  bool list = false;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--scenario NAME|all] [--preemptions N] [--budget-ms N]\n"
+      "          [--max-schedules N] [--max-steps N] [--stats-out FILE]\n"
+      "          [--expect-finding KIND] [--replay TOKEN | --replay-file F]\n"
+      "          [--trace] [--require-complete] [--list]\n"
+      "\n"
+      "--scenario all runs every curated scenario and fixed replica\n"
+      "(seeded-buggy replicas run only when named explicitly).\n"
+      "--expect-finding inverts the verdict: the named finding kind must\n"
+      "occur (exit 0), a clean exploration exits 4.\n"
+      "--replay/--replay-file executes exactly one recorded schedule of\n"
+      "one named scenario instead of exploring.\n",
+      argv0);
+  return 2;
+}
+
+bool ReadTokenFile(const std::string& path, std::string* token) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  // First non-empty, non-comment line is the token.
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') continue;
+    *token = line;
+    return true;
+  }
+  return false;
+}
+
+void PrintStatsLine(const RunRecord& r) {
+  const det::Stats& s = r.stats;
+  std::fprintf(stderr,
+               "[%s] schedules=%llu transitions=%llu decision_points=%llu "
+               "sleep_skips=%llu bound_skips=%llu max_depth=%llu "
+               "wall=%.0fms complete=%s\n",
+               r.name.c_str(), static_cast<unsigned long long>(s.schedules),
+               static_cast<unsigned long long>(s.transitions),
+               static_cast<unsigned long long>(s.decision_points),
+               static_cast<unsigned long long>(s.sleep_skips),
+               static_cast<unsigned long long>(s.bound_skips),
+               static_cast<unsigned long long>(s.max_depth), s.wall_ms,
+               s.complete ? "yes" : "no");
+}
+
+int RunMain(int argc, char** argv) {
+  CliOptions cli;
+  std::string replay_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "gqr-modelcheck: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      cli.scenario = next("--scenario");
+    } else if (arg == "--preemptions") {
+      cli.explore.preemption_bound = std::atoi(next("--preemptions"));
+    } else if (arg == "--budget-ms") {
+      cli.explore.budget_ms = std::atoll(next("--budget-ms"));
+    } else if (arg == "--max-schedules") {
+      cli.explore.max_schedules =
+          static_cast<uint64_t>(std::atoll(next("--max-schedules")));
+    } else if (arg == "--max-steps") {
+      cli.explore.max_steps =
+          static_cast<uint64_t>(std::atoll(next("--max-steps")));
+    } else if (arg == "--stats-out") {
+      cli.stats_out = next("--stats-out");
+    } else if (arg == "--expect-finding") {
+      cli.expect_finding = next("--expect-finding");
+    } else if (arg == "--replay") {
+      cli.explore.replay_token = next("--replay");
+    } else if (arg == "--replay-file") {
+      replay_file = next("--replay-file");
+    } else if (arg == "--trace") {
+      cli.explore.trace = true;
+    } else if (arg == "--require-complete") {
+      cli.require_complete = true;
+    } else if (arg == "--list") {
+      cli.list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "gqr-modelcheck: unknown flag %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+
+  if (cli.list) {
+    for (const ScenarioDef& def : Scenarios()) {
+      std::fprintf(stderr, "%-22s %s%s\n", def.name, def.summary,
+                   *def.seeded_finding
+                       ? (std::string(" [seeded: ") + def.seeded_finding + "]")
+                             .c_str()
+                       : "");
+    }
+    return 0;
+  }
+
+#if !defined(GQR_MODELCHECK)
+  std::fprintf(stderr,
+               "gqr-modelcheck: built without GQR_MODELCHECK; schedule "
+               "hooks are compiled out, nothing to explore (exit 77)\n");
+  return 77;
+#endif
+
+  if (!replay_file.empty() &&
+      !ReadTokenFile(replay_file, &cli.explore.replay_token)) {
+    std::fprintf(stderr, "gqr-modelcheck: cannot read replay token from %s\n",
+                 replay_file.c_str());
+    return 2;
+  }
+
+  std::vector<const ScenarioDef*> selected;
+  for (const ScenarioDef& def : Scenarios()) {
+    if (cli.scenario == def.name ||
+        (cli.scenario == "all" && !*def.seeded_finding)) {
+      selected.push_back(&def);
+    }
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr, "gqr-modelcheck: no scenario named '%s' (--list)\n",
+                 cli.scenario.c_str());
+    return 2;
+  }
+  if (!cli.explore.replay_token.empty() && selected.size() != 1) {
+    std::fprintf(stderr,
+                 "gqr-modelcheck: --replay needs exactly one --scenario\n");
+    return 2;
+  }
+
+  // Construct process-wide singletons from THIS unmanaged thread, before
+  // any exploration: a first call from a managed thread would register
+  // the shared pool's workers (and the serving fixture's build-time
+  // lock traffic) with the model. Scenario bodies only ever read these.
+  (void)ThreadPool::Shared();
+  (void)Serve();
+
+  std::vector<RunRecord> runs;
+  for (const ScenarioDef* def : selected) {
+    std::fprintf(stderr, "exploring %s (preemption bound %d)...\n", def->name,
+                 cli.explore.preemption_bound);
+    RunRecord rec;
+    rec.name = def->name;
+    rec.stats = det::Explore(def->body, cli.explore);
+    runs.push_back(rec);
+    PrintStatsLine(rec);
+
+    const det::Stats& s = rec.stats;
+    if (s.found) {
+      // The failing schedule's threads are parked (possibly deadlocked);
+      // report, persist stats, and _Exit — never run another scenario.
+      std::fprintf(stderr, "[%s] FINDING kind=%s token=%s\n  %s\n",
+                   def->name, s.finding_kind.c_str(), s.finding_token.c_str(),
+                   s.finding_message.c_str());
+      std::fprintf(stderr,
+                   "  replay: gqr-modelcheck --scenario %s --replay '%s' "
+                   "--trace\n",
+                   def->name, s.finding_token.c_str());
+      WriteStats(cli.stats_out, cli.explore.preemption_bound, runs);
+      if (!cli.expect_finding.empty()) {
+        if (s.finding_kind == cli.expect_finding) {
+          std::fprintf(stderr, "expected finding '%s' reproduced\n",
+                       cli.expect_finding.c_str());
+          std::_Exit(0);
+        }
+        std::fprintf(stderr, "expected finding '%s' but got '%s'\n",
+                     cli.expect_finding.c_str(), s.finding_kind.c_str());
+        std::_Exit(3);
+      }
+      std::_Exit(3);
+    }
+    if (!s.complete && cli.require_complete &&
+        cli.explore.replay_token.empty()) {
+      std::fprintf(stderr,
+                   "[%s] exploration INCOMPLETE (budget or schedule cap) "
+                   "under --require-complete\n",
+                   def->name);
+      WriteStats(cli.stats_out, cli.explore.preemption_bound, runs);
+      return 3;
+    }
+  }
+
+  WriteStats(cli.stats_out, cli.explore.preemption_bound, runs);
+  if (!cli.expect_finding.empty()) {
+    std::fprintf(stderr,
+                 "expected finding '%s' did not occur — the seeded bug is "
+                 "gone or the explorer lost it\n",
+                 cli.expect_finding.c_str());
+    return 4;
+  }
+  std::fprintf(stderr, "all %zu scenario(s) clean\n", selected.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace gqr
+
+int main(int argc, char** argv) { return gqr::RunMain(argc, argv); }
